@@ -1,0 +1,137 @@
+// Fig. 6: CloverLeaf strong and weak scaling on Titan (Cray XK7),
+// MPI (16-core Opteron per node) vs MPI+CUDA (one K20X per node),
+// up to 8192 nodes.
+//
+// Method: the real OPS block decomposition supplies per-rank halo volumes
+// (validated against the live distributed runtime at small node counts,
+// printed below); compute is the instrumented per-loop profile priced on
+// the XK7 CPU / K20X; communication is the Gemini alpha-beta model.
+#include <cmath>
+#include <cstdio>
+
+#include "cloverleaf/cloverleaf_ops.hpp"
+#include "common.hpp"
+
+namespace {
+
+/// Per-rank halo bytes for an n x n block over a near-square grid, as
+/// k * local_perimeter: k is calibrated once from the live distributed
+/// runtime (it folds in the exchanged-field count, halo depth and the
+/// per-step exchange frequency), then the perimeter scaling carries it to
+/// any node count and problem size.
+double g_halo_k = 0.0;
+
+double halo_bytes_per_rank(double n, int nodes) {
+  if (nodes <= 1) return 0.0;
+  const int px = static_cast<int>(std::round(std::sqrt(nodes)));
+  const int py = nodes / px;
+  const double lx = n / px, ly = n / py;
+  return g_halo_k * (lx + ly);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 6 — CloverLeaf scaling on Titan (XK7)",
+                      "Reguly et al., CLUSTER'15, Fig. 6a/6b");
+
+  cloverleaf::Options opts;
+  opts.nx = opts.ny = 96;
+  cloverleaf::CloverOps app(opts);
+  const int steps = 5;
+  app.run(steps);
+  const auto& prof = app.ctx().profile();
+  const double cells = static_cast<double>(opts.nx) * opts.ny;
+
+  // Calibrate the halo constant at 4 ranks, validate at 16.
+  std::printf("\nhalo model calibrated against the live OPS runtime:\n");
+  for (int ranks : {4, 16}) {
+    cloverleaf::CloverOps live(opts);
+    live.enable_distributed(ranks);
+    live.run(1);
+    live.distributed()->comm().traffic().reset();
+    live.run(1);
+    const double measured =
+        static_cast<double>(live.distributed()->comm().traffic().total_bytes()) /
+        ranks;
+    if (ranks == 4) {
+      g_halo_k = measured / (opts.nx / 2.0 + opts.ny / 2.0);
+      std::printf("  %3d ranks: measured %8.0f B/rank/step (calibration)\n",
+                  ranks, measured);
+    } else {
+      const double model = halo_bytes_per_rank(opts.nx, ranks);
+      std::printf("  %3d ranks: measured %8.0f B/rank/step, model %8.0f"
+                  " (ratio %.2f)\n",
+                  ranks, measured, model, measured / model);
+    }
+  }
+
+  const apl::perf::Machine cpu = apl::perf::machine("xk7-cpu");
+  const apl::perf::Machine gpu = apl::perf::machine("k20x");
+  const apl::perf::Network net = apl::perf::network("gemini");
+  const int iters = 87;
+
+  const auto run_time = [&](const apl::perf::Machine& m, double total_cells,
+                            int nodes) {
+    const double per_node_scale = total_cells / nodes / cells;
+    const double comp =
+        bench::projected_run_time(m, prof, iters / static_cast<double>(steps),
+                                  per_node_scale);
+    const double n_side = std::sqrt(total_cells);
+    const double comm =
+        iters * (net.exchange_time(4, static_cast<std::uint64_t>(
+                                          halo_bytes_per_rank(n_side, nodes))) +
+                 net.allreduce_time(nodes));
+    return comp + comm;
+  };
+
+  std::printf("\n--- Fig. 6a strong scaling (15360^2 cells, %d steps) ---\n",
+              iters);
+  std::printf("%6s | %12s %12s | ratio\n", "nodes", "MPI (CPU)", "MPI+CUDA");
+  const double strong_cells = 15360.0 * 15360.0;
+  double c1 = 0, c4096 = 0, g1 = 0, g4096 = 0;
+  for (int nodes : {128, 256, 512, 1024, 2048, 4096, 8192}) {
+    const double tc = run_time(cpu, strong_cells, nodes);
+    const double tg = run_time(gpu, strong_cells, nodes);
+    if (nodes == 128) {
+      c1 = tc;
+      g1 = tg;
+    }
+    if (nodes == 4096) {
+      c4096 = tc;
+      g4096 = tg;
+    }
+    std::printf("%6d | %12.2f %12.2f | %5.2fx\n", nodes, tc, tg, tc / tg);
+  }
+  std::printf("CPU efficiency 128->4096: %.0f%% (paper: near-optimal to 4096"
+              " nodes)\n",
+              100.0 * c1 / (c4096 * 4096 / 128));
+  std::printf("GPU efficiency 128->4096: %.0f%% (paper: strong-scales poorly"
+              ")\n",
+              100.0 * g1 / (g4096 * 4096 / 128));
+
+  std::printf("\n--- Fig. 6b weak scaling (3840^2 cells per node) ---\n");
+  std::printf("%6s | %12s %12s\n", "nodes", "MPI (CPU)", "MPI+CUDA");
+  const double per_node = 3840.0 * 3840.0;
+  double w1 = 0, w4096 = 0, wg1 = 0, wg4096 = 0;
+  for (int nodes : {1, 4, 16, 64, 256, 1024, 4096}) {
+    const double tc = run_time(cpu, per_node * nodes, nodes);
+    const double tg = run_time(gpu, per_node * nodes, nodes);
+    if (nodes == 1) {
+      w1 = tc;
+      wg1 = tg;
+    }
+    if (nodes == 4096) {
+      w4096 = tc;
+      wg4096 = tg;
+    }
+    std::printf("%6d | %12.2f %12.2f\n", nodes, tc, tg);
+  }
+  std::printf("weak degradation 1->4096: CPU %.1f%% (paper ~1%%), GPU %.1f%%"
+              " (paper ~6%%)\n",
+              100.0 * (w4096 - w1) / w1, 100.0 * (wg4096 - wg1) / wg1);
+  std::printf("\nshape checks: GPU ~3-4x at low node counts; CPU keeps strong-"
+              "\nscaling where the GPU flattens; weak scaling near-flat on"
+              "\nboth.\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Microbenchmarks (google-benchmark) of the run-time machinery: plan
+// construction (two-level coloring), greedy coloring, RCM, partitioners —
+// the costs OP2 amortizes by caching plans per loop signature.
+#include <benchmark/benchmark.h>
+
+#include "airfoil/airfoil.hpp"
+#include "apl/graph/coloring.hpp"
+#include "apl/graph/csr.hpp"
+#include "apl/graph/partition.hpp"
+#include "apl/graph/rcm.hpp"
+#include "op2/op2.hpp"
+
+namespace {
+
+airfoil::Airfoil::Options sized(op2::index_t nx) {
+  airfoil::Airfoil::Options o;
+  o.nx = nx;
+  o.ny = nx / 2;
+  return o;
+}
+
+void BM_PlanBuild(benchmark::State& state) {
+  airfoil::Airfoil app(sized(static_cast<op2::index_t>(state.range(0))));
+  auto* res = static_cast<op2::Dat<double>*>(app.ctx().find_dat("res"));
+  const std::vector<op2::ArgInfo> args = {
+      op2::arg(*res, app.edge2cell_map(), 0, op2::Access::kInc).info(),
+      op2::arg(*res, app.edge2cell_map(), 1, op2::Access::kInc).info()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        op2::build_plan(app.ctx(), app.edges(), args, 256));
+  }
+  state.SetItemsProcessed(state.iterations() * app.edges().size());
+}
+BENCHMARK(BM_PlanBuild)->Arg(40)->Arg(80)->Arg(160);
+
+void BM_GreedyColoring(benchmark::State& state) {
+  airfoil::Airfoil app(sized(static_cast<op2::index_t>(state.range(0))));
+  const auto& map = app.edge2cell_map();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apl::graph::color_by_shared_resources(
+        map.table(), 2, app.mesh().nedge, app.mesh().ncell));
+  }
+  state.SetItemsProcessed(state.iterations() * app.mesh().nedge);
+}
+BENCHMARK(BM_GreedyColoring)->Arg(80)->Arg(160);
+
+void BM_Rcm(benchmark::State& state) {
+  airfoil::Airfoil app(sized(static_cast<op2::index_t>(state.range(0))));
+  const auto adj = apl::graph::node_adjacency(
+      app.edge2cell_map().table(), 2, app.mesh().nedge, app.mesh().ncell);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apl::graph::rcm_permutation(adj));
+  }
+  state.SetItemsProcessed(state.iterations() * app.mesh().ncell);
+}
+BENCHMARK(BM_Rcm)->Arg(80)->Arg(160);
+
+void BM_KwayPartition(benchmark::State& state) {
+  airfoil::Airfoil app(sized(80));
+  const auto adj = apl::graph::node_adjacency(
+      app.edge2cell_map().table(), 2, app.mesh().nedge, app.mesh().ncell);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apl::graph::partition_kway(
+        adj, static_cast<apl::graph::index_t>(state.range(0))));
+  }
+  state.SetItemsProcessed(state.iterations() * app.mesh().ncell);
+}
+BENCHMARK(BM_KwayPartition)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_AirfoilIteration(benchmark::State& state) {
+  airfoil::Airfoil app(sized(static_cast<op2::index_t>(state.range(0))));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app.iteration());
+  }
+  state.SetItemsProcessed(state.iterations() * app.mesh().ncell);
+}
+BENCHMARK(BM_AirfoilIteration)->Arg(40)->Arg(80);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Every bench follows the same honesty rule (DESIGN.md §6): the real
+// backends execute the real algorithms on the host and *count* work
+// (bytes by access class, flops, elements, halo bytes, transactions);
+// the apl::perf machine models convert counts to projected times on the
+// paper's named 2015 hardware. Host-measured seconds are printed where
+// they are directly meaningful (abstraction-overhead comparisons).
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "apl/perf/machines.hpp"
+#include "apl/perf/model.hpp"
+#include "apl/profile.hpp"
+
+namespace bench {
+
+/// Converts one loop's accumulated stats into a model input.
+inline apl::perf::LoopProfile to_profile(const std::string& name,
+                                         const apl::LoopStats& s) {
+  apl::perf::LoopProfile p;
+  p.name = name;
+  p.bytes_direct = static_cast<double>(s.bytes_direct);
+  p.bytes_gather = static_cast<double>(s.bytes_gather);
+  p.bytes_scatter = static_cast<double>(s.bytes_scatter);
+  p.flops = s.flops;
+  p.elements = static_cast<double>(s.elements);
+  return p;
+}
+
+/// All loops of a profile as model inputs, scaled by `factor` (used to
+/// translate a host-sized run to the paper's problem size / iterations).
+inline std::vector<apl::perf::LoopProfile> profiles_of(
+    const apl::Profile& prof, double factor = 1.0) {
+  std::vector<apl::perf::LoopProfile> out;
+  for (const auto& [name, s] : prof.all()) {
+    out.push_back(to_profile(name, s).scaled(factor));
+  }
+  return out;
+}
+
+/// Per-call element count so efficiency terms see per-launch sizes, not
+/// run totals.
+inline std::vector<apl::perf::LoopProfile> per_call_profiles(
+    const apl::Profile& prof) {
+  std::vector<apl::perf::LoopProfile> out;
+  for (const auto& [name, s] : prof.all()) {
+    if (s.calls == 0) continue;
+    apl::perf::LoopProfile p = to_profile(name, s);
+    p.elements /= static_cast<double>(s.calls);
+    out.push_back(p);
+  }
+  return out;
+}
+
+/// Total time of a run on machine `m`: each loop is priced per call (so
+/// the small-workload efficiency term sees per-launch sizes), with the
+/// mesh scaled by `mesh_scale` and the call count by `iter_factor` —
+/// translating the host-sized instrumentation run to the paper's problem
+/// size and iteration count.
+inline double projected_run_time(const apl::perf::Machine& m,
+                                 const apl::Profile& prof,
+                                 double iter_factor = 1.0,
+                                 double mesh_scale = 1.0) {
+  double t = 0.0;
+  for (const auto& [name, s] : prof.all()) {
+    if (s.calls == 0) continue;
+    const double calls = static_cast<double>(s.calls);
+    const apl::perf::LoopProfile per_call =
+        to_profile(name, s).scaled(mesh_scale / calls);
+    t += apl::perf::projected_time(m, per_call) * calls * iter_factor;
+  }
+  return t;
+}
+
+inline void print_header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title);
+  std::printf("reproduces: %s\n", paper_ref);
+  std::printf("================================================================\n");
+}
+
+inline void print_bar(const char* label, double seconds,
+                      const char* note = "") {
+  std::printf("  %-34s %10.3f s   %s\n", label, seconds, note);
+}
+
+}  // namespace bench

@@ -1,0 +1,50 @@
+// The Airfoil mini-app end to end: transonic bump-channel flow on an
+// unstructured quad mesh through the OP2 API, with a backend sweep and
+// the per-loop profile — the workflow of the paper's Sec. IV.
+//
+//   $ ./airfoil_sim [iterations]
+#include <cstdio>
+#include <cstdlib>
+
+#include "airfoil/airfoil.hpp"
+#include "apl/timer.hpp"
+
+int main(int argc, char** argv) {
+  const int iters = argc > 1 ? std::atoi(argv[1]) : 200;
+  airfoil::Airfoil::Options opts;
+  opts.nx = 120;
+  opts.ny = 60;
+  opts.bump = 0.08;
+
+  std::printf("Airfoil: %dx%d cells, mach %.2f, %d iterations\n", opts.nx,
+              opts.ny, airfoil::Constants{}.mach, iters);
+
+  for (const op2::Backend backend :
+       {op2::Backend::kSeq, op2::Backend::kSimd, op2::Backend::kThreads,
+        op2::Backend::kCudaSim}) {
+    airfoil::Airfoil app(opts);
+    app.ctx().set_backend(backend);
+    apl::Timer t;
+    const double rms = app.run(iters);
+    std::printf("  backend %-8s: %6.2f s, final RMS residual %.3e\n",
+                op2::to_string(backend), t.seconds(), rms);
+  }
+
+  // Distributed run (4 simulated ranks, k-way partitioning), then print
+  // crest acceleration — the physics the bump is there for.
+  airfoil::Airfoil app(opts);
+  app.enable_distributed(4, apl::graph::PartitionMethod::kKway);
+  app.run(iters);
+  const auto q = app.solution();
+  const op2::index_t crest = opts.nx / 2;  // mid-bump, first cell row
+  const double u_crest = q[4 * crest + 1] / q[4 * crest];
+  const double u_inf = app.constants().qinf[1] / app.constants().qinf[0];
+  std::printf("\ndistributed (4 ranks): halo traffic %llu bytes, "
+              "u_crest/u_inf = %.3f (subsonic acceleration over the bump)\n",
+              static_cast<unsigned long long>(
+                  app.distributed()->comm().traffic().total_bytes()),
+              u_crest / u_inf);
+  std::printf("\nper-loop profile (distributed run):\n%s",
+              app.ctx().profile().report().c_str());
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Multi-block OPS: a channel split into two blocks coupled by explicit
+// inter-block halos (paper Sec. II-A — "halos between datasets defined on
+// different blocks are explicitly defined by the user ... transfers are
+// synchronization points"). Heat conduction flows across the interface
+// exactly as it would on a single block.
+//
+//   $ ./multiblock_channel
+#include <cmath>
+#include <cstdio>
+
+#include "ops/ops.hpp"
+
+int main() {
+  const ops::index_t nx = 32, ny = 16;
+  ops::Context ctx;
+  ops::Block& left = ctx.decl_block(2, "left");
+  ops::Block& right = ctx.decl_block(2, "right");
+  ops::Stencil& five = ctx.decl_stencil(
+      2, {{{0, 0, 0}}, {{1, 0, 0}}, {{-1, 0, 0}}, {{0, 1, 0}}, {{0, -1, 0}}},
+      "5pt");
+  const auto make = [&](ops::Block& b, const char* n1, const char* n2)
+      -> std::pair<ops::Dat<double>*, ops::Dat<double>*> {
+    return {&ctx.decl_dat<double>(b, 1, {nx, ny, 1}, {1, 1, 0}, {1, 1, 0}, n1),
+            &ctx.decl_dat<double>(b, 1, {nx, ny, 1}, {1, 1, 0}, {1, 1, 0},
+                                  n2)};
+  };
+  auto [ul, tl] = make(left, "ul", "tl");
+  auto [ur, tr] = make(right, "ur", "tr");
+
+  // Hot spot in the left block near the interface.
+  for (ops::index_t j = -1; j <= ny; ++j) {
+    for (ops::index_t i = -1; i <= nx; ++i) {
+      *ul->at(i, j) = std::exp(-0.05 * ((i - 28.0) * (i - 28.0) +
+                                        (j - 8.0) * (j - 8.0)));
+      *ur->at(i, j) = 0.0;
+    }
+  }
+
+  // Interface halos: last column of `left` <-> first column of `right`.
+  ops::HaloGroup halos;
+  halos.add(ops::Halo(*ul, *ur, {1, ny, 1}, {nx - 1, 0, 0}, {-1, 0, 0},
+                      {1, 2, 3}, {1, 2, 3}));
+  halos.add(ops::Halo(*ur, *ul, {1, ny, 1}, {0, 0, 0}, {nx, 0, 0},
+                      {1, 2, 3}, {1, 2, 3}));
+
+  const auto sweep = [&](ops::Block& blk, ops::Dat<double>& u,
+                         ops::Dat<double>& t) {
+    ops::par_loop(ctx, "diffuse", blk, ops::Range::dim2(0, nx, 0, ny),
+                  [](ops::Acc<double> u, ops::Acc<double> t) {
+                    t(0, 0) = u(0, 0) + 0.2 * (u(1, 0) + u(-1, 0) + u(0, 1) +
+                                               u(0, -1) - 4 * u(0, 0));
+                  },
+                  ops::arg(u, five, ops::Access::kRead),
+                  ops::arg(t, ctx.stencil_point(2), ops::Access::kWrite));
+    ops::par_loop(ctx, "copy", blk, ops::Range::dim2(0, nx, 0, ny),
+                  [](ops::Acc<double> t, ops::Acc<double> u) {
+                    u(0, 0) = t(0, 0);
+                  },
+                  ops::arg(t, ctx.stencil_point(2), ops::Access::kRead),
+                  ops::arg(u, ctx.stencil_point(2), ops::Access::kWrite));
+  };
+
+  double crossed = 0.0;
+  for (int step = 0; step < 200; ++step) {
+    halos.transfer();  // explicit synchronization point between the blocks
+    sweep(left, *ul, *tl);
+    sweep(right, *ur, *tr);
+  }
+  for (ops::index_t j = 0; j < ny; ++j) {
+    for (ops::index_t i = 0; i < nx; ++i) crossed += *ur->at(i, j);
+  }
+  std::printf("heat that diffused across the block interface: %.4f\n",
+              crossed);
+  std::printf("interface halo: %zu points, %zu bytes per transfer\n",
+              halos.size(), halos.bytes());
+  std::printf("continuity at the interface: left(%d,8)=%.6f  right(0,8)=%.6f"
+              " (their halos: %.6f / %.6f)\n",
+              nx - 1, *ul->at(nx - 1, 8), *ur->at(0, 8), *ul->at(nx, 8),
+              *ur->at(-1, 8));
+  return crossed > 0.01 ? 0 : 1;
+}

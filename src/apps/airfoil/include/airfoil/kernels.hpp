@@ -1,0 +1,149 @@
+// The five Airfoil user kernels (paper Table I / Fig. 8), in the form the
+// OP2 abstraction prescribes: plain element-local functions receiving one
+// accessor per declared argument, with no knowledge of parallelism, layout
+// or data movement. These are faithful ports of the kernels in Giles'
+// original OP2 Airfoil benchmark (save_soln, adt_calc, res_calc,
+// bres_calc, update) for the 2D compressible Euler equations with
+// Jameson-style scalar dissipation and Runge-Kutta local time stepping.
+#pragma once
+
+#include <cmath>
+
+#include "op2/acc.hpp"
+#include "op2/mesh.hpp"
+
+namespace airfoil {
+
+/// Flow constants (free stream defined by mach and angle of attack).
+struct Constants {
+  double gam = 1.4;
+  double gm1 = 0.4;
+  double cfl = 0.9;
+  double eps = 0.05;
+  double mach = 0.4;
+  double qinf[4] = {};  ///< free-stream state, set by init()
+
+  void init() {
+    gm1 = gam - 1.0;
+    const double p = 1.0, r = 1.0;
+    const double c = std::sqrt(gam * p / r);
+    const double u = mach * c;
+    const double e = p / (r * gm1) + 0.5 * u * u;
+    qinf[0] = r;
+    qinf[1] = r * u;
+    qinf[2] = 0.0;
+    qinf[3] = r * e;
+  }
+};
+
+/// q -> q_old, the direct copy loop (near-peak streaming in Table I).
+inline void save_soln(op2::Acc<const double> q, op2::Acc<double> qold) {
+  for (int n = 0; n < 4; ++n) qold[n] = q[n];
+}
+
+/// Local area/timestep per cell: reads the 4 corner nodes indirectly,
+/// writes directly; sqrt-heavy, so vectorization matters (Table I).
+inline void adt_calc(const Constants& c, op2::Acc<const double> x1,
+                     op2::Acc<const double> x2, op2::Acc<const double> x3,
+                     op2::Acc<const double> x4, op2::Acc<const double> q,
+                     op2::Acc<double> adt) {
+  const double ri = 1.0 / q[0];
+  const double u = ri * q[1];
+  const double v = ri * q[2];
+  const double cs = std::sqrt(c.gam * c.gm1 * (ri * q[3] - 0.5 * (u * u + v * v)));
+  double sum = 0.0;
+  const op2::Acc<const double>* xs[5] = {&x1, &x2, &x3, &x4, &x1};
+  for (int f = 0; f < 4; ++f) {
+    const double dx = (*xs[f + 1])[0] - (*xs[f])[0];
+    const double dy = (*xs[f + 1])[1] - (*xs[f])[1];
+    sum += std::fabs(u * dy - v * dx) + cs * std::sqrt(dx * dx + dy * dy);
+  }
+  adt[0] = sum / c.cfl;
+}
+
+/// Interior edge fluxes: indirect reads of x, q, adt and indirect
+/// increments of res on both adjacent cells — the colored-scatter loop
+/// that dominates Table I.
+inline void res_calc(const Constants& c, op2::Acc<const double> x1,
+                     op2::Acc<const double> x2, op2::Acc<const double> q1,
+                     op2::Acc<const double> q2, op2::Acc<const double> adt1,
+                     op2::Acc<const double> adt2, op2::Acc<double> res1,
+                     op2::Acc<double> res2) {
+  const double dx = x1[0] - x2[0];
+  const double dy = x1[1] - x2[1];
+  const double ri1 = 1.0 / q1[0];
+  const double p1 = c.gm1 * (q1[3] - 0.5 * ri1 * (q1[1] * q1[1] + q1[2] * q1[2]));
+  const double vol1 = ri1 * (q1[1] * dy - q1[2] * dx);
+  const double ri2 = 1.0 / q2[0];
+  const double p2 = c.gm1 * (q2[3] - 0.5 * ri2 * (q2[1] * q2[1] + q2[2] * q2[2]));
+  const double vol2 = ri2 * (q2[1] * dy - q2[2] * dx);
+  const double mu = 0.5 * (adt1[0] + adt2[0]) * c.eps;
+
+  double f;
+  f = 0.5 * (vol1 * q1[0] + vol2 * q2[0]) + mu * (q1[0] - q2[0]);
+  res1[0] += f;
+  res2[0] -= f;
+  f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * q2[1] + p2 * dy) +
+      mu * (q1[1] - q2[1]);
+  res1[1] += f;
+  res2[1] -= f;
+  f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * q2[2] - p2 * dx) +
+      mu * (q1[2] - q2[2]);
+  res1[2] += f;
+  res2[2] -= f;
+  f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (q2[3] + p2)) + mu * (q1[3] - q2[3]);
+  res1[3] += f;
+  res2[3] -= f;
+}
+
+/// Boundary edge fluxes: solid-wall pressure flux or far-field flux
+/// against the free stream; single-sided increment.
+inline void bres_calc(const Constants& c, op2::Acc<const double> x1,
+                      op2::Acc<const double> x2, op2::Acc<const double> q1,
+                      op2::Acc<const double> adt1, op2::Acc<double> res1,
+                      op2::Acc<const op2::index_t> bound) {
+  const double dx = x1[0] - x2[0];
+  const double dy = x1[1] - x2[1];
+  const double ri1 = 1.0 / q1[0];
+  const double p1 = c.gm1 * (q1[3] - 0.5 * ri1 * (q1[1] * q1[1] + q1[2] * q1[2]));
+  if (bound[0] == 1) {  // solid wall: pressure force only
+    res1[1] += p1 * dy;
+    res1[2] += -p1 * dx;
+  } else {  // far field: flux against the free-stream state
+    const double vol1 = ri1 * (q1[1] * dy - q1[2] * dx);
+    const double ri2 = 1.0 / c.qinf[0];
+    const double p2 =
+        c.gm1 * (c.qinf[3] - 0.5 * ri2 * (c.qinf[1] * c.qinf[1] +
+                                          c.qinf[2] * c.qinf[2]));
+    const double vol2 = ri2 * (c.qinf[1] * dy - c.qinf[2] * dx);
+    const double mu = adt1[0] * c.eps;
+    double f;
+    f = 0.5 * (vol1 * q1[0] + vol2 * c.qinf[0]) + mu * (q1[0] - c.qinf[0]);
+    res1[0] += f;
+    f = 0.5 * (vol1 * q1[1] + p1 * dy + vol2 * c.qinf[1] + p2 * dy) +
+        mu * (q1[1] - c.qinf[1]);
+    res1[1] += f;
+    f = 0.5 * (vol1 * q1[2] - p1 * dx + vol2 * c.qinf[2] - p2 * dx) +
+        mu * (q1[2] - c.qinf[2]);
+    res1[2] += f;
+    f = 0.5 * (vol1 * (q1[3] + p1) + vol2 * (c.qinf[3] + p2)) +
+        mu * (q1[3] - c.qinf[3]);
+    res1[3] += f;
+  }
+}
+
+/// Runge-Kutta update with local time step; accumulates the residual RMS
+/// into a global (direct streaming, near-peak bandwidth in Table I).
+inline void update(op2::Acc<const double> qold, op2::Acc<double> q,
+                   op2::Acc<double> res, op2::Acc<const double> adt,
+                   op2::Acc<double> rms) {
+  const double adti = 1.0 / adt[0];
+  for (int n = 0; n < 4; ++n) {
+    const double del = adti * res[n];
+    q[n] = qold[n] - del;
+    res[n] = 0.0;
+    rms[0] += del * del;
+  }
+}
+
+}  // namespace airfoil

@@ -1,0 +1,51 @@
+// Mesh generator for the Airfoil proxy application.
+//
+// The original Airfoil runs on an unstructured quadrilateral mesh around an
+// aerofoil. That mesh ships as a binary file with the OP2 distribution; as
+// a self-contained substitute we generate the classic inviscid "bump in a
+// channel" (Ni's transonic bump) quadrilateral mesh — the same four sets
+// (nodes, edges, boundary edges, cells), the same three mappings, and the
+// same wall/far-field boundary structure, so every kernel exercises the
+// identical access patterns.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "op2/mesh.hpp"
+
+namespace airfoil {
+
+using op2::index_t;
+
+/// Boundary condition codes carried on boundary edges.
+inline constexpr index_t kBoundWall = 1;
+inline constexpr index_t kBoundFarfield = 2;
+
+struct Mesh {
+  index_t ncell = 0;
+  index_t nnode = 0;
+  index_t nedge = 0;   ///< interior edges (two adjacent cells)
+  index_t nbedge = 0;  ///< boundary edges (one cell)
+
+  std::vector<double> x;          ///< nnode x 2 coordinates
+  std::vector<index_t> edge2node;   ///< nedge x 2
+  std::vector<index_t> edge2cell;   ///< nedge x 2
+  std::vector<index_t> bedge2node;  ///< nbedge x 2
+  std::vector<index_t> bedge2cell;  ///< nbedge x 1
+  std::vector<index_t> cell2node;   ///< ncell x 4
+  std::vector<index_t> bound;       ///< nbedge x 1 (wall / farfield)
+};
+
+/// Generates an nx x ny cell channel with a sinusoidal bump on the lower
+/// wall (height `bump` of channel height, chord one third of the length).
+/// Lower/upper walls are kBoundWall, inflow/outflow are kBoundFarfield.
+Mesh make_bump_channel(index_t nx, index_t ny, double bump = 0.1);
+
+/// Mesh file I/O through the h5lite container — the Fig. 1 "Mesh (hdf5)"
+/// flow: generate once, save, and declare the application from the file.
+void save_mesh(const Mesh& mesh, const std::string& path);
+Mesh load_mesh(const std::string& path);
+
+}  // namespace airfoil

@@ -1,0 +1,141 @@
+#include "airfoil/mesh.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "apl/io/h5lite.hpp"
+
+namespace airfoil {
+
+Mesh make_bump_channel(index_t nx, index_t ny, double bump) {
+  Mesh m;
+  m.ncell = nx * ny;
+  m.nnode = (nx + 1) * (ny + 1);
+
+  const auto node_id = [nx](index_t i, index_t j) {
+    return j * (nx + 1) + i;
+  };
+  const auto cell_id = [nx](index_t i, index_t j) { return j * nx + i; };
+
+  // Channel [0,3] x [0,1]; the bump spans x in [1,2] on the lower wall and
+  // decays linearly towards the upper wall.
+  m.x.resize(static_cast<std::size_t>(m.nnode) * 2);
+  for (index_t j = 0; j <= ny; ++j) {
+    for (index_t i = 0; i <= nx; ++i) {
+      const double xi = 3.0 * i / nx;
+      const double eta = static_cast<double>(j) / ny;
+      double floor_y = 0.0;
+      if (xi > 1.0 && xi < 2.0) {
+        const double s = std::sin(std::numbers::pi * (xi - 1.0));
+        floor_y = bump * s * s;
+      }
+      m.x[2 * node_id(i, j)] = xi;
+      m.x[2 * node_id(i, j) + 1] = floor_y + (1.0 - floor_y) * eta;
+    }
+  }
+
+  // Cells -> 4 corner nodes, counter-clockwise.
+  m.cell2node.resize(static_cast<std::size_t>(m.ncell) * 4);
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {
+      index_t* c = &m.cell2node[static_cast<std::size_t>(cell_id(i, j)) * 4];
+      c[0] = node_id(i, j);
+      c[1] = node_id(i + 1, j);
+      c[2] = node_id(i + 1, j + 1);
+      c[3] = node_id(i, j + 1);
+    }
+  }
+
+  // Interior edges: vertical faces between (i-1,j) and (i,j), horizontal
+  // faces between (i,j-1) and (i,j).
+  // The kernels interpret the face normal of an edge (n1, n2) as
+  // (dy, -dx) with (dx, dy) = x(n1) - x(n2). Node order is chosen so this
+  // normal points from cell 0 towards cell 1 of edge2cell (outward for
+  // cell 0); res_calc then adds the flux to cell 0 and subtracts it from
+  // cell 1, which makes the scheme conservative and free-stream-preserving.
+  for (index_t j = 0; j < ny; ++j) {
+    for (index_t i = 1; i < nx; ++i) {  // vertical faces, normal +x
+      m.edge2node.push_back(node_id(i, j + 1));
+      m.edge2node.push_back(node_id(i, j));
+      m.edge2cell.push_back(cell_id(i - 1, j));
+      m.edge2cell.push_back(cell_id(i, j));
+    }
+  }
+  for (index_t j = 1; j < ny; ++j) {
+    for (index_t i = 0; i < nx; ++i) {  // horizontal faces, normal +y
+      m.edge2node.push_back(node_id(i, j));
+      m.edge2node.push_back(node_id(i + 1, j));
+      m.edge2cell.push_back(cell_id(i, j - 1));
+      m.edge2cell.push_back(cell_id(i, j));
+    }
+  }
+  m.nedge = static_cast<index_t>(m.edge2cell.size() / 2);
+
+  // Boundary edges: node order makes (dy, -dx) the OUTWARD domain normal,
+  // the convention bres_calc's wall and far-field fluxes assume.
+  const auto add_bedge = [&m](index_t n1, index_t n2, index_t cell,
+                              index_t code) {
+    m.bedge2node.push_back(n1);
+    m.bedge2node.push_back(n2);
+    m.bedge2cell.push_back(cell);
+    m.bound.push_back(code);
+  };
+  for (index_t i = 0; i < nx; ++i) {  // lower wall: outward -y
+    add_bedge(node_id(i + 1, 0), node_id(i, 0), cell_id(i, 0), kBoundWall);
+  }
+  for (index_t i = 0; i < nx; ++i) {  // upper wall: outward +y
+    add_bedge(node_id(i, ny), node_id(i + 1, ny), cell_id(i, ny - 1),
+              kBoundWall);
+  }
+  for (index_t j = 0; j < ny; ++j) {  // inflow (x = 0): outward -x
+    add_bedge(node_id(0, j), node_id(0, j + 1), cell_id(0, j),
+              kBoundFarfield);
+  }
+  for (index_t j = 0; j < ny; ++j) {  // outflow (x = 3): outward +x
+    add_bedge(node_id(nx, j + 1), node_id(nx, j), cell_id(nx - 1, j),
+              kBoundFarfield);
+  }
+  m.nbedge = static_cast<index_t>(m.bedge2cell.size());
+  return m;
+}
+
+void save_mesh(const Mesh& m, const std::string& path) {
+  apl::io::File f;
+  const std::vector<std::int64_t> counts = {m.ncell, m.nnode, m.nedge,
+                                            m.nbedge};
+  f.put<std::int64_t>("counts", counts, {4});
+  f.put<double>("x", m.x, {static_cast<std::uint64_t>(m.nnode), 2});
+  f.put<index_t>("edge2node", m.edge2node,
+                 {static_cast<std::uint64_t>(m.nedge), 2});
+  f.put<index_t>("edge2cell", m.edge2cell,
+                 {static_cast<std::uint64_t>(m.nedge), 2});
+  f.put<index_t>("bedge2node", m.bedge2node,
+                 {static_cast<std::uint64_t>(m.nbedge), 2});
+  f.put<index_t>("bedge2cell", m.bedge2cell,
+                 {static_cast<std::uint64_t>(m.nbedge)});
+  f.put<index_t>("cell2node", m.cell2node,
+                 {static_cast<std::uint64_t>(m.ncell), 4});
+  f.put<index_t>("bound", m.bound, {static_cast<std::uint64_t>(m.nbedge)});
+  f.save(path);
+}
+
+Mesh load_mesh(const std::string& path) {
+  const apl::io::File f = apl::io::File::load(path);
+  const auto counts = f.get<std::int64_t>("counts");
+  apl::require(counts.size() == 4, "load_mesh: malformed counts");
+  Mesh m;
+  m.ncell = static_cast<index_t>(counts[0]);
+  m.nnode = static_cast<index_t>(counts[1]);
+  m.nedge = static_cast<index_t>(counts[2]);
+  m.nbedge = static_cast<index_t>(counts[3]);
+  m.x = f.get<double>("x");
+  m.edge2node = f.get<index_t>("edge2node");
+  m.edge2cell = f.get<index_t>("edge2cell");
+  m.bedge2node = f.get<index_t>("bedge2node");
+  m.bedge2cell = f.get<index_t>("bedge2cell");
+  m.cell2node = f.get<index_t>("cell2node");
+  m.bound = f.get<index_t>("bound");
+  return m;
+}
+
+}  // namespace airfoil

@@ -1,0 +1,444 @@
+#include "cloverleaf/cloverleaf_ref.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cloverleaf {
+
+CloverRef::CloverRef(const Options& opts) : opts_(opts) {
+  const index_t nx = opts.nx, ny = opts.ny;
+  dx_ = opts.xmax / nx;
+  dy_ = dx_;
+  dt_ = opts.dtinit;
+  density0_.alloc(nx, ny);
+  density1_.alloc(nx, ny);
+  energy0_.alloc(nx, ny);
+  energy1_.alloc(nx, ny);
+  pressure_.alloc(nx, ny);
+  viscosity_.alloc(nx, ny);
+  soundspeed_.alloc(nx, ny);
+  xvel0_.alloc(nx + 1, ny + 1);
+  xvel1_.alloc(nx + 1, ny + 1);
+  yvel0_.alloc(nx + 1, ny + 1);
+  yvel1_.alloc(nx + 1, ny + 1);
+  vol_flux_x_.alloc(nx + 1, ny);
+  mass_flux_x_.alloc(nx + 1, ny);
+  ener_flux_x_.alloc(nx + 1, ny);
+  vol_flux_y_.alloc(nx, ny + 1);
+  mass_flux_y_.alloc(nx, ny + 1);
+  ener_flux_y_.alloc(nx, ny + 1);
+  node_flux_.alloc(nx + 1, ny + 1);
+  mom_flux_.alloc(nx + 1, ny + 1);
+
+  // generate_chunk: ambient state + energetic corner region.
+  const double ymax = opts.xmax * ny / nx;
+  for (index_t j = -2; j < ny + 2; ++j) {
+    for (index_t i = -2; i < nx + 2; ++i) {
+      const double x = (i + 0.5) * dx_;
+      const double y = (j + 0.5) * dy_;
+      const bool energetic = x < opts.xmax * opts.state2_xfrac &&
+                             y < ymax * opts.state2_yfrac;
+      density0_(i, j) = energetic ? opts.rho_state2 : opts.rho_ambient;
+      energy0_(i, j) = energetic ? opts.e_state2 : opts.e_ambient;
+    }
+  }
+  ideal_gas(false);
+  update_halo_cells();
+}
+
+void CloverRef::ideal_gas(bool predicted) {
+  const double gamma = opts_.gamma;
+  const Field& d = predicted ? density1_ : density0_;
+  const Field& e = predicted ? energy1_ : energy0_;
+  for (index_t j = 0; j < opts_.ny; ++j) {
+    for (index_t i = 0; i < opts_.nx; ++i) {
+      pressure_(i, j) = (gamma - 1.0) * d(i, j) * e(i, j);
+      soundspeed_(i, j) = std::sqrt(gamma * pressure_(i, j) / d(i, j));
+    }
+  }
+}
+
+void CloverRef::viscosity_kernel() {
+  for (index_t j = 0; j < opts_.ny; ++j) {
+    for (index_t i = 0; i < opts_.nx; ++i) {
+      const double du = 0.5 * (xvel0_(i + 1, j) + xvel0_(i + 1, j + 1) -
+                               xvel0_(i, j) - xvel0_(i, j + 1));
+      const double dv = 0.5 * (yvel0_(i, j + 1) + yvel0_(i + 1, j + 1) -
+                               yvel0_(i, j) - yvel0_(i + 1, j));
+      const double div = du / dx_ + dv / dy_;
+      viscosity_(i, j) =
+          div < 0.0 ? 2.0 * density0_(i, j) * (du * du + dv * dv) : 0.0;
+    }
+  }
+}
+
+void CloverRef::calc_dt() {
+  const double mind = std::min(dx_, dy_);
+  double dt_local = 1e30;
+  for (index_t j = 0; j < opts_.ny; ++j) {
+    for (index_t i = 0; i < opts_.nx; ++i) {
+      const double u = 0.25 * std::abs(xvel0_(i, j) + xvel0_(i + 1, j) +
+                                       xvel0_(i, j + 1) + xvel0_(i + 1, j + 1));
+      const double v = 0.25 * std::abs(yvel0_(i, j) + yvel0_(i + 1, j) +
+                                       yvel0_(i, j + 1) + yvel0_(i + 1, j + 1));
+      const double qs = 2.0 * std::sqrt(viscosity_(i, j) / density0_(i, j));
+      const double signal = soundspeed_(i, j) + u + v + qs + 1e-30;
+      dt_local = std::min(dt_local, opts_.cfl * mind / signal);
+    }
+  }
+  dt_ = std::min(dt_local, opts_.dtmax);
+}
+
+void CloverRef::pdv(bool predict) {
+  const double dtc = predict ? 0.5 * dt_ : dt_;
+  const double vol = dx_ * dy_;
+  for (index_t j = 0; j < opts_.ny; ++j) {
+    for (index_t i = 0; i < opts_.nx; ++i) {
+      double left, right, bottom, top;
+      if (predict) {
+        left = 0.5 * (xvel0_(i, j) + xvel0_(i, j + 1));
+        right = 0.5 * (xvel0_(i + 1, j) + xvel0_(i + 1, j + 1));
+        bottom = 0.5 * (yvel0_(i, j) + yvel0_(i + 1, j));
+        top = 0.5 * (yvel0_(i, j + 1) + yvel0_(i + 1, j + 1));
+      } else {
+        left = 0.5 * (0.5 * (xvel0_(i, j) + xvel0_(i, j + 1)) +
+                      0.5 * (xvel1_(i, j) + xvel1_(i, j + 1)));
+        right = 0.5 * (0.5 * (xvel0_(i + 1, j) + xvel0_(i + 1, j + 1)) +
+                       0.5 * (xvel1_(i + 1, j) + xvel1_(i + 1, j + 1)));
+        bottom = 0.5 * (0.5 * (yvel0_(i, j) + yvel0_(i + 1, j)) +
+                        0.5 * (yvel1_(i, j) + yvel1_(i + 1, j)));
+        top = 0.5 * (0.5 * (yvel0_(i, j + 1) + yvel0_(i + 1, j + 1)) +
+                     0.5 * (yvel1_(i, j + 1) + yvel1_(i + 1, j + 1)));
+      }
+      const double div = ((right - left) * dy_ + (top - bottom) * dx_) * dtc;
+      density1_(i, j) = density0_(i, j) * vol / (vol + div);
+      energy1_(i, j) = energy0_(i, j) - (pressure_(i, j) + viscosity_(i, j)) *
+                                            div / (density0_(i, j) * vol);
+    }
+  }
+}
+
+void CloverRef::accelerate() {
+  const double vol = dx_ * dy_;
+  for (index_t j = 0; j < opts_.ny + 1; ++j) {
+    for (index_t i = 0; i < opts_.nx + 1; ++i) {
+      const double nodal_mass =
+          0.25 * vol *
+          (density0_(i - 1, j - 1) + density0_(i, j - 1) +
+           density0_(i - 1, j) + density0_(i, j));
+      const double stb = dt_ / nodal_mass;
+      const double px = 0.5 * dy_ *
+                        ((pressure_(i, j - 1) + pressure_(i, j)) -
+                         (pressure_(i - 1, j - 1) + pressure_(i - 1, j)));
+      const double py = 0.5 * dx_ *
+                        ((pressure_(i - 1, j) + pressure_(i, j)) -
+                         (pressure_(i - 1, j - 1) + pressure_(i, j - 1)));
+      const double qx = 0.5 * dy_ *
+                        ((viscosity_(i, j - 1) + viscosity_(i, j)) -
+                         (viscosity_(i - 1, j - 1) + viscosity_(i - 1, j)));
+      const double qy = 0.5 * dx_ *
+                        ((viscosity_(i - 1, j) + viscosity_(i, j)) -
+                         (viscosity_(i - 1, j - 1) + viscosity_(i, j - 1)));
+      xvel1_(i, j) = xvel0_(i, j) - stb * (px + qx);
+      yvel1_(i, j) = yvel0_(i, j) - stb * (py + qy);
+    }
+  }
+}
+
+void CloverRef::flux_calc() {
+  for (index_t j = 0; j < opts_.ny; ++j) {
+    for (index_t i = 0; i < opts_.nx + 1; ++i) {
+      vol_flux_x_(i, j) = 0.25 * dt_ * dy_ *
+                          (xvel0_(i, j) + xvel0_(i, j + 1) + xvel1_(i, j) +
+                           xvel1_(i, j + 1));
+    }
+  }
+  for (index_t j = 0; j < opts_.ny + 1; ++j) {
+    for (index_t i = 0; i < opts_.nx; ++i) {
+      vol_flux_y_(i, j) = 0.25 * dt_ * dx_ *
+                          (yvel0_(i, j) + yvel0_(i + 1, j) + yvel1_(i, j) +
+                           yvel1_(i + 1, j));
+    }
+  }
+}
+
+void CloverRef::advec_cell(int dir, bool first_sweep) {
+  const double vol = dx_ * dy_;
+  const index_t nx = opts_.nx, ny = opts_.ny;
+  if (dir == 0) {
+    for (index_t j = 0; j < ny; ++j) {
+      for (index_t i = 0; i < nx + 1; ++i) {
+        const double v = vol_flux_x_(i, j);
+        const double dd = v > 0.0 ? density1_(i - 1, j) : density1_(i, j);
+        const double ee = v > 0.0 ? energy1_(i - 1, j) : energy1_(i, j);
+        mass_flux_x_(i, j) = v * dd;
+        ener_flux_x_(i, j) = v * dd * ee;
+      }
+    }
+    for (index_t j = 0; j < ny; ++j) {
+      for (index_t i = 0; i < nx; ++i) {
+        const double dvx = vol_flux_x_(i + 1, j) - vol_flux_x_(i, j);
+        const double dvy = vol_flux_y_(i, j + 1) - vol_flux_y_(i, j);
+        const double pre_vol = first_sweep ? vol + dvx + dvy : vol + dvx;
+        const double post_vol = pre_vol - dvx;
+        const double pre_mass = density1_(i, j) * pre_vol;
+        const double post_mass =
+            pre_mass + mass_flux_x_(i, j) - mass_flux_x_(i + 1, j);
+        const double post_e = (energy1_(i, j) * pre_mass +
+                               ener_flux_x_(i, j) - ener_flux_x_(i + 1, j)) /
+                              post_mass;
+        density1_(i, j) = post_mass / post_vol;
+        energy1_(i, j) = post_e;
+      }
+    }
+  } else {
+    for (index_t j = 0; j < ny + 1; ++j) {
+      for (index_t i = 0; i < nx; ++i) {
+        const double v = vol_flux_y_(i, j);
+        const double dd = v > 0.0 ? density1_(i, j - 1) : density1_(i, j);
+        const double ee = v > 0.0 ? energy1_(i, j - 1) : energy1_(i, j);
+        mass_flux_y_(i, j) = v * dd;
+        ener_flux_y_(i, j) = v * dd * ee;
+      }
+    }
+    for (index_t j = 0; j < ny; ++j) {
+      for (index_t i = 0; i < nx; ++i) {
+        const double dvx = vol_flux_x_(i + 1, j) - vol_flux_x_(i, j);
+        const double dvy = vol_flux_y_(i, j + 1) - vol_flux_y_(i, j);
+        const double pre_vol = first_sweep ? vol + dvx + dvy : vol + dvy;
+        const double post_vol = pre_vol - dvy;
+        const double pre_mass = density1_(i, j) * pre_vol;
+        const double post_mass =
+            pre_mass + mass_flux_y_(i, j) - mass_flux_y_(i, j + 1);
+        const double post_e = (energy1_(i, j) * pre_mass +
+                               ener_flux_y_(i, j) - ener_flux_y_(i, j + 1)) /
+                              post_mass;
+        density1_(i, j) = post_mass / post_vol;
+        energy1_(i, j) = post_e;
+      }
+    }
+  }
+}
+
+void CloverRef::mass_flux_fixup(int dir) {
+  const index_t nx = opts_.nx, ny = opts_.ny;
+  if (dir == 0) {
+    for (index_t j = -1; j < ny + 1; ++j) {
+      mass_flux_x_(-1, j) = 0.0;
+      mass_flux_x_(nx + 1, j) = 0.0;
+    }
+    for (index_t i = 0; i < nx + 1; ++i) {
+      mass_flux_x_(i, -1) = mass_flux_x_(i, 0);
+      mass_flux_x_(i, ny) = mass_flux_x_(i, ny - 1);
+    }
+  } else {
+    for (index_t i = -1; i < nx + 1; ++i) {
+      mass_flux_y_(i, -1) = 0.0;
+      mass_flux_y_(i, ny + 1) = 0.0;
+    }
+    for (index_t j = 0; j < ny + 1; ++j) {
+      mass_flux_y_(-1, j) = mass_flux_y_(0, j);
+      mass_flux_y_(nx, j) = mass_flux_y_(nx - 1, j);
+    }
+  }
+}
+
+void CloverRef::advec_mom(int dir) {
+  const double vol = dx_ * dy_;
+  const index_t nx = opts_.nx, ny = opts_.ny;
+  Field* vels[2] = {&xvel1_, &yvel1_};
+  for (Field* velp : vels) {
+    Field& vel = *velp;
+    if (dir == 0) {
+      for (index_t j = 0; j < ny + 1; ++j) {
+        for (index_t i = 0; i < nx + 2; ++i) {
+          const double f = 0.5 * (mass_flux_x_(i, j - 1) + mass_flux_x_(i, j));
+          node_flux_(i, j) = f;
+          mom_flux_(i, j) = f * (f > 0.0 ? vel(i - 1, j) : vel(i, j));
+        }
+      }
+      for (index_t j = 0; j < ny + 1; ++j) {
+        for (index_t i = 0; i < nx + 1; ++i) {
+          const double post_mass =
+              0.25 * vol *
+              (density1_(i - 1, j - 1) + density1_(i, j - 1) +
+               density1_(i - 1, j) + density1_(i, j));
+          const double pre_mass =
+              post_mass - node_flux_(i, j) + node_flux_(i + 1, j);
+          vel(i, j) = (vel(i, j) * pre_mass + mom_flux_(i, j) -
+                       mom_flux_(i + 1, j)) /
+                      post_mass;
+        }
+      }
+    } else {
+      for (index_t j = 0; j < ny + 2; ++j) {
+        for (index_t i = 0; i < nx + 1; ++i) {
+          const double f = 0.5 * (mass_flux_y_(i - 1, j) + mass_flux_y_(i, j));
+          node_flux_(i, j) = f;
+          mom_flux_(i, j) = f * (f > 0.0 ? vel(i, j - 1) : vel(i, j));
+        }
+      }
+      for (index_t j = 0; j < ny + 1; ++j) {
+        for (index_t i = 0; i < nx + 1; ++i) {
+          const double post_mass =
+              0.25 * vol *
+              (density1_(i - 1, j - 1) + density1_(i, j - 1) +
+               density1_(i - 1, j) + density1_(i, j));
+          const double pre_mass =
+              post_mass - node_flux_(i, j) + node_flux_(i, j + 1);
+          vel(i, j) = (vel(i, j) * pre_mass + mom_flux_(i, j) -
+                       mom_flux_(i, j + 1)) /
+                      post_mass;
+        }
+      }
+    }
+  }
+}
+
+void CloverRef::reset_field() {
+  for (index_t j = 0; j < opts_.ny; ++j) {
+    for (index_t i = 0; i < opts_.nx; ++i) {
+      density0_(i, j) = density1_(i, j);
+      energy0_(i, j) = energy1_(i, j);
+    }
+  }
+  for (index_t j = 0; j < opts_.ny + 1; ++j) {
+    for (index_t i = 0; i < opts_.nx + 1; ++i) {
+      xvel0_(i, j) = xvel1_(i, j);
+      yvel0_(i, j) = yvel1_(i, j);
+    }
+  }
+}
+
+void CloverRef::update_halo_cells() {
+  const index_t nx = opts_.nx, ny = opts_.ny;
+  Field* fields[6] = {&density0_, &density1_, &energy0_,
+                      &energy1_,  &pressure_, &viscosity_};
+  for (Field* fp : fields) {
+    Field& f = *fp;
+    for (index_t j = 0; j < ny; ++j) {
+      f(-1, j) = f(0, j);
+      f(-2, j) = f(1, j);
+      f(nx, j) = f(nx - 1, j);
+      f(nx + 1, j) = f(nx - 2, j);
+    }
+    for (index_t i = -2; i < nx + 2; ++i) {
+      f(i, -1) = f(i, 0);
+      f(i, -2) = f(i, 1);
+      f(i, ny) = f(i, ny - 1);
+      f(i, ny + 1) = f(i, ny - 2);
+    }
+  }
+}
+
+void CloverRef::update_halo_velocities() {
+  const index_t nx = opts_.nx, ny = opts_.ny;
+  for (index_t j = 0; j < ny + 1; ++j) {
+    xvel1_(0, j) = 0.0;
+    xvel1_(nx, j) = 0.0;
+  }
+  for (index_t i = 0; i < nx + 1; ++i) {
+    yvel1_(i, 0) = 0.0;
+    yvel1_(i, ny) = 0.0;
+  }
+  Field* vels[2] = {&xvel1_, &yvel1_};
+  for (int comp = 0; comp < 2; ++comp) {
+    Field& v = *vels[comp];
+    const double sx = comp == 0 ? -1.0 : 1.0;
+    const double sy = comp == 1 ? -1.0 : 1.0;
+    for (index_t j = 0; j < ny + 1; ++j) {
+      v(-1, j) = sx * v(1, j);
+      v(-2, j) = sx * v(2, j);
+      v(nx + 1, j) = sx * v(nx - 1, j);
+      v(nx + 2, j) = sx * v(nx - 2, j);
+    }
+    for (index_t i = -2; i < nx + 3; ++i) {
+      v(i, -1) = sy * v(i, 1);
+      v(i, -2) = sy * v(i, 2);
+      v(i, ny + 1) = sy * v(i, ny - 1);
+      v(i, ny + 2) = sy * v(i, ny - 2);
+    }
+  }
+}
+
+void CloverRef::step() {
+  ideal_gas(false);
+  update_halo_cells();
+  viscosity_kernel();
+  update_halo_cells();
+  calc_dt();
+  pdv(true);
+  ideal_gas(true);
+  update_halo_cells();
+  accelerate();
+  update_halo_velocities();
+  pdv(false);
+  flux_calc();
+  update_halo_cells();
+
+  const bool x_first = (step_ % 2) == 0;
+  if (x_first) {
+    advec_cell(0, true);
+    update_halo_cells();
+    mass_flux_fixup(0);
+    advec_mom(0);
+    advec_cell(1, false);
+    update_halo_cells();
+    mass_flux_fixup(1);
+    advec_mom(1);
+  } else {
+    advec_cell(1, true);
+    update_halo_cells();
+    mass_flux_fixup(1);
+    advec_mom(1);
+    advec_cell(0, false);
+    update_halo_cells();
+    mass_flux_fixup(0);
+    advec_mom(0);
+  }
+  update_halo_velocities();
+  reset_field();
+  ++step_;
+}
+
+void CloverRef::run(int steps) {
+  for (int s = 0; s < steps; ++s) step();
+}
+
+FieldSummary CloverRef::field_summary() const {
+  const double vol = dx_ * dy_;
+  FieldSummary out;
+  for (index_t j = 0; j < opts_.ny; ++j) {
+    for (index_t i = 0; i < opts_.nx; ++i) {
+      const double u = 0.25 * (xvel0_(i, j) + xvel0_(i + 1, j) +
+                               xvel0_(i, j + 1) + xvel0_(i + 1, j + 1));
+      const double v = 0.25 * (yvel0_(i, j) + yvel0_(i + 1, j) +
+                               yvel0_(i, j + 1) + yvel0_(i + 1, j + 1));
+      out.volume += vol;
+      out.mass += density0_(i, j) * vol;
+      out.internal_energy += density0_(i, j) * energy0_(i, j) * vol;
+      out.kinetic_energy += 0.5 * density0_(i, j) * vol * (u * u + v * v);
+      out.pressure += pressure_(i, j) * vol;
+    }
+  }
+  out.dt = dt_;
+  return out;
+}
+
+std::vector<double> CloverRef::density() const {
+  std::vector<double> out;
+  for (index_t j = 0; j < opts_.ny; ++j) {
+    for (index_t i = 0; i < opts_.nx; ++i) out.push_back(density0_(i, j));
+  }
+  return out;
+}
+
+std::vector<double> CloverRef::velocity_x() const {
+  std::vector<double> out;
+  for (index_t j = 0; j <= opts_.ny; ++j) {
+    for (index_t i = 0; i <= opts_.nx; ++i) out.push_back(xvel0_(i, j));
+  }
+  return out;
+}
+
+}  // namespace cloverleaf

@@ -1,0 +1,44 @@
+// Problem definition shared by both CloverLeaf implementations.
+//
+// CloverLeaf solves the compressible Euler equations with an explicit
+// second-order predictor/corrector Lagrangian step followed by an
+// advective (directionally split, donor-cell) remap on a staggered grid:
+// density/energy/pressure at cell centres, velocities at nodes. The
+// standard input deck is a box with an ambient state and an energetic
+// region in one corner whose expansion drives the flow.
+#pragma once
+
+#include <cstdint>
+
+namespace cloverleaf {
+
+using index_t = std::int32_t;
+
+struct Options {
+  index_t nx = 48;         ///< cells in x
+  index_t ny = 48;         ///< cells in y
+  double xmax = 10.0;      ///< box extent (square cells: ymax = xmax*ny/nx)
+  double gamma = 1.4;
+  double cfl = 0.5;
+  double dtinit = 0.04;
+  double dtmax = 0.04;
+  // State 1 (ambient) and state 2 (energetic corner region).
+  double rho_ambient = 0.2;
+  double e_ambient = 1.0;
+  double rho_state2 = 1.0;
+  double e_state2 = 2.5;
+  double state2_xfrac = 0.5;  ///< region: x < xmax*xfrac, y < ymax*yfrac
+  double state2_yfrac = 0.2;
+};
+
+/// The Fig. 5 / field_summary observables both implementations report.
+struct FieldSummary {
+  double volume = 0;
+  double mass = 0;
+  double internal_energy = 0;
+  double kinetic_energy = 0;
+  double pressure = 0;
+  double dt = 0;  ///< last computed timestep
+};
+
+}  // namespace cloverleaf

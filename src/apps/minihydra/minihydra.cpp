@@ -1,0 +1,349 @@
+#include "minihydra/minihydra.hpp"
+
+#include <cmath>
+
+namespace minihydra {
+
+using op2::Access;
+
+namespace {
+// Scheme coefficients (diffusion-dominated pseudo-RANS: the iteration
+// contracts towards a smooth state, giving a clean convergence test).
+constexpr double kConv = 0.15;   // convective-like coupling
+constexpr double kVisc = 0.08;   // viscous coupling
+constexpr double kTurb = 0.05;   // turbulence source strength
+constexpr double kSigma = 0.35;  // pseudo-timestep factor
+
+std::vector<double> initial_q(const Mesh& mesh) {
+  std::vector<double> q(static_cast<std::size_t>(mesh.ncell) * kVars);
+  for (index_t c = 0; c < mesh.ncell; ++c) {
+    // Perturbed free stream; turbulence variables positive.
+    const double s = 0.1 * std::sin(0.37 * c) * std::cos(0.11 * c);
+    double* p = q.data() + static_cast<std::size_t>(c) * kVars;
+    p[0] = 1.0 + s;
+    p[1] = 0.4 + 0.5 * s;
+    p[2] = 0.05 * s;
+    p[3] = 2.5 + s;
+    p[4] = 0.1 + 0.02 * std::abs(s);
+    p[5] = 1.0 + 0.1 * s;
+    p[6] = 0.01;
+  }
+  return q;
+}
+}  // namespace
+
+MiniHydra::MiniHydra(const Options& opts)
+    : mesh_(airfoil::make_bump_channel(opts.nx, opts.ny, opts.bump)),
+      rk_stages_(opts.rk_stages) {
+  cells_ = &ctx_.decl_set(mesh_.ncell, "cells");
+  nodes_ = &ctx_.decl_set(mesh_.nnode, "nodes");
+  edges_ = &ctx_.decl_set(mesh_.nedge, "edges");
+  bedges_ = &ctx_.decl_set(mesh_.nbedge, "bedges");
+  cell2node_ = &ctx_.decl_map(*cells_, *nodes_, 4, mesh_.cell2node, "pcell");
+  edge2node_ = &ctx_.decl_map(*edges_, *nodes_, 2, mesh_.edge2node, "pedge");
+  edge2cell_ = &ctx_.decl_map(*edges_, *cells_, 2, mesh_.edge2cell, "pecell");
+  bedge2cell_ =
+      &ctx_.decl_map(*bedges_, *cells_, 1, mesh_.bedge2cell, "pbecell");
+  x_ = &ctx_.decl_dat<double>(*nodes_, 2, mesh_.x, "x");
+  q_ = &ctx_.decl_dat<double>(*cells_, kVars, initial_q(mesh_), "q");
+  qold_ = &ctx_.decl_dat<double>(*cells_, kVars, std::span<const double>{},
+                                 "qold");
+  grad_ = &ctx_.decl_dat<double>(*cells_, kGrads, std::span<const double>{},
+                                 "grad");
+  adt_ = &ctx_.decl_dat<double>(*cells_, 1, std::span<const double>{}, "adt");
+  res_ = &ctx_.decl_dat<double>(*cells_, kVars, std::span<const double>{},
+                                "res");
+  bound_ = &ctx_.decl_dat<index_t>(*bedges_, 1, mesh_.bound, "bound");
+
+  ctx_.hint_flops("mh_grad", 40.0);
+  ctx_.hint_flops("mh_adt", 60.0);
+  ctx_.hint_flops("mh_flux", 160.0);
+  ctx_.hint_flops("mh_vflux", 90.0);
+  ctx_.hint_flops("mh_bflux", 40.0);
+  ctx_.hint_flops("mh_turb", 30.0);
+  ctx_.hint_flops("mh_update", 30.0);
+}
+
+void MiniHydra::enable_distributed(int nranks,
+                                   apl::graph::PartitionMethod method,
+                                   op2::Backend node_backend) {
+  dist_ = std::make_unique<op2::Distributed>(ctx_, nranks, method, *cells_);
+  dist_->set_node_backend(node_backend);
+}
+
+void MiniHydra::renumber() {
+  op2::renumber_mesh(ctx_, *edge2cell_);
+}
+
+double MiniHydra::iteration() {
+  double rms = 0.0;
+
+  loop("mh_save", *cells_,
+       [](op2::Acc<double> q, op2::Acc<double> qo) {
+         for (int v = 0; v < kVars; ++v) qo[v] = q[v];
+       },
+       op2::arg(*q_, Access::kRead), op2::arg(*qold_, Access::kWrite));
+
+  loop("mh_grad_zero", *cells_,
+       [](op2::Acc<double> g) {
+         for (int v = 0; v < kGrads; ++v) g[v] = 0.0;
+       },
+       op2::arg(*grad_, Access::kWrite));
+
+  loop("mh_grad", *edges_,
+       [](op2::Acc<double> xa, op2::Acc<double> xb, op2::Acc<double> q1,
+          op2::Acc<double> q2, op2::Acc<double> g1, op2::Acc<double> g2) {
+         const double ex = xa[0] - xb[0];
+         const double ey = xa[1] - xb[1];
+         for (int v = 0; v < 4; ++v) {
+           const double dq = q2[v] - q1[v];
+           g1[2 * v] += dq * ex;
+           g1[2 * v + 1] += dq * ey;
+           g2[2 * v] += dq * ex;
+           g2[2 * v + 1] += dq * ey;
+         }
+       },
+       op2::arg(*x_, *edge2node_, 0, Access::kRead),
+       op2::arg(*x_, *edge2node_, 1, Access::kRead),
+       op2::arg(*q_, *edge2cell_, 0, Access::kRead),
+       op2::arg(*q_, *edge2cell_, 1, Access::kRead),
+       op2::arg(*grad_, *edge2cell_, 0, Access::kInc),
+       op2::arg(*grad_, *edge2cell_, 1, Access::kInc));
+
+  for (int stage = 0; stage < rk_stages_; ++stage) {
+    loop("mh_adt", *cells_,
+         [](op2::Acc<double> x1, op2::Acc<double> x2, op2::Acc<double> x3,
+            op2::Acc<double> x4, op2::Acc<double> q, op2::Acc<double> adt) {
+           const double per =
+               std::abs(x2[0] - x1[0]) + std::abs(x3[1] - x2[1]) +
+               std::abs(x4[0] - x3[0]) + std::abs(x1[1] - x4[1]);
+           const double speed =
+               std::sqrt(q[1] * q[1] + q[2] * q[2]) / q[0] +
+               std::sqrt(1.4 * 0.4 * std::abs(q[3] / q[0]));
+           adt[0] = 1.0 + per * speed;
+         },
+         op2::arg(*x_, *cell2node_, 0, Access::kRead),
+         op2::arg(*x_, *cell2node_, 1, Access::kRead),
+         op2::arg(*x_, *cell2node_, 2, Access::kRead),
+         op2::arg(*x_, *cell2node_, 3, Access::kRead),
+         op2::arg(*q_, Access::kRead), op2::arg(*adt_, Access::kWrite));
+
+    loop("mh_flux", *edges_,
+         [](op2::Acc<double> xa, op2::Acc<double> xb, op2::Acc<double> q1,
+            op2::Acc<double> q2, op2::Acc<double> g1, op2::Acc<double> g2,
+            op2::Acc<double> a1, op2::Acc<double> a2, op2::Acc<double> r1,
+            op2::Acc<double> r2) {
+           const double ex = xa[0] - xb[0];
+           const double ey = xa[1] - xb[1];
+           const double w = 1.0 / (0.5 * (a1[0] + a2[0]));
+           for (int v = 0; v < kVars; ++v) {
+             double f = kConv * (q1[v] - q2[v]) * w;
+             if (v < 4) {
+               // Gradient reconstruction along the edge.
+               const double gavg_x = 0.5 * (g1[2 * v] + g2[2 * v]);
+               const double gavg_y = 0.5 * (g1[2 * v + 1] + g2[2 * v + 1]);
+               f += 0.05 * kConv * (gavg_x * ex + gavg_y * ey);
+             }
+             r1[v] += f;
+             r2[v] -= f;
+           }
+         },
+         op2::arg(*x_, *edge2node_, 0, Access::kRead),
+         op2::arg(*x_, *edge2node_, 1, Access::kRead),
+         op2::arg(*q_, *edge2cell_, 0, Access::kRead),
+         op2::arg(*q_, *edge2cell_, 1, Access::kRead),
+         op2::arg(*grad_, *edge2cell_, 0, Access::kRead),
+         op2::arg(*grad_, *edge2cell_, 1, Access::kRead),
+         op2::arg(*adt_, *edge2cell_, 0, Access::kRead),
+         op2::arg(*adt_, *edge2cell_, 1, Access::kRead),
+         op2::arg(*res_, *edge2cell_, 0, Access::kInc),
+         op2::arg(*res_, *edge2cell_, 1, Access::kInc));
+
+    loop("mh_vflux", *edges_,
+         [](op2::Acc<double> q1, op2::Acc<double> q2, op2::Acc<double> r1,
+            op2::Acc<double> r2) {
+           const double nu = kVisc + 0.5 * (q1[6] + q2[6]);
+           for (int v = 0; v < kVars; ++v) {
+             const double f = nu * (q1[v] - q2[v]);
+             r1[v] += f;
+             r2[v] -= f;
+           }
+         },
+         op2::arg(*q_, *edge2cell_, 0, Access::kRead),
+         op2::arg(*q_, *edge2cell_, 1, Access::kRead),
+         op2::arg(*res_, *edge2cell_, 0, Access::kInc),
+         op2::arg(*res_, *edge2cell_, 1, Access::kInc));
+
+    loop("mh_bflux", *bedges_,
+         [](op2::Acc<double> q1, op2::Acc<index_t> bound,
+            op2::Acc<double> r1) {
+           // Walls damp momentum, far field damps all deviations from the
+           // free stream target.
+           if (bound[0] == airfoil::kBoundWall) {
+             r1[1] += 0.1 * q1[2];
+             r1[2] += 0.1 * q1[2];
+           } else {
+             r1[0] += 0.05 * (q1[0] - 1.0);
+             r1[3] += 0.05 * (q1[3] - 2.5);
+           }
+         },
+         op2::arg(*q_, *bedge2cell_, 0, Access::kRead),
+         op2::arg(*bound_, Access::kRead),
+         op2::arg(*res_, *bedge2cell_, 0, Access::kInc));
+
+    loop("mh_turb", *cells_,
+         [](op2::Acc<double> q, op2::Acc<double> r) {
+           const double prod = kTurb * q[4] * q[5];
+           const double diss = kTurb * q[4] * q[4];
+           r[4] += diss - prod * 0.5;
+           r[5] += 0.5 * kTurb * (q[5] - 1.0);
+           r[6] += 10.0 * (q[6] - 0.1 * q[4] / std::max(q[5], 1e-6));
+         },
+         op2::arg(*q_, Access::kRead), op2::arg(*res_, Access::kInc));
+
+    double stage_rms = 0.0;
+    const double alpha = kSigma / (rk_stages_ - stage);
+    loop("mh_update", *cells_,
+         [alpha](op2::Acc<double> qo, op2::Acc<double> adt,
+                 op2::Acc<double> r, op2::Acc<double> q,
+                 op2::Acc<double> rms) {
+           const double s = alpha / adt[0];
+           for (int v = 0; v < kVars; ++v) {
+             const double del = s * r[v];
+             q[v] = qo[v] - del;
+             rms[0] += del * del;
+             r[v] = 0.0;
+           }
+         },
+         op2::arg(*qold_, Access::kRead), op2::arg(*adt_, Access::kRead),
+         op2::arg(*res_, Access::kRW), op2::arg(*q_, Access::kWrite),
+         op2::arg_gbl(&stage_rms, 1, Access::kInc));
+    rms = stage_rms;
+  }
+  return std::sqrt(rms / mesh_.ncell);
+}
+
+double MiniHydra::run(int iters) {
+  double rms = 0.0;
+  for (int i = 0; i < iters; ++i) rms = iteration();
+  return rms;
+}
+
+std::vector<double> MiniHydra::solution() {
+  if (dist_) dist_->fetch(*q_);
+  return q_->to_vector();
+}
+
+// ---------------------------------------------------------------------------
+// Hand-written "Original": the identical iteration on plain arrays.
+// ---------------------------------------------------------------------------
+
+double run_original(const MiniHydra::Options& opts, int iters,
+                    std::vector<double>* q_out) {
+  const Mesh mesh = airfoil::make_bump_channel(opts.nx, opts.ny, opts.bump);
+  std::vector<double> q = initial_q(mesh);
+  std::vector<double> qold(q.size());
+  std::vector<double> grad(static_cast<std::size_t>(mesh.ncell) * kGrads);
+  std::vector<double> adt(mesh.ncell);
+  std::vector<double> res(q.size(), 0.0);
+
+  double rms = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    qold = q;
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (index_t e = 0; e < mesh.nedge; ++e) {
+      const index_t na = mesh.edge2node[2 * e];
+      const index_t nb = mesh.edge2node[2 * e + 1];
+      const index_t c1 = mesh.edge2cell[2 * e];
+      const index_t c2 = mesh.edge2cell[2 * e + 1];
+      const double ex = mesh.x[2 * na] - mesh.x[2 * nb];
+      const double ey = mesh.x[2 * na + 1] - mesh.x[2 * nb + 1];
+      for (int v = 0; v < 4; ++v) {
+        const double dq = q[c2 * kVars + v] - q[c1 * kVars + v];
+        grad[c1 * kGrads + 2 * v] += dq * ex;
+        grad[c1 * kGrads + 2 * v + 1] += dq * ey;
+        grad[c2 * kGrads + 2 * v] += dq * ex;
+        grad[c2 * kGrads + 2 * v + 1] += dq * ey;
+      }
+    }
+    for (int stage = 0; stage < opts.rk_stages; ++stage) {
+      for (index_t c = 0; c < mesh.ncell; ++c) {
+        const index_t* n = &mesh.cell2node[static_cast<std::size_t>(c) * 4];
+        const double per = std::abs(mesh.x[2 * n[1]] - mesh.x[2 * n[0]]) +
+                           std::abs(mesh.x[2 * n[2] + 1] - mesh.x[2 * n[1] + 1]) +
+                           std::abs(mesh.x[2 * n[3]] - mesh.x[2 * n[2]]) +
+                           std::abs(mesh.x[2 * n[0] + 1] - mesh.x[2 * n[3] + 1]);
+        const double* qc = &q[static_cast<std::size_t>(c) * kVars];
+        const double speed = std::sqrt(qc[1] * qc[1] + qc[2] * qc[2]) / qc[0] +
+                             std::sqrt(1.4 * 0.4 * std::abs(qc[3] / qc[0]));
+        adt[c] = 1.0 + per * speed;
+      }
+      for (index_t e = 0; e < mesh.nedge; ++e) {
+        const index_t na = mesh.edge2node[2 * e];
+        const index_t nb = mesh.edge2node[2 * e + 1];
+        const index_t c1 = mesh.edge2cell[2 * e];
+        const index_t c2 = mesh.edge2cell[2 * e + 1];
+        const double ex = mesh.x[2 * na] - mesh.x[2 * nb];
+        const double ey = mesh.x[2 * na + 1] - mesh.x[2 * nb + 1];
+        const double w = 1.0 / (0.5 * (adt[c1] + adt[c2]));
+        for (int v = 0; v < kVars; ++v) {
+          double f = kConv * (q[c1 * kVars + v] - q[c2 * kVars + v]) * w;
+          if (v < 4) {
+            const double gx = 0.5 * (grad[c1 * kGrads + 2 * v] +
+                                     grad[c2 * kGrads + 2 * v]);
+            const double gy = 0.5 * (grad[c1 * kGrads + 2 * v + 1] +
+                                     grad[c2 * kGrads + 2 * v + 1]);
+            f += 0.05 * kConv * (gx * ex + gy * ey);
+          }
+          res[c1 * kVars + v] += f;
+          res[c2 * kVars + v] -= f;
+        }
+      }
+      for (index_t e = 0; e < mesh.nedge; ++e) {
+        const index_t c1 = mesh.edge2cell[2 * e];
+        const index_t c2 = mesh.edge2cell[2 * e + 1];
+        const double nu = kVisc + 0.5 * (q[c1 * kVars + 6] + q[c2 * kVars + 6]);
+        for (int v = 0; v < kVars; ++v) {
+          const double f = nu * (q[c1 * kVars + v] - q[c2 * kVars + v]);
+          res[c1 * kVars + v] += f;
+          res[c2 * kVars + v] -= f;
+        }
+      }
+      for (index_t b = 0; b < mesh.nbedge; ++b) {
+        const index_t c1 = mesh.bedge2cell[b];
+        if (mesh.bound[b] == airfoil::kBoundWall) {
+          res[c1 * kVars + 1] += 0.1 * q[c1 * kVars + 2];
+          res[c1 * kVars + 2] += 0.1 * q[c1 * kVars + 2];
+        } else {
+          res[c1 * kVars + 0] += 0.05 * (q[c1 * kVars + 0] - 1.0);
+          res[c1 * kVars + 3] += 0.05 * (q[c1 * kVars + 3] - 2.5);
+        }
+      }
+      for (index_t c = 0; c < mesh.ncell; ++c) {
+        double* qc = &q[static_cast<std::size_t>(c) * kVars];
+        double* rc = &res[static_cast<std::size_t>(c) * kVars];
+        const double prod = kTurb * qc[4] * qc[5];
+        const double diss = kTurb * qc[4] * qc[4];
+        rc[4] += diss - prod * 0.5;
+        rc[5] += 0.5 * kTurb * (qc[5] - 1.0);
+        rc[6] += 10.0 * (qc[6] - 0.1 * qc[4] / std::max(qc[5], 1e-6));
+      }
+      double stage_rms = 0.0;
+      const double alpha = kSigma / (opts.rk_stages - stage);
+      for (index_t c = 0; c < mesh.ncell; ++c) {
+        const double s = alpha / adt[c];
+        for (int v = 0; v < kVars; ++v) {
+          const double del = s * res[c * kVars + v];
+          q[c * kVars + v] = qold[c * kVars + v] - del;
+          stage_rms += del * del;
+          res[c * kVars + v] = 0.0;
+        }
+      }
+      rms = stage_rms;
+    }
+  }
+  if (q_out) *q_out = q;
+  return std::sqrt(rms / mesh.ncell);
+}
+
+}  // namespace minihydra

@@ -1,0 +1,108 @@
+#include "apl/graph/coloring.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "apl/error.hpp"
+
+namespace apl::graph {
+
+Coloring greedy_color(const Csr& conflicts) {
+  const index_t n = conflicts.num_vertices();
+  Coloring out;
+  out.color.assign(n, -1);
+  std::vector<char> used;  // used[c] set if a neighbour has color c
+  for (index_t v = 0; v < n; ++v) {
+    used.assign(static_cast<std::size_t>(out.num_colors) + 1, 0);
+    for (index_t u : conflicts.neighbours(v)) {
+      const index_t c = out.color[u];
+      if (c >= 0) used[c] = 1;
+    }
+    index_t c = 0;
+    while (used[c]) ++c;
+    out.color[v] = c;
+    out.num_colors = std::max(out.num_colors, static_cast<index_t>(c + 1));
+  }
+  return out;
+}
+
+Coloring color_by_shared_resources(std::span<const index_t> resources,
+                                   index_t arity, index_t num_items,
+                                   index_t num_resources) {
+  require(arity > 0, "color_by_shared_resources: arity must be positive");
+  require(static_cast<std::size_t>(num_items) * arity == resources.size(),
+          "color_by_shared_resources: table size mismatch");
+  Coloring out;
+  out.color.assign(num_items, -1);
+  // last_color[r]: bitmask of colors already claimed on resource r for the
+  // current sweep. OP2 uses the same iterative word-of-colors scheme; 64
+  // colors per sweep is far more than real meshes need, so in practice this
+  // is a single pass.
+  std::vector<std::uint64_t> claimed(num_resources, 0);
+  index_t uncolored = num_items;
+  index_t base = 0;  // color offset of the current 64-color sweep
+  while (uncolored > 0) {
+    index_t progressed = 0;
+    for (index_t i = 0; i < num_items; ++i) {
+      if (out.color[i] >= 0) continue;
+      std::uint64_t mask = 0;
+      for (index_t k = 0; k < arity; ++k) {
+        const index_t r = resources[static_cast<std::size_t>(i) * arity + k];
+        if (r < 0) continue;
+        require(r < num_resources, "resource index out of range");
+        mask |= claimed[r];
+      }
+      if (~mask == 0) continue;  // all 64 sweep colors conflict; next sweep
+      const int c = std::countr_one(mask);
+      for (index_t k = 0; k < arity; ++k) {
+        const index_t r = resources[static_cast<std::size_t>(i) * arity + k];
+        if (r >= 0) claimed[r] |= (std::uint64_t{1} << c);
+      }
+      out.color[i] = base + c;
+      out.num_colors = std::max(out.num_colors,
+                                static_cast<index_t>(base + c + 1));
+      ++progressed;
+    }
+    uncolored -= progressed;
+    if (uncolored > 0) {
+      APL_ASSERT(progressed > 0 || base < (1 << 20),
+                 "coloring failed to make progress");
+      std::fill(claimed.begin(), claimed.end(), 0);
+      base += 64;
+    }
+  }
+  return out;
+}
+
+std::int64_t count_conflicts(const Coloring& c,
+                             std::span<const index_t> resources,
+                             index_t arity, index_t num_resources) {
+  const index_t num_items = static_cast<index_t>(c.color.size());
+  // Exact check: group the (item, color) touches per resource, then count,
+  // within each resource, touches by distinct items that share a color.
+  std::vector<std::vector<std::pair<index_t, index_t>>> touches(
+      static_cast<std::size_t>(num_resources));  // (color, item)
+  for (index_t i = 0; i < num_items; ++i) {
+    for (index_t k = 0; k < arity; ++k) {
+      const index_t r = resources[static_cast<std::size_t>(i) * arity + k];
+      if (r < 0) continue;
+      auto& row = touches[r];
+      // An item touching the same resource twice is not a race with itself.
+      if (!row.empty() && row.back().second == i) continue;
+      row.emplace_back(c.color[i], i);
+    }
+  }
+  std::int64_t violations = 0;
+  for (auto& row : touches) {
+    std::sort(row.begin(), row.end());
+    for (std::size_t j = 1; j < row.size(); ++j) {
+      if (row[j].first == row[j - 1].first &&
+          row[j].second != row[j - 1].second) {
+        ++violations;
+      }
+    }
+  }
+  return violations;
+}
+
+}  // namespace apl::graph

@@ -1,0 +1,81 @@
+#include "apl/graph/csr.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "apl/error.hpp"
+
+namespace apl::graph {
+
+index_t Csr::max_degree() const {
+  index_t best = 0;
+  for (index_t v = 0; v < num_vertices(); ++v) {
+    best = std::max(best, static_cast<index_t>(offsets[v + 1] - offsets[v]));
+  }
+  return best;
+}
+
+Csr invert_map(std::span<const index_t> map, index_t arity,
+               index_t num_sources, index_t num_targets) {
+  require(arity > 0, "invert_map: arity must be positive");
+  require(static_cast<std::size_t>(num_sources) * arity == map.size(),
+          "invert_map: map size ", map.size(), " != sources ", num_sources,
+          " * arity ", arity);
+  Csr out;
+  out.offsets.assign(static_cast<std::size_t>(num_targets) + 1, 0);
+  for (index_t t : map) {
+    require(t >= 0 && t < num_targets, "invert_map: index ", t,
+            " out of range [0, ", num_targets, ")");
+    ++out.offsets[static_cast<std::size_t>(t) + 1];
+  }
+  for (std::size_t v = 0; v < static_cast<std::size_t>(num_targets); ++v) {
+    out.offsets[v + 1] += out.offsets[v];
+  }
+  out.adj.resize(map.size());
+  std::vector<index_t> cursor(out.offsets.begin(), out.offsets.end() - 1);
+  for (index_t s = 0; s < num_sources; ++s) {
+    for (index_t k = 0; k < arity; ++k) {
+      const index_t t = map[static_cast<std::size_t>(s) * arity + k];
+      out.adj[cursor[t]++] = s;
+    }
+  }
+  return out;
+}
+
+Csr node_adjacency(std::span<const index_t> map, index_t arity,
+                   index_t num_sources, index_t num_targets) {
+  const Csr inv = invert_map(map, arity, num_sources, num_targets);
+  Csr out;
+  out.offsets.assign(static_cast<std::size_t>(num_targets) + 1, 0);
+  std::vector<index_t> row;
+  // Two passes (count, fill) would re-do the merge work; a single pass with
+  // a growing adj vector is fine at these sizes.
+  out.adj.reserve(map.size() * 2);
+  for (index_t v = 0; v < num_targets; ++v) {
+    row.clear();
+    for (index_t s : inv.neighbours(v)) {
+      for (index_t k = 0; k < arity; ++k) {
+        const index_t u = map[static_cast<std::size_t>(s) * arity + k];
+        if (u != v) row.push_back(u);
+      }
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    out.adj.insert(out.adj.end(), row.begin(), row.end());
+    out.offsets[static_cast<std::size_t>(v) + 1] =
+        static_cast<index_t>(out.adj.size());
+  }
+  return out;
+}
+
+index_t bandwidth(const Csr& g) {
+  index_t bw = 0;
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    for (index_t u : g.neighbours(v)) {
+      bw = std::max(bw, static_cast<index_t>(std::abs(u - v)));
+    }
+  }
+  return bw;
+}
+
+}  // namespace apl::graph

@@ -1,0 +1,54 @@
+// Compressed-sparse-row adjacency structures.
+//
+// OP2's run-time machinery (coloring plans, renumbering, partitioning)
+// all operates on adjacency derived from the user's mappings. A mapping
+// from set A to set B with arity k is a dense |A| x k index table; this
+// header builds the derived graphs those algorithms need:
+//   - element conflict graphs (two A-elements conflict if they touch the
+//     same B-element through the map) for coloring,
+//   - node adjacency (two B-elements are adjacent if some A-element maps
+//     to both) for RCM renumbering and partitioning.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace apl::graph {
+
+using index_t = std::int32_t;
+
+/// CSR graph: neighbours of vertex v are adj[offsets[v] .. offsets[v+1]).
+struct Csr {
+  std::vector<index_t> offsets;  ///< size n+1
+  std::vector<index_t> adj;
+
+  index_t num_vertices() const {
+    return static_cast<index_t>(offsets.empty() ? 0 : offsets.size() - 1);
+  }
+  std::span<const index_t> neighbours(index_t v) const {
+    return {adj.data() + offsets[v],
+            static_cast<std::size_t>(offsets[v + 1] - offsets[v])};
+  }
+  /// Max |row|, i.e. the max vertex degree.
+  index_t max_degree() const;
+};
+
+/// Builds the inverse of a map: for each of `num_targets` target elements,
+/// the list of (source element) indices that reference it. `map` is the
+/// dense |sources| x arity table.
+Csr invert_map(std::span<const index_t> map, index_t arity,
+               index_t num_sources, index_t num_targets);
+
+/// Node adjacency induced by a map: target elements u != v are adjacent iff
+/// some source element maps to both (e.g. vertices joined by an edge when
+/// the map is edge->vertex). Rows are sorted and deduplicated.
+Csr node_adjacency(std::span<const index_t> map, index_t arity,
+                   index_t num_sources, index_t num_targets);
+
+/// Undirected graph bandwidth: max |u - v| over all adjacent pairs.
+/// RCM renumbering exists to shrink this.
+index_t bandwidth(const Csr& g);
+
+}  // namespace apl::graph

@@ -1,0 +1,49 @@
+// Mesh partitioning for the (simulated) distributed-memory backend.
+//
+// The paper credits "state-of-the-art partitioners, such as PT-Scotch or
+// ParMetis" for part of OP2's single-node gain over the original Hydra and
+// for scalable halo volumes at scale. We provide three partitioners with
+// the same interface so the ablation bench can compare them:
+//   - block:  naive contiguous split (what a code gets with no partitioner),
+//   - rcb:    recursive coordinate bisection on node coordinates,
+//   - kway:   greedy graph-growing k-way partitioning with boundary
+//             refinement (the PT-Scotch/ParMetis stand-in).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "apl/graph/csr.hpp"
+
+namespace apl::graph {
+
+enum class PartitionMethod { kBlock, kRcb, kKway };
+
+/// part[v] in [0, num_parts) for every vertex.
+struct Partition {
+  std::vector<index_t> part;
+  index_t num_parts = 0;
+};
+
+/// Quality metrics the ablation bench reports.
+struct PartitionQuality {
+  std::int64_t edge_cut = 0;   ///< edges crossing parts (each counted once)
+  double imbalance = 0.0;      ///< max part size / ideal part size
+  std::int64_t halo_volume = 0;///< total #vertices adjacent to another part
+};
+
+/// Contiguous block split by vertex index.
+Partition partition_block(index_t num_vertices, index_t num_parts);
+
+/// Recursive coordinate bisection. `coords` is num_vertices x dim (AoS).
+Partition partition_rcb(std::span<const double> coords, index_t dim,
+                        index_t num_vertices, index_t num_parts);
+
+/// Greedy graph-growing k-way partitioning over adjacency `g`, followed by
+/// a boundary Kernighan–Lin-style refinement pass to reduce edge cut.
+Partition partition_kway(const Csr& g, index_t num_parts);
+
+/// Computes cut/imbalance/halo metrics of a partition w.r.t. adjacency `g`.
+PartitionQuality evaluate_partition(const Csr& g, const Partition& p);
+
+}  // namespace apl::graph

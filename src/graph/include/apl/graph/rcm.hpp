@@ -1,0 +1,27 @@
+// Reverse Cuthill–McKee renumbering.
+//
+// OP2 reorders mesh entities to improve locality of indirect accesses
+// (Sec. IV: "automatic mesh reordering to improve locality ... leads to a
+// 30% performance improvement" together with better partitioning). RCM on
+// the map-induced node adjacency is the classic bandwidth-reducing ordering
+// the library applies.
+#pragma once
+
+#include <vector>
+
+#include "apl/graph/csr.hpp"
+
+namespace apl::graph {
+
+/// Returns a permutation `perm` such that new index of old vertex v is
+/// perm[v]. Components are handled independently; within each component a
+/// pseudo-peripheral start vertex is chosen by a double BFS.
+std::vector<index_t> rcm_permutation(const Csr& g);
+
+/// Applies a permutation to a graph: vertex v becomes perm[v].
+Csr permute(const Csr& g, const std::vector<index_t>& perm);
+
+/// Inverse permutation: inv[perm[v]] == v.
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm);
+
+}  // namespace apl::graph

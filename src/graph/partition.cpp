@@ -1,0 +1,204 @@
+#include "apl/graph/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "apl/error.hpp"
+
+namespace apl::graph {
+
+Partition partition_block(index_t num_vertices, index_t num_parts) {
+  require(num_parts > 0, "partition_block: num_parts must be positive");
+  Partition out;
+  out.num_parts = num_parts;
+  out.part.resize(num_vertices);
+  const index_t chunk = (num_vertices + num_parts - 1) / std::max<index_t>(1, num_parts);
+  for (index_t v = 0; v < num_vertices; ++v) {
+    out.part[v] = std::min<index_t>(num_parts - 1, chunk ? v / chunk : 0);
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursively splits `ids` into `parts` parts along the widest coordinate
+/// axis, writing part labels starting at `first_part`.
+void rcb_recurse(std::span<const double> coords, index_t dim,
+                 std::vector<index_t>& ids, index_t parts,
+                 index_t first_part, std::vector<index_t>& out) {
+  if (parts == 1 || ids.size() <= 1) {
+    for (index_t v : ids) out[v] = first_part;
+    return;
+  }
+  // Pick the axis with the largest extent over this subset.
+  index_t axis = 0;
+  double best_extent = -1.0;
+  for (index_t d = 0; d < dim; ++d) {
+    double lo = coords[static_cast<std::size_t>(ids[0]) * dim + d];
+    double hi = lo;
+    for (index_t v : ids) {
+      const double x = coords[static_cast<std::size_t>(v) * dim + d];
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+    if (hi - lo > best_extent) {
+      best_extent = hi - lo;
+      axis = d;
+    }
+  }
+  const index_t left_parts = parts / 2;
+  const index_t right_parts = parts - left_parts;
+  // Split proportionally to the part counts so uneven power-of-two part
+  // requests still balance.
+  const std::size_t split =
+      ids.size() * static_cast<std::size_t>(left_parts) / parts;
+  std::nth_element(ids.begin(), ids.begin() + split, ids.end(),
+                   [&](index_t a, index_t b) {
+                     return coords[static_cast<std::size_t>(a) * dim + axis] <
+                            coords[static_cast<std::size_t>(b) * dim + axis];
+                   });
+  std::vector<index_t> left(ids.begin(), ids.begin() + split);
+  std::vector<index_t> right(ids.begin() + split, ids.end());
+  rcb_recurse(coords, dim, left, left_parts, first_part, out);
+  rcb_recurse(coords, dim, right, right_parts, first_part + left_parts, out);
+}
+
+}  // namespace
+
+Partition partition_rcb(std::span<const double> coords, index_t dim,
+                        index_t num_vertices, index_t num_parts) {
+  require(num_parts > 0, "partition_rcb: num_parts must be positive");
+  require(dim > 0, "partition_rcb: dim must be positive");
+  require(coords.size() == static_cast<std::size_t>(num_vertices) * dim,
+          "partition_rcb: coords size mismatch");
+  Partition out;
+  out.num_parts = num_parts;
+  out.part.assign(num_vertices, 0);
+  std::vector<index_t> ids(num_vertices);
+  std::iota(ids.begin(), ids.end(), 0);
+  rcb_recurse(coords, dim, ids, num_parts, 0, out.part);
+  return out;
+}
+
+namespace {
+
+/// One pass of boundary refinement: move a vertex to a neighbouring part if
+/// that strictly reduces edge cut without breaking the balance bound.
+void refine_boundary(const Csr& g, Partition& p, double max_imbalance) {
+  const index_t n = g.num_vertices();
+  std::vector<index_t> part_size(p.num_parts, 0);
+  for (index_t v = 0; v < n; ++v) ++part_size[p.part[v]];
+  const double ideal = static_cast<double>(n) / p.num_parts;
+  const index_t cap = static_cast<index_t>(ideal * max_imbalance) + 1;
+  std::vector<index_t> gain(p.num_parts, 0);
+  for (index_t v = 0; v < n; ++v) {
+    const index_t home = p.part[v];
+    if (part_size[home] <= 1) continue;
+    // Count neighbour links per part.
+    index_t home_links = 0;
+    index_t best_part = -1;
+    index_t best_links = 0;
+    for (index_t u : g.neighbours(v)) ++gain[p.part[u]];
+    for (index_t u : g.neighbours(v)) {
+      const index_t q = p.part[u];
+      if (gain[q] == 0) continue;  // already consumed
+      if (q == home) {
+        home_links = gain[q];
+      } else if (gain[q] > best_links && part_size[q] < cap) {
+        best_links = gain[q];
+        best_part = q;
+      }
+      gain[q] = 0;
+    }
+    if (best_part >= 0 && best_links > home_links) {
+      --part_size[home];
+      ++part_size[best_part];
+      p.part[v] = best_part;
+    }
+  }
+}
+
+}  // namespace
+
+Partition partition_kway(const Csr& g, index_t num_parts) {
+  require(num_parts > 0, "partition_kway: num_parts must be positive");
+  const index_t n = g.num_vertices();
+  Partition out;
+  out.num_parts = num_parts;
+  out.part.assign(n, -1);
+  if (n == 0) return out;
+  const index_t target = (n + num_parts - 1) / num_parts;
+
+  // Greedy graph growing: grow each part by BFS from an unassigned seed
+  // until it reaches the target size, preferring frontier vertices (this is
+  // the GGGP heuristic PT-Scotch/METIS use at their coarsest level).
+  index_t next_seed = 0;
+  for (index_t part = 0; part < num_parts; ++part) {
+    while (next_seed < n && out.part[next_seed] >= 0) ++next_seed;
+    if (next_seed >= n) break;
+    index_t grown = 0;
+    std::queue<index_t> frontier;
+    frontier.push(next_seed);
+    out.part[next_seed] = part;
+    ++grown;
+    while (grown < target && !frontier.empty()) {
+      const index_t v = frontier.front();
+      frontier.pop();
+      for (index_t u : g.neighbours(v)) {
+        if (out.part[u] >= 0 || grown >= target) continue;
+        out.part[u] = part;
+        ++grown;
+        frontier.push(u);
+      }
+    }
+    // Disconnected leftovers: if BFS stalled, jump to the next free vertex.
+    while (grown < target) {
+      index_t v = next_seed;
+      while (v < n && out.part[v] >= 0) ++v;
+      if (v >= n) break;
+      out.part[v] = part;
+      frontier.push(v);
+      ++grown;
+      while (grown < target && !frontier.empty()) {
+        const index_t w = frontier.front();
+        frontier.pop();
+        for (index_t u : g.neighbours(w)) {
+          if (out.part[u] >= 0 || grown >= target) continue;
+          out.part[u] = part;
+          ++grown;
+          frontier.push(u);
+        }
+      }
+    }
+  }
+  for (index_t v = 0; v < n; ++v) {
+    if (out.part[v] < 0) out.part[v] = num_parts - 1;
+  }
+  for (int pass = 0; pass < 4; ++pass) refine_boundary(g, out, 1.05);
+  return out;
+}
+
+PartitionQuality evaluate_partition(const Csr& g, const Partition& p) {
+  PartitionQuality q;
+  const index_t n = g.num_vertices();
+  std::vector<index_t> part_size(p.num_parts, 0);
+  for (index_t v = 0; v < n; ++v) {
+    ++part_size[p.part[v]];
+    bool on_boundary = false;
+    for (index_t u : g.neighbours(v)) {
+      if (p.part[u] != p.part[v]) {
+        on_boundary = true;
+        if (u > v) ++q.edge_cut;  // count undirected edges once
+      }
+    }
+    if (on_boundary) ++q.halo_volume;
+  }
+  const double ideal = static_cast<double>(n) / std::max<index_t>(1, p.num_parts);
+  index_t max_size = 0;
+  for (index_t s : part_size) max_size = std::max(max_size, s);
+  q.imbalance = ideal > 0 ? max_size / ideal : 0.0;
+  return q;
+}
+
+}  // namespace apl::graph

@@ -1,0 +1,110 @@
+#include "apl/graph/rcm.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "apl/error.hpp"
+
+namespace apl::graph {
+
+namespace {
+
+/// BFS from `start` over unvisited vertices; returns vertices in BFS order
+/// (neighbours visited in increasing-degree order, the Cuthill–McKee rule).
+std::vector<index_t> bfs_component(const Csr& g, index_t start,
+                                   std::vector<char>& visited) {
+  std::vector<index_t> order;
+  std::queue<index_t> q;
+  q.push(start);
+  visited[start] = 1;
+  std::vector<index_t> nbrs;
+  while (!q.empty()) {
+    const index_t v = q.front();
+    q.pop();
+    order.push_back(v);
+    nbrs.assign(g.neighbours(v).begin(), g.neighbours(v).end());
+    std::sort(nbrs.begin(), nbrs.end(), [&](index_t a, index_t b) {
+      const index_t da = g.offsets[a + 1] - g.offsets[a];
+      const index_t db = g.offsets[b + 1] - g.offsets[b];
+      return da != db ? da < db : a < b;
+    });
+    for (index_t u : nbrs) {
+      if (!visited[u]) {
+        visited[u] = 1;
+        q.push(u);
+      }
+    }
+  }
+  return order;
+}
+
+/// Pseudo-peripheral vertex: start anywhere in the component, BFS twice.
+index_t pseudo_peripheral(const Csr& g, index_t seed) {
+  index_t v = seed;
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<char> visited(g.num_vertices(), 0);
+    const auto order = bfs_component(g, v, visited);
+    v = order.back();
+  }
+  return v;
+}
+
+}  // namespace
+
+std::vector<index_t> rcm_permutation(const Csr& g) {
+  const index_t n = g.num_vertices();
+  std::vector<char> visited(n, 0);
+  std::vector<index_t> cm_order;
+  cm_order.reserve(n);
+  for (index_t seed = 0; seed < n; ++seed) {
+    if (visited[seed]) continue;
+    // pseudo_peripheral uses its own scratch visit marks; reconcile after.
+    const index_t start = pseudo_peripheral(g, seed);
+    const auto component = bfs_component(g, start, visited);
+    cm_order.insert(cm_order.end(), component.begin(), component.end());
+  }
+  APL_ASSERT(static_cast<index_t>(cm_order.size()) == n,
+             "RCM visited wrong vertex count");
+  // Reverse (the R of RCM), then convert order -> permutation.
+  std::reverse(cm_order.begin(), cm_order.end());
+  std::vector<index_t> perm(n);
+  for (index_t newid = 0; newid < n; ++newid) perm[cm_order[newid]] = newid;
+  return perm;
+}
+
+Csr permute(const Csr& g, const std::vector<index_t>& perm) {
+  const index_t n = g.num_vertices();
+  require(static_cast<index_t>(perm.size()) == n,
+          "permute: permutation size mismatch");
+  Csr out;
+  out.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  const auto inv = invert_permutation(perm);
+  for (index_t newv = 0; newv < n; ++newv) {
+    const index_t oldv = inv[newv];
+    out.offsets[static_cast<std::size_t>(newv) + 1] =
+        out.offsets[newv] + (g.offsets[oldv + 1] - g.offsets[oldv]);
+  }
+  out.adj.resize(g.adj.size());
+  for (index_t newv = 0; newv < n; ++newv) {
+    const index_t oldv = inv[newv];
+    index_t pos = out.offsets[newv];
+    for (index_t u : g.neighbours(oldv)) out.adj[pos++] = perm[u];
+    std::sort(out.adj.begin() + out.offsets[newv],
+              out.adj.begin() + out.offsets[newv + 1]);
+  }
+  return out;
+}
+
+std::vector<index_t> invert_permutation(const std::vector<index_t>& perm) {
+  std::vector<index_t> inv(perm.size(), -1);
+  for (std::size_t v = 0; v < perm.size(); ++v) {
+    require(perm[v] >= 0 && static_cast<std::size_t>(perm[v]) < perm.size(),
+            "invert_permutation: value ", perm[v], " out of range");
+    require(inv[perm[v]] < 0, "invert_permutation: duplicate value ",
+            perm[v], " — not a permutation");
+    inv[perm[v]] = static_cast<index_t>(v);
+  }
+  return inv;
+}
+
+}  // namespace apl::graph

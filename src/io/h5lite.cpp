@@ -1,0 +1,194 @@
+#include "apl/io/h5lite.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "apl/error.hpp"
+
+namespace apl::io {
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'H', '5', 'L', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+template <class T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  require(static_cast<bool>(is), "h5lite: unexpected end of file");
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  std::uint32_t c = 0xffffffffu;
+  for (std::uint8_t b : bytes) {
+    c = crc_table()[(c ^ b) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::kF64: return 8;
+    case DType::kF32: return 4;
+    case DType::kI32: return 4;
+    case DType::kI64: return 8;
+    case DType::kU8: return 1;
+  }
+  fail("h5lite: unknown dtype ", static_cast<std::uint32_t>(t));
+}
+
+std::uint64_t Dataset::num_elements() const {
+  std::uint64_t n = 1;
+  for (std::uint64_t d : dims) n *= d;
+  return dims.empty() ? 0 : n;
+}
+
+template <class T>
+DType File::dtype_of() {
+  if constexpr (std::is_same_v<T, double>) return DType::kF64;
+  else if constexpr (std::is_same_v<T, float>) return DType::kF32;
+  else if constexpr (std::is_same_v<T, std::int32_t>) return DType::kI32;
+  else if constexpr (std::is_same_v<T, std::int64_t>) return DType::kI64;
+  else if constexpr (std::is_same_v<T, std::uint8_t>) return DType::kU8;
+  else static_assert(sizeof(T) == 0, "unsupported h5lite dtype");
+}
+
+template <class T>
+void File::put(const std::string& name, std::span<const T> data,
+               std::vector<std::uint64_t> dims) {
+  std::uint64_t n = dims.empty() ? 0 : 1;
+  for (std::uint64_t d : dims) n *= d;
+  require(n == data.size(), "h5lite: dims of '", name, "' multiply to ", n,
+          " but data has ", data.size(), " elements");
+  Dataset ds;
+  ds.dtype = dtype_of<T>();
+  ds.dims = std::move(dims);
+  ds.bytes.resize(data.size() * sizeof(T));
+  std::memcpy(ds.bytes.data(), data.data(), ds.bytes.size());
+  datasets_[name] = std::move(ds);
+}
+
+template <class T>
+std::vector<T> File::get(const std::string& name) const {
+  const Dataset& ds = raw(name);
+  require(ds.dtype == dtype_of<T>(), "h5lite: dtype mismatch reading '", name,
+          "'");
+  std::vector<T> out(ds.bytes.size() / sizeof(T));
+  std::memcpy(out.data(), ds.bytes.data(), ds.bytes.size());
+  return out;
+}
+
+const Dataset& File::raw(const std::string& name) const {
+  const auto it = datasets_.find(name);
+  require(it != datasets_.end(), "h5lite: no dataset named '", name, "'");
+  return it->second;
+}
+
+void File::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  require(static_cast<bool>(os), "h5lite: cannot open '", path,
+          "' for writing");
+  os.write(kMagic.data(), kMagic.size());
+  write_pod(os, kVersion);
+  write_pod(os, static_cast<std::uint64_t>(datasets_.size()));
+  for (const auto& [name, ds] : datasets_) {
+    write_pod(os, static_cast<std::uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_pod(os, static_cast<std::uint32_t>(ds.dtype));
+    write_pod(os, static_cast<std::uint64_t>(ds.dims.size()));
+    for (std::uint64_t d : ds.dims) write_pod(os, d);
+    write_pod(os, static_cast<std::uint64_t>(ds.bytes.size()));
+    os.write(reinterpret_cast<const char*>(ds.bytes.data()),
+             static_cast<std::streamsize>(ds.bytes.size()));
+    write_pod(os, crc32(ds.bytes));
+  }
+  require(static_cast<bool>(os), "h5lite: write to '", path, "' failed");
+}
+
+File File::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  require(static_cast<bool>(is), "h5lite: cannot open '", path, "'");
+  std::array<char, 4> magic{};
+  is.read(magic.data(), magic.size());
+  require(static_cast<bool>(is) && magic == kMagic, "h5lite: '", path,
+          "' is not an h5lite file");
+  const auto version = read_pod<std::uint32_t>(is);
+  require(version == kVersion, "h5lite: unsupported version ", version);
+  const auto count = read_pod<std::uint64_t>(is);
+  File f;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = read_pod<std::uint32_t>(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    Dataset ds;
+    ds.dtype = static_cast<DType>(read_pod<std::uint32_t>(is));
+    dtype_size(ds.dtype);  // validates the enum value
+    const auto rank = read_pod<std::uint64_t>(is);
+    require(rank <= 8, "h5lite: implausible rank ", rank);
+    ds.dims.resize(rank);
+    for (auto& d : ds.dims) d = read_pod<std::uint64_t>(is);
+    const auto payload = read_pod<std::uint64_t>(is);
+    require(payload == ds.num_elements() * dtype_size(ds.dtype),
+            "h5lite: payload size inconsistent with dims for '", name, "'");
+    ds.bytes.resize(payload);
+    is.read(reinterpret_cast<char*>(ds.bytes.data()),
+            static_cast<std::streamsize>(payload));
+    require(static_cast<bool>(is), "h5lite: truncated payload in '", name,
+            "'");
+    const auto crc = read_pod<std::uint32_t>(is);
+    require(crc == crc32(ds.bytes), "h5lite: CRC mismatch in dataset '", name,
+            "' of '", path, "'");
+    f.datasets_[name] = std::move(ds);
+  }
+  return f;
+}
+
+// Explicit instantiations for the supported element types.
+template void File::put<double>(const std::string&, std::span<const double>,
+                                std::vector<std::uint64_t>);
+template void File::put<float>(const std::string&, std::span<const float>,
+                               std::vector<std::uint64_t>);
+template void File::put<std::int32_t>(const std::string&,
+                                      std::span<const std::int32_t>,
+                                      std::vector<std::uint64_t>);
+template void File::put<std::int64_t>(const std::string&,
+                                      std::span<const std::int64_t>,
+                                      std::vector<std::uint64_t>);
+template void File::put<std::uint8_t>(const std::string&,
+                                      std::span<const std::uint8_t>,
+                                      std::vector<std::uint64_t>);
+template std::vector<double> File::get<double>(const std::string&) const;
+template std::vector<float> File::get<float>(const std::string&) const;
+template std::vector<std::int32_t> File::get<std::int32_t>(
+    const std::string&) const;
+template std::vector<std::int64_t> File::get<std::int64_t>(
+    const std::string&) const;
+template std::vector<std::uint8_t> File::get<std::uint8_t>(
+    const std::string&) const;
+
+}  // namespace apl::io

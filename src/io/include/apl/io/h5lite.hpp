@@ -1,0 +1,72 @@
+// h5lite: a minimal named-dataset binary container.
+//
+// OP2/OPS support declaring meshes from and dumping datasets to HDF5 files
+// (Fig. 1, Sec. II-C), including from distributed runs, and build their
+// checkpoint files on the same machinery. This container reproduces that
+// code path without the HDF5 dependency: a file holds named, typed,
+// shaped datasets; a CRC32 per dataset catches truncation/corruption on
+// restart, which the checkpoint tests exercise.
+//
+// File layout (little-endian):
+//   magic "H5LT" | u32 version | u64 dataset count
+//   per dataset: u32 name_len | name bytes | u32 dtype | u64 rank |
+//                u64 dims[rank] | u64 payload_bytes | payload | u32 crc32
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace apl::io {
+
+enum class DType : std::uint32_t { kF64 = 0, kF32 = 1, kI32 = 2, kI64 = 3, kU8 = 4 };
+
+std::size_t dtype_size(DType t);
+
+/// One named dataset held in memory.
+struct Dataset {
+  DType dtype = DType::kU8;
+  std::vector<std::uint64_t> dims;
+  std::vector<std::uint8_t> bytes;
+
+  std::uint64_t num_elements() const;
+};
+
+/// An in-memory container of named datasets with (de)serialization.
+class File {
+public:
+  /// Adds (or replaces) a dataset from typed data. dims must multiply to
+  /// data.size().
+  template <class T>
+  void put(const std::string& name, std::span<const T> data,
+           std::vector<std::uint64_t> dims);
+
+  /// Typed read; throws if missing or the dtype/shape does not match.
+  template <class T>
+  std::vector<T> get(const std::string& name) const;
+
+  bool contains(const std::string& name) const {
+    return datasets_.count(name) != 0;
+  }
+  const Dataset& raw(const std::string& name) const;
+  const std::map<std::string, Dataset>& all() const { return datasets_; }
+  void remove(const std::string& name) { datasets_.erase(name); }
+
+  /// Serialization. save/load throw apl::Error on I/O failure or CRC
+  /// mismatch (a torn checkpoint must fail loudly, not load garbage).
+  void save(const std::string& path) const;
+  static File load(const std::string& path);
+
+private:
+  template <class T>
+  static DType dtype_of();
+
+  std::map<std::string, Dataset> datasets_;
+};
+
+/// CRC32 (IEEE 802.3 polynomial, table-driven).
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+}  // namespace apl::io

@@ -1,0 +1,94 @@
+#include "apl/mpisim/comm.hpp"
+
+#include <algorithm>
+
+namespace apl::mpisim {
+
+std::uint64_t Traffic::max_rank_bytes() const {
+  std::uint64_t best = 0;
+  for (const auto& [rank, bytes] : per_rank_sent_) best = std::max(best, bytes);
+  return best;
+}
+
+int Traffic::max_rank_peers() const {
+  std::size_t best = 0;
+  for (const auto& [rank, peers] : peers_) best = std::max(best, peers.size());
+  return static_cast<int>(best);
+}
+
+void Traffic::reset() {
+  messages_ = allreduces_ = total_bytes_ = 0;
+  per_rank_sent_.clear();
+  peers_.clear();
+}
+
+void Comm::send(int src, int dst, int tag,
+                std::span<const std::uint8_t> bytes) {
+  apl::require(src >= 0 && src < size_ && dst >= 0 && dst < size_,
+               "mpisim: rank out of range (src=", src, " dst=", dst, ")");
+  traffic_.record(src, dst, bytes.size());
+  mailboxes_[dst].push_back(
+      Message{src, tag, std::vector<std::uint8_t>(bytes.begin(), bytes.end())});
+}
+
+std::vector<std::uint8_t> Comm::recv(int dst, int src, int tag) {
+  apl::require(dst >= 0 && dst < size_, "mpisim: rank out of range");
+  auto& box = mailboxes_[dst];
+  for (auto it = box.begin(); it != box.end(); ++it) {
+    if (it->src == src && it->tag == tag) {
+      std::vector<std::uint8_t> out = std::move(it->bytes);
+      box.erase(it);
+      return out;
+    }
+  }
+  apl::fail("mpisim: rank ", dst, " would deadlock waiting for (src=", src,
+            ", tag=", tag, ") — no such message posted");
+}
+
+bool Comm::has_message(int dst, int src, int tag) const {
+  for (const auto& m : mailboxes_[dst]) {
+    if (m.src == src && m.tag == tag) return true;
+  }
+  return false;
+}
+
+void Comm::allreduce_begin(int rank, std::span<const double> contribution,
+                           ReduceOp op) {
+  apl::require(rank >= 0 && rank < size_, "mpisim: rank out of range");
+  if (reduce_contributions_ == 0) {
+    reduce_accum_.assign(contribution.begin(), contribution.end());
+    reduce_op_ = op;
+  } else {
+    apl::require(reduce_accum_.size() == contribution.size(),
+                 "mpisim: mismatched allreduce sizes");
+    apl::require(op == reduce_op_, "mpisim: mismatched allreduce ops");
+    for (std::size_t i = 0; i < contribution.size(); ++i) {
+      switch (op) {
+        case ReduceOp::kSum: reduce_accum_[i] += contribution[i]; break;
+        case ReduceOp::kMin:
+          reduce_accum_[i] = std::min(reduce_accum_[i], contribution[i]);
+          break;
+        case ReduceOp::kMax:
+          reduce_accum_[i] = std::max(reduce_accum_[i], contribution[i]);
+          break;
+      }
+    }
+  }
+  ++reduce_contributions_;
+}
+
+std::vector<double> Comm::allreduce_end() {
+  apl::require(reduce_contributions_ == size_,
+               "mpisim: allreduce finished with ", reduce_contributions_,
+               " of ", size_, " contributions");
+  if (size_ > 1) {
+    traffic_.record_allreduce(reduce_accum_.size() * sizeof(double) *
+                              static_cast<std::uint64_t>(size_));
+  }
+  std::vector<double> out = std::move(reduce_accum_);
+  reduce_accum_.clear();
+  reduce_contributions_ = 0;
+  return out;
+}
+
+}  // namespace apl::mpisim

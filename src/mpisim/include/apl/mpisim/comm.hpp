@@ -1,0 +1,101 @@
+// Simulated distributed-memory runtime.
+//
+// The paper's MPI backends partition the mesh up front and exchange halos
+// on demand, driven by the access-execute loop descriptions. Here the same
+// algorithms run inside one process: a Comm holds R ranks; the op2/ops mpi
+// backends keep fully private per-rank data and move bytes only through
+// Comm::send/recv, so the communication structure (who talks to whom, how
+// many bytes, how many messages) is exactly what a real MPI run would
+// produce. The Traffic ledger feeds the alpha-beta network model for the
+// scaling projections (Figs. 4 and 6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "apl/error.hpp"
+
+namespace apl::mpisim {
+
+/// Per-run communication ledger.
+class Traffic {
+public:
+  void record(int src, int dst, std::uint64_t bytes) {
+    ++messages_;
+    total_bytes_ += bytes;
+    per_rank_sent_[src] += bytes;
+    peers_[src].insert_or_assign(dst, true);
+  }
+  void record_allreduce(std::uint64_t bytes) {
+    ++allreduces_;
+    total_bytes_ += bytes;
+  }
+
+  std::uint64_t messages() const { return messages_; }
+  std::uint64_t allreduces() const { return allreduces_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  /// Heaviest sender's byte count — the rank that bounds exchange time.
+  std::uint64_t max_rank_bytes() const;
+  /// Max number of distinct destinations any rank sends to.
+  int max_rank_peers() const;
+  void reset();
+
+private:
+  std::uint64_t messages_ = 0;
+  std::uint64_t allreduces_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  std::map<int, std::uint64_t> per_rank_sent_;
+  std::map<int, std::map<int, bool>> peers_;
+};
+
+/// A communicator of `size` simulated ranks with mailbox-style message
+/// queues. Usage follows a phased SPMD pattern: a loop over ranks posts
+/// sends, a second loop receives — matching MPI_Isend/Irecv + Waitall.
+class Comm {
+public:
+  explicit Comm(int size) : size_(size), mailboxes_(size) {
+    apl::require(size > 0, "mpisim: communicator size must be positive");
+  }
+
+  int size() const { return size_; }
+
+  /// Posts a message; bytes are copied into the destination mailbox.
+  void send(int src, int dst, int tag, std::span<const std::uint8_t> bytes);
+
+  /// Pops the matching message; throws if none was posted (a deterministic
+  /// simulation must never wait).
+  std::vector<std::uint8_t> recv(int dst, int src, int tag);
+
+  /// True if a matching message is queued.
+  bool has_message(int dst, int src, int tag) const;
+
+  enum class ReduceOp { kSum, kMin, kMax };
+
+  /// Allreduce of doubles: all ranks must contribute before any result is
+  /// read; the phased callers guarantee this by construction. All
+  /// contributions to one reduction must use the same op.
+  void allreduce_begin(int rank, std::span<const double> contribution,
+                       ReduceOp op = ReduceOp::kSum);
+  std::vector<double> allreduce_end();
+
+  Traffic& traffic() { return traffic_; }
+  const Traffic& traffic() const { return traffic_; }
+
+private:
+  struct Message {
+    int src;
+    int tag;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  int size_;
+  std::vector<std::vector<Message>> mailboxes_;
+  std::vector<double> reduce_accum_;
+  ReduceOp reduce_op_ = ReduceOp::kSum;
+  int reduce_contributions_ = 0;
+  Traffic traffic_;
+};
+
+}  // namespace apl::mpisim

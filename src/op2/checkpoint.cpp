@@ -1,0 +1,354 @@
+#include "op2/checkpoint.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "apl/io/h5lite.hpp"
+#include "op2/context.hpp"
+
+namespace op2 {
+
+namespace {
+
+/// Packs a dat's logical content (AoS order) into bytes for the file.
+std::vector<std::uint8_t> pack_dat(const DatBase& dat) {
+  const std::size_t entry = dat.entry_bytes();
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(dat.set().size()) *
+                                entry);
+  for (index_t e = 0; e < dat.set().size(); ++e) {
+    dat.pack_entry(e, out.data() + static_cast<std::size_t>(e) * entry);
+  }
+  return out;
+}
+
+void unpack_dat(DatBase& dat, std::span<const std::uint8_t> bytes) {
+  const std::size_t entry = dat.entry_bytes();
+  apl::require(bytes.size() ==
+                   static_cast<std::size_t>(dat.set().size()) * entry,
+               "checkpoint restore: dat '", dat.name(), "' size mismatch");
+  for (index_t e = 0; e < dat.set().size(); ++e) {
+    dat.unpack_entry(e, bytes.data() + static_cast<std::size_t>(e) * entry);
+  }
+}
+
+}  // namespace
+
+Checkpointer::Checkpointer(Context& ctx, std::string path, Options opts)
+    : Checkpointer(ctx, std::move(path), opts, /*replay=*/false) {}
+
+Checkpointer::Checkpointer(Context& ctx, std::string path, Options opts,
+                           bool replay)
+    : ctx_(&ctx), path_(std::move(path)), opts_(opts) {
+  dat_modified_.assign(ctx.num_dats(), 0);
+  if (replay) {
+    mode_ = Mode::kReplay;
+    replaying_ = true;
+  }
+  ctx.attach_checkpointer(this);
+}
+
+Checkpointer Checkpointer::restore(Context& ctx, std::string path,
+                                   Options opts) {
+  Checkpointer ck(ctx, path, opts, /*replay=*/true);
+  const apl::io::File file = apl::io::File::load(ck.path_);
+  const auto entry = file.get<std::int64_t>("meta/entry_loop");
+  apl::require(entry.size() == 1, "checkpoint: malformed entry_loop");
+  ck.replay_entry_seq_ = static_cast<index_t>(entry[0]);
+  // Global-output log: flat bytes + offsets + newline-joined loop names.
+  const auto offsets = file.get<std::int64_t>("meta/gbl_offsets");
+  const auto flat = file.get<std::uint8_t>("meta/gbl_log");
+  apl::require(!offsets.empty(), "checkpoint: malformed gbl_offsets");
+  for (std::size_t i = 0; i + 1 < offsets.size(); ++i) {
+    ck.replay_gbl_.emplace_back(flat.begin() + offsets[i],
+                                flat.begin() + offsets[i + 1]);
+  }
+  const auto names_bytes = file.get<std::uint8_t>("meta/loop_names");
+  std::string names(names_bytes.begin(), names_bytes.end());
+  for (std::size_t pos = 0; pos < names.size();) {
+    const std::size_t nl = names.find('\n', pos);
+    ck.replay_names_.push_back(names.substr(pos, nl - pos));
+    pos = (nl == std::string::npos) ? names.size() : nl + 1;
+  }
+  apl::require(static_cast<index_t>(ck.replay_gbl_.size()) ==
+                   ck.replay_entry_seq_,
+               "checkpoint: global log does not cover the fast-forward range");
+  return ck;
+}
+
+void Checkpointer::request_checkpoint() {
+  apl::require(mode_ == Mode::kMonitor,
+               "request_checkpoint: a checkpoint is already in progress");
+  if (opts_.speculative) {
+    period_ = detect_period();
+    if (period_ > 0) {
+      // Evaluate every phase of the period at a historical position with
+      // maximal lookahead and target the cheapest one.
+      index_t best_units = std::numeric_limits<index_t>::max();
+      target_phase_ = seq_ % period_;  // fall back to "enter now"
+      for (index_t phase = 0; phase < period_; ++phase) {
+        // Latest position with this phase that still has a full period of
+        // lookahead, evaluated against the *current* modification state —
+        // that is what a deferred entry at this phase will actually see.
+        const index_t last = static_cast<index_t>(chain_.size()) - period_;
+        if (last < phase) continue;
+        const index_t pos = phase + (last - phase) / period_ * period_;
+        const auto units = units_at(pos, /*assume_current_modified=*/true);
+        if (units && *units < best_units) {
+          best_units = *units;
+          target_phase_ = phase;
+        }
+      }
+      mode_ = Mode::kPending;
+      return;
+    }
+  }
+  mode_ = Mode::kPending;
+  target_phase_ = -1;  // no periodicity: enter at the very next loop
+}
+
+void Checkpointer::maybe_enter_from_pending() {
+  const bool due = target_phase_ < 0 ||
+                   (period_ > 0 && seq_ % period_ == target_phase_);
+  if (due) enter_saving();
+}
+
+void Checkpointer::enter_saving() {
+  mode_ = Mode::kSaving;
+  entry_seq_ = seq_;
+  dat_state_.assign(ctx_->num_dats(), DatState::kUnknown);
+  saved_dats_.clear();
+  saved_payloads_.clear();
+  saving_steps_ = 0;
+  // Datasets never modified since application start keep their initial
+  // values; restart regenerates them, so they are dropped up front
+  // (Fig. 8: "bounds and x were never modified, they are not saved").
+  for (index_t d = 0; d < ctx_->num_dats(); ++d) {
+    if (!dat_modified_[d]) dat_state_[d] = DatState::kDropped;
+  }
+}
+
+void Checkpointer::saving_step(const std::vector<ArgInfo>& args) {
+  // Classify this loop's datasets; save the ones first-touched by a read
+  // *now*, before the loop runs — their current value is the loop-entry
+  // value the restart needs.
+  for (const ArgInfo& a : args) {
+    if (a.is_gbl || a.dat_id < 0) continue;
+    DatState& st = dat_state_[a.dat_id];
+    if (st != DatState::kUnknown) continue;
+    if (reads(a.acc)) {
+      st = DatState::kSaved;
+      saved_dats_.push_back(a.dat_id);
+      // Pack *now*, before this loop executes: the dataset was untouched
+      // since the checkpoint entry, so its current bytes are the entry
+      // value the restart needs; the upcoming loop may modify it.
+      saved_payloads_.push_back(pack_dat(ctx_->dat(a.dat_id)));
+    } else {  // whole write before any read: the value is dead
+      st = DatState::kDropped;
+    }
+  }
+  ++saving_steps_;
+  const bool all_decided =
+      std::none_of(dat_state_.begin(), dat_state_.end(),
+                   [](DatState s) { return s == DatState::kUnknown; });
+  if (all_decided || saving_steps_ >= opts_.horizon) {
+    // Conservatively save modified-but-untouched datasets. Untouched since
+    // entry, so packing now still captures their entry value.
+    for (index_t d = 0; d < ctx_->num_dats(); ++d) {
+      if (dat_state_[d] == DatState::kUnknown) {
+        dat_state_[d] = DatState::kSaved;
+        saved_dats_.push_back(d);
+        saved_payloads_.push_back(pack_dat(ctx_->dat(d)));
+      }
+    }
+    finalize_checkpoint();
+  }
+}
+
+void Checkpointer::finalize_checkpoint() {
+  apl::io::File file;
+  for (std::size_t i = 0; i < saved_dats_.size(); ++i) {
+    const DatBase& dat = ctx_->dat(saved_dats_[i]);
+    const auto& bytes = saved_payloads_[i];
+    file.put<std::uint8_t>("dat/" + dat.name(), bytes,
+                           {static_cast<std::uint64_t>(bytes.size())});
+  }
+  file.put<std::int64_t>(
+      "meta/entry_loop",
+      std::vector<std::int64_t>{static_cast<std::int64_t>(entry_seq_)}, {1});
+  // Flatten the global-output log of loops [0, entry_seq_).
+  std::vector<std::uint8_t> flat;
+  std::vector<std::int64_t> offsets{0};
+  std::string names;
+  for (index_t i = 0; i < entry_seq_; ++i) {
+    flat.insert(flat.end(), gbl_log_[i].begin(), gbl_log_[i].end());
+    offsets.push_back(static_cast<std::int64_t>(flat.size()));
+    names += chain_[i].name;
+    names += '\n';
+  }
+  if (flat.empty()) flat.push_back(0);  // h5lite rejects rank-0 payloads only
+  file.put<std::uint8_t>("meta/gbl_log", flat,
+                         {static_cast<std::uint64_t>(flat.size())});
+  file.put<std::int64_t>("meta/gbl_offsets", offsets,
+                         {static_cast<std::uint64_t>(offsets.size())});
+  std::vector<std::uint8_t> names_bytes(names.begin(), names.end());
+  if (names_bytes.empty()) names_bytes.push_back('\n');
+  file.put<std::uint8_t>("meta/loop_names", names_bytes,
+                         {static_cast<std::uint64_t>(names_bytes.size())});
+  file.save(path_);
+  checkpoint_complete_ = true;
+  mode_ = Mode::kMonitor;
+}
+
+Checkpointer::LoopAction Checkpointer::on_loop(
+    const std::string& name, const std::vector<ArgInfo>& args) {
+  // Record the chain and modification facts in every mode: replayed loops
+  // are logically part of the restarted run's history, so a later
+  // checkpoint after a restart sees a consistent chain.
+  chain_.push_back(ChainEntry{name, args});
+  for (const ArgInfo& a : args) {
+    if (!a.is_gbl && a.dat_id >= 0 && writes(a.acc)) {
+      if (static_cast<std::size_t>(a.dat_id) >= dat_modified_.size()) {
+        dat_modified_.resize(a.dat_id + 1, 0);
+      }
+      dat_modified_[a.dat_id] = 1;
+    }
+  }
+
+  if (mode_ == Mode::kReplay) {
+    if (seq_ < replay_entry_seq_) {
+      apl::require(name == replay_names_[seq_],
+                   "checkpoint replay: expected loop '", replay_names_[seq_],
+                   "' at position ", seq_, " but application issued '", name,
+                   "' — the restarted run diverged");
+      return LoopAction::kSkipReplay;
+    }
+    // Reached the checkpoint entry: restore datasets, resume execution.
+    const apl::io::File file = apl::io::File::load(path_);
+    for (const auto& [key, ds] : file.all()) {
+      if (key.rfind("dat/", 0) != 0) continue;
+      DatBase* dat = ctx_->find_dat(key.substr(4));
+      apl::require(dat != nullptr, "checkpoint restore: unknown dat '",
+                   key.substr(4), "'");
+      unpack_dat(*dat, ds.bytes);
+    }
+    mode_ = Mode::kMonitor;
+    replaying_ = false;
+  }
+
+  if (mode_ == Mode::kPending) maybe_enter_from_pending();
+  if (mode_ == Mode::kSaving) saving_step(args);
+  return LoopAction::kExecute;
+}
+
+void Checkpointer::after_loop(std::span<const std::uint8_t> gbl_payload) {
+  gbl_log_.emplace_back(gbl_payload.begin(), gbl_payload.end());
+  ++seq_;
+}
+
+std::span<const std::uint8_t> Checkpointer::replay_gbl_payload() const {
+  return replay_gbl_[seq_];
+}
+
+void Checkpointer::finish_replayed_loop() {
+  gbl_log_.push_back(replay_gbl_[seq_]);
+  ++seq_;
+}
+
+std::optional<index_t> Checkpointer::units_if_entering_at(index_t pos) const {
+  return units_at(pos, /*assume_current_modified=*/false);
+}
+
+std::optional<index_t> Checkpointer::units_at(
+    index_t pos, bool assume_current_modified) const {
+  apl::require(pos >= 0 && pos < static_cast<index_t>(chain_.size()),
+               "units_if_entering_at: position out of recorded range");
+  // Replay the classification against the recorded chain. "Modified before
+  // pos" is recomputed from the chain prefix, or taken from the live run.
+  std::vector<char> modified(dat_modified_.size(), 0);
+  if (assume_current_modified) {
+    modified.assign(dat_modified_.begin(), dat_modified_.end());
+  } else {
+    for (index_t i = 0; i < pos; ++i) {
+      for (const ArgInfo& a : chain_[i].args) {
+        if (!a.is_gbl && writes(a.acc)) modified[a.dat_id] = 1;
+      }
+    }
+  }
+  std::vector<DatState> state(dat_modified_.size(), DatState::kUnknown);
+  std::vector<char> relevant(dat_modified_.size(), 0);
+  for (const auto& entry : chain_) {
+    for (const ArgInfo& a : entry.args) {
+      if (!a.is_gbl) relevant[a.dat_id] = 1;
+    }
+  }
+  for (std::size_t d = 0; d < state.size(); ++d) {
+    if (!modified[d]) state[d] = DatState::kDropped;
+  }
+  index_t units = 0;
+  for (index_t i = pos; i < static_cast<index_t>(chain_.size()); ++i) {
+    for (const ArgInfo& a : chain_[i].args) {
+      if (a.is_gbl) continue;
+      DatState& st = state[a.dat_id];
+      if (st != DatState::kUnknown) continue;
+      if (reads(a.acc)) {
+        st = DatState::kSaved;
+        units += a.dim;
+      } else {
+        st = DatState::kDropped;
+      }
+    }
+    bool all_decided = true;
+    for (std::size_t d = 0; d < state.size(); ++d) {
+      if (relevant[d] && state[d] == DatState::kUnknown) all_decided = false;
+    }
+    if (all_decided) return units;
+  }
+  return std::nullopt;  // "unknown yet": lookahead exhausted
+}
+
+index_t Checkpointer::detect_period() const {
+  const index_t n = static_cast<index_t>(chain_.size());
+  for (index_t p = 1; p <= n / 2; ++p) {
+    bool periodic = true;
+    for (index_t i = 0; i + p < n; ++i) {
+      if (!(chain_[i] == chain_[i + p])) {
+        periodic = false;
+        break;
+      }
+    }
+    if (periodic) return p;
+  }
+  return 0;
+}
+
+std::vector<index_t> Checkpointer::datasets_saved_at(index_t pos) const {
+  apl::require(pos >= 0 && pos < static_cast<index_t>(chain_.size()),
+               "datasets_saved_at: position out of recorded range");
+  std::vector<char> modified(dat_modified_.size(), 0);
+  for (index_t i = 0; i < pos; ++i) {
+    for (const ArgInfo& a : chain_[i].args) {
+      if (!a.is_gbl && writes(a.acc)) modified[a.dat_id] = 1;
+    }
+  }
+  std::vector<DatState> state(dat_modified_.size(), DatState::kUnknown);
+  for (std::size_t d = 0; d < state.size(); ++d) {
+    if (!modified[d]) state[d] = DatState::kDropped;
+  }
+  std::vector<index_t> saved;
+  for (index_t i = pos; i < static_cast<index_t>(chain_.size()); ++i) {
+    for (const ArgInfo& a : chain_[i].args) {
+      if (a.is_gbl) continue;
+      DatState& st = state[a.dat_id];
+      if (st != DatState::kUnknown) continue;
+      if (reads(a.acc)) {
+        st = DatState::kSaved;
+        saved.push_back(a.dat_id);
+      } else {
+        st = DatState::kDropped;
+      }
+    }
+  }
+  return saved;
+}
+
+}  // namespace op2

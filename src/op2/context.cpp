@@ -1,0 +1,124 @@
+#include "op2/context.hpp"
+
+#include <algorithm>
+
+#include "apl/error.hpp"
+
+namespace op2 {
+
+const char* to_string(Access a) {
+  switch (a) {
+    case Access::kRead: return "read";
+    case Access::kWrite: return "write";
+    case Access::kInc: return "inc";
+    case Access::kRW: return "rw";
+    case Access::kMin: return "min";
+    case Access::kMax: return "max";
+  }
+  return "?";
+}
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kSeq: return "seq";
+    case Backend::kSimd: return "simd";
+    case Backend::kThreads: return "threads";
+    case Backend::kCudaSim: return "cudasim";
+  }
+  return "?";
+}
+
+const char* to_string(Layout l) {
+  return l == Layout::kAoS ? "aos" : "soa";
+}
+
+Map::Map(index_t id, const Set& from, const Set& to, index_t arity,
+         std::vector<index_t> table, std::string name)
+    : id_(id), from_(&from), to_(&to), arity_(arity),
+      table_(std::move(table)), name_(std::move(name)) {
+  apl::require(arity_ > 0, "Map '", name_, "': arity must be positive");
+  apl::require(table_.size() ==
+                   static_cast<std::size_t>(from.size()) * arity_,
+               "Map '", name_, "': table has ", table_.size(),
+               " entries, expected ", from.size(), " * ", arity_);
+  for (index_t t : table_) {
+    apl::require(t >= 0 && t < to.size(), "Map '", name_, "': index ", t,
+                 " outside target set '", to.name(), "' of size ", to.size());
+  }
+}
+
+Set& Context::decl_set(index_t size, const std::string& name) {
+  return decl_set(size, size, name);
+}
+
+Set& Context::decl_set(index_t size, index_t core_size,
+                       const std::string& name) {
+  apl::require(size >= 0, "decl_set '", name, "': negative size");
+  apl::require(core_size >= 0 && core_size <= size, "decl_set '", name,
+               "': core_size must be in [0, size]");
+  sets_.push_back(std::make_unique<Set>(
+      static_cast<index_t>(sets_.size()), size, name, core_size));
+  return *sets_.back();
+}
+
+Map& Context::decl_map(const Set& from, const Set& to, index_t arity,
+                       std::span<const index_t> table,
+                       const std::string& name) {
+  maps_.push_back(std::make_unique<Map>(
+      static_cast<index_t>(maps_.size()), from, to, arity,
+      std::vector<index_t>(table.begin(), table.end()), name));
+  return *maps_.back();
+}
+
+DatBase* Context::find_dat(const std::string& name) {
+  for (auto& d : dats_) {
+    if (d->name() == name) return d.get();
+  }
+  return nullptr;
+}
+
+void Context::set_block_size(index_t b) {
+  apl::require(b > 0, "block size must be positive");
+  block_size_ = b;
+  invalidate_plans();
+}
+
+void Context::hint_flops(const std::string& loop_name,
+                         double flops_per_element) {
+  flop_hints_[loop_name] = flops_per_element;
+}
+
+double Context::flops_hint(const std::string& loop_name) const {
+  const auto it = flop_hints_.find(loop_name);
+  return it == flop_hints_.end() ? 0.0 : it->second;
+}
+
+Plan& Context::plan_for(const std::string& loop_name, const Set& set,
+                        const std::vector<ArgInfo>& args) {
+  PlanKey key{loop_name, set.id(), args, block_size_};
+  for (auto& [k, plan] : plans_) {
+    if (k == key) return *plan;
+  }
+  plans_.emplace_back(std::move(key), std::make_unique<Plan>(build_plan(
+                                          *this, set, args, block_size_)));
+  return *plans_.back().second;
+}
+
+index_t Context::unique_targets(const Map& m) const {
+  const auto it = unique_targets_cache_.find(m.id());
+  if (it != unique_targets_cache_.end()) return it->second;
+  std::vector<char> seen(m.to().size(), 0);
+  index_t count = 0;
+  for (index_t t : m.table()) {
+    if (!seen[t]) {
+      seen[t] = 1;
+      ++count;
+    }
+  }
+  unique_targets_cache_.emplace(m.id(), count);
+  return count;
+}
+
+void Context::invalidate_plans() { plans_.clear(); }
+
+}  // namespace op2

@@ -1,0 +1,355 @@
+#include "op2/dist.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "apl/graph/csr.hpp"
+
+namespace op2 {
+
+Distributed::Distributed(Context& ctx, int nranks,
+                         apl::graph::PartitionMethod method,
+                         const Set& base_set, const DatBase* coords)
+    : global_(&ctx), comm_(nranks) {
+  apl::require(nranks >= 1, "Distributed: need at least one rank");
+  apl::require(&ctx.set(base_set.id()) == &base_set,
+               "Distributed: base set does not belong to this context");
+  set_dist_.resize(ctx.num_sets());
+  halo_dirty_.assign(ctx.num_dats(), 0);
+  partition_sets(method, base_set, coords);
+  build_rank_contexts();
+}
+
+void Distributed::partition_sets(apl::graph::PartitionMethod method,
+                                 const Set& base, const DatBase* coords) {
+  const int nranks = comm_.size();
+  // ---- base set
+  apl::graph::Partition p;
+  switch (method) {
+    case apl::graph::PartitionMethod::kBlock:
+      p = apl::graph::partition_block(base.size(), nranks);
+      break;
+    case apl::graph::PartitionMethod::kRcb: {
+      apl::require(coords != nullptr && &coords->set() == &base,
+                   "Distributed: RCB needs a coordinates dat on the base set");
+      apl::require(coords->elem_bytes() == sizeof(double),
+                   "Distributed: RCB coordinates must be double");
+      // Gather coordinates in AoS order regardless of layout.
+      std::vector<double> xy(static_cast<std::size_t>(base.size()) *
+                             coords->dim());
+      for (index_t e = 0; e < base.size(); ++e) {
+        coords->pack_entry(e, xy.data() +
+                                  static_cast<std::size_t>(e) * coords->dim());
+      }
+      p = apl::graph::partition_rcb(xy, coords->dim(), base.size(), nranks);
+      break;
+    }
+    case apl::graph::PartitionMethod::kKway: {
+      // Adjacency of the base set through any map targeting it.
+      const Map* via = nullptr;
+      for (index_t m = 0; m < global_->num_maps(); ++m) {
+        if (&global_->map(m).to() == &base) {
+          via = &global_->map(m);
+          break;
+        }
+      }
+      apl::require(via != nullptr,
+                   "Distributed: k-way partitioning needs a map onto the "
+                   "base set");
+      const apl::graph::Csr adj = apl::graph::node_adjacency(
+          via->table(), via->arity(), via->from().size(), base.size());
+      p = apl::graph::partition_kway(adj, nranks);
+      break;
+    }
+  }
+  set_dist_[base.id()].owner = std::move(p.part);
+
+  // ---- derive the other sets through maps, iterating to a fixpoint;
+  // a source set inherits the rank of its first map target, a target set
+  // the rank of the first source element touching it. Unreachable sets
+  // fall back to block partitioning.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (index_t m = 0; m < global_->num_maps(); ++m) {
+      const Map& map = global_->map(m);
+      auto& from_owner = set_dist_[map.from().id()].owner;
+      auto& to_owner = set_dist_[map.to().id()].owner;
+      if (from_owner.empty() && !to_owner.empty()) {
+        from_owner.resize(map.from().size());
+        for (index_t e = 0; e < map.from().size(); ++e) {
+          from_owner[e] = to_owner[map.at(e, 0)];
+        }
+        progress = true;
+      } else if (!from_owner.empty() && to_owner.empty()) {
+        to_owner.assign(map.to().size(), -1);
+        for (index_t e = 0; e < map.from().size(); ++e) {
+          for (index_t k = 0; k < map.arity(); ++k) {
+            index_t& o = to_owner[map.at(e, k)];
+            if (o < 0) o = from_owner[e];
+          }
+        }
+        // Targets referenced by no source: spread in blocks.
+        for (index_t t = 0; t < map.to().size(); ++t) {
+          if (to_owner[t] < 0) to_owner[t] = t % nranks;
+        }
+        progress = true;
+      }
+    }
+  }
+  for (index_t s = 0; s < global_->num_sets(); ++s) {
+    auto& owner = set_dist_[s].owner;
+    if (owner.empty() && global_->set(s).size() > 0) {
+      owner = apl::graph::partition_block(global_->set(s).size(), nranks).part;
+    } else if (owner.empty()) {
+      owner = {};
+    }
+  }
+
+  // ---- owned lists
+  for (index_t s = 0; s < global_->num_sets(); ++s) {
+    SetDist& sd = set_dist_[s];
+    sd.owned.resize(nranks);
+    sd.ghosts.resize(nranks);
+    sd.local_of.assign(nranks,
+                       std::vector<index_t>(global_->set(s).size(), -1));
+    for (index_t e = 0; e < global_->set(s).size(); ++e) {
+      sd.owned[sd.owner[e]].push_back(e);
+    }
+  }
+
+  // ---- ghost discovery: targets of owned source elements owned elsewhere.
+  // Collected as (rank, target) pairs and deduplicated by one sort, so the
+  // pass is O(E log E) rather than quadratic in boundary size.
+  std::vector<std::vector<std::uint64_t>> pairs(global_->num_sets());
+  for (index_t m = 0; m < global_->num_maps(); ++m) {
+    const Map& map = global_->map(m);
+    const SetDist& from = set_dist_[map.from().id()];
+    const SetDist& to = set_dist_[map.to().id()];
+    auto& out = pairs[map.to().id()];
+    for (index_t e = 0; e < map.from().size(); ++e) {
+      const index_t r = from.owner[e];
+      for (index_t k = 0; k < map.arity(); ++k) {
+        const index_t t = map.at(e, k);
+        if (to.owner[t] != r) {
+          out.push_back((static_cast<std::uint64_t>(r) << 32) |
+                        static_cast<std::uint32_t>(t));
+        }
+      }
+    }
+  }
+  for (index_t s = 0; s < global_->num_sets(); ++s) {
+    auto& out = pairs[s];
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    SetDist& sd = set_dist_[s];
+    for (std::uint64_t p : out) {
+      sd.ghosts[static_cast<int>(p >> 32)].push_back(
+          static_cast<index_t>(p & 0xffffffffu));
+    }
+    for (int r = 0; r < nranks; ++r) {
+      index_t local = 0;
+      for (index_t g : sd.owned[r]) sd.local_of[r][g] = local++;
+      for (index_t g : sd.ghosts[r]) sd.local_of[r][g] = local++;
+    }
+  }
+}
+
+void Distributed::build_rank_contexts() {
+  for (int r = 0; r < comm_.size(); ++r) {
+    auto rc = std::make_unique<Context>();
+    // Sets: owned first, ghosts stored but not executed.
+    for (index_t s = 0; s < global_->num_sets(); ++s) {
+      const SetDist& sd = set_dist_[s];
+      const index_t n_own = static_cast<index_t>(sd.owned[r].size());
+      const index_t n_all = n_own + static_cast<index_t>(sd.ghosts[r].size());
+      rc->decl_set(n_all, n_own, global_->set(s).name());
+    }
+    // Maps: localized tables over owned source elements (ghost source slots
+    // keep a valid dummy row — they are never executed).
+    for (index_t m = 0; m < global_->num_maps(); ++m) {
+      const Map& map = global_->map(m);
+      const SetDist& from = set_dist_[map.from().id()];
+      const SetDist& to = set_dist_[map.to().id()];
+      const Set& rfrom = rc->set(map.from().id());
+      std::vector<index_t> table(
+          static_cast<std::size_t>(rfrom.size()) * map.arity(), 0);
+      for (std::size_t le = 0; le < from.owned[r].size(); ++le) {
+        const index_t ge = from.owned[r][le];
+        for (index_t k = 0; k < map.arity(); ++k) {
+          const index_t lt = to.local_of[r][map.at(ge, k)];
+          APL_ASSERT(lt >= 0, "ghost discovery missed a map target");
+          table[le * map.arity() + k] = lt;
+        }
+      }
+      rc->decl_map(rfrom, rc->set(map.to().id()), map.arity(), table,
+                   map.name());
+    }
+    // Dats: typed replicas, then scatter owned + ghost values.
+    for (index_t d = 0; d < global_->num_dats(); ++d) {
+      global_->dat(d).declare_like(*rc, rc->set(global_->dat(d).set().id()));
+    }
+    rank_ctx_.push_back(std::move(rc));
+  }
+  for (index_t d = 0; d < global_->num_dats(); ++d) {
+    scatter(global_->dat(d));
+  }
+}
+
+void Distributed::set_node_backend(Backend b) {
+  for (auto& rc : rank_ctx_) rc->set_backend(b);
+}
+
+index_t Distributed::owned_count(const Set& s, int rank) const {
+  return static_cast<index_t>(set_dist_[s.id()].owned[rank].size());
+}
+index_t Distributed::ghost_count(const Set& s, int rank) const {
+  return static_cast<index_t>(set_dist_[s.id()].ghosts[rank].size());
+}
+index_t Distributed::total_ghosts(const Set& s) const {
+  index_t total = 0;
+  for (int r = 0; r < comm_.size(); ++r) total += ghost_count(s, r);
+  return total;
+}
+
+void Distributed::validate_args(const std::string& name,
+                                const std::vector<ArgInfo>& infos) const {
+  for (const ArgInfo& a : infos) {
+    if (a.is_gbl || !a.indirect()) continue;
+    apl::require(a.acc == Access::kRead || a.acc == Access::kInc,
+                 "distributed loop '", name,
+                 "': indirect arguments must be read or increment");
+  }
+  for (const ArgInfo& a : infos) {
+    if (a.is_gbl || !a.indirect() || a.acc != Access::kInc) continue;
+    for (const ArgInfo& b : infos) {
+      if (!b.is_gbl && b.indirect() && b.acc == Access::kRead &&
+          b.dat_id == a.dat_id) {
+        apl::fail("distributed loop '", name, "': dat '",
+                  global_->dat(a.dat_id).name(),
+                  "' is both indirectly read and incremented in one loop");
+      }
+    }
+  }
+}
+
+void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
+  const DatBase& gdat = global_->dat(dat_id);
+  const SetDist& sd = set_dist_[gdat.set().id()];
+  const std::size_t entry = gdat.entry_bytes();
+  const int tag = dat_id;
+  // Owners pack current values for every rank holding ghosts of theirs.
+  for (int dest = 0; dest < comm_.size(); ++dest) {
+    // Group dest's ghost list by owner; each owner sends one message.
+    for (int owner = 0; owner < comm_.size(); ++owner) {
+      std::vector<std::uint8_t> payload;
+      const DatBase& odat = rank_ctx_[owner]->dat(dat_id);
+      for (index_t g : sd.ghosts[dest]) {
+        if (sd.owner[g] != owner) continue;
+        const std::size_t pos = payload.size();
+        payload.resize(pos + entry);
+        odat.pack_entry(sd.local_of[owner][g], payload.data() + pos);
+      }
+      if (!payload.empty()) comm_.send(owner, dest, tag, payload);
+    }
+  }
+  // Receivers unpack into their ghost slots (same grouping order).
+  std::uint64_t bytes = 0;
+  for (int dest = 0; dest < comm_.size(); ++dest) {
+    DatBase& ddat = rank_ctx_[dest]->dat(dat_id);
+    for (int owner = 0; owner < comm_.size(); ++owner) {
+      if (!comm_.has_message(dest, owner, tag)) continue;
+      const auto payload = comm_.recv(dest, owner, tag);
+      bytes += payload.size();
+      std::size_t pos = 0;
+      for (index_t g : sd.ghosts[dest]) {
+        if (sd.owner[g] != owner) continue;
+        ddat.unpack_entry(sd.local_of[dest][g], payload.data() + pos);
+        pos += entry;
+      }
+    }
+  }
+  if (stats) stats->halo_bytes += bytes;
+}
+
+void Distributed::zero_ghosts(index_t dat_id) {
+  const DatBase& gdat = global_->dat(dat_id);
+  const SetDist& sd = set_dist_[gdat.set().id()];
+  std::vector<std::uint8_t> zeros(gdat.entry_bytes(), 0);
+  for (int r = 0; r < comm_.size(); ++r) {
+    DatBase& rdat = rank_ctx_[r]->dat(dat_id);
+    const index_t n_own = static_cast<index_t>(sd.owned[r].size());
+    for (std::size_t g = 0; g < sd.ghosts[r].size(); ++g) {
+      rdat.unpack_entry(n_own + static_cast<index_t>(g), zeros.data());
+    }
+  }
+}
+
+void Distributed::flush_increments(index_t dat_id, apl::LoopStats* stats) {
+  const DatBase& gdat = global_->dat(dat_id);
+  const SetDist& sd = set_dist_[gdat.set().id()];
+  const std::size_t entry = gdat.entry_bytes();
+  const int tag = 0x10000 + dat_id;
+  // Ghost holders send their accumulated contributions to the owners.
+  for (int holder = 0; holder < comm_.size(); ++holder) {
+    const DatBase& hdat = rank_ctx_[holder]->dat(dat_id);
+    for (int owner = 0; owner < comm_.size(); ++owner) {
+      std::vector<std::uint8_t> payload;
+      for (index_t g : sd.ghosts[holder]) {
+        if (sd.owner[g] != owner) continue;
+        const std::size_t pos = payload.size();
+        payload.resize(pos + entry);
+        hdat.pack_entry(sd.local_of[holder][g], payload.data() + pos);
+      }
+      if (!payload.empty()) comm_.send(holder, owner, tag, payload);
+    }
+  }
+  std::uint64_t bytes = 0;
+  for (int owner = 0; owner < comm_.size(); ++owner) {
+    DatBase& odat = rank_ctx_[owner]->dat(dat_id);
+    for (int holder = 0; holder < comm_.size(); ++holder) {
+      if (!comm_.has_message(owner, holder, tag)) continue;
+      const auto payload = comm_.recv(owner, holder, tag);
+      bytes += payload.size();
+      std::size_t pos = 0;
+      for (index_t g : sd.ghosts[holder]) {
+        if (sd.owner[g] != owner) continue;
+        odat.add_entry(sd.local_of[owner][g], payload.data() + pos);
+        pos += entry;
+      }
+    }
+  }
+  if (stats) stats->halo_bytes += bytes;
+}
+
+void Distributed::fetch(DatBase& global_dat) {
+  const SetDist& sd = set_dist_[global_dat.set().id()];
+  std::vector<std::uint8_t> buf(global_dat.entry_bytes());
+  for (int r = 0; r < comm_.size(); ++r) {
+    const DatBase& rdat = rank_ctx_[r]->dat(global_dat.id());
+    for (std::size_t le = 0; le < sd.owned[r].size(); ++le) {
+      rdat.pack_entry(static_cast<index_t>(le), buf.data());
+      global_dat.unpack_entry(sd.owned[r][le], buf.data());
+    }
+  }
+}
+
+void Distributed::scatter(DatBase& global_dat) {
+  const SetDist& sd = set_dist_[global_dat.set().id()];
+  std::vector<std::uint8_t> buf(global_dat.entry_bytes());
+  for (int r = 0; r < comm_.size(); ++r) {
+    DatBase& rdat = rank_ctx_[r]->dat(global_dat.id());
+    index_t local = 0;
+    for (index_t g : sd.owned[r]) {
+      global_dat.pack_entry(g, buf.data());
+      rdat.unpack_entry(local++, buf.data());
+    }
+    for (index_t g : sd.ghosts[r]) {
+      global_dat.pack_entry(g, buf.data());
+      rdat.unpack_entry(local++, buf.data());
+    }
+  }
+  halo_dirty_[global_dat.id()] = 0;
+}
+
+}  // namespace op2

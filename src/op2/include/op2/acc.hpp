@@ -1,0 +1,36 @@
+// The strided accessor user kernels receive for every argument.
+//
+// This is the C++ form of the paper's Fig. 7 OP_ACC0 macro: component i of
+// the argument lives at p[i * stride], so the *same user kernel* works for
+// array-of-structs (stride 1), struct-of-arrays (stride = set capacity) and
+// staged shared-memory copies (stride 1 into the staging buffer). The
+// layout decision is entirely the library's.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+
+namespace op2 {
+
+template <class T>
+class Acc {
+public:
+  Acc(T* p, std::ptrdiff_t stride) : p_(p), stride_(stride) {}
+
+  /// Acc<double> converts to Acc<const double>, so kernels may declare
+  /// read-only parameters const for self-documentation.
+  template <class U>
+    requires std::is_convertible_v<U*, T*>
+  Acc(const Acc<U>& other) : p_(other.data()), stride_(other.stride()) {}
+
+  T& operator[](int i) const { return p_[i * stride_]; }
+
+  T* data() const { return p_; }
+  std::ptrdiff_t stride() const { return stride_; }
+
+private:
+  T* p_;
+  std::ptrdiff_t stride_;
+};
+
+}  // namespace op2

@@ -1,0 +1,151 @@
+// The OP2 context: owner of the mesh declaration and of all run-time
+// machinery (backend selection, plan cache, per-loop profile, flop hints,
+// debug checks, checkpointing hooks).
+//
+// An application declares its sets, maps and dats once against a Context
+// ("all data is handed over to the library"), then expresses computation
+// as par_loop calls; everything else — layout, coloring, halo movement,
+// checkpoint placement — is the library's business.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apl/profile.hpp"
+#include "op2/arg.hpp"
+#include "op2/mesh.hpp"
+#include "op2/plan.hpp"
+
+namespace op2 {
+
+class Checkpointer;
+
+/// Per-loop device-model report filled in by the cudasim backend.
+struct DeviceReport {
+  std::uint64_t transactions = 0;
+  std::uint64_t useful_bytes = 0;
+  double efficiency = 1.0;  ///< useful / transferred bytes
+};
+
+class Context {
+public:
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // ---- declaration API (mirrors op_decl_set / op_decl_map / op_decl_dat)
+  Set& decl_set(index_t size, const std::string& name);
+  /// Distributed backend: declares a set whose first `core_size` elements
+  /// are executed and the remainder are halo storage.
+  Set& decl_set(index_t size, index_t core_size, const std::string& name);
+  Map& decl_map(const Set& from, const Set& to, index_t arity,
+                std::span<const index_t> table, const std::string& name);
+  template <class T>
+  Dat<T>& decl_dat(const Set& set, index_t dim, std::span<const T> init,
+                   const std::string& name) {
+    auto dat = std::make_unique<Dat<T>>(
+        static_cast<index_t>(dats_.size()), set, dim, init, name);
+    Dat<T>& ref = *dat;
+    dats_.push_back(std::move(dat));
+    return ref;
+  }
+
+  // ---- lookup
+  const Set& set(index_t id) const { return *sets_.at(id); }
+  const Map& map(index_t id) const { return *maps_.at(id); }
+  DatBase& dat(index_t id) { return *dats_.at(id); }
+  const DatBase& dat(index_t id) const { return *dats_.at(id); }
+  index_t num_sets() const { return static_cast<index_t>(sets_.size()); }
+  index_t num_maps() const { return static_cast<index_t>(maps_.size()); }
+  index_t num_dats() const { return static_cast<index_t>(dats_.size()); }
+  DatBase* find_dat(const std::string& name);
+
+  // ---- execution configuration
+  Backend backend() const { return backend_; }
+  void set_backend(Backend b) { backend_ = b; }
+  index_t block_size() const { return block_size_; }
+  void set_block_size(index_t b);
+  /// cudasim: stage indirect data through shared memory (Fig. 7
+  /// STAGE_NOSOA) instead of accessing global memory directly.
+  bool staging() const { return staging_; }
+  void set_staging(bool on) { staging_ = on; }
+  /// Debug mode: snapshot kRead dat args around every loop and verify the
+  /// kernel did not modify them (the paper's "built-in mechanisms ... that
+  /// help check for consistency and correctness").
+  bool debug_checks() const { return debug_checks_; }
+  void set_debug_checks(bool on) { debug_checks_ = on; }
+
+  /// Optional flops-per-element hint for a named loop; feeds the profile
+  /// and through it the machine models (compute-heavy kernels like
+  /// adt_calc are otherwise modelled as pure streaming).
+  void hint_flops(const std::string& loop_name, double flops_per_element);
+  double flops_hint(const std::string& loop_name) const;
+
+  // ---- run-time services used by par_loop
+  Plan& plan_for(const std::string& loop_name, const Set& set,
+                 const std::vector<ArgInfo>& args);
+  apl::Profile& profile() { return profile_; }
+  const apl::Profile& profile() const { return profile_; }
+  DeviceReport& device_report(const std::string& loop_name) {
+    return device_reports_[loop_name];
+  }
+  const std::map<std::string, DeviceReport>& device_reports() const {
+    return device_reports_;
+  }
+
+  /// Number of distinct elements `map` reaches — the unique-data volume an
+  /// indirect argument moves (cached; used for useful-byte accounting).
+  index_t unique_targets(const Map& map) const;
+
+  // ---- checkpointing hook (see op2/checkpoint.hpp)
+  void attach_checkpointer(Checkpointer* c) { checkpointer_ = c; }
+  Checkpointer* checkpointer() const { return checkpointer_; }
+
+  // ---- mesh transformations (paper Sec. IV/VI optimisations)
+  /// Renumbers a set: old element e becomes perm[e]. All dats on the set
+  /// are reordered and every map into or out of the set is rewritten, so
+  /// the change is invisible to the application. Cached plans and
+  /// unique-target counts are invalidated.
+  void apply_permutation(const Set& set, std::span<const index_t> perm);
+  /// Converts every dat to the given layout (AoS <-> SoA, Fig. 7).
+  void convert_layout(Layout layout);
+
+  /// Invalidates all cached plans (called after renumbering/layout change).
+  void invalidate_plans();
+
+private:
+  struct PlanKey {
+    std::string loop;
+    index_t set_id;
+    std::vector<ArgInfo> args;
+    index_t block_size;
+    bool operator==(const PlanKey&) const = default;
+  };
+
+  std::vector<std::unique_ptr<Set>> sets_;
+  std::vector<std::unique_ptr<Map>> maps_;
+  std::vector<std::unique_ptr<DatBase>> dats_;
+  Backend backend_ = Backend::kSeq;
+  index_t block_size_ = 256;
+  bool staging_ = true;
+  bool debug_checks_ = false;
+  std::map<std::string, double> flop_hints_;
+  std::vector<std::pair<PlanKey, std::unique_ptr<Plan>>> plans_;
+  apl::Profile profile_;
+  std::map<std::string, DeviceReport> device_reports_;
+  mutable std::map<index_t, index_t> unique_targets_cache_;
+  Checkpointer* checkpointer_ = nullptr;
+
+  friend Plan build_plan(const Context&, const Set&,
+                         const std::vector<ArgInfo>&, index_t);
+};
+
+/// Out-of-line: needs the complete Context type.
+template <class T>
+DatBase& Dat<T>::declare_like(Context& ctx, const Set& set) const {
+  return ctx.decl_dat<T>(set, dim_, std::span<const T>{}, name_);
+}
+
+}  // namespace op2

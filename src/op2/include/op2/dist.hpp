@@ -1,0 +1,260 @@
+// The distributed-memory layer of OP2 (paper Sec. II-B):
+//
+//   "using the up-front definition of the mesh and the access-execute
+//    description of computations, they automatically perform partitioning
+//    across processes and use standard halo exchanges, exchanging halo
+//    messages on-demand based on the type of access and the stencils."
+//
+// A Distributed wraps a fully declared Context: it partitions one base set
+// (naive block / RCB / k-way graph-growing, the PT-Scotch/ParMetis stand-
+// in), derives consistent partitions for every other set through the maps,
+// and builds one private Context per rank — owned elements first, ghost
+// copies of remotely-owned map targets after. par_loop then runs the loop
+// on every rank over its owned elements only:
+//
+//   * an indirect read of a dat whose halo is stale triggers an exchange
+//     (owners push current values to ghost holders) — the on-demand,
+//     dirty-bit-driven messaging of the paper;
+//   * indirect increments accumulate into zeroed ghost slots and are
+//     flushed to the owners after the loop;
+//   * global reductions combine per-rank partials through the simulated
+//     communicator's allreduce.
+//
+// Each rank's loop goes through the ordinary op2::par_loop, so the
+// node-level backend composes underneath (rank contexts on Backend::kThreads
+// give the paper's MPI+OpenMP hybrid; Backend::kCudaSim gives MPI+CUDA).
+// All message traffic flows through apl::mpisim::Comm and is metered for
+// the scaling projections of Figs. 4 and 6.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apl/graph/partition.hpp"
+#include "apl/mpisim/comm.hpp"
+#include "op2/context.hpp"
+#include "op2/par_loop.hpp"
+
+namespace op2 {
+
+class Distributed {
+public:
+  /// Partitions `base_set` of `ctx` with `method` across `nranks` ranks and
+  /// derives every other set's partition through the maps. `coords` (a dat
+  /// on base_set) is required for RCB and ignored otherwise. The global
+  /// context stays intact; rank replicas carry the scattered data.
+  Distributed(Context& ctx, int nranks, apl::graph::PartitionMethod method,
+              const Set& base_set, const DatBase* coords = nullptr);
+
+  int num_ranks() const { return comm_.size(); }
+  apl::mpisim::Comm& comm() { return comm_; }
+  const apl::mpisim::Comm& comm() const { return comm_; }
+  Context& rank_context(int r) { return *rank_ctx_[r]; }
+  Context& global_context() { return *global_; }
+
+  /// Node-level backend the rank loops execute with (hybrid composition).
+  void set_node_backend(Backend b);
+
+  index_t owned_count(const Set& global_set, int rank) const;
+  index_t ghost_count(const Set& global_set, int rank) const;
+  /// Total ghost entries across ranks — the per-iteration halo volume.
+  index_t total_ghosts(const Set& global_set) const;
+
+  /// Runs a parallel loop over the distributed `global_set`. Arguments
+  /// reference *global* dats; the wrapper resolves per-rank replicas.
+  /// Restrictions (checked): indirect args must be kRead or kInc, and a dat
+  /// may not be both indirectly read and indirectly incremented in the
+  /// same loop.
+  template <class Kernel, class... Args>
+  void par_loop(const std::string& name, const Set& global_set,
+                Kernel&& kernel, Args... args);
+
+  /// Copies a dat's authoritative (owner) values back into the global
+  /// context's dat, e.g. for verification or output.
+  void fetch(DatBase& global_dat);
+
+  /// Pushes the global context's current dat contents out to the ranks
+  /// (owned values and ghosts), e.g. after host-side re-initialization.
+  void scatter(DatBase& global_dat);
+
+private:
+  struct SetDist {
+    std::vector<index_t> owner;                 ///< global element -> rank
+    std::vector<std::vector<index_t>> owned;    ///< rank -> global ids
+    std::vector<std::vector<index_t>> ghosts;   ///< rank -> global ids
+    std::vector<std::vector<index_t>> local_of; ///< rank -> global -> local
+  };
+
+  void partition_sets(apl::graph::PartitionMethod method, const Set& base,
+                      const DatBase* coords);
+  void build_rank_contexts();
+  void validate_args(const std::string& name,
+                     const std::vector<ArgInfo>& infos) const;
+  /// Owners push current values of dat `d` into every ghost copy.
+  void exchange_halo(index_t dat_id, apl::LoopStats* stats);
+  /// Ghost-slot increments of dat `d` are sent to and added at the owners.
+  void flush_increments(index_t dat_id, apl::LoopStats* stats);
+  void zero_ghosts(index_t dat_id);
+
+  Context* global_;
+  apl::mpisim::Comm comm_;
+  std::vector<SetDist> set_dist_;                 ///< by global set id
+  std::vector<std::unique_ptr<Context>> rank_ctx_;
+  std::vector<char> halo_dirty_;                  ///< by global dat id
+
+  // ---- typed helpers for the par_loop template ---------------------------
+
+  template <class T>
+  ArgDat<T> rank_arg(const ArgDat<T>& a, int r) {
+    Dat<T>* local = static_cast<Dat<T>*>(
+        &rank_ctx_[r]->dat(a.dat->id()));
+    const Map* local_map =
+        a.map ? &rank_ctx_[r]->map(a.map->id()) : nullptr;
+    return ArgDat<T>{local, local_map, a.idx, a.acc};
+  }
+
+  /// Per-rank private globals for reductions.
+  template <class T>
+  struct DistGbl {
+    ArgGbl<T>* user;
+    std::vector<T> per_rank;  ///< nranks * dim, identity-initialized
+  };
+  template <class T>
+  struct DistGblTag {};
+
+  template <class T>
+  DistGbl<T> make_dist_state(ArgGbl<T>& g) {
+    DistGbl<T> st{&g, {}};
+    if (g.acc != Access::kRead) {
+      st.per_rank.assign(
+          static_cast<std::size_t>(num_ranks()) * g.dim,
+          detail::reduction_identity<T>(g.acc));
+    }
+    return st;
+  }
+  template <class T>
+  ArgDat<T>* make_dist_state(ArgDat<T>&) {
+    return nullptr;  // dats need no per-loop distributed state
+  }
+
+  template <class T>
+  ArgGbl<T> rank_gbl(DistGbl<T>& st, int r) {
+    if (st.user->acc == Access::kRead) {
+      return ArgGbl<T>{st.user->data, st.user->dim, st.user->acc, {}};
+    }
+    return ArgGbl<T>{st.per_rank.data() +
+                         static_cast<std::size_t>(r) * st.user->dim,
+                     st.user->dim, st.user->acc, {}};
+  }
+
+  // Pairs the user arg pack with the state tuple during expansion.
+  template <class T>
+  ArgDat<T> rank_arg_or_gbl(int r, ArgDat<T>& a, ArgDat<T>* /*state*/) {
+    return rank_arg(a, r);
+  }
+  template <class T>
+  ArgGbl<T> rank_arg_or_gbl(int r, ArgGbl<T>& /*g*/, DistGbl<T>& st) {
+    return rank_gbl(st, r);
+  }
+  template <class T>
+  void finish_any(ArgDat<T>* /*state*/) {}
+  template <class T>
+  void finish_any(DistGbl<T>& st) {
+    finish_dist_gbl(st);
+  }
+
+  template <class T>
+  void finish_dist_gbl(DistGbl<T>& st) {
+    if (st.user->acc == Access::kRead) return;
+    using Op = apl::mpisim::Comm::ReduceOp;
+    const Op op = st.user->acc == Access::kInc   ? Op::kSum
+                  : st.user->acc == Access::kMin ? Op::kMin
+                                                 : Op::kMax;
+    std::vector<double> contrib(st.user->dim);
+    for (int r = 0; r < num_ranks(); ++r) {
+      for (index_t d = 0; d < st.user->dim; ++d) {
+        contrib[d] = static_cast<double>(
+            st.per_rank[static_cast<std::size_t>(r) * st.user->dim + d]);
+      }
+      comm_.allreduce_begin(r, contrib, op);
+    }
+    const std::vector<double> result = comm_.allreduce_end();
+    for (index_t d = 0; d < st.user->dim; ++d) {
+      const T v = static_cast<T>(result[d]);
+      switch (st.user->acc) {
+        case Access::kInc: st.user->data[d] += v; break;
+        case Access::kMin:
+          st.user->data[d] = std::min(st.user->data[d], v);
+          break;
+        case Access::kMax:
+          st.user->data[d] = std::max(st.user->data[d], v);
+          break;
+        default: break;
+      }
+    }
+  }
+};
+
+// ---- par_loop ---------------------------------------------------------------
+
+template <class Kernel, class... Args>
+void Distributed::par_loop(const std::string& name, const Set& global_set,
+                           Kernel&& kernel, Args... args) {
+  std::vector<ArgInfo> infos{args.info()...};
+  validate_args(name, infos);
+  apl::LoopStats& stats = global_->profile().stats(name);
+
+  // On-demand halo exchanges for indirectly read dats with stale ghosts.
+  for (const ArgInfo& a : infos) {
+    if (!a.is_gbl && a.indirect() && a.acc == Access::kRead &&
+        halo_dirty_[a.dat_id]) {
+      exchange_halo(a.dat_id, &stats);
+      halo_dirty_[a.dat_id] = 0;
+    }
+  }
+  // Zero ghost slots of indirectly incremented dats (accumulators).
+  for (const ArgInfo& a : infos) {
+    if (!a.is_gbl && a.indirect() && a.acc == Access::kInc) {
+      zero_ghosts(a.dat_id);
+    }
+  }
+
+  auto states = std::make_tuple(make_dist_state(args)...);
+  {
+    apl::ScopedLoopTimer timer(stats);
+    for (int r = 0; r < num_ranks(); ++r) {
+      Context& rc = *rank_ctx_[r];
+      const Set& rset = rc.set(global_set.id());
+      std::apply(
+          [&](auto&... st) {
+            op2::par_loop(rc, name, rset, kernel,
+                          rank_arg_or_gbl(r, args, st)...);
+          },
+          states);
+    }
+  }
+  // Logical per-loop traffic (useful bytes) against the global mesh.
+  detail::account_traffic(*global_, name, global_set, infos, stats);
+
+  // Reductions and increment flushes. A dat may appear in several Inc args
+  // (e.g. both endpoints of an edge); its ghost slots are flushed once.
+  std::apply([&](auto&... st) { (finish_any(st), ...); }, states);
+  std::vector<index_t> flushed;
+  for (const ArgInfo& a : infos) {
+    if (a.is_gbl) continue;
+    if (a.indirect() && a.acc == Access::kInc) {
+      if (std::find(flushed.begin(), flushed.end(), a.dat_id) ==
+          flushed.end()) {
+        flush_increments(a.dat_id, &stats);
+        flushed.push_back(a.dat_id);
+      }
+      halo_dirty_[a.dat_id] = 1;
+    } else if (writes(a.acc)) {
+      halo_dirty_[a.dat_id] = 1;
+    }
+  }
+}
+
+}  // namespace op2

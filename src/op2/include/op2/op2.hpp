@@ -1,0 +1,25 @@
+// Umbrella header for the OP2 unstructured-mesh active library.
+//
+// Quickstart:
+//   op2::Context ctx;
+//   op2::Set& nodes = ctx.decl_set(n_nodes, "nodes");
+//   op2::Set& edges = ctx.decl_set(n_edges, "edges");
+//   op2::Map& e2n   = ctx.decl_map(edges, nodes, 2, table, "edge2node");
+//   op2::Dat<double>& x = ctx.decl_dat<double>(nodes, 2, coords, "x");
+//   ctx.set_backend(op2::Backend::kThreads);
+//   op2::par_loop(ctx, "spring", edges,
+//       [](op2::Acc<double> a, op2::Acc<double> b) { ... },
+//       op2::arg(x, e2n, 0, op2::Access::kRead),
+//       op2::arg(x, e2n, 1, op2::Access::kInc));
+#pragma once
+
+#include "op2/access.hpp"
+#include "op2/acc.hpp"
+#include "op2/arg.hpp"
+#include "op2/checkpoint.hpp"
+#include "op2/context.hpp"
+#include "op2/dist.hpp"
+#include "op2/mesh.hpp"
+#include "op2/par_loop.hpp"
+#include "op2/plan.hpp"
+#include "op2/transform.hpp"

@@ -1,0 +1,512 @@
+// op2::par_loop — the "code generator" of this active library.
+//
+// In the original OP2 a Python source-to-source translator emits one
+// specialized implementation of every loop per target (Fig. 1). Here each
+// backend wrapper below *is* that generated code, instantiated by the
+// compiler per (kernel, argument signature):
+//
+//   run_seq      the human-readable reference loop ("recommended for
+//                debugging"): compute pointers, call the user function.
+//   run_simd     the vectorized CPU structure: gather a pack of elements
+//                into contiguous aligned staging, run the kernel on the
+//                lanes, scatter results (increments applied serially).
+//   run_threads  the OpenMP structure: execute the two-level-colored plan,
+//                blocks of one color in parallel across the thread pool,
+//                with per-thread partials for global reductions.
+//   run_cudasim  the CUDA structure: thread blocks stage indirect data
+//                through "shared memory", per-element increments commit in
+//                intra-block color order, and a warp-granular transaction
+//                model prices every access (Fig. 7's three variants are
+//                layout kAoS / kSoA / staging on).
+//
+// All four execute the same user kernel and must agree with run_seq to
+// floating-point reordering; the cross-backend equivalence tests enforce
+// this.
+#pragma once
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apl/error.hpp"
+#include "apl/profile.hpp"
+#include "apl/simdev/device.hpp"
+#include "apl/thread_pool.hpp"
+#include "op2/arg.hpp"
+#include "op2/checkpoint.hpp"
+#include "op2/context.hpp"
+#include "op2/plan.hpp"
+#include "op2/traffic.hpp"
+
+namespace op2 {
+
+namespace detail {
+
+inline constexpr index_t kSimdWidth = 8;
+
+// ---- accessor construction -------------------------------------------
+
+template <class T>
+Acc<T> element_acc(const ArgDat<T>& a, index_t e) {
+  const index_t el = a.map ? a.map->at(e, a.idx) : e;
+  return Acc<T>(a.dat->entry(el), a.dat->stride());
+}
+
+template <class T>
+Acc<T> element_acc(ArgGbl<T>& g, index_t /*e*/) {
+  return Acc<T>(g.data, 1);
+}
+
+// Thread-slot-aware variant for the threads backend.
+template <class T>
+Acc<T> element_acc_t(const ArgDat<T>& a, index_t e, std::size_t /*tid*/) {
+  return element_acc(a, e);
+}
+
+template <class T>
+Acc<T> element_acc_t(ArgGbl<T>& g, index_t /*e*/, std::size_t tid) {
+  T* p = g.scratch.empty() ? g.data
+                           : g.scratch.data() + tid * static_cast<std::size_t>(g.dim);
+  return Acc<T>(p, 1);
+}
+
+// ---- global-reduction scratch ------------------------------------------
+
+template <class T>
+T reduction_identity(Access acc) {
+  switch (acc) {
+    case Access::kInc: return T{};
+    case Access::kMin: return std::numeric_limits<T>::max();
+    case Access::kMax: return std::numeric_limits<T>::lowest();
+    default: return T{};
+  }
+}
+
+template <class T>
+void prepare_gbl(ArgGbl<T>& g, std::size_t slots) {
+  if (g.acc == Access::kRead || slots == 0) {
+    g.scratch.clear();
+    return;
+  }
+  g.scratch.assign(slots * static_cast<std::size_t>(g.dim),
+                   reduction_identity<T>(g.acc));
+}
+template <class T>
+void prepare_gbl(ArgDat<T>&, std::size_t) {}
+
+template <class T>
+void finish_gbl(ArgGbl<T>& g, std::size_t slots) {
+  if (g.scratch.empty()) return;
+  for (std::size_t s = 0; s < slots; ++s) {
+    for (index_t d = 0; d < g.dim; ++d) {
+      const T v = g.scratch[s * g.dim + d];
+      switch (g.acc) {
+        case Access::kInc: g.data[d] += v; break;
+        case Access::kMin: g.data[d] = std::min(g.data[d], v); break;
+        case Access::kMax: g.data[d] = std::max(g.data[d], v); break;
+        default: break;
+      }
+    }
+  }
+  g.scratch.clear();
+}
+template <class T>
+void finish_gbl(ArgDat<T>&, std::size_t) {}
+
+// ---- debug checks (paper Sec. II-C consistency mechanisms) --------------
+
+template <class T>
+std::vector<T> debug_snapshot(const ArgDat<T>& a) {
+  if (a.acc != Access::kRead) return {};
+  return a.dat->to_vector();
+}
+template <class T>
+std::vector<T> debug_snapshot(const ArgGbl<T>& g) {
+  if (g.acc != Access::kRead) return {};
+  return std::vector<T>(g.data, g.data + g.dim);
+}
+
+template <class T>
+void debug_verify(const ArgDat<T>& a, const std::vector<T>& snap,
+                  const std::string& loop) {
+  if (a.acc != Access::kRead) return;
+  apl::require(a.dat->to_vector() == snap, "debug check: loop '", loop,
+               "' modified read-only dat '", a.dat->name(), "'");
+}
+template <class T>
+void debug_verify(const ArgGbl<T>& g, const std::vector<T>& snap,
+                  const std::string& loop) {
+  if (g.acc != Access::kRead) return;
+  apl::require(std::equal(snap.begin(), snap.end(), g.data), "debug check: loop '",
+               loop, "' modified read-only global");
+}
+
+// ---- sequential backend --------------------------------------------------
+
+// Per-loop hoisted argument state: base pointer, map row and strides are
+// resolved once, so the per-element accessor is a couple of adds — the
+// code OP2's real generator emits.
+template <class T>
+struct SeqArgState {
+  T* base;
+  const index_t* table;  ///< nullptr for direct args
+  index_t arity, idx;
+  std::ptrdiff_t entry_stride;  ///< between consecutive elements
+  std::ptrdiff_t comp_stride;   ///< between components of one element
+};
+
+template <class T>
+SeqArgState<T> make_seq_state(ArgDat<T>& a) {
+  Dat<T>& d = *a.dat;
+  const bool aos = d.layout() == Layout::kAoS;
+  return {static_cast<T*>(d.raw()),
+          a.map ? a.map->table().data() : nullptr,
+          a.map ? a.map->arity() : 0,
+          a.idx,
+          aos ? static_cast<std::ptrdiff_t>(d.dim()) : 1,
+          d.stride()};
+}
+template <class T>
+std::nullptr_t make_seq_state(ArgGbl<T>&) {
+  return nullptr;
+}
+
+template <class T>
+Acc<T> seq_param(const SeqArgState<T>& st, ArgDat<T>&, index_t e) {
+  const index_t el =
+      st.table ? st.table[static_cast<std::size_t>(e) * st.arity + st.idx]
+               : e;
+  return Acc<T>(st.base + el * st.entry_stride, st.comp_stride);
+}
+template <class T>
+Acc<T> seq_param(std::nullptr_t, ArgGbl<T>& g, index_t /*e*/) {
+  return Acc<T>(g.data, 1);
+}
+
+// `flatten` inlines the kernel and accessors so the generated loop matches
+// a hand-written loop nest (see ops/par_loop.hpp for the same pattern).
+template <class Kernel, class... Args>
+#if defined(__GNUC__)
+[[gnu::flatten]]
+#endif
+void run_seq(const Set& set, Kernel&& k, Args&... args) {
+  const index_t n = set.core_size();
+  auto states = std::make_tuple(make_seq_state(args)...);
+  std::apply(
+      [&](auto&... st) {
+        for (index_t e = 0; e < n; ++e) {
+          k(seq_param(st, args, e)...);
+        }
+      },
+      states);
+}
+
+// ---- threads backend -------------------------------------------------------
+
+template <class Kernel, class... Args>
+void run_threads(Context& ctx, const std::string& name, const Set& set,
+                 const Plan& plan, Kernel&& k, Args&... args) {
+  apl::ThreadPool& pool = apl::ThreadPool::global();
+  const std::size_t team = pool.size();
+  (prepare_gbl(args, team), ...);
+  for (index_t c = 0; c < plan.num_block_colors; ++c) {
+    const auto& blocks = plan.blocks_by_color[c];
+    pool.parallel_for(
+        blocks.size(),
+        [&](std::size_t b0, std::size_t b1, std::size_t tid) {
+          for (std::size_t bi = b0; bi < b1; ++bi) {
+            const index_t b = blocks[bi];
+            for (index_t e = plan.block_offset[b];
+                 e < plan.block_offset[b + 1]; ++e) {
+              k(element_acc_t(args, e, tid)...);
+            }
+          }
+        });
+  }
+  (finish_gbl(args, team), ...);
+  ctx.profile().stats(name).colors +=
+      static_cast<std::uint64_t>(plan.num_block_colors);
+}
+
+// ---- simd backend ----------------------------------------------------------
+
+// Staging state for one argument across a pack of kSimdWidth lanes. Data is
+// gathered lane-major (lane l's components contiguous) so the kernel sees
+// stride-1 accessors into aligned staging, the shape OP2's vectorized code
+// generation produces.
+template <class T>
+struct SimdStage {
+  ArgDat<T>* a;
+  apl::aligned_vector<T> buf;
+};
+template <class T>
+struct SimdGblStage {
+  ArgGbl<T>* g;
+};
+
+template <class T>
+SimdStage<T> make_stage(ArgDat<T>& a) {
+  return {&a, apl::aligned_vector<T>(
+                  static_cast<std::size_t>(kSimdWidth) * a.dat->dim())};
+}
+template <class T>
+SimdGblStage<T> make_stage(ArgGbl<T>& g) {
+  return {&g};
+}
+
+template <class T>
+void stage_gather(SimdStage<T>& st, index_t e0, index_t lanes) {
+  const ArgDat<T>& a = *st.a;
+  const index_t dim = a.dat->dim();
+  for (index_t l = 0; l < lanes; ++l) {
+    T* out = st.buf.data() + static_cast<std::size_t>(l) * dim;
+    if (a.acc == Access::kInc) {
+      std::fill_n(out, dim, T{});
+    } else {
+      const Acc<T> in = element_acc(a, e0 + l);
+      for (index_t d = 0; d < dim; ++d) out[d] = in[d];
+    }
+  }
+}
+template <class T>
+void stage_gather(SimdGblStage<T>&, index_t, index_t) {}
+
+template <class T>
+void stage_scatter(SimdStage<T>& st, index_t e0, index_t lanes) {
+  const ArgDat<T>& a = *st.a;
+  if (!writes(a.acc)) return;
+  const index_t dim = a.dat->dim();
+  for (index_t l = 0; l < lanes; ++l) {
+    const T* in = st.buf.data() + static_cast<std::size_t>(l) * dim;
+    const Acc<T> out = element_acc(a, e0 + l);
+    if (a.acc == Access::kInc) {
+      for (index_t d = 0; d < dim; ++d) out[d] += in[d];
+    } else {
+      for (index_t d = 0; d < dim; ++d) out[d] = in[d];
+    }
+  }
+}
+template <class T>
+void stage_scatter(SimdGblStage<T>&, index_t, index_t) {}
+
+template <class T>
+Acc<T> lane_acc(SimdStage<T>& st, index_t l) {
+  return Acc<T>(st.buf.data() + static_cast<std::size_t>(l) * st.a->dat->dim(),
+                1);
+}
+template <class T>
+Acc<T> lane_acc(SimdGblStage<T>& st, index_t /*l*/) {
+  return Acc<T>(st.g->data, 1);
+}
+
+template <class Kernel, class... Args>
+void run_simd(const Set& set, Kernel&& k, Args&... args) {
+  const index_t n = set.core_size();
+  auto stages = std::make_tuple(make_stage(args)...);
+  for (index_t e0 = 0; e0 < n; e0 += kSimdWidth) {
+    const index_t lanes = std::min<index_t>(kSimdWidth, n - e0);
+    std::apply(
+        [&](auto&... st) {
+          (stage_gather(st, e0, lanes), ...);
+          for (index_t l = 0; l < lanes; ++l) {
+            k(lane_acc(st, l)...);
+          }
+          (stage_scatter(st, e0, lanes), ...);
+        },
+        stages);
+  }
+}
+
+// ---- cudasim backend --------------------------------------------------------
+
+// Per-argument device staging for one thread block: the unique indirect
+// elements the block touches, copied into a "shared memory" buffer. Mirrors
+// OP2's CUDA plan-based staging (Fig. 7 STAGE_NOSOA).
+template <class T>
+struct CudaStage {
+  ArgDat<T>* a;
+  bool staged = false;
+  std::vector<index_t> unique;        ///< global element ids
+  std::vector<index_t> local_of;      ///< scratch: global -> local + 1
+  apl::aligned_vector<T> buf;         ///< unique.size() * dim, AoS
+};
+template <class T>
+struct CudaGblStage {
+  ArgGbl<T>* g;
+};
+
+template <class T>
+CudaStage<T> make_cuda_stage(ArgDat<T>& a, bool staging) {
+  CudaStage<T> st;
+  st.a = &a;
+  st.staged = staging && a.map != nullptr;
+  if (st.staged) st.local_of.assign(a.dat->set().size(), 0);
+  return st;
+}
+template <class T>
+CudaGblStage<T> make_cuda_stage(ArgGbl<T>& g, bool /*staging*/) {
+  return {&g};
+}
+
+template <class T>
+void cuda_stage_load(CudaStage<T>& st, const Plan& plan, index_t b) {
+  if (!st.staged) return;
+  const ArgDat<T>& a = *st.a;
+  const index_t dim = a.dat->dim();
+  st.unique.clear();
+  for (index_t e = plan.block_offset[b]; e < plan.block_offset[b + 1]; ++e) {
+    const index_t el = a.map->at(e, a.idx);
+    if (st.local_of[el] == 0) {
+      st.unique.push_back(el);
+      st.local_of[el] = static_cast<index_t>(st.unique.size());
+    }
+  }
+  st.buf.resize(st.unique.size() * static_cast<std::size_t>(dim));
+  for (std::size_t u = 0; u < st.unique.size(); ++u) {
+    T* out = st.buf.data() + u * dim;
+    if (a.acc == Access::kInc) {
+      std::fill_n(out, dim, T{});
+    } else {
+      const T* in = a.dat->entry(st.unique[u]);
+      const std::ptrdiff_t s = a.dat->stride();
+      for (index_t d = 0; d < dim; ++d) out[d] = in[d * s];
+    }
+  }
+}
+template <class T>
+void cuda_stage_load(CudaGblStage<T>&, const Plan&, index_t) {}
+
+template <class T>
+void cuda_stage_store(CudaStage<T>& st) {
+  if (!st.staged) return;
+  const ArgDat<T>& a = *st.a;
+  const index_t dim = a.dat->dim();
+  for (std::size_t u = 0; u < st.unique.size(); ++u) {
+    const T* in = st.buf.data() + u * dim;
+    if (writes(a.acc)) {
+      T* out = a.dat->entry(st.unique[u]);
+      const std::ptrdiff_t s = a.dat->stride();
+      if (a.acc == Access::kInc) {
+        for (index_t d = 0; d < dim; ++d) out[d * s] += in[d];
+      } else {
+        for (index_t d = 0; d < dim; ++d) out[d * s] = in[d];
+      }
+    }
+    st.local_of[st.unique[u]] = 0;  // reset scratch for the next block
+  }
+  if (!writes(a.acc)) {
+    for (index_t el : st.unique) st.local_of[el] = 0;
+  }
+}
+template <class T>
+void cuda_stage_store(CudaGblStage<T>&) {}
+
+template <class T>
+Acc<T> cuda_acc(CudaStage<T>& st, index_t e) {
+  if (!st.staged) return element_acc(*st.a, e);
+  const index_t el = st.a->map->at(e, st.a->idx);
+  return Acc<T>(st.buf.data() +
+                    static_cast<std::size_t>(st.local_of[el] - 1) *
+                        st.a->dat->dim(),
+                1);
+}
+template <class T>
+Acc<T> cuda_acc(CudaGblStage<T>& st, index_t /*e*/) {
+  return Acc<T>(st.g->data, 1);
+}
+
+template <class Kernel, class... Args>
+void run_cudasim(Context& ctx, const std::string& name, const Set& set,
+                 const Plan& plan, Kernel&& k, Args&... args) {
+  auto stages = std::make_tuple(make_cuda_stage(args, ctx.staging())...);
+  // Grid execution: one "kernel launch" per block color; blocks of a color
+  // are independent, elements inside a block commit in elem-color order.
+  for (index_t c = 0; c < plan.num_block_colors; ++c) {
+    for (index_t b : plan.blocks_by_color[c]) {
+      std::apply(
+          [&](auto&... st) {
+            (cuda_stage_load(st, plan, b), ...);
+            const index_t begin = plan.block_offset[b];
+            const index_t end = plan.block_offset[b + 1];
+            for (index_t ec = 0; ec < std::max<index_t>(1, plan.block_elem_colors[b]);
+                 ++ec) {
+              for (index_t e = begin; e < end; ++e) {
+                if (plan.elem_color[e] != ec) continue;
+                k(cuda_acc(st, e)...);
+              }
+            }
+            (cuda_stage_store(st), ...);
+          },
+          stages);
+    }
+  }
+  (void)name;
+}
+
+}  // namespace detail
+
+/// Executes `kernel` for every element of `set` under the Context's current
+/// backend. Arguments are ArgDat/ArgGbl descriptors built with op2::arg /
+/// op2::arg_gbl; the kernel receives one op2::Acc per argument, in order.
+template <class Kernel, class... Args>
+void par_loop(Context& ctx, const std::string& name, const Set& set,
+              Kernel&& kernel, Args... args) {
+  std::vector<ArgInfo> infos{args.info()...};
+
+  // Checkpointing: the recorder sees every loop; during fast-forward replay
+  // the loop body is skipped and global outputs are restored from the log.
+  if (Checkpointer* ck = ctx.checkpointer()) {
+    if (ck->on_loop(name, infos) == Checkpointer::LoopAction::kSkipReplay) {
+      std::size_t gbl_index = 0;
+      (detail::replay_gbl(*ck, args, gbl_index), ...);
+      ck->finish_replayed_loop();
+      return;
+    }
+  }
+
+  auto snapshots = ctx.debug_checks()
+                       ? std::make_tuple(detail::debug_snapshot(args)...)
+                       : std::tuple<decltype(detail::debug_snapshot(args))...>{};
+
+  apl::LoopStats& stats = ctx.profile().stats(name);
+  {
+    apl::ScopedLoopTimer timer(stats);
+    switch (ctx.backend()) {
+      case Backend::kSeq:
+        detail::run_seq(set, kernel, args...);
+        break;
+      case Backend::kSimd:
+        detail::run_simd(set, kernel, args...);
+        break;
+      case Backend::kThreads:
+        detail::run_threads(ctx, name, set, ctx.plan_for(name, set, infos),
+                            kernel, args...);
+        break;
+      case Backend::kCudaSim:
+        detail::run_cudasim(ctx, name, set, ctx.plan_for(name, set, infos),
+                            kernel, args...);
+        break;
+    }
+  }
+  detail::account_traffic(ctx, name, set, infos, stats);
+  if (ctx.backend() == Backend::kCudaSim) {
+    detail::account_device(ctx, name, set, infos, stats);
+  }
+
+  if (ctx.debug_checks()) {
+    std::apply(
+        [&](auto&... snap) { (detail::debug_verify(args, snap, name), ...); },
+        snapshots);
+  }
+
+  if (Checkpointer* ck = ctx.checkpointer()) {
+    std::vector<std::uint8_t> gbl_log;
+    (detail::log_gbl(args, gbl_log), ...);
+    ck->after_loop(gbl_log);
+  }
+}
+
+}  // namespace op2

@@ -1,0 +1,45 @@
+// Run-time execution plans: the two-layer coloring of paper Sec. II-B.
+//
+// Any loop with potential race conflicts (an indirectly modified argument)
+// gets a plan: the iteration set is broken into blocks; blocks are colored
+// so no two same-colored blocks touch the same indirectly-modified element
+// (different threads / thread blocks can then run them concurrently); and,
+// for the CUDA execution strategy, elements *within* a block are colored
+// again so per-thread increments can be committed color by color. Plans
+// are built lazily on first execution and cached, keyed by the loop's
+// argument signature, exactly as in OP2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "op2/arg.hpp"
+#include "op2/mesh.hpp"
+
+namespace op2 {
+
+class Context;
+
+struct Plan {
+  index_t block_size = 0;
+  index_t num_blocks = 0;
+  /// Block b covers elements [block_offset[b], block_offset[b+1]).
+  std::vector<index_t> block_offset;
+  std::vector<index_t> block_color;
+  index_t num_block_colors = 0;
+  /// Blocks grouped by color, the execution order of the threads backend.
+  std::vector<std::vector<index_t>> blocks_by_color;
+  /// Per-element color within its block (cudasim commit order).
+  std::vector<index_t> elem_color;
+  std::vector<index_t> block_elem_colors;  ///< colors used per block
+  index_t max_elem_colors = 0;
+  bool has_conflicts = false;  ///< false => loop is embarrassingly parallel
+};
+
+/// Builds (or rebuilds) a plan for a loop over `set` with the given
+/// argument signature. Exposed for tests and the coloring ablation bench;
+/// par_loop goes through the Context's plan cache.
+Plan build_plan(const Context& ctx, const Set& set,
+                const std::vector<ArgInfo>& args, index_t block_size);
+
+}  // namespace op2

@@ -1,0 +1,55 @@
+#include "op2/io.hpp"
+
+#include <vector>
+
+namespace op2 {
+
+namespace {
+
+void dump_one(DatBase& dat, apl::io::File& file) {
+  const std::size_t entry = dat.entry_bytes();
+  std::vector<std::uint8_t> bytes(
+      static_cast<std::size_t>(dat.set().size()) * entry);
+  for (index_t e = 0; e < dat.set().size(); ++e) {
+    dat.pack_entry(e, bytes.data() + static_cast<std::size_t>(e) * entry);
+  }
+  file.put<std::uint8_t>(
+      "dat/" + dat.name(), bytes,
+      {static_cast<std::uint64_t>(dat.set().size()),
+       static_cast<std::uint64_t>(entry)});
+}
+
+}  // namespace
+
+void dump_dats(Context& ctx, apl::io::File& file) {
+  for (index_t d = 0; d < ctx.num_dats(); ++d) {
+    dump_one(ctx.dat(d), file);
+  }
+}
+
+void dump_dats(Distributed& dist, apl::io::File& file) {
+  // Gather authoritative owner values into the global context, then dump.
+  Context& ctx = dist.global_context();
+  for (index_t d = 0; d < ctx.num_dats(); ++d) {
+    dist.fetch(ctx.dat(d));
+  }
+  dump_dats(ctx, file);
+}
+
+void load_dats(Context& ctx, const apl::io::File& file) {
+  for (index_t d = 0; d < ctx.num_dats(); ++d) {
+    DatBase& dat = ctx.dat(d);
+    const std::string key = "dat/" + dat.name();
+    if (!file.contains(key)) continue;
+    const auto bytes = file.get<std::uint8_t>(key);
+    apl::require(bytes.size() == static_cast<std::size_t>(dat.set().size()) *
+                                     dat.entry_bytes(),
+                 "load_dats: size mismatch for '", dat.name(), "'");
+    for (index_t e = 0; e < dat.set().size(); ++e) {
+      dat.unpack_entry(e, bytes.data() +
+                              static_cast<std::size_t>(e) * dat.entry_bytes());
+    }
+  }
+}
+
+}  // namespace op2

@@ -1,0 +1,156 @@
+#include "op2/plan.hpp"
+
+#include <algorithm>
+
+#include "apl/error.hpp"
+#include "apl/graph/coloring.hpp"
+#include "apl/graph/csr.hpp"
+#include "op2/context.hpp"
+
+namespace op2 {
+
+namespace {
+
+/// The conflict "resources" of a loop: one entry per (element, conflicting
+/// argument). Two elements race iff they touch the same resource. Resources
+/// of different dats live in disjoint id ranges — increments into different
+/// datasets never race even on the same mesh element.
+struct ConflictTable {
+  std::vector<index_t> resources;  ///< n * arity, -1 padded
+  index_t arity = 0;
+  index_t num_resources = 0;
+};
+
+ConflictTable build_conflicts(const Context& ctx, const Set& set,
+                              const std::vector<ArgInfo>& args) {
+  // Conflicting args: indirect and modified. (Direct writes are private to
+  // the element; indirect pure reads race with nothing.)
+  std::vector<const ArgInfo*> conflict_args;
+  for (const ArgInfo& a : args) {
+    if (!a.is_gbl && a.indirect() && writes(a.acc)) conflict_args.push_back(&a);
+  }
+  ConflictTable out;
+  out.arity = static_cast<index_t>(conflict_args.size());
+  if (out.arity == 0) return out;
+
+  // Assign each involved dat a disjoint resource range.
+  std::map<index_t, index_t> dat_base;
+  index_t next_base = 0;
+  for (const ArgInfo* a : conflict_args) {
+    if (!dat_base.count(a->dat_id)) {
+      dat_base[a->dat_id] = next_base;
+      next_base += ctx.dat(a->dat_id).set().size();
+    }
+  }
+  out.num_resources = next_base;
+  const index_t n = set.core_size();
+  out.resources.assign(static_cast<std::size_t>(n) * out.arity, -1);
+  for (index_t k = 0; k < out.arity; ++k) {
+    const ArgInfo& a = *conflict_args[k];
+    const Map& m = ctx.map(a.map_id);
+    const index_t base = dat_base[a.dat_id];
+    for (index_t e = 0; e < n; ++e) {
+      out.resources[static_cast<std::size_t>(e) * out.arity + k] =
+          base + m.at(e, a.idx);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Plan build_plan(const Context& ctx, const Set& set,
+                const std::vector<ArgInfo>& args, index_t block_size) {
+  apl::require(block_size > 0, "build_plan: block size must be positive");
+  Plan plan;
+  plan.block_size = block_size;
+  const index_t n = set.core_size();
+  plan.num_blocks = (n + block_size - 1) / block_size;
+  plan.block_offset.resize(static_cast<std::size_t>(plan.num_blocks) + 1);
+  for (index_t b = 0; b <= plan.num_blocks; ++b) {
+    plan.block_offset[b] = std::min(n, b * block_size);
+  }
+
+  const ConflictTable conflicts = build_conflicts(ctx, set, args);
+  plan.has_conflicts = conflicts.arity > 0;
+
+  if (!plan.has_conflicts) {
+    // Embarrassingly parallel: one color holds every block, elements are
+    // all color 0.
+    plan.block_color.assign(plan.num_blocks, 0);
+    plan.num_block_colors = plan.num_blocks > 0 ? 1 : 0;
+    plan.blocks_by_color.resize(plan.num_block_colors);
+    for (index_t b = 0; b < plan.num_blocks; ++b) {
+      plan.blocks_by_color[0].push_back(b);
+    }
+    plan.elem_color.assign(n, 0);
+    plan.block_elem_colors.assign(plan.num_blocks, n > 0 ? 1 : 0);
+    plan.max_elem_colors = n > 0 ? 1 : 0;
+    return plan;
+  }
+
+  // ---- layer 1: block coloring.
+  // Two blocks conflict iff they share any resource. Build resource ->
+  // blocks, then the block conflict graph, then greedy-color it.
+  std::vector<std::vector<index_t>> resource_blocks(conflicts.num_resources);
+  for (index_t b = 0; b < plan.num_blocks; ++b) {
+    for (index_t e = plan.block_offset[b]; e < plan.block_offset[b + 1]; ++e) {
+      for (index_t k = 0; k < conflicts.arity; ++k) {
+        const index_t r =
+            conflicts.resources[static_cast<std::size_t>(e) * conflicts.arity + k];
+        if (r < 0) continue;
+        auto& row = resource_blocks[r];
+        if (row.empty() || row.back() != b) row.push_back(b);
+      }
+    }
+  }
+  std::vector<std::vector<index_t>> block_adj(plan.num_blocks);
+  for (const auto& row : resource_blocks) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      for (std::size_t j = i + 1; j < row.size(); ++j) {
+        block_adj[row[i]].push_back(row[j]);
+        block_adj[row[j]].push_back(row[i]);
+      }
+    }
+  }
+  apl::graph::Csr block_graph;
+  block_graph.offsets.assign(static_cast<std::size_t>(plan.num_blocks) + 1, 0);
+  for (index_t b = 0; b < plan.num_blocks; ++b) {
+    auto& adj = block_adj[b];
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    block_graph.adj.insert(block_graph.adj.end(), adj.begin(), adj.end());
+    block_graph.offsets[static_cast<std::size_t>(b) + 1] =
+        static_cast<index_t>(block_graph.adj.size());
+  }
+  const apl::graph::Coloring bc = apl::graph::greedy_color(block_graph);
+  plan.block_color = bc.color;
+  plan.num_block_colors = bc.num_colors;
+  plan.blocks_by_color.resize(plan.num_block_colors);
+  for (index_t b = 0; b < plan.num_blocks; ++b) {
+    plan.blocks_by_color[plan.block_color[b]].push_back(b);
+  }
+
+  // ---- layer 2: element coloring within each block (cudasim commit order).
+  plan.elem_color.assign(n, 0);
+  plan.block_elem_colors.assign(plan.num_blocks, 0);
+  for (index_t b = 0; b < plan.num_blocks; ++b) {
+    const index_t begin = plan.block_offset[b];
+    const index_t count = plan.block_offset[b + 1] - begin;
+    if (count == 0) continue;
+    const std::span<const index_t> local(
+        conflicts.resources.data() +
+            static_cast<std::size_t>(begin) * conflicts.arity,
+        static_cast<std::size_t>(count) * conflicts.arity);
+    const apl::graph::Coloring ec = apl::graph::color_by_shared_resources(
+        local, conflicts.arity, count, conflicts.num_resources);
+    for (index_t i = 0; i < count; ++i) {
+      plan.elem_color[begin + i] = ec.color[i];
+    }
+    plan.block_elem_colors[b] = ec.num_colors;
+    plan.max_elem_colors = std::max(plan.max_elem_colors, ec.num_colors);
+  }
+  return plan;
+}
+
+}  // namespace op2

@@ -1,0 +1,91 @@
+#include "op2/transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "apl/error.hpp"
+#include "apl/graph/csr.hpp"
+#include "apl/graph/rcm.hpp"
+
+namespace op2 {
+
+void Context::apply_permutation(const Set& set,
+                                std::span<const index_t> perm) {
+  apl::require(static_cast<index_t>(perm.size()) == set.size(),
+               "apply_permutation: permutation size ", perm.size(),
+               " != set '", set.name(), "' size ", set.size());
+  // Validate it is a permutation before touching anything.
+  (void)apl::graph::invert_permutation(
+      std::vector<index_t>(perm.begin(), perm.end()));
+
+  // Reorder all dats on the set: entry e moves to perm[e].
+  for (auto& dat : dats_) {
+    if (&dat->set() != &set) continue;
+    const std::size_t entry = dat->entry_bytes();
+    std::vector<std::uint8_t> packed(
+        static_cast<std::size_t>(set.size()) * entry);
+    for (index_t e = 0; e < set.size(); ++e) {
+      dat->pack_entry(e, packed.data() + static_cast<std::size_t>(e) * entry);
+    }
+    for (index_t e = 0; e < set.size(); ++e) {
+      dat->unpack_entry(perm[e],
+                        packed.data() + static_cast<std::size_t>(e) * entry);
+    }
+  }
+  // Rewrite maps: values into the set are renamed; rows of maps out of the
+  // set move with their source element.
+  for (auto& map : maps_) {
+    if (&map->to() == &set) {
+      for (index_t& t : map->table_) t = perm[t];
+    }
+    if (&map->from() == &set) {
+      std::vector<index_t> next(map->table_.size());
+      const index_t arity = map->arity();
+      for (index_t e = 0; e < set.size(); ++e) {
+        std::copy_n(map->table_.begin() + static_cast<std::size_t>(e) * arity,
+                    arity,
+                    next.begin() + static_cast<std::size_t>(perm[e]) * arity);
+      }
+      map->table_ = std::move(next);
+    }
+  }
+  invalidate_plans();
+  unique_targets_cache_.clear();
+}
+
+void Context::convert_layout(Layout layout) {
+  for (auto& dat : dats_) dat->convert_layout(layout);
+  invalidate_plans();
+}
+
+std::vector<index_t> rcm_permutation_for(const Context& ctx, const Map& map) {
+  (void)ctx;
+  const apl::graph::Csr adj = apl::graph::node_adjacency(
+      map.table(), map.arity(), map.from().size(), map.to().size());
+  return apl::graph::rcm_permutation(adj);
+}
+
+std::vector<index_t> sort_by_map_permutation(const Context& ctx,
+                                             const Map& map) {
+  (void)ctx;
+  const index_t n = map.from().size();
+  std::vector<index_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](index_t a, index_t b) {
+    const auto ra = map.row(a);
+    const auto rb = map.row(b);
+    return *std::min_element(ra.begin(), ra.end()) <
+           *std::min_element(rb.begin(), rb.end());
+  });
+  // order lists old ids in new order; invert to a perm (old -> new).
+  std::vector<index_t> perm(n);
+  for (index_t newid = 0; newid < n; ++newid) perm[order[newid]] = newid;
+  return perm;
+}
+
+void renumber_mesh(Context& ctx, const Map& map) {
+  ctx.apply_permutation(map.to(), rcm_permutation_for(ctx, map));
+  ctx.apply_permutation(map.from(), sort_by_map_permutation(ctx, map));
+}
+
+}  // namespace op2

@@ -1,0 +1,273 @@
+#include "ops/dist.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ops {
+
+namespace {
+
+/// Near-square factorization of nranks over ndim dimensions.
+std::array<int, kMaxDim> factorize(int nranks, int ndim) {
+  std::array<int, kMaxDim> grid{1, 1, 1};
+  int remaining = nranks;
+  for (int d = 0; d < ndim - 1; ++d) {
+    const int dims_left = ndim - d;
+    int target = static_cast<int>(std::round(
+        std::pow(static_cast<double>(remaining), 1.0 / dims_left)));
+    target = std::max(1, target);
+    // Largest divisor of `remaining` not exceeding target-ish: scan down.
+    int pick = 1;
+    for (int f = target; f >= 1; --f) {
+      if (remaining % f == 0) {
+        pick = f;
+        break;
+      }
+    }
+    grid[d] = pick;
+    remaining /= pick;
+  }
+  grid[ndim - 1] = remaining;
+  return grid;
+}
+
+}  // namespace
+
+Distributed::Distributed(Context& ctx, int nranks)
+    : global_(&ctx), comm_(nranks) {
+  apl::require(nranks >= 1, "ops::Distributed: need at least one rank");
+  halo_dirty_.assign(ctx.num_dats(), 0);
+  // ---- decompose every block
+  decomp_.resize(ctx.num_blocks());
+  for (index_t b = 0; b < ctx.num_blocks(); ++b) {
+    Decomp& dec = decomp_[b];
+    dec.pgrid = factorize(nranks, ctx.block(b).ndim());
+    for (index_t d_id = 0; d_id < ctx.num_dats(); ++d_id) {
+      const DatBase& dat = ctx.dat(d_id);
+      if (dat.block().id() != b) continue;
+      for (int d = 0; d < kMaxDim; ++d) {
+        dec.ref_size[d] = std::max(dec.ref_size[d], dat.size()[d]);
+      }
+    }
+    for (int d = 0; d < kMaxDim; ++d) {
+      apl::require(dec.ref_size[d] >= dec.pgrid[d] || dec.pgrid[d] == 1,
+                   "ops::Distributed: block '", ctx.block(b).name(),
+                   "' too small for ", dec.pgrid[d], " ranks in dimension ",
+                   d);
+      dec.starts[d].resize(dec.pgrid[d] + 1);
+      for (int c = 0; c <= dec.pgrid[d]; ++c) {
+        dec.starts[d][c] = static_cast<index_t>(
+            static_cast<std::int64_t>(dec.ref_size[d]) * c / dec.pgrid[d]);
+      }
+    }
+  }
+  // ---- per-rank contexts
+  offset_.resize(nranks);
+  for (int r = 0; r < nranks; ++r) {
+    auto rc = std::make_unique<Context>();
+    for (index_t b = 0; b < global_->num_blocks(); ++b) {
+      rc->decl_block(global_->block(b).ndim(), global_->block(b).name());
+    }
+    // Stencils are replicated in declaration order so ids line up.
+    for (index_t s = 0; s < global_->num_stencils(); ++s) {
+      const Stencil& st = global_->stencil(s);
+      rc->decl_stencil(st.ndim(), st.points(), st.name());
+    }
+    offset_[r].resize(global_->num_dats());
+    const auto coords_of = [&](const Decomp& dec) {
+      return rank_coords(dec, r);
+    };
+    for (index_t d_id = 0; d_id < global_->num_dats(); ++d_id) {
+      const DatBase& dat = global_->dat(d_id);
+      const Decomp& dec = decomp_[dat.block().id()];
+      const auto rcoord = coords_of(dec);
+      std::array<index_t, kMaxDim> lsize{1, 1, 1};
+      for (int d = 0; d < kMaxDim; ++d) {
+        const auto [lo, hi] =
+            owned_interval(dec, d, rcoord[d], dat.size()[d], 0, 0);
+        lsize[d] = std::max<index_t>(1, hi - lo);
+        offset_[r][d_id][d] = dec.starts[d][rcoord[d]];
+      }
+      dat.declare_like(*rc, rc->block(dat.block().id()), lsize);
+    }
+    rank_ctx_.push_back(std::move(rc));
+  }
+  for (index_t d_id = 0; d_id < global_->num_dats(); ++d_id) {
+    scatter(global_->dat(d_id));
+  }
+}
+
+std::array<int, kMaxDim> Distributed::rank_coords(const Decomp& dec,
+                                                  int r) const {
+  std::array<int, kMaxDim> c{0, 0, 0};
+  c[0] = r % dec.pgrid[0];
+  c[1] = (r / dec.pgrid[0]) % dec.pgrid[1];
+  c[2] = r / (dec.pgrid[0] * dec.pgrid[1]);
+  return c;
+}
+
+std::pair<index_t, index_t> Distributed::owned_interval(
+    const Decomp& dec, int d, int c, index_t s, index_t halo_lo,
+    index_t halo_hi) const {
+  index_t lo = dec.starts[d][c];
+  index_t hi = (c + 1 == dec.pgrid[d]) ? s : std::min(s, dec.starts[d][c + 1]);
+  if (c == 0) lo -= halo_lo;
+  if (c + 1 == dec.pgrid[d]) hi += halo_hi;
+  return {lo, hi};
+}
+
+void Distributed::set_node_backend(Backend b) {
+  for (auto& rc : rank_ctx_) rc->set_backend(b);
+}
+
+std::array<int, kMaxDim> Distributed::process_grid(const Block& block) const {
+  return decomp_[block.id()].pgrid;
+}
+
+std::size_t Distributed::halo_points(const DatBase& dat) const {
+  const Decomp& dec = decomp_[dat.block().id()];
+  std::size_t total = 0;
+  for (int r = 0; r < comm_.size(); ++r) {
+    const DatBase& rdat = rank_ctx_[r]->dat(dat.id());
+    const auto rcoord = rank_coords(dec, r);
+    const auto a = rdat.alloc_size();
+    // x strips (interior height), both directions where a neighbour exists.
+    if (rcoord[0] > 0) total += static_cast<std::size_t>(dat.d_p()[0]) * rdat.size()[1];
+    if (rcoord[0] + 1 < dec.pgrid[0]) {
+      total += static_cast<std::size_t>(dat.d_m()[0]) * rdat.size()[1];
+    }
+    // y strips (full width including x halos).
+    if (rcoord[1] > 0) total += static_cast<std::size_t>(dat.d_p()[1]) * a[0];
+    if (rcoord[1] + 1 < dec.pgrid[1]) {
+      total += static_cast<std::size_t>(dat.d_m()[1]) * a[0];
+    }
+  }
+  return total;
+}
+
+void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
+  const DatBase& gdat = global_->dat(dat_id);
+  const Decomp& dec = decomp_[gdat.block().id()];
+  const std::size_t entry = gdat.dim() * gdat.elem_bytes();
+  std::vector<std::uint8_t> buf(entry);
+  std::uint64_t bytes = 0;
+
+  // A strip copy between two rank dats: source interior columns/rows into
+  // the destination's halo. Executed directly (the byte traffic is metered
+  // through comm_ with one message per strip).
+  const auto copy_strip = [&](int src, int dst, index_t sx0, index_t sx1,
+                              index_t sy0, index_t sy1, index_t dx0,
+                              index_t dy0, int tag) {
+    DatBase& sdat = rank_ctx_[src]->dat(dat_id);
+    DatBase& ddat = rank_ctx_[dst]->dat(dat_id);
+    const std::uint64_t strip_bytes = static_cast<std::uint64_t>(sx1 - sx0) *
+                                      (sy1 - sy0) * entry;
+    if (strip_bytes == 0) return;
+    comm_.send(src, dst, tag, std::vector<std::uint8_t>{});  // header only
+    comm_.recv(dst, src, tag);
+    comm_.traffic().record(src, dst, strip_bytes);
+    bytes += strip_bytes;
+    for (index_t j = sy0; j < sy1; ++j) {
+      for (index_t i = sx0; i < sx1; ++i) {
+        sdat.pack_point(i, j, 0, buf.data());
+        ddat.unpack_point(dx0 + (i - sx0), dy0 + (j - sy0), 0, buf.data());
+      }
+    }
+  };
+
+  for (int r = 0; r < comm_.size(); ++r) {
+    const auto rcoord = rank_coords(dec, r);
+    const DatBase& rdat = rank_ctx_[r]->dat(dat_id);
+    const index_t lx = rdat.size()[0];
+    const index_t ly = rdat.size()[1];
+    // ---- x phase: full local height including y halos, so values the
+    // boundary-condition loops wrote into physical y-halo rows propagate
+    // to x neighbours (the y phase then settles inter-rank corners).
+    if (rcoord[0] + 1 < dec.pgrid[0]) {
+      const int right = r + 1;
+      const DatBase& ndat = rank_ctx_[right]->dat(dat_id);
+      // My rightmost d_m columns fill the right neighbour's low-x halo.
+      copy_strip(r, right, lx - gdat.d_m()[0], lx, -gdat.d_m()[1],
+                 ly + gdat.d_p()[1], -gdat.d_m()[0], -gdat.d_m()[1], 1);
+      // Neighbour's leftmost d_p columns fill my high-x halo.
+      copy_strip(right, r, 0, gdat.d_p()[0], -gdat.d_m()[1],
+                 ndat.size()[1] + gdat.d_p()[1], lx, -gdat.d_m()[1], 2);
+    }
+  }
+  for (int r = 0; r < comm_.size(); ++r) {
+    const auto rcoord = rank_coords(dec, r);
+    const DatBase& rdat = rank_ctx_[r]->dat(dat_id);
+    const index_t lx = rdat.size()[0];
+    const index_t ly = rdat.size()[1];
+    // ---- y phase: full width including x halos (settles corners).
+    if (rcoord[1] + 1 < dec.pgrid[1]) {
+      const int up = r + dec.pgrid[0];
+      const DatBase& ndat = rank_ctx_[up]->dat(dat_id);
+      copy_strip(r, up, -gdat.d_m()[0], lx + gdat.d_p()[0],
+                 ly - gdat.d_m()[1], ly, -gdat.d_m()[0], -gdat.d_m()[1], 3);
+      copy_strip(up, r, -gdat.d_m()[0], ndat.size()[0] + gdat.d_p()[0], 0,
+                 gdat.d_p()[1], -gdat.d_m()[0], ly, 4);
+    }
+  }
+  if (stats) stats->halo_bytes += bytes;
+}
+
+void Distributed::fetch(DatBase& global_dat) {
+  const Decomp& dec = decomp_[global_dat.block().id()];
+  std::vector<std::uint8_t> buf(global_dat.dim() * global_dat.elem_bytes());
+  // Owner of global point p per dim: the rank interval containing it, with
+  // edge extension into the physical halo.
+  const auto owner_of = [&](int d, index_t p) {
+    for (int c = 0; c < dec.pgrid[d]; ++c) {
+      const auto [lo, hi] = owned_interval(dec, d, c, dec.ref_size[d],
+                                           /*halo_lo=*/1 << 20,
+                                           /*halo_hi=*/1 << 20);
+      if (p >= lo && p < hi) return c;
+    }
+    return dec.pgrid[d] - 1;
+  };
+  const auto& sz = global_dat.size();
+  const auto& dm = global_dat.d_m();
+  const auto& dp = global_dat.d_p();
+  for (index_t j = -dm[1]; j < sz[1] + dp[1]; ++j) {
+    for (index_t i = -dm[0]; i < sz[0] + dp[0]; ++i) {
+      const int cx = owner_of(0, i);
+      const int cy = owner_of(1, j);
+      const int r = cy * dec.pgrid[0] + cx;
+      const DatBase& rdat = rank_ctx_[r]->dat(global_dat.id());
+      rdat.pack_point(i - dec.starts[0][cx], j - dec.starts[1][cy], 0,
+                      buf.data());
+      global_dat.unpack_point(i, j, 0, buf.data());
+    }
+  }
+}
+
+void Distributed::scatter(DatBase& global_dat) {
+  const Decomp& dec = decomp_[global_dat.block().id()];
+  std::vector<std::uint8_t> buf(global_dat.dim() * global_dat.elem_bytes());
+  const auto& gsz = global_dat.size();
+  const auto& dm = global_dat.d_m();
+  const auto& dp = global_dat.d_p();
+  for (int r = 0; r < comm_.size(); ++r) {
+    DatBase& rdat = rank_ctx_[r]->dat(global_dat.id());
+    const auto rcoord = rank_coords(dec, r);
+    const auto& lsz = rdat.size();
+    for (index_t j = -dm[1]; j < lsz[1] + dp[1]; ++j) {
+      for (index_t i = -dm[0]; i < lsz[0] + dp[0]; ++i) {
+        const index_t gi = i + dec.starts[0][rcoord[0]];
+        const index_t gj = j + dec.starts[1][rcoord[1]];
+        // Local halo points beyond the global allocation (can only happen
+        // for degenerate decompositions) keep their current value.
+        if (gi < -dm[0] || gi >= gsz[0] + dp[0] || gj < -dm[1] ||
+            gj >= gsz[1] + dp[1]) {
+          continue;
+        }
+        global_dat.pack_point(gi, gj, 0, buf.data());
+        rdat.unpack_point(i, j, 0, buf.data());
+      }
+    }
+  }
+  halo_dirty_[global_dat.id()] = 0;
+}
+
+}  // namespace ops

@@ -1,0 +1,81 @@
+#include "ops/halo.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace ops {
+
+Halo::Halo(DatBase& from, DatBase& to,
+           std::array<index_t, kMaxDim> iter_size,
+           std::array<index_t, kMaxDim> from_base,
+           std::array<index_t, kMaxDim> to_base,
+           std::array<int, kMaxDim> from_dir, std::array<int, kMaxDim> to_dir)
+    : from_(&from), to_(&to), iter_size_(iter_size), from_base_(from_base),
+      to_base_(to_base), from_dir_(from_dir), to_dir_(to_dir) {
+  apl::require(from.dim() == to.dim() && from.elem_bytes() == to.elem_bytes(),
+               "Halo: dats '", from.name(), "' and '", to.name(),
+               "' have different value types");
+  const int ndim = from.block().ndim();
+  for (int d = 0; d < ndim; ++d) {
+    apl::require(iter_size[d] >= 1, "Halo: empty iteration extent");
+    for (const auto& dir : {from_dir, to_dir}) {
+      const int a = std::abs(dir[d]) - 1;
+      apl::require(a >= 0 && a < ndim, "Halo: direction entry ", dir[d],
+                   " does not name a valid axis");
+    }
+  }
+  for (int d = ndim; d < kMaxDim; ++d) {
+    apl::require(iter_size_[d] <= 1, "Halo: extent in unused dimension");
+    iter_size_[d] = 1;
+  }
+}
+
+std::array<index_t, kMaxDim> Halo::map_point(
+    const std::array<index_t, kMaxDim>& iter,
+    const std::array<index_t, kMaxDim>& base,
+    const std::array<int, kMaxDim>& dir) const {
+  std::array<index_t, kMaxDim> out = base;
+  const int ndim = from_->block().ndim();
+  for (int d = 0; d < ndim; ++d) {
+    const int axis = std::abs(dir[d]) - 1;
+    out[axis] = base[axis] + (dir[d] > 0 ? iter[d] : -iter[d]);
+  }
+  return out;
+}
+
+void Halo::transfer() {
+  std::vector<std::uint8_t> buf(from_->dim() * from_->elem_bytes());
+  std::array<index_t, kMaxDim> it{};
+  for (it[2] = 0; it[2] < iter_size_[2]; ++it[2]) {
+    for (it[1] = 0; it[1] < iter_size_[1]; ++it[1]) {
+      for (it[0] = 0; it[0] < iter_size_[0]; ++it[0]) {
+        const auto f = map_point(it, from_base_, from_dir_);
+        const auto t = map_point(it, to_base_, to_dir_);
+        from_->pack_point(f[0], f[1], f[2], buf.data());
+        to_->unpack_point(t[0], t[1], t[2], buf.data());
+      }
+    }
+  }
+}
+
+std::size_t Halo::points() const {
+  return static_cast<std::size_t>(iter_size_[0]) * iter_size_[1] *
+         iter_size_[2];
+}
+
+std::size_t Halo::bytes() const {
+  return points() * from_->dim() * from_->elem_bytes();
+}
+
+void HaloGroup::transfer() {
+  for (Halo& h : halos_) h.transfer();
+}
+
+std::size_t HaloGroup::bytes() const {
+  std::size_t total = 0;
+  for (const Halo& h : halos_) total += h.bytes();
+  return total;
+}
+
+}  // namespace ops

@@ -1,0 +1,106 @@
+// The OPS context: owner of blocks, stencils, datasets, inter-block halos
+// and run-time configuration.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apl/profile.hpp"
+#include "ops/arg.hpp"
+#include "ops/core.hpp"
+
+namespace ops {
+
+/// Iteration range: half-open [lo[d], hi[d]) per dimension in the
+/// dataset's interior coordinates; may extend into declared halos
+/// (boundary-condition loops do).
+struct Range {
+  std::array<index_t, kMaxDim> lo{};
+  std::array<index_t, kMaxDim> hi{};
+
+  static Range dim1(index_t x0, index_t x1) {
+    return {{x0, 0, 0}, {x1, 1, 1}};
+  }
+  static Range dim2(index_t x0, index_t x1, index_t y0, index_t y1) {
+    return {{x0, y0, 0}, {x1, y1, 1}};
+  }
+  static Range dim3(index_t x0, index_t x1, index_t y0, index_t y1,
+                    index_t z0, index_t z1) {
+    return {{x0, y0, z0}, {x1, y1, z1}};
+  }
+  std::size_t points() const;
+  Range intersect(const Range& other) const;
+  bool empty() const;
+};
+
+class Context {
+public:
+  Context() = default;
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  // ---- declarations (ops_decl_block / _stencil / _dat)
+  Block& decl_block(int ndim, const std::string& name);
+  Stencil& decl_stencil(int ndim,
+                        std::vector<std::array<int, kMaxDim>> points,
+                        const std::string& name);
+  /// Common stencils by name: "point" (centre only) and symmetric
+  /// box/cross stencils built on demand.
+  Stencil& stencil_point(int ndim);
+
+  template <class T>
+  Dat<T>& decl_dat(const Block& block, index_t dim,
+                   std::array<index_t, kMaxDim> size,
+                   std::array<index_t, kMaxDim> d_m,
+                   std::array<index_t, kMaxDim> d_p,
+                   const std::string& name) {
+    auto dat = std::make_unique<Dat<T>>(static_cast<index_t>(dats_.size()),
+                                        block, dim, size, d_m, d_p, name);
+    Dat<T>& ref = *dat;
+    dats_.push_back(std::move(dat));
+    return ref;
+  }
+
+  const Block& block(index_t id) const { return *blocks_.at(id); }
+  const Stencil& stencil(index_t id) const { return *stencils_.at(id); }
+  DatBase& dat(index_t id) { return *dats_.at(id); }
+  const DatBase& dat(index_t id) const { return *dats_.at(id); }
+  index_t num_blocks() const { return static_cast<index_t>(blocks_.size()); }
+  index_t num_stencils() const {
+    return static_cast<index_t>(stencils_.size());
+  }
+  index_t num_dats() const { return static_cast<index_t>(dats_.size()); }
+  DatBase* find_dat(const std::string& name);
+
+  // ---- execution configuration
+  Backend backend() const { return backend_; }
+  void set_backend(Backend b) { backend_ = b; }
+  bool debug_checks() const { return debug_checks_; }
+  void set_debug_checks(bool on) { debug_checks_ = on; }
+  void hint_flops(const std::string& loop, double flops_per_point);
+  double flops_hint(const std::string& loop) const;
+
+  apl::Profile& profile() { return profile_; }
+  const apl::Profile& profile() const { return profile_; }
+
+private:
+  std::vector<std::unique_ptr<Block>> blocks_;
+  std::vector<std::unique_ptr<Stencil>> stencils_;
+  std::vector<std::unique_ptr<DatBase>> dats_;
+  std::map<int, index_t> point_stencils_;  ///< ndim -> stencil id
+  Backend backend_ = Backend::kSeq;
+  bool debug_checks_ = false;
+  std::map<std::string, double> flop_hints_;
+  apl::Profile profile_;
+};
+
+/// Out-of-line (needs the complete Context).
+template <class T>
+DatBase& Dat<T>::declare_like(Context& ctx, const Block& block,
+                              std::array<index_t, kMaxDim> size) const {
+  return ctx.decl_dat<T>(block, dim_, size, d_m_, d_p_, name_);
+}
+
+}  // namespace ops

@@ -1,0 +1,236 @@
+// Distributed-memory OPS: regular block decomposition with on-demand
+// intra-block halo exchanges (paper Sec. II-B — the MPI backend both
+// CloverLeaf scaling figures run on).
+//
+// Each structured block's index space is split into a near-square process
+// grid. Every rank holds local datasets sized to its owned interval plus
+// the dataset's declared halo depths on every side; the depths double as
+// the inter-rank exchange width. Ranges are given in global coordinates
+// and may extend into the physical block halo — the ownership intervals
+// of edge ranks extend to +-infinity, so boundary-condition loops run
+// exactly once, on the rank owning the adjacent interior. Halo exchanges
+// are dirty-bit driven: a read through a non-centre stencil of a dataset
+// written since the last exchange triggers one (x strips of full local
+// height first, then y strips of full local width, so corners settle in
+// two phases). Reductions combine per-rank partials through the metered
+// simulated communicator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "apl/mpisim/comm.hpp"
+#include "ops/context.hpp"
+#include "ops/par_loop.hpp"
+
+namespace ops {
+
+class Distributed {
+public:
+  /// Decomposes every block of `ctx` over `nranks` ranks.
+  Distributed(Context& ctx, int nranks);
+
+  int num_ranks() const { return comm_.size(); }
+  apl::mpisim::Comm& comm() { return comm_; }
+  const apl::mpisim::Comm& comm() const { return comm_; }
+  Context& rank_context(int r) { return *rank_ctx_[r]; }
+  void set_node_backend(Backend b);
+
+  /// Process-grid extent per dimension of `block`.
+  std::array<int, kMaxDim> process_grid(const Block& block) const;
+  /// Points a full exchange of `dat` moves (per-iteration halo volume).
+  std::size_t halo_points(const DatBase& dat) const;
+
+  template <class Kernel, class... Args>
+  void par_loop(const std::string& name, const Block& block,
+                const Range& range, Kernel&& kernel, Args... args);
+
+  /// Gathers owned values (interior + physical halos) into the global dat.
+  void fetch(DatBase& global_dat);
+  /// Pushes global dat contents out to all ranks (owned + halo copies).
+  void scatter(DatBase& global_dat);
+
+private:
+  struct Decomp {
+    std::array<int, kMaxDim> pgrid{1, 1, 1};
+    /// starts[d] has pgrid[d]+1 entries over the reference size.
+    std::array<std::vector<index_t>, kMaxDim> starts;
+    std::array<index_t, kMaxDim> ref_size{1, 1, 1};
+  };
+
+  std::array<int, kMaxDim> rank_coords(const Decomp& dec, int r) const;
+  /// Owned interval of rank coordinate c in dimension d, clamped to a
+  /// dataset extent `s`; edge ranks extend into the physical halo.
+  std::pair<index_t, index_t> owned_interval(const Decomp& dec, int d, int c,
+                                             index_t s, index_t halo_lo,
+                                             index_t halo_hi) const;
+  void exchange_halo(index_t dat_id, apl::LoopStats* stats);
+
+  Context* global_;
+  apl::mpisim::Comm comm_;
+  std::vector<Decomp> decomp_;  ///< by block id
+  std::vector<std::unique_ptr<Context>> rank_ctx_;
+  /// Translation of local (rank) dat coordinates to global: global =
+  /// local + offset. Indexed [rank][dat].
+  std::vector<std::vector<std::array<index_t, kMaxDim>>> offset_;
+  std::vector<char> halo_dirty_;
+  std::array<index_t, kMaxDim> current_shift_{};
+
+  // ---- typed helpers ---------------------------------------------------
+
+  /// Replicates global stencils declared after construction (ids align
+  /// because both contexts declare in global order).
+  const Stencil& rank_stencil(int r, const Stencil& s) {
+    while (rank_ctx_[r]->num_stencils() <= s.id()) {
+      const Stencil& gs = global_->stencil(rank_ctx_[r]->num_stencils());
+      rank_ctx_[r]->decl_stencil(gs.ndim(), gs.points(), gs.name());
+    }
+    return rank_ctx_[r]->stencil(s.id());
+  }
+
+  template <class T>
+  ArgDat<T> rank_arg(const ArgDat<T>& a, int r) {
+    return ArgDat<T>{static_cast<Dat<T>*>(&rank_ctx_[r]->dat(a.dat->id())),
+                     &rank_stencil(r, *a.stencil), a.acc};
+  }
+
+  template <class T>
+  struct DistGbl {
+    ArgGbl<T>* user;
+    std::vector<T> per_rank;
+  };
+
+  template <class T>
+  DistGbl<T> make_state(ArgGbl<T>& g) {
+    DistGbl<T> st{&g, {}};
+    if (g.acc != Access::kRead) {
+      st.per_rank.assign(static_cast<std::size_t>(num_ranks()) * g.dim,
+                         detail::ops_reduction_identity<T>(g.acc));
+    }
+    return st;
+  }
+  template <class T>
+  ArgDat<T>* make_state(ArgDat<T>&) {
+    return nullptr;
+  }
+  inline ArgIdx* make_state(ArgIdx&) { return nullptr; }
+
+  template <class T>
+  ArgDat<T> rank_param(int r, ArgDat<T>& a, ArgDat<T>*) {
+    return rank_arg(a, r);
+  }
+  template <class T>
+  ArgGbl<T> rank_param(int r, ArgGbl<T>& /*g*/, DistGbl<T>& st) {
+    if (st.user->acc == Access::kRead) {
+      return ArgGbl<T>{st.user->data, st.user->dim, st.user->acc, {}};
+    }
+    return ArgGbl<T>{st.per_rank.data() +
+                         static_cast<std::size_t>(r) * st.user->dim,
+                     st.user->dim, st.user->acc, {}};
+  }
+  ArgIdx rank_param(int /*r*/, ArgIdx&, ArgIdx*) {
+    ArgIdx out;
+    for (int d = 0; d < kMaxDim; ++d) {
+      out.offset[d] = static_cast<int>(current_shift_[d]);
+    }
+    return out;
+  }
+
+  template <class T>
+  void finish_state(ArgDat<T>*) {}
+  void finish_state(ArgIdx*) {}
+  template <class T>
+  void finish_state(DistGbl<T>& st) {
+    if (st.user->acc == Access::kRead) return;
+    using Op = apl::mpisim::Comm::ReduceOp;
+    const Op op = st.user->acc == Access::kInc   ? Op::kSum
+                  : st.user->acc == Access::kMin ? Op::kMin
+                                                 : Op::kMax;
+    std::vector<double> contrib(st.user->dim);
+    for (int r = 0; r < num_ranks(); ++r) {
+      for (index_t d = 0; d < st.user->dim; ++d) {
+        contrib[d] = static_cast<double>(
+            st.per_rank[static_cast<std::size_t>(r) * st.user->dim + d]);
+      }
+      comm_.allreduce_begin(r, contrib, op);
+    }
+    const auto result = comm_.allreduce_end();
+    for (index_t d = 0; d < st.user->dim; ++d) {
+      const T v = static_cast<T>(result[d]);
+      switch (st.user->acc) {
+        case Access::kInc: st.user->data[d] += v; break;
+        case Access::kMin:
+          st.user->data[d] = std::min(st.user->data[d], v);
+          break;
+        case Access::kMax:
+          st.user->data[d] = std::max(st.user->data[d], v);
+          break;
+        default: break;
+      }
+    }
+  }
+};
+
+template <class Kernel, class... Args>
+void Distributed::par_loop(const std::string& name, const Block& block,
+                           const Range& range, Kernel&& kernel,
+                           Args... args) {
+  std::vector<ArgInfo> infos{args.info()...};
+  apl::LoopStats& stats = global_->profile().stats(name);
+
+  // On-demand exchanges: reads through a non-centre stencil of dirty dats.
+  for (const ArgInfo& a : infos) {
+    if (a.is_gbl || a.is_idx || !reads(a.acc)) continue;
+    if (!halo_dirty_[a.dat_id]) continue;
+    if (global_->stencil(a.stencil_id).is_zero_point()) continue;
+    exchange_halo(a.dat_id, &stats);
+    halo_dirty_[a.dat_id] = 0;
+  }
+
+  auto states = std::make_tuple(make_state(args)...);
+  const Decomp& dec = decomp_[block.id()];
+  {
+    apl::ScopedLoopTimer timer(stats);
+    for (int r = 0; r < num_ranks(); ++r) {
+      const auto rc = rank_coords(dec, r);
+      // Owned interval per dimension in *range* coordinates: use the
+      // reference size with edge extension (clamping happens via the
+      // intersection with the requested range).
+      Range own;
+      bool live = true;
+      for (int d = 0; d < kMaxDim; ++d) {
+        const auto [lo, hi] = owned_interval(
+            dec, d, rc[d], dec.ref_size[d],
+            /*halo_lo=*/1 << 20, /*halo_hi=*/1 << 20);
+        own.lo[d] = lo;
+        own.hi[d] = hi;
+        if (lo >= hi) live = false;
+      }
+      if (!live) continue;
+      Range local = range.intersect(own);
+      if (local.empty()) continue;
+      // Translate into rank-local coordinates (all dats of a block share
+      // the rank's start); arg_idx arguments get the shift added back so
+      // kernels see global indices.
+      for (int d = 0; d < kMaxDim; ++d) {
+        current_shift_[d] = dec.starts[d][rc[d]];
+        local.lo[d] -= current_shift_[d];
+        local.hi[d] -= current_shift_[d];
+      }
+      std::apply(
+          [&](auto&... st) {
+            ops::par_loop(*rank_ctx_[r], name, rank_ctx_[r]->block(block.id()),
+                          local, kernel, rank_param(r, args, st)...);
+          },
+          states);
+    }
+  }
+  std::apply([&](auto&... st) { (finish_state(st), ...); }, states);
+  for (const ArgInfo& a : infos) {
+    if (!a.is_gbl && !a.is_idx && writes(a.acc)) halo_dirty_[a.dat_id] = 1;
+  }
+}
+
+}  // namespace ops

@@ -1,0 +1,63 @@
+// Explicit inter-block halos (paper Sec. II-A): "Halos between datasets
+// defined on different blocks are explicitly defined by the user,
+// including their extent and orientation relative to each other", and
+// transfers are triggered explicitly, acting as synchronization points
+// between blocks.
+//
+// A Halo copies an `iter_size` box of points from one dataset into
+// another. `from_dir` / `to_dir` map iteration dimensions onto dataset
+// axes with orientation, exactly like ops_decl_halo: entry d is +-(a+1),
+// meaning iteration dimension d advances along dataset axis a, upward for
+// + and downward for - (so rotated/reflected block interfaces line up).
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "ops/context.hpp"
+
+namespace ops {
+
+class Halo {
+public:
+  Halo(DatBase& from, DatBase& to, std::array<index_t, kMaxDim> iter_size,
+       std::array<index_t, kMaxDim> from_base,
+       std::array<index_t, kMaxDim> to_base,
+       std::array<int, kMaxDim> from_dir, std::array<int, kMaxDim> to_dir);
+
+  /// Copies the box from the source into the destination dataset.
+  void transfer();
+
+  std::size_t points() const;
+  std::size_t bytes() const;
+
+private:
+  std::array<index_t, kMaxDim> map_point(
+      const std::array<index_t, kMaxDim>& iter,
+      const std::array<index_t, kMaxDim>& base,
+      const std::array<int, kMaxDim>& dir) const;
+
+  DatBase* from_;
+  DatBase* to_;
+  std::array<index_t, kMaxDim> iter_size_;
+  std::array<index_t, kMaxDim> from_base_;
+  std::array<index_t, kMaxDim> to_base_;
+  std::array<int, kMaxDim> from_dir_;
+  std::array<int, kMaxDim> to_dir_;
+};
+
+/// A group of halos transferred together (ops_halo_transfer of a group);
+/// the explicit synchronization point between blocks.
+class HaloGroup {
+public:
+  void add(Halo halo) { halos_.push_back(std::move(halo)); }
+  void transfer();
+  std::size_t size() const { return halos_.size(); }
+  /// Total bytes one transfer() moves (scaling-model input).
+  std::size_t bytes() const;
+
+private:
+  std::vector<Halo> halos_;
+};
+
+}  // namespace ops

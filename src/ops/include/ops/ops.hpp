@@ -1,0 +1,23 @@
+// Umbrella header for the OPS multi-block structured-mesh active library.
+//
+// Quickstart:
+//   ops::Context ctx;
+//   ops::Block& grid = ctx.decl_block(2, "grid");
+//   ops::Stencil& s2d5 = ctx.decl_stencil(2,
+//       {{{0,0,0}},{{1,0,0}},{{-1,0,0}},{{0,1,0}},{{0,-1,0}}}, "5pt");
+//   auto& u = ctx.decl_dat<double>(grid, 1, {nx, ny, 1}, {1,1,0}, {1,1,0}, "u");
+//   ops::par_loop(ctx, "jacobi", grid, ops::Range::dim2(0, nx, 0, ny),
+//       [](ops::Acc<double> u, ops::Acc<double> out) {
+//         out(0,0) = 0.25 * (u(1,0) + u(-1,0) + u(0,1) + u(0,-1));
+//       },
+//       ops::arg(u, s2d5, ops::Access::kRead),
+//       ops::arg(out, ctx.stencil_point(2), ops::Access::kWrite));
+#pragma once
+
+#include "ops/acc.hpp"
+#include "ops/arg.hpp"
+#include "ops/context.hpp"
+#include "ops/core.hpp"
+#include "ops/dist.hpp"
+#include "ops/halo.hpp"
+#include "ops/par_loop.hpp"

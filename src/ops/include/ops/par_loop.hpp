@@ -1,0 +1,297 @@
+// ops::par_loop — per-backend "generated" loop structures for structured
+// blocks (Fig. 1's platform-specific files, as template instantiations).
+//
+// Because OPS kernels may only write the centre point, every grid point of
+// a loop is independent: the threads backend splits the outermost
+// dimension over the pool with no coloring, and the cudasim backend tiles
+// the range into thread blocks whose x-consecutive lanes produce the
+// coalesced transactions the device model prices.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "apl/profile.hpp"
+#include "apl/thread_pool.hpp"
+#include "ops/acc.hpp"
+#include "ops/arg.hpp"
+#include "ops/context.hpp"
+
+namespace ops {
+
+namespace detail {
+
+// ---- validation ------------------------------------------------------------
+
+void validate_range(Context& ctx, const std::string& name, const Block& block,
+                    const Range& range, const std::vector<ArgInfo>& infos);
+
+/// Accounts useful traffic + flop hints + the cudasim device-time model.
+void account(Context& ctx, const std::string& name, const Range& range,
+             const std::vector<ArgInfo>& infos, apl::LoopStats& stats);
+
+// ---- per-point kernel parameters -------------------------------------------
+
+struct Cursor {
+  int idx[kMaxDim];
+  std::size_t tid;
+};
+
+template <class T>
+Acc<T> point_param(ArgDat<T>& a, const Cursor& c) {
+  Dat<T>& d = *a.dat;
+  return Acc<T>(d.at(c.idx[0], c.idx[1], c.idx[2]), d.stride(0) * d.dim(),
+                d.stride(1) * d.dim(), d.stride(2) * d.dim(), d.dim(),
+                a.checked ? &a.chk : nullptr);
+}
+
+template <class T>
+T* point_param(ArgGbl<T>& g, const Cursor& c) {
+  return g.scratch.empty()
+             ? g.data
+             : g.scratch.data() + c.tid * static_cast<std::size_t>(g.dim);
+}
+
+inline const int* point_param(ArgIdx& a, const Cursor& c) {
+  for (int d = 0; d < kMaxDim; ++d) a.buf[d] = c.idx[d] + a.offset[d];
+  return a.buf.data();
+}
+
+// ---- reduction scratch (same scheme as op2) --------------------------------
+
+template <class T>
+T ops_reduction_identity(Access acc) {
+  switch (acc) {
+    case Access::kInc: return T{};
+    case Access::kMin: return std::numeric_limits<T>::max();
+    case Access::kMax: return std::numeric_limits<T>::lowest();
+    default: return T{};
+  }
+}
+
+template <class T>
+void prepare_gbl(ArgGbl<T>& g, std::size_t slots) {
+  if (g.acc == Access::kRead || slots == 0) {
+    g.scratch.clear();
+    return;
+  }
+  g.scratch.assign(slots * static_cast<std::size_t>(g.dim),
+                   ops_reduction_identity<T>(g.acc));
+}
+template <class T>
+void prepare_gbl(ArgDat<T>&, std::size_t) {}
+inline void prepare_gbl(ArgIdx&, std::size_t) {}
+
+template <class T>
+void finish_gbl(ArgGbl<T>& g, std::size_t slots) {
+  if (g.scratch.empty()) return;
+  for (std::size_t s = 0; s < slots; ++s) {
+    for (index_t d = 0; d < g.dim; ++d) {
+      const T v = g.scratch[s * g.dim + d];
+      switch (g.acc) {
+        case Access::kInc: g.data[d] += v; break;
+        case Access::kMin: g.data[d] = std::min(g.data[d], v); break;
+        case Access::kMax: g.data[d] = std::max(g.data[d], v); break;
+        default: break;
+      }
+    }
+  }
+  g.scratch.clear();
+}
+template <class T>
+void finish_gbl(ArgDat<T>&, std::size_t) {}
+inline void finish_gbl(ArgIdx&, std::size_t) {}
+
+// ---- debug stencil-check arming ---------------------------------------------
+
+template <class T>
+void arm_check(ArgDat<T>& a, const std::string& loop, bool on) {
+  a.checked = on;
+  if (on) a.chk = StencilCheck{a.stencil, loop.c_str(), a.dat->name().c_str()};
+}
+template <class T>
+void arm_check(ArgGbl<T>&, const std::string&, bool) {}
+inline void arm_check(ArgIdx&, const std::string&, bool) {}
+
+// ---- execution -------------------------------------------------------------
+
+// Per-row hoisted state of a dataset argument: the row base pointer is
+// computed once per (j, k) row and bumped by the x stride per point —
+// the loop structure OPS's real code generator emits. Keeping it in stack
+// locals (never address-escaped) lets the compiler hold it in registers
+// across the kernel call.
+template <class T>
+struct RowState {
+  T* p = nullptr;
+  std::ptrdiff_t sx, sy, sz;
+  index_t dim;
+  const StencilCheck* chk;
+};
+
+template <class T>
+RowState<T> make_row_state(ArgDat<T>& a) {
+  Dat<T>& d = *a.dat;
+  return {nullptr, d.stride(0) * d.dim(), d.stride(1) * d.dim(),
+          d.stride(2) * d.dim(), d.dim(), a.checked ? &a.chk : nullptr};
+}
+
+// The `Checked` flag is a compile-time constant: in the unchecked
+// instantiation the accessor is constructed with a literal null check
+// pointer, the per-access stencil-validation branch constant-folds away,
+// and the inner loop compiles to the same code a hand-written loop nest
+// does (this is worth >2x on light kernels).
+template <class T>
+std::nullptr_t make_row_state(ArgGbl<T>&) {
+  return nullptr;
+}
+inline std::nullptr_t make_row_state(ArgIdx&) { return nullptr; }
+
+template <class T>
+void row_begin(RowState<T>& rs, ArgDat<T>& a, index_t i, index_t j,
+               index_t kk) {
+  rs.p = a.dat->at(i, j, kk);
+}
+template <class T>
+void row_begin(std::nullptr_t, ArgGbl<T>&, index_t, index_t, index_t) {}
+inline void row_begin(std::nullptr_t, ArgIdx&, index_t, index_t, index_t) {}
+
+template <class T>
+Acc<T> row_param(RowState<T>& rs, ArgDat<T>&, const Cursor&) {
+  return Acc<T>(rs.p, rs.sx, rs.sy, rs.sz, rs.dim, nullptr);
+}
+template <class T>
+T* row_param(std::nullptr_t, ArgGbl<T>& g, const Cursor& c) {
+  return point_param(g, c);
+}
+inline const int* row_param(std::nullptr_t, ArgIdx& a, const Cursor& c) {
+  return point_param(a, c);
+}
+
+template <class T>
+void row_advance(RowState<T>& rs) {
+  rs.p += rs.sx;
+}
+inline void row_advance(std::nullptr_t) {}
+
+/// Runs the kernel over a sub-range on one "thread" slot (fast path: the
+/// accessor carries a compile-time-null check pointer). `flatten` forces
+/// the kernel and accessors to inline so the loop compiles to the plain
+/// nest OPS's real code generator would emit — without it the accessor's
+/// dead validation branch survives and costs >2x on light kernels.
+template <class Kernel, class... Args>
+#if defined(__GNUC__)
+[[gnu::flatten]]
+#endif
+void run_span(const Range& r, index_t out_lo, index_t out_hi, int out_dim,
+              std::size_t tid, Kernel&& k, Args&... args) {
+  Cursor c{{r.lo[0], r.lo[1], r.lo[2]}, tid};
+  c.idx[out_dim] = out_lo;
+  // Iterate with the outer dimension restricted to [out_lo, out_hi).
+  Range local = r;
+  local.lo[out_dim] = out_lo;
+  local.hi[out_dim] = out_hi;
+  auto states = std::make_tuple(make_row_state(args)...);
+  for (int kk = local.lo[2]; kk < local.hi[2]; ++kk) {
+    for (int jj = local.lo[1]; jj < local.hi[1]; ++jj) {
+      std::apply(
+          [&](auto&... st) {
+            (row_begin(st, args, local.lo[0], jj, kk), ...);
+            c.idx[1] = jj;
+            c.idx[2] = kk;
+            for (int ii = local.lo[0]; ii < local.hi[0]; ++ii) {
+              c.idx[0] = ii;
+              k(row_param(st, args, c)...);
+              (row_advance(st), ...);
+            }
+          },
+          states);
+    }
+  }
+}
+
+/// Slow path used only under debug checks: per-point accessors carrying
+/// the stencil-validation state.
+template <class Kernel, class... Args>
+void run_span_checked(const Range& r, index_t out_lo, index_t out_hi,
+                      int out_dim, std::size_t tid, Kernel&& k,
+                      Args&... args) {
+  Cursor c{{r.lo[0], r.lo[1], r.lo[2]}, tid};
+  Range local = r;
+  local.lo[out_dim] = out_lo;
+  local.hi[out_dim] = out_hi;
+  for (int kk = local.lo[2]; kk < local.hi[2]; ++kk) {
+    for (int jj = local.lo[1]; jj < local.hi[1]; ++jj) {
+      for (int ii = local.lo[0]; ii < local.hi[0]; ++ii) {
+        c.idx[0] = ii;
+        c.idx[1] = jj;
+        c.idx[2] = kk;
+        k(point_param(args, c)...);
+      }
+    }
+  }
+}
+
+/// Backend dispatch.
+template <bool Checked, class Kernel, class... Args>
+void execute_loop(Context& ctx, const Range& range, int out_dim,
+                  Kernel&& kernel, Args&... args) {
+  const auto span = [&](index_t lo, index_t hi, std::size_t tid) {
+    if constexpr (Checked) {
+      run_span_checked(range, lo, hi, out_dim, tid, kernel, args...);
+    } else {
+      run_span(range, lo, hi, out_dim, tid, kernel, args...);
+    }
+  };
+  switch (ctx.backend()) {
+    case Backend::kSeq:
+    case Backend::kCudaSim:  // same host execution; device model in account()
+      span(range.lo[out_dim], range.hi[out_dim], 0);
+      break;
+    case Backend::kThreads: {
+      apl::ThreadPool& pool = apl::ThreadPool::global();
+      (prepare_gbl(args, pool.size()), ...);
+      const index_t extent = range.hi[out_dim] - range.lo[out_dim];
+      pool.parallel_for(
+          static_cast<std::size_t>(std::max<index_t>(0, extent)),
+          [&](std::size_t b, std::size_t e, std::size_t tid) {
+            span(range.lo[out_dim] + static_cast<index_t>(b),
+                 range.lo[out_dim] + static_cast<index_t>(e), tid);
+          });
+      (finish_gbl(args, pool.size()), ...);
+      break;
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Executes `kernel` on every point of `range` of `block` under the
+/// Context's backend. Arguments are ops::arg / ops::arg_gbl / ops::arg_idx.
+template <class Kernel, class... Args>
+void par_loop(Context& ctx, const std::string& name, const Block& block,
+              const Range& range, Kernel&& kernel, Args... args) {
+  std::vector<ArgInfo> infos{args.info()...};
+  detail::validate_range(ctx, name, block, range, infos);
+  (detail::arm_check(args, name, ctx.debug_checks()), ...);
+
+  apl::LoopStats& stats = ctx.profile().stats(name);
+  // The outermost dimension with extent > 1 is the parallel one.
+  int out_dim = block.ndim() - 1;
+  while (out_dim > 0 && range.hi[out_dim] - range.lo[out_dim] <= 1) {
+    --out_dim;
+  }
+  {
+    apl::ScopedLoopTimer timer(stats);
+    if (ctx.debug_checks()) {
+      detail::execute_loop<true>(ctx, range, out_dim, kernel, args...);
+    } else {
+      detail::execute_loop<false>(ctx, range, out_dim, kernel, args...);
+    }
+  }
+  detail::account(ctx, name, range, infos, stats);
+}
+
+}  // namespace ops

@@ -1,0 +1,55 @@
+#include "ops/par_loop.hpp"
+
+namespace ops::detail {
+
+void validate_range(Context& ctx, const std::string& name, const Block& block,
+                    const Range& range, const std::vector<ArgInfo>& infos) {
+  for (int d = block.ndim(); d < kMaxDim; ++d) {
+    apl::require(range.lo[d] == 0 && range.hi[d] == 1, "par_loop '", name,
+                 "': range extends into unused dimension ", d);
+  }
+  for (const ArgInfo& a : infos) {
+    if (a.is_gbl || a.is_idx) continue;
+    const DatBase& dat = ctx.dat(a.dat_id);
+    apl::require(&dat.block() == &block, "par_loop '", name, "': dat '",
+                 dat.name(), "' lives on block '", dat.block().name(),
+                 "', loop is over '", block.name(), "'");
+    const Stencil& st = ctx.stencil(a.stencil_id);
+    for (int d = 0; d < block.ndim(); ++d) {
+      apl::require(range.lo[d] + st.lo()[d] >= -dat.d_m()[d] &&
+                       range.hi[d] - 1 + st.hi()[d] <
+                           dat.size()[d] + dat.d_p()[d],
+                   "par_loop '", name, "': range [", range.lo[d], ",",
+                   range.hi[d], ") with stencil '", st.name(),
+                   "' leaves the allocation of dat '", dat.name(),
+                   "' in dimension ", d);
+    }
+  }
+}
+
+void account(Context& ctx, const std::string& name, const Range& range,
+             const std::vector<ArgInfo>& infos, apl::LoopStats& stats) {
+  const std::uint64_t n = range.points();
+  stats.elements += n;
+  stats.flops += ctx.flops_hint(name) * static_cast<double>(n);
+  std::uint64_t bytes = 0;
+  for (const ArgInfo& a : infos) {
+    if (a.is_gbl || a.is_idx) continue;
+    const int passes = (reads(a.acc) ? 1 : 0) + (writes(a.acc) ? 1 : 0);
+    bytes += n * a.dim * a.elem_bytes * passes;
+  }
+  // Structured accesses are unit-stride along x: the whole loop is
+  // streaming traffic (the paper's CloverLeaf analysis treats every loop
+  // as bandwidth-bound streaming).
+  stats.bytes_direct += bytes;
+  if (ctx.backend() == Backend::kCudaSim) {
+    // Structured loops coalesce: transferred ~= useful bytes, plus one
+    // kernel launch per loop.
+    constexpr double kDeviceBw = 160e9;
+    constexpr double kLaunchOverhead = 7e-6;
+    stats.model_seconds +=
+        static_cast<double>(bytes) / kDeviceBw + kLaunchOverhead;
+  }
+}
+
+}  // namespace ops::detail

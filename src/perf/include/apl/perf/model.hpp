@@ -1,0 +1,42 @@
+// Loop cost model: counted traffic -> projected time on a Machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apl/perf/machines.hpp"
+
+namespace apl::perf {
+
+/// Useful work of one parallel-loop invocation, as counted by the backends
+/// from the access descriptors (not from hardware counters): bytes split by
+/// access class, floating-point operations, and elements iterated.
+struct LoopProfile {
+  std::string name;
+  double bytes_direct = 0;
+  double bytes_gather = 0;
+  double bytes_scatter = 0;
+  double flops = 0;
+  double elements = 0;
+
+  double total_bytes() const {
+    return bytes_direct + bytes_gather + bytes_scatter;
+  }
+  /// Scales all extensive quantities (used to resize a counted workload).
+  LoopProfile scaled(double factor) const;
+};
+
+/// Projected execution time of one loop invocation on `m`: the loop is
+/// limited by whichever of memory traffic (per-class bandwidths) or flops
+/// is slower, derated by the machine's small-workload efficiency, plus the
+/// per-loop launch overhead.
+double projected_time(const Machine& m, const LoopProfile& p);
+
+/// Sum of projected times over a loop sequence (one solver iteration).
+double projected_time(const Machine& m, const std::vector<LoopProfile>& loops);
+
+/// Achieved bandwidth the paper's Table I reports: useful bytes / time.
+double projected_gbs(const Machine& m, const LoopProfile& p);
+
+}  // namespace apl::perf

@@ -1,0 +1,38 @@
+#include "apl/perf/model.hpp"
+
+#include <algorithm>
+
+namespace apl::perf {
+
+LoopProfile LoopProfile::scaled(double factor) const {
+  LoopProfile out = *this;
+  out.bytes_direct *= factor;
+  out.bytes_gather *= factor;
+  out.bytes_scatter *= factor;
+  out.flops *= factor;
+  out.elements *= factor;
+  return out;
+}
+
+double projected_time(const Machine& m, const LoopProfile& p) {
+  const double mem_time = p.bytes_direct / (m.bw_direct_gbs * 1e9) +
+                          p.bytes_gather / (m.bw_gather_gbs * 1e9) +
+                          p.bytes_scatter / (m.bw_scatter_gbs * 1e9);
+  const double flop_time = p.flops / (m.flops_gf * 1e9);
+  const double eff = m.efficiency(std::max(1.0, p.elements));
+  return std::max(mem_time, flop_time) / eff + m.loop_overhead_s;
+}
+
+double projected_time(const Machine& m,
+                      const std::vector<LoopProfile>& loops) {
+  double t = 0;
+  for (const auto& p : loops) t += projected_time(m, p);
+  return t;
+}
+
+double projected_gbs(const Machine& m, const LoopProfile& p) {
+  const double t = projected_time(m, p);
+  return t > 0 ? p.total_bytes() / t * 1e-9 : 0.0;
+}
+
+}  // namespace apl::perf

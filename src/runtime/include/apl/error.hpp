@@ -1,0 +1,51 @@
+// Error handling for the OPAL active libraries.
+//
+// All user-facing argument validation throws apl::Error with a formatted
+// message; internal invariants use APL_ASSERT which aborts in debug-checked
+// builds and compiles to a cheap check in release builds.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace apl {
+
+/// Exception type thrown on any API misuse or runtime failure.
+class Error : public std::runtime_error {
+public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+inline void append(std::ostringstream&) {}
+template <class T, class... Rest>
+void append(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append(os, rest...);
+}
+}  // namespace detail
+
+/// Build a message from streamable pieces and throw apl::Error.
+template <class... Parts>
+[[noreturn]] void fail(const Parts&... parts) {
+  std::ostringstream os;
+  detail::append(os, parts...);
+  throw Error(os.str());
+}
+
+/// Validate a user-visible precondition.
+template <class... Parts>
+void require(bool cond, const Parts&... parts) {
+  if (!cond) fail(parts...);
+}
+
+}  // namespace apl
+
+/// Internal invariant check; always on (cheap), names file/line on failure.
+#define APL_ASSERT(cond, msg)                                              \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::apl::fail("internal error at ", __FILE__, ":", __LINE__, ": ",    \
+                  (msg));                                                  \
+  } while (0)

@@ -1,0 +1,73 @@
+// Per-parallel-loop performance recorder.
+//
+// The OP2/OPS back-ends record, for every named par_loop, its call count,
+// wall time and the number of bytes the loop usefully moves (the quantity
+// the paper's Table I divides by time to report achieved GB/s). The benches
+// read these records to print the paper's breakdown tables, and the
+// machine models in src/perf consume the byte counts for projection.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace apl {
+
+/// Accumulated statistics for one named parallel loop. Byte counts are
+/// split by access-pattern class (see apl::perf::AccessClass): direct
+/// streaming, indirect gathers (reads through a map) and indirect scatters
+/// (writes/increments through a map) — the split the paper's Table I
+/// analysis rests on.
+struct LoopStats {
+  std::uint64_t calls = 0;
+  double seconds = 0.0;        ///< total wall time across calls
+  std::uint64_t bytes_direct = 0;
+  std::uint64_t bytes_gather = 0;
+  std::uint64_t bytes_scatter = 0;
+  double flops = 0.0;          ///< from the per-loop flop hint, if any
+  std::uint64_t elements = 0;  ///< total elements/grid-points iterated
+  std::uint64_t halo_bytes = 0;      ///< bytes exchanged for this loop (mpi)
+  std::uint64_t colors = 0;          ///< total plan colors executed
+  double model_seconds = 0.0;  ///< device-model time (cudasim backend)
+
+  std::uint64_t bytes() const {
+    return bytes_direct + bytes_gather + bytes_scatter;
+  }
+  double gb_per_s() const {
+    return seconds > 0 ? static_cast<double>(bytes()) / seconds * 1e-9 : 0.0;
+  }
+};
+
+/// Registry of LoopStats keyed by loop name. One instance per backend
+/// context; a process-global instance serves the default contexts.
+class Profile {
+public:
+  LoopStats& stats(const std::string& loop_name) { return stats_[loop_name]; }
+  const std::map<std::string, LoopStats>& all() const { return stats_; }
+  void clear() { stats_.clear(); }
+
+  /// Human-readable table, one row per loop (name, count, time, GB/s).
+  std::string report() const;
+
+  static Profile& global();
+
+private:
+  std::map<std::string, LoopStats> stats_;
+};
+
+/// RAII accumulator: adds elapsed time to a LoopStats on destruction.
+class ScopedLoopTimer {
+public:
+  explicit ScopedLoopTimer(LoopStats& s);
+  ~ScopedLoopTimer();
+  ScopedLoopTimer(const ScopedLoopTimer&) = delete;
+  ScopedLoopTimer& operator=(const ScopedLoopTimer&) = delete;
+
+private:
+  LoopStats& stats_;
+  double start_;
+};
+
+}  // namespace apl

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random numbers for workload generation.
+//
+// Every mesh generator and synthetic workload in the repository derives its
+// randomness from SplitMix64 so runs are reproducible across platforms;
+// std::mt19937 distributions are implementation-defined and would make
+// regression values non-portable.
+#pragma once
+
+#include <cstdint>
+
+namespace apl {
+
+/// SplitMix64: tiny, high-quality, portable 64-bit generator.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+
+private:
+  std::uint64_t state_;
+};
+
+}  // namespace apl

@@ -1,0 +1,56 @@
+// Persistent worker pool backing the `threads` backends of OP2 and OPS.
+//
+// The pool plays the role OpenMP plays in the original libraries: a fixed
+// team of workers that executes the colored blocks of an execution plan.
+// Work is distributed statically (contiguous chunks) because OP2/OPS plans
+// already balance block sizes; dynamic stealing would only perturb the
+// locality the plans were built for.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace apl {
+
+class ThreadPool {
+public:
+  /// Creates `num_threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size() + 1; }
+
+  /// Runs body(thread_id) on every team member (the calling thread is
+  /// member 0) and returns when all have finished.
+  void run_team(const std::function<void(std::size_t)>& body);
+
+  /// Splits [0, n) into size() contiguous chunks and runs
+  /// body(begin, end, thread_id) on each team member.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t, std::size_t,
+                                             std::size_t)>& body);
+
+  /// Process-wide pool, sized from OPAL_NUM_THREADS (default: hardware).
+  static ThreadPool& global();
+
+private:
+  void worker_loop(std::size_t id);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t generation_ = 0;
+  std::size_t remaining_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace apl

@@ -1,0 +1,45 @@
+#include "apl/profile.hpp"
+
+#include <chrono>
+#include <iomanip>
+#include <sstream>
+
+namespace apl {
+
+namespace {
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+std::string Profile::report() const {
+  std::ostringstream os;
+  os << std::left << std::setw(24) << "loop" << std::right << std::setw(8)
+     << "calls" << std::setw(12) << "time(s)" << std::setw(12) << "GB"
+     << std::setw(10) << "GB/s" << "\n";
+  for (const auto& [name, s] : stats_) {
+    os << std::left << std::setw(24) << name << std::right << std::setw(8)
+       << s.calls << std::setw(12) << std::fixed << std::setprecision(4)
+       << s.seconds << std::setw(12) << std::setprecision(3)
+       << static_cast<double>(s.bytes()) * 1e-9 << std::setw(10)
+       << std::setprecision(1) << s.gb_per_s() << "\n";
+  }
+  return os.str();
+}
+
+Profile& Profile::global() {
+  static Profile p;
+  return p;
+}
+
+ScopedLoopTimer::ScopedLoopTimer(LoopStats& s)
+    : stats_(s), start_(now_seconds()) {}
+
+ScopedLoopTimer::~ScopedLoopTimer() {
+  stats_.seconds += now_seconds() - start_;
+  ++stats_.calls;
+}
+
+}  // namespace apl

@@ -1,0 +1,93 @@
+#include "apl/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "apl/error.hpp"
+
+namespace apl {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads - 1);
+  for (std::size_t i = 1; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_team(const std::function<void(std::size_t)>& body) {
+  if (workers_.empty()) {
+    body(0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &body;
+    remaining_ = workers_.size();
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  body(0);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  const std::size_t team = size();
+  if (n == 0) return;
+  run_team([&](std::size_t tid) {
+    const std::size_t chunk = (n + team - 1) / team;
+    const std::size_t begin = std::min(n, tid * chunk);
+    const std::size_t end = std::min(n, begin + chunk);
+    if (begin < end) body(begin, end, tid);
+  });
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  std::size_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("OPAL_NUM_THREADS")) {
+      const long n = std::atol(env);
+      require(n >= 1, "OPAL_NUM_THREADS must be >= 1, got ", env);
+      return static_cast<std::size_t>(n);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+}  // namespace apl

@@ -1,0 +1,31 @@
+#include "apl/simdev/device.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace apl::simdev {
+
+void TransactionCounter::warp_access(
+    std::span<const std::uintptr_t> lane_addresses,
+    std::size_t bytes_per_lane, bool is_write) {
+  if (lane_addresses.empty() || bytes_per_lane == 0) return;
+  // Collect the aligned segments covered by every lane's [addr, addr+bytes)
+  // range. Lane counts are <= warp_size so a small sorted vector beats a
+  // hash set here.
+  std::vector<std::uintptr_t> segments;
+  segments.reserve(lane_addresses.size() * 2);
+  const std::uintptr_t seg = cfg_.segment_bytes;
+  for (std::uintptr_t addr : lane_addresses) {
+    const std::uintptr_t first = addr / seg;
+    const std::uintptr_t last = (addr + bytes_per_lane - 1) / seg;
+    for (std::uintptr_t s = first; s <= last; ++s) segments.push_back(s);
+  }
+  std::sort(segments.begin(), segments.end());
+  const auto distinct =
+      std::unique(segments.begin(), segments.end()) - segments.begin();
+  transactions_ += static_cast<std::uint64_t>(distinct);
+  if (is_write) write_transactions_ += static_cast<std::uint64_t>(distinct);
+  useful_bytes_ += lane_addresses.size() * bytes_per_lane;
+}
+
+}  // namespace apl::simdev

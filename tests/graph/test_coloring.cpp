@@ -1,0 +1,106 @@
+#include "apl/graph/coloring.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/graph/csr.hpp"
+#include "apl/rng.hpp"
+
+namespace {
+
+using apl::graph::Coloring;
+using apl::graph::index_t;
+
+TEST(Coloring, GreedyColorTriangleNeedsThree) {
+  apl::graph::Csr g;
+  g.offsets = {0, 2, 4, 6};
+  g.adj = {1, 2, 0, 2, 0, 1};
+  const Coloring c = apl::graph::greedy_color(g);
+  EXPECT_EQ(c.num_colors, 3);
+  EXPECT_NE(c.color[0], c.color[1]);
+  EXPECT_NE(c.color[1], c.color[2]);
+  EXPECT_NE(c.color[0], c.color[2]);
+}
+
+TEST(Coloring, GreedyColorIndependentVerticesShareColor) {
+  apl::graph::Csr g;
+  g.offsets = {0, 0, 0, 0};
+  const Coloring c = apl::graph::greedy_color(g);
+  EXPECT_EQ(c.num_colors, 1);
+}
+
+TEST(Coloring, SharedResourceRingIsValid) {
+  // Edges of a ring of 6 vertices; adjacent edges share a vertex.
+  const index_t n = 6;
+  std::vector<index_t> map;
+  for (index_t e = 0; e < n; ++e) {
+    map.push_back(e);
+    map.push_back((e + 1) % n);
+  }
+  const Coloring c =
+      apl::graph::color_by_shared_resources(map, 2, n, n);
+  EXPECT_EQ(apl::graph::count_conflicts(c, map, 2, n), 0);
+  EXPECT_GE(c.num_colors, 2);
+  EXPECT_LE(c.num_colors, 3);
+}
+
+TEST(Coloring, NegativeResourcesIgnored) {
+  // All items use only the sentinel resource -1: one color suffices.
+  const std::vector<index_t> map = {-1, -1, -1, -1};
+  const Coloring c = apl::graph::color_by_shared_resources(map, 2, 2, 10);
+  EXPECT_EQ(c.num_colors, 1);
+}
+
+TEST(Coloring, AllItemsShareOneResource) {
+  const std::vector<index_t> map = {0, 0, 0, 0, 0};
+  const Coloring c = apl::graph::color_by_shared_resources(map, 1, 5, 1);
+  EXPECT_EQ(c.num_colors, 5);
+  EXPECT_EQ(apl::graph::count_conflicts(c, map, 1, 1), 0);
+}
+
+TEST(Coloring, CountConflictsDetectsBadColoring) {
+  const std::vector<index_t> map = {0, 0};  // two items share resource 0
+  Coloring bad;
+  bad.color = {0, 0};
+  bad.num_colors = 1;
+  EXPECT_GT(apl::graph::count_conflicts(bad, map, 1, 1), 0);
+}
+
+// Property test: random hypergraphs are always validly colored with a
+// bounded number of colors (<= max resource multiplicity * small factor).
+class ColoringProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ColoringProperty, RandomConflictsAlwaysValid) {
+  apl::SplitMix64 rng(GetParam());
+  const index_t items = 500;
+  const index_t resources = 80;
+  const index_t arity = 3;
+  std::vector<index_t> map(items * arity);
+  for (auto& m : map) {
+    m = static_cast<index_t>(rng.below(resources));
+  }
+  const Coloring c =
+      apl::graph::color_by_shared_resources(map, arity, items, resources);
+  EXPECT_EQ(apl::graph::count_conflicts(c, map, arity, resources), 0);
+  // Every item must have a color in range.
+  for (index_t i = 0; i < items; ++i) {
+    EXPECT_GE(c.color[i], 0);
+    EXPECT_LT(c.color[i], c.num_colors);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+TEST(Coloring, ManyColorsBeyondOneSweep) {
+  // 100 items all sharing one resource forces 100 colors, which exceeds the
+  // 64-color-per-sweep internal window and exercises the multi-sweep path.
+  const index_t items = 100;
+  std::vector<index_t> map(items, 0);
+  const Coloring c = apl::graph::color_by_shared_resources(map, 1, items, 1);
+  EXPECT_EQ(c.num_colors, items);
+  EXPECT_EQ(apl::graph::count_conflicts(c, map, 1, 1), 0);
+}
+
+}  // namespace

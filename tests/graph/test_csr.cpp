@@ -1,0 +1,89 @@
+#include "apl/graph/csr.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/error.hpp"
+
+namespace {
+
+using apl::graph::Csr;
+using apl::graph::index_t;
+
+// 4 edges over 4 vertices in a ring: edge i connects vertex i and i+1 mod 4.
+const std::vector<index_t> kRingMap = {0, 1, 1, 2, 2, 3, 3, 0};
+
+TEST(Csr, InvertMapBuildsVertexToEdges) {
+  const Csr inv = apl::graph::invert_map(kRingMap, 2, 4, 4);
+  ASSERT_EQ(inv.num_vertices(), 4);
+  for (index_t v = 0; v < 4; ++v) {
+    auto nb = inv.neighbours(v);
+    ASSERT_EQ(nb.size(), 2u) << "vertex " << v;
+  }
+  // Vertex 0 is touched by edges 0 and 3.
+  auto nb0 = inv.neighbours(0);
+  std::vector<index_t> got(nb0.begin(), nb0.end());
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, (std::vector<index_t>{0, 3}));
+}
+
+TEST(Csr, InvertMapRejectsOutOfRange) {
+  const std::vector<index_t> bad = {0, 7};
+  EXPECT_THROW(apl::graph::invert_map(bad, 2, 1, 4), apl::Error);
+}
+
+TEST(Csr, InvertMapRejectsSizeMismatch) {
+  EXPECT_THROW(apl::graph::invert_map(kRingMap, 3, 4, 4), apl::Error);
+}
+
+TEST(Csr, NodeAdjacencyOfRing) {
+  const Csr adj = apl::graph::node_adjacency(kRingMap, 2, 4, 4);
+  ASSERT_EQ(adj.num_vertices(), 4);
+  for (index_t v = 0; v < 4; ++v) {
+    auto nb = adj.neighbours(v);
+    ASSERT_EQ(nb.size(), 2u);
+    // Ring: neighbours are (v-1) mod 4 and (v+1) mod 4.
+    std::vector<index_t> got(nb.begin(), nb.end());
+    std::vector<index_t> want = {static_cast<index_t>((v + 3) % 4),
+                                 static_cast<index_t>((v + 1) % 4)};
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want) << "vertex " << v;
+  }
+}
+
+TEST(Csr, NodeAdjacencyDeduplicates) {
+  // Two edges both joining vertices 0 and 1.
+  const std::vector<index_t> map = {0, 1, 1, 0};
+  const Csr adj = apl::graph::node_adjacency(map, 2, 2, 2);
+  EXPECT_EQ(adj.neighbours(0).size(), 1u);
+  EXPECT_EQ(adj.neighbours(1).size(), 1u);
+}
+
+TEST(Csr, BandwidthOfPathAndRing) {
+  // Path 0-1-2-3: bandwidth 1.
+  const std::vector<index_t> path = {0, 1, 1, 2, 2, 3};
+  EXPECT_EQ(apl::graph::bandwidth(apl::graph::node_adjacency(path, 2, 3, 4)),
+            1);
+  // Ring closes 3-0: bandwidth 3.
+  EXPECT_EQ(
+      apl::graph::bandwidth(apl::graph::node_adjacency(kRingMap, 2, 4, 4)),
+      3);
+}
+
+TEST(Csr, MaxDegree) {
+  // Star: edges all touch vertex 0.
+  const std::vector<index_t> star = {0, 1, 0, 2, 0, 3};
+  const Csr inv = apl::graph::invert_map(star, 2, 3, 4);
+  EXPECT_EQ(inv.max_degree(), 3);
+}
+
+TEST(Csr, EmptyGraph) {
+  Csr g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.max_degree(), 0);
+  EXPECT_EQ(apl::graph::bandwidth(g), 0);
+}
+
+}  // namespace

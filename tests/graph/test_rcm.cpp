@@ -1,0 +1,110 @@
+#include "apl/graph/rcm.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/graph/csr.hpp"
+#include "apl/rng.hpp"
+
+namespace {
+
+using apl::graph::Csr;
+using apl::graph::index_t;
+
+/// Builds the edge->vertex map of an nx x ny structured grid, then the
+/// vertex adjacency, with vertices numbered in a locality-hostile
+/// pseudo-random shuffle so RCM has something to fix.
+Csr shuffled_grid_adjacency(index_t nx, index_t ny, std::uint64_t seed,
+                            std::vector<index_t>* shuffle_out = nullptr) {
+  const index_t n = nx * ny;
+  std::vector<index_t> shuffle(n);
+  std::iota(shuffle.begin(), shuffle.end(), 0);
+  apl::SplitMix64 rng(seed);
+  for (index_t i = n - 1; i > 0; --i) {
+    std::swap(shuffle[i], shuffle[rng.below(static_cast<std::uint64_t>(i) + 1)]);
+  }
+  std::vector<index_t> map;
+  auto vid = [&](index_t x, index_t y) { return shuffle[y * nx + x]; };
+  for (index_t y = 0; y < ny; ++y) {
+    for (index_t x = 0; x < nx; ++x) {
+      if (x + 1 < nx) {
+        map.push_back(vid(x, y));
+        map.push_back(vid(x + 1, y));
+      }
+      if (y + 1 < ny) {
+        map.push_back(vid(x, y));
+        map.push_back(vid(x, y + 1));
+      }
+    }
+  }
+  if (shuffle_out) *shuffle_out = shuffle;
+  return apl::graph::node_adjacency(map, 2, static_cast<index_t>(map.size() / 2),
+                                    n);
+}
+
+TEST(Rcm, PermutationIsBijective) {
+  const Csr g = shuffled_grid_adjacency(8, 8, 1);
+  const auto perm = apl::graph::rcm_permutation(g);
+  ASSERT_EQ(perm.size(), 64u);
+  std::vector<index_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < 64; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rcm, ReducesBandwidthOnShuffledGrid) {
+  const Csr g = shuffled_grid_adjacency(20, 20, 7);
+  const index_t before = apl::graph::bandwidth(g);
+  const auto perm = apl::graph::rcm_permutation(g);
+  const Csr h = apl::graph::permute(g, perm);
+  const index_t after = apl::graph::bandwidth(h);
+  // A 20x20 grid has optimal bandwidth 20; the shuffle makes it ~n.
+  EXPECT_LT(after, before / 4);
+  EXPECT_LE(after, 3 * 20);
+}
+
+TEST(Rcm, PermutePreservesDegrees) {
+  const Csr g = shuffled_grid_adjacency(6, 9, 3);
+  const auto perm = apl::graph::rcm_permutation(g);
+  const Csr h = apl::graph::permute(g, perm);
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(g.neighbours(v).size(), h.neighbours(perm[v]).size());
+  }
+}
+
+TEST(Rcm, PermutePreservesEdges) {
+  const Csr g = shuffled_grid_adjacency(5, 5, 9);
+  const auto perm = apl::graph::rcm_permutation(g);
+  const Csr h = apl::graph::permute(g, perm);
+  for (index_t v = 0; v < g.num_vertices(); ++v) {
+    for (index_t u : g.neighbours(v)) {
+      auto nb = h.neighbours(perm[v]);
+      EXPECT_NE(std::find(nb.begin(), nb.end(), perm[u]), nb.end());
+    }
+  }
+}
+
+TEST(Rcm, HandlesDisconnectedComponents) {
+  // Two disjoint paths: 0-1-2 and 3-4.
+  const std::vector<index_t> map = {0, 1, 1, 2, 3, 4};
+  const Csr g = apl::graph::node_adjacency(map, 2, 3, 5);
+  const auto perm = apl::graph::rcm_permutation(g);
+  std::vector<index_t> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (index_t i = 0; i < 5; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rcm, InvertPermutationRoundTrips) {
+  const std::vector<index_t> perm = {2, 0, 3, 1};
+  const auto inv = apl::graph::invert_permutation(perm);
+  for (index_t v = 0; v < 4; ++v) EXPECT_EQ(inv[perm[v]], v);
+}
+
+TEST(Rcm, EmptyGraph) {
+  Csr g;
+  EXPECT_TRUE(apl::graph::rcm_permutation(g).empty());
+}
+
+}  // namespace

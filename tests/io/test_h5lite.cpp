@@ -1,0 +1,132 @@
+#include "apl/io/h5lite.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/error.hpp"
+
+namespace {
+
+using apl::io::File;
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(H5Lite, PutGetRoundTrip) {
+  File f;
+  const std::vector<double> q = {1.0, 2.5, -3.0, 4.0};
+  f.put<double>("q", q, {2, 2});
+  EXPECT_TRUE(f.contains("q"));
+  EXPECT_EQ(f.get<double>("q"), q);
+  EXPECT_EQ(f.raw("q").dims, (std::vector<std::uint64_t>{2, 2}));
+}
+
+TEST(H5Lite, TypedMismatchThrows) {
+  File f;
+  const std::vector<double> q = {1.0};
+  f.put<double>("q", q, {1});
+  EXPECT_THROW(f.get<std::int32_t>("q"), apl::Error);
+}
+
+TEST(H5Lite, MissingDatasetThrows) {
+  File f;
+  EXPECT_THROW(f.get<double>("nope"), apl::Error);
+}
+
+TEST(H5Lite, DimsMustMatchData) {
+  File f;
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  EXPECT_THROW(f.put<double>("q", q, {2, 2}), apl::Error);
+}
+
+TEST(H5Lite, SaveLoadRoundTrip) {
+  const std::string path = temp_path("h5lite_roundtrip.h5l");
+  {
+    File f;
+    const std::vector<double> x = {0.5, 1.5, 2.5};
+    const std::vector<std::int32_t> map = {0, 1, 1, 2};
+    f.put<double>("coords", x, {3});
+    f.put<std::int32_t>("edge_map", map, {2, 2});
+    f.save(path);
+  }
+  const File g = File::load(path);
+  EXPECT_EQ(g.get<double>("coords"), (std::vector<double>{0.5, 1.5, 2.5}));
+  EXPECT_EQ(g.get<std::int32_t>("edge_map"),
+            (std::vector<std::int32_t>{0, 1, 1, 2}));
+  std::remove(path.c_str());
+}
+
+TEST(H5Lite, EmptyFileRoundTrips) {
+  const std::string path = temp_path("h5lite_empty.h5l");
+  File().save(path);
+  EXPECT_TRUE(File::load(path).all().empty());
+  std::remove(path.c_str());
+}
+
+TEST(H5Lite, CorruptedPayloadFailsCrc) {
+  const std::string path = temp_path("h5lite_corrupt.h5l");
+  {
+    File f;
+    const std::vector<double> x(64, 1.0);
+    f.put<double>("x", x, {64});
+    f.save(path);
+  }
+  {
+    // Flip one byte in the middle of the payload.
+    std::fstream s(path, std::ios::in | std::ios::out | std::ios::binary);
+    s.seekp(64);
+    char b = 0x5a;
+    s.write(&b, 1);
+  }
+  EXPECT_THROW(File::load(path), apl::Error);
+  std::remove(path.c_str());
+}
+
+TEST(H5Lite, TruncatedFileFails) {
+  const std::string path = temp_path("h5lite_trunc.h5l");
+  {
+    File f;
+    const std::vector<double> x(64, 2.0);
+    f.put<double>("x", x, {64});
+    f.save(path);
+  }
+  std::filesystem::resize_file(path, 40);
+  EXPECT_THROW(File::load(path), apl::Error);
+  std::remove(path.c_str());
+}
+
+TEST(H5Lite, NotAnH5LiteFileFails) {
+  const std::string path = temp_path("h5lite_garbage.h5l");
+  std::ofstream(path) << "definitely not a dataset container";
+  EXPECT_THROW(File::load(path), apl::Error);
+  std::remove(path.c_str());
+}
+
+TEST(H5Lite, ReplaceOverwrites) {
+  File f;
+  f.put<double>("x", std::vector<double>{1.0}, {1});
+  f.put<double>("x", std::vector<double>{2.0, 3.0}, {2});
+  EXPECT_EQ(f.get<double>("x"), (std::vector<double>{2.0, 3.0}));
+}
+
+TEST(H5Lite, RemoveDeletes) {
+  File f;
+  f.put<double>("x", std::vector<double>{1.0}, {1});
+  f.remove("x");
+  EXPECT_FALSE(f.contains("x"));
+}
+
+TEST(H5Lite, Crc32KnownVector) {
+  // CRC32("123456789") == 0xCBF43926, the standard check value.
+  const std::string s = "123456789";
+  const auto crc = apl::io::crc32(
+      {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  EXPECT_EQ(crc, 0xCBF43926u);
+}
+
+}  // namespace

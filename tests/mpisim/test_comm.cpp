@@ -1,0 +1,113 @@
+#include "apl/mpisim/comm.hpp"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/error.hpp"
+
+namespace {
+
+using apl::mpisim::Comm;
+
+std::vector<std::uint8_t> bytes_of(const std::vector<double>& v) {
+  std::vector<std::uint8_t> out(v.size() * sizeof(double));
+  std::memcpy(out.data(), v.data(), out.size());
+  return out;
+}
+
+TEST(Comm, SendRecvRoundTrip) {
+  Comm comm(2);
+  const auto payload = bytes_of({1.0, 2.0});
+  comm.send(0, 1, 7, payload);
+  EXPECT_TRUE(comm.has_message(1, 0, 7));
+  const auto got = comm.recv(1, 0, 7);
+  EXPECT_EQ(got, payload);
+  EXPECT_FALSE(comm.has_message(1, 0, 7));
+}
+
+TEST(Comm, TagsKeepMessagesApart) {
+  Comm comm(2);
+  comm.send(0, 1, 1, bytes_of({1.0}));
+  comm.send(0, 1, 2, bytes_of({2.0}));
+  const auto m2 = comm.recv(1, 0, 2);
+  const auto m1 = comm.recv(1, 0, 1);
+  double v1, v2;
+  std::memcpy(&v1, m1.data(), 8);
+  std::memcpy(&v2, m2.data(), 8);
+  EXPECT_DOUBLE_EQ(v1, 1.0);
+  EXPECT_DOUBLE_EQ(v2, 2.0);
+}
+
+TEST(Comm, MissingMessageIsDeadlockError) {
+  Comm comm(2);
+  EXPECT_THROW(comm.recv(0, 1, 0), apl::Error);
+}
+
+TEST(Comm, RankRangeValidated) {
+  Comm comm(2);
+  EXPECT_THROW(comm.send(0, 5, 0, {}), apl::Error);
+  EXPECT_THROW(comm.recv(-1, 0, 0), apl::Error);
+}
+
+TEST(Comm, AllreduceSums) {
+  Comm comm(3);
+  for (int r = 0; r < 3; ++r) {
+    const std::vector<double> contrib = {1.0 * r, 10.0};
+    comm.allreduce_begin(r, contrib);
+  }
+  const auto result = comm.allreduce_end();
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_DOUBLE_EQ(result[0], 3.0);
+  EXPECT_DOUBLE_EQ(result[1], 30.0);
+}
+
+TEST(Comm, AllreduceRequiresAllRanks) {
+  Comm comm(2);
+  comm.allreduce_begin(0, std::vector<double>{1.0});
+  EXPECT_THROW(comm.allreduce_end(), apl::Error);
+}
+
+TEST(Comm, TrafficLedgerCountsBytesAndPeers) {
+  Comm comm(4);
+  comm.send(0, 1, 0, std::vector<std::uint8_t>(100));
+  comm.send(0, 2, 0, std::vector<std::uint8_t>(50));
+  comm.send(3, 0, 0, std::vector<std::uint8_t>(10));
+  const auto& t = comm.traffic();
+  EXPECT_EQ(t.messages(), 3u);
+  EXPECT_EQ(t.total_bytes(), 160u);
+  EXPECT_EQ(t.max_rank_bytes(), 150u);  // rank 0 sent the most
+  EXPECT_EQ(t.max_rank_peers(), 2);
+}
+
+TEST(Comm, TrafficReset) {
+  Comm comm(2);
+  comm.send(0, 1, 0, std::vector<std::uint8_t>(8));
+  comm.traffic().reset();
+  EXPECT_EQ(comm.traffic().messages(), 0u);
+  EXPECT_EQ(comm.traffic().total_bytes(), 0u);
+}
+
+TEST(Comm, PhasedHaloExchangePattern) {
+  // The pattern the op2/ops mpi backends use: every rank posts to both
+  // neighbours, then every rank receives. 4 ranks in a ring.
+  Comm comm(4);
+  std::vector<std::vector<double>> halo(4, std::vector<double>(2));
+  for (int r = 0; r < 4; ++r) {
+    comm.send(r, (r + 1) % 4, 0, bytes_of({1.0 * r}));
+    comm.send(r, (r + 3) % 4, 1, bytes_of({1.0 * r}));
+  }
+  for (int r = 0; r < 4; ++r) {
+    const auto from_left = comm.recv(r, (r + 3) % 4, 0);
+    const auto from_right = comm.recv(r, (r + 1) % 4, 1);
+    double l, rr;
+    std::memcpy(&l, from_left.data(), 8);
+    std::memcpy(&rr, from_right.data(), 8);
+    EXPECT_DOUBLE_EQ(l, (r + 3) % 4);
+    EXPECT_DOUBLE_EQ(rr, (r + 1) % 4);
+  }
+  EXPECT_EQ(comm.traffic().messages(), 8u);
+}
+
+}  // namespace

@@ -1,0 +1,54 @@
+// Shared mesh builders for the OP2 tests: a 2D structured quad grid exposed
+// through the unstructured API (cells, edges, vertices + maps), which gives
+// indirect loops with real conflicts while keeping expected values easy to
+// compute.
+#pragma once
+
+#include <vector>
+
+#include "op2/op2.hpp"
+
+namespace op2_test {
+
+struct GridMesh {
+  op2::index_t nx = 0, ny = 0;
+  // Raw tables (owned here; Context copies them on declaration).
+  std::vector<op2::index_t> edge2node;
+  std::vector<double> node_coords;
+
+  op2::index_t num_nodes() const { return (nx + 1) * (ny + 1); }
+  op2::index_t num_edges() const {
+    return nx * (ny + 1) + (nx + 1) * ny;
+  }
+  op2::index_t node_id(op2::index_t x, op2::index_t y) const {
+    return y * (nx + 1) + x;
+  }
+};
+
+/// Builds the edge->node connectivity and coordinates of an nx x ny grid.
+inline GridMesh make_grid(op2::index_t nx, op2::index_t ny) {
+  GridMesh m;
+  m.nx = nx;
+  m.ny = ny;
+  for (op2::index_t y = 0; y <= ny; ++y) {
+    for (op2::index_t x = 0; x <= nx; ++x) {
+      m.node_coords.push_back(static_cast<double>(x));
+      m.node_coords.push_back(static_cast<double>(y));
+    }
+  }
+  for (op2::index_t y = 0; y <= ny; ++y) {
+    for (op2::index_t x = 0; x < nx; ++x) {
+      m.edge2node.push_back(m.node_id(x, y));
+      m.edge2node.push_back(m.node_id(x + 1, y));
+    }
+  }
+  for (op2::index_t y = 0; y < ny; ++y) {
+    for (op2::index_t x = 0; x <= nx; ++x) {
+      m.edge2node.push_back(m.node_id(x, y));
+      m.edge2node.push_back(m.node_id(x, y + 1));
+    }
+  }
+  return m;
+}
+
+}  // namespace op2_test

@@ -1,0 +1,107 @@
+// Dataset and mesh I/O (paper Fig. 1 and Sec. II-C): declare-from-file,
+// dump/load of all datasets, and distributed dumping.
+#include "op2/io.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "airfoil/airfoil.hpp"
+#include "airfoil/mesh.hpp"
+
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(OpIo, MeshSaveLoadRoundTrip) {
+  const std::string path = temp_path("airfoil_mesh.h5l");
+  const auto m = airfoil::make_bump_channel(12, 6, 0.07);
+  airfoil::save_mesh(m, path);
+  const auto l = airfoil::load_mesh(path);
+  EXPECT_EQ(l.ncell, m.ncell);
+  EXPECT_EQ(l.nedge, m.nedge);
+  EXPECT_EQ(l.x, m.x);
+  EXPECT_EQ(l.edge2cell, m.edge2cell);
+  EXPECT_EQ(l.bound, m.bound);
+  std::remove(path.c_str());
+}
+
+TEST(OpIo, DeclareApplicationFromMeshFile) {
+  // The Fig. 1 flow: generate + save a mesh, then run the application
+  // from the loaded file; results must match the in-memory path.
+  const std::string path = temp_path("airfoil_mesh2.h5l");
+  airfoil::Airfoil::Options opts;
+  opts.nx = 16;
+  opts.ny = 8;
+  airfoil::save_mesh(airfoil::make_bump_channel(opts.nx, opts.ny, opts.bump),
+                     path);
+
+  airfoil::Airfoil direct(opts);
+  airfoil::Airfoil from_file(airfoil::load_mesh(path), opts);
+  EXPECT_DOUBLE_EQ(from_file.run(5), direct.run(5));
+  std::remove(path.c_str());
+}
+
+TEST(OpIo, DumpAndLoadAllDats) {
+  airfoil::Airfoil::Options opts;
+  opts.nx = 12;
+  opts.ny = 6;
+  airfoil::Airfoil app(opts);
+  app.run(3);
+  apl::io::File file;
+  op2::dump_dats(app.ctx(), file);
+  EXPECT_TRUE(file.contains("dat/q"));
+  EXPECT_TRUE(file.contains("dat/x"));
+  EXPECT_TRUE(file.contains("dat/bound"));
+
+  // Restore into a fresh application: states must match exactly.
+  airfoil::Airfoil fresh(opts);
+  op2::load_dats(fresh.ctx(), file);
+  EXPECT_EQ(fresh.ctx().find_dat("q")->raw() == nullptr, false);
+  const auto a = app.solution();
+  const auto b = fresh.solution();
+  for (std::size_t i = 0; i < a.size(); ++i) ASSERT_DOUBLE_EQ(a[i], b[i]);
+  // And the restored run continues identically.
+  EXPECT_DOUBLE_EQ(fresh.run(2), app.run(2));
+}
+
+TEST(OpIo, DistributedDumpMatchesSequential) {
+  airfoil::Airfoil::Options opts;
+  opts.nx = 16;
+  opts.ny = 8;
+  airfoil::Airfoil seq_app(opts);
+  seq_app.run(4);
+  apl::io::File seq_file;
+  op2::dump_dats(seq_app.ctx(), seq_file);
+
+  airfoil::Airfoil dist_app(opts);
+  dist_app.enable_distributed(3, apl::graph::PartitionMethod::kKway);
+  dist_app.run(4);
+  apl::io::File dist_file;
+  op2::dump_dats(*dist_app.distributed(), dist_file);
+
+  const auto a = seq_file.get<std::uint8_t>("dat/q");
+  const auto b = dist_file.get<std::uint8_t>("dat/q");
+  ASSERT_EQ(a.size(), b.size());
+  // Compare as doubles with tolerance (distributed summation order).
+  const double* da = reinterpret_cast<const double*>(a.data());
+  const double* db = reinterpret_cast<const double*>(b.data());
+  for (std::size_t i = 0; i < a.size() / sizeof(double); ++i) {
+    ASSERT_NEAR(da[i], db[i], 1e-10 * (1 + std::abs(da[i]))) << i;
+  }
+}
+
+TEST(OpIo, LoadSkipsUnknownAndChecksSizes) {
+  airfoil::Airfoil app;
+  apl::io::File file;
+  file.put<std::uint8_t>("dat/not_a_dat", std::vector<std::uint8_t>{1, 2},
+                         {2});
+  EXPECT_NO_THROW(op2::load_dats(app.ctx(), file));  // unknown name skipped
+  file.put<std::uint8_t>("dat/q", std::vector<std::uint8_t>{1, 2}, {2});
+  EXPECT_THROW(op2::load_dats(app.ctx(), file), apl::Error);  // bad size
+}
+
+}  // namespace

@@ -1,0 +1,152 @@
+#include "op2/mesh.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/error.hpp"
+#include "op2/context.hpp"
+
+namespace {
+
+using op2::index_t;
+
+TEST(Mesh, DeclSetAndLookup) {
+  op2::Context ctx;
+  op2::Set& nodes = ctx.decl_set(10, "nodes");
+  EXPECT_EQ(nodes.size(), 10);
+  EXPECT_EQ(nodes.name(), "nodes");
+  EXPECT_EQ(&ctx.set(nodes.id()), &nodes);
+  EXPECT_GE(nodes.capacity(), nodes.size());
+  EXPECT_EQ(nodes.capacity() % 64, 0);
+}
+
+TEST(Mesh, DeclSetRejectsNegative) {
+  op2::Context ctx;
+  EXPECT_THROW(ctx.decl_set(-1, "bad"), apl::Error);
+}
+
+TEST(Mesh, MapValidatesTable) {
+  op2::Context ctx;
+  op2::Set& edges = ctx.decl_set(2, "edges");
+  op2::Set& nodes = ctx.decl_set(3, "nodes");
+  const std::vector<index_t> good = {0, 1, 1, 2};
+  op2::Map& m = ctx.decl_map(edges, nodes, 2, good, "e2n");
+  EXPECT_EQ(m.at(1, 1), 2);
+  EXPECT_EQ(m.arity(), 2);
+
+  const std::vector<index_t> out_of_range = {0, 3, 1, 2};
+  EXPECT_THROW(ctx.decl_map(edges, nodes, 2, out_of_range, "bad"),
+               apl::Error);
+  const std::vector<index_t> wrong_size = {0, 1};
+  EXPECT_THROW(ctx.decl_map(edges, nodes, 2, wrong_size, "bad"), apl::Error);
+}
+
+TEST(Mesh, DatInitAndEntryAccess) {
+  op2::Context ctx;
+  op2::Set& nodes = ctx.decl_set(3, "nodes");
+  const std::vector<double> init = {1, 2, 3, 4, 5, 6};
+  op2::Dat<double>& d = ctx.decl_dat<double>(nodes, 2, init, "q");
+  EXPECT_EQ(d.dim(), 2);
+  EXPECT_EQ(d.entry(1)[0], 3.0);
+  EXPECT_EQ(d.entry(1)[d.stride()], 4.0);
+  EXPECT_EQ(d.to_vector(), init);
+}
+
+TEST(Mesh, DatInitSizeValidated) {
+  op2::Context ctx;
+  op2::Set& nodes = ctx.decl_set(3, "nodes");
+  const std::vector<double> wrong = {1, 2, 3};
+  EXPECT_THROW(ctx.decl_dat<double>(nodes, 2, wrong, "q"), apl::Error);
+}
+
+TEST(Mesh, DatUninitializedIsZero) {
+  op2::Context ctx;
+  op2::Set& nodes = ctx.decl_set(4, "nodes");
+  op2::Dat<double>& d =
+      ctx.decl_dat<double>(nodes, 1, std::span<const double>{}, "z");
+  for (double v : d.to_vector()) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Mesh, LayoutConversionRoundTrips) {
+  op2::Context ctx;
+  op2::Set& nodes = ctx.decl_set(5, "nodes");
+  const std::vector<double> init = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  op2::Dat<double>& d = ctx.decl_dat<double>(nodes, 2, init, "q");
+  d.convert_layout(op2::Layout::kSoA);
+  EXPECT_EQ(d.layout(), op2::Layout::kSoA);
+  // Logical content unchanged...
+  EXPECT_EQ(d.to_vector(), init);
+  // ...while the physical stride changed.
+  EXPECT_EQ(d.stride(), nodes.capacity());
+  EXPECT_EQ(d.entry(3)[0], 6.0);
+  EXPECT_EQ(d.entry(3)[d.stride()], 7.0);
+  d.convert_layout(op2::Layout::kAoS);
+  EXPECT_EQ(d.to_vector(), init);
+  EXPECT_EQ(d.stride(), 1);
+}
+
+TEST(Mesh, PackUnpackAddEntry) {
+  op2::Context ctx;
+  op2::Set& nodes = ctx.decl_set(2, "nodes");
+  const std::vector<double> init = {1, 2, 3, 4};
+  op2::Dat<double>& d = ctx.decl_dat<double>(nodes, 2, init, "q");
+  double buf[2];
+  d.pack_entry(1, buf);
+  EXPECT_EQ(buf[0], 3.0);
+  EXPECT_EQ(buf[1], 4.0);
+  const double inc[2] = {10, 20};
+  d.add_entry(0, inc);
+  d.pack_entry(0, buf);
+  EXPECT_EQ(buf[0], 11.0);
+  EXPECT_EQ(buf[1], 22.0);
+  const double repl[2] = {-1, -2};
+  d.unpack_entry(1, repl);
+  EXPECT_EQ(d.entry(1)[0], -1.0);
+}
+
+TEST(Mesh, FindDatByName) {
+  op2::Context ctx;
+  op2::Set& nodes = ctx.decl_set(2, "nodes");
+  ctx.decl_dat<double>(nodes, 1, std::span<const double>{}, "alpha");
+  ctx.decl_dat<double>(nodes, 1, std::span<const double>{}, "beta");
+  ASSERT_NE(ctx.find_dat("beta"), nullptr);
+  EXPECT_EQ(ctx.find_dat("beta")->name(), "beta");
+  EXPECT_EQ(ctx.find_dat("gamma"), nullptr);
+}
+
+TEST(Mesh, ArgValidation) {
+  op2::Context ctx;
+  op2::Set& edges = ctx.decl_set(1, "edges");
+  op2::Set& nodes = ctx.decl_set(2, "nodes");
+  op2::Set& cells = ctx.decl_set(2, "cells");
+  const std::vector<index_t> table = {0, 1};
+  op2::Map& e2n = ctx.decl_map(edges, nodes, 2, table, "e2n");
+  op2::Dat<double>& on_cells =
+      ctx.decl_dat<double>(cells, 1, std::span<const double>{}, "c");
+  // Map targets nodes but dat lives on cells.
+  EXPECT_THROW(op2::arg(on_cells, e2n, 0, op2::Access::kRead), apl::Error);
+  op2::Dat<double>& on_nodes =
+      ctx.decl_dat<double>(nodes, 1, std::span<const double>{}, "n");
+  EXPECT_THROW(op2::arg(on_nodes, e2n, 2, op2::Access::kRead), apl::Error);
+  EXPECT_NO_THROW(op2::arg(on_nodes, e2n, 1, op2::Access::kRead));
+}
+
+TEST(Mesh, ArgGblValidation) {
+  double v = 0;
+  EXPECT_THROW(op2::arg_gbl(&v, 1, op2::Access::kWrite), apl::Error);
+  EXPECT_THROW(op2::arg_gbl(&v, 1, op2::Access::kRW), apl::Error);
+  EXPECT_NO_THROW(op2::arg_gbl(&v, 1, op2::Access::kInc));
+}
+
+TEST(Mesh, UniqueTargetsCounts) {
+  op2::Context ctx;
+  op2::Set& edges = ctx.decl_set(3, "edges");
+  op2::Set& nodes = ctx.decl_set(5, "nodes");
+  // Only nodes 0,1,2 are referenced.
+  const std::vector<index_t> table = {0, 1, 1, 2, 2, 0};
+  op2::Map& e2n = ctx.decl_map(edges, nodes, 2, table, "e2n");
+  EXPECT_EQ(ctx.unique_targets(e2n), 3);
+}
+
+}  // namespace

@@ -1,0 +1,167 @@
+#include "op2/transform.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/graph/csr.hpp"
+#include "apl/rng.hpp"
+#include "op2/op2.hpp"
+#include "op2_test_utils.hpp"
+
+namespace {
+
+using op2::Access;
+using op2::index_t;
+
+struct TransformFixture : ::testing::Test {
+  void SetUp() override {
+    mesh = op2_test::make_grid(7, 6);
+    // Shuffle node numbering so RCM has something to improve.
+    apl::SplitMix64 rng(17);
+    std::vector<index_t> shuffle(mesh.num_nodes());
+    std::iota(shuffle.begin(), shuffle.end(), 0);
+    for (index_t i = mesh.num_nodes() - 1; i > 0; --i) {
+      std::swap(shuffle[i],
+                shuffle[rng.below(static_cast<std::uint64_t>(i) + 1)]);
+    }
+    std::vector<index_t> e2n_table = mesh.edge2node;
+    for (index_t& v : e2n_table) v = shuffle[v];
+    std::vector<double> coords(mesh.node_coords.size());
+    std::vector<double> qv(mesh.num_nodes());
+    for (index_t v = 0; v < mesh.num_nodes(); ++v) {
+      coords[2 * shuffle[v]] = mesh.node_coords[2 * v];
+      coords[2 * shuffle[v] + 1] = mesh.node_coords[2 * v + 1];
+      qv[shuffle[v]] = 1.0 + v % 5;
+    }
+    edges = &ctx.decl_set(mesh.num_edges(), "edges");
+    nodes = &ctx.decl_set(mesh.num_nodes(), "nodes");
+    e2n = &ctx.decl_map(*edges, *nodes, 2, e2n_table, "e2n");
+    x = &ctx.decl_dat<double>(*nodes, 2, coords, "x");
+    q = &ctx.decl_dat<double>(*nodes, 1, qv, "q");
+    res = &ctx.decl_dat<double>(*nodes, 1, std::span<const double>{}, "res");
+  }
+
+  /// Edge sweep whose result is permutation-independent when gathered by
+  /// coordinates: sums |dx|+|dy|-weighted q of neighbours into res.
+  void run_sweep() {
+    op2::par_loop(
+        ctx, "sweep", *edges,
+        [](op2::Acc<double> xa, op2::Acc<double> xb, op2::Acc<double> qa,
+           op2::Acc<double> qb, op2::Acc<double> ra, op2::Acc<double> rb) {
+          const double w = std::abs(xa[0] - xb[0]) + 2 * std::abs(xa[1] - xb[1]);
+          ra[0] += w * qb[0];
+          rb[0] += w * qa[0];
+        },
+        op2::arg(*x, *e2n, 0, Access::kRead),
+        op2::arg(*x, *e2n, 1, Access::kRead),
+        op2::arg(*q, *e2n, 0, Access::kRead),
+        op2::arg(*q, *e2n, 1, Access::kRead),
+        op2::arg(*res, *e2n, 0, Access::kInc),
+        op2::arg(*res, *e2n, 1, Access::kInc));
+  }
+
+  /// res values keyed by node coordinates (permutation-invariant view).
+  std::vector<std::pair<std::pair<double, double>, double>> keyed_result() {
+    std::vector<std::pair<std::pair<double, double>, double>> out;
+    const auto xv = x->to_vector();
+    const auto rv = res->to_vector();
+    for (index_t v = 0; v < nodes->size(); ++v) {
+      out.push_back({{xv[2 * v], xv[2 * v + 1]}, rv[v]});
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  op2_test::GridMesh mesh;
+  op2::Context ctx;
+  op2::Set* edges;
+  op2::Set* nodes;
+  op2::Map* e2n;
+  op2::Dat<double>* x;
+  op2::Dat<double>* q;
+  op2::Dat<double>* res;
+};
+
+TEST_F(TransformFixture, RenumberingPreservesResults) {
+  run_sweep();
+  const auto before = keyed_result();
+
+  // Reset res, renumber the mesh, rerun: identical keyed results.
+  op2::par_loop(ctx, "zero", *nodes, [](op2::Acc<double> r) { r[0] = 0; },
+                op2::arg(*res, Access::kWrite));
+  op2::renumber_mesh(ctx, *e2n);
+  run_sweep();
+  const auto after = keyed_result();
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].first, after[i].first);
+    EXPECT_NEAR(before[i].second, after[i].second, 1e-12);
+  }
+}
+
+TEST_F(TransformFixture, RcmReducesMapBandwidth) {
+  auto bandwidth_of = [&] {
+    index_t bw = 0;
+    for (index_t e = 0; e < edges->size(); ++e) {
+      bw = std::max(bw, static_cast<index_t>(
+                            std::abs(e2n->at(e, 0) - e2n->at(e, 1))));
+    }
+    return bw;
+  };
+  const index_t before = bandwidth_of();
+  ctx.apply_permutation(*nodes, op2::rcm_permutation_for(ctx, *e2n));
+  const index_t after = bandwidth_of();
+  EXPECT_LT(after, before);
+  EXPECT_LE(after, 3 * 8);  // near the grid's natural bandwidth
+}
+
+TEST_F(TransformFixture, SortByMapImprovesSourceLocality) {
+  ctx.apply_permutation(*nodes, op2::rcm_permutation_for(ctx, *e2n));
+  ctx.apply_permutation(*edges, op2::sort_by_map_permutation(ctx, *e2n));
+  // After sorting, consecutive edges reference monotonically non-decreasing
+  // minimum endpoints.
+  index_t prev = -1;
+  for (index_t e = 0; e < edges->size(); ++e) {
+    const index_t lo = std::min(e2n->at(e, 0), e2n->at(e, 1));
+    EXPECT_GE(lo, prev);
+    prev = lo;
+  }
+}
+
+TEST_F(TransformFixture, PermutationValidationRejectsGarbage) {
+  std::vector<index_t> not_a_perm(nodes->size(), 0);
+  EXPECT_THROW(ctx.apply_permutation(*nodes, not_a_perm), apl::Error);
+  std::vector<index_t> wrong_size = {0, 1};
+  EXPECT_THROW(ctx.apply_permutation(*nodes, wrong_size), apl::Error);
+}
+
+TEST_F(TransformFixture, LayoutConversionPreservesLoopResults) {
+  run_sweep();
+  const auto before = keyed_result();
+  op2::par_loop(ctx, "zero", *nodes, [](op2::Acc<double> r) { r[0] = 0; },
+                op2::arg(*res, Access::kWrite));
+  ctx.convert_layout(op2::Layout::kSoA);
+  run_sweep();
+  const auto after = keyed_result();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_NEAR(before[i].second, after[i].second, 1e-12);
+  }
+}
+
+TEST_F(TransformFixture, RenumberingKeepsDatMapConsistency) {
+  // After renumbering, x through the map must still give unit-length edges.
+  op2::renumber_mesh(ctx, *e2n);
+  for (index_t e = 0; e < edges->size(); ++e) {
+    const double* a = x->entry(e2n->at(e, 0));
+    const double* b = x->entry(e2n->at(e, 1));
+    const auto s = x->stride();
+    const double len =
+        std::abs(a[0] - b[0]) + std::abs(a[s] - b[s]);
+    EXPECT_EQ(len, 1.0) << "edge " << e;
+  }
+}
+
+}  // namespace

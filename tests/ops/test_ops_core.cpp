@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "apl/error.hpp"
+#include "ops/ops.hpp"
+
+namespace {
+
+using ops::index_t;
+
+TEST(OpsCore, BlockDeclaration) {
+  ops::Context ctx;
+  ops::Block& b = ctx.decl_block(2, "grid");
+  EXPECT_EQ(b.ndim(), 2);
+  EXPECT_EQ(&ctx.block(b.id()), &b);
+  EXPECT_THROW(ctx.decl_block(0, "bad"), apl::Error);
+  EXPECT_THROW(ctx.decl_block(4, "bad"), apl::Error);
+}
+
+TEST(OpsCore, StencilExtents) {
+  ops::Context ctx;
+  ops::Stencil& s = ctx.decl_stencil(
+      2, {{{0, 0, 0}}, {{1, 0, 0}}, {{-1, 0, 0}}, {{0, -2, 0}}}, "odd");
+  EXPECT_EQ(s.lo()[0], -1);
+  EXPECT_EQ(s.hi()[0], 1);
+  EXPECT_EQ(s.lo()[1], -2);
+  EXPECT_EQ(s.hi()[1], 0);
+  EXPECT_TRUE(s.contains(1, 0, 0));
+  EXPECT_FALSE(s.contains(1, 1, 0));
+  EXPECT_FALSE(s.is_zero_point());
+  EXPECT_TRUE(ctx.stencil_point(2).is_zero_point());
+}
+
+TEST(OpsCore, StencilRejectsOffsetInUnusedDim) {
+  ops::Context ctx;
+  EXPECT_THROW(ctx.decl_stencil(1, {{{0, 1, 0}}}, "bad"), apl::Error);
+}
+
+TEST(OpsCore, DatAllocationWithHalos) {
+  ops::Context ctx;
+  ops::Block& b = ctx.decl_block(2, "grid");
+  auto& d = ctx.decl_dat<double>(b, 1, {10, 6, 1}, {2, 2, 0}, {2, 2, 0}, "f");
+  EXPECT_EQ(d.alloc_size()[0], 14);
+  EXPECT_EQ(d.alloc_size()[1], 10);
+  EXPECT_EQ(d.alloc_points(), 14u * 10u);
+  // Interior (0,0) is offset (2,2) into the allocation.
+  EXPECT_EQ(d.offset_of(0, 0, 0), 2 + 2 * 14);
+  // Halo points are addressable.
+  *d.at(-2, -2) = 7.0;
+  EXPECT_EQ(d.storage()[0], 7.0);
+  *d.at(11, 7) = 8.0;  // top-right halo corner
+  EXPECT_EQ(d.storage()[14 * 10 - 1], 8.0);
+}
+
+TEST(OpsCore, MultiComponentDat) {
+  ops::Context ctx;
+  ops::Block& b = ctx.decl_block(1, "line");
+  auto& d = ctx.decl_dat<double>(b, 3, {5, 1, 1}, {0, 0, 0}, {0, 0, 0}, "v");
+  d.at(2)[0] = 1.0;
+  d.at(2)[1] = 2.0;
+  d.at(2)[2] = 3.0;
+  double buf[3];
+  d.pack_point(2, 0, 0, buf);
+  EXPECT_EQ(buf[1], 2.0);
+  const double repl[3] = {9, 8, 7};
+  d.unpack_point(2, 0, 0, repl);
+  EXPECT_EQ(d.at(2)[2], 7.0);
+}
+
+TEST(OpsCore, DatValidatesUnusedDims) {
+  ops::Context ctx;
+  ops::Block& b = ctx.decl_block(1, "line");
+  EXPECT_THROW(
+      ctx.decl_dat<double>(b, 1, {5, 3, 1}, {0, 0, 0}, {0, 0, 0}, "bad"),
+      apl::Error);
+}
+
+TEST(OpsCore, RangeHelpers) {
+  const auto r = ops::Range::dim2(0, 10, 2, 5);
+  EXPECT_EQ(r.points(), 30u);
+  EXPECT_FALSE(r.empty());
+  const auto i = r.intersect(ops::Range::dim2(5, 20, 0, 3));
+  EXPECT_EQ(i.lo[0], 5);
+  EXPECT_EQ(i.hi[0], 10);
+  EXPECT_EQ(i.points(), 5u);
+  EXPECT_TRUE(r.intersect(ops::Range::dim2(10, 12, 0, 1)).empty());
+}
+
+TEST(OpsCore, WriteThroughNonCentreStencilRejected) {
+  ops::Context ctx;
+  ops::Block& b = ctx.decl_block(2, "grid");
+  auto& d = ctx.decl_dat<double>(b, 1, {4, 4, 1}, {1, 1, 0}, {1, 1, 0}, "f");
+  ops::Stencil& wide =
+      ctx.decl_stencil(2, {{{0, 0, 0}}, {{1, 0, 0}}}, "wide");
+  EXPECT_THROW(ops::arg(d, wide, ops::Access::kWrite), apl::Error);
+  EXPECT_NO_THROW(ops::arg(d, wide, ops::Access::kRead));
+  EXPECT_NO_THROW(ops::arg(d, ctx.stencil_point(2), ops::Access::kWrite));
+}
+
+TEST(OpsCore, RangeValidationAgainstAllocation) {
+  ops::Context ctx;
+  ops::Block& b = ctx.decl_block(2, "grid");
+  auto& d = ctx.decl_dat<double>(b, 1, {8, 8, 1}, {1, 1, 0}, {1, 1, 0}, "f");
+  ops::Stencil& five = ctx.decl_stencil(
+      2, {{{0, 0, 0}}, {{1, 0, 0}}, {{-1, 0, 0}}, {{0, 1, 0}}, {{0, -1, 0}}},
+      "5pt");
+  auto kernel = [](ops::Acc<double>) {};
+  // Interior range with 1-deep stencil: fine.
+  EXPECT_NO_THROW(ops::par_loop(ctx, "ok", b, ops::Range::dim2(0, 8, 0, 8),
+                                kernel, ops::arg(d, five, ops::Access::kRead)));
+  // Range into the halo + stencil: leaves the allocation.
+  EXPECT_THROW(ops::par_loop(ctx, "bad", b, ops::Range::dim2(-1, 9, 0, 8),
+                             kernel, ops::arg(d, five, ops::Access::kRead)),
+               apl::Error);
+}
+
+TEST(OpsCore, FindDatByName) {
+  ops::Context ctx;
+  ops::Block& b = ctx.decl_block(1, "line");
+  ctx.decl_dat<double>(b, 1, {3, 1, 1}, {0, 0, 0}, {0, 0, 0}, "rho");
+  EXPECT_NE(ctx.find_dat("rho"), nullptr);
+  EXPECT_EQ(ctx.find_dat("nope"), nullptr);
+}
+
+}  // namespace

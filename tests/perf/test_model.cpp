@@ -1,0 +1,146 @@
+#include "apl/perf/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apl/error.hpp"
+#include "apl/perf/machines.hpp"
+
+namespace {
+
+using apl::perf::LoopProfile;
+using apl::perf::Machine;
+
+TEST(Machines, RegistryHasPaperMachines) {
+  for (const char* name :
+       {"e5-2697v2", "e5-2640", "xeon-phi", "k40", "k20x", "k20m", "m2090",
+        "xe6-node", "xk7-cpu"}) {
+    EXPECT_NO_THROW(apl::perf::machine(name)) << name;
+  }
+  EXPECT_THROW(apl::perf::machine("cray-1"), apl::Error);
+}
+
+TEST(Machines, NetworksExist) {
+  EXPECT_NO_THROW(apl::perf::network("gemini"));
+  EXPECT_NO_THROW(apl::perf::network("infiniband"));
+  EXPECT_THROW(apl::perf::network("carrier-pigeon"), apl::Error);
+}
+
+TEST(Model, DirectStreamNearPeakBandwidth) {
+  const Machine& m = apl::perf::machine("e5-2697v2");
+  LoopProfile p;
+  p.bytes_direct = 10e9;
+  p.elements = 1e7;
+  const double gbs = apl::perf::projected_gbs(m, p);
+  EXPECT_NEAR(gbs, m.bw_direct_gbs, m.bw_direct_gbs * 0.05);
+}
+
+TEST(Model, ScatterSlowerThanDirect) {
+  const Machine& m = apl::perf::machine("xeon-phi");
+  LoopProfile direct, scatter;
+  direct.bytes_direct = scatter.bytes_scatter = 1e9;
+  direct.elements = scatter.elements = 1e7;
+  EXPECT_GT(apl::perf::projected_time(m, scatter),
+            apl::perf::projected_time(m, direct) * 3);
+}
+
+TEST(Model, FlopBoundKernelIgnoresBandwidth) {
+  const Machine& m = apl::perf::machine("e5-2697v2");
+  LoopProfile p;
+  p.bytes_direct = 1e6;       // negligible traffic
+  p.flops = 1e12;             // heavy compute
+  p.elements = 1e7;
+  const double t = apl::perf::projected_time(m, p);
+  EXPECT_NEAR(t, 1e12 / (m.flops_gf * 1e9), t * 0.05);
+}
+
+TEST(Model, SmallWorkloadEfficiencyPenalizesGpu) {
+  const Machine& gpu = apl::perf::machine("k40");
+  LoopProfile big, small;
+  big.bytes_direct = 1e9;
+  big.elements = 1e7;
+  small.bytes_direct = 1e6;   // 1000x less work...
+  small.elements = 1e4;       // ...but far below the GPU's n_half
+  const double t_big = apl::perf::projected_time(gpu, big);
+  const double t_small = apl::perf::projected_time(gpu, small);
+  // Perfect scaling would give t_small == t_big/1000 (+overhead); the
+  // efficiency term must make it substantially worse.
+  EXPECT_GT(t_small, t_big / 1000 * 5);
+}
+
+TEST(Model, GpuFasterThanCpuOnBigStreams) {
+  LoopProfile p;
+  p.bytes_direct = 10e9;
+  p.elements = 1e7;
+  EXPECT_LT(apl::perf::projected_time(apl::perf::machine("k40"), p),
+            apl::perf::projected_time(apl::perf::machine("e5-2697v2"), p));
+}
+
+TEST(Model, ScaledProfileScalesLinearly) {
+  LoopProfile p;
+  p.bytes_direct = 4e9;
+  p.bytes_gather = 2e9;
+  p.bytes_scatter = 1e9;
+  p.flops = 5e9;
+  p.elements = 1e6;
+  const LoopProfile half = p.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.bytes_direct, 2e9);
+  EXPECT_DOUBLE_EQ(half.bytes_gather, 1e9);
+  EXPECT_DOUBLE_EQ(half.bytes_scatter, 0.5e9);
+  EXPECT_DOUBLE_EQ(half.flops, 2.5e9);
+  EXPECT_DOUBLE_EQ(half.elements, 0.5e6);
+}
+
+TEST(Model, SequenceTimeIsSumOfLoops) {
+  const Machine& m = apl::perf::machine("e5-2640");
+  LoopProfile a, b;
+  a.bytes_direct = 1e9;
+  a.elements = 1e6;
+  b.bytes_gather = 1e9;
+  b.elements = 1e6;
+  EXPECT_DOUBLE_EQ(
+      apl::perf::projected_time(m, std::vector<LoopProfile>{a, b}),
+      apl::perf::projected_time(m, a) + apl::perf::projected_time(m, b));
+}
+
+TEST(Network, ExchangeTimeAlphaBets) {
+  const auto& net = apl::perf::network("gemini");
+  const double t1 = net.exchange_time(1, 0);
+  EXPECT_DOUBLE_EQ(t1, net.alpha_s);
+  const double t2 = net.exchange_time(4, 6'000'000);
+  EXPECT_GT(t2, 4 * net.alpha_s);
+  EXPECT_NEAR(t2 - 4 * net.alpha_s, 6e6 * net.beta_s_per_byte, 1e-9);
+}
+
+TEST(Network, AllreduceGrowsLogarithmically) {
+  const auto& net = apl::perf::network("gemini");
+  EXPECT_DOUBLE_EQ(net.allreduce_time(1), 0.0);
+  const double t16 = net.allreduce_time(16);
+  const double t256 = net.allreduce_time(256);
+  EXPECT_NEAR(t256 / t16, 2.0, 1e-9);  // log2(256)/log2(16) == 2
+}
+
+TEST(Model, TableOneShapeHolds) {
+  // The paper's Table I qualitative facts, checked against our calibrated
+  // machines using synthetic loops of the right class mix:
+  //   1. Phi beats CPU on direct loops but collapses on scatter loops.
+  //   2. K40 leads everywhere, least so on scatter-heavy loops.
+  const Machine& cpu = apl::perf::machine("e5-2697v2");
+  const Machine& phi = apl::perf::machine("xeon-phi");
+  const Machine& gpu = apl::perf::machine("k40");
+  LoopProfile direct;
+  direct.bytes_direct = 5e9;
+  direct.elements = 1e7;
+  LoopProfile scatter;  // res_calc-like: half gather, half scatter
+  scatter.bytes_gather = 2.5e9;
+  scatter.bytes_scatter = 2.5e9;
+  scatter.elements = 1e7;
+
+  EXPECT_LT(apl::perf::projected_time(phi, direct),
+            apl::perf::projected_time(cpu, direct));
+  EXPECT_GT(apl::perf::projected_time(phi, scatter),
+            apl::perf::projected_time(cpu, scatter));
+  EXPECT_LT(apl::perf::projected_time(gpu, direct),
+            apl::perf::projected_time(phi, direct));
+}
+
+}  // namespace

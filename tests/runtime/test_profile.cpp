@@ -1,0 +1,50 @@
+#include "apl/profile.hpp"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Profile, AccumulatesCallsAndTime) {
+  apl::Profile prof;
+  auto& s = prof.stats("res_calc");
+  {
+    apl::ScopedLoopTimer t(s);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    apl::ScopedLoopTimer t(s);
+  }
+  EXPECT_EQ(s.calls, 2u);
+  EXPECT_GT(s.seconds, 0.004);
+}
+
+TEST(Profile, BandwidthComputation) {
+  apl::LoopStats s;
+  s.bytes_direct = 1'500'000'000ull;
+  s.bytes_gather = 300'000'000ull;
+  s.bytes_scatter = 200'000'000ull;
+  s.seconds = 1.0;
+  EXPECT_DOUBLE_EQ(s.gb_per_s(), 2.0);
+  apl::LoopStats zero;
+  EXPECT_DOUBLE_EQ(zero.gb_per_s(), 0.0);
+}
+
+TEST(Profile, ReportListsLoops) {
+  apl::Profile prof;
+  prof.stats("update").bytes_direct = 1024;
+  prof.stats("adt_calc").calls = 3;
+  const std::string rep = prof.report();
+  EXPECT_NE(rep.find("update"), std::string::npos);
+  EXPECT_NE(rep.find("adt_calc"), std::string::npos);
+}
+
+TEST(Profile, ClearEmpties) {
+  apl::Profile prof;
+  prof.stats("x").calls = 1;
+  prof.clear();
+  EXPECT_TRUE(prof.all().empty());
+}
+
+}  // namespace

@@ -1,0 +1,43 @@
+#include "apl/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(SplitMix64, Deterministic) {
+  apl::SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, SeedsDiffer) {
+  apl::SplitMix64 a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(SplitMix64, UniformInRange) {
+  apl::SplitMix64 g(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = g.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = g.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(SplitMix64, UniformCoversRangeRoughly) {
+  apl::SplitMix64 g(11);
+  double sum = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) sum += g.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(SplitMix64, BelowBounds) {
+  apl::SplitMix64 g(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(g.below(17), 17u);
+  EXPECT_EQ(g.below(0), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+#include "apl/thread_pool.hpp"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(ThreadPool, RunTeamVisitsEveryMember) {
+  apl::ThreadPool pool(4);
+  ASSERT_EQ(pool.size(), 4u);
+  std::vector<std::atomic<int>> visits(4);
+  pool.run_team([&](std::size_t tid) { visits[tid].fetch_add(1); });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPool, RunTeamIsReusable) {
+  apl::ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int rep = 0; rep < 50; ++rep) {
+    pool.run_team([&](std::size_t) { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 150);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  apl::ThreadPool pool(4);
+  const std::size_t n = 10001;
+  std::vector<int> hits(n, 0);
+  pool.parallel_for(n, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0),
+            static_cast<int>(n));
+  for (std::size_t i = 0; i < n; i += 997) EXPECT_EQ(hits[i], 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  apl::ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t, std::size_t) {
+    called = true;
+  });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPool, ParallelForFewerItemsThanThreads) {
+  apl::ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t b, std::size_t e, std::size_t) {
+    for (std::size_t i = b; i < e; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  apl::ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  int x = 0;
+  pool.run_team([&](std::size_t tid) {
+    EXPECT_EQ(tid, 0u);
+    ++x;
+  });
+  EXPECT_EQ(x, 1);
+}
+
+TEST(ThreadPool, GlobalPoolExists) {
+  // Must not crash and must be usable.
+  std::atomic<int> c{0};
+  apl::ThreadPool::global().run_team([&](std::size_t) { c.fetch_add(1); });
+  EXPECT_EQ(c.load(), static_cast<int>(apl::ThreadPool::global().size()));
+}
+
+}  // namespace

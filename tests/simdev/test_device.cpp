@@ -1,0 +1,99 @@
+#include "apl/simdev/device.hpp"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using apl::simdev::DeviceConfig;
+using apl::simdev::TransactionCounter;
+
+std::vector<std::uintptr_t> lane_addrs(int lanes, std::uintptr_t base,
+                                       std::uintptr_t stride) {
+  std::vector<std::uintptr_t> a(lanes);
+  for (int i = 0; i < lanes; ++i) a[i] = base + stride * i;
+  return a;
+}
+
+TEST(TransactionCounter, PerfectlyCoalescedWarp) {
+  // 32 lanes reading consecutive doubles: 32*8 = 256 bytes = 2 segments.
+  TransactionCounter tc(DeviceConfig{});
+  tc.warp_access(lane_addrs(32, 0, 8), 8, false);
+  EXPECT_EQ(tc.transactions(), 2u);
+  EXPECT_DOUBLE_EQ(tc.efficiency(), 1.0);
+}
+
+TEST(TransactionCounter, AosStrideDoublesTransactions) {
+  // AoS with 4 components (stride 32 bytes): lanes span 32*32 = 1024 bytes
+  // = 8 segments, but only 256 useful bytes -> 25% efficiency.
+  TransactionCounter tc(DeviceConfig{});
+  tc.warp_access(lane_addrs(32, 0, 32), 8, false);
+  EXPECT_EQ(tc.transactions(), 8u);
+  EXPECT_DOUBLE_EQ(tc.efficiency(), 0.25);
+}
+
+TEST(TransactionCounter, FullyScatteredWarp) {
+  // Each lane in its own segment: 32 transactions.
+  TransactionCounter tc(DeviceConfig{});
+  tc.warp_access(lane_addrs(32, 0, 4096), 8, false);
+  EXPECT_EQ(tc.transactions(), 32u);
+  EXPECT_LT(tc.efficiency(), 0.07);
+}
+
+TEST(TransactionCounter, DuplicateAddressesCoalesce) {
+  // All lanes reading the same element: one transaction (broadcast).
+  TransactionCounter tc(DeviceConfig{});
+  tc.warp_access(lane_addrs(32, 64, 0), 8, false);
+  EXPECT_EQ(tc.transactions(), 1u);
+}
+
+TEST(TransactionCounter, UnalignedAccessStraddlesSegments) {
+  // One lane reading 8 bytes at offset 124 crosses a 128B boundary.
+  TransactionCounter tc(DeviceConfig{});
+  const std::vector<std::uintptr_t> addrs = {124};
+  tc.warp_access(addrs, 8, false);
+  EXPECT_EQ(tc.transactions(), 2u);
+}
+
+TEST(TransactionCounter, WritesTrackedSeparately) {
+  TransactionCounter tc(DeviceConfig{});
+  tc.warp_access(lane_addrs(32, 0, 8), 8, true);
+  tc.warp_access(lane_addrs(32, 4096, 8), 8, false);
+  EXPECT_EQ(tc.write_transactions(), 2u);
+  EXPECT_EQ(tc.transactions(), 4u);
+}
+
+TEST(TransactionCounter, EmptyAccessIsNoop) {
+  TransactionCounter tc(DeviceConfig{});
+  tc.warp_access({}, 8, false);
+  tc.warp_access(lane_addrs(4, 0, 8), 0, false);
+  EXPECT_EQ(tc.transactions(), 0u);
+  EXPECT_DOUBLE_EQ(tc.efficiency(), 1.0);
+}
+
+TEST(TransactionCounter, ResetClears) {
+  TransactionCounter tc(DeviceConfig{});
+  tc.warp_access(lane_addrs(32, 0, 8), 8, true);
+  tc.reset();
+  EXPECT_EQ(tc.transactions(), 0u);
+  EXPECT_EQ(tc.write_transactions(), 0u);
+  EXPECT_EQ(tc.useful_bytes(), 0u);
+}
+
+TEST(TransactionCounter, SoAvsAoSRatioMatchesComponentCount) {
+  // The Fig. 7 effect in isolation: a 4-component dat accessed one
+  // component at a time is 4x cheaper in SoA than AoS layout.
+  DeviceConfig cfg;
+  TransactionCounter soa(cfg), aos(cfg);
+  for (int comp = 0; comp < 4; ++comp) {
+    // SoA: component arrays are contiguous (stride 8 within a warp);
+    // arrays are segment-aligned as the aligned allocator guarantees.
+    soa.warp_access(lane_addrs(32, 131072 * comp, 8), 8, false);
+    // AoS: stride is 4 components * 8 bytes.
+    aos.warp_access(lane_addrs(32, 8 * comp, 32), 8, false);
+  }
+  EXPECT_EQ(aos.transactions(), 4 * soa.transactions());
+}
+
+}  // namespace
