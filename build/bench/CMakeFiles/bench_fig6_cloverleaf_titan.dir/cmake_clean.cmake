@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cloverleaf_titan.dir/bench_fig6_cloverleaf_titan.cpp.o"
+  "CMakeFiles/bench_fig6_cloverleaf_titan.dir/bench_fig6_cloverleaf_titan.cpp.o.d"
+  "bench_fig6_cloverleaf_titan"
+  "bench_fig6_cloverleaf_titan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cloverleaf_titan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_memlayout.dir/bench_fig7_memlayout.cpp.o"
+  "CMakeFiles/bench_fig7_memlayout.dir/bench_fig7_memlayout.cpp.o.d"
+  "bench_fig7_memlayout"
+  "bench_fig7_memlayout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_memlayout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/airfoil_sim.cpp" "examples/CMakeFiles/airfoil_sim.dir/airfoil_sim.cpp.o" "gcc" "examples/CMakeFiles/airfoil_sim.dir/airfoil_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/airfoil/CMakeFiles/opal_airfoil.dir/DependInfo.cmake"
+  "/root/repo/build/src/op2/CMakeFiles/opal_op2.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/opal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/opal_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdev/CMakeFiles/opal_simdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/opal_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/opal_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

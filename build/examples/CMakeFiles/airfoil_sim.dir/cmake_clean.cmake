@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airfoil_sim.dir/airfoil_sim.cpp.o"
+  "CMakeFiles/airfoil_sim.dir/airfoil_sim.cpp.o.d"
+  "airfoil_sim"
+  "airfoil_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airfoil_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloverleaf_sim.dir/cloverleaf_sim.cpp.o"
+  "CMakeFiles/cloverleaf_sim.dir/cloverleaf_sim.cpp.o.d"
+  "cloverleaf_sim"
+  "cloverleaf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloverleaf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

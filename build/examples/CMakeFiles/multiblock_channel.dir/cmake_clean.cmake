@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiblock_channel.dir/multiblock_channel.cpp.o"
+  "CMakeFiles/multiblock_channel.dir/multiblock_channel.cpp.o.d"
+  "multiblock_channel"
+  "multiblock_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiblock_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

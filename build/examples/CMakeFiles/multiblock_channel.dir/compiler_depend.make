@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for multiblock_channel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_airfoil.dir/airfoil.cpp.o"
+  "CMakeFiles/opal_airfoil.dir/airfoil.cpp.o.d"
+  "CMakeFiles/opal_airfoil.dir/mesh.cpp.o"
+  "CMakeFiles/opal_airfoil.dir/mesh.cpp.o.d"
+  "libopal_airfoil.a"
+  "libopal_airfoil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_airfoil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

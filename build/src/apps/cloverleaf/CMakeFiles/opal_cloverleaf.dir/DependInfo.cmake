@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/cloverleaf/cloverleaf_ops.cpp" "src/apps/cloverleaf/CMakeFiles/opal_cloverleaf.dir/cloverleaf_ops.cpp.o" "gcc" "src/apps/cloverleaf/CMakeFiles/opal_cloverleaf.dir/cloverleaf_ops.cpp.o.d"
+  "/root/repo/src/apps/cloverleaf/cloverleaf_ref.cpp" "src/apps/cloverleaf/CMakeFiles/opal_cloverleaf.dir/cloverleaf_ref.cpp.o" "gcc" "src/apps/cloverleaf/CMakeFiles/opal_cloverleaf.dir/cloverleaf_ref.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/opal_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/opal_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/opal_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/opal_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

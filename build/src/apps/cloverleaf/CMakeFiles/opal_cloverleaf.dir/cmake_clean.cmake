@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_cloverleaf.dir/cloverleaf_ops.cpp.o"
+  "CMakeFiles/opal_cloverleaf.dir/cloverleaf_ops.cpp.o.d"
+  "CMakeFiles/opal_cloverleaf.dir/cloverleaf_ref.cpp.o"
+  "CMakeFiles/opal_cloverleaf.dir/cloverleaf_ref.cpp.o.d"
+  "libopal_cloverleaf.a"
+  "libopal_cloverleaf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_cloverleaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

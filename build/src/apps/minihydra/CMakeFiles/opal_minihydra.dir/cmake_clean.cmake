@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_minihydra.dir/minihydra.cpp.o"
+  "CMakeFiles/opal_minihydra.dir/minihydra.cpp.o.d"
+  "libopal_minihydra.a"
+  "libopal_minihydra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_minihydra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_graph.dir/coloring.cpp.o"
+  "CMakeFiles/opal_graph.dir/coloring.cpp.o.d"
+  "CMakeFiles/opal_graph.dir/csr.cpp.o"
+  "CMakeFiles/opal_graph.dir/csr.cpp.o.d"
+  "CMakeFiles/opal_graph.dir/partition.cpp.o"
+  "CMakeFiles/opal_graph.dir/partition.cpp.o.d"
+  "CMakeFiles/opal_graph.dir/rcm.cpp.o"
+  "CMakeFiles/opal_graph.dir/rcm.cpp.o.d"
+  "libopal_graph.a"
+  "libopal_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_io.dir/h5lite.cpp.o"
+  "CMakeFiles/opal_io.dir/h5lite.cpp.o.d"
+  "libopal_io.a"
+  "libopal_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_mpisim.dir/comm.cpp.o"
+  "CMakeFiles/opal_mpisim.dir/comm.cpp.o.d"
+  "libopal_mpisim.a"
+  "libopal_mpisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_mpisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/op2/checkpoint.cpp" "src/op2/CMakeFiles/opal_op2.dir/checkpoint.cpp.o" "gcc" "src/op2/CMakeFiles/opal_op2.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/op2/context.cpp" "src/op2/CMakeFiles/opal_op2.dir/context.cpp.o" "gcc" "src/op2/CMakeFiles/opal_op2.dir/context.cpp.o.d"
+  "/root/repo/src/op2/dist.cpp" "src/op2/CMakeFiles/opal_op2.dir/dist.cpp.o" "gcc" "src/op2/CMakeFiles/opal_op2.dir/dist.cpp.o.d"
+  "/root/repo/src/op2/io.cpp" "src/op2/CMakeFiles/opal_op2.dir/io.cpp.o" "gcc" "src/op2/CMakeFiles/opal_op2.dir/io.cpp.o.d"
+  "/root/repo/src/op2/plan.cpp" "src/op2/CMakeFiles/opal_op2.dir/plan.cpp.o" "gcc" "src/op2/CMakeFiles/opal_op2.dir/plan.cpp.o.d"
+  "/root/repo/src/op2/traffic.cpp" "src/op2/CMakeFiles/opal_op2.dir/traffic.cpp.o" "gcc" "src/op2/CMakeFiles/opal_op2.dir/traffic.cpp.o.d"
+  "/root/repo/src/op2/transform.cpp" "src/op2/CMakeFiles/opal_op2.dir/transform.cpp.o" "gcc" "src/op2/CMakeFiles/opal_op2.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/opal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/opal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/opal_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/simdev/CMakeFiles/opal_simdev.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/opal_mpisim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

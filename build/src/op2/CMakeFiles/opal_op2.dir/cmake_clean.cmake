@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_op2.dir/checkpoint.cpp.o"
+  "CMakeFiles/opal_op2.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/opal_op2.dir/context.cpp.o"
+  "CMakeFiles/opal_op2.dir/context.cpp.o.d"
+  "CMakeFiles/opal_op2.dir/dist.cpp.o"
+  "CMakeFiles/opal_op2.dir/dist.cpp.o.d"
+  "CMakeFiles/opal_op2.dir/io.cpp.o"
+  "CMakeFiles/opal_op2.dir/io.cpp.o.d"
+  "CMakeFiles/opal_op2.dir/plan.cpp.o"
+  "CMakeFiles/opal_op2.dir/plan.cpp.o.d"
+  "CMakeFiles/opal_op2.dir/traffic.cpp.o"
+  "CMakeFiles/opal_op2.dir/traffic.cpp.o.d"
+  "CMakeFiles/opal_op2.dir/transform.cpp.o"
+  "CMakeFiles/opal_op2.dir/transform.cpp.o.d"
+  "libopal_op2.a"
+  "libopal_op2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/core.cpp" "src/ops/CMakeFiles/opal_ops.dir/core.cpp.o" "gcc" "src/ops/CMakeFiles/opal_ops.dir/core.cpp.o.d"
+  "/root/repo/src/ops/dist.cpp" "src/ops/CMakeFiles/opal_ops.dir/dist.cpp.o" "gcc" "src/ops/CMakeFiles/opal_ops.dir/dist.cpp.o.d"
+  "/root/repo/src/ops/halo.cpp" "src/ops/CMakeFiles/opal_ops.dir/halo.cpp.o" "gcc" "src/ops/CMakeFiles/opal_ops.dir/halo.cpp.o.d"
+  "/root/repo/src/ops/par_loop.cpp" "src/ops/CMakeFiles/opal_ops.dir/par_loop.cpp.o" "gcc" "src/ops/CMakeFiles/opal_ops.dir/par_loop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/opal_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/opal_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/opal_mpisim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_ops.dir/core.cpp.o"
+  "CMakeFiles/opal_ops.dir/core.cpp.o.d"
+  "CMakeFiles/opal_ops.dir/dist.cpp.o"
+  "CMakeFiles/opal_ops.dir/dist.cpp.o.d"
+  "CMakeFiles/opal_ops.dir/halo.cpp.o"
+  "CMakeFiles/opal_ops.dir/halo.cpp.o.d"
+  "CMakeFiles/opal_ops.dir/par_loop.cpp.o"
+  "CMakeFiles/opal_ops.dir/par_loop.cpp.o.d"
+  "libopal_ops.a"
+  "libopal_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_perf.dir/machines.cpp.o"
+  "CMakeFiles/opal_perf.dir/machines.cpp.o.d"
+  "CMakeFiles/opal_perf.dir/model.cpp.o"
+  "CMakeFiles/opal_perf.dir/model.cpp.o.d"
+  "libopal_perf.a"
+  "libopal_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

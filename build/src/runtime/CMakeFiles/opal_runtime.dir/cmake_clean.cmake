@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_runtime.dir/profile.cpp.o"
+  "CMakeFiles/opal_runtime.dir/profile.cpp.o.d"
+  "CMakeFiles/opal_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/opal_runtime.dir/thread_pool.cpp.o.d"
+  "libopal_runtime.a"
+  "libopal_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

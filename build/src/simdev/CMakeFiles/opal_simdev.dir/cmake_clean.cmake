@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opal_simdev.dir/device.cpp.o"
+  "CMakeFiles/opal_simdev.dir/device.cpp.o.d"
+  "libopal_simdev.a"
+  "libopal_simdev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opal_simdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

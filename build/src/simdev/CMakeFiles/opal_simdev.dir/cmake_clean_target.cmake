@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libopal_simdev.a"
+)

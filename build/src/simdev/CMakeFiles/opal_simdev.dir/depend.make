@@ -1,0 +1,2 @@
+# Empty dependencies file for opal_simdev.
+# This may be replaced when dependencies are built.

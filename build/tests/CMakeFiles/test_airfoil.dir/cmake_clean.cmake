@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_airfoil.dir/apps/test_airfoil.cpp.o"
+  "CMakeFiles/test_airfoil.dir/apps/test_airfoil.cpp.o.d"
+  "test_airfoil"
+  "test_airfoil.pdb"
+  "test_airfoil[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_airfoil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

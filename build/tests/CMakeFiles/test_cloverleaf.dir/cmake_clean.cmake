@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cloverleaf.dir/apps/test_cloverleaf.cpp.o"
+  "CMakeFiles/test_cloverleaf.dir/apps/test_cloverleaf.cpp.o.d"
+  "test_cloverleaf"
+  "test_cloverleaf.pdb"
+  "test_cloverleaf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cloverleaf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph/test_coloring.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_coloring.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_coloring.cpp.o.d"
+  "/root/repo/tests/graph/test_csr.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_csr.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_csr.cpp.o.d"
+  "/root/repo/tests/graph/test_partition.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_partition.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_partition.cpp.o.d"
+  "/root/repo/tests/graph/test_rcm.cpp" "tests/CMakeFiles/test_graph.dir/graph/test_rcm.cpp.o" "gcc" "tests/CMakeFiles/test_graph.dir/graph/test_rcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/opal_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/opal_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

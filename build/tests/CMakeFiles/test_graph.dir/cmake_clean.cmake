@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph.dir/graph/test_coloring.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_coloring.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_csr.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_csr.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_partition.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_partition.cpp.o.d"
+  "CMakeFiles/test_graph.dir/graph/test_rcm.cpp.o"
+  "CMakeFiles/test_graph.dir/graph/test_rcm.cpp.o.d"
+  "test_graph"
+  "test_graph.pdb"
+  "test_graph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minihydra.dir/apps/test_minihydra.cpp.o"
+  "CMakeFiles/test_minihydra.dir/apps/test_minihydra.cpp.o.d"
+  "test_minihydra"
+  "test_minihydra.pdb"
+  "test_minihydra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minihydra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op2.dir/op2/test_checkpoint.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_dist.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_dist.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_mesh.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_mesh.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_par_loop.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_par_loop.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_plan.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_plan.cpp.o.d"
+  "CMakeFiles/test_op2.dir/op2/test_transform.cpp.o"
+  "CMakeFiles/test_op2.dir/op2/test_transform.cpp.o.d"
+  "test_op2"
+  "test_op2.pdb"
+  "test_op2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

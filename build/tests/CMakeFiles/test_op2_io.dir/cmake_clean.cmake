@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_op2_io.dir/op2/test_io.cpp.o"
+  "CMakeFiles/test_op2_io.dir/op2/test_io.cpp.o.d"
+  "test_op2_io"
+  "test_op2_io.pdb"
+  "test_op2_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_op2_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ops/test_ops_3d.cpp" "tests/CMakeFiles/test_ops.dir/ops/test_ops_3d.cpp.o" "gcc" "tests/CMakeFiles/test_ops.dir/ops/test_ops_3d.cpp.o.d"
+  "/root/repo/tests/ops/test_ops_core.cpp" "tests/CMakeFiles/test_ops.dir/ops/test_ops_core.cpp.o" "gcc" "tests/CMakeFiles/test_ops.dir/ops/test_ops_core.cpp.o.d"
+  "/root/repo/tests/ops/test_ops_dist.cpp" "tests/CMakeFiles/test_ops.dir/ops/test_ops_dist.cpp.o" "gcc" "tests/CMakeFiles/test_ops.dir/ops/test_ops_dist.cpp.o.d"
+  "/root/repo/tests/ops/test_ops_halo.cpp" "tests/CMakeFiles/test_ops.dir/ops/test_ops_halo.cpp.o" "gcc" "tests/CMakeFiles/test_ops.dir/ops/test_ops_halo.cpp.o.d"
+  "/root/repo/tests/ops/test_ops_par_loop.cpp" "tests/CMakeFiles/test_ops.dir/ops/test_ops_par_loop.cpp.o" "gcc" "tests/CMakeFiles/test_ops.dir/ops/test_ops_par_loop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ops/CMakeFiles/opal_ops.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/opal_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpisim/CMakeFiles/opal_mpisim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/opal_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops.dir/ops/test_ops_3d.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_ops_3d.cpp.o.d"
+  "CMakeFiles/test_ops.dir/ops/test_ops_core.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_ops_core.cpp.o.d"
+  "CMakeFiles/test_ops.dir/ops/test_ops_dist.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_ops_dist.cpp.o.d"
+  "CMakeFiles/test_ops.dir/ops/test_ops_halo.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_ops_halo.cpp.o.d"
+  "CMakeFiles/test_ops.dir/ops/test_ops_par_loop.cpp.o"
+  "CMakeFiles/test_ops.dir/ops/test_ops_par_loop.cpp.o.d"
+  "test_ops"
+  "test_ops.pdb"
+  "test_ops[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

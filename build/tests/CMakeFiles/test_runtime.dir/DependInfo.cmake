@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_profile.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_profile.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_profile.cpp.o.d"
+  "/root/repo/tests/runtime/test_rng.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_rng.cpp.o.d"
+  "/root/repo/tests/runtime/test_thread_pool.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/test_thread_pool.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/test_thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/opal_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

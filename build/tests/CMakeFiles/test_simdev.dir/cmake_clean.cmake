@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simdev.dir/simdev/test_device.cpp.o"
+  "CMakeFiles/test_simdev.dir/simdev/test_device.cpp.o.d"
+  "test_simdev"
+  "test_simdev.pdb"
+  "test_simdev[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simdev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
