@@ -40,7 +40,7 @@ int main() {
   for (op2::index_t bs : {32, 64, 128, 256, 512}) {
     airfoil::Airfoil app(opts);
     app.ctx().set_block_size(bs);
-    app.ctx().set_backend(op2::Backend::kThreads);
+    app.ctx().set_backend(apl::exec::Backend::kThreads);
     app.run(1);
     const auto& s = app.ctx().profile().all().at("res_calc");
     std::printf("  block %4d: %4llu colors over the run (%.1f per launch)\n",
@@ -93,7 +93,7 @@ int main() {
                                     random_perm(app.mesh().nnode, 7));
       }
       if (renumbered) op2::renumber_mesh(app.ctx(), app.edge2cell_map());
-      app.ctx().set_backend(op2::Backend::kCudaSim);
+      app.ctx().set_backend(apl::exec::Backend::kCudaSim);
       app.run(1);
       return app.ctx().device_reports().at("res_calc").efficiency;
     };

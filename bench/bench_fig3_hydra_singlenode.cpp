@@ -36,7 +36,7 @@ std::vector<op2::index_t> random_perm(op2::index_t n, std::uint64_t seed) {
 
 /// Overall DRAM-transaction efficiency of a cudasim run.
 double gather_efficiency(minihydra::MiniHydra& app) {
-  app.ctx().set_backend(op2::Backend::kCudaSim);
+  app.ctx().set_backend(apl::exec::Backend::kCudaSim);
   app.ctx().profile().clear();
   app.run(1);
   std::uint64_t useful = 0, moved = 0;
@@ -44,7 +44,7 @@ double gather_efficiency(minihydra::MiniHydra& app) {
     useful += rep.useful_bytes;
     moved += rep.transactions * 128;
   }
-  app.ctx().set_backend(op2::Backend::kSeq);
+  app.ctx().set_backend(apl::exec::Backend::kSeq);
   return moved ? static_cast<double>(useful) / static_cast<double>(moved)
                : 1.0;
 }

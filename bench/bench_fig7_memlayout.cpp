@@ -21,7 +21,7 @@ LayoutResult measure(op2::Layout layout, bool staging) {
   opts.nx = 120;
   opts.ny = 60;
   airfoil::Airfoil app(opts);
-  app.ctx().set_backend(op2::Backend::kCudaSim);
+  app.ctx().set_backend(apl::exec::Backend::kCudaSim);
   app.ctx().set_staging(staging);
   app.ctx().convert_layout(layout);
   app.run(1);

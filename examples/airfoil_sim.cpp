@@ -19,15 +19,15 @@ int main(int argc, char** argv) {
   std::printf("Airfoil: %dx%d cells, mach %.2f, %d iterations\n", opts.nx,
               opts.ny, airfoil::Constants{}.mach, iters);
 
-  for (const op2::Backend backend :
-       {op2::Backend::kSeq, op2::Backend::kSimd, op2::Backend::kThreads,
-        op2::Backend::kCudaSim}) {
+  for (const apl::exec::Backend backend :
+       {apl::exec::Backend::kSeq, apl::exec::Backend::kSimd, apl::exec::Backend::kThreads,
+        apl::exec::Backend::kCudaSim}) {
     airfoil::Airfoil app(opts);
     app.ctx().set_backend(backend);
     apl::Timer t;
     const double rms = app.run(iters);
     std::printf("  backend %-8s: %6.2f s, final RMS residual %.3e\n",
-                op2::to_string(backend), t.seconds(), rms);
+                apl::exec::to_string(backend), t.seconds(), rms);
   }
 
   // Distributed run (4 simulated ranks, k-way partitioning), then print

@@ -51,13 +51,13 @@ int main() {
                                                u(0, -1) - 4 * u(0, 0));
                   },
                   ops::arg(u, five, ops::Access::kRead),
-                  ops::arg(t, ctx.stencil_point(2), ops::Access::kWrite));
+                  ops::arg(t, ops::Access::kWrite));
     ops::par_loop(ctx, "copy", blk, ops::Range::dim2(0, nx, 0, ny),
                   [](ops::Acc<double> t, ops::Acc<double> u) {
                     u(0, 0) = t(0, 0);
                   },
-                  ops::arg(t, ctx.stencil_point(2), ops::Access::kRead),
-                  ops::arg(u, ctx.stencil_point(2), ops::Access::kWrite));
+                  ops::arg(t, ops::Access::kRead),
+                  ops::arg(u, ops::Access::kWrite));
   };
 
   double crossed = 0.0;

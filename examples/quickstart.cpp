@@ -5,9 +5,13 @@
 //
 // Declares one block, one dataset with a 1-deep halo, a 5-point stencil,
 // and runs Jacobi sweeps as ops::par_loop calls. Switching the backend
-// (seq / threads / cudasim) changes nothing in the application.
+// (seq / simd / threads / cudasim) changes nothing in the application,
+// and neither does turning on lazy execution: par_loop then queues loops
+// and the chain runs — tiled for cache residency — at the next flush
+// point (here: the residual reduction each sweep).
 #include <cstdio>
 
+#include "apl/exec.hpp"
 #include "ops/ops.hpp"
 
 int main() {
@@ -27,10 +31,13 @@ int main() {
                 [n](ops::Acc<double> u, const int* idx) {
                   u(0, 0) = idx[0] < 0 ? 1.0 : 0.0;
                 },
-                ops::arg(u, ctx.stencil_point(2), ops::Access::kWrite),
+                ops::arg(u, ops::Access::kWrite),
                 ops::arg_idx());
 
-  ctx.set_backend(ops::Backend::kThreads);  // one-line backend switch
+  // One-line backend switch; APL_BACKEND=seq|simd|threads|cudasim wins.
+  ctx.set_backend(
+      apl::exec::backend_from_env(apl::exec::Backend::kThreads));
+  ctx.set_lazy(true);  // queue loops; flush points execute the chain tiled
   double change = 1.0;
   int sweeps = 0;
   while (change > 1e-8 && sweeps < 20000) {
@@ -40,15 +47,15 @@ int main() {
                         0.25 * (u(1, 0) + u(-1, 0) + u(0, 1) + u(0, -1));
                   },
                   ops::arg(u, five, ops::Access::kRead),
-                  ops::arg(unew, ctx.stencil_point(2), ops::Access::kWrite));
+                  ops::arg(unew, ops::Access::kWrite));
     change = 0.0;
     ops::par_loop(ctx, "copy", grid, ops::Range::dim2(0, n, 0, n),
                   [](ops::Acc<double> out, ops::Acc<double> u, double* c) {
                     c[0] += std::abs(out(0, 0) - u(0, 0));
                     u(0, 0) = out(0, 0);
                   },
-                  ops::arg(unew, ctx.stencil_point(2), ops::Access::kRead),
-                  ops::arg(u, ctx.stencil_point(2), ops::Access::kWrite),
+                  ops::arg(unew, ops::Access::kRead),
+                  ops::arg(u, ops::Access::kWrite),
                   ops::arg_gbl(&change, 1, ops::Access::kInc));
     ++sweeps;
   }

@@ -50,7 +50,7 @@ Airfoil::Airfoil(Mesh mesh, const Options& opts) : mesh_(std::move(mesh)) {
 
 void Airfoil::enable_distributed(int nranks,
                                  apl::graph::PartitionMethod method,
-                                 op2::Backend node_backend) {
+                                 apl::exec::Backend node_backend) {
   dist_ = std::make_unique<op2::Distributed>(ctx_, nranks, method, *cells_,
                                              nullptr);
   dist_->set_node_backend(node_backend);

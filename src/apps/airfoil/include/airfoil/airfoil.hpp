@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 
+#include "apl/exec.hpp"
 #include "airfoil/kernels.hpp"
 #include "airfoil/mesh.hpp"
 #include "op2/op2.hpp"
@@ -34,7 +35,7 @@ public:
   /// Switches execution to the distributed layer (must be called before
   /// the first loop). `node_backend` runs inside each rank (hybrid).
   void enable_distributed(int nranks, apl::graph::PartitionMethod method,
-                          op2::Backend node_backend = op2::Backend::kSeq);
+                          apl::exec::Backend node_backend = apl::exec::Backend::kSeq);
 
   /// One time-marching iteration: save_soln + rk_stages x (adt_calc,
   /// res_calc, bres_calc, update). Returns the RMS residual accumulated

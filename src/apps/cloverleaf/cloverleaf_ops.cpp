@@ -89,10 +89,18 @@ CloverOps::CloverOps(const Options& opts) : opts_(opts) {
   ctx_.hint_flops("advec_mom", 12.0);
   ctx_.hint_flops("field_summary", 18.0);
 
+  if (opts.lazy) {
+    ctx_.set_lazy(true);
+    ctx_.set_tile_rows(opts.tile_rows);
+  }
+
   initialise();
 }
 
-void CloverOps::enable_distributed(int nranks, ops::Backend node_backend) {
+void CloverOps::enable_distributed(int nranks, apl::exec::Backend node_backend) {
+  // The distributed layer drives rank-local loops itself; chains are
+  // flushed and lazy mode is dropped before handing the context over.
+  ctx_.set_lazy(false);
   dist_ = std::make_unique<ops::Distributed>(ctx_, nranks);
   dist_->set_node_backend(node_backend);
 }
@@ -112,8 +120,8 @@ void CloverOps::initialise() {
          d(0, 0) = energetic ? o.rho_state2 : o.rho_ambient;
          e(0, 0) = energetic ? o.e_state2 : o.e_ambient;
        },
-       ops::arg(*density0_, *sp_, Access::kWrite),
-       ops::arg(*energy0_, *sp_, Access::kWrite), ops::arg_idx());
+       ops::arg(*density0_, Access::kWrite),
+       ops::arg(*energy0_, Access::kWrite), ops::arg_idx());
   ideal_gas(false);
   update_halo_cells();
 }
@@ -126,10 +134,10 @@ void CloverOps::ideal_gas(bool predicted) {
          p(0, 0) = (gamma - 1.0) * d(0, 0) * e(0, 0);
          ss(0, 0) = std::sqrt(gamma * p(0, 0) / d(0, 0));
        },
-       ops::arg(predicted ? *density1_ : *density0_, *sp_, Access::kRead),
-       ops::arg(predicted ? *energy1_ : *energy0_, *sp_, Access::kRead),
-       ops::arg(*pressure_, *sp_, Access::kWrite),
-       ops::arg(*soundspeed_, *sp_, Access::kWrite));
+       ops::arg(predicted ? *density1_ : *density0_, Access::kRead),
+       ops::arg(predicted ? *energy1_ : *energy0_, Access::kRead),
+       ops::arg(*pressure_, Access::kWrite),
+       ops::arg(*soundspeed_, Access::kWrite));
 }
 
 void CloverOps::viscosity_kernel() {
@@ -146,8 +154,8 @@ void CloverOps::viscosity_kernel() {
        },
        ops::arg(*xvel0_, *s_cell2node_, Access::kRead),
        ops::arg(*yvel0_, *s_cell2node_, Access::kRead),
-       ops::arg(*density0_, *sp_, Access::kRead),
-       ops::arg(*viscosity_, *sp_, Access::kWrite));
+       ops::arg(*density0_, Access::kRead),
+       ops::arg(*viscosity_, Access::kWrite));
 }
 
 void CloverOps::calc_dt() {
@@ -166,9 +174,9 @@ void CloverOps::calc_dt() {
          const double signal = ss(0, 0) + u + v + qs + 1e-30;
          dt[0] = std::min(dt[0], cfl * mind / signal);
        },
-       ops::arg(*soundspeed_, *sp_, Access::kRead),
-       ops::arg(*viscosity_, *sp_, Access::kRead),
-       ops::arg(*density0_, *sp_, Access::kRead),
+       ops::arg(*soundspeed_, Access::kRead),
+       ops::arg(*viscosity_, Access::kRead),
+       ops::arg(*density0_, Access::kRead),
        ops::arg(*xvel0_, *s_cell2node_, Access::kRead),
        ops::arg(*yvel0_, *s_cell2node_, Access::kRead),
        ops::arg_gbl(&dt_local, 1, Access::kMin));
@@ -197,12 +205,12 @@ void CloverOps::pdv(bool predict) {
          },
          ops::arg(*xvel0_, *s_cell2node_, Access::kRead),
          ops::arg(*yvel0_, *s_cell2node_, Access::kRead),
-         ops::arg(*density0_, *sp_, Access::kRead),
-         ops::arg(*energy0_, *sp_, Access::kRead),
-         ops::arg(*pressure_, *sp_, Access::kRead),
-         ops::arg(*viscosity_, *sp_, Access::kRead),
-         ops::arg(*density1_, *sp_, Access::kWrite),
-         ops::arg(*energy1_, *sp_, Access::kWrite));
+         ops::arg(*density0_, Access::kRead),
+         ops::arg(*energy0_, Access::kRead),
+         ops::arg(*pressure_, Access::kRead),
+         ops::arg(*viscosity_, Access::kRead),
+         ops::arg(*density1_, Access::kWrite),
+         ops::arg(*energy1_, Access::kWrite));
   } else {
     loop("pdv", Range::dim2(0, opts_.nx, 0, opts_.ny),
          [dtc, dx, dy, vol](ops::Acc<double> xv0, ops::Acc<double> yv0,
@@ -229,12 +237,12 @@ void CloverOps::pdv(bool predict) {
          ops::arg(*yvel0_, *s_cell2node_, Access::kRead),
          ops::arg(*xvel1_, *s_cell2node_, Access::kRead),
          ops::arg(*yvel1_, *s_cell2node_, Access::kRead),
-         ops::arg(*density0_, *sp_, Access::kRead),
-         ops::arg(*energy0_, *sp_, Access::kRead),
-         ops::arg(*pressure_, *sp_, Access::kRead),
-         ops::arg(*viscosity_, *sp_, Access::kRead),
-         ops::arg(*density1_, *sp_, Access::kWrite),
-         ops::arg(*energy1_, *sp_, Access::kWrite));
+         ops::arg(*density0_, Access::kRead),
+         ops::arg(*energy0_, Access::kRead),
+         ops::arg(*pressure_, Access::kRead),
+         ops::arg(*viscosity_, Access::kRead),
+         ops::arg(*density1_, Access::kWrite),
+         ops::arg(*energy1_, Access::kWrite));
   }
 }
 
@@ -264,10 +272,10 @@ void CloverOps::accelerate() {
        ops::arg(*density0_, *s_node2cell_, Access::kRead),
        ops::arg(*pressure_, *s_node2cell_, Access::kRead),
        ops::arg(*viscosity_, *s_node2cell_, Access::kRead),
-       ops::arg(*xvel0_, *sp_, Access::kRead),
-       ops::arg(*yvel0_, *sp_, Access::kRead),
-       ops::arg(*xvel1_, *sp_, Access::kWrite),
-       ops::arg(*yvel1_, *sp_, Access::kWrite));
+       ops::arg(*xvel0_, Access::kRead),
+       ops::arg(*yvel0_, Access::kRead),
+       ops::arg(*xvel1_, Access::kWrite),
+       ops::arg(*yvel1_, Access::kWrite));
 }
 
 void CloverOps::flux_calc() {
@@ -280,7 +288,7 @@ void CloverOps::flux_calc() {
        },
        ops::arg(*xvel0_, *s_yface_, Access::kRead),
        ops::arg(*xvel1_, *s_yface_, Access::kRead),
-       ops::arg(*vol_flux_x_, *sp_, Access::kWrite));
+       ops::arg(*vol_flux_x_, Access::kWrite));
   loop("flux_calc_y", Range::dim2(0, opts_.nx, 0, opts_.ny + 1),
        [dt, dx](ops::Acc<double> yv0, ops::Acc<double> yv1,
                 ops::Acc<double> vfy) {
@@ -289,7 +297,7 @@ void CloverOps::flux_calc() {
        },
        ops::arg(*yvel0_, *s_xface_, Access::kRead),
        ops::arg(*yvel1_, *s_xface_, Access::kRead),
-       ops::arg(*vol_flux_y_, *sp_, Access::kWrite));
+       ops::arg(*vol_flux_y_, Access::kWrite));
 }
 
 void CloverOps::advec_cell(int dir, bool first_sweep) {
@@ -309,11 +317,11 @@ void CloverOps::advec_cell(int dir, bool first_sweep) {
            mfx(0, 0) = v * dd;
            efx(0, 0) = v * dd * ee;
          },
-         ops::arg(*vol_flux_x_, *sp_, Access::kRead),
+         ops::arg(*vol_flux_x_, Access::kRead),
          ops::arg(*density1_, *s_xdonor_, Access::kRead),
          ops::arg(*energy1_, *s_xdonor_, Access::kRead),
-         ops::arg(*mass_flux_x_, *sp_, Access::kWrite),
-         ops::arg(*ener_flux_x_, *sp_, Access::kWrite));
+         ops::arg(*mass_flux_x_, Access::kWrite),
+         ops::arg(*ener_flux_x_, Access::kWrite));
     loop("advec_cell", Range::dim2(0, nx, 0, ny),
          [vol, first_sweep](ops::Acc<double> vfx, ops::Acc<double> vfy,
                             ops::Acc<double> mfx, ops::Acc<double> efx,
@@ -333,8 +341,8 @@ void CloverOps::advec_cell(int dir, bool first_sweep) {
          ops::arg(*vol_flux_y_, *s_yface_, Access::kRead),
          ops::arg(*mass_flux_x_, *s_xface_, Access::kRead),
          ops::arg(*ener_flux_x_, *s_xface_, Access::kRead),
-         ops::arg(*density1_, *sp_, Access::kRW),
-         ops::arg(*energy1_, *sp_, Access::kRW));
+         ops::arg(*density1_, Access::kRW),
+         ops::arg(*energy1_, Access::kRW));
   } else {
     loop("advec_cell_flux", Range::dim2(0, nx, 0, ny + 1),
          [](ops::Acc<double> vfy, ops::Acc<double> d1, ops::Acc<double> e1,
@@ -345,11 +353,11 @@ void CloverOps::advec_cell(int dir, bool first_sweep) {
            mfy(0, 0) = v * dd;
            efy(0, 0) = v * dd * ee;
          },
-         ops::arg(*vol_flux_y_, *sp_, Access::kRead),
+         ops::arg(*vol_flux_y_, Access::kRead),
          ops::arg(*density1_, *s_ydonor_, Access::kRead),
          ops::arg(*energy1_, *s_ydonor_, Access::kRead),
-         ops::arg(*mass_flux_y_, *sp_, Access::kWrite),
-         ops::arg(*ener_flux_y_, *sp_, Access::kWrite));
+         ops::arg(*mass_flux_y_, Access::kWrite),
+         ops::arg(*ener_flux_y_, Access::kWrite));
     loop("advec_cell", Range::dim2(0, nx, 0, ny),
          [vol, first_sweep](ops::Acc<double> vfx, ops::Acc<double> vfy,
                             ops::Acc<double> mfy, ops::Acc<double> efy,
@@ -369,8 +377,8 @@ void CloverOps::advec_cell(int dir, bool first_sweep) {
          ops::arg(*vol_flux_y_, *s_yface_, Access::kRead),
          ops::arg(*mass_flux_y_, *s_yface_, Access::kRead),
          ops::arg(*ener_flux_y_, *s_yface_, Access::kRead),
-         ops::arg(*density1_, *sp_, Access::kRW),
-         ops::arg(*energy1_, *sp_, Access::kRW));
+         ops::arg(*density1_, Access::kRW),
+         ops::arg(*energy1_, Access::kRW));
   }
 }
 
@@ -391,8 +399,8 @@ void CloverOps::advec_mom(int dir) {
            },
            ops::arg(*mass_flux_x_, *s_ydonor_, Access::kRead),
            ops::arg(*vel, *s_xdonor_, Access::kRead),
-           ops::arg(*node_flux_, *sp_, Access::kWrite),
-           ops::arg(*mom_flux_, *sp_, Access::kWrite));
+           ops::arg(*node_flux_, Access::kWrite),
+           ops::arg(*mom_flux_, Access::kWrite));
       loop("advec_mom", Range::dim2(0, nx + 1, 0, ny + 1),
            [vol](ops::Acc<double> d1, ops::Acc<double> nf,
                  ops::Acc<double> mf, ops::Acc<double> v) {
@@ -405,7 +413,7 @@ void CloverOps::advec_mom(int dir) {
            ops::arg(*density1_, *s_node2cell_, Access::kRead),
            ops::arg(*node_flux_, *s_xface_, Access::kRead),
            ops::arg(*mom_flux_, *s_xface_, Access::kRead),
-           ops::arg(*vel, *sp_, Access::kRW));
+           ops::arg(*vel, Access::kRW));
     } else {
       loop("advec_mom_flux", Range::dim2(0, nx + 1, 0, ny + 2),
            [](ops::Acc<double> mfy, ops::Acc<double> v,
@@ -416,8 +424,8 @@ void CloverOps::advec_mom(int dir) {
            },
            ops::arg(*mass_flux_y_, *s_xdonor_, Access::kRead),
            ops::arg(*vel, *s_ydonor_, Access::kRead),
-           ops::arg(*node_flux_, *sp_, Access::kWrite),
-           ops::arg(*mom_flux_, *sp_, Access::kWrite));
+           ops::arg(*node_flux_, Access::kWrite),
+           ops::arg(*mom_flux_, Access::kWrite));
       loop("advec_mom", Range::dim2(0, nx + 1, 0, ny + 1),
            [vol](ops::Acc<double> d1, ops::Acc<double> nf,
                  ops::Acc<double> mf, ops::Acc<double> v) {
@@ -430,7 +438,7 @@ void CloverOps::advec_mom(int dir) {
            ops::arg(*density1_, *s_node2cell_, Access::kRead),
            ops::arg(*node_flux_, *s_yface_, Access::kRead),
            ops::arg(*mom_flux_, *s_yface_, Access::kRead),
-           ops::arg(*vel, *sp_, Access::kRW));
+           ops::arg(*vel, Access::kRW));
     }
   }
 }
@@ -442,20 +450,20 @@ void CloverOps::reset_field() {
          d0(0, 0) = d1(0, 0);
          e0(0, 0) = e1(0, 0);
        },
-       ops::arg(*density1_, *sp_, Access::kRead),
-       ops::arg(*energy1_, *sp_, Access::kRead),
-       ops::arg(*density0_, *sp_, Access::kWrite),
-       ops::arg(*energy0_, *sp_, Access::kWrite));
+       ops::arg(*density1_, Access::kRead),
+       ops::arg(*energy1_, Access::kRead),
+       ops::arg(*density0_, Access::kWrite),
+       ops::arg(*energy0_, Access::kWrite));
   loop("reset_field_nodes", Range::dim2(0, opts_.nx + 1, 0, opts_.ny + 1),
        [](ops::Acc<double> xv1, ops::Acc<double> yv1, ops::Acc<double> xv0,
           ops::Acc<double> yv0) {
          xv0(0, 0) = xv1(0, 0);
          yv0(0, 0) = yv1(0, 0);
        },
-       ops::arg(*xvel1_, *sp_, Access::kRead),
-       ops::arg(*yvel1_, *sp_, Access::kRead),
-       ops::arg(*xvel0_, *sp_, Access::kWrite),
-       ops::arg(*yvel0_, *sp_, Access::kWrite));
+       ops::arg(*xvel1_, Access::kRead),
+       ops::arg(*yvel1_, Access::kRead),
+       ops::arg(*xvel0_, Access::kWrite),
+       ops::arg(*yvel0_, Access::kWrite));
 }
 
 void CloverOps::update_halo_cells() {
@@ -468,25 +476,25 @@ void CloverOps::update_halo_cells() {
            fw(0, 0) = fr(-2 * idx[0] - 1, 0);
          },
          ops::arg(*f, *s_mirror_xp_, Access::kRead),
-         ops::arg(*f, *sp_, Access::kWrite), ops::arg_idx());
+         ops::arg(*f, Access::kWrite), ops::arg_idx());
     loop("halo_cell_xhi", Range::dim2(nx, nx + 2, 0, ny),
          [nx](ops::Acc<double> fr, ops::Acc<double> fw, const int* idx) {
            fw(0, 0) = fr(-2 * (idx[0] - nx) - 1, 0);
          },
          ops::arg(*f, *s_mirror_xm_, Access::kRead),
-         ops::arg(*f, *sp_, Access::kWrite), ops::arg_idx());
+         ops::arg(*f, Access::kWrite), ops::arg_idx());
     loop("halo_cell_ylo", Range::dim2(-2, nx + 2, -2, 0),
          [](ops::Acc<double> fr, ops::Acc<double> fw, const int* idx) {
            fw(0, 0) = fr(0, -2 * idx[1] - 1);
          },
          ops::arg(*f, *s_mirror_yp_, Access::kRead),
-         ops::arg(*f, *sp_, Access::kWrite), ops::arg_idx());
+         ops::arg(*f, Access::kWrite), ops::arg_idx());
     loop("halo_cell_yhi", Range::dim2(-2, nx + 2, ny, ny + 2),
          [ny](ops::Acc<double> fr, ops::Acc<double> fw, const int* idx) {
            fw(0, 0) = fr(0, -2 * (idx[1] - ny) - 1);
          },
          ops::arg(*f, *s_mirror_ym_, Access::kRead),
-         ops::arg(*f, *sp_, Access::kWrite), ops::arg_idx());
+         ops::arg(*f, Access::kWrite), ops::arg_idx());
   }
 }
 
@@ -495,16 +503,16 @@ void CloverOps::update_halo_velocities() {
   // Impermeable box: wall-normal velocity is zero on the wall nodes.
   loop("halo_vel_wallx", Range::dim2(0, 1, 0, ny + 1),
        [](ops::Acc<double> xv) { xv(0, 0) = 0.0; },
-       ops::arg(*xvel1_, *sp_, Access::kWrite));
+       ops::arg(*xvel1_, Access::kWrite));
   loop("halo_vel_wallx2", Range::dim2(nx, nx + 1, 0, ny + 1),
        [](ops::Acc<double> xv) { xv(0, 0) = 0.0; },
-       ops::arg(*xvel1_, *sp_, Access::kWrite));
+       ops::arg(*xvel1_, Access::kWrite));
   loop("halo_vel_wally", Range::dim2(0, nx + 1, 0, 1),
        [](ops::Acc<double> yv) { yv(0, 0) = 0.0; },
-       ops::arg(*yvel1_, *sp_, Access::kWrite));
+       ops::arg(*yvel1_, Access::kWrite));
   loop("halo_vel_wally2", Range::dim2(0, nx + 1, ny, ny + 1),
        [](ops::Acc<double> yv) { yv(0, 0) = 0.0; },
-       ops::arg(*yvel1_, *sp_, Access::kWrite));
+       ops::arg(*yvel1_, Access::kWrite));
   // Mirror node halos: normal component odd, tangential even, about the
   // wall node (node nx is the high wall for a node field of extent nx+1).
   ops::Dat<double>* vels[2] = {xvel1_, yvel1_};
@@ -517,25 +525,25 @@ void CloverOps::update_halo_velocities() {
            vw(0, 0) = sx * vr(-2 * idx[0], 0);
          },
          ops::arg(*v, *s_mirror_xp_, Access::kRead),
-         ops::arg(*v, *sp_, Access::kWrite), ops::arg_idx());
+         ops::arg(*v, Access::kWrite), ops::arg_idx());
     loop("halo_vel_xhi", Range::dim2(nx + 1, nx + 3, 0, ny + 1),
          [sx, nx](ops::Acc<double> vr, ops::Acc<double> vw, const int* idx) {
            vw(0, 0) = sx * vr(-2 * (idx[0] - nx), 0);
          },
          ops::arg(*v, *s_mirror_xm_, Access::kRead),
-         ops::arg(*v, *sp_, Access::kWrite), ops::arg_idx());
+         ops::arg(*v, Access::kWrite), ops::arg_idx());
     loop("halo_vel_ylo", Range::dim2(-2, nx + 3, -2, 0),
          [sy](ops::Acc<double> vr, ops::Acc<double> vw, const int* idx) {
            vw(0, 0) = sy * vr(0, -2 * idx[1]);
          },
          ops::arg(*v, *s_mirror_yp_, Access::kRead),
-         ops::arg(*v, *sp_, Access::kWrite), ops::arg_idx());
+         ops::arg(*v, Access::kWrite), ops::arg_idx());
     loop("halo_vel_yhi", Range::dim2(-2, nx + 3, ny + 1, ny + 3),
          [sy, ny](ops::Acc<double> vr, ops::Acc<double> vw, const int* idx) {
            vw(0, 0) = sy * vr(0, -2 * (idx[1] - ny));
          },
          ops::arg(*v, *s_mirror_ym_, Access::kRead),
-         ops::arg(*v, *sp_, Access::kWrite), ops::arg_idx());
+         ops::arg(*v, Access::kWrite), ops::arg_idx());
   }
 }
 
@@ -560,42 +568,42 @@ void CloverOps::step() {
   const auto fixup_x = [&] {
     loop("mf_x_zero", Range::dim2(-1, 0, -1, ny + 1),
          [](ops::Acc<double> m) { m(0, 0) = 0.0; },
-         ops::arg(*mass_flux_x_, *sp_, Access::kWrite));
+         ops::arg(*mass_flux_x_, Access::kWrite));
     loop("mf_x_zero2", Range::dim2(nx + 1, nx + 2, -1, ny + 1),
          [](ops::Acc<double> m) { m(0, 0) = 0.0; },
-         ops::arg(*mass_flux_x_, *sp_, Access::kWrite));
+         ops::arg(*mass_flux_x_, Access::kWrite));
     loop("mf_x_mirror", Range::dim2(0, nx + 1, -1, 0),
          [](ops::Acc<double> mr, ops::Acc<double> mw) {
            mw(0, 0) = mr(0, 1);
          },
          ops::arg(*mass_flux_x_, *s_mirror_yp_, Access::kRead),
-         ops::arg(*mass_flux_x_, *sp_, Access::kWrite));
+         ops::arg(*mass_flux_x_, Access::kWrite));
     loop("mf_x_mirror2", Range::dim2(0, nx + 1, ny, ny + 1),
          [](ops::Acc<double> mr, ops::Acc<double> mw) {
            mw(0, 0) = mr(0, -1);
          },
          ops::arg(*mass_flux_x_, *s_mirror_ym_, Access::kRead),
-         ops::arg(*mass_flux_x_, *sp_, Access::kWrite));
+         ops::arg(*mass_flux_x_, Access::kWrite));
   };
   const auto fixup_y = [&] {
     loop("mf_y_zero", Range::dim2(-1, nx + 1, -1, 0),
          [](ops::Acc<double> m) { m(0, 0) = 0.0; },
-         ops::arg(*mass_flux_y_, *sp_, Access::kWrite));
+         ops::arg(*mass_flux_y_, Access::kWrite));
     loop("mf_y_zero2", Range::dim2(-1, nx + 1, ny + 1, ny + 2),
          [](ops::Acc<double> m) { m(0, 0) = 0.0; },
-         ops::arg(*mass_flux_y_, *sp_, Access::kWrite));
+         ops::arg(*mass_flux_y_, Access::kWrite));
     loop("mf_y_mirror", Range::dim2(-1, 0, 0, ny + 1),
          [](ops::Acc<double> mr, ops::Acc<double> mw) {
            mw(0, 0) = mr(1, 0);
          },
          ops::arg(*mass_flux_y_, *s_mirror_xp_, Access::kRead),
-         ops::arg(*mass_flux_y_, *sp_, Access::kWrite));
+         ops::arg(*mass_flux_y_, Access::kWrite));
     loop("mf_y_mirror2", Range::dim2(nx, nx + 1, 0, ny + 1),
          [](ops::Acc<double> mr, ops::Acc<double> mw) {
            mw(0, 0) = mr(-1, 0);
          },
          ops::arg(*mass_flux_y_, *s_mirror_xm_, Access::kRead),
-         ops::arg(*mass_flux_y_, *sp_, Access::kWrite));
+         ops::arg(*mass_flux_y_, Access::kWrite));
   };
 
   const bool x_first = (step_ % 2) == 0;
@@ -644,9 +652,9 @@ FieldSummary CloverOps::field_summary() {
          acc[3] += 0.5 * d(0, 0) * vol * (u * u + v * v);
          acc[4] += p(0, 0) * vol;
        },
-       ops::arg(*density0_, *sp_, Access::kRead),
-       ops::arg(*energy0_, *sp_, Access::kRead),
-       ops::arg(*pressure_, *sp_, Access::kRead),
+       ops::arg(*density0_, Access::kRead),
+       ops::arg(*energy0_, Access::kRead),
+       ops::arg(*pressure_, Access::kRead),
        ops::arg(*xvel0_, *s_cell2node_, Access::kRead),
        ops::arg(*yvel0_, *s_cell2node_, Access::kRead),
        ops::arg_gbl(acc, 5, Access::kInc));

@@ -15,6 +15,7 @@
 
 #include <memory>
 
+#include "apl/exec.hpp"
 #include "cloverleaf/options.hpp"
 #include "ops/ops.hpp"
 
@@ -28,7 +29,7 @@ public:
   /// Must be called before the first step; reruns field initialization so
   /// all ranks hold consistent data.
   void enable_distributed(int nranks,
-                          ops::Backend node_backend = ops::Backend::kSeq);
+                          apl::exec::Backend node_backend = apl::exec::Backend::kSeq);
 
   void step();
   void run(int steps);

@@ -29,6 +29,10 @@ struct Options {
   double e_state2 = 2.5;
   double state2_xfrac = 0.5;  ///< region: x < xmax*xfrac, y < ymax*yfrac
   double state2_yfrac = 0.2;
+  // Execution options (honoured by the OPS implementation): lazy
+  // loop-chain execution with cross-loop cache-blocked tiling.
+  bool lazy = false;
+  index_t tile_rows = 0;  ///< rows per tile; 0 picks a cache-sized height
 };
 
 /// The Fig. 5 / field_summary observables both implementations report.

@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "apl/exec.hpp"
 #include "airfoil/mesh.hpp"
 #include "op2/op2.hpp"
 
@@ -40,7 +41,7 @@ public:
   MiniHydra() : MiniHydra(Options{}) {}
 
   void enable_distributed(int nranks, apl::graph::PartitionMethod method,
-                          op2::Backend node_backend = op2::Backend::kSeq);
+                          apl::exec::Backend node_backend = apl::exec::Backend::kSeq);
   /// Applies RCM renumbering + edge sorting (the Fig. 3 "OP2" bar's
   /// optimisation over "OP2 unopt"). Must precede enable_distributed.
   void renumber();

@@ -66,7 +66,7 @@ MiniHydra::MiniHydra(const Options& opts)
 
 void MiniHydra::enable_distributed(int nranks,
                                    apl::graph::PartitionMethod method,
-                                   op2::Backend node_backend) {
+                                   apl::exec::Backend node_backend) {
   dist_ = std::make_unique<op2::Distributed>(ctx_, nranks, method, *cells_);
   dist_->set_node_backend(node_backend);
 }

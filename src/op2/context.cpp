@@ -6,28 +6,6 @@
 
 namespace op2 {
 
-const char* to_string(Access a) {
-  switch (a) {
-    case Access::kRead: return "read";
-    case Access::kWrite: return "write";
-    case Access::kInc: return "inc";
-    case Access::kRW: return "rw";
-    case Access::kMin: return "min";
-    case Access::kMax: return "max";
-  }
-  return "?";
-}
-
-const char* to_string(Backend b) {
-  switch (b) {
-    case Backend::kSeq: return "seq";
-    case Backend::kSimd: return "simd";
-    case Backend::kThreads: return "threads";
-    case Backend::kCudaSim: return "cudasim";
-  }
-  return "?";
-}
-
 const char* to_string(Layout l) {
   return l == Layout::kAoS ? "aos" : "soa";
 }
@@ -81,16 +59,6 @@ void Context::set_block_size(index_t b) {
   apl::require(b > 0, "block size must be positive");
   block_size_ = b;
   invalidate_plans();
-}
-
-void Context::hint_flops(const std::string& loop_name,
-                         double flops_per_element) {
-  flop_hints_[loop_name] = flops_per_element;
-}
-
-double Context::flops_hint(const std::string& loop_name) const {
-  const auto it = flop_hints_.find(loop_name);
-  return it == flop_hints_.end() ? 0.0 : it->second;
 }
 
 Plan& Context::plan_for(const std::string& loop_name, const Set& set,

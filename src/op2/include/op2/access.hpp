@@ -7,41 +7,33 @@
 // incremented / read-and-written) and *through which mapping* it is
 // reached. These descriptors are what let the library handle all data
 // movement and race avoidance automatically.
+//
+// The access/backend vocabulary is shared with OPS through the unified
+// execution API (apl/exec.hpp); the names below are thin aliases kept for
+// one release — new code should spell them apl::exec::Access /
+// apl::exec::Backend.
 #pragma once
 
 #include <string>
 
+#include "apl/exec.hpp"
+
 namespace op2 {
 
-/// How a kernel accesses an argument. kMin/kMax apply to global reduction
-/// arguments only.
-enum class Access { kRead, kWrite, kInc, kRW, kMin, kMax };
+/// Deprecated alias of apl::exec::Access.
+using Access = apl::exec::Access;
 
-/// The target-specific parallelizations the "code generator" (here: the
-/// par_loop template) can produce. These correspond to the generated
-/// per-platform source files of Fig. 1:
-///   kSeq     — human-readable single-threaded reference (debugging)
-///   kSimd    — gather/compute/scatter structure of the vectorized CPU code
-///   kThreads — OpenMP-style execution over a two-level-colored plan
-///   kCudaSim — the CUDA execution strategy (thread blocks, staging,
-///              intra-block coloring) run on host with a device timing model
-/// The distributed-memory (MPI) backend is a separate layer (dist.hpp)
-/// that composes with these node-level backends, as in the real library.
-enum class Backend { kSeq, kSimd, kThreads, kCudaSim };
+/// Deprecated alias of apl::exec::Backend.
+using Backend = apl::exec::Backend;
 
 /// Memory layout of a Dat (Fig. 7): array-of-structs, struct-of-arrays.
+/// OP2-specific (OPS datasets always interleave components).
 enum class Layout { kAoS, kSoA };
 
-const char* to_string(Access a);
-const char* to_string(Backend b);
-const char* to_string(Layout l);
+using apl::exec::reads;
+using apl::exec::to_string;
+using apl::exec::writes;
 
-/// True if the kernel observes the previous value (needs valid input data).
-inline bool reads(Access a) {
-  return a == Access::kRead || a == Access::kRW || a == Access::kInc ||
-         a == Access::kMin || a == Access::kMax;
-}
-/// True if the kernel modifies the value.
-inline bool writes(Access a) { return a != Access::kRead; }
+const char* to_string(Layout l);
 
 }  // namespace op2

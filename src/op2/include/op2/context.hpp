@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "apl/exec.hpp"
 #include "apl/profile.hpp"
 #include "op2/arg.hpp"
 #include "op2/mesh.hpp"
@@ -29,11 +30,15 @@ struct DeviceReport {
   double efficiency = 1.0;  ///< useful / transferred bytes
 };
 
-class Context {
+/// The unified execution API (backend selection, debug checks, lazy mode,
+/// profile, flop hints) lives on the apl::exec::ExecContext base. OP2
+/// executes loops eagerly regardless of set_lazy(): its run-time loop-chain
+/// analysis drives checkpointing (op2/checkpoint.hpp), not delayed
+/// execution, so flush() is a no-op here. The OPS context implements the
+/// lazy loop-chain engine (ops/lazy.hpp).
+class Context : public apl::exec::ExecContext {
 public:
   Context() = default;
-  Context(const Context&) = delete;
-  Context& operator=(const Context&) = delete;
 
   // ---- declaration API (mirrors op_decl_set / op_decl_map / op_decl_dat)
   Set& decl_set(index_t size, const std::string& name);
@@ -62,32 +67,17 @@ public:
   index_t num_dats() const { return static_cast<index_t>(dats_.size()); }
   DatBase* find_dat(const std::string& name);
 
-  // ---- execution configuration
-  Backend backend() const { return backend_; }
-  void set_backend(Backend b) { backend_ = b; }
+  // ---- execution configuration (beyond the ExecContext base)
   index_t block_size() const { return block_size_; }
   void set_block_size(index_t b);
   /// cudasim: stage indirect data through shared memory (Fig. 7
   /// STAGE_NOSOA) instead of accessing global memory directly.
   bool staging() const { return staging_; }
   void set_staging(bool on) { staging_ = on; }
-  /// Debug mode: snapshot kRead dat args around every loop and verify the
-  /// kernel did not modify them (the paper's "built-in mechanisms ... that
-  /// help check for consistency and correctness").
-  bool debug_checks() const { return debug_checks_; }
-  void set_debug_checks(bool on) { debug_checks_ = on; }
-
-  /// Optional flops-per-element hint for a named loop; feeds the profile
-  /// and through it the machine models (compute-heavy kernels like
-  /// adt_calc are otherwise modelled as pure streaming).
-  void hint_flops(const std::string& loop_name, double flops_per_element);
-  double flops_hint(const std::string& loop_name) const;
 
   // ---- run-time services used by par_loop
   Plan& plan_for(const std::string& loop_name, const Set& set,
                  const std::vector<ArgInfo>& args);
-  apl::Profile& profile() { return profile_; }
-  const apl::Profile& profile() const { return profile_; }
   DeviceReport& device_report(const std::string& loop_name) {
     return device_reports_[loop_name];
   }
@@ -127,13 +117,9 @@ private:
   std::vector<std::unique_ptr<Set>> sets_;
   std::vector<std::unique_ptr<Map>> maps_;
   std::vector<std::unique_ptr<DatBase>> dats_;
-  Backend backend_ = Backend::kSeq;
   index_t block_size_ = 256;
   bool staging_ = true;
-  bool debug_checks_ = false;
-  std::map<std::string, double> flop_hints_;
   std::vector<std::pair<PlanKey, std::unique_ptr<Plan>>> plans_;
-  apl::Profile profile_;
   std::map<std::string, DeviceReport> device_reports_;
   mutable std::map<index_t, index_t> unique_targets_cache_;
   Checkpointer* checkpointer_ = nullptr;

@@ -207,7 +207,7 @@ void run_seq(const Set& set, Kernel&& k, Args&... args) {
 // ---- threads backend -------------------------------------------------------
 
 template <class Kernel, class... Args>
-void run_threads(Context& ctx, const std::string& name, const Set& set,
+void run_threads(Context& ctx, const std::string& name, const Set& /*set*/,
                  const Plan& plan, Kernel&& k, Args&... args) {
   apl::ThreadPool& pool = apl::ThreadPool::global();
   const std::size_t team = pool.size();
@@ -419,7 +419,7 @@ Acc<T> cuda_acc(CudaGblStage<T>& st, index_t /*e*/) {
 }
 
 template <class Kernel, class... Args>
-void run_cudasim(Context& ctx, const std::string& name, const Set& set,
+void run_cudasim(Context& ctx, const std::string& name, const Set& /*set*/,
                  const Plan& plan, Kernel&& k, Args&... args) {
   auto stages = std::make_tuple(make_cuda_stage(args, ctx.staging())...);
   // Grid execution: one "kernel launch" per block color; blocks of a color

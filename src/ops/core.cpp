@@ -6,27 +6,6 @@
 
 namespace ops {
 
-const char* to_string(Access a) {
-  switch (a) {
-    case Access::kRead: return "read";
-    case Access::kWrite: return "write";
-    case Access::kInc: return "inc";
-    case Access::kRW: return "rw";
-    case Access::kMin: return "min";
-    case Access::kMax: return "max";
-  }
-  return "?";
-}
-
-const char* to_string(Backend b) {
-  switch (b) {
-    case Backend::kSeq: return "seq";
-    case Backend::kThreads: return "threads";
-    case Backend::kCudaSim: return "cudasim";
-  }
-  return "?";
-}
-
 Stencil::Stencil(index_t id, int ndim,
                  std::vector<std::array<int, kMaxDim>> points,
                  std::string name)
@@ -144,15 +123,6 @@ DatBase* Context::find_dat(const std::string& name) {
     if (d->name() == name) return d.get();
   }
   return nullptr;
-}
-
-void Context::hint_flops(const std::string& loop, double flops_per_point) {
-  flop_hints_[loop] = flops_per_point;
-}
-
-double Context::flops_hint(const std::string& loop) const {
-  const auto it = flop_hints_.find(loop);
-  return it == flop_hints_.end() ? 0.0 : it->second;
 }
 
 }  // namespace ops

@@ -45,6 +45,9 @@ std::array<index_t, kMaxDim> Halo::map_point(
 }
 
 void Halo::transfer() {
+  // Flush point: queued lazy loops must run before halo data is copied.
+  from_->touch();
+  to_->touch();
   std::vector<std::uint8_t> buf(from_->dim() * from_->elem_bytes());
   std::array<index_t, kMaxDim> it{};
   for (it[2] = 0; it[2] < iter_size_[2]; ++it[2]) {

@@ -1,5 +1,11 @@
 // The OPS context: owner of blocks, stencils, datasets, inter-block halos
 // and run-time configuration.
+//
+// Execution configuration (backend, debug checks, lazy mode, profile, flop
+// hints) comes from the unified execution API base (apl/exec.hpp). The OPS
+// context additionally implements the lazy loop-chain engine (ops/lazy.hpp):
+// with set_lazy(true), par_loop enqueues loop records which execute — with
+// cross-loop cache-blocked tiling — at the next flush point.
 #pragma once
 
 #include <map>
@@ -7,39 +13,17 @@
 #include <string>
 #include <vector>
 
+#include "apl/exec.hpp"
 #include "apl/profile.hpp"
 #include "ops/arg.hpp"
 #include "ops/core.hpp"
+#include "ops/lazy.hpp"
 
 namespace ops {
 
-/// Iteration range: half-open [lo[d], hi[d]) per dimension in the
-/// dataset's interior coordinates; may extend into declared halos
-/// (boundary-condition loops do).
-struct Range {
-  std::array<index_t, kMaxDim> lo{};
-  std::array<index_t, kMaxDim> hi{};
-
-  static Range dim1(index_t x0, index_t x1) {
-    return {{x0, 0, 0}, {x1, 1, 1}};
-  }
-  static Range dim2(index_t x0, index_t x1, index_t y0, index_t y1) {
-    return {{x0, y0, 0}, {x1, y1, 1}};
-  }
-  static Range dim3(index_t x0, index_t x1, index_t y0, index_t y1,
-                    index_t z0, index_t z1) {
-    return {{x0, y0, z0}, {x1, y1, z1}};
-  }
-  std::size_t points() const;
-  Range intersect(const Range& other) const;
-  bool empty() const;
-};
-
-class Context {
+class Context : public apl::exec::ExecContext {
 public:
   Context() = default;
-  Context(const Context&) = delete;
-  Context& operator=(const Context&) = delete;
 
   // ---- declarations (ops_decl_block / _stencil / _dat)
   Block& decl_block(int ndim, const std::string& name);
@@ -59,6 +43,7 @@ public:
     auto dat = std::make_unique<Dat<T>>(static_cast<index_t>(dats_.size()),
                                         block, dim, size, d_m, d_p, name);
     Dat<T>& ref = *dat;
+    ref.attach_context(this, &pending_flush_);
     dats_.push_back(std::move(dat));
     return ref;
   }
@@ -74,26 +59,47 @@ public:
   index_t num_dats() const { return static_cast<index_t>(dats_.size()); }
   DatBase* find_dat(const std::string& name);
 
-  // ---- execution configuration
-  Backend backend() const { return backend_; }
-  void set_backend(Backend b) { backend_ = b; }
-  bool debug_checks() const { return debug_checks_; }
-  void set_debug_checks(bool on) { debug_checks_ = on; }
-  void hint_flops(const std::string& loop, double flops_per_point);
-  double flops_hint(const std::string& loop) const;
+  // ---- lazy loop-chain engine (ops/lazy.hpp)
+  /// Queues a recorded loop (called by par_loop under set_lazy(true)).
+  void enqueue(LoopRecord rec);
+  /// True while the queued chain is being executed (par_loop runs eagerly
+  /// then, so replayed loops are not re-enqueued).
+  bool chain_executing() const { return chain_executing_; }
+  std::size_t chain_length() const { return chain_.size(); }
+  /// Cross-loop cache-blocked tiling of flushed chains (default on). With
+  /// tiling off a flush replays the queue verbatim — the bit-comparable
+  /// validation baseline.
+  bool tiling() const { return tiling_; }
+  void set_tiling(bool on) { tiling_ = on; }
+  /// Tile height (grid rows per tile along the outermost dimension);
+  /// 0 picks a height whose chain working set fits the cache budget.
+  index_t tile_rows() const { return tile_rows_; }
+  void set_tile_rows(index_t rows) { tile_rows_ = rows; }
+  /// Per-chain execution statistics (chain lengths, tile counts, modeled
+  /// eager-vs-tiled DRAM traffic).
+  const ChainStats& chain_stats() const { return chain_stats_; }
 
-  apl::Profile& profile() { return profile_; }
-  const apl::Profile& profile() const { return profile_; }
+  void set_lazy(bool on) override {
+    ExecContext::set_lazy(on);
+    update_pending();
+  }
 
 private:
+  void do_flush() override;
+  void update_pending() {
+    pending_flush_ = lazy() && !chain_executing_ && !chain_.empty();
+  }
+
   std::vector<std::unique_ptr<Block>> blocks_;
   std::vector<std::unique_ptr<Stencil>> stencils_;
   std::vector<std::unique_ptr<DatBase>> dats_;
   std::map<int, index_t> point_stencils_;  ///< ndim -> stencil id
-  Backend backend_ = Backend::kSeq;
-  bool debug_checks_ = false;
-  std::map<std::string, double> flop_hints_;
-  apl::Profile profile_;
+  std::vector<LoopRecord> chain_;
+  ChainStats chain_stats_;
+  bool chain_executing_ = false;
+  bool pending_flush_ = false;  ///< dats' touch() watches this flag
+  bool tiling_ = true;
+  index_t tile_rows_ = 0;
 };
 
 /// Out-of-line (needs the complete Context).
@@ -101,6 +107,17 @@ template <class T>
 DatBase& Dat<T>::declare_like(Context& ctx, const Block& block,
                               std::array<index_t, kMaxDim> size) const {
   return ctx.decl_dat<T>(block, dim_, size, d_m_, d_p_, name_);
+}
+
+/// Centre-point dataset argument — the common case of a dat read/written
+/// only at the iteration point, mirroring op2::arg's direct form so both
+/// layers spell simple arguments the same way. The explicit-stencil
+/// overload lives in ops/arg.hpp.
+template <class T>
+ArgDat<T> arg(Dat<T>& dat, Access acc) {
+  apl::require(dat.context() != nullptr, "ops::arg: dat '", dat.name(),
+               "' was not declared through a Context");
+  return arg(dat, dat.context()->stencil_point(dat.block().ndim()), acc);
 }
 
 }  // namespace ops

@@ -22,25 +22,52 @@
 
 #include "apl/aligned.hpp"
 #include "apl/error.hpp"
+#include "apl/exec.hpp"
 
 namespace ops {
 
 using index_t = std::int32_t;
 inline constexpr int kMaxDim = 3;
 
-enum class Access { kRead, kWrite, kInc, kRW, kMin, kMax };
-enum class Backend { kSeq, kThreads, kCudaSim };
+/// Deprecated aliases of the unified execution vocabulary (apl/exec.hpp);
+/// kept for one release — new code should spell them apl::exec::Access /
+/// apl::exec::Backend. OPS executes Backend::kSimd as kSeq: structured
+/// loops are unit-stride along x and auto-vectorize.
+using Access = apl::exec::Access;
+using Backend = apl::exec::Backend;
 
-const char* to_string(Access a);
-const char* to_string(Backend b);
-
-inline bool reads(Access a) {
-  return a == Access::kRead || a == Access::kRW || a == Access::kInc ||
-         a == Access::kMin || a == Access::kMax;
-}
-inline bool writes(Access a) { return a != Access::kRead; }
+using apl::exec::reads;
+using apl::exec::to_string;
+using apl::exec::writes;
 
 class Context;
+
+namespace detail {
+/// Out-of-line flush used by DatBase::touch (defined in lazy.cpp).
+void flush_pending(Context& ctx);
+}  // namespace detail
+
+/// Iteration range: half-open [lo[d], hi[d]) per dimension in the
+/// dataset's interior coordinates; may extend into declared halos
+/// (boundary-condition loops do).
+struct Range {
+  std::array<index_t, kMaxDim> lo{};
+  std::array<index_t, kMaxDim> hi{};
+
+  static Range dim1(index_t x0, index_t x1) {
+    return {{x0, 0, 0}, {x1, 1, 1}};
+  }
+  static Range dim2(index_t x0, index_t x1, index_t y0, index_t y1) {
+    return {{x0, y0, 0}, {x1, y1, 1}};
+  }
+  static Range dim3(index_t x0, index_t x1, index_t y0, index_t y1,
+                    index_t z0, index_t z1) {
+    return {{x0, y0, z0}, {x1, y1, z1}};
+  }
+  std::size_t points() const;
+  Range intersect(const Range& other) const;
+  bool empty() const;
+};
 
 /// A structured block: a dimensionality and a name, no size (sizes live on
 /// the datasets, which may be vertex-, face- or cell-centred).
@@ -127,7 +154,26 @@ public:
   virtual DatBase& declare_like(Context& ctx, const Block& block,
                                 std::array<index_t, kMaxDim> size) const = 0;
 
+  /// Flush point for lazy execution: any direct access to the dataset's
+  /// storage (at / raw / storage / to_vector, and halo transfers) first
+  /// executes the owning context's queued loop chain, so the caller sees
+  /// the same values eager execution would produce. Near-free when no
+  /// chain is pending (one predictable branch).
+  void touch() const {
+    if (pending_flush_ && *pending_flush_) detail::flush_pending(*ctx_);
+  }
+  /// Wires the dat to its owning context (called by Context::decl_dat);
+  /// `pending` points at the context's "lazy chain queued" flag.
+  void attach_context(Context* ctx, const bool* pending) {
+    ctx_ = ctx;
+    pending_flush_ = pending;
+  }
+  /// The owning context (null only for hand-constructed test dats).
+  Context* context() const { return ctx_; }
+
 protected:
+  Context* ctx_ = nullptr;
+  const bool* pending_flush_ = nullptr;
   index_t id_;
   const Block* block_;
   index_t dim_;
@@ -151,19 +197,40 @@ public:
         data_(alloc_points() * static_cast<std::size_t>(dim)) {}
 
   /// Pointer to component 0 of interior point (i, j, k); halo points are
-  /// reached with negative / beyond-size indices.
+  /// reached with negative / beyond-size indices. Flushes any queued lazy
+  /// chain first, so direct reads observe up-to-date values.
   T* at(index_t i, index_t j = 0, index_t k = 0) {
+    touch();
     return data_.data() + offset_of(i, j, k) * dim_;
   }
   const T* at(index_t i, index_t j = 0, index_t k = 0) const {
+    touch();
     return data_.data() + offset_of(i, j, k) * dim_;
   }
 
-  std::span<T> storage() { return data_; }
-  std::span<const T> storage() const { return data_; }
+  std::span<T> storage() {
+    touch();
+    return data_;
+  }
+  std::span<const T> storage() const {
+    touch();
+    return data_;
+  }
 
-  void* raw() override { return data_.data(); }
-  const void* raw() const override { return data_.data(); }
+  /// Copy of the full allocation (halos included), flushing first.
+  std::vector<T> to_vector() const {
+    touch();
+    return std::vector<T>(data_.begin(), data_.end());
+  }
+
+  void* raw() override {
+    touch();
+    return data_.data();
+  }
+  const void* raw() const override {
+    touch();
+    return data_.data();
+  }
 
   void pack_point(index_t i, index_t j, index_t k, void* out) const override {
     const T* p = at(i, j, k);

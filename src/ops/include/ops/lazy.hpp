@@ -1,0 +1,99 @@
+// Lazy loop-chain execution with cross-loop cache-blocked tiling.
+//
+// With Context::set_lazy(true), ops::par_loop no longer executes: it
+// enqueues a LoopRecord (name, range, type-erased argument descriptors
+// with their stencils and access modes, and a type-erased executor) into
+// the context's loop chain. The chain executes at a *flush point*:
+//
+//   - an explicit ctx.flush(),
+//   - a loop carrying a global reduction (the caller reads the result
+//     right after par_loop returns, so the chain — including that loop —
+//     runs before control returns),
+//   - raw data access (Dat::at / raw / storage / to_vector), and
+//   - an inter-block halo transfer.
+//
+// At a flush the engine runs run-time dependency analysis over the queued
+// chain (following the loop-chaining abstraction of paper Sec. IV and the
+// OPS tiling work of Reguly et al.): every pair of loops touching the same
+// dataset through declared stencils induces a skew constraint, and the
+// chain is executed tile-by-tile over the outermost grid dimension with
+// per-loop skewed tile edges, so one tile's working set stays
+// cache-resident across *all* queued loops instead of each loop streaming
+// every dataset from DRAM. With tiling disabled the flush replays the
+// queue verbatim (bit-comparable validation baseline).
+//
+// Correctness rests on the OPS structural restriction that kernels write
+// only the centre point. With per-loop skews s[l] (monotone non-increasing
+// along the chain) and tile edges B_t, loop l executes rows
+// [B_t + s[l], B_t+1 + s[l]) in tile t:
+//   flow  (w writes X, later r reads X at offsets [a,b]):  s[w] >= s[r] + b
+//   anti  (r reads X at [a,b], later w writes X):          s[r] >= s[w] - a
+//   waw/order:                                             s[l] >= s[l+1]
+// so every value is produced before a later loop consumes it and old
+// values are never overwritten before an earlier loop has read them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ops/arg.hpp"
+#include "ops/core.hpp"
+
+namespace ops {
+
+class Context;
+
+/// One queued parallel loop: everything the dependency analysis needs
+/// (range + arg descriptors), plus a type-erased executor that runs the
+/// kernel over any sub-range of the recorded range.
+struct LoopRecord {
+  std::string name;
+  const Block* block = nullptr;
+  Range range;
+  std::vector<ArgInfo> infos;
+  std::function<void(const Range&)> run;
+};
+
+/// Accumulated lazy-engine statistics, reported by the tiling bench and
+/// exposed through Context::chain_stats().
+struct ChainStats {
+  std::uint64_t flushes = 0;      ///< chains executed
+  std::uint64_t loops = 0;        ///< loops executed through chains
+  std::uint64_t tiles = 0;        ///< tiles executed (1 per loop if untiled)
+  std::uint64_t max_chain = 0;    ///< longest chain seen
+  /// Modeled DRAM traffic: each loop streaming all its arguments (what
+  /// eager execution does) vs. each dataset entering cache once per tile.
+  std::uint64_t eager_bytes = 0;
+  std::uint64_t tiled_bytes = 0;
+
+  double traffic_saved_fraction() const {
+    return eager_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(tiled_bytes) /
+                           static_cast<double>(eager_bytes);
+  }
+};
+
+/// Per-loop tile skews for a chain of loops over one block, tiled along
+/// dimension `dim`: result[l] is the offset added to every tile edge for
+/// loop l. Monotone non-increasing along the chain; the gap between two
+/// skews covers the stencil extents of every dependence between the two
+/// loops (see file header). Exposed for the dependency-analysis tests.
+std::vector<index_t> compute_skews(const Context& ctx,
+                                   const std::vector<LoopRecord>& chain,
+                                   int dim);
+
+namespace detail {
+
+/// Executes a flushed chain: groups records by block (datasets never span
+/// blocks, so loops of different blocks share no data — global reductions
+/// flush immediately and never sit between them), tiles each group, runs
+/// the tiles, and accumulates per-loop profile stats plus chain stats.
+void execute_chain(Context& ctx, std::vector<LoopRecord> chain,
+                   ChainStats& stats);
+
+}  // namespace detail
+
+}  // namespace ops

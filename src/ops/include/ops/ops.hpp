@@ -11,7 +11,12 @@
 //         out(0,0) = 0.25 * (u(1,0) + u(-1,0) + u(0,1) + u(0,-1));
 //       },
 //       ops::arg(u, s2d5, ops::Access::kRead),
-//       ops::arg(out, ctx.stencil_point(2), ops::Access::kWrite));
+//       ops::arg(out, ops::Access::kWrite));  // centre-point shorthand
+//
+// Lazy loop-chain execution (ops/lazy.hpp): ctx.set_lazy(true) makes
+// par_loop queue loops instead of running them; the queued chain executes
+// with cross-loop cache-blocked tiling at the next flush point (explicit
+// ctx.flush(), a global reduction, raw data access, or a halo transfer).
 #pragma once
 
 #include "ops/acc.hpp"
@@ -20,4 +25,5 @@
 #include "ops/core.hpp"
 #include "ops/dist.hpp"
 #include "ops/halo.hpp"
+#include "ops/lazy.hpp"
 #include "ops/par_loop.hpp"

@@ -11,7 +11,9 @@
 #include <algorithm>
 #include <limits>
 #include <string>
+#include <tuple>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "apl/profile.hpp"
@@ -19,6 +21,7 @@
 #include "ops/acc.hpp"
 #include "ops/arg.hpp"
 #include "ops/context.hpp"
+#include "ops/lazy.hpp"
 
 namespace ops {
 
@@ -247,6 +250,8 @@ void execute_loop(Context& ctx, const Range& range, int out_dim,
   };
   switch (ctx.backend()) {
     case Backend::kSeq:
+    case Backend::kSimd:     // structured loops are unit-stride along x and
+                             // auto-vectorize — kSimd is kSeq here
     case Backend::kCudaSim:  // same host execution; device model in account()
       span(range.lo[out_dim], range.hi[out_dim], 0);
       break;
@@ -266,15 +271,103 @@ void execute_loop(Context& ctx, const Range& range, int out_dim,
   }
 }
 
+// ---- freeze / thaw for delayed execution ------------------------------------
+
+// Queued loops execute after the enqueuing call returns, so any pointer
+// into the caller's stack must be snapshotted at enqueue time. Only
+// read-only globals need it: dats are context-owned, and reduction
+// globals flush before par_loop returns. The snapshot vector's heap
+// buffer moves whenever the closure is copied into std::function
+// storage, so thaw() re-points g.data at every call, not once.
+
+template <class T>
+struct GblSnapshot {
+  ArgGbl<T> g;
+  std::vector<T> snap;  ///< frozen kRead values (empty for reductions)
+};
+
+template <class T>
+ArgDat<T> freeze(const ArgDat<T>& a) {
+  return a;
+}
+template <class T>
+GblSnapshot<T> freeze(const ArgGbl<T>& g) {
+  GblSnapshot<T> s{g, {}};
+  if (g.acc == Access::kRead && g.data != nullptr) {
+    s.snap.assign(g.data, g.data + g.dim);
+  }
+  return s;
+}
+inline ArgIdx freeze(const ArgIdx& a) { return a; }
+
+template <class T>
+ArgDat<T>& thaw(ArgDat<T>& a) {
+  return a;
+}
+template <class T>
+ArgGbl<T>& thaw(GblSnapshot<T>& s) {
+  if (!s.snap.empty()) s.g.data = s.snap.data();
+  return s.g;
+}
+inline ArgIdx& thaw(ArgIdx& a) { return a; }
+
 }  // namespace detail
 
 /// Executes `kernel` on every point of `range` of `block` under the
 /// Context's backend. Arguments are ops::arg / ops::arg_gbl / ops::arg_idx.
+///
+/// Under Context::set_lazy(true) the loop is instead recorded into the
+/// context's loop chain (ops/lazy.hpp) and runs — tiled across the whole
+/// chain — at the next flush point. Loops carrying a global reduction
+/// still return with the reduction complete: they enqueue, then flush the
+/// chain up to and including themselves.
 template <class Kernel, class... Args>
 void par_loop(Context& ctx, const std::string& name, const Block& block,
               const Range& range, Kernel&& kernel, Args... args) {
   std::vector<ArgInfo> infos{args.info()...};
   detail::validate_range(ctx, name, block, range, infos);
+
+  if (ctx.lazy() && !ctx.chain_executing()) {
+    LoopRecord rec;
+    rec.name = name;
+    rec.block = &block;
+    rec.range = range;
+    rec.infos = infos;
+    rec.run = [&ctx, name, nd = block.ndim(), kernel = kernel,
+               frozen = std::make_tuple(detail::freeze(args)...)](
+                  const Range& sub) mutable {
+      std::apply(
+          [&](auto&... fr) {
+            const auto invoke = [&](auto&... as) {
+              (detail::arm_check(as, name, ctx.debug_checks()), ...);
+              int out_dim = nd - 1;
+              while (out_dim > 0 && sub.hi[out_dim] - sub.lo[out_dim] <= 1) {
+                --out_dim;
+              }
+              apl::LoopStats& stats = ctx.profile().stats(name);
+              const double t0 = apl::now_seconds();
+              if (ctx.debug_checks()) {
+                detail::execute_loop<true>(ctx, sub, out_dim, kernel, as...);
+              } else {
+                detail::execute_loop<false>(ctx, sub, out_dim, kernel, as...);
+              }
+              // Only wall time per tile slice; calls and bytes are
+              // accounted once per recorded loop by the chain executor.
+              stats.seconds += apl::now_seconds() - t0;
+            };
+            invoke(detail::thaw(fr)...);
+          },
+          frozen);
+    };
+    const bool reduction =
+        std::any_of(infos.begin(), infos.end(), [](const ArgInfo& i) {
+          return i.is_gbl && i.acc != Access::kRead;
+        });
+    ctx.enqueue(std::move(rec));
+    if (reduction) ctx.flush();
+    return;
+  }
+
   (detail::arm_check(args, name, ctx.debug_checks()), ...);
 
   apl::LoopStats& stats = ctx.profile().stats(name);

@@ -1,0 +1,377 @@
+#include "ops/lazy.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "ops/context.hpp"
+#include "ops/par_loop.hpp"
+
+namespace ops {
+
+namespace {
+
+/// Cache budget one tile's working set should fit in (a conservative
+/// last-level-cache slice, as in the OPS tiling work).
+constexpr std::size_t kTileCacheBudget = std::size_t{4} << 20;
+constexpr index_t kMinTileRows = 4;
+
+/// Modeled DRAM traffic of one loop executed eagerly: every argument
+/// streams through (the account() model: one pass per read, one per
+/// write).
+std::uint64_t streaming_bytes(const LoopRecord& rec) {
+  const std::uint64_t n = rec.range.points();
+  std::uint64_t bytes = 0;
+  for (const ArgInfo& a : rec.infos) {
+    if (a.is_gbl || a.is_idx) continue;
+    const int passes = (reads(a.acc) ? 1 : 0) + (writes(a.acc) ? 1 : 0);
+    bytes += n * a.dim * a.elem_bytes * passes;
+  }
+  return bytes;
+}
+
+/// Per-dataset footprint accumulated over one tile: every stencil-extended
+/// sub-range box the tile touched, and whether the dat is read / written.
+/// Kept as a box list (not one bounding box) because halo loops access
+/// disjoint strips at opposite grid edges — a bounding box of those spans
+/// the whole dataset and would wildly overstate the tile's working set.
+struct DatFootprint {
+  std::vector<Range> boxes;
+  bool read = false;
+  bool written = false;
+  std::uint64_t bytes_per_point = 0;
+};
+
+/// Exact number of grid points covered by the union of boxes, by
+/// coordinate compression (box counts per tile are small).
+std::uint64_t union_points(const std::vector<Range>& boxes) {
+  std::array<std::vector<index_t>, kMaxDim> cuts;
+  for (const Range& b : boxes) {
+    for (int d = 0; d < kMaxDim; ++d) {
+      cuts[d].push_back(b.lo[d]);
+      cuts[d].push_back(b.hi[d]);
+    }
+  }
+  for (auto& c : cuts) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+  }
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i + 1 < cuts[0].size(); ++i) {
+    for (std::size_t j = 0; j + 1 < cuts[1].size(); ++j) {
+      for (std::size_t k = 0; k + 1 < cuts[2].size(); ++k) {
+        const index_t x = cuts[0][i], y = cuts[1][j], z = cuts[2][k];
+        for (const Range& b : boxes) {
+          if (x >= b.lo[0] && x < b.hi[0] && y >= b.lo[1] && y < b.hi[1] &&
+              z >= b.lo[2] && z < b.hi[2]) {
+            total += static_cast<std::uint64_t>(cuts[0][i + 1] - x) *
+                     (cuts[1][j + 1] - y) * (cuts[2][k + 1] - z);
+            break;
+          }
+        }
+      }
+    }
+  }
+  return total;
+}
+
+void accumulate_footprint(const Context& ctx, const LoopRecord& rec,
+                          const Range& sub,
+                          std::map<index_t, DatFootprint>& fp) {
+  for (const ArgInfo& a : rec.infos) {
+    if (a.is_gbl || a.is_idx) continue;
+    const Stencil& st = ctx.stencil(a.stencil_id);
+    Range ext = sub;
+    for (int d = 0; d < kMaxDim; ++d) {
+      ext.lo[d] += st.lo()[d];
+      ext.hi[d] += st.hi()[d];
+    }
+    DatFootprint& f = fp[a.dat_id];
+    if (f.boxes.empty()) {
+      f.bytes_per_point = static_cast<std::uint64_t>(a.dim) * a.elem_bytes;
+    }
+    if (std::find_if(f.boxes.begin(), f.boxes.end(), [&](const Range& b) {
+          return b.lo == ext.lo && b.hi == ext.hi;
+        }) == f.boxes.end()) {
+      f.boxes.push_back(ext);
+    }
+    f.read = f.read || reads(a.acc);
+    f.written = f.written || writes(a.acc);
+  }
+}
+
+std::uint64_t footprint_bytes(const std::map<index_t, DatFootprint>& fp) {
+  std::uint64_t bytes = 0;
+  for (const auto& [id, f] : fp) {
+    const int passes = (f.read ? 1 : 0) + (f.written ? 1 : 0);
+    bytes += union_points(f.boxes) * f.bytes_per_point * passes;
+  }
+  return bytes;
+}
+
+/// Combined bytes one grid row (along `dim`) of every distinct dataset in
+/// [first, last) occupies — the unit the cache budget is divided by.
+std::uint64_t chain_row_bytes(const Context& ctx, const LoopRecord* first,
+                              const LoopRecord* last, int dim) {
+  std::map<index_t, std::uint64_t> by_dat;
+  for (const LoopRecord* rec = first; rec != last; ++rec) {
+    for (const ArgInfo& a : rec->infos) {
+      if (a.is_gbl || a.is_idx) continue;
+      const DatBase& dat = ctx.dat(a.dat_id);
+      const auto alloc = dat.alloc_size();
+      const std::uint64_t per_row =
+          dat.alloc_points() / std::max<index_t>(1, alloc[dim]) *
+          static_cast<std::uint64_t>(a.dim) * a.elem_bytes;
+      by_dat.emplace(a.dat_id, per_row);
+    }
+  }
+  std::uint64_t total = 0;
+  for (const auto& [id, b] : by_dat) total += b;
+  return std::max<std::uint64_t>(1, total);
+}
+
+void run_record(const LoopRecord& rec, const Range& sub) {
+  if (!sub.empty()) rec.run(sub);
+}
+
+std::vector<index_t> compute_skews_n(const Context& ctx,
+                                     const LoopRecord* chain, int L, int dim);
+
+/// Tiles one chain segment whose skews are already bounded: executes the
+/// segment tile-by-tile with per-loop skewed edges and accumulates the
+/// tiled traffic model.
+void execute_segment(Context& ctx, const LoopRecord* first, int L, int dim,
+                     index_t tile_rows, ChainStats& stats) {
+  const std::vector<index_t> skews = compute_skews_n(ctx, first, L, dim);
+
+  // Tile edges live in the skew-shifted coordinate u = row - skew[l]:
+  // loop l executes rows [B_t + skew[l], B_t+1 + skew[l]) in tile t, so
+  // the union of tiles covers every loop's range exactly once.
+  index_t lo = std::numeric_limits<index_t>::max();
+  index_t hi = std::numeric_limits<index_t>::lowest();
+  for (int l = 0; l < L; ++l) {
+    lo = std::min(lo, first[l].range.lo[dim] - skews[l]);
+    hi = std::max(hi, first[l].range.hi[dim] - skews[l]);
+  }
+  index_t h = tile_rows;
+  if (h <= 0) {
+    // Auto height: what remains of the cache budget once the segment's
+    // skew span (rows alive across loops in one tile) is paid for.
+    const index_t budget_rows = static_cast<index_t>(std::min<std::uint64_t>(
+        std::numeric_limits<index_t>::max(),
+        kTileCacheBudget / chain_row_bytes(ctx, first, first + L, dim)));
+    h = std::max(kMinTileRows, budget_rows - skews[0]);
+  }
+
+  // Dry pass first: the traffic model is pure metadata, so the segment's
+  // tiled cost can be projected before anything runs.
+  std::uint64_t projected = 0, ntiles = 0;
+  std::map<index_t, DatFootprint> fp;
+  for (index_t b0 = lo; b0 < hi; b0 += h) {
+    const index_t b1 = std::min(hi, b0 + h);
+    fp.clear();
+    bool any = false;
+    for (int l = 0; l < L; ++l) {
+      Range sub = first[l].range;
+      sub.lo[dim] = std::max(sub.lo[dim], b0 + skews[l]);
+      sub.hi[dim] = std::min(sub.hi[dim], b1 + skews[l]);
+      if (sub.lo[dim] >= sub.hi[dim]) continue;
+      accumulate_footprint(ctx, first[l], sub, fp);
+      any = true;
+    }
+    if (any) {
+      ++ntiles;
+      projected += footprint_bytes(fp);
+    }
+  }
+
+  std::uint64_t streaming = 0;
+  for (int l = 0; l < L; ++l) streaming += streaming_bytes(first[l]);
+  if (tile_rows <= 0 && projected >= streaming) {
+    // Tiling would not pay — typical for segments of edge-strip halo
+    // loops whose eager traffic is tiny while their per-tile working sets
+    // are not. Verbatim replay is always a valid execution of the
+    // segment, so run it that way and charge the streaming model.
+    for (int l = 0; l < L; ++l) run_record(first[l], first[l].range);
+    stats.tiles += static_cast<std::uint64_t>(L);
+    stats.tiled_bytes += streaming;
+    return;
+  }
+
+  for (index_t b0 = lo; b0 < hi; b0 += h) {
+    const index_t b1 = std::min(hi, b0 + h);
+    for (int l = 0; l < L; ++l) {
+      Range sub = first[l].range;
+      sub.lo[dim] = std::max(sub.lo[dim], b0 + skews[l]);
+      sub.hi[dim] = std::min(sub.hi[dim], b1 + skews[l]);
+      if (sub.lo[dim] >= sub.hi[dim]) continue;
+      run_record(first[l], sub);
+    }
+  }
+  stats.tiles += ntiles;
+  stats.tiled_bytes += projected;
+}
+
+/// Executes one per-block group of the chain, tiled (or verbatim when the
+/// context disables tiling).
+///
+/// Long chains are split into segments before tiling: skews only grow
+/// along a chain, and once a segment's skew span outgrows the cache
+/// budget, rows kept alive across its loops no longer fit — tiling past
+/// that point only inflates the per-tile footprint. Each segment is tiled
+/// independently (segments execute back-to-back, which is the plain chain
+/// order, so the split never affects results).
+void execute_group(Context& ctx, const std::vector<LoopRecord>& group,
+                   ChainStats& stats) {
+  if (!ctx.tiling() || group.size() == 1) {
+    std::map<index_t, DatFootprint> fp;
+    for (const LoopRecord& rec : group) {
+      run_record(rec, rec.range);
+      ++stats.tiles;
+      fp.clear();
+      accumulate_footprint(ctx, rec, rec.range, fp);
+      stats.tiled_bytes += footprint_bytes(fp);
+    }
+    return;
+  }
+
+  const int dim = group.front().block->ndim() - 1;
+  const int L = static_cast<int>(group.size());
+
+  if (ctx.tile_rows() > 0) {
+    // Explicit tile height: tile the whole chain with it (tests use this
+    // to force many tile crossings deterministically).
+    execute_segment(ctx, group.data(), L, dim, ctx.tile_rows(), stats);
+    return;
+  }
+
+  // Whole-chain skews bound every segment's internal skews from above
+  // (dropping later loops only relaxes constraints), so they are a safe
+  // yardstick for cutting: keep a segment while its global-skew span
+  // stays within the skew share of the cache budget.
+  const std::vector<index_t> gskews = compute_skews(ctx, group, dim);
+  const index_t budget_rows = static_cast<index_t>(std::min<std::uint64_t>(
+      std::numeric_limits<index_t>::max(),
+      kTileCacheBudget /
+          chain_row_bytes(ctx, group.data(), group.data() + L, dim)));
+  // Keep the skew span a small fraction of the budget: per-tile footprint
+  // is (h + span) rows, so traffic inflates by span/h — capping span at a
+  // quarter of the budget keeps the inflation factor around 1.3 while the
+  // remaining three quarters go to the tile height.
+  const index_t skew_budget = std::max<index_t>(kMinTileRows, budget_rows / 4);
+
+  int start = 0;
+  for (int l = 1; l <= L; ++l) {
+    if (l == L || gskews[start] - gskews[l] > skew_budget) {
+      execute_segment(ctx, group.data() + start, l - start, dim,
+                      /*tile_rows=*/0, stats);
+      start = l;
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+std::vector<index_t> compute_skews_n(const Context& ctx,
+                                     const LoopRecord* chain, int L,
+                                     int dim) {
+  std::vector<index_t> skew(static_cast<std::size_t>(L), 0);
+  for (int l = L - 2; l >= 0; --l) {
+    // Ordering baseline: monotone non-increasing skews keep same-centre
+    // write-after-write pairs in chain order across tiles.
+    index_t s = skew[l + 1];
+    for (const ArgInfo& a : chain[l].infos) {
+      if (a.is_gbl || a.is_idx) continue;
+      for (int l2 = l + 1; l2 < L; ++l2) {
+        for (const ArgInfo& b : chain[l2].infos) {
+          if (b.is_gbl || b.is_idx || b.dat_id != a.dat_id) continue;
+          if (writes(a.acc) && reads(b.acc)) {
+            // Flow: the later reader reaches up to +hi rows ahead of its
+            // centre; this writer must stay that far ahead of it.
+            s = std::max(s, skew[l2] + ctx.stencil(b.stencil_id).hi()[dim]);
+          }
+          if (reads(a.acc) && writes(b.acc)) {
+            // Anti: this reader reaches lo (<= 0) rows behind its centre
+            // into values the later writer will overwrite; it must stay
+            // ahead of the writer's already-overwritten region.
+            s = std::max(s, skew[l2] - ctx.stencil(a.stencil_id).lo()[dim]);
+          }
+        }
+      }
+    }
+    skew[l] = s;
+  }
+  return skew;
+}
+
+}  // namespace
+
+std::vector<index_t> compute_skews(const Context& ctx,
+                                   const std::vector<LoopRecord>& chain,
+                                   int dim) {
+  return compute_skews_n(ctx, chain.data(), static_cast<int>(chain.size()),
+                         dim);
+}
+
+namespace detail {
+
+void flush_pending(Context& ctx) { ctx.flush(); }
+
+void execute_chain(Context& ctx, std::vector<LoopRecord> chain,
+                   ChainStats& stats) {
+  ++stats.flushes;
+  stats.loops += chain.size();
+  stats.max_chain = std::max<std::uint64_t>(stats.max_chain, chain.size());
+  for (const LoopRecord& rec : chain) {
+    stats.eager_bytes += streaming_bytes(rec);
+  }
+
+  // Group by block, preserving chain order within each group. Datasets
+  // never span blocks and global reductions flush immediately, so loops
+  // of different blocks in one chain are independent.
+  std::vector<index_t> block_order;
+  std::map<index_t, std::vector<LoopRecord>> groups;
+  for (LoopRecord& rec : chain) {
+    const index_t b = rec.block->id();
+    if (!groups.count(b)) block_order.push_back(b);
+    groups[b].push_back(std::move(rec));
+  }
+
+  for (const index_t b : block_order) {
+    const std::vector<LoopRecord>& group = groups[b];
+    execute_group(ctx, group, stats);
+    // Per-loop profile accounting over the full recorded ranges — the
+    // same useful-byte totals and call counts eager execution records, so
+    // the perf-model benches see identical inputs either way (the record
+    // executor accumulates only wall time, one slice per tile).
+    for (const LoopRecord& rec : group) {
+      apl::LoopStats& st = ctx.profile().stats(rec.name);
+      ++st.calls;
+      account(ctx, rec.name, rec.range, rec.infos, st);
+    }
+  }
+}
+
+}  // namespace detail
+
+void Context::enqueue(LoopRecord rec) {
+  chain_.push_back(std::move(rec));
+  update_pending();
+}
+
+void Context::do_flush() {
+  if (chain_.empty() || chain_executing_) return;
+  std::vector<LoopRecord> chain = std::move(chain_);
+  chain_.clear();
+  chain_executing_ = true;
+  update_pending();
+  detail::execute_chain(*this, std::move(chain), chain_stats_);
+  chain_executing_ = false;
+  update_pending();
+}
+
+}  // namespace ops

@@ -1,0 +1,43 @@
+#include "apl/exec.hpp"
+
+#include <cstdlib>
+
+namespace apl::exec {
+
+const char* to_string(Access a) {
+  switch (a) {
+    case Access::kRead: return "read";
+    case Access::kWrite: return "write";
+    case Access::kInc: return "inc";
+    case Access::kRW: return "rw";
+    case Access::kMin: return "min";
+    case Access::kMax: return "max";
+  }
+  return "?";
+}
+
+const char* to_string(Backend b) {
+  switch (b) {
+    case Backend::kSeq: return "seq";
+    case Backend::kSimd: return "simd";
+    case Backend::kThreads: return "threads";
+    case Backend::kCudaSim: return "cudasim";
+  }
+  return "?";
+}
+
+std::optional<Backend> backend_from_string(std::string_view name) {
+  if (name == "seq") return Backend::kSeq;
+  if (name == "simd") return Backend::kSimd;
+  if (name == "threads") return Backend::kThreads;
+  if (name == "cudasim") return Backend::kCudaSim;
+  return std::nullopt;
+}
+
+Backend backend_from_env(Backend fallback) {
+  const char* env = std::getenv("APL_BACKEND");
+  if (!env) return fallback;
+  return backend_from_string(env).value_or(fallback);
+}
+
+}  // namespace apl::exec

@@ -1,0 +1,127 @@
+// The unified execution API shared by the OP2 (unstructured) and OPS
+// (structured) front ends.
+//
+// Both active libraries expose the same run-time execution surface: an
+// access-mode vocabulary for loop arguments, a backend enum naming the
+// "generated" per-platform loop structures, a string/environment parser
+// for backend selection, and a common Context base carrying the execution
+// configuration (backend, debug checks, lazy execution, per-loop profile
+// and flop hints). `op2::Context` and `ops::Context` derive from
+// ExecContext, so application code configures either library through one
+// spelling:
+//
+//   ctx.set_backend(apl::exec::backend_from_env());
+//   ctx.set_lazy(true);      // queue loops, flush at synchronization points
+//   ...
+//   ctx.flush();             // explicit flush point
+//   ctx.profile().report();
+//
+// The per-library enums (`op2::Backend`, `ops::Access`, ...) remain as
+// thin aliases of the types below; they are deprecated spellings kept for
+// one release.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "apl/profile.hpp"
+
+namespace apl::exec {
+
+/// How a kernel accesses an argument. kMin/kMax apply to global reduction
+/// arguments only.
+enum class Access { kRead, kWrite, kInc, kRW, kMin, kMax };
+
+/// The target-specific parallelizations the "code generator" (the par_loop
+/// templates) can produce — the generated per-platform source files of the
+/// paper's Fig. 1:
+///   kSeq     — human-readable single-threaded reference (debugging)
+///   kSimd    — gather/compute/scatter structure of the vectorized CPU
+///              code (OP2; OPS loops are unit-stride and auto-vectorize,
+///              so OPS executes kSimd as kSeq)
+///   kThreads — OpenMP-style execution (colored plan / row splitting)
+///   kCudaSim — the CUDA execution strategy run on host with a device
+///              timing model
+/// The distributed-memory (MPI) layer composes with these node-level
+/// backends, as in the real libraries.
+enum class Backend { kSeq, kSimd, kThreads, kCudaSim };
+
+const char* to_string(Access a);
+const char* to_string(Backend b);
+
+/// True if the kernel observes the previous value (needs valid input data).
+inline bool reads(Access a) {
+  return a == Access::kRead || a == Access::kRW || a == Access::kInc ||
+         a == Access::kMin || a == Access::kMax;
+}
+/// True if the kernel modifies the value.
+inline bool writes(Access a) { return a != Access::kRead; }
+
+/// Parses a backend name ("seq", "simd", "threads", "cudasim");
+/// std::nullopt if the spelling is unknown.
+std::optional<Backend> backend_from_string(std::string_view name);
+
+/// Backend selection from the environment: reads APL_BACKEND and falls
+/// back to `fallback` when unset or unparseable.
+Backend backend_from_env(Backend fallback = Backend::kSeq);
+
+/// Execution configuration common to both libraries' Contexts: backend
+/// selection, consistency checking, lazy loop-chain execution, the
+/// per-loop profile and flop hints. Derived contexts that support delayed
+/// execution override do_flush(); for the others set_lazy() is accepted
+/// but loops execute eagerly and flush() is a no-op.
+class ExecContext {
+public:
+  ExecContext() = default;
+  ExecContext(const ExecContext&) = delete;
+  ExecContext& operator=(const ExecContext&) = delete;
+  virtual ~ExecContext() = default;
+
+  Backend backend() const { return backend_; }
+  void set_backend(Backend b) { backend_ = b; }
+
+  /// Debug mode: the library verifies kernels against their access
+  /// declarations (stencil checks in OPS, read-only snapshots in OP2).
+  bool debug_checks() const { return debug_checks_; }
+  void set_debug_checks(bool on) { debug_checks_ = on; }
+
+  /// Lazy execution: par_loop enqueues a loop record instead of running
+  /// it; the queued chain executes at a flush point (explicit flush(), a
+  /// global reduction, raw data access, or a halo exchange). Turning lazy
+  /// off flushes any queued work first.
+  bool lazy() const { return lazy_; }
+  virtual void set_lazy(bool on) {
+    if (lazy_ && !on) do_flush();
+    lazy_ = on;
+  }
+  /// Explicit flush point: executes any queued loop chain.
+  void flush() { do_flush(); }
+
+  /// Optional flops-per-element hint for a named loop; feeds the profile
+  /// and through it the machine models (compute-heavy kernels are
+  /// otherwise modelled as pure streaming).
+  void hint_flops(const std::string& loop, double flops_per_element) {
+    flop_hints_[loop] = flops_per_element;
+  }
+  double flops_hint(const std::string& loop) const {
+    const auto it = flop_hints_.find(loop);
+    return it == flop_hints_.end() ? 0.0 : it->second;
+  }
+
+  apl::Profile& profile() { return profile_; }
+  const apl::Profile& profile() const { return profile_; }
+
+protected:
+  virtual void do_flush() {}
+
+private:
+  Backend backend_ = Backend::kSeq;
+  bool debug_checks_ = false;
+  bool lazy_ = false;
+  std::map<std::string, double> flop_hints_;
+  apl::Profile profile_;
+};
+
+}  // namespace apl::exec

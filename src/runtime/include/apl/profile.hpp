@@ -15,6 +15,9 @@
 
 namespace apl {
 
+/// Monotonic wall-clock in seconds (the timebase ScopedLoopTimer uses).
+double now_seconds();
+
 /// Accumulated statistics for one named parallel loop. Byte counts are
 /// split by access-pattern class (see apl::perf::AccessClass): direct
 /// streaming, indirect gathers (reads through a map) and indirect scatters

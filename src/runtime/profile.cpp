@@ -6,13 +6,11 @@
 
 namespace apl {
 
-namespace {
 double now_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
-}  // namespace
 
 std::string Profile::report() const {
   std::ostringstream os;

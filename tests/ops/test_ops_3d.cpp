@@ -36,7 +36,7 @@ struct Heat3D {
                                  std::cos(0.3 * idx[1]) +
                                  std::sin(0.2 * idx[2]);
                   },
-                  ops::arg(*u, ctx.stencil_point(3), Access::kWrite),
+                  ops::arg(*u, Access::kWrite),
                   ops::arg_idx());
   }
 
@@ -48,13 +48,13 @@ struct Heat3D {
                                  6.0;
                   },
                   ops::arg(*u, *seven, Access::kRead),
-                  ops::arg(*t, ctx.stencil_point(3), Access::kWrite));
+                  ops::arg(*t, Access::kWrite));
     ops::par_loop(ctx, "copy3d", *grid, ops::Range::dim3(0, n, 0, n, 0, n),
                   [](ops::Acc<double> t, ops::Acc<double> u) {
                     u(0, 0, 0) = t(0, 0, 0);
                   },
-                  ops::arg(*t, ctx.stencil_point(3), Access::kRead),
-                  ops::arg(*u, ctx.stencil_point(3), Access::kWrite));
+                  ops::arg(*t, Access::kRead),
+                  ops::arg(*u, Access::kWrite));
   }
 
   std::vector<double> interior() const {
@@ -89,7 +89,7 @@ TEST(Ops3D, StencilReachesAllSixNeighbours) {
   ops::par_loop(h.ctx, "zero", *h.grid,
                 ops::Range::dim3(-1, 6, -1, 6, -1, 6),
                 [](ops::Acc<double> u) { u(0, 0, 0) = 0.0; },
-                ops::arg(*h.u, h.ctx.stencil_point(3), Access::kWrite));
+                ops::arg(*h.u, Access::kWrite));
   *h.u->at(2, 2, 2) = 6.0;
   h.sweep();
   EXPECT_DOUBLE_EQ(*h.u->at(1, 2, 2), 1.0);
@@ -131,7 +131,7 @@ TEST(Ops3D, ReductionOverVolume) {
                   s[0] += u(0, 0, 0);
                   m[0] = std::max(m[0], u(0, 0, 0));
                 },
-                ops::arg(*h.u, h.ctx.stencil_point(3), Access::kRead),
+                ops::arg(*h.u, Access::kRead),
                 ops::arg_gbl(&sum, 1, Access::kInc),
                 ops::arg_gbl(&mx, 1, Access::kMax));
   double want = 0;
@@ -150,7 +150,7 @@ TEST(Ops3D, StencilCheckerWorksIn3D) {
                       t(0, 0, 0) = u(1, 1, 1);  // diagonal: undeclared
                     },
                     ops::arg(*h.u, *h.seven, Access::kRead),
-                    ops::arg(*h.t, h.ctx.stencil_point(3), Access::kWrite)),
+                    ops::arg(*h.t, Access::kWrite)),
       apl::Error);
 }
 

@@ -40,7 +40,7 @@ struct Diffusion {
          [](ops::Acc<double> u, const int* idx) {
            u(0, 0) = std::sin(0.37 * idx[0]) * std::cos(0.23 * idx[1]);
          },
-         ops::arg(*u, ctx.stencil_point(2), Access::kWrite), ops::arg_idx());
+         ops::arg(*u, Access::kWrite), ops::arg_idx());
   }
 
   /// One explicit step with reflective boundaries written into the halo.
@@ -53,38 +53,38 @@ struct Diffusion {
     loop("bc_x", ops::Range::dim2(-1, 0, 0, ny),
          [](ops::Acc<double> ur, ops::Acc<double> uw) { uw(0, 0) = ur(1, 0); },
          ops::arg(*u, *xp, Access::kRead),
-         ops::arg(*u, ctx.stencil_point(2), Access::kWrite));
+         ops::arg(*u, Access::kWrite));
     loop("bc_x2", ops::Range::dim2(nx, nx + 1, 0, ny),
          [](ops::Acc<double> ur, ops::Acc<double> uw) {
            uw(0, 0) = ur(-1, 0);
          },
          ops::arg(*u, *xm, Access::kRead),
-         ops::arg(*u, ctx.stencil_point(2), Access::kWrite));
+         ops::arg(*u, Access::kWrite));
     loop("bc_y", ops::Range::dim2(-1, nx + 1, -1, 0),
          [](ops::Acc<double> ur, ops::Acc<double> uw) { uw(0, 0) = ur(0, 1); },
          ops::arg(*u, *yp, Access::kRead),
-         ops::arg(*u, ctx.stencil_point(2), Access::kWrite));
+         ops::arg(*u, Access::kWrite));
     loop("bc_y2", ops::Range::dim2(-1, nx + 1, ny, ny + 1),
          [](ops::Acc<double> ur, ops::Acc<double> uw) {
            uw(0, 0) = ur(0, -1);
          },
          ops::arg(*u, *ym, Access::kRead),
-         ops::arg(*u, ctx.stencil_point(2), Access::kWrite));
+         ops::arg(*u, Access::kWrite));
     loop("diff", ops::Range::dim2(0, nx, 0, ny),
          [](ops::Acc<double> u, ops::Acc<double> t) {
            t(0, 0) = u(0, 0) + 0.2 * (u(1, 0) + u(-1, 0) + u(0, 1) +
                                       u(0, -1) - 4 * u(0, 0));
          },
          ops::arg(*u, *five, Access::kRead),
-         ops::arg(*t, ctx.stencil_point(2), Access::kWrite));
+         ops::arg(*t, Access::kWrite));
     double sum = 0;
     loop("copy", ops::Range::dim2(0, nx, 0, ny),
          [](ops::Acc<double> t, ops::Acc<double> u, double* s) {
            u(0, 0) = t(0, 0);
            s[0] += t(0, 0);
          },
-         ops::arg(*t, ctx.stencil_point(2), Access::kRead),
-         ops::arg(*u, ctx.stencil_point(2), Access::kWrite),
+         ops::arg(*t, Access::kRead),
+         ops::arg(*u, Access::kWrite),
          ops::arg_gbl(&sum, 1, Access::kInc));
     return sum;
   }
@@ -209,7 +209,7 @@ TEST(OpsDist, OnDemandExchangeSkipsCleanDats) {
   double sum = 0;
   dist.par_loop("sum", *d.grid, ops::Range::dim2(0, d.nx, 0, d.ny),
                 [](ops::Acc<double> u, double* s) { s[0] += u(0, 0); },
-                ops::arg(*d.u, d.ctx.stencil_point(2), Access::kRead),
+                ops::arg(*d.u, Access::kRead),
                 ops::arg_gbl(&sum, 1, Access::kInc));
   EXPECT_EQ(dist.comm().traffic().messages(), before);
 }

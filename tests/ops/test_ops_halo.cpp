@@ -61,11 +61,11 @@ TEST(OpsHalo, TwoBlocksMatchOneBlock) {
                     t(0) = u(0) + 0.2 * (u(1) - 2 * u(0) + u(-1));
                   },
                   ops::arg(u1, s3a, Access::kRead),
-                  ops::arg(t1, one.stencil_point(1), Access::kWrite));
+                  ops::arg(t1, Access::kWrite));
     ops::par_loop(one, "copy", line1, ops::Range::dim1(0, 2 * n),
                   [](ops::Acc<double> t, ops::Acc<double> u) { u(0) = t(0); },
-                  ops::arg(t1, one.stencil_point(1), Access::kRead),
-                  ops::arg(u1, one.stencil_point(1), Access::kWrite));
+                  ops::arg(t1, Access::kRead),
+                  ops::arg(u1, Access::kWrite));
   };
   auto sweep2 = [&] {
     group.transfer();  // explicit synchronization point between blocks
@@ -76,13 +76,13 @@ TEST(OpsHalo, TwoBlocksMatchOneBlock) {
                       t(0) = u(0) + 0.2 * (u(1) - 2 * u(0) + u(-1));
                     },
                     ops::arg(u, s3b, Access::kRead),
-                    ops::arg(t, two.stencil_point(1), Access::kWrite));
+                    ops::arg(t, Access::kWrite));
       ops::par_loop(two, "copy", blk, ops::Range::dim1(0, n),
                     [](ops::Acc<double> t, ops::Acc<double> u) {
                       u(0) = t(0);
                     },
-                    ops::arg(t, two.stencil_point(1), Access::kRead),
-                    ops::arg(u, two.stencil_point(1), Access::kWrite));
+                    ops::arg(t, Access::kRead),
+                    ops::arg(u, Access::kWrite));
     };
     half(left, ul, tl);
     half(right, ur, tr);

@@ -31,7 +31,7 @@ struct HeatFixture {
                   [](ops::Acc<double> u, const int* idx) {
                     u(0, 0) = std::sin(0.3 * idx[0]) + std::cos(0.2 * idx[1]);
                   },
-                  ops::arg(*u, ctx.stencil_point(2), Access::kWrite),
+                  ops::arg(*u, Access::kWrite),
                   ops::arg_idx());
   }
 
@@ -42,13 +42,13 @@ struct HeatFixture {
                                         u(0, -1));
                   },
                   ops::arg(*u, *five, Access::kRead),
-                  ops::arg(*unew, ctx.stencil_point(2), Access::kWrite));
+                  ops::arg(*unew, Access::kWrite));
     ops::par_loop(ctx, "copy", *grid, ops::Range::dim2(0, nx, 0, ny),
                   [](ops::Acc<double> out, ops::Acc<double> u) {
                     u(0, 0) = out(0, 0);
                   },
-                  ops::arg(*unew, ctx.stencil_point(2), Access::kRead),
-                  ops::arg(*u, ctx.stencil_point(2), Access::kWrite));
+                  ops::arg(*unew, Access::kRead),
+                  ops::arg(*u, Access::kWrite));
   }
 
   std::vector<double> interior() const {
@@ -72,7 +72,7 @@ TEST(OpsParLoop, StencilReadsNeighbours) {
   // Set a delta at (2,2) and diffuse once: neighbours get 0.25.
   ops::par_loop(h.ctx, "zero", *h.grid, ops::Range::dim2(-1, 7, -1, 6),
                 [](ops::Acc<double> u) { u(0, 0) = 0.0; },
-                ops::arg(*h.u, h.ctx.stencil_point(2), Access::kWrite));
+                ops::arg(*h.u, Access::kWrite));
   *h.u->at(2, 2) = 1.0;
   h.sweep();
   EXPECT_DOUBLE_EQ(*h.u->at(2, 2), 0.0);
@@ -109,7 +109,7 @@ TEST(OpsParLoop, Reductions) {
                   lo[0] = std::min(lo[0], u(0, 0));
                   hi[0] = std::max(hi[0], u(0, 0));
                 },
-                ops::arg(*h.u, h.ctx.stencil_point(2), Access::kRead),
+                ops::arg(*h.u, Access::kRead),
                 ops::arg_gbl(&sum, 1, Access::kInc),
                 ops::arg_gbl(&mn, 1, Access::kMin),
                 ops::arg_gbl(&mx, 1, Access::kMax));
@@ -141,7 +141,7 @@ TEST_P(OpsBackends, ReductionsMatchSeq) {
   double sum = 0;
   ops::par_loop(h.ctx, "sum", *h.grid, ops::Range::dim2(0, h.nx, 0, h.ny),
                 [](ops::Acc<double> u, double* s) { s[0] += u(0, 0); },
-                ops::arg(*h.u, h.ctx.stencil_point(2), Access::kRead),
+                ops::arg(*h.u, Access::kRead),
                 ops::arg_gbl(&sum, 1, Access::kInc));
   double want = 0;
   for (double v : h.interior()) want += v;
@@ -166,7 +166,7 @@ TEST(OpsParLoop, StencilCheckerCatchesUndeclaredAccess) {
                       out(0, 0) = u(1, 1);
                     },
                     ops::arg(*h.u, *h.five, Access::kRead),
-                    ops::arg(*h.unew, h.ctx.stencil_point(2),
+                    ops::arg(*h.unew,
                              Access::kWrite)),
       apl::Error);
   // A well-behaved kernel passes.
@@ -176,7 +176,7 @@ TEST(OpsParLoop, StencilCheckerCatchesUndeclaredAccess) {
                       out(0, 0) = u(1, 0) + u(0, -1);
                     },
                     ops::arg(*h.u, *h.five, Access::kRead),
-                    ops::arg(*h.unew, h.ctx.stencil_point(2),
+                    ops::arg(*h.unew,
                              Access::kWrite)));
 }
 
@@ -191,7 +191,7 @@ TEST(OpsParLoop, OneDimensionalLoop) {
                 [](ops::Acc<double> f, const int* idx) {
                   f(0) = idx[0];
                 },
-                ops::arg(f, ctx.stencil_point(1), Access::kWrite),
+                ops::arg(f, Access::kWrite),
                 ops::arg_idx());
   double sum = 0;
   ops::par_loop(ctx, "lap", line, ops::Range::dim1(0, 10),
@@ -213,7 +213,7 @@ TEST(OpsParLoop, MultiComponentAccess) {
                   v.at(0, 0, 0) = idx[0];
                   v.at(1, 0, 0) = idx[1];
                 },
-                ops::arg(v, ctx.stencil_point(2), Access::kWrite),
+                ops::arg(v, Access::kWrite),
                 ops::arg_idx());
   EXPECT_DOUBLE_EQ(v.at(3, 2)[0], 3.0);
   EXPECT_DOUBLE_EQ(v.at(3, 2)[1], 2.0);

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: warnings-as-errors build + the fast test tier.
+#
+#   tools/ci.sh [build-dir]
+#
+# Mirrors what the acceptance checks run, so a green local run means a
+# green CI run.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-ci}"
+
+cmake -S "$repo" -B "$build" -DAPL_WERROR=ON
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" -L tier1 --output-on-failure -j "$(nproc)"
