@@ -1,13 +1,16 @@
 // Checkpoint/restart end to end (paper Sec. VI): run Airfoil with the
-// loop-chain-analysis checkpointer, "crash", then restart from the file —
-// the restarted run fast-forwards through the loop chain and lands on
-// bit-identical results.
+// loop-chain-analysis checkpointer, crash it with the deterministic fault
+// injector, then restart from the two-slot crash-safe store — the restarted
+// run fast-forwards through the loop chain and lands on bit-identical
+// results. The tier-1 version of this scenario (plus CloverLeaf/OPS and
+// byte-offset kill sweeps) lives in tests/resilience/test_kill_restore.cpp.
 //
 //   $ ./checkpoint_restart
 #include <cstdio>
 #include <filesystem>
 
 #include "airfoil/airfoil.hpp"
+#include "apl/fault.hpp"
 #include "op2/checkpoint.hpp"
 
 namespace {
@@ -31,7 +34,7 @@ int main() {
   airfoil::Airfoil ref(opts());
   const double rms_ref = ref.run(total);
 
-  // Run 1: checkpoint mid-flight, then "crash".
+  // Run 1: checkpoint mid-flight, then crash via the fault injector.
   {
     airfoil::Airfoil app(opts());
     op2::Checkpointer ck(app.ctx(), path);
@@ -40,11 +43,20 @@ int main() {
     app.run(2);
     std::printf("checkpoint written after iteration ~20 (%.1f KiB; the "
                 "analysis saved only q and res)\n",
-                std::filesystem::file_size(path) / 1024.0);
-    std::printf("simulating a crash at iteration 22...\n");
+                ck.store().last_write_bytes() / 1024.0);
+
+    apl::fault::Config cfg;
+    cfg.kill_at_loop = 9;  // one iteration after the checkpoint completes
+    apl::fault::Injector::global().arm(cfg);
+    try {
+      app.run(total - 22);
+    } catch (const apl::fault::Kill&) {
+      std::printf("injected crash fired at iteration ~23\n");
+    }
+    apl::fault::Injector::global().disarm();
   }
 
-  // Run 2: identical application code, restarted from the file.
+  // Run 2: identical application code, restarted from the slot files.
   {
     airfoil::Airfoil app(opts());
     op2::Checkpointer ck = op2::Checkpointer::restore(app.ctx(), path);
@@ -52,7 +64,7 @@ int main() {
     std::printf("restarted run finished: RMS %.12e\n", rms);
     std::printf("uninterrupted reference: RMS %.12e\n", rms_ref);
     std::printf("bit-identical: %s\n", rms == rms_ref ? "yes" : "NO");
-    std::remove(path.c_str());
+    ck.store().remove_files();
     return rms == rms_ref ? 0 : 1;
   }
 }

@@ -28,18 +28,75 @@ const std::array<std::uint32_t, 256>& crc_table() {
   return table;
 }
 
-template <class T>
-void write_pod(std::ostream& os, const T& v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+void append_bytes(std::vector<std::uint8_t>& out, const void* p,
+                  std::size_t n) {
+  const std::size_t pos = out.size();
+  out.resize(pos + n);
+  std::memcpy(out.data() + pos, p, n);
 }
 
 template <class T>
-T read_pod(std::istream& is) {
-  T v{};
-  is.read(reinterpret_cast<char*>(&v), sizeof(T));
-  require(static_cast<bool>(is), "h5lite: unexpected end of file");
-  return v;
+void append_pod(std::vector<std::uint8_t>& out, const T& v) {
+  append_bytes(out, &v, sizeof(T));
 }
+
+// Bounds-checked cursor over a serialized byte span. Every read names the
+// dataset being parsed, so a truncated or garbage file fails with a message
+// that points at the offending dataset rather than a raw stream error.
+class Reader {
+ public:
+  Reader(std::span<const std::uint8_t> bytes, const std::string& origin)
+      : bytes_(bytes), origin_(origin) {}
+
+  void set_context(std::string what) { context_ = std::move(what); }
+
+  template <class T>
+  T pod(const char* what) {
+    T v{};
+    take(what, sizeof(T), reinterpret_cast<std::uint8_t*>(&v));
+    return v;
+  }
+
+  std::string str(const char* what, std::size_t len) {
+    std::string s(len, '\0');
+    take(what, len, reinterpret_cast<std::uint8_t*>(s.data()));
+    return s;
+  }
+
+  void bytes(const char* what, std::span<std::uint8_t> dst) {
+    take(what, dst.size(), dst.data());
+  }
+
+  void skip(const char* what, std::size_t n) {
+    if (n > remaining()) parse_fail(what);
+    pos_ += n;
+  }
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  std::size_t pos() const { return pos_; }
+
+  [[noreturn]] void parse_fail(const char* what) const {
+    if (context_.empty()) {
+      fail("h5lite: '", origin_, "' truncated while reading ", what, " (",
+           remaining(), " bytes left at offset ", pos_, ")");
+    }
+    fail("h5lite: '", origin_, "' truncated while reading ", what,
+         " of dataset '", context_, "' (", remaining(),
+         " bytes left at offset ", pos_, ")");
+  }
+
+ private:
+  void take(const char* what, std::size_t n, std::uint8_t* dst) {
+    if (n > remaining()) parse_fail(what);
+    std::memcpy(dst, bytes_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  std::span<const std::uint8_t> bytes_;
+  const std::string& origin_;
+  std::string context_;
+  std::size_t pos_ = 0;
+};
 
 }  // namespace
 
@@ -109,63 +166,118 @@ const Dataset& File::raw(const std::string& name) const {
   return it->second;
 }
 
+std::vector<std::uint8_t> File::serialize() const {
+  std::vector<std::uint8_t> out;
+  append_bytes(out, kMagic.data(), kMagic.size());
+  append_pod(out, kVersion);
+  append_pod(out, static_cast<std::uint64_t>(datasets_.size()));
+  for (const auto& [name, ds] : datasets_) {
+    append_pod(out, static_cast<std::uint32_t>(name.size()));
+    append_bytes(out, name.data(), name.size());
+    append_pod(out, static_cast<std::uint32_t>(ds.dtype));
+    append_pod(out, static_cast<std::uint64_t>(ds.dims.size()));
+    for (std::uint64_t d : ds.dims) append_pod(out, d);
+    append_pod(out, static_cast<std::uint64_t>(ds.bytes.size()));
+    append_bytes(out, ds.bytes.data(), ds.bytes.size());
+    append_pod(out, crc32(ds.bytes));
+  }
+  return out;
+}
+
+File File::parse(std::span<const std::uint8_t> bytes,
+                 const std::string& origin) {
+  Reader r(bytes, origin);
+  std::array<char, 4> magic{};
+  if (bytes.size() < magic.size()) {
+    fail("h5lite: '", origin, "' is not an h5lite file (only ", bytes.size(),
+         " bytes)");
+  }
+  r.bytes("magic", std::span(reinterpret_cast<std::uint8_t*>(magic.data()),
+                             magic.size()));
+  require(magic == kMagic, "h5lite: '", origin, "' is not an h5lite file");
+  const auto version = r.pod<std::uint32_t>("version");
+  require(version == kVersion, "h5lite: '", origin, "' has unsupported version ",
+          version);
+  const auto count = r.pod<std::uint64_t>("dataset count");
+  File f;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = r.pod<std::uint32_t>("name length");
+    if (name_len > r.remaining()) r.parse_fail("dataset name");
+    const std::string name = r.str("dataset name", name_len);
+    r.set_context(name);
+    Dataset ds;
+    const auto dtype = r.pod<std::uint32_t>("dtype");
+    require(dtype <= static_cast<std::uint32_t>(DType::kU8), "h5lite: '",
+            origin, "': dataset '", name, "' has unknown dtype ", dtype);
+    ds.dtype = static_cast<DType>(dtype);
+    const auto rank = r.pod<std::uint64_t>("rank");
+    require(rank <= 8, "h5lite: '", origin, "': dataset '", name,
+            "' has implausible rank ", rank);
+    ds.dims.resize(rank);
+    for (auto& d : ds.dims) d = r.pod<std::uint64_t>("dims");
+    const auto payload = r.pod<std::uint64_t>("payload size");
+    require(payload == ds.num_elements() * dtype_size(ds.dtype),
+            "h5lite: '", origin, "': payload size ", payload,
+            " inconsistent with dims of dataset '", name, "'");
+    if (payload > r.remaining()) r.parse_fail("payload");
+    ds.bytes.resize(payload);
+    r.bytes("payload", ds.bytes);
+    const auto crc = r.pod<std::uint32_t>("crc");
+    require(crc == crc32(ds.bytes), "h5lite: CRC mismatch in dataset '", name,
+            "' of '", origin, "'");
+    f.datasets_[name] = std::move(ds);
+  }
+  return f;
+}
+
+std::optional<std::size_t> dataset_payload_offset(
+    std::span<const std::uint8_t> bytes, const std::string& name) {
+  static const std::string origin = "<serialized>";
+  Reader r(bytes, origin);
+  if (bytes.size() < 4) return std::nullopt;
+  std::array<char, 4> magic{};
+  r.bytes("magic", std::span(reinterpret_cast<std::uint8_t*>(magic.data()),
+                             magic.size()));
+  if (magic != kMagic) return std::nullopt;
+  r.pod<std::uint32_t>("version");
+  const auto count = r.pod<std::uint64_t>("dataset count");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = r.pod<std::uint32_t>("name length");
+    if (name_len > r.remaining()) return std::nullopt;
+    const std::string ds_name = r.str("dataset name", name_len);
+    r.pod<std::uint32_t>("dtype");
+    const auto rank = r.pod<std::uint64_t>("rank");
+    if (rank > 8) return std::nullopt;
+    for (std::uint64_t d = 0; d < rank; ++d) r.pod<std::uint64_t>("dims");
+    const auto payload = r.pod<std::uint64_t>("payload size");
+    if (payload > r.remaining()) return std::nullopt;
+    if (ds_name == name) return r.pos();
+    r.skip("payload", payload);
+    r.pod<std::uint32_t>("crc");
+  }
+  return std::nullopt;
+}
+
 void File::save(const std::string& path) const {
+  const std::vector<std::uint8_t> bytes = serialize();
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   require(static_cast<bool>(os), "h5lite: cannot open '", path,
           "' for writing");
-  os.write(kMagic.data(), kMagic.size());
-  write_pod(os, kVersion);
-  write_pod(os, static_cast<std::uint64_t>(datasets_.size()));
-  for (const auto& [name, ds] : datasets_) {
-    write_pod(os, static_cast<std::uint32_t>(name.size()));
-    os.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_pod(os, static_cast<std::uint32_t>(ds.dtype));
-    write_pod(os, static_cast<std::uint64_t>(ds.dims.size()));
-    for (std::uint64_t d : ds.dims) write_pod(os, d);
-    write_pod(os, static_cast<std::uint64_t>(ds.bytes.size()));
-    os.write(reinterpret_cast<const char*>(ds.bytes.data()),
-             static_cast<std::streamsize>(ds.bytes.size()));
-    write_pod(os, crc32(ds.bytes));
-  }
+  os.write(reinterpret_cast<const char*>(bytes.data()),
+           static_cast<std::streamsize>(bytes.size()));
   require(static_cast<bool>(os), "h5lite: write to '", path, "' failed");
 }
 
 File File::load(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
   require(static_cast<bool>(is), "h5lite: cannot open '", path, "'");
-  std::array<char, 4> magic{};
-  is.read(magic.data(), magic.size());
-  require(static_cast<bool>(is) && magic == kMagic, "h5lite: '", path,
-          "' is not an h5lite file");
-  const auto version = read_pod<std::uint32_t>(is);
-  require(version == kVersion, "h5lite: unsupported version ", version);
-  const auto count = read_pod<std::uint64_t>(is);
-  File f;
-  for (std::uint64_t i = 0; i < count; ++i) {
-    const auto name_len = read_pod<std::uint32_t>(is);
-    std::string name(name_len, '\0');
-    is.read(name.data(), name_len);
-    Dataset ds;
-    ds.dtype = static_cast<DType>(read_pod<std::uint32_t>(is));
-    dtype_size(ds.dtype);  // validates the enum value
-    const auto rank = read_pod<std::uint64_t>(is);
-    require(rank <= 8, "h5lite: implausible rank ", rank);
-    ds.dims.resize(rank);
-    for (auto& d : ds.dims) d = read_pod<std::uint64_t>(is);
-    const auto payload = read_pod<std::uint64_t>(is);
-    require(payload == ds.num_elements() * dtype_size(ds.dtype),
-            "h5lite: payload size inconsistent with dims for '", name, "'");
-    ds.bytes.resize(payload);
-    is.read(reinterpret_cast<char*>(ds.bytes.data()),
-            static_cast<std::streamsize>(payload));
-    require(static_cast<bool>(is), "h5lite: truncated payload in '", name,
-            "'");
-    const auto crc = read_pod<std::uint32_t>(is);
-    require(crc == crc32(ds.bytes), "h5lite: CRC mismatch in dataset '", name,
-            "' of '", path, "'");
-    f.datasets_[name] = std::move(ds);
-  }
-  return f;
+  const std::streamsize size = is.tellg();
+  is.seekg(0);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  is.read(reinterpret_cast<char*>(bytes.data()), size);
+  require(static_cast<bool>(is) || size == 0, "h5lite: read of '", path,
+          "' failed");
+  return parse(bytes, path);
 }
 
 // Explicit instantiations for the supported element types.

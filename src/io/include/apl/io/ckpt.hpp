@@ -1,0 +1,99 @@
+// Crash-safe checkpoint storage: two-slot rotation with atomic renames.
+//
+// A checkpoint that is destroyed by the crash it was meant to survive is
+// worse than none, so writes never touch the previous good checkpoint:
+//
+//   save(file):
+//     payload  = file.serialize()
+//     slot     = the slot NOT holding the newest valid checkpoint
+//     write header|payload to  <base>.<slot>.tmp,  flush,  rename to
+//     <base>.<slot>                                  (atomic on POSIX)
+//     write manifest (seq + slot) to <base>.mf.tmp,  flush,  rename
+//
+// A kill at ANY byte offset of that sequence leaves at least one restorable
+// checkpoint: before the slot rename the old generation is untouched; after
+// it, load() finds the new slot by probing even if the manifest was never
+// updated (load prefers the manifest as a hint but falls back to whichever
+// slot validates with the highest sequence number).
+//
+// Validation on load: slot magic + version, payload CRC32, full h5lite
+// parse — and, when OPAL_CHECK_FINITE is set (or check_finite is called),
+// a NaN/Inf scan over every floating-point dataset, so silent corruption
+// that happens to keep a valid CRC still fails loudly with the dataset
+// named.
+//
+// The store consults apl::fault::Injector for deterministic torn writes
+// (kill_at_ckpt_byte / truncate_checkpoint) and payload bitrot
+// (corrupt_dataset) — the byte offsets are global across the slot file and
+// the manifest, so a sweep over [0, last_write_bytes()) exercises every
+// intermediate on-disk state of a save.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "apl/io/h5lite.hpp"
+
+namespace apl::io {
+
+class CheckpointStore {
+ public:
+  /// `base` is a path prefix; the store owns `<base>.a`, `<base>.b`,
+  /// `<base>.mf` and their `.tmp` siblings. Existing valid slots are
+  /// adopted (that is what a restart does).
+  explicit CheckpointStore(std::string base);
+
+  /// Atomically persists `file` as the newest checkpoint generation.
+  /// Throws apl::fault::Kill if the injector kills the write mid-stream;
+  /// the previous generation stays restorable.
+  void save(const File& file);
+
+  /// Loads the newest checkpoint that validates, falling back to the
+  /// older slot when the newest is torn or corrupt. Throws apl::Error when
+  /// no slot validates.
+  File load() const;
+
+  /// True if load() would succeed.
+  bool any_valid() const;
+
+  /// Sequence number of the newest valid checkpoint (0 = none yet).
+  std::uint64_t latest_seq() const;
+
+  /// Bytes written by the last save (slot file + manifest), i.e. the width
+  /// of the kill-offset sweep that covers the whole write.
+  std::uint64_t last_write_bytes() const { return last_write_bytes_; }
+
+  std::string slot_path(int slot) const;
+  std::string manifest_path() const { return base_ + ".mf"; }
+  const std::string& base() const { return base_; }
+
+  /// Deletes every file the store owns (test cleanup).
+  void remove_files() const;
+
+ private:
+  struct Probe {
+    bool valid = false;
+    std::uint64_t seq = 0;
+    int slot = -1;  // set by read_manifest
+  };
+  Probe probe_slot(int slot, File* out) const;
+  Probe read_manifest() const;
+
+  std::string base_;
+  std::uint64_t last_write_bytes_ = 0;
+  // Newest valid generation, kept current across saves so the write path
+  // never has to re-read the slots it is rotating over.
+  std::uint64_t cur_seq_ = 0;
+  int cur_slot_ = -1;  // -1: no valid checkpoint yet
+};
+
+/// Scans every kF32/kF64 dataset of `file` for NaN/Inf and throws an
+/// apl::Error naming the first offending dataset. `origin` labels the
+/// error message.
+void check_finite(const File& file, const std::string& origin);
+
+/// True when the OPAL_CHECK_FINITE environment variable is set non-empty
+/// (and not "0"); CheckpointStore::load then runs check_finite.
+bool check_finite_enabled();
+
+}  // namespace apl::io

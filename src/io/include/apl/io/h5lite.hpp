@@ -13,8 +13,10 @@
 //                u64 dims[rank] | u64 payload_bytes | payload | u32 crc32
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -56,8 +58,16 @@ public:
 
   /// Serialization. save/load throw apl::Error on I/O failure or CRC
   /// mismatch (a torn checkpoint must fail loudly, not load garbage).
+  /// Every parse failure names the offending dataset, and a failed load
+  /// never returns a partially populated container.
   void save(const std::string& path) const;
   static File load(const std::string& path);
+
+  /// In-memory (de)serialization in the same layout as save/load. `origin`
+  /// is a label (usually a path) used in parse error messages.
+  std::vector<std::uint8_t> serialize() const;
+  static File parse(std::span<const std::uint8_t> bytes,
+                    const std::string& origin);
 
 private:
   template <class T>
@@ -68,5 +78,11 @@ private:
 
 /// CRC32 (IEEE 802.3 polynomial, table-driven).
 std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Byte offset of dataset `name`'s payload within File::serialize output,
+/// or nullopt if the dataset is absent. Used by the fault injector to place
+/// deterministic bitrot; not part of the normal read path.
+std::optional<std::size_t> dataset_payload_offset(
+    std::span<const std::uint8_t> bytes, const std::string& name);
 
 }  // namespace apl::io

@@ -17,23 +17,62 @@ int Traffic::max_rank_peers() const {
 }
 
 void Traffic::reset() {
-  messages_ = allreduces_ = total_bytes_ = 0;
+  messages_ = allreduces_ = recoveries_ = recovery_bytes_ = total_bytes_ = 0;
   per_rank_sent_.clear();
   peers_.clear();
+}
+
+void Comm::check_alive(int rank) const {
+  if (failed_.count(rank) != 0) {
+    throw fault::RankFailure(
+        rank, "mpisim: rank " + std::to_string(rank) + " has failed");
+  }
+}
+
+void Comm::fail_rank(int rank) {
+  apl::require(rank >= 0 && rank < size_, "mpisim: rank out of range");
+  failed_.insert(rank);
+}
+
+void Comm::revive_all() {
+  failed_.clear();
+  // A collective rollback abandons every in-flight message and any
+  // half-assembled reduction: the restarted iteration re-issues them.
+  for (auto& box : mailboxes_) box.clear();
+  reduce_accum_.clear();
+  reduce_contributions_ = 0;
+}
+
+void Comm::begin_exchange() {
+  if (const auto r = fault::Injector::global().on_exchange()) {
+    if (*r >= 0 && *r < size_) fail_rank(*r);
+  }
 }
 
 void Comm::send(int src, int dst, int tag,
                 std::span<const std::uint8_t> bytes) {
   apl::require(src >= 0 && src < size_ && dst >= 0 && dst < size_,
                "mpisim: rank out of range (src=", src, " dst=", dst, ")");
+  check_alive(src);
+  check_alive(dst);
   traffic_.record(src, dst, bytes.size());
   mailboxes_[dst].push_back(
       Message{src, tag, std::vector<std::uint8_t>(bytes.begin(), bytes.end())});
 }
 
 std::vector<std::uint8_t> Comm::recv(int dst, int src, int tag) {
-  apl::require(dst >= 0 && dst < size_, "mpisim: rank out of range");
+  apl::require(dst >= 0 && dst < size_ && src >= 0 && src < size_,
+               "mpisim: rank out of range (src=", src, " dst=", dst, ")");
+  check_alive(dst);
+  check_alive(src);
   auto& box = mailboxes_[dst];
+  // An entirely empty mailbox is a protocol bug (a receive was issued
+  // before any matching send phase ran) — name both ends so the broken
+  // exchange is identifiable, instead of the generic no-match error below.
+  apl::require(!box.empty(), "mpisim: rank ", dst,
+               " tried to receive from rank ", src, " (tag=", tag,
+               ") but its mailbox is empty — no sends were posted to rank ",
+               dst, " (protocol bug: receive phase ran before any send)");
   for (auto it = box.begin(); it != box.end(); ++it) {
     if (it->src == src && it->tag == tag) {
       std::vector<std::uint8_t> out = std::move(it->bytes);
@@ -55,6 +94,7 @@ bool Comm::has_message(int dst, int src, int tag) const {
 void Comm::allreduce_begin(int rank, std::span<const double> contribution,
                            ReduceOp op) {
   apl::require(rank >= 0 && rank < size_, "mpisim: rank out of range");
+  check_alive(rank);
   if (reduce_contributions_ == 0) {
     reduce_accum_.assign(contribution.begin(), contribution.end());
     reduce_op_ = op;

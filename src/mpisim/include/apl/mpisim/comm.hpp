@@ -12,10 +12,12 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <span>
 #include <vector>
 
 #include "apl/error.hpp"
+#include "apl/fault.hpp"
 
 namespace apl::mpisim {
 
@@ -32,9 +34,18 @@ public:
     ++allreduces_;
     total_bytes_ += bytes;
   }
+  /// Rollback recovery: bytes moved to re-establish rank state from the
+  /// last good checkpoint (scatter + halo refresh after a rank failure).
+  void record_recovery(std::uint64_t bytes) {
+    ++recoveries_;
+    recovery_bytes_ += bytes;
+    total_bytes_ += bytes;
+  }
 
   std::uint64_t messages() const { return messages_; }
   std::uint64_t allreduces() const { return allreduces_; }
+  std::uint64_t recoveries() const { return recoveries_; }
+  std::uint64_t recovery_bytes() const { return recovery_bytes_; }
   std::uint64_t total_bytes() const { return total_bytes_; }
   /// Heaviest sender's byte count — the rank that bounds exchange time.
   std::uint64_t max_rank_bytes() const;
@@ -45,6 +56,8 @@ public:
 private:
   std::uint64_t messages_ = 0;
   std::uint64_t allreduces_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t recovery_bytes_ = 0;
   std::uint64_t total_bytes_ = 0;
   std::map<int, std::uint64_t> per_rank_sent_;
   std::map<int, std::map<int, bool>> peers_;
@@ -71,6 +84,21 @@ public:
   /// True if a matching message is queued.
   bool has_message(int dst, int src, int tag) const;
 
+  // ---- rank failure (apl::fault) -------------------------------------------
+  /// Marks a rank dead: any subsequent send/recv/allreduce touching it
+  /// throws apl::fault::RankFailure until revive_all().
+  void fail_rank(int rank);
+  bool rank_failed(int rank) const { return failed_.count(rank) != 0; }
+  const std::set<int>& failed_ranks() const { return failed_; }
+  /// Recovery: revives every failed rank and clears in-flight messages and
+  /// any partial allreduce — the collective rollback re-establishes all
+  /// communication state from the checkpoint.
+  void revive_all();
+  /// Called by the halo-exchange layers at the start of each collective
+  /// exchange; consults the fault injector (fail_rank=r@exchange_m) and
+  /// marks the scheduled rank dead.
+  void begin_exchange();
+
   enum class ReduceOp { kSum, kMin, kMax };
 
   /// Allreduce of doubles: all ranks must contribute before any result is
@@ -90,7 +118,10 @@ private:
     std::vector<std::uint8_t> bytes;
   };
 
+  void check_alive(int rank) const;
+
   int size_;
+  std::set<int> failed_;
   std::vector<std::vector<Message>> mailboxes_;
   std::vector<double> reduce_accum_;
   ReduceOp reduce_op_ = ReduceOp::kSum;

@@ -4,6 +4,8 @@
 #include <cstring>
 
 #include "apl/graph/csr.hpp"
+#include "apl/io/ckpt.hpp"
+#include "op2/io.hpp"
 
 namespace op2 {
 
@@ -234,6 +236,7 @@ void Distributed::validate_args(const std::string& name,
 }
 
 void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
+  comm_.begin_exchange();
   const DatBase& gdat = global_->dat(dat_id);
   const SetDist& sd = set_dist_[gdat.set().id()];
   const std::size_t entry = gdat.entry_bytes();
@@ -286,6 +289,7 @@ void Distributed::zero_ghosts(index_t dat_id) {
 }
 
 void Distributed::flush_increments(index_t dat_id, apl::LoopStats* stats) {
+  comm_.begin_exchange();
   const DatBase& gdat = global_->dat(dat_id);
   const SetDist& sd = set_dist_[gdat.set().id()];
   const std::size_t entry = gdat.entry_bytes();
@@ -350,6 +354,37 @@ void Distributed::scatter(DatBase& global_dat) {
     }
   }
   halo_dirty_[global_dat.id()] = 0;
+}
+
+void Distributed::checkpoint(apl::io::CheckpointStore& store,
+                             std::int64_t step) {
+  apl::io::File file;
+  dump_dats(*this, file);  // fetch owner values, then dump the global dats
+  const std::vector<std::int64_t> stepv{step};
+  file.put<std::int64_t>("meta/step", stepv, {1});
+  store.save(file);
+}
+
+std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
+  const apl::io::File file = store.load();
+  comm_.revive_all();
+  load_dats(*global_, file);
+  // Re-establish every rank replica (owned values and ghost copies) from
+  // the restored global state; the bytes moved are the recovery cost.
+  std::uint64_t bytes = 0;
+  for (index_t d = 0; d < global_->num_dats(); ++d) {
+    DatBase& dat = global_->dat(d);
+    const SetDist& sd = set_dist_[dat.set().id()];
+    for (int r = 0; r < comm_.size(); ++r) {
+      bytes += static_cast<std::uint64_t>(sd.owned[r].size() +
+                                          sd.ghosts[r].size()) *
+               dat.entry_bytes();
+    }
+    scatter(dat);
+  }
+  comm_.traffic().record_recovery(bytes);
+  const auto step = file.get<std::int64_t>("meta/step");
+  return step.empty() ? 0 : step[0];
 }
 
 }  // namespace op2

@@ -27,6 +27,7 @@
 // the scaling projections of Figs. 4 and 6.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -36,6 +37,10 @@
 #include "apl/mpisim/comm.hpp"
 #include "op2/context.hpp"
 #include "op2/par_loop.hpp"
+
+namespace apl::io {
+class CheckpointStore;
+}
 
 namespace op2 {
 
@@ -78,6 +83,17 @@ public:
   /// Pushes the global context's current dat contents out to the ranks
   /// (owned values and ghosts), e.g. after host-side re-initialization.
   void scatter(DatBase& global_dat);
+
+  // ---- fault tolerance (apl::fault + apl::io::CheckpointStore) -------------
+  /// Collective checkpoint: gathers authoritative owner values of every dat
+  /// into the global context and writes one crash-safe snapshot tagged with
+  /// the caller's `step` counter.
+  void checkpoint(apl::io::CheckpointStore& store, std::int64_t step);
+  /// Collective rollback after a rank failure: revives all ranks, discards
+  /// in-flight messages, restores every dat from the last good checkpoint
+  /// and re-scatters it. The redistribution bytes are accounted as recovery
+  /// traffic. Returns the step recorded at checkpoint time.
+  std::int64_t recover(apl::io::CheckpointStore& store);
 
 private:
   struct SetDist {

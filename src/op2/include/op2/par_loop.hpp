@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "apl/error.hpp"
+#include "apl/fault.hpp"
 #include "apl/profile.hpp"
 #include "apl/simdev/device.hpp"
 #include "apl/thread_pool.hpp"
@@ -454,6 +455,9 @@ void run_cudasim(Context& ctx, const std::string& name, const Set& /*set*/,
 template <class Kernel, class... Args>
 void par_loop(Context& ctx, const std::string& name, const Set& set,
               Kernel&& kernel, Args... args) {
+  // Fault injection (kill_at_loop): the test harness for recovery paths.
+  apl::fault::Injector::global().on_loop();
+
   std::vector<ArgInfo> infos{args.info()...};
 
   // Checkpointing: the recorder sees every loop; during fast-forward replay

@@ -1,30 +1,30 @@
-#include "op2/checkpoint.hpp"
+#include "ops/checkpoint.hpp"
 
-#include "op2/context.hpp"
+#include "ops/context.hpp"
 
-namespace op2 {
+namespace ops {
 
 namespace {
 
-/// Packs a dat's logical content (AoS order) into bytes for the file.
-std::vector<std::uint8_t> pack_dat(const DatBase& dat) {
-  const std::size_t entry = dat.entry_bytes();
-  std::vector<std::uint8_t> out(static_cast<std::size_t>(dat.set().size()) *
-                                entry);
-  for (index_t e = 0; e < dat.set().size(); ++e) {
-    dat.pack_entry(e, out.data() + static_cast<std::size_t>(e) * entry);
-  }
+/// Packs a dat's full allocation (halos included) into bytes. raw() is a
+/// flush point, so with the lazy engine active the payload reflects every
+/// loop enqueued so far — but the checkpointer only packs while par_loop
+/// runs it eagerly (wants_eager), so the chain is already drained and this
+/// is a plain copy.
+std::vector<std::uint8_t> pack_dat(DatBase& dat) {
+  const std::size_t n = dat.alloc_points() *
+                        static_cast<std::size_t>(dat.dim()) * dat.elem_bytes();
+  std::vector<std::uint8_t> out(n);
+  std::memcpy(out.data(), dat.raw(), n);
   return out;
 }
 
 void unpack_dat(DatBase& dat, std::span<const std::uint8_t> bytes) {
-  const std::size_t entry = dat.entry_bytes();
-  apl::require(bytes.size() ==
-                   static_cast<std::size_t>(dat.set().size()) * entry,
-               "checkpoint restore: dat '", dat.name(), "' size mismatch");
-  for (index_t e = 0; e < dat.set().size(); ++e) {
-    dat.unpack_entry(e, bytes.data() + static_cast<std::size_t>(e) * entry);
-  }
+  const std::size_t n = dat.alloc_points() *
+                        static_cast<std::size_t>(dat.dim()) * dat.elem_bytes();
+  apl::require(bytes.size() == n, "checkpoint restore: dat '", dat.name(),
+               "' size mismatch (", bytes.size(), " vs ", n, " bytes)");
+  std::memcpy(dat.raw(), bytes.data(), n);
 }
 
 }  // namespace
@@ -34,6 +34,7 @@ std::vector<apl::ckpt::ArgAccess> Checkpointer::project(
   std::vector<apl::ckpt::ArgAccess> out;
   out.reserve(args.size());
   for (const ArgInfo& a : args) {
+    if (a.is_idx) continue;  // index pseudo-argument: no data access
     apl::ckpt::ArgAccess p;
     p.acc = a.acc;
     p.dim = a.dim;
@@ -41,9 +42,7 @@ std::vector<apl::ckpt::ArgAccess> Checkpointer::project(
       p.is_gbl = true;
     } else {
       p.dat_id = a.dat_id;
-      // Fold (map, component) into aux so two loops differing only in the
-      // indirection compare unequal, exactly like comparing ArgInfo.
-      p.aux = a.map_id < 0 ? -1 : a.map_id * 256 + a.idx;
+      p.aux = a.stencil_id;
     }
     out.push_back(p);
   }
@@ -71,7 +70,6 @@ Checkpointer Checkpointer::restore(Context& ctx, std::string path,
   const auto entry = file.get<std::int64_t>("meta/entry_loop");
   apl::require(entry.size() == 1, "checkpoint: malformed entry_loop");
   ck.replay_entry_seq_ = static_cast<index_t>(entry[0]);
-  // Global-output log: flat bytes + offsets + newline-joined loop names.
   const auto offsets = file.get<std::int64_t>("meta/gbl_offsets");
   const auto flat = file.get<std::uint8_t>("meta/gbl_log");
   apl::require(!offsets.empty(), "checkpoint: malformed gbl_offsets");
@@ -95,6 +93,10 @@ Checkpointer Checkpointer::restore(Context& ctx, std::string path,
 void Checkpointer::request_checkpoint() {
   apl::require(!replaying_,
                "request_checkpoint: still fast-forwarding a restarted run");
+  // A checkpoint request is a flush point: the queued chain executes
+  // before the state machine arms, so entry-point selection and packed
+  // payloads refer to a well-defined program position.
+  ctx_->flush();
   analysis_.request(to_ckpt_options(opts_));
 }
 
@@ -110,7 +112,6 @@ void Checkpointer::finalize_checkpoint() {
   file.put<std::int64_t>(
       "meta/entry_loop",
       std::vector<std::int64_t>{static_cast<std::int64_t>(entry_seq)}, {1});
-  // Flatten the global-output log of loops [0, entry_seq).
   const auto& chain = analysis_.chain();
   std::vector<std::uint8_t> flat;
   std::vector<std::int64_t> offsets{0};
@@ -121,7 +122,7 @@ void Checkpointer::finalize_checkpoint() {
     names += chain[i].name;
     names += '\n';
   }
-  if (flat.empty()) flat.push_back(0);  // h5lite rejects rank-0 payloads only
+  if (flat.empty()) flat.push_back(0);
   file.put<std::uint8_t>("meta/gbl_log", flat,
                          {static_cast<std::uint64_t>(flat.size())});
   file.put<std::int64_t>("meta/gbl_offsets", offsets,
@@ -139,9 +140,6 @@ void Checkpointer::finalize_checkpoint() {
 Checkpointer::LoopAction Checkpointer::on_loop(
     const std::string& name, const std::vector<ArgInfo>& args) {
   if (replaying_) {
-    // Replayed loops are logically part of the restarted run's history, so
-    // they are recorded too — a later checkpoint after a restart sees a
-    // consistent chain — but the save state machine stays out of it.
     analysis_.record(name, project(args));
     const index_t seq = analysis_.position();
     if (seq < replay_entry_seq_) {
@@ -166,9 +164,8 @@ Checkpointer::LoopAction Checkpointer::on_loop(
   const apl::ckpt::ChainAnalysis::Step step =
       analysis_.step(name, project(args), to_ckpt_options(opts_));
   for (index_t d : step.save_now) {
-    // Pack *now*, before this loop executes: the dataset was untouched
-    // since the checkpoint entry, so its current bytes are the entry
-    // value the restart needs; the upcoming loop may modify it.
+    // Pack *now*, before this loop executes — par_loop has already drained
+    // the lazy queue (wants_eager), so these are true loop-entry values.
     saved_dats_.push_back(d);
     saved_payloads_.push_back(pack_dat(ctx_->dat(d)));
   }
@@ -190,4 +187,4 @@ void Checkpointer::finish_replayed_loop() {
   analysis_.advance();
 }
 
-}  // namespace op2
+}  // namespace ops

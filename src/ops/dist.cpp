@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+
+#include "apl/io/ckpt.hpp"
 
 namespace ops {
 
@@ -146,6 +149,7 @@ std::size_t Distributed::halo_points(const DatBase& dat) const {
 }
 
 void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
+  comm_.begin_exchange();
   const DatBase& gdat = global_->dat(dat_id);
   const Decomp& dec = decomp_[gdat.block().id()];
   const std::size_t entry = gdat.dim() * gdat.elem_bytes();
@@ -268,6 +272,53 @@ void Distributed::scatter(DatBase& global_dat) {
     }
   }
   halo_dirty_[global_dat.id()] = 0;
+}
+
+void Distributed::checkpoint(apl::io::CheckpointStore& store,
+                             std::int64_t step) {
+  apl::io::File file;
+  for (index_t d = 0; d < global_->num_dats(); ++d) {
+    DatBase& dat = global_->dat(d);
+    fetch(dat);
+    const std::size_t bytes =
+        dat.alloc_points() * static_cast<std::size_t>(dat.dim()) *
+        dat.elem_bytes();
+    std::vector<std::uint8_t> payload(bytes);
+    std::memcpy(payload.data(), dat.raw(), bytes);
+    file.put<std::uint8_t>("dat/" + dat.name(), payload,
+                           {static_cast<std::uint64_t>(bytes)});
+  }
+  const std::vector<std::int64_t> stepv{step};
+  file.put<std::int64_t>("meta/step", stepv, {1});
+  store.save(file);
+}
+
+std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
+  const apl::io::File file = store.load();
+  comm_.revive_all();
+  std::uint64_t moved = 0;
+  for (index_t d = 0; d < global_->num_dats(); ++d) {
+    DatBase& dat = global_->dat(d);
+    const std::string key = "dat/" + dat.name();
+    if (!file.contains(key)) continue;
+    const auto payload = file.get<std::uint8_t>(key);
+    const std::size_t bytes =
+        dat.alloc_points() * static_cast<std::size_t>(dat.dim()) *
+        dat.elem_bytes();
+    apl::require(payload.size() == bytes,
+                 "ops::Distributed::recover: size mismatch for '", dat.name(),
+                 "'");
+    std::memcpy(dat.raw(), payload.data(), bytes);
+    scatter(dat);
+    for (int r = 0; r < comm_.size(); ++r) {
+      const DatBase& rdat = rank_ctx_[r]->dat(d);
+      moved += static_cast<std::uint64_t>(rdat.alloc_points()) *
+               rdat.dim() * rdat.elem_bytes();
+    }
+  }
+  comm_.traffic().record_recovery(moved);
+  const auto step = file.get<std::int64_t>("meta/step");
+  return step.empty() ? 0 : step[0];
 }
 
 }  // namespace ops

@@ -1,31 +1,23 @@
-// Loop-chain-analysis checkpointing (paper Sec. VI, Fig. 8).
+// Checkpointing for structured-mesh loop chains (paper Sec. VI, Fig. 8,
+// extended to OPS as in the loop-tiling follow-up paper: the same run-time
+// chain analysis that drives tiling drives checkpoint placement).
 //
-// Because every dataset is owned by the library and every loop declares how
-// it accesses each dataset, the library can reason about the state of all
-// data at any point of execution. When a checkpoint is requested:
+// Semantics match op2::Checkpointer exactly — both delegate the
+// classification to apl::ckpt::ChainAnalysis:
+//   * request_checkpoint() is a *flush point* for the lazy loop-chain
+//     engine: the queued chain executes first, so the analysis sees data
+//     values at a well-defined program position;
+//   * while a checkpoint is pending/saving, par_loop flushes before each
+//     loop (wants_eager()), so payloads packed at classification time
+//     capture true loop-entry values;
+//   * the recorded chain feeds entry-point selection (speculative
+//     deferral to the cheapest phase of the detected period);
+//   * on restart the run fast-forwards: loop bodies are skipped (never
+//     enqueued), logged global-reduction outputs are replayed, and the
+//     saved datasets are restored at the entry loop.
 //
-//   * entering "checkpointing mode" at loop i, each dataset is classified
-//     lazily as the subsequent loops are reached: first access is a read
-//     (R/RW/Inc) -> the dataset must be SAVED (its value still equals the
-//     value at loop i, so it is written to the checkpoint right then);
-//     first access is a whole write (W) -> DROPPED; never modified since
-//     application start -> not saved (restart re-creates initial data);
-//   * the "units of data saved if entering here" column of Fig. 8 is
-//     exactly the sum of saved dataset dimensions, computable for any
-//     candidate entry point from the recorded chain;
-//   * in speculative mode the checkpointer recognises the periodic kernel
-//     sequence and defers entry to the cheapest phase of the period (for
-//     Airfoil: right before save_soln or update, 8 units instead of 13);
-//   * on restart the application runs identically, but par_loop skips all
-//     computation and only restores recorded global-reduction outputs
-//     ("fast-forwarding"); when the entry loop is reached, the saved
-//     datasets are restored and normal execution resumes.
-//
-// The classification itself lives in apl::ckpt::ChainAnalysis (shared with
-// ops::Checkpointer); this class owns the OP2-specific parts: packing dat
-// payloads, the checkpoint file contents, and fast-forward replay. Files
-// are written through apl::io::CheckpointStore, so `path` is a base name
-// for the crash-safe slot pair `<path>.a` / `<path>.b` plus `<path>.mf`.
+// Files go through apl::io::CheckpointStore: `path` is a base name for
+// the crash-safe slot pair `<path>.a` / `<path>.b` plus `<path>.mf`.
 #pragma once
 
 #include <cstdint>
@@ -38,9 +30,9 @@
 #include "apl/ckpt.hpp"
 #include "apl/error.hpp"
 #include "apl/io/ckpt.hpp"
-#include "op2/arg.hpp"
+#include "ops/arg.hpp"
 
-namespace op2 {
+namespace ops {
 
 class Context;
 
@@ -64,21 +56,25 @@ public:
       : Checkpointer(ctx, std::move(path), Options{}) {}
 
   /// Restart: fast-forward (replaying logged global outputs) to the saved
-  /// entry loop, then restore datasets and resume normal execution. Loads
-  /// the newest checkpoint generation that validates.
+  /// entry loop, then restore datasets and resume normal execution.
   static Checkpointer restore(Context& ctx, std::string path, Options opts);
   static Checkpointer restore(Context& ctx, std::string path) {
     return restore(ctx, std::move(path), Options{});
   }
 
   // ---- user API
-  /// Requests a checkpoint; with speculative mode it may be deferred by up
-  /// to one period of the loop chain.
+  /// Requests a checkpoint (a flush point for the lazy engine); with
+  /// speculative mode entry may be deferred by up to one period.
   void request_checkpoint();
   bool checkpoint_complete() const { return checkpoint_complete_; }
   /// Loop-sequence position (number of par_loop calls seen so far).
   index_t position() const { return analysis_.position(); }
   bool replaying() const { return replaying_; }
+  /// True while the checkpointer needs loop-entry data values: par_loop
+  /// flushes the queued chain before presenting each loop then.
+  bool wants_eager() const {
+    return analysis_.mode() != apl::ckpt::ChainAnalysis::Mode::kMonitor;
+  }
 
   /// The crash-safe store backing this checkpointer.
   const apl::io::CheckpointStore& store() const { return store_; }
@@ -90,23 +86,13 @@ public:
   std::span<const std::uint8_t> replay_gbl_payload() const;
   void finish_replayed_loop();
 
-  // ---- introspection (Fig. 8 bench and tests)
+  // ---- introspection (Fig. 8-style analysis for structured chains)
   using ChainEntry = apl::ckpt::ChainEntry;
   const std::vector<ChainEntry>& chain() const { return analysis_.chain(); }
-
-  /// The Fig. 8 "units of data saved if entering checkpointing mode here"
-  /// value for chain position `pos`, computed from the recorded chain.
-  /// Returns nullopt when the recorded lookahead is insufficient to decide
-  /// every dataset ("unknown yet" in Fig. 8).
   std::optional<index_t> units_if_entering_at(index_t pos) const {
     return analysis_.units_if_entering_at(pos);
   }
-
-  /// Smallest period p with chain[i] == chain[i+p] for all recorded i
-  /// (0 if the chain is not periodic over the recorded window).
   index_t detect_period() const { return analysis_.detect_period(); }
-
-  /// Datasets a checkpoint entered at `pos` would save, in save order.
   std::vector<index_t> datasets_saved_at(index_t pos) const {
     return analysis_.datasets_saved_at(pos);
   }
@@ -118,8 +104,9 @@ private:
   static apl::ckpt::Options to_ckpt_options(const Options& o) {
     return apl::ckpt::Options{o.speculative, o.horizon};
   }
-  /// Projects the OP2 descriptors onto the library-agnostic form; map id
-  /// and component are folded into `aux` so chain equality stays exact.
+  /// Projects the OPS descriptors onto the library-agnostic form. ArgIdx
+  /// pseudo-arguments carry no data access and are skipped; the stencil id
+  /// goes into `aux` so chain equality stays exact.
   static std::vector<apl::ckpt::ArgAccess> project(
       const std::vector<ArgInfo>& args);
 
@@ -159,6 +146,7 @@ void replay_gbl(Checkpointer& ck, ArgGbl<T>& g, std::size_t& offset) {
 }
 template <class T>
 void replay_gbl(Checkpointer&, ArgDat<T>&, std::size_t&) {}
+inline void replay_gbl(Checkpointer&, ArgIdx&, std::size_t&) {}
 
 /// Appends one global argument's output to the per-loop log.
 template <class T>
@@ -171,7 +159,8 @@ void log_gbl(const ArgGbl<T>& g, std::vector<std::uint8_t>& out) {
 }
 template <class T>
 void log_gbl(const ArgDat<T>&, std::vector<std::uint8_t>&) {}
+inline void log_gbl(const ArgIdx&, std::vector<std::uint8_t>&) {}
 
 }  // namespace detail
 
-}  // namespace op2
+}  // namespace ops

@@ -21,6 +21,8 @@
 
 namespace ops {
 
+class Checkpointer;
+
 class Context : public apl::exec::ExecContext {
 public:
   Context() = default;
@@ -84,6 +86,10 @@ public:
     update_pending();
   }
 
+  // ---- checkpointing (ops/checkpoint.hpp)
+  void attach_checkpointer(Checkpointer* ck) { checkpointer_ = ck; }
+  Checkpointer* checkpointer() const { return checkpointer_; }
+
 private:
   void do_flush() override;
   void update_pending() {
@@ -100,6 +106,7 @@ private:
   bool pending_flush_ = false;  ///< dats' touch() watches this flag
   bool tiling_ = true;
   index_t tile_rows_ = 0;
+  Checkpointer* checkpointer_ = nullptr;
 };
 
 /// Out-of-line (needs the complete Context).

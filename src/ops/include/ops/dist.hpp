@@ -16,6 +16,7 @@
 // simulated communicator.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <tuple>
@@ -24,6 +25,10 @@
 #include "apl/mpisim/comm.hpp"
 #include "ops/context.hpp"
 #include "ops/par_loop.hpp"
+
+namespace apl::io {
+class CheckpointStore;
+}
 
 namespace ops {
 
@@ -51,6 +56,15 @@ public:
   void fetch(DatBase& global_dat);
   /// Pushes global dat contents out to all ranks (owned + halo copies).
   void scatter(DatBase& global_dat);
+
+  // ---- fault tolerance (apl::fault + apl::io::CheckpointStore) -------------
+  /// Collective checkpoint: gathers every dataset into the global context
+  /// and writes one crash-safe snapshot tagged with `step`.
+  void checkpoint(apl::io::CheckpointStore& store, std::int64_t step);
+  /// Collective rollback after a rank failure: revives all ranks, restores
+  /// every dataset from the last good checkpoint and re-scatters. The bytes
+  /// moved are accounted as recovery traffic. Returns the recorded step.
+  std::int64_t recover(apl::io::CheckpointStore& store);
 
 private:
   struct Decomp {

@@ -16,10 +16,12 @@
 #include <utility>
 #include <vector>
 
+#include "apl/fault.hpp"
 #include "apl/profile.hpp"
 #include "apl/thread_pool.hpp"
 #include "ops/acc.hpp"
 #include "ops/arg.hpp"
+#include "ops/checkpoint.hpp"
 #include "ops/context.hpp"
 #include "ops/lazy.hpp"
 
@@ -324,8 +326,27 @@ inline ArgIdx& thaw(ArgIdx& a) { return a; }
 template <class Kernel, class... Args>
 void par_loop(Context& ctx, const std::string& name, const Block& block,
               const Range& range, Kernel&& kernel, Args... args) {
+  // Fault injection (kill_at_loop): the test harness for recovery paths.
+  apl::fault::Injector::global().on_loop();
+
   std::vector<ArgInfo> infos{args.info()...};
   detail::validate_range(ctx, name, block, range, infos);
+
+  // Checkpointing: the recorder sees every loop in program order (at
+  // enqueue time under the lazy engine). While a checkpoint is being
+  // placed the queued chain drains before each loop, so payloads packed at
+  // classification time are loop-entry values; during fast-forward replay
+  // the loop is skipped (never enqueued) and its recorded global outputs
+  // are restored from the log.
+  if (Checkpointer* ck = ctx.checkpointer()) {
+    if (ck->wants_eager()) ctx.flush();
+    if (ck->on_loop(name, infos) == Checkpointer::LoopAction::kSkipReplay) {
+      std::size_t gbl_index = 0;
+      (detail::replay_gbl(*ck, args, gbl_index), ...);
+      ck->finish_replayed_loop();
+      return;
+    }
+  }
 
   if (ctx.lazy() && !ctx.chain_executing()) {
     LoopRecord rec;
@@ -365,6 +386,13 @@ void par_loop(Context& ctx, const std::string& name, const Block& block,
         });
     ctx.enqueue(std::move(rec));
     if (reduction) ctx.flush();
+    // Reductions flushed above, so logged global outputs are final; pure
+    // kRead globals contribute nothing to the log.
+    if (Checkpointer* ck = ctx.checkpointer()) {
+      std::vector<std::uint8_t> gbl_log;
+      (detail::log_gbl(args, gbl_log), ...);
+      ck->after_loop(gbl_log);
+    }
     return;
   }
 
@@ -385,6 +413,12 @@ void par_loop(Context& ctx, const std::string& name, const Block& block,
     }
   }
   detail::account(ctx, name, range, infos, stats);
+
+  if (Checkpointer* ck = ctx.checkpointer()) {
+    std::vector<std::uint8_t> gbl_log;
+    (detail::log_gbl(args, gbl_log), ...);
+    ck->after_loop(gbl_log);
+  }
 }
 
 }  // namespace ops

@@ -1,0 +1,214 @@
+#include "apl/ckpt.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "apl/error.hpp"
+
+namespace apl::ckpt {
+
+void ChainAnalysis::record(const std::string& name,
+                           std::vector<ArgAccess> args) {
+  for (const ArgAccess& a : args) {
+    if (!a.is_gbl && a.dat_id >= 0 && writes(a.acc)) {
+      if (static_cast<std::size_t>(a.dat_id) >= dat_modified_.size()) {
+        dat_modified_.resize(static_cast<std::size_t>(a.dat_id) + 1, 0);
+      }
+      dat_modified_[a.dat_id] = 1;
+    }
+  }
+  chain_.push_back(ChainEntry{name, std::move(args)});
+}
+
+ChainAnalysis::Step ChainAnalysis::step(const std::string& name,
+                                        std::vector<ArgAccess> args,
+                                        const Options& opts) {
+  record(name, std::move(args));
+  Step out;
+  if (mode_ == Mode::kPending) {
+    const bool due = target_phase_ < 0 ||
+                     (period_ > 0 && seq_ % period_ == target_phase_);
+    if (due) enter_saving(static_cast<index_t>(dat_modified_.size()));
+  }
+  if (mode_ == Mode::kSaving) {
+    saving_step(chain_.back().args, opts, out);
+  }
+  return out;
+}
+
+void ChainAnalysis::request(const Options& opts) {
+  require(mode_ == Mode::kMonitor,
+          "request_checkpoint: a checkpoint is already in progress");
+  if (opts.speculative) {
+    period_ = detect_period();
+    if (period_ > 0) {
+      // Evaluate every phase of the period at a historical position with
+      // maximal lookahead and target the cheapest one.
+      index_t best_units = std::numeric_limits<index_t>::max();
+      target_phase_ = seq_ % period_;  // fall back to "enter now"
+      for (index_t phase = 0; phase < period_; ++phase) {
+        // Latest position with this phase that still has a full period of
+        // lookahead, evaluated against the *current* modification state —
+        // that is what a deferred entry at this phase will actually see.
+        const index_t last = static_cast<index_t>(chain_.size()) - period_;
+        if (last < phase) continue;
+        const index_t pos = phase + (last - phase) / period_ * period_;
+        const auto units = units_at(pos, /*assume_current_modified=*/true);
+        if (units && *units < best_units) {
+          best_units = *units;
+          target_phase_ = phase;
+        }
+      }
+      mode_ = Mode::kPending;
+      return;
+    }
+  }
+  mode_ = Mode::kPending;
+  target_phase_ = -1;  // no periodicity: enter at the very next loop
+}
+
+void ChainAnalysis::enter_saving(index_t num_dats) {
+  mode_ = Mode::kSaving;
+  entry_seq_ = seq_;
+  dat_state_.assign(static_cast<std::size_t>(num_dats), DatState::kUnknown);
+  saving_steps_ = 0;
+  // Datasets never modified since application start keep their initial
+  // values; restart regenerates them, so they are dropped up front
+  // (Fig. 8: "bounds and x were never modified, they are not saved").
+  for (index_t d = 0; d < num_dats; ++d) {
+    if (!dat_modified_[d]) dat_state_[d] = DatState::kDropped;
+  }
+}
+
+void ChainAnalysis::saving_step(const std::vector<ArgAccess>& args,
+                                const Options& opts, Step& out) {
+  // Classify this loop's datasets; the owner packs the ones first-touched
+  // by a read *now*, before the loop runs — their current value is the
+  // loop-entry value the restart needs.
+  for (const ArgAccess& a : args) {
+    if (a.is_gbl || a.dat_id < 0) continue;
+    DatState& st = dat_state_[a.dat_id];
+    if (st != DatState::kUnknown) continue;
+    if (reads(a.acc)) {
+      st = DatState::kSaved;
+      out.save_now.push_back(a.dat_id);
+    } else {  // whole write before any read: the value is dead
+      st = DatState::kDropped;
+    }
+  }
+  ++saving_steps_;
+  const bool all_decided =
+      std::none_of(dat_state_.begin(), dat_state_.end(),
+                   [](DatState s) { return s == DatState::kUnknown; });
+  if (all_decided || saving_steps_ >= opts.horizon) {
+    // Conservatively save modified-but-untouched datasets. Untouched since
+    // entry, so packing now still captures their entry value.
+    for (std::size_t d = 0; d < dat_state_.size(); ++d) {
+      if (dat_state_[d] == DatState::kUnknown) {
+        dat_state_[d] = DatState::kSaved;
+        out.save_now.push_back(static_cast<index_t>(d));
+      }
+    }
+    out.completed = true;
+    mode_ = Mode::kMonitor;
+  }
+}
+
+std::optional<index_t> ChainAnalysis::units_if_entering_at(index_t pos) const {
+  return units_at(pos, /*assume_current_modified=*/false);
+}
+
+std::optional<index_t> ChainAnalysis::units_at(
+    index_t pos, bool assume_current_modified) const {
+  require(pos >= 0 && pos < static_cast<index_t>(chain_.size()),
+          "units_if_entering_at: position out of recorded range");
+  // Replay the classification against the recorded chain. "Modified before
+  // pos" is recomputed from the chain prefix, or taken from the live run.
+  std::vector<char> modified(dat_modified_.size(), 0);
+  if (assume_current_modified) {
+    modified.assign(dat_modified_.begin(), dat_modified_.end());
+  } else {
+    for (index_t i = 0; i < pos; ++i) {
+      for (const ArgAccess& a : chain_[i].args) {
+        if (!a.is_gbl && a.dat_id >= 0 && writes(a.acc)) modified[a.dat_id] = 1;
+      }
+    }
+  }
+  std::vector<DatState> state(dat_modified_.size(), DatState::kUnknown);
+  std::vector<char> relevant(dat_modified_.size(), 0);
+  for (const auto& entry : chain_) {
+    for (const ArgAccess& a : entry.args) {
+      if (!a.is_gbl && a.dat_id >= 0) relevant[a.dat_id] = 1;
+    }
+  }
+  for (std::size_t d = 0; d < state.size(); ++d) {
+    if (!modified[d]) state[d] = DatState::kDropped;
+  }
+  index_t units = 0;
+  for (index_t i = pos; i < static_cast<index_t>(chain_.size()); ++i) {
+    for (const ArgAccess& a : chain_[i].args) {
+      if (a.is_gbl || a.dat_id < 0) continue;
+      DatState& st = state[a.dat_id];
+      if (st != DatState::kUnknown) continue;
+      if (reads(a.acc)) {
+        st = DatState::kSaved;
+        units += a.dim;
+      } else {
+        st = DatState::kDropped;
+      }
+    }
+    bool all_decided = true;
+    for (std::size_t d = 0; d < state.size(); ++d) {
+      if (relevant[d] && state[d] == DatState::kUnknown) all_decided = false;
+    }
+    if (all_decided) return units;
+  }
+  return std::nullopt;  // "unknown yet": lookahead exhausted
+}
+
+index_t ChainAnalysis::detect_period() const {
+  const index_t n = static_cast<index_t>(chain_.size());
+  for (index_t p = 1; p <= n / 2; ++p) {
+    bool periodic = true;
+    for (index_t i = 0; i + p < n; ++i) {
+      if (!(chain_[i] == chain_[i + p])) {
+        periodic = false;
+        break;
+      }
+    }
+    if (periodic) return p;
+  }
+  return 0;
+}
+
+std::vector<index_t> ChainAnalysis::datasets_saved_at(index_t pos) const {
+  require(pos >= 0 && pos < static_cast<index_t>(chain_.size()),
+          "datasets_saved_at: position out of recorded range");
+  std::vector<char> modified(dat_modified_.size(), 0);
+  for (index_t i = 0; i < pos; ++i) {
+    for (const ArgAccess& a : chain_[i].args) {
+      if (!a.is_gbl && a.dat_id >= 0 && writes(a.acc)) modified[a.dat_id] = 1;
+    }
+  }
+  std::vector<DatState> state(dat_modified_.size(), DatState::kUnknown);
+  for (std::size_t d = 0; d < state.size(); ++d) {
+    if (!modified[d]) state[d] = DatState::kDropped;
+  }
+  std::vector<index_t> saved;
+  for (index_t i = pos; i < static_cast<index_t>(chain_.size()); ++i) {
+    for (const ArgAccess& a : chain_[i].args) {
+      if (a.is_gbl || a.dat_id < 0) continue;
+      DatState& st = state[a.dat_id];
+      if (st != DatState::kUnknown) continue;
+      if (reads(a.acc)) {
+        st = DatState::kSaved;
+        saved.push_back(a.dat_id);
+      } else {
+        st = DatState::kDropped;
+      }
+    }
+  }
+  return saved;
+}
+
+}  // namespace apl::ckpt

@@ -1,0 +1,116 @@
+#include "apl/fault.hpp"
+
+#include <cstdlib>
+
+namespace apl::fault {
+
+namespace {
+
+std::int64_t parse_int(std::string_view key, std::string_view v) {
+  require(!v.empty(), "fault: empty value for '", std::string(key), "'");
+  std::int64_t out = 0;
+  for (char c : v) {
+    require(c >= '0' && c <= '9', "fault: value of '", std::string(key),
+            "' is not a non-negative integer: '", std::string(v), "'");
+    out = out * 10 + (c - '0');
+  }
+  return out;
+}
+
+}  // namespace
+
+Config parse_config(std::string_view spec) {
+  Config cfg;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    require(eq != std::string_view::npos, "fault: malformed item '",
+            std::string(item), "' (expected key=value)");
+    const std::string_view key = item.substr(0, eq);
+    const std::string_view val = item.substr(eq + 1);
+    if (key == "kill_at_loop") {
+      cfg.kill_at_loop = parse_int(key, val);
+    } else if (key == "kill_at_ckpt_byte") {
+      cfg.kill_at_ckpt_byte = parse_int(key, val);
+    } else if (key == "truncate_checkpoint") {
+      cfg.truncate_checkpoint = parse_int(key, val);
+    } else if (key == "corrupt_dataset") {
+      const std::size_t at = val.rfind('@');
+      require(at != std::string_view::npos && at > 0,
+              "fault: corrupt_dataset expects name@byte, got '",
+              std::string(val), "'");
+      cfg.corrupt_dataset = std::string(val.substr(0, at));
+      cfg.corrupt_byte = parse_int(key, val.substr(at + 1));
+    } else if (key == "fail_rank") {
+      const std::size_t at = val.find('@');
+      require(at != std::string_view::npos,
+              "fault: fail_rank expects rank@exchange, got '", std::string(val),
+              "'");
+      cfg.fail_rank = static_cast<int>(parse_int(key, val.substr(0, at)));
+      cfg.fail_at_exchange = parse_int(key, val.substr(at + 1));
+    } else if (key == "seed") {
+      cfg.seed = static_cast<std::uint64_t>(parse_int(key, val));
+    } else {
+      fail("fault: unknown trigger '", std::string(key), "' in spec '",
+           std::string(spec), "'");
+    }
+  }
+  return cfg;
+}
+
+Injector& Injector::global() {
+  static Injector inj = [] {
+    Injector i;
+    if (const char* env = std::getenv("OPAL_FAULTS"); env && *env) {
+      i.arm(parse_config(env));
+    }
+    return i;
+  }();
+  return inj;
+}
+
+void Injector::arm(Config c) {
+  cfg_ = std::move(c);
+  armed_ = true;
+  loops_ = 0;
+  exchanges_ = 0;
+}
+
+void Injector::disarm() {
+  cfg_ = Config{};
+  armed_ = false;
+  loops_ = 0;
+  exchanges_ = 0;
+}
+
+std::optional<int> Injector::on_exchange() {
+  const std::int64_t ordinal = exchanges_++;
+  if (armed_ && cfg_.fail_rank >= 0 && cfg_.fail_at_exchange == ordinal) {
+    const int r = cfg_.fail_rank;
+    cfg_.fail_rank = -1;
+    cfg_.fail_at_exchange = -1;
+    return r;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::pair<std::string, std::int64_t>> Injector::corrupt_target()
+    const {
+  if (!armed_ || cfg_.corrupt_dataset.empty() || cfg_.corrupt_byte < 0) {
+    return std::nullopt;
+  }
+  return std::make_pair(cfg_.corrupt_dataset, cfg_.corrupt_byte);
+}
+
+void Injector::kill_loop(std::int64_t ordinal) {
+  cfg_.kill_at_loop = -1;  // one-shot: a restarted run must get past it
+  throw Kill("fault injection: killed before par_loop ordinal " +
+             std::to_string(ordinal));
+}
+
+}  // namespace apl::fault

@@ -1,0 +1,144 @@
+// Shared loop-chain checkpoint analysis (paper Sec. VI, Fig. 8).
+//
+// The chain-classification algorithm is library-agnostic: it only needs,
+// per executed loop, the list of (dataset id, access mode) pairs. Both
+// op2::Checkpointer (unstructured) and ops::Checkpointer (structured)
+// delegate to this component; they keep ownership of everything that is
+// library-specific — packing dataset payloads, writing the checkpoint
+// file, and the fast-forward replay machinery.
+//
+// Classification, when a checkpoint is requested ("entering checkpointing
+// mode" at loop i):
+//   * first access is a read (R/RW/Inc)  -> SAVE the dataset now, before
+//     that loop runs (its bytes still equal the entry value);
+//   * first access is a whole write (W)  -> DROP (the value is dead);
+//   * never modified since app start     -> DROP (restart re-creates it);
+//   * undecided after `horizon` loops    -> conservatively SAVE.
+// In speculative mode the request is deferred to the cheapest phase of the
+// detected periodic kernel sequence (Fig. 8's "units of data saved if
+// entering here" column, minimised over the period).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apl/exec.hpp"
+
+namespace apl::ckpt {
+
+using index_t = std::int32_t;
+using exec::Access;
+using exec::reads;
+using exec::writes;
+
+/// Library-agnostic projection of one loop argument. `aux` carries the
+/// front end's extra identity (op2: map id and component; ops: stencil id)
+/// so chain equality — and with it period detection — stays exactly as
+/// strict as comparing the native descriptors.
+struct ArgAccess {
+  index_t dat_id = -1;  ///< -1 for globals
+  Access acc = Access::kRead;
+  index_t dim = 0;
+  bool is_gbl = false;
+  index_t aux = -1;
+
+  bool operator==(const ArgAccess&) const = default;
+};
+
+struct ChainEntry {
+  std::string name;
+  std::vector<ArgAccess> args;
+
+  bool operator==(const ChainEntry&) const = default;
+};
+
+struct Options {
+  /// Defer entry to the cheapest phase of a detected periodic loop
+  /// sequence instead of entering at the trigger point.
+  bool speculative = true;
+  /// Max loops to wait for all datasets to be classified before
+  /// conservatively saving the undecided ones.
+  index_t horizon = 64;
+};
+
+class ChainAnalysis {
+ public:
+  enum class Mode { kMonitor, kPending, kSaving };
+
+  /// What the owner must do for the loop just presented to step().
+  struct Step {
+    /// Dataset ids to pack *now*, before the loop executes (in save order).
+    std::vector<index_t> save_now;
+    /// True when this step completed the classification: the owner
+    /// finalizes the checkpoint (entry point is entry_seq()).
+    bool completed = false;
+  };
+
+  explicit ChainAnalysis(index_t num_dats) {
+    dat_modified_.assign(static_cast<std::size_t>(num_dats), 0);
+  }
+
+  /// Records the loop in the chain and updates modification facts without
+  /// running the save state machine — used while a restarted run is
+  /// fast-forwarding (replayed loops are part of the logical history).
+  void record(const std::string& name, std::vector<ArgAccess> args);
+
+  /// Records the loop and advances the checkpoint state machine. Call
+  /// before the loop body runs, so save_now payloads capture entry values.
+  Step step(const std::string& name, std::vector<ArgAccess> args,
+            const Options& opts);
+
+  /// The loop finished (executed or replayed): advances the position.
+  void advance() { ++seq_; }
+
+  /// Arms the state machine; with opts.speculative the entry is deferred
+  /// to the cheapest phase of the detected period. Requires kMonitor mode.
+  void request(const Options& opts);
+
+  Mode mode() const { return mode_; }
+  index_t position() const { return seq_; }
+  /// Entry loop of the checkpoint being saved / just saved (-1 if none).
+  index_t entry_seq() const { return entry_seq_; }
+
+  const std::vector<ChainEntry>& chain() const { return chain_; }
+
+  /// The Fig. 8 "units of data saved if entering checkpointing mode here"
+  /// value for chain position `pos`. Returns nullopt when the recorded
+  /// lookahead is insufficient to decide every dataset ("unknown yet").
+  std::optional<index_t> units_if_entering_at(index_t pos) const;
+
+  /// Smallest period p with chain[i] == chain[i+p] for all recorded i
+  /// (0 if the chain is not periodic over the recorded window).
+  index_t detect_period() const;
+
+  /// Datasets a checkpoint entered at `pos` would save, in save order.
+  std::vector<index_t> datasets_saved_at(index_t pos) const;
+
+ private:
+  enum class DatState : std::uint8_t { kUnknown, kSaved, kDropped };
+
+  void enter_saving(index_t num_dats);
+  void saving_step(const std::vector<ArgAccess>& args, const Options& opts,
+                   Step& out);
+  std::optional<index_t> units_at(index_t pos,
+                                  bool assume_current_modified) const;
+
+  Mode mode_ = Mode::kMonitor;
+  index_t seq_ = 0;  ///< loops seen (executed or replayed)
+
+  std::vector<ChainEntry> chain_;
+  std::vector<char> dat_modified_;  ///< per dat: written by any loop so far
+
+  // saving state
+  index_t entry_seq_ = -1;
+  std::vector<DatState> dat_state_;
+  index_t saving_steps_ = 0;
+
+  // pending (speculative) state
+  index_t target_phase_ = -1;
+  index_t period_ = 0;
+};
+
+}  // namespace apl::ckpt

@@ -1,0 +1,120 @@
+// apl::fault — deterministic fault injection for the resilience layer.
+//
+// The runtime consults a process-global Injector at a small set of
+// instrumented points (par_loop entry, checkpoint writes, halo-exchange
+// starts). Faults are configured by API (`Injector::arm`) or environment
+// (`OPAL_FAULTS="kill_at_loop=12,corrupt_dataset=q@64"`), and every
+// trigger is deterministic: the same configuration produces the same
+// failure at the same point on every run, which is what lets the tests
+// assert bit-identical recovery instead of "it usually works".
+//
+// Supported triggers (comma-separated key=value spec):
+//   kill_at_loop=N          throw Kill before the Nth par_loop call (0-based)
+//   kill_at_ckpt_byte=K     persist K bytes of a checkpoint save, then Kill
+//   truncate_checkpoint=K   silently drop checkpoint bytes past offset K
+//                           (a torn write without a crash signal)
+//   corrupt_dataset=name@B  flip a bit of byte B of dataset `name`'s payload
+//                           inside the next checkpoint written (bitrot that
+//                           the CRC must catch on load)
+//   fail_rank=R@M           kill simulated rank R at the Mth halo exchange
+//   seed=S                  recorded for reproducibility bookkeeping
+//
+// Each trigger fires exactly once and then disarms itself, so a restarted
+// run (same process, tests) does not re-crash at the same point.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "apl/error.hpp"
+
+namespace apl::fault {
+
+/// Thrown when an injected crash fires: models the process dying at an
+/// instrumented point. Applications/tests catch it where a real system
+/// would re-exec and restart from the last checkpoint.
+class Kill : public Error {
+ public:
+  explicit Kill(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when communication touches a failed simulated rank.
+class RankFailure : public Error {
+ public:
+  RankFailure(int rank, const std::string& what) : Error(what), rank_(rank) {}
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
+};
+
+/// Parsed fault plan; -1 / empty means "trigger not armed".
+struct Config {
+  std::int64_t kill_at_loop = -1;
+  std::int64_t kill_at_ckpt_byte = -1;
+  std::int64_t truncate_checkpoint = -1;
+  std::string corrupt_dataset;
+  std::int64_t corrupt_byte = -1;
+  int fail_rank = -1;
+  std::int64_t fail_at_exchange = -1;
+  std::uint64_t seed = 0;
+};
+
+/// Parses the OPAL_FAULTS spec format; throws apl::Error on unknown keys
+/// or malformed values.
+Config parse_config(std::string_view spec);
+
+class Injector {
+ public:
+  /// The process-wide injector. On first access, arms itself from the
+  /// OPAL_FAULTS environment variable if it is set and non-empty.
+  static Injector& global();
+
+  void arm(Config c);
+  void disarm();
+  bool armed() const { return armed_; }
+  const Config& config() const { return cfg_; }
+
+  // --- instrumented points -------------------------------------------------
+
+  /// Called at the top of every op2/ops par_loop; throws Kill when the
+  /// global loop ordinal reaches kill_at_loop.
+  void on_loop() {
+    const std::int64_t ordinal = loops_++;
+    if (armed_ && cfg_.kill_at_loop == ordinal) kill_loop(ordinal);
+  }
+  std::int64_t loops_seen() const { return loops_; }
+
+  /// Called by mpisim at the start of each halo exchange; returns the rank
+  /// to fail at this exchange, if any (the comm layer marks it dead).
+  std::optional<int> on_exchange();
+  std::int64_t exchanges_seen() const { return exchanges_; }
+
+  // Checkpoint-write triggers: the store reads them at the start of a save
+  // and calls the consume_* methods once the fault has been applied, so
+  // each fires exactly once.
+  std::int64_t ckpt_kill_offset() const {
+    return armed_ ? cfg_.kill_at_ckpt_byte : -1;
+  }
+  std::int64_t ckpt_truncate_offset() const {
+    return armed_ ? cfg_.truncate_checkpoint : -1;
+  }
+  /// Returns {dataset name, byte offset} of the payload byte to corrupt.
+  std::optional<std::pair<std::string, std::int64_t>> corrupt_target() const;
+  void consume_ckpt_kill() { cfg_.kill_at_ckpt_byte = -1; }
+  void consume_ckpt_truncate() { cfg_.truncate_checkpoint = -1; }
+  void consume_corrupt() { cfg_.corrupt_dataset.clear(); cfg_.corrupt_byte = -1; }
+
+ private:
+  [[noreturn]] void kill_loop(std::int64_t ordinal);
+
+  Config cfg_;
+  bool armed_ = false;
+  std::int64_t loops_ = 0;
+  std::int64_t exchanges_ = 0;
+};
+
+}  // namespace apl::fault

@@ -1,0 +1,237 @@
+// CheckpointStore crash-safety tests: the two-slot atomic-rename protocol
+// must leave a restorable checkpoint for a kill at EVERY byte offset of a
+// save, torn writes must fall back to the previous generation via the CRC,
+// and injected bitrot must never load silently.
+#include "apl/io/ckpt.hpp"
+
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/error.hpp"
+#include "apl/fault.hpp"
+
+namespace {
+
+using apl::fault::Config;
+using apl::fault::Injector;
+using apl::io::CheckpointStore;
+using apl::io::File;
+
+std::string temp_base(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+/// A generation-tagged payload large enough that the kill sweep crosses
+/// header, several dataset payloads, CRCs and the manifest.
+File make_file(double gen) {
+  File f;
+  std::vector<double> q(48), res(32);
+  for (std::size_t i = 0; i < q.size(); ++i) q[i] = gen * 100.0 + i;
+  for (std::size_t i = 0; i < res.size(); ++i) res[i] = -gen + 0.5 * i;
+  const std::vector<std::int64_t> step{static_cast<std::int64_t>(gen)};
+  f.put<double>("q", q, {q.size()});
+  f.put<double>("res", res, {res.size()});
+  f.put<std::int64_t>("meta/step", step, {1});
+  return f;
+}
+
+bool same(const File& a, const File& b) {
+  return a.serialize() == b.serialize();
+}
+
+class CkptStoreTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Injector::global().disarm(); }
+};
+
+TEST_F(CkptStoreTest, RoundTripAndRotation) {
+  CheckpointStore st(temp_base("ckpt_roundtrip"));
+  st.remove_files();
+  EXPECT_FALSE(st.any_valid());
+  EXPECT_THROW(st.load(), apl::Error);
+
+  st.save(make_file(1));
+  EXPECT_EQ(st.latest_seq(), 1u);
+  EXPECT_TRUE(same(st.load(), make_file(1)));
+
+  st.save(make_file(2));
+  EXPECT_EQ(st.latest_seq(), 2u);
+  EXPECT_TRUE(same(st.load(), make_file(2)));
+
+  // Two saves must occupy both slots (rotation, not overwrite).
+  EXPECT_TRUE(std::filesystem::exists(st.slot_path(0)));
+  EXPECT_TRUE(std::filesystem::exists(st.slot_path(1)));
+  st.remove_files();
+}
+
+TEST_F(CkptStoreTest, RestartAdoptsExistingSlots) {
+  const std::string base = temp_base("ckpt_adopt");
+  {
+    CheckpointStore st(base);
+    st.remove_files();
+    st.save(make_file(1));
+    st.save(make_file(2));
+  }
+  CheckpointStore fresh(base);  // a restarted process
+  EXPECT_TRUE(fresh.any_valid());
+  EXPECT_EQ(fresh.latest_seq(), 2u);
+  EXPECT_TRUE(same(fresh.load(), make_file(2)));
+  // The next save must continue the sequence, not restart it.
+  fresh.save(make_file(3));
+  EXPECT_EQ(fresh.latest_seq(), 3u);
+  fresh.remove_files();
+}
+
+// ---- the crash-safety property -------------------------------------------
+//
+// For EVERY byte offset K across the full write sequence of a save (slot
+// file, then manifest), a kill after exactly K persisted bytes must leave a
+// store from which a fresh process restores either the previous or the new
+// generation — never garbage, never nothing.
+TEST_F(CkptStoreTest, KillAtEveryByteOffsetLeavesRestorableCheckpoint) {
+  const std::string base = temp_base("ckpt_killsweep");
+  const File gen1 = make_file(1);
+  const File gen2 = make_file(2);
+
+  // Dry run to learn the write width of the gen2 save.
+  std::uint64_t total = 0;
+  {
+    CheckpointStore st(base);
+    st.remove_files();
+    st.save(gen1);
+    st.save(gen2);
+    total = st.last_write_bytes();
+    st.remove_files();
+  }
+  ASSERT_GT(total, 0u);
+
+  for (std::uint64_t k = 0; k < total; ++k) {
+    CheckpointStore st(base);
+    st.save(gen1);
+
+    Config cfg;
+    cfg.kill_at_ckpt_byte = static_cast<std::int64_t>(k);
+    Injector::global().arm(cfg);
+    bool killed = false;
+    try {
+      st.save(gen2);
+    } catch (const apl::fault::Kill&) {
+      killed = true;
+    }
+    Injector::global().disarm();
+    ASSERT_TRUE(killed) << "kill offset " << k << " never fired";
+
+    CheckpointStore restarted(base);
+    ASSERT_TRUE(restarted.any_valid()) << "kill offset " << k;
+    File got;
+    ASSERT_NO_THROW(got = restarted.load()) << "kill offset " << k;
+    EXPECT_TRUE(same(got, gen1) || same(got, gen2))
+        << "kill offset " << k << " restored neither generation";
+    st.remove_files();
+  }
+}
+
+// A torn write without a crash signal (truncate_checkpoint): the save
+// "succeeds" but dropped every byte past K. The CRC must reject the torn
+// slot on load and fall back to the surviving generation.
+TEST_F(CkptStoreTest, TruncationAtEveryOffsetFallsBackViaCrc) {
+  const std::string base = temp_base("ckpt_truncsweep");
+  const File gen1 = make_file(1);
+  const File gen2 = make_file(2);
+
+  std::uint64_t total = 0;
+  {
+    CheckpointStore st(base);
+    st.remove_files();
+    st.save(gen1);
+    st.save(gen2);
+    total = st.last_write_bytes();
+    st.remove_files();
+  }
+
+  for (std::uint64_t k = 0; k < total; ++k) {
+    CheckpointStore st(base);
+    st.save(gen1);
+
+    Config cfg;
+    cfg.truncate_checkpoint = static_cast<std::int64_t>(k);
+    Injector::global().arm(cfg);
+    EXPECT_NO_THROW(st.save(gen2)) << "truncate offset " << k;
+    Injector::global().disarm();
+
+    CheckpointStore restarted(base);
+    ASSERT_TRUE(restarted.any_valid()) << "truncate offset " << k;
+    const File got = restarted.load();
+    EXPECT_TRUE(same(got, gen1) || same(got, gen2))
+        << "truncate offset " << k << " restored neither generation";
+    st.remove_files();
+  }
+}
+
+TEST_F(CkptStoreTest, CorruptedPayloadByteFallsBackToPreviousGeneration) {
+  const std::string base = temp_base("ckpt_corrupt");
+  CheckpointStore st(base);
+  st.remove_files();
+  st.save(make_file(1));
+
+  Config cfg;
+  cfg.corrupt_dataset = "q";
+  cfg.corrupt_byte = 17;
+  Injector::global().arm(cfg);
+  st.save(make_file(2));
+  Injector::global().disarm();
+
+  CheckpointStore restarted(base);
+  // The CRC was computed over the clean payload, so the flipped byte must
+  // invalidate the newest slot and the previous generation must win.
+  EXPECT_TRUE(same(restarted.load(), make_file(1)));
+  st.remove_files();
+}
+
+TEST_F(CkptStoreTest, CheckFiniteNamesTheOffendingDataset) {
+  File f = make_file(1);
+  std::vector<double> bad = {1.0, std::numeric_limits<double>::quiet_NaN()};
+  f.put<double>("velocity", bad, {2});
+  try {
+    apl::io::check_finite(f, "test");
+    FAIL() << "check_finite accepted a NaN";
+  } catch (const apl::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("velocity"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(CkptStoreTest, LoadScansForNaNWhenEnvEnabled) {
+  const std::string base = temp_base("ckpt_nan");
+  CheckpointStore st(base);
+  st.remove_files();
+  File f = make_file(1);
+  std::vector<double> bad = {std::numeric_limits<double>::infinity()};
+  f.put<double>("energy", bad, {1});
+  st.save(f);
+
+  EXPECT_NO_THROW(st.load());  // CRC is fine; the bytes are "valid"
+  setenv("OPAL_CHECK_FINITE", "1", 1);
+  EXPECT_THROW(st.load(), apl::Error);
+  unsetenv("OPAL_CHECK_FINITE");
+  st.remove_files();
+}
+
+TEST_F(CkptStoreTest, FaultSpecParsing) {
+  const Config c = apl::fault::parse_config(
+      "kill_at_loop=12,corrupt_dataset=q@64,fail_rank=2@5,seed=9");
+  EXPECT_EQ(c.kill_at_loop, 12);
+  EXPECT_EQ(c.corrupt_dataset, "q");
+  EXPECT_EQ(c.corrupt_byte, 64);
+  EXPECT_EQ(c.fail_rank, 2);
+  EXPECT_EQ(c.fail_at_exchange, 5);
+  EXPECT_EQ(c.seed, 9u);
+  EXPECT_THROW(apl::fault::parse_config("explode=now"), apl::Error);
+  EXPECT_THROW(apl::fault::parse_config("kill_at_loop=banana"), apl::Error);
+}
+
+}  // namespace

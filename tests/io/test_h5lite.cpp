@@ -1,6 +1,7 @@
 #include "apl/io/h5lite.hpp"
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <vector>
@@ -119,6 +120,50 @@ TEST(H5Lite, RemoveDeletes) {
   f.put<double>("x", std::vector<double>{1.0}, {1});
   f.remove("x");
   EXPECT_FALSE(f.contains("x"));
+}
+
+TEST(H5Lite, TruncationErrorNamesDatasetAndOrigin) {
+  const std::string path = temp_path("h5lite_trunc_named.h5l");
+  {
+    File f;
+    f.put<double>("pressure", std::vector<double>(16, 1.0), {16});
+    f.save(path);
+  }
+  // Cut inside pressure's payload: the error must say which dataset and
+  // which file could not be read, not just "bad file".
+  std::filesystem::resize_file(path, 60);
+  try {
+    File::load(path);
+    FAIL() << "truncated load did not throw";
+  } catch (const apl::Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("pressure"), std::string::npos) << what;
+    EXPECT_NE(what.find(path), std::string::npos) << what;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(H5Lite, SerializeParseRoundTrip) {
+  File f;
+  f.put<double>("x", std::vector<double>{1.0, 2.0}, {2});
+  f.put<std::int32_t>("ids", std::vector<std::int32_t>{7, 8, 9}, {3});
+  const auto bytes = f.serialize();
+  const File g = File::parse(bytes, "mem");
+  EXPECT_EQ(g.get<double>("x"), (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(g.get<std::int32_t>("ids"), (std::vector<std::int32_t>{7, 8, 9}));
+}
+
+TEST(H5Lite, DatasetPayloadOffsetFindsBytes) {
+  File f;
+  const std::vector<double> x = {4.25, -1.0};
+  f.put<double>("x", x, {2});
+  const auto bytes = f.serialize();
+  const auto off = apl::io::dataset_payload_offset(bytes, "x");
+  ASSERT_TRUE(off.has_value());
+  double first;
+  std::memcpy(&first, bytes.data() + *off, sizeof(double));
+  EXPECT_DOUBLE_EQ(first, 4.25);
+  EXPECT_FALSE(apl::io::dataset_payload_offset(bytes, "nope").has_value());
 }
 
 TEST(H5Lite, Crc32KnownVector) {

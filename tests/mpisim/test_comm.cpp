@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "apl/error.hpp"
+#include "apl/fault.hpp"
 
 namespace {
 
@@ -87,6 +88,84 @@ TEST(Comm, TrafficReset) {
   comm.traffic().reset();
   EXPECT_EQ(comm.traffic().messages(), 0u);
   EXPECT_EQ(comm.traffic().total_bytes(), 0u);
+}
+
+TEST(Comm, EmptyMailboxGuardNamesBothRanks) {
+  Comm comm(4);
+  try {
+    comm.recv(2, 3, 9);
+    FAIL() << "empty-mailbox recv did not throw";
+  } catch (const apl::Error& e) {
+    // The guard must identify the broken exchange: who tried to receive,
+    // from whom, and that no sends were posted at all.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 3"), std::string::npos) << what;
+    EXPECT_NE(what.find("mailbox is empty"), std::string::npos) << what;
+  }
+}
+
+TEST(Comm, FailedRankRefusesTraffic) {
+  Comm comm(3);
+  comm.fail_rank(1);
+  EXPECT_TRUE(comm.rank_failed(1));
+  EXPECT_THROW(comm.send(0, 1, 0, bytes_of({1.0})), apl::fault::RankFailure);
+  EXPECT_THROW(comm.send(1, 0, 0, bytes_of({1.0})), apl::fault::RankFailure);
+  EXPECT_THROW(comm.allreduce_begin(1, std::vector<double>{1.0}),
+               apl::fault::RankFailure);
+  // The exception carries the failed rank for the recovery path.
+  try {
+    comm.send(0, 1, 0, bytes_of({1.0}));
+    FAIL();
+  } catch (const apl::fault::RankFailure& e) {
+    EXPECT_EQ(e.rank(), 1);
+  }
+  // Traffic between live ranks still flows.
+  comm.send(0, 2, 0, bytes_of({2.0}));
+  EXPECT_EQ(comm.recv(2, 0, 0), bytes_of({2.0}));
+}
+
+TEST(Comm, ReviveAllClearsFailuresAndInFlightState) {
+  Comm comm(2);
+  comm.send(0, 1, 0, bytes_of({1.0}));   // in-flight at failure time
+  comm.allreduce_begin(0, std::vector<double>{1.0});
+  comm.fail_rank(0);
+  comm.revive_all();
+  EXPECT_TRUE(comm.failed_ranks().empty());
+  // The rollback abandoned the in-flight message and the partial reduction.
+  EXPECT_FALSE(comm.has_message(1, 0, 0));
+  comm.allreduce_begin(0, std::vector<double>{2.0});
+  comm.allreduce_begin(1, std::vector<double>{3.0});
+  EXPECT_DOUBLE_EQ(comm.allreduce_end()[0], 5.0);
+}
+
+TEST(Comm, BeginExchangeConsultsInjector) {
+  apl::fault::Config cfg;
+  cfg.fail_rank = 1;
+  cfg.fail_at_exchange = 2;
+  apl::fault::Injector::global().arm(cfg);
+  Comm comm(3);
+  comm.begin_exchange();  // exchange 0
+  comm.begin_exchange();  // exchange 1
+  EXPECT_TRUE(comm.failed_ranks().empty());
+  comm.begin_exchange();  // exchange 2: rank 1 dies
+  EXPECT_TRUE(comm.rank_failed(1));
+  // One-shot: later exchanges do not re-kill after recovery.
+  comm.revive_all();
+  comm.begin_exchange();
+  EXPECT_TRUE(comm.failed_ranks().empty());
+  apl::fault::Injector::global().disarm();
+}
+
+TEST(Comm, RecoveryTrafficIsAccounted) {
+  Comm comm(2);
+  comm.traffic().record_recovery(4096);
+  EXPECT_EQ(comm.traffic().recoveries(), 1u);
+  EXPECT_EQ(comm.traffic().recovery_bytes(), 4096u);
+  EXPECT_EQ(comm.traffic().total_bytes(), 4096u);
+  comm.traffic().reset();
+  EXPECT_EQ(comm.traffic().recoveries(), 0u);
+  EXPECT_EQ(comm.traffic().recovery_bytes(), 0u);
 }
 
 TEST(Comm, PhasedHaloExchangePattern) {

@@ -1,0 +1,461 @@
+// End-to-end fault tolerance (ISSUE: crash-safe checkpointing + fault
+// injection). The promoted form of examples/checkpoint_restart.cpp: real
+// proxy apps run to loop N, are killed by the deterministic injector,
+// restart from the slot files, and must land on bit-identical end states —
+// for OP2 (Airfoil) and OPS (CloverLeaf). On top of that, byte-offset kill
+// sweeps over live checkpoint writes and simulated-rank failure with
+// collective rollback on both distributed layers.
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "airfoil/airfoil.hpp"
+#include "apl/fault.hpp"
+#include "apl/io/ckpt.hpp"
+#include "cloverleaf/cloverleaf_ops.hpp"
+#include "op2/checkpoint.hpp"
+#include "ops/checkpoint.hpp"
+#include "ops/dist.hpp"
+
+namespace {
+
+using apl::fault::Config;
+using apl::fault::Injector;
+using apl::io::CheckpointStore;
+
+std::string temp_base(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class KillRestoreTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Injector::global().disarm(); }
+};
+
+// ---- OP2: Airfoil ---------------------------------------------------------
+
+airfoil::Airfoil::Options airfoil_opts(op2::index_t nx = 24,
+                                       op2::index_t ny = 12) {
+  airfoil::Airfoil::Options o;
+  o.nx = nx;
+  o.ny = ny;
+  return o;
+}
+
+TEST_F(KillRestoreTest, AirfoilInjectorKillThenRestartIsBitIdentical) {
+  const std::string base = temp_base("resil_airfoil");
+  const int total = 12;
+
+  airfoil::Airfoil ref(airfoil_opts());
+  const double rms_ref = ref.run(total);
+  const auto q_ref = ref.solution();
+
+  // Run 1: checkpoint mid-flight, then die at an injected loop ordinal.
+  {
+    airfoil::Airfoil app(airfoil_opts());
+    op2::Checkpointer ck(app.ctx(), base);
+    app.run(6);
+    ck.request_checkpoint();
+    app.run(2);
+    ASSERT_TRUE(ck.checkpoint_complete());
+
+    Config cfg;
+    cfg.kill_at_loop = 5;  // five loops after arming: mid-iteration 9
+    Injector::global().arm(cfg);
+    bool killed = false;
+    try {
+      app.run(total - 8);
+    } catch (const apl::fault::Kill&) {
+      killed = true;
+    }
+    Injector::global().disarm();
+    ASSERT_TRUE(killed);
+  }
+
+  // Run 2: identical application code restarted from the slot files.
+  {
+    airfoil::Airfoil app(airfoil_opts());
+    op2::Checkpointer ck = op2::Checkpointer::restore(app.ctx(), base);
+    const double rms = app.run(total);
+    EXPECT_FALSE(ck.replaying());
+    EXPECT_EQ(rms, rms_ref);  // bit-identical, not just close
+    EXPECT_EQ(app.solution(), q_ref);
+    ck.store().remove_files();
+  }
+}
+
+// The crash-safety property, end to end: for EVERY byte offset of a live
+// checkpoint write, a kill at that offset must leave state from which the
+// restarted Airfoil reproduces the uninterrupted run bit for bit.
+TEST_F(KillRestoreTest, AirfoilCkptWriteKillSweepIsBitIdentical) {
+  const std::string base = temp_base("resil_airfoil_sweep");
+  const auto opts = airfoil_opts(6, 3);  // small mesh: the sweep is wide
+  const int total = 10;
+  op2::Checkpointer::Options co;
+  co.speculative = false;  // prompt entry keeps the schedule simple
+
+  airfoil::Airfoil ref(opts);
+  const double rms_ref = ref.run(total);
+  const auto q_ref = ref.solution();
+
+  // One run writes generation 1 (kept) and generation 2 (killed mid-write).
+  const auto run_to_second_save = [&](std::int64_t kill_offset) {
+    airfoil::Airfoil app(opts);
+    op2::Checkpointer ck(app.ctx(), base, co);
+    app.run(3);
+    ck.request_checkpoint();
+    app.run(2);
+    EXPECT_TRUE(ck.checkpoint_complete());
+    if (kill_offset >= 0) {
+      Config cfg;
+      cfg.kill_at_ckpt_byte = kill_offset;
+      Injector::global().arm(cfg);
+    }
+    ck.request_checkpoint();
+    bool killed = false;
+    try {
+      app.run(3);
+    } catch (const apl::fault::Kill&) {
+      killed = true;
+    }
+    Injector::global().disarm();
+    EXPECT_TRUE(ck.checkpoint_complete() || killed);
+    return std::make_pair(killed, ck.store().last_write_bytes());
+  };
+
+  // Dry run learns the width of the second save.
+  CheckpointStore(base).remove_files();
+  const auto [dry_killed, total_bytes] = run_to_second_save(-1);
+  ASSERT_FALSE(dry_killed);
+  ASSERT_GT(total_bytes, 0u);
+  CheckpointStore(base).remove_files();
+
+  for (std::uint64_t k = 0; k < total_bytes; ++k) {
+    const auto [killed, ignored] =
+        run_to_second_save(static_cast<std::int64_t>(k));
+    (void)ignored;
+    ASSERT_TRUE(killed) << "kill offset " << k << " never fired";
+
+    airfoil::Airfoil app(opts);
+    op2::Checkpointer ck = op2::Checkpointer::restore(app.ctx(), base);
+    const double rms = app.run(total);
+    ASSERT_EQ(rms, rms_ref) << "kill offset " << k;
+    ASSERT_EQ(app.solution(), q_ref) << "kill offset " << k;
+    CheckpointStore(base).remove_files();
+  }
+}
+
+// ---- OPS: CloverLeaf ------------------------------------------------------
+
+cloverleaf::Options clover_opts() {
+  cloverleaf::Options o;
+  o.nx = 16;
+  o.ny = 16;
+  return o;
+}
+
+TEST_F(KillRestoreTest, CloverLeafInjectorKillThenRestartIsBitIdentical) {
+  const std::string base = temp_base("resil_clover");
+  const int total = 8;
+
+  cloverleaf::CloverOps ref(clover_opts());
+  ref.run(total);
+  const auto d_ref = ref.density();
+  const double dt_ref = ref.dt();
+
+  ops::Checkpointer::Options co;
+  co.speculative = false;  // enter at the next loop, not a period later
+  {
+    cloverleaf::CloverOps app(clover_opts());
+    ops::Checkpointer ck(app.ctx(), base, co);
+    app.run(4);
+    ck.request_checkpoint();
+    app.run(2);
+    ASSERT_TRUE(ck.checkpoint_complete());
+
+    Config cfg;
+    cfg.kill_at_loop = 7;
+    Injector::global().arm(cfg);
+    bool killed = false;
+    try {
+      app.run(total - 6);
+    } catch (const apl::fault::Kill&) {
+      killed = true;
+    }
+    Injector::global().disarm();
+    ASSERT_TRUE(killed);
+  }
+
+  {
+    cloverleaf::CloverOps app(clover_opts());
+    ops::Checkpointer ck = ops::Checkpointer::restore(app.ctx(), base, co);
+    app.run(total);
+    EXPECT_FALSE(ck.replaying());
+    EXPECT_EQ(app.density(), d_ref);
+    EXPECT_EQ(app.dt(), dt_ref);
+    ck.store().remove_files();
+  }
+}
+
+// A compact structured chain for the OPS byte-offset kill sweep (a full
+// CloverLeaf checkpoint would make the per-byte sweep needlessly wide).
+struct OpsMini {
+  OpsMini() {
+    grid = &ctx.decl_block(2, "grid");
+    five = &ctx.decl_stencil(
+        2,
+        {{{0, 0, 0}}, {{1, 0, 0}}, {{-1, 0, 0}}, {{0, 1, 0}}, {{0, -1, 0}}},
+        "5pt");
+    u = &ctx.decl_dat<double>(*grid, 1, {nx, ny, 1}, {1, 1, 0}, {1, 1, 0},
+                              "u");
+    unew = &ctx.decl_dat<double>(*grid, 1, {nx, ny, 1}, {1, 1, 0}, {1, 1, 0},
+                                 "unew");
+    ops::par_loop(ctx, "init", *grid,
+                  ops::Range::dim2(-1, nx + 1, -1, ny + 1),
+                  [](ops::Acc<double> u, ops::Acc<double> un,
+                     const int* idx) {
+                    u(0, 0) = std::sin(0.4 * idx[0]) + 0.3 * idx[1];
+                    un(0, 0) = 0.0;
+                  },
+                  ops::arg(*u, ops::Access::kWrite),
+                  ops::arg(*unew, ops::Access::kWrite), ops::arg_idx());
+  }
+  void step() {
+    ops::par_loop(ctx, "sweep", *grid, ops::Range::dim2(0, nx, 0, ny),
+                  [](ops::Acc<double> u, ops::Acc<double> un, double* rms) {
+                    un(0, 0) = 0.25 * (u(1, 0) + u(-1, 0) + u(0, 1) +
+                                       u(0, -1));
+                    rms[0] += un(0, 0) * un(0, 0);
+                  },
+                  ops::arg(*u, *five, ops::Access::kRead),
+                  ops::arg(*unew, ops::Access::kWrite),
+                  ops::arg_gbl(&rms, 1, ops::Access::kInc));
+    ops::par_loop(ctx, "copy", *grid, ops::Range::dim2(0, nx, 0, ny),
+                  [](ops::Acc<double> un, ops::Acc<double> u) {
+                    u(0, 0) = un(0, 0);
+                  },
+                  ops::arg(*unew, ops::Access::kRead),
+                  ops::arg(*u, ops::Access::kWrite));
+  }
+  std::vector<double> state() {
+    auto out = u->to_vector();
+    out.push_back(rms);
+    return out;
+  }
+  ops::index_t nx = 6, ny = 5;
+  ops::Context ctx;
+  ops::Block* grid;
+  ops::Stencil* five;
+  ops::Dat<double>* u;
+  ops::Dat<double>* unew;
+  double rms = 0.0;
+};
+
+TEST_F(KillRestoreTest, OpsCkptWriteKillSweepIsBitIdentical) {
+  const std::string base = temp_base("resil_ops_sweep");
+  const int total = 10;
+  ops::Checkpointer::Options co;
+  co.speculative = false;
+
+  OpsMini ref;
+  for (int s = 0; s < total; ++s) ref.step();
+  const auto state_ref = ref.state();
+
+  const auto run_to_second_save = [&](std::int64_t kill_offset) {
+    OpsMini app;
+    ops::Checkpointer ck(app.ctx, base, co);
+    for (int s = 0; s < 3; ++s) app.step();
+    ck.request_checkpoint();
+    app.step();
+    app.step();
+    EXPECT_TRUE(ck.checkpoint_complete());
+    if (kill_offset >= 0) {
+      Config cfg;
+      cfg.kill_at_ckpt_byte = kill_offset;
+      Injector::global().arm(cfg);
+    }
+    ck.request_checkpoint();
+    bool killed = false;
+    try {
+      for (int s = 0; s < 3; ++s) app.step();
+    } catch (const apl::fault::Kill&) {
+      killed = true;
+    }
+    Injector::global().disarm();
+    return std::make_pair(killed, ck.store().last_write_bytes());
+  };
+
+  CheckpointStore(base).remove_files();
+  const auto [dry_killed, total_bytes] = run_to_second_save(-1);
+  ASSERT_FALSE(dry_killed);
+  ASSERT_GT(total_bytes, 0u);
+  CheckpointStore(base).remove_files();
+
+  for (std::uint64_t k = 0; k < total_bytes; ++k) {
+    const auto [killed, ignored] =
+        run_to_second_save(static_cast<std::int64_t>(k));
+    (void)ignored;
+    ASSERT_TRUE(killed) << "kill offset " << k << " never fired";
+
+    OpsMini app;
+    ops::Checkpointer ck = ops::Checkpointer::restore(app.ctx, base);
+    for (int s = 0; s < total; ++s) app.step();
+    ASSERT_EQ(app.state(), state_ref) << "kill offset " << k;
+    CheckpointStore(base).remove_files();
+  }
+}
+
+// ---- simulated rank failure + collective rollback -------------------------
+
+TEST_F(KillRestoreTest, Op2RankFailureRollsBackToCheckpoint) {
+  const std::string base = temp_base("resil_op2_rank");
+  const int nranks = 3;
+  const int total = 10;
+
+  // Reference: a fault-free distributed run of the same configuration.
+  airfoil::Airfoil ref(airfoil_opts());
+  ref.enable_distributed(nranks, apl::graph::PartitionMethod::kBlock);
+  for (int it = 0; it < total; ++it) ref.iteration();
+  const auto q_ref = ref.solution();
+
+  airfoil::Airfoil app(airfoil_opts());
+  app.enable_distributed(nranks, apl::graph::PartitionMethod::kBlock);
+  op2::Distributed& dist = *app.distributed();
+  CheckpointStore store(base);
+  store.remove_files();
+
+  Config cfg;
+  cfg.fail_rank = 1;
+  cfg.fail_at_exchange = 4;
+  Injector::global().arm(cfg);
+
+  int recoveries = 0;
+  int it = 0;
+  while (it < total) {
+    if (it % 4 == 0) dist.checkpoint(store, it);
+    try {
+      app.iteration();
+      ++it;
+    } catch (const apl::fault::RankFailure& e) {
+      EXPECT_EQ(e.rank(), 1);
+      it = static_cast<int>(dist.recover(store));
+      ++recoveries;
+      ASSERT_LE(recoveries, 2) << "recovery loop did not converge";
+    }
+  }
+  Injector::global().disarm();
+
+  EXPECT_EQ(recoveries, 1);
+  EXPECT_EQ(dist.comm().traffic().recoveries(), 1u);
+  EXPECT_GT(dist.comm().traffic().recovery_bytes(), 0u);
+  EXPECT_EQ(app.solution(), q_ref);
+  store.remove_files();
+}
+
+TEST_F(KillRestoreTest, OpsRankFailureRollsBackToCheckpoint) {
+  const std::string base = temp_base("resil_ops_rank");
+  const int nranks = 4;
+  const int total = 8;
+  const ops::index_t nx = 12, ny = 10;
+
+  const auto make = [&](ops::Context& ctx) {
+    ops::Block* grid = &ctx.decl_block(2, "grid");
+    ctx.decl_stencil(
+        2,
+        {{{0, 0, 0}}, {{1, 0, 0}}, {{-1, 0, 0}}, {{0, 1, 0}}, {{0, -1, 0}}},
+        "5pt");
+    ctx.decl_dat<double>(*grid, 1, {nx, ny, 1}, {1, 1, 0}, {1, 1, 0}, "u");
+    ctx.decl_dat<double>(*grid, 1, {nx, ny, 1}, {1, 1, 0}, {1, 1, 0},
+                         "unew");
+    ops::par_loop(ctx, "init", *grid,
+                  ops::Range::dim2(-1, nx + 1, -1, ny + 1),
+                  [](ops::Acc<double> u, ops::Acc<double> un,
+                     const int* idx) {
+                    u(0, 0) = std::cos(0.3 * idx[0]) - 0.2 * idx[1];
+                    un(0, 0) = 0.0;
+                  },
+                  ops::arg(static_cast<ops::Dat<double>&>(ctx.dat(0)),
+                           ops::Access::kWrite),
+                  ops::arg(static_cast<ops::Dat<double>&>(ctx.dat(1)),
+                           ops::Access::kWrite),
+                  ops::arg_idx());
+  };
+  const auto sweep = [&](ops::Distributed& dist, ops::Context& ctx,
+                         double* rms) {
+    auto& u = static_cast<ops::Dat<double>&>(ctx.dat(0));
+    auto& unew = static_cast<ops::Dat<double>&>(ctx.dat(1));
+    const ops::Stencil& five = ctx.stencil(0);  // "5pt": declared first
+    dist.par_loop("sweep", ctx.block(0), ops::Range::dim2(0, nx, 0, ny),
+                  [](ops::Acc<double> u, ops::Acc<double> un, double* rms) {
+                    un(0, 0) = 0.25 * (u(1, 0) + u(-1, 0) + u(0, 1) +
+                                       u(0, -1));
+                    rms[0] += un(0, 0) * un(0, 0);
+                  },
+                  ops::arg(u, five, ops::Access::kRead),
+                  ops::arg(unew, ops::Access::kWrite),
+                  ops::arg_gbl(rms, 1, ops::Access::kInc));
+    dist.par_loop("copy", ctx.block(0), ops::Range::dim2(0, nx, 0, ny),
+                  [](ops::Acc<double> un, ops::Acc<double> u) {
+                    u(0, 0) = un(0, 0);
+                  },
+                  ops::arg(unew, ops::Access::kRead),
+                  ops::arg(u, ops::Access::kWrite));
+  };
+
+  // Reference.
+  ops::Context ref_ctx;
+  make(ref_ctx);
+  ops::Distributed ref_dist(ref_ctx, nranks);
+  double ref_rms = 0.0;
+  for (int s = 0; s < total; ++s) sweep(ref_dist, ref_ctx, &ref_rms);
+  ref_dist.fetch(ref_ctx.dat(0));
+  const auto u_ref =
+      static_cast<ops::Dat<double>&>(ref_ctx.dat(0)).to_vector();
+
+  // Faulted run. The per-step reduction value is part of the rolled-back
+  // state, so the step driver keeps it alongside the step counter.
+  ops::Context ctx;
+  make(ctx);
+  ops::Distributed dist(ctx, nranks);
+  CheckpointStore store(base);
+  store.remove_files();
+
+  Config cfg;
+  cfg.fail_rank = 2;
+  cfg.fail_at_exchange = 3;
+  Injector::global().arm(cfg);
+
+  double rms = 0.0;
+  double rms_at_last_ckpt = 0.0;
+  int recoveries = 0;
+  int s = 0;
+  while (s < total) {
+    if (s % 3 == 0) {
+      dist.checkpoint(store, s);
+      rms_at_last_ckpt = rms;
+    }
+    try {
+      sweep(dist, ctx, &rms);
+      ++s;
+    } catch (const apl::fault::RankFailure& e) {
+      EXPECT_EQ(e.rank(), 2);
+      s = static_cast<int>(dist.recover(store));
+      rms = rms_at_last_ckpt;
+      ++recoveries;
+      ASSERT_LE(recoveries, 2) << "recovery loop did not converge";
+    }
+  }
+  Injector::global().disarm();
+
+  EXPECT_EQ(recoveries, 1);
+  EXPECT_EQ(dist.comm().traffic().recoveries(), 1u);
+  dist.fetch(ctx.dat(0));
+  EXPECT_EQ(static_cast<ops::Dat<double>&>(ctx.dat(0)).to_vector(), u_ref);
+  EXPECT_DOUBLE_EQ(rms, ref_rms);
+  store.remove_files();
+}
+
+}  // namespace

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Tier-1 CI gate: warnings-as-errors build + the fast test tier.
+# Tier-1 CI gate: warnings-as-errors build + the fast test tier, and an
+# optional sanitizer stage.
 #
-#   tools/ci.sh [build-dir]
+#   tools/ci.sh [build-dir]             # plain tier-1 gate
+#   CI_SANITIZE=address tools/ci.sh     # additionally rebuild + retest
+#   CI_SANITIZE=undefined tools/ci.sh   # under the given sanitizer
 #
 # Mirrors what the acceptance checks run, so a green local run means a
 # green CI run.
@@ -13,3 +16,11 @@ build="${1:-$repo/build-ci}"
 cmake -S "$repo" -B "$build" -DAPL_WERROR=ON
 cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" -L tier1 --output-on-failure -j "$(nproc)"
+
+if [[ -n "${CI_SANITIZE:-}" ]]; then
+  san_build="$build-$CI_SANITIZE"
+  cmake -S "$repo" -B "$san_build" -DAPL_WERROR=ON \
+        -DAPL_SANITIZE="$CI_SANITIZE"
+  cmake --build "$san_build" -j "$(nproc)"
+  ctest --test-dir "$san_build" -L tier1 --output-on-failure -j "$(nproc)"
+fi
