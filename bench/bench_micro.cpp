@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "airfoil/airfoil.hpp"
+#include "apl/verify.hpp"
 #include "apl/graph/coloring.hpp"
 #include "apl/graph/csr.hpp"
 #include "apl/graph/partition.hpp"
@@ -23,8 +24,8 @@ void BM_PlanBuild(benchmark::State& state) {
   airfoil::Airfoil app(sized(static_cast<op2::index_t>(state.range(0))));
   auto* res = static_cast<op2::Dat<double>*>(app.ctx().find_dat("res"));
   const std::vector<op2::ArgInfo> args = {
-      op2::arg(*res, app.edge2cell_map(), 0, op2::Access::kInc).info(),
-      op2::arg(*res, app.edge2cell_map(), 1, op2::Access::kInc).info()};
+      op2::arg(*res, app.edge2cell_map(), 0, apl::exec::Access::kInc).info(),
+      op2::arg(*res, app.edge2cell_map(), 1, apl::exec::Access::kInc).info()};
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         op2::build_plan(app.ctx(), app.edges(), args, 256));
@@ -75,6 +76,24 @@ void BM_AirfoilIteration(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * app.mesh().ncell);
 }
 BENCHMARK(BM_AirfoilIteration)->Arg(40)->Arg(80);
+
+// Guarded-execution overhead (apl::verify): the same airfoil iteration
+// with checks off (arg 0 — the fast path production runs take, which must
+// stay within noise of BM_AirfoilIteration), with the structural
+// validators (arg 6 = bounds|plan), and with the full check set including
+// per-element access probing (arg 31 = all).
+void BM_AirfoilVerify(benchmark::State& state) {
+  airfoil::Airfoil app(sized(40));
+  app.ctx().set_verify(static_cast<unsigned>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app.iteration());
+  }
+  state.SetItemsProcessed(state.iterations() * app.mesh().ncell);
+}
+BENCHMARK(BM_AirfoilVerify)
+    ->Arg(apl::verify::kNone)
+    ->Arg(apl::verify::kBounds | apl::verify::kPlan)
+    ->Arg(apl::verify::kAll);
 
 }  // namespace
 

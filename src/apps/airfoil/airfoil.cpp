@@ -4,7 +4,7 @@
 
 namespace airfoil {
 
-using op2::Access;
+using apl::exec::Access;
 
 Airfoil::Airfoil(const Options& opts)
     : Airfoil(make_bump_channel(opts.nx, opts.ny, opts.bump), opts) {}

@@ -4,7 +4,7 @@
 
 namespace minihydra {
 
-using op2::Access;
+using apl::exec::Access;
 
 namespace {
 // Scheme coefficients (diffusion-dominated pseudo-RANS: the iteration

@@ -8,6 +8,7 @@
 namespace apl::graph {
 
 Coloring greedy_color(const Csr& conflicts) {
+  validate_csr(conflicts, "greedy_color");
   const index_t n = conflicts.num_vertices();
   Coloring out;
   out.color.assign(n, -1);
@@ -49,7 +50,9 @@ Coloring color_by_shared_resources(std::span<const index_t> resources,
       for (index_t k = 0; k < arity; ++k) {
         const index_t r = resources[static_cast<std::size_t>(i) * arity + k];
         if (r < 0) continue;
-        require(r < num_resources, "resource index out of range");
+        require(r < num_resources, "color_by_shared_resources: item ", i,
+                " references resource ", r, " but only ", num_resources,
+                " resources exist");
         mask |= claimed[r];
       }
       if (~mask == 0) continue;  // all 64 sweep colors conflict; next sweep
@@ -65,8 +68,14 @@ Coloring color_by_shared_resources(std::span<const index_t> resources,
     }
     uncolored -= progressed;
     if (uncolored > 0) {
-      APL_ASSERT(progressed > 0 || base < (1 << 20),
-                 "coloring failed to make progress");
+      // Every sweep starts with a clean claim table, so the first
+      // uncolored item it meets always takes a color — zero progress with
+      // items left means corrupted state, and the old assert's
+      // `|| base < (1 << 20)` let that loop forever in release builds.
+      require(progressed > 0,
+              "color_by_shared_resources: no progress with ", uncolored,
+              " of ", num_items, " items uncolored at color base ", base,
+              " — coloring state is corrupted");
       std::fill(claimed.begin(), claimed.end(), 0);
       base += 64;
     }

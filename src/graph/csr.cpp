@@ -15,9 +15,36 @@ index_t Csr::max_degree() const {
   return best;
 }
 
+void validate_csr(const Csr& g, const char* who) {
+  if (g.offsets.empty()) {
+    // A default-constructed Csr is the canonical empty graph — valid as
+    // long as no adjacency entries dangle without offsets.
+    require(g.adj.empty(), who, ": CSR offsets are empty but adj has ",
+            g.adj.size(), " entries");
+    return;
+  }
+  require(g.offsets.front() == 0, who, ": CSR offsets must start at 0, got ",
+          g.offsets.front());
+  const index_t n = g.num_vertices();
+  for (index_t v = 0; v < n; ++v) {
+    require(g.offsets[v + 1] >= g.offsets[v], who, ": CSR offsets decrease at "
+            "vertex ", v, " (", g.offsets[v + 1], " < ", g.offsets[v], ")");
+  }
+  require(static_cast<std::size_t>(g.offsets.back()) == g.adj.size(), who,
+          ": CSR offsets end at ", g.offsets.back(), " but adj has ",
+          g.adj.size(), " entries");
+  for (std::size_t i = 0; i < g.adj.size(); ++i) {
+    require(g.adj[i] >= 0 && g.adj[i] < n, who, ": CSR adjacency entry ", i,
+            " = ", g.adj[i], " is not a vertex of a ", n, "-vertex graph");
+  }
+}
+
 Csr invert_map(std::span<const index_t> map, index_t arity,
                index_t num_sources, index_t num_targets) {
   require(arity > 0, "invert_map: arity must be positive");
+  require(num_sources >= 0 && num_targets >= 0,
+          "invert_map: negative set size (sources ", num_sources,
+          ", targets ", num_targets, ")");
   require(static_cast<std::size_t>(num_sources) * arity == map.size(),
           "invert_map: map size ", map.size(), " != sources ", num_sources,
           " * arity ", arity);

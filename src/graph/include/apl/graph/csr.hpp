@@ -35,6 +35,14 @@ struct Csr {
   index_t max_degree() const;
 };
 
+/// Structural validation with actionable diagnostics: offsets must start
+/// at 0, be non-decreasing, end at adj.size(), and every adjacency entry
+/// must name a vertex. `who` names the caller in the error message.
+/// Consumers that walk a caller-supplied Csr (coloring, RCM) call this up
+/// front so malformed graphs fail with a message instead of reading out
+/// of bounds.
+void validate_csr(const Csr& g, const char* who);
+
 /// Builds the inverse of a map: for each of `num_targets` target elements,
 /// the list of (source element) indices that reference it. `map` is the
 /// dense |sources| x arity table.

@@ -123,6 +123,7 @@ void refine_boundary(const Csr& g, Partition& p, double max_imbalance) {
 
 Partition partition_kway(const Csr& g, index_t num_parts) {
   require(num_parts > 0, "partition_kway: num_parts must be positive");
+  validate_csr(g, "partition_kway");
   const index_t n = g.num_vertices();
   Partition out;
   out.num_parts = num_parts;

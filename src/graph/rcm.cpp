@@ -52,6 +52,7 @@ index_t pseudo_peripheral(const Csr& g, index_t seed) {
 }  // namespace
 
 std::vector<index_t> rcm_permutation(const Csr& g) {
+  validate_csr(g, "rcm_permutation");
   const index_t n = g.num_vertices();
   std::vector<char> visited(n, 0);
   std::vector<index_t> cm_order;
@@ -63,8 +64,10 @@ std::vector<index_t> rcm_permutation(const Csr& g) {
     const auto component = bfs_component(g, start, visited);
     cm_order.insert(cm_order.end(), component.begin(), component.end());
   }
-  APL_ASSERT(static_cast<index_t>(cm_order.size()) == n,
-             "RCM visited wrong vertex count");
+  require(static_cast<index_t>(cm_order.size()) == n,
+          "rcm_permutation: visited ", cm_order.size(), " of ", n,
+          " vertices — adjacency offsets/indices are inconsistent (check "
+          "the map this graph was built from)");
   // Reverse (the R of RCM), then convert order -> permutation.
   std::reverse(cm_order.begin(), cm_order.end());
   std::vector<index_t> perm(n);

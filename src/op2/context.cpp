@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "apl/error.hpp"
+#include "apl/fault.hpp"
 
 namespace op2 {
 
@@ -45,7 +46,26 @@ Map& Context::decl_map(const Set& from, const Set& to, index_t arity,
   maps_.push_back(std::make_unique<Map>(
       static_cast<index_t>(maps_.size()), from, to, arity,
       std::vector<index_t>(table.begin(), table.end()), name));
+  verify_map_bounds(*maps_.back(), "decl_map");
   return *maps_.back();
+}
+
+void Context::verify_map_bounds(const Map& m, const std::string& when) {
+  if (!verifying(apl::verify::kBounds)) return;
+  const index_t limit = m.to().size();
+  for (index_t e = 0; e < m.from().size(); ++e) {
+    for (index_t j = 0; j < m.arity(); ++j) {
+      const index_t t = m.at(e, j);
+      if (t < 0 || t >= limit) {
+        verify_report().fail(
+            when, apl::verify::kBounds,
+            "map '" + m.name() + "' entry [" + std::to_string(e) + "," +
+                std::to_string(j) + "] = " + std::to_string(t) +
+                " is outside target set '" + m.to().name() + "' of size " +
+                std::to_string(limit));
+      }
+    }
+  }
 }
 
 DatBase* Context::find_dat(const std::string& name) {
@@ -53,6 +73,29 @@ DatBase* Context::find_dat(const std::string& name) {
     if (d->name() == name) return d.get();
   }
   return nullptr;
+}
+
+Map* Context::find_map(const std::string& name) {
+  for (auto& m : maps_) {
+    if (m->name() == name) return m.get();
+  }
+  return nullptr;
+}
+
+void Context::apply_injected_faults() {
+  auto& inj = apl::fault::Injector::global();
+  const auto target = inj.corrupt_map_target();
+  if (!target) return;
+  Map* m = find_map(target->first);
+  if (m == nullptr) return;  // the map lives in another context
+  const auto idx = static_cast<std::size_t>(target->second);
+  apl::require(idx < m->table_.size(), "fault: corrupt_map index ",
+               target->second, " outside map '", m->name(), "' table of size ",
+               m->table_.size());
+  // An out-of-range index is the canonical corruption: guarded bounds
+  // checking reports it naming the map, entry and target set.
+  m->table_[idx] = m->to().size() + 1;
+  inj.consume_corrupt_map();
 }
 
 void Context::set_block_size(index_t b) {
@@ -69,7 +112,14 @@ Plan& Context::plan_for(const std::string& loop_name, const Set& set,
   }
   plans_.emplace_back(std::move(key), std::make_unique<Plan>(build_plan(
                                           *this, set, args, block_size_)));
-  return *plans_.back().second;
+  Plan& plan = *plans_.back().second;
+  if (verifying(apl::verify::kPlan)) {
+    const std::string diag = audit_plan(*this, set, args, plan);
+    if (!diag.empty()) {
+      verify_report().fail(loop_name, apl::verify::kPlan, diag);
+    }
+  }
+  return plan;
 }
 
 index_t Context::unique_targets(const Map& m) const {

@@ -9,6 +9,9 @@
 
 namespace op2 {
 
+using apl::exec::Access;
+using apl::exec::Backend;
+
 Distributed::Distributed(Context& ctx, int nranks,
                          apl::graph::PartitionMethod method,
                          const Set& base_set, const DatBase* coords)
@@ -273,6 +276,31 @@ void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
     }
   }
   if (stats) stats->halo_bytes += bytes;
+}
+
+void Distributed::verify_halo_coherence(const std::string& loop,
+                                        index_t dat_id) {
+  const DatBase& gdat = global_->dat(dat_id);
+  const SetDist& sd = set_dist_[gdat.set().id()];
+  const std::size_t entry = gdat.entry_bytes();
+  std::vector<std::uint8_t> owned(entry), ghost(entry);
+  for (int r = 0; r < comm_.size(); ++r) {
+    const DatBase& rdat = rank_ctx_[r]->dat(dat_id);
+    for (index_t g : sd.ghosts[r]) {
+      const int owner = sd.owner[g];
+      rank_ctx_[owner]->dat(dat_id).pack_entry(sd.local_of[owner][g],
+                                               owned.data());
+      rdat.pack_entry(sd.local_of[r][g], ghost.data());
+      if (std::memcmp(owned.data(), ghost.data(), entry) != 0) {
+        global_->verify_report().fail(
+            loop, apl::verify::kHalo,
+            "dat '" + gdat.name() + "': rank " + std::to_string(r) +
+                " reads a stale halo copy of global element " +
+                std::to_string(g) + " (owner rank " + std::to_string(owner) +
+                " wrote it after the last exchange)");
+      }
+    }
+  }
 }
 
 void Distributed::zero_ghosts(index_t dat_id) {

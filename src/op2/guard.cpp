@@ -1,0 +1,27 @@
+#include "op2/guard.hpp"
+
+namespace op2::detail {
+
+void verify_loop_bounds(Context& ctx, const std::string& loop, const Set& set,
+                        const std::vector<ArgInfo>& args) {
+  const index_t n = set.core_size();
+  for (std::size_t j = 0; j < args.size(); ++j) {
+    const ArgInfo& a = args[j];
+    if (a.is_gbl || !a.indirect()) continue;
+    const Map& m = ctx.map(a.map_id);
+    const index_t limit = m.to().size();
+    for (index_t e = 0; e < n; ++e) {
+      const index_t t = m.at(e, a.idx);
+      if (t < 0 || t >= limit) {
+        ctx.verify_report().fail(
+            loop, apl::verify::kBounds,
+            "arg " + std::to_string(j) + ": map '" + m.name() + "' entry [" +
+                std::to_string(e) + "," + std::to_string(a.idx) + "] = " +
+                std::to_string(t) + " is outside target set '" +
+                m.to().name() + "' of size " + std::to_string(limit));
+      }
+    }
+  }
+}
+
+}  // namespace op2::detail

@@ -9,9 +9,9 @@
 // movement and race avoidance automatically.
 //
 // The access/backend vocabulary is shared with OPS through the unified
-// execution API (apl/exec.hpp); the names below are thin aliases kept for
-// one release — new code should spell them apl::exec::Access /
-// apl::exec::Backend.
+// execution API (apl/exec.hpp) and is spelled apl::exec::Access /
+// apl::exec::Backend everywhere; the deprecated op2::Access / op2::Backend
+// aliases have been removed after their one-release grace period.
 #pragma once
 
 #include <string>
@@ -19,12 +19,6 @@
 #include "apl/exec.hpp"
 
 namespace op2 {
-
-/// Deprecated alias of apl::exec::Access.
-using Access = apl::exec::Access;
-
-/// Deprecated alias of apl::exec::Backend.
-using Backend = apl::exec::Backend;
 
 /// Memory layout of a Dat (Fig. 7): array-of-structs, struct-of-arrays.
 /// OP2-specific (OPS datasets always interleave components).

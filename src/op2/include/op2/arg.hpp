@@ -23,7 +23,7 @@ struct ArgInfo {
   index_t dat_id = -1;   ///< -1 for globals
   index_t map_id = -1;   ///< -1 for direct
   index_t idx = 0;
-  Access acc = Access::kRead;
+  apl::exec::Access acc = apl::exec::Access::kRead;
   index_t dim = 0;
   std::size_t elem_bytes = 0;
   bool is_gbl = false;
@@ -38,7 +38,7 @@ struct ArgDat {
   Dat<T>* dat;
   const Map* map;  ///< nullptr == direct (OP_ID)
   index_t idx;
-  Access acc;
+  apl::exec::Access acc;
 
   ArgInfo info() const {
     return ArgInfo{dat->id(), map ? map->id() : -1, idx, acc, dat->dim(),
@@ -51,7 +51,7 @@ template <class T>
 struct ArgGbl {
   T* data;
   index_t dim;
-  Access acc;
+  apl::exec::Access acc;
   /// Per-thread partials for parallel reductions, managed by the backends.
   std::vector<T> scratch;
 
@@ -62,13 +62,13 @@ struct ArgGbl {
 
 /// Direct dataset access on the iteration set.
 template <class T>
-ArgDat<T> arg(Dat<T>& dat, Access acc) {
+ArgDat<T> arg(Dat<T>& dat, apl::exec::Access acc) {
   return {&dat, nullptr, 0, acc};
 }
 
 /// Indirect dataset access through component `idx` of `map`.
 template <class T>
-ArgDat<T> arg(Dat<T>& dat, const Map& map, index_t idx, Access acc) {
+ArgDat<T> arg(Dat<T>& dat, const Map& map, index_t idx, apl::exec::Access acc) {
   apl::require(idx >= 0 && idx < map.arity(), "arg: map index ", idx,
                " out of range for map '", map.name(), "' of arity ",
                map.arity());
@@ -81,9 +81,9 @@ ArgDat<T> arg(Dat<T>& dat, const Map& map, index_t idx, Access acc) {
 /// Global argument: `data` points at `dim` values of T owned by the caller.
 /// kRead passes them in; kInc/kMin/kMax reduce into them across elements.
 template <class T>
-ArgGbl<T> arg_gbl(T* data, index_t dim, Access acc) {
-  apl::require(acc == Access::kRead || acc == Access::kInc ||
-                   acc == Access::kMin || acc == Access::kMax,
+ArgGbl<T> arg_gbl(T* data, index_t dim, apl::exec::Access acc) {
+  apl::require(acc == apl::exec::Access::kRead || acc == apl::exec::Access::kInc ||
+                   acc == apl::exec::Access::kMin || acc == apl::exec::Access::kMax,
                "arg_gbl: access must be read or a reduction");
   return {data, dim, acc, {}};
 }

@@ -66,6 +66,7 @@ public:
   index_t num_maps() const { return static_cast<index_t>(maps_.size()); }
   index_t num_dats() const { return static_cast<index_t>(dats_.size()); }
   DatBase* find_dat(const std::string& name);
+  Map* find_map(const std::string& name);
 
   // ---- execution configuration (beyond the ExecContext base)
   index_t block_size() const { return block_size_; }
@@ -92,6 +93,19 @@ public:
   // ---- checkpointing hook (see op2/checkpoint.hpp)
   void attach_checkpointer(Checkpointer* c) { checkpointer_ = c; }
   Checkpointer* checkpointer() const { return checkpointer_; }
+
+  // ---- fault injection (see apl/fault.hpp)
+  /// Applies any pending corrupt_map trigger from the global Injector by
+  /// overwriting one map table entry with an out-of-range index. Called at
+  /// par_loop entry; guarded bounds checking is what then reports the
+  /// damage with a named diagnostic.
+  void apply_injected_faults();
+
+  /// Guarded bounds validation (apl::verify::kBounds): every entry of `m`
+  /// must land inside its target set. Run at declaration time and again
+  /// after permutations rewrite tables; a no-op when the check is off.
+  /// `when` names the phase in the diagnostic (e.g. "decl_map").
+  void verify_map_bounds(const Map& m, const std::string& when);
 
   // ---- mesh transformations (paper Sec. IV/VI optimisations)
   /// Renumbers a set: old element e becomes perm[e]. All dats on the set

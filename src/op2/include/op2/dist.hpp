@@ -21,8 +21,8 @@
 //     communicator's allreduce.
 //
 // Each rank's loop goes through the ordinary op2::par_loop, so the
-// node-level backend composes underneath (rank contexts on Backend::kThreads
-// give the paper's MPI+OpenMP hybrid; Backend::kCudaSim gives MPI+CUDA).
+// node-level backend composes underneath (rank contexts on apl::exec::Backend::kThreads
+// give the paper's MPI+OpenMP hybrid; apl::exec::Backend::kCudaSim gives MPI+CUDA).
 // All message traffic flows through apl::mpisim::Comm and is metered for
 // the scaling projections of Figs. 4 and 6.
 #pragma once
@@ -60,7 +60,7 @@ public:
   Context& global_context() { return *global_; }
 
   /// Node-level backend the rank loops execute with (hybrid composition).
-  void set_node_backend(Backend b);
+  void set_node_backend(apl::exec::Backend b);
 
   index_t owned_count(const Set& global_set, int rank) const;
   index_t ghost_count(const Set& global_set, int rank) const;
@@ -110,6 +110,11 @@ private:
                      const std::vector<ArgInfo>& infos) const;
   /// Owners push current values of dat `d` into every ghost copy.
   void exchange_halo(index_t dat_id, apl::LoopStats* stats);
+  /// Guarded halo consistency (apl::verify::kHalo): proves every ghost
+  /// copy a loop is about to read bitwise-matches its owner's current
+  /// value, i.e. the dirty-bit tracking exchanged it since the owner last
+  /// wrote. Reports the first stale (rank, element) pair otherwise.
+  void verify_halo_coherence(const std::string& loop, index_t dat_id);
   /// Ghost-slot increments of dat `d` are sent to and added at the owners.
   void flush_increments(index_t dat_id, apl::LoopStats* stats);
   void zero_ghosts(index_t dat_id);
@@ -143,7 +148,7 @@ private:
   template <class T>
   DistGbl<T> make_dist_state(ArgGbl<T>& g) {
     DistGbl<T> st{&g, {}};
-    if (g.acc != Access::kRead) {
+    if (g.acc != apl::exec::Access::kRead) {
       st.per_rank.assign(
           static_cast<std::size_t>(num_ranks()) * g.dim,
           detail::reduction_identity<T>(g.acc));
@@ -157,7 +162,7 @@ private:
 
   template <class T>
   ArgGbl<T> rank_gbl(DistGbl<T>& st, int r) {
-    if (st.user->acc == Access::kRead) {
+    if (st.user->acc == apl::exec::Access::kRead) {
       return ArgGbl<T>{st.user->data, st.user->dim, st.user->acc, {}};
     }
     return ArgGbl<T>{st.per_rank.data() +
@@ -183,10 +188,10 @@ private:
 
   template <class T>
   void finish_dist_gbl(DistGbl<T>& st) {
-    if (st.user->acc == Access::kRead) return;
+    if (st.user->acc == apl::exec::Access::kRead) return;
     using Op = apl::mpisim::Comm::ReduceOp;
-    const Op op = st.user->acc == Access::kInc   ? Op::kSum
-                  : st.user->acc == Access::kMin ? Op::kMin
+    const Op op = st.user->acc == apl::exec::Access::kInc   ? Op::kSum
+                  : st.user->acc == apl::exec::Access::kMin ? Op::kMin
                                                  : Op::kMax;
     std::vector<double> contrib(st.user->dim);
     for (int r = 0; r < num_ranks(); ++r) {
@@ -200,11 +205,11 @@ private:
     for (index_t d = 0; d < st.user->dim; ++d) {
       const T v = static_cast<T>(result[d]);
       switch (st.user->acc) {
-        case Access::kInc: st.user->data[d] += v; break;
-        case Access::kMin:
+        case apl::exec::Access::kInc: st.user->data[d] += v; break;
+        case apl::exec::Access::kMin:
           st.user->data[d] = std::min(st.user->data[d], v);
           break;
-        case Access::kMax:
+        case apl::exec::Access::kMax:
           st.user->data[d] = std::max(st.user->data[d], v);
           break;
         default: break;
@@ -224,15 +229,28 @@ void Distributed::par_loop(const std::string& name, const Set& global_set,
 
   // On-demand halo exchanges for indirectly read dats with stale ghosts.
   for (const ArgInfo& a : infos) {
-    if (!a.is_gbl && a.indirect() && a.acc == Access::kRead &&
+    if (!a.is_gbl && a.indirect() && a.acc == apl::exec::Access::kRead &&
         halo_dirty_[a.dat_id]) {
       exchange_halo(a.dat_id, &stats);
       halo_dirty_[a.dat_id] = 0;
     }
   }
+  // Guarded halo consistency: after the exchange decisions, every ghost
+  // copy about to be read must match its owner's current value.
+  if (global_->verifying(apl::verify::kHalo)) [[unlikely]] {
+    std::vector<index_t> checked;
+    for (const ArgInfo& a : infos) {
+      if (!a.is_gbl && a.indirect() && a.acc == apl::exec::Access::kRead &&
+          std::find(checked.begin(), checked.end(), a.dat_id) ==
+              checked.end()) {
+        verify_halo_coherence(name, a.dat_id);
+        checked.push_back(a.dat_id);
+      }
+    }
+  }
   // Zero ghost slots of indirectly incremented dats (accumulators).
   for (const ArgInfo& a : infos) {
-    if (!a.is_gbl && a.indirect() && a.acc == Access::kInc) {
+    if (!a.is_gbl && a.indirect() && a.acc == apl::exec::Access::kInc) {
       zero_ghosts(a.dat_id);
     }
   }
@@ -260,7 +278,7 @@ void Distributed::par_loop(const std::string& name, const Set& global_set,
   std::vector<index_t> flushed;
   for (const ArgInfo& a : infos) {
     if (a.is_gbl) continue;
-    if (a.indirect() && a.acc == Access::kInc) {
+    if (a.indirect() && a.acc == apl::exec::Access::kInc) {
       if (std::find(flushed.begin(), flushed.end(), a.dat_id) ==
           flushed.end()) {
         flush_increments(a.dat_id, &stats);

@@ -1,0 +1,366 @@
+// Guarded execution for op2::par_loop (apl::verify kAccess / kBounds).
+//
+// In guarded-access mode the kernel never runs directly on library data
+// until its declarations have been proven for the element at hand. For
+// every element the executor first runs the kernel one or more times on
+// *staging copies* whose contents are chosen to expose contract
+// violations, then runs it once more on the real data (the commit run,
+// identical to the sequential reference backend, so guarded results are
+// bit-identical to unguarded ones):
+//
+//   baseline   kRead/kRW args staged from the real values, kWrite args
+//              prefilled with a canary, kInc args staged on a zero base.
+//              A kRead staging that changed was written through a
+//              read-only argument.
+//   per-kWrite the probe arg is restaged with a *different* canary; any
+//              bitwise output change proves the kernel observed the
+//              incoming value (read before write), and an output that
+//              still equals the canary was never written at all.
+//   per-kInc   the probe arg is restaged on a large known base; the arg's
+//              output must equal baseline + base (to rounding) and every
+//              other output must be bitwise unchanged, i.e. the kernel
+//              may only *add* to the accumulator, never read it.
+//
+// Detection runs only ever touch the staging buffers, so a violating
+// kernel is reported before it corrupts the mesh. The cost is
+// (2 + #kWrite + #kInc) kernel invocations per element plus the staging
+// copies; guarded access always executes the sequential schedule.
+#pragma once
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <tuple>
+#include <type_traits>
+#include <vector>
+
+#include "apl/verify.hpp"
+#include "op2/arg.hpp"
+#include "op2/context.hpp"
+
+namespace op2 {
+
+namespace detail {
+
+/// Distinct recognisable garbage values for kWrite stagings. Any value
+/// works as long as the two differ; the weird magnitudes make leaked
+/// canaries obvious in diagnostics.
+template <class T>
+T guard_canary(int which) {
+  if constexpr (std::is_floating_point_v<T>) {
+    return which ? static_cast<T>(-2.0538e19) : static_cast<T>(6.0221e23);
+  } else if constexpr (std::is_integral_v<T>) {
+    return which ? static_cast<T>(std::numeric_limits<T>::max() / 3)
+                 : static_cast<T>(std::numeric_limits<T>::max() / 5);
+  } else {
+    return T{};
+  }
+}
+
+/// The staged accumulator base for kInc probes: exactly representable and
+/// large enough that a non-additive use of it dominates the output.
+template <class T>
+T guard_inc_base() {
+  if constexpr (std::is_same_v<T, float>) {
+    return 1024.0f;  // 2^10: float keeps increments to ~1e-4 exact-ish
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return static_cast<T>(1048576.0);  // 2^20
+  } else {
+    return static_cast<T>(4097);
+  }
+}
+
+template <class T>
+bool guard_bits_equal(const T& x, const T& y) {
+  return std::memcmp(&x, &y, sizeof(T)) == 0;
+}
+
+enum class GuardPhase { kBaseline, kWriteProbe, kIncProbe };
+
+/// Which probe run an argument needs: 0 none, 1 write probe, 2 inc probe.
+template <class T>
+int guard_probe_code(const ArgDat<T>& a) {
+  if (a.acc == apl::exec::Access::kWrite) return 1;
+  if (a.acc == apl::exec::Access::kInc) return 2;
+  return 0;
+}
+template <class T>
+int guard_probe_code(const ArgGbl<T>&) {
+  return 0;
+}
+
+template <class T>
+const char* guard_arg_name(const ArgDat<T>& a) {
+  return a.dat->name().c_str();
+}
+template <class T>
+const char* guard_arg_name(const ArgGbl<T>&) {
+  return "global";
+}
+
+/// Identity of the probe run currently being evaluated.
+struct GuardProbe {
+  int arg;
+  const char* name;
+};
+
+template <class T>
+struct GuardStage {
+  ArgDat<T>* a;
+  int ordinal = 0;
+  std::vector<T> buf;       ///< staging handed to the kernel
+  std::vector<T> orig;      ///< real values of the element's target
+  std::vector<T> base_out;  ///< buf after the baseline run
+};
+
+template <class T>
+struct GuardGblStage {
+  ArgGbl<T>* g;
+  int ordinal = 0;
+  std::vector<T> buf, orig, base_out;
+};
+
+template <class T>
+GuardStage<T> make_guard_stage(ArgDat<T>& a) {
+  const std::size_t dim = static_cast<std::size_t>(a.dat->dim());
+  return {&a, 0, std::vector<T>(dim), std::vector<T>(dim),
+          std::vector<T>(dim)};
+}
+template <class T>
+GuardGblStage<T> make_guard_stage(ArgGbl<T>& g) {
+  const std::size_t dim = static_cast<std::size_t>(g.dim);
+  return {&g, 0, std::vector<T>(dim), std::vector<T>(dim),
+          std::vector<T>(dim)};
+}
+
+template <class T>
+void guard_load(GuardStage<T>& st, index_t e) {
+  const ArgDat<T>& a = *st.a;
+  const index_t el = a.map ? a.map->at(e, a.idx) : e;
+  const T* p = a.dat->entry(el);
+  const std::ptrdiff_t s = a.dat->stride();
+  for (std::size_t d = 0; d < st.orig.size(); ++d) {
+    st.orig[d] = p[static_cast<std::ptrdiff_t>(d) * s];
+  }
+}
+template <class T>
+void guard_load(GuardGblStage<T>& st, index_t /*e*/) {
+  for (std::size_t d = 0; d < st.orig.size(); ++d) st.orig[d] = st.g->data[d];
+}
+
+template <class T>
+void guard_stage(GuardStage<T>& st, GuardPhase ph, int probe_arg) {
+  using apl::exec::Access;
+  const Access acc = st.a->acc;
+  if (acc == Access::kWrite) {
+    const bool probed = ph == GuardPhase::kWriteProbe && probe_arg == st.ordinal;
+    const T v = guard_canary<T>(probed ? 1 : 0);
+    for (T& x : st.buf) x = v;
+  } else if (acc == Access::kInc) {
+    const bool probed = ph == GuardPhase::kIncProbe && probe_arg == st.ordinal;
+    const T v = probed ? guard_inc_base<T>() : T{};
+    for (T& x : st.buf) x = v;
+  } else {
+    st.buf = st.orig;
+  }
+}
+template <class T>
+void guard_stage(GuardGblStage<T>& st, GuardPhase, int) {
+  // Globals are staged from their real values in every detection run
+  // (reductions accumulate into the staging and are discarded).
+  st.buf = st.orig;
+}
+
+template <class S>
+void guard_save_base(S& st) {
+  st.base_out = st.buf;
+}
+
+template <class T>
+Acc<T> guard_acc(GuardStage<T>& st) {
+  return Acc<T>(st.buf.data(), 1);
+}
+template <class T>
+Acc<T> guard_acc(GuardGblStage<T>& st) {
+  return Acc<T>(st.buf.data(), 1);
+}
+
+// ---- post-run checks ----------------------------------------------------
+
+template <class T>
+void guard_check_read(GuardStage<T>& st, apl::verify::Report& rep,
+                      const std::string& loop, index_t e) {
+  if (st.a->acc != apl::exec::Access::kRead) return;
+  for (std::size_t d = 0; d < st.buf.size(); ++d) {
+    if (!guard_bits_equal(st.buf[d], st.orig[d])) {
+      rep.fail(loop, apl::verify::kAccess,
+               "arg " + std::to_string(st.ordinal) + " (dat '" +
+                   st.a->dat->name() + "'): kernel wrote component " +
+                   std::to_string(d) + " of element " + std::to_string(e) +
+                   " (declared kRead, observed write)");
+    }
+  }
+}
+template <class T>
+void guard_check_read(GuardGblStage<T>& st, apl::verify::Report& rep,
+                      const std::string& loop, index_t e) {
+  if (st.g->acc != apl::exec::Access::kRead) return;
+  for (std::size_t d = 0; d < st.buf.size(); ++d) {
+    if (!guard_bits_equal(st.buf[d], st.orig[d])) {
+      rep.fail(loop, apl::verify::kAccess,
+               "arg " + std::to_string(st.ordinal) +
+                   " (global): kernel wrote component " + std::to_string(d) +
+                   " at element " + std::to_string(e) +
+                   " (declared kRead, observed write)");
+    }
+  }
+}
+
+template <class S>
+void guard_check_probe_bystander(S& st, const GuardProbe& pr,
+                                 apl::verify::Report& rep,
+                                 const std::string& loop, index_t e,
+                                 const char* declared) {
+  for (std::size_t d = 0; d < st.buf.size(); ++d) {
+    if (!guard_bits_equal(st.buf[d], st.base_out[d])) {
+      rep.fail(loop, apl::verify::kAccess,
+               "arg " + std::to_string(pr.arg) + " (dat '" + pr.name +
+                   "', declared " + declared +
+                   "): its incoming value influenced arg " +
+                   std::to_string(st.ordinal) + " at element " +
+                   std::to_string(e) + " (observed read)");
+    }
+  }
+}
+
+template <class T>
+void guard_check_write_probe(GuardStage<T>& st, const GuardProbe& pr,
+                             apl::verify::Report& rep, const std::string& loop,
+                             index_t e) {
+  if (st.ordinal != pr.arg) {
+    guard_check_probe_bystander(st, pr, rep, loop, e, "kWrite");
+    return;
+  }
+  const T canary_a = guard_canary<T>(0);
+  const T canary_b = guard_canary<T>(1);
+  for (std::size_t d = 0; d < st.buf.size(); ++d) {
+    if (guard_bits_equal(st.buf[d], canary_b) &&
+        guard_bits_equal(st.base_out[d], canary_a)) {
+      rep.fail(loop, apl::verify::kAccess,
+               "arg " + std::to_string(pr.arg) + " (dat '" + pr.name +
+                   "', declared kWrite): component " + std::to_string(d) +
+                   " of element " + std::to_string(e) +
+                   " was never written (kWrite arguments must be fully "
+                   "overwritten)");
+    }
+  }
+  for (std::size_t d = 0; d < st.buf.size(); ++d) {
+    if (!guard_bits_equal(st.buf[d], st.base_out[d])) {
+      rep.fail(loop, apl::verify::kAccess,
+               "arg " + std::to_string(pr.arg) + " (dat '" + pr.name +
+                   "', declared kWrite): output component " +
+                   std::to_string(d) + " of element " + std::to_string(e) +
+                   " depends on the argument's previous value (observed "
+                   "read before write)");
+    }
+  }
+}
+template <class T>
+void guard_check_write_probe(GuardGblStage<T>& st, const GuardProbe& pr,
+                             apl::verify::Report& rep, const std::string& loop,
+                             index_t e) {
+  guard_check_probe_bystander(st, pr, rep, loop, e, "kWrite");
+}
+
+template <class T>
+void guard_check_inc_probe(GuardStage<T>& st, const GuardProbe& pr,
+                           apl::verify::Report& rep, const std::string& loop,
+                           index_t e) {
+  if (st.ordinal != pr.arg) {
+    guard_check_probe_bystander(st, pr, rep, loop, e, "kInc");
+    return;
+  }
+  const T base = guard_inc_base<T>();
+  for (std::size_t d = 0; d < st.buf.size(); ++d) {
+    bool pure;
+    if constexpr (std::is_floating_point_v<T>) {
+      const T expect = st.base_out[d] + base;
+      const T tol = std::numeric_limits<T>::epsilon() * 64 *
+                    (std::abs(base) + std::abs(expect) + std::abs(st.buf[d]));
+      pure = std::abs(st.buf[d] - expect) <= tol;
+    } else {
+      pure = st.buf[d] == static_cast<T>(st.base_out[d] + base);
+    }
+    if (!pure) {
+      rep.fail(loop, apl::verify::kAccess,
+               "arg " + std::to_string(pr.arg) + " (dat '" + pr.name +
+                   "', declared kInc): update of component " +
+                   std::to_string(d) + " at element " + std::to_string(e) +
+                   " is not a pure accumulation");
+    }
+  }
+}
+template <class T>
+void guard_check_inc_probe(GuardGblStage<T>& st, const GuardProbe& pr,
+                           apl::verify::Report& rep, const std::string& loop,
+                           index_t e) {
+  guard_check_probe_bystander(st, pr, rep, loop, e, "kInc");
+}
+
+/// Declared per-loop bounds revalidation (apl::verify::kBounds): every map
+/// row a loop will execute through is range-checked against its target set.
+/// Catches post-declaration corruption (fault injection, stray writes).
+void verify_loop_bounds(Context& ctx, const std::string& loop, const Set& set,
+                        const std::vector<ArgInfo>& args);
+
+template <class T>
+Acc<T> element_acc(const ArgDat<T>& a, index_t e);
+template <class T>
+Acc<T> element_acc(ArgGbl<T>& g, index_t e);
+
+/// The guarded-access executor (always the sequential schedule; the probe
+/// protocol is described at the top of this header).
+template <class Kernel, class... Args>
+void run_guarded_access(Context& ctx, const std::string& name, const Set& set,
+                        Kernel&& k, Args&... args) {
+  apl::verify::Report& rep = ctx.verify_report();
+  constexpr int nargs = static_cast<int>(sizeof...(Args));
+  const int probe_code[] = {guard_probe_code(args)..., 0};
+  const char* arg_name[] = {guard_arg_name(args)..., ""};
+  auto stages = std::make_tuple(make_guard_stage(args)...);
+  const index_t n = set.core_size();
+  std::apply(
+      [&](auto&... st) {
+        int ord = 0;
+        ((st.ordinal = ord++), ...);
+        for (index_t e = 0; e < n; ++e) {
+          (guard_load(st, e), ...);
+          (guard_stage(st, GuardPhase::kBaseline, -1), ...);
+          k(guard_acc(st)...);
+          (guard_save_base(st), ...);
+          (guard_check_read(st, rep, name, e), ...);
+          for (int j = 0; j < nargs; ++j) {
+            if (probe_code[j] == 0) continue;
+            const GuardPhase ph = probe_code[j] == 1 ? GuardPhase::kWriteProbe
+                                                     : GuardPhase::kIncProbe;
+            (guard_stage(st, ph, j), ...);
+            k(guard_acc(st)...);
+            const GuardProbe pr{j, arg_name[j]};
+            if (probe_code[j] == 1) {
+              (guard_check_write_probe(st, pr, rep, name, e), ...);
+            } else {
+              (guard_check_inc_probe(st, pr, rep, name, e), ...);
+            }
+          }
+          // Commit: the kernel runs once on the real data, exactly as the
+          // sequential reference backend would.
+          k(element_acc(args, e)...);
+        }
+      },
+      stages);
+}
+
+}  // namespace detail
+
+}  // namespace op2

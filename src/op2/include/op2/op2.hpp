@@ -6,11 +6,11 @@
 //   op2::Set& edges = ctx.decl_set(n_edges, "edges");
 //   op2::Map& e2n   = ctx.decl_map(edges, nodes, 2, table, "edge2node");
 //   op2::Dat<double>& x = ctx.decl_dat<double>(nodes, 2, coords, "x");
-//   ctx.set_backend(op2::Backend::kThreads);
+//   ctx.set_backend(apl::exec::Backend::kThreads);
 //   op2::par_loop(ctx, "spring", edges,
 //       [](op2::Acc<double> a, op2::Acc<double> b) { ... },
-//       op2::arg(x, e2n, 0, op2::Access::kRead),
-//       op2::arg(x, e2n, 1, op2::Access::kInc));
+//       op2::arg(x, e2n, 0, apl::exec::Access::kRead),
+//       op2::arg(x, e2n, 1, apl::exec::Access::kInc));
 #pragma once
 
 #include "op2/access.hpp"

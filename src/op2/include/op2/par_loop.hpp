@@ -39,6 +39,7 @@
 #include "op2/arg.hpp"
 #include "op2/checkpoint.hpp"
 #include "op2/context.hpp"
+#include "op2/guard.hpp"
 #include "op2/plan.hpp"
 #include "op2/traffic.hpp"
 
@@ -77,18 +78,18 @@ Acc<T> element_acc_t(ArgGbl<T>& g, index_t /*e*/, std::size_t tid) {
 // ---- global-reduction scratch ------------------------------------------
 
 template <class T>
-T reduction_identity(Access acc) {
+T reduction_identity(apl::exec::Access acc) {
   switch (acc) {
-    case Access::kInc: return T{};
-    case Access::kMin: return std::numeric_limits<T>::max();
-    case Access::kMax: return std::numeric_limits<T>::lowest();
+    case apl::exec::Access::kInc: return T{};
+    case apl::exec::Access::kMin: return std::numeric_limits<T>::max();
+    case apl::exec::Access::kMax: return std::numeric_limits<T>::lowest();
     default: return T{};
   }
 }
 
 template <class T>
 void prepare_gbl(ArgGbl<T>& g, std::size_t slots) {
-  if (g.acc == Access::kRead || slots == 0) {
+  if (g.acc == apl::exec::Access::kRead || slots == 0) {
     g.scratch.clear();
     return;
   }
@@ -105,9 +106,9 @@ void finish_gbl(ArgGbl<T>& g, std::size_t slots) {
     for (index_t d = 0; d < g.dim; ++d) {
       const T v = g.scratch[s * g.dim + d];
       switch (g.acc) {
-        case Access::kInc: g.data[d] += v; break;
-        case Access::kMin: g.data[d] = std::min(g.data[d], v); break;
-        case Access::kMax: g.data[d] = std::max(g.data[d], v); break;
+        case apl::exec::Access::kInc: g.data[d] += v; break;
+        case apl::exec::Access::kMin: g.data[d] = std::min(g.data[d], v); break;
+        case apl::exec::Access::kMax: g.data[d] = std::max(g.data[d], v); break;
         default: break;
       }
     }
@@ -121,26 +122,26 @@ void finish_gbl(ArgDat<T>&, std::size_t) {}
 
 template <class T>
 std::vector<T> debug_snapshot(const ArgDat<T>& a) {
-  if (a.acc != Access::kRead) return {};
+  if (a.acc != apl::exec::Access::kRead) return {};
   return a.dat->to_vector();
 }
 template <class T>
 std::vector<T> debug_snapshot(const ArgGbl<T>& g) {
-  if (g.acc != Access::kRead) return {};
+  if (g.acc != apl::exec::Access::kRead) return {};
   return std::vector<T>(g.data, g.data + g.dim);
 }
 
 template <class T>
 void debug_verify(const ArgDat<T>& a, const std::vector<T>& snap,
                   const std::string& loop) {
-  if (a.acc != Access::kRead) return;
+  if (a.acc != apl::exec::Access::kRead) return;
   apl::require(a.dat->to_vector() == snap, "debug check: loop '", loop,
                "' modified read-only dat '", a.dat->name(), "'");
 }
 template <class T>
 void debug_verify(const ArgGbl<T>& g, const std::vector<T>& snap,
                   const std::string& loop) {
-  if (g.acc != Access::kRead) return;
+  if (g.acc != apl::exec::Access::kRead) return;
   apl::require(std::equal(snap.begin(), snap.end(), g.data), "debug check: loop '",
                loop, "' modified read-only global");
 }
@@ -264,7 +265,7 @@ void stage_gather(SimdStage<T>& st, index_t e0, index_t lanes) {
   const index_t dim = a.dat->dim();
   for (index_t l = 0; l < lanes; ++l) {
     T* out = st.buf.data() + static_cast<std::size_t>(l) * dim;
-    if (a.acc == Access::kInc) {
+    if (a.acc == apl::exec::Access::kInc) {
       std::fill_n(out, dim, T{});
     } else {
       const Acc<T> in = element_acc(a, e0 + l);
@@ -283,7 +284,7 @@ void stage_scatter(SimdStage<T>& st, index_t e0, index_t lanes) {
   for (index_t l = 0; l < lanes; ++l) {
     const T* in = st.buf.data() + static_cast<std::size_t>(l) * dim;
     const Acc<T> out = element_acc(a, e0 + l);
-    if (a.acc == Access::kInc) {
+    if (a.acc == apl::exec::Access::kInc) {
       for (index_t d = 0; d < dim; ++d) out[d] += in[d];
     } else {
       for (index_t d = 0; d < dim; ++d) out[d] = in[d];
@@ -368,7 +369,7 @@ void cuda_stage_load(CudaStage<T>& st, const Plan& plan, index_t b) {
   st.buf.resize(st.unique.size() * static_cast<std::size_t>(dim));
   for (std::size_t u = 0; u < st.unique.size(); ++u) {
     T* out = st.buf.data() + u * dim;
-    if (a.acc == Access::kInc) {
+    if (a.acc == apl::exec::Access::kInc) {
       std::fill_n(out, dim, T{});
     } else {
       const T* in = a.dat->entry(st.unique[u]);
@@ -390,7 +391,7 @@ void cuda_stage_store(CudaStage<T>& st) {
     if (writes(a.acc)) {
       T* out = a.dat->entry(st.unique[u]);
       const std::ptrdiff_t s = a.dat->stride();
-      if (a.acc == Access::kInc) {
+      if (a.acc == apl::exec::Access::kInc) {
         for (index_t d = 0; d < dim; ++d) out[d * s] += in[d];
       } else {
         for (index_t d = 0; d < dim; ++d) out[d * s] = in[d];
@@ -455,10 +456,20 @@ void run_cudasim(Context& ctx, const std::string& name, const Set& /*set*/,
 template <class Kernel, class... Args>
 void par_loop(Context& ctx, const std::string& name, const Set& set,
               Kernel&& kernel, Args... args) {
-  // Fault injection (kill_at_loop): the test harness for recovery paths.
-  apl::fault::Injector::global().on_loop();
+  // Fault injection (kill_at_loop, corrupt_map): the test harness for the
+  // recovery and guarded-validation paths.
+  apl::fault::Injector& injector = apl::fault::Injector::global();
+  injector.on_loop();
+  if (injector.armed()) ctx.apply_injected_faults();
 
   std::vector<ArgInfo> infos{args.info()...};
+
+  // Guarded bounds revalidation: map rows this loop executes through are
+  // range-checked against their target sets (declaration-time checks can
+  // be invalidated by corruption after the fact).
+  if (ctx.verifying(apl::verify::kBounds)) [[unlikely]] {
+    detail::verify_loop_bounds(ctx, name, set, infos);
+  }
 
   // Checkpointing: the recorder sees every loop; during fast-forward replay
   // the loop body is skipped and global outputs are restored from the log.
@@ -476,27 +487,32 @@ void par_loop(Context& ctx, const std::string& name, const Set& set,
                        : std::tuple<decltype(detail::debug_snapshot(args))...>{};
 
   apl::LoopStats& stats = ctx.profile().stats(name);
-  {
+  if (ctx.verifying(apl::verify::kAccess)) [[unlikely]] {
+    // Guarded access enforcement always executes the sequential schedule
+    // (results stay bit-identical to unguarded runs; see op2/guard.hpp).
+    apl::ScopedLoopTimer timer(stats);
+    detail::run_guarded_access(ctx, name, set, kernel, args...);
+  } else {
     apl::ScopedLoopTimer timer(stats);
     switch (ctx.backend()) {
-      case Backend::kSeq:
+      case apl::exec::Backend::kSeq:
         detail::run_seq(set, kernel, args...);
         break;
-      case Backend::kSimd:
+      case apl::exec::Backend::kSimd:
         detail::run_simd(set, kernel, args...);
         break;
-      case Backend::kThreads:
+      case apl::exec::Backend::kThreads:
         detail::run_threads(ctx, name, set, ctx.plan_for(name, set, infos),
                             kernel, args...);
         break;
-      case Backend::kCudaSim:
+      case apl::exec::Backend::kCudaSim:
         detail::run_cudasim(ctx, name, set, ctx.plan_for(name, set, infos),
                             kernel, args...);
         break;
     }
   }
   detail::account_traffic(ctx, name, set, infos, stats);
-  if (ctx.backend() == Backend::kCudaSim) {
+  if (ctx.backend() == apl::exec::Backend::kCudaSim) {
     detail::account_device(ctx, name, set, infos, stats);
   }
 

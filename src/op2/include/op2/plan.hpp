@@ -42,4 +42,14 @@ struct Plan {
 Plan build_plan(const Context& ctx, const Set& set,
                 const std::vector<ArgInfo>& args, index_t block_size);
 
+/// Race audit (apl::verify::kPlan): proves the two-level coloring of
+/// `plan` — no two same-colored blocks, and no two same-colored elements
+/// within a block, indirectly write the same target. Returns an empty
+/// string for a race-free plan, otherwise a description of the first
+/// conflicting element pair (which elements, which dat, which target).
+/// Run automatically by Context::plan_for in guarded mode; exposed as a
+/// standalone checker for tests and tools.
+std::string audit_plan(const Context& ctx, const Set& set,
+                       const std::vector<ArgInfo>& args, const Plan& plan);
+
 }  // namespace op2

@@ -19,6 +19,8 @@ struct ConflictTable {
   std::vector<index_t> resources;  ///< n * arity, -1 padded
   index_t arity = 0;
   index_t num_resources = 0;
+  std::vector<index_t> arg_dat;   ///< dat id per conflict column
+  std::vector<index_t> arg_base;  ///< resource-range base per column
 };
 
 ConflictTable build_conflicts(const Context& ctx, const Set& set,
@@ -49,6 +51,8 @@ ConflictTable build_conflicts(const Context& ctx, const Set& set,
     const ArgInfo& a = *conflict_args[k];
     const Map& m = ctx.map(a.map_id);
     const index_t base = dat_base[a.dat_id];
+    out.arg_dat.push_back(a.dat_id);
+    out.arg_base.push_back(base);
     for (index_t e = 0; e < n; ++e) {
       out.resources[static_cast<std::size_t>(e) * out.arity + k] =
           base + m.at(e, a.idx);
@@ -151,6 +155,92 @@ Plan build_plan(const Context& ctx, const Set& set,
     plan.max_elem_colors = std::max(plan.max_elem_colors, ec.num_colors);
   }
   return plan;
+}
+
+namespace {
+
+/// Describes the racing pair for audit_plan: which elements, which dat,
+/// which shared target element.
+std::string describe_race(const Context& ctx, const ConflictTable& conflicts,
+                          index_t e1, index_t e2, index_t resource,
+                          const char* level) {
+  index_t dat_id = -1, target = -1;
+  for (index_t k = 0; k < conflicts.arity; ++k) {
+    const index_t r =
+        conflicts.resources[static_cast<std::size_t>(e1) * conflicts.arity + k];
+    if (r == resource) {
+      dat_id = conflicts.arg_dat[k];
+      target = resource - conflicts.arg_base[k];
+      break;
+    }
+  }
+  std::string out = "race between elements ";
+  out += std::to_string(e1);
+  out += " and ";
+  out += std::to_string(e2);
+  out += " (same ";
+  out += level;
+  out += " color): both indirectly write element ";
+  out += std::to_string(target);
+  out += " of dat '";
+  out += dat_id >= 0 ? ctx.dat(dat_id).name() : "?";
+  out += "'";
+  return out;
+}
+
+}  // namespace
+
+std::string audit_plan(const Context& ctx, const Set& set,
+                       const std::vector<ArgInfo>& args, const Plan& plan) {
+  const ConflictTable conflicts = build_conflicts(ctx, set, args);
+  if (conflicts.arity == 0) return {};  // embarrassingly parallel
+  const index_t n = set.core_size();
+
+  if (plan.block_offset.size() !=
+          static_cast<std::size_t>(plan.num_blocks) + 1 ||
+      plan.block_color.size() != static_cast<std::size_t>(plan.num_blocks) ||
+      plan.elem_color.size() < static_cast<std::size_t>(n)) {
+    return "malformed plan: offset/color arrays do not match num_blocks=" +
+           std::to_string(plan.num_blocks) + ", n=" + std::to_string(n);
+  }
+
+  std::vector<index_t> block_of(n);
+  for (index_t b = 0; b < plan.num_blocks; ++b) {
+    for (index_t e = plan.block_offset[b]; e < plan.block_offset[b + 1]; ++e) {
+      block_of[e] = b;
+    }
+  }
+
+  // Group the elements touching each resource, then check every pair: a
+  // shared resource between two same-colored blocks, or two same-colored
+  // elements of one block, is exactly the race the plan exists to prevent.
+  std::vector<std::vector<index_t>> touchers(conflicts.num_resources);
+  for (index_t e = 0; e < n; ++e) {
+    for (index_t k = 0; k < conflicts.arity; ++k) {
+      const index_t r =
+          conflicts.resources[static_cast<std::size_t>(e) * conflicts.arity + k];
+      if (r < 0) continue;
+      auto& row = touchers[r];
+      if (row.empty() || row.back() != e) row.push_back(e);
+    }
+  }
+  for (index_t r = 0; r < conflicts.num_resources; ++r) {
+    const auto& row = touchers[r];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      for (std::size_t j = i + 1; j < row.size(); ++j) {
+        const index_t e1 = row[i], e2 = row[j];
+        const index_t b1 = block_of[e1], b2 = block_of[e2];
+        if (b1 != b2 && plan.block_color[b1] == plan.block_color[b2]) {
+          return describe_race(ctx, conflicts, e1, e2, r, "block");
+        }
+        if (b1 == b2 && e1 != e2 &&
+            plan.elem_color[e1] == plan.elem_color[e2]) {
+          return describe_race(ctx, conflicts, e1, e2, r, "element");
+        }
+      }
+    }
+  }
+  return {};
 }
 
 }  // namespace op2

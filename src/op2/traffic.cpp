@@ -9,6 +9,8 @@
 
 namespace op2::detail {
 
+using apl::exec::Access;
+
 namespace {
 
 /// Number of data-movement passes an access implies (read + write).

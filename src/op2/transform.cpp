@@ -51,6 +51,15 @@ void Context::apply_permutation(const Set& set,
   }
   invalidate_plans();
   unique_targets_cache_.clear();
+  // Guarded re-validation: a malformed permutation (or a bug in the
+  // rewrite above) must not leak out-of-range indices into later loops.
+  if (verifying(apl::verify::kBounds)) [[unlikely]] {
+    for (auto& map : maps_) {
+      if (&map->to() == &set || &map->from() == &set) {
+        verify_map_bounds(*map, "apply_permutation");
+      }
+    }
+  }
 }
 
 void Context::convert_layout(Layout layout) {

@@ -216,6 +216,61 @@ void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
   if (stats) stats->halo_bytes += bytes;
 }
 
+void Distributed::verify_halo_coherence(const std::string& loop,
+                                        index_t dat_id) {
+  const DatBase& gdat = global_->dat(dat_id);
+  const Decomp& dec = decomp_[gdat.block().id()];
+  const std::size_t entry = gdat.dim() * gdat.elem_bytes();
+  std::vector<std::uint8_t> ghost(entry), owned(entry);
+  // Owner of global point p per dim (same edge extension as fetch()).
+  const auto owner_of = [&](int d, index_t p) {
+    for (int c = 0; c < dec.pgrid[d]; ++c) {
+      const auto [lo, hi] = owned_interval(dec, d, c, dec.ref_size[d],
+                                           /*halo_lo=*/1 << 20,
+                                           /*halo_hi=*/1 << 20);
+      if (p >= lo && p < hi) return c;
+    }
+    return dec.pgrid[d] - 1;
+  };
+  const auto& gsz = gdat.size();
+  const auto& dm = gdat.d_m();
+  const auto& dp = gdat.d_p();
+  for (int r = 0; r < comm_.size(); ++r) {
+    const DatBase& rdat = rank_ctx_[r]->dat(dat_id);
+    const auto rcoord = rank_coords(dec, r);
+    const auto& lsz = rdat.size();
+    for (index_t j = -dm[1]; j < lsz[1] + dp[1]; ++j) {
+      for (index_t i = -dm[0]; i < lsz[0] + dp[0]; ++i) {
+        const index_t gi = i + dec.starts[0][rcoord[0]];
+        const index_t gj = j + dec.starts[1][rcoord[1]];
+        // Points beyond the global allocation carry no exchanged value
+        // (degenerate decompositions) — nothing to be coherent with.
+        if (gi < -dm[0] || gi >= gsz[0] + dp[0] || gj < -dm[1] ||
+            gj >= gsz[1] + dp[1]) {
+          continue;
+        }
+        const int cx = owner_of(0, gi);
+        const int cy = owner_of(1, gj);
+        const int owner = cy * dec.pgrid[0] + cx;
+        if (owner == r) continue;
+        const DatBase& odat = rank_ctx_[owner]->dat(dat_id);
+        rdat.pack_point(i, j, 0, ghost.data());
+        odat.pack_point(gi - dec.starts[0][cx], gj - dec.starts[1][cy], 0,
+                        owned.data());
+        if (std::memcmp(ghost.data(), owned.data(), entry) != 0) {
+          global_->verify_report().fail(
+              loop, apl::verify::kHalo,
+              "dat '" + gdat.name() + "': rank " + std::to_string(r) +
+                  " reads a stale halo copy of global point (" +
+                  std::to_string(gi) + "," + std::to_string(gj) +
+                  ") (owner rank " + std::to_string(owner) +
+                  " wrote it after the last exchange)");
+        }
+      }
+    }
+  }
+}
+
 void Distributed::fetch(DatBase& global_dat) {
   const Decomp& dec = decomp_[global_dat.block().id()];
   std::vector<std::uint8_t> buf(global_dat.dim() * global_dat.elem_bytes());

@@ -12,17 +12,23 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 #include "apl/error.hpp"
+#include "apl/verify.hpp"
 #include "ops/core.hpp"
 
 namespace ops {
 
-/// Per-argument debug validation state (shared across grid points).
+/// Per-argument debug validation state (shared across grid points). When
+/// armed by guarded execution (apl::verify::kStencil) rather than plain
+/// debug checks, `report` points at the context's verify report so the
+/// violation is recorded before the throw.
 struct StencilCheck {
   const Stencil* stencil;
   const char* loop;
   const char* dat;
+  apl::verify::Report* report = nullptr;
 };
 
 template <class T>
@@ -57,10 +63,18 @@ private:
     return;
 #else
     if (check_ == nullptr) return;
-    apl::require(check_->stencil->contains(i, j, k), "stencil check: loop '",
-                 check_->loop, "' accessed offset (", i, ",", j, ",", k,
-                 ") of dat '", check_->dat,
-                 "' outside declared stencil '", check_->stencil->name(), "'");
+    if (check_->stencil->contains(i, j, k)) return;
+    if (check_->report != nullptr) {
+      check_->report->fail(
+          check_->loop, apl::verify::kStencil,
+          std::string("dat '") + check_->dat + "' accessed at offset (" +
+              std::to_string(i) + "," + std::to_string(j) + "," +
+              std::to_string(k) + ") outside declared stencil '" +
+              check_->stencil->name() + "'");
+    }
+    apl::fail("stencil check: loop '", check_->loop, "' accessed offset (", i,
+              ",", j, ",", k, ") of dat '", check_->dat,
+              "' outside declared stencil '", check_->stencil->name(), "'");
 #endif
   }
 

@@ -81,6 +81,12 @@ private:
                                              index_t s, index_t halo_lo,
                                              index_t halo_hi) const;
   void exchange_halo(index_t dat_id, apl::LoopStats* stats);
+  /// Guarded halo consistency (apl::verify::kHalo): proves every
+  /// inter-rank halo copy a loop is about to read through a non-centre
+  /// stencil bitwise-matches the owning rank's current value, i.e. the
+  /// dirty-bit tracking exchanged it since the owner last wrote. Reports
+  /// the first stale (rank, grid point) pair otherwise.
+  void verify_halo_coherence(const std::string& loop, index_t dat_id);
 
   Context* global_;
   apl::mpisim::Comm comm_;
@@ -201,6 +207,20 @@ void Distributed::par_loop(const std::string& name, const Block& block,
     if (global_->stencil(a.stencil_id).is_zero_point()) continue;
     exchange_halo(a.dat_id, &stats);
     halo_dirty_[a.dat_id] = 0;
+  }
+  // Guarded halo consistency: after the exchange decisions, every halo
+  // copy about to be read must match its owner's current value.
+  if (global_->verifying(apl::verify::kHalo)) [[unlikely]] {
+    std::vector<index_t> done;
+    for (const ArgInfo& a : infos) {
+      if (a.is_gbl || a.is_idx || !reads(a.acc)) continue;
+      if (global_->stencil(a.stencil_id).is_zero_point()) continue;
+      if (std::find(done.begin(), done.end(), a.dat_id) != done.end()) {
+        continue;
+      }
+      verify_halo_coherence(name, a.dat_id);
+      done.push_back(a.dat_id);
+    }
   }
 
   auto states = std::make_tuple(make_state(args)...);

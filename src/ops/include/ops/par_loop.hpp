@@ -23,6 +23,7 @@
 #include "ops/arg.hpp"
 #include "ops/checkpoint.hpp"
 #include "ops/context.hpp"
+#include "ops/guard.hpp"
 #include "ops/lazy.hpp"
 
 namespace ops {
@@ -110,16 +111,23 @@ template <class T>
 void finish_gbl(ArgDat<T>&, std::size_t) {}
 inline void finish_gbl(ArgIdx&, std::size_t) {}
 
-// ---- debug stencil-check arming ---------------------------------------------
+// ---- debug / guarded stencil-check arming -----------------------------------
 
+// Armed either by Context::set_debug_checks (plain throw) or by guarded
+// execution under apl::verify::kStencil (`rep` non-null: the violation is
+// recorded in the context's verify report, then thrown).
 template <class T>
-void arm_check(ArgDat<T>& a, const std::string& loop, bool on) {
+void arm_check(ArgDat<T>& a, const std::string& loop, bool on,
+               apl::verify::Report* rep) {
   a.checked = on;
-  if (on) a.chk = StencilCheck{a.stencil, loop.c_str(), a.dat->name().c_str()};
+  if (on) {
+    a.chk = StencilCheck{a.stencil, loop.c_str(), a.dat->name().c_str(), rep};
+  }
 }
 template <class T>
-void arm_check(ArgGbl<T>&, const std::string&, bool) {}
-inline void arm_check(ArgIdx&, const std::string&, bool) {}
+void arm_check(ArgGbl<T>&, const std::string&, bool, apl::verify::Report*) {}
+inline void arm_check(ArgIdx&, const std::string&, bool,
+                      apl::verify::Report*) {}
 
 // ---- execution -------------------------------------------------------------
 
@@ -348,7 +356,13 @@ void par_loop(Context& ctx, const std::string& name, const Block& block,
     }
   }
 
-  if (ctx.lazy() && !ctx.chain_executing()) {
+  // kAccess diffs whole allocations around a single loop body, which is
+  // meaningless once loops are fused into a tiled chain — under the guard
+  // this loop runs eagerly, after whatever is already queued.
+  const bool guard_access = ctx.verifying(apl::verify::kAccess);
+  if (guard_access && ctx.lazy() && !ctx.chain_executing()) ctx.flush();
+
+  if (ctx.lazy() && !ctx.chain_executing() && !guard_access) {
     LoopRecord rec;
     rec.name = name;
     rec.block = &block;
@@ -360,14 +374,20 @@ void par_loop(Context& ctx, const std::string& name, const Block& block,
       std::apply(
           [&](auto&... fr) {
             const auto invoke = [&](auto&... as) {
-              (detail::arm_check(as, name, ctx.debug_checks()), ...);
+              const bool guard_stencil =
+                  ctx.verifying(apl::verify::kStencil);
+              const bool checked = ctx.debug_checks() || guard_stencil;
+              (detail::arm_check(as, name, checked,
+                                 guard_stencil ? &ctx.verify_report()
+                                               : nullptr),
+               ...);
               int out_dim = nd - 1;
               while (out_dim > 0 && sub.hi[out_dim] - sub.lo[out_dim] <= 1) {
                 --out_dim;
               }
               apl::LoopStats& stats = ctx.profile().stats(name);
               const double t0 = apl::now_seconds();
-              if (ctx.debug_checks()) {
+              if (checked) {
                 detail::execute_loop<true>(ctx, sub, out_dim, kernel, as...);
               } else {
                 detail::execute_loop<false>(ctx, sub, out_dim, kernel, as...);
@@ -396,7 +416,11 @@ void par_loop(Context& ctx, const std::string& name, const Block& block,
     return;
   }
 
-  (detail::arm_check(args, name, ctx.debug_checks()), ...);
+  const bool guard_stencil = ctx.verifying(apl::verify::kStencil);
+  const bool checked = ctx.debug_checks() || guard_stencil;
+  (detail::arm_check(args, name, checked,
+                     guard_stencil ? &ctx.verify_report() : nullptr),
+   ...);
 
   apl::LoopStats& stats = ctx.profile().stats(name);
   // The outermost dimension with extent > 1 is the parallel one.
@@ -406,7 +430,29 @@ void par_loop(Context& ctx, const std::string& name, const Block& block,
   }
   {
     apl::ScopedLoopTimer timer(stats);
-    if (ctx.debug_checks()) {
+    if (guard_access) [[unlikely]] {
+      // Snapshot every kRead argument, run, then bitwise-diff: any change
+      // is a write through a read-only declaration. Dats some other
+      // argument declares written are exempt (aliased update_halo idiom).
+      std::vector<index_t> written;
+      for (const ArgInfo& ai : infos) {
+        if (!ai.is_gbl && !ai.is_idx && writes(ai.acc)) {
+          written.push_back(ai.dat_id);
+        }
+      }
+      const auto snaps =
+          std::make_tuple(detail::guard_snapshot(args, written)...);
+      if (checked) {
+        detail::execute_loop<true>(ctx, range, out_dim, kernel, args...);
+      } else {
+        detail::execute_loop<false>(ctx, range, out_dim, kernel, args...);
+      }
+      [&]<std::size_t... I>(std::index_sequence<I...>) {
+        (detail::guard_diff(ctx, name, static_cast<int>(I), args,
+                            std::get<I>(snaps)),
+         ...);
+      }(std::index_sequence_for<Args...>{});
+    } else if (checked) {
       detail::execute_loop<true>(ctx, range, out_dim, kernel, args...);
     } else {
       detail::execute_loop<false>(ctx, range, out_dim, kernel, args...);

@@ -46,6 +46,13 @@ Config parse_config(std::string_view spec) {
               std::string(val), "'");
       cfg.corrupt_dataset = std::string(val.substr(0, at));
       cfg.corrupt_byte = parse_int(key, val.substr(at + 1));
+    } else if (key == "corrupt_map") {
+      const std::size_t at = val.rfind('@');
+      require(at != std::string_view::npos && at > 0,
+              "fault: corrupt_map expects name@index, got '", std::string(val),
+              "'");
+      cfg.corrupt_map = std::string(val.substr(0, at));
+      cfg.corrupt_map_index = parse_int(key, val.substr(at + 1));
     } else if (key == "fail_rank") {
       const std::size_t at = val.find('@');
       require(at != std::string_view::npos,
@@ -105,6 +112,14 @@ std::optional<std::pair<std::string, std::int64_t>> Injector::corrupt_target()
     return std::nullopt;
   }
   return std::make_pair(cfg_.corrupt_dataset, cfg_.corrupt_byte);
+}
+
+std::optional<std::pair<std::string, std::int64_t>>
+Injector::corrupt_map_target() const {
+  if (!armed_ || cfg_.corrupt_map.empty() || cfg_.corrupt_map_index < 0) {
+    return std::nullopt;
+  }
+  return std::make_pair(cfg_.corrupt_map, cfg_.corrupt_map_index);
 }
 
 void Injector::kill_loop(std::int64_t ordinal) {

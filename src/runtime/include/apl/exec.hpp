@@ -16,9 +16,8 @@
 //   ctx.flush();             // explicit flush point
 //   ctx.profile().report();
 //
-// The per-library enums (`op2::Backend`, `ops::Access`, ...) remain as
-// thin aliases of the types below; they are deprecated spellings kept for
-// one release.
+// These are the only spellings: the per-library aliases (`op2::Access`,
+// `op2::Backend`) that existed for one deprecation release are gone.
 #pragma once
 
 #include <map>
@@ -27,6 +26,7 @@
 #include <string_view>
 
 #include "apl/profile.hpp"
+#include "apl/verify.hpp"
 
 namespace apl::exec {
 
@@ -113,6 +113,20 @@ public:
   apl::Profile& profile() { return profile_; }
   const apl::Profile& profile() const { return profile_; }
 
+  /// Guarded execution mode: a bitmask of apl::verify::Check values.
+  /// Initialized from OPAL_VERIFY at context construction; the off state
+  /// costs one integer test per check site and never allocates.
+  unsigned verify_checks() const { return verify_checks_; }
+  void set_verify(unsigned mask) { verify_checks_ = mask; }
+  bool verifying(verify::Check kind) const {
+    return (verify_checks_ & kind) != 0;
+  }
+
+  /// Violations recorded by guarded execution (each is also thrown as an
+  /// apl::Error at the point of detection).
+  verify::Report& verify_report() { return verify_report_; }
+  const verify::Report& verify_report() const { return verify_report_; }
+
 protected:
   virtual void do_flush() {}
 
@@ -120,6 +134,8 @@ private:
   Backend backend_ = Backend::kSeq;
   bool debug_checks_ = false;
   bool lazy_ = false;
+  unsigned verify_checks_ = verify::checks_from_env();
+  verify::Report verify_report_;
   std::map<std::string, double> flop_hints_;
   apl::Profile profile_;
 };

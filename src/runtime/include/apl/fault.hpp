@@ -16,6 +16,9 @@
 //   corrupt_dataset=name@B  flip a bit of byte B of dataset `name`'s payload
 //                           inside the next checkpoint written (bitrot that
 //                           the CRC must catch on load)
+//   corrupt_map=name@I      overwrite entry I of OP2 map `name` with an
+//                           out-of-range index at the next par_loop (memory
+//                           corruption that guarded bounds checking catches)
 //   fail_rank=R@M           kill simulated rank R at the Mth halo exchange
 //   seed=S                  recorded for reproducibility bookkeeping
 //
@@ -58,6 +61,8 @@ struct Config {
   std::int64_t truncate_checkpoint = -1;
   std::string corrupt_dataset;
   std::int64_t corrupt_byte = -1;
+  std::string corrupt_map;
+  std::int64_t corrupt_map_index = -1;
   int fail_rank = -1;
   std::int64_t fail_at_exchange = -1;
   std::uint64_t seed = 0;
@@ -104,9 +109,18 @@ class Injector {
   }
   /// Returns {dataset name, byte offset} of the payload byte to corrupt.
   std::optional<std::pair<std::string, std::int64_t>> corrupt_target() const;
+  /// Returns {map name, table index} of the map entry to corrupt in place
+  /// (the OP2 runtime applies it at the next par_loop; guarded bounds
+  /// checking is what catches the damage).
+  std::optional<std::pair<std::string, std::int64_t>> corrupt_map_target()
+      const;
   void consume_ckpt_kill() { cfg_.kill_at_ckpt_byte = -1; }
   void consume_ckpt_truncate() { cfg_.truncate_checkpoint = -1; }
   void consume_corrupt() { cfg_.corrupt_dataset.clear(); cfg_.corrupt_byte = -1; }
+  void consume_corrupt_map() {
+    cfg_.corrupt_map.clear();
+    cfg_.corrupt_map_index = -1;
+  }
 
  private:
   [[noreturn]] void kill_loop(std::int64_t ordinal);

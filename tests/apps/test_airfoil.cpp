@@ -137,11 +137,11 @@ TEST(AirfoilPhysics, BumpAcceleratesFlow) {
 
 // ---- backend equivalence ----------------------------------------------------
 
-class AirfoilBackends : public ::testing::TestWithParam<op2::Backend> {};
+class AirfoilBackends : public ::testing::TestWithParam<apl::exec::Backend> {};
 
 TEST_P(AirfoilBackends, MatchesSeq) {
   Airfoil ref(small_opts());
-  ref.ctx().set_backend(op2::Backend::kSeq);
+  ref.ctx().set_backend(apl::exec::Backend::kSeq);
   const double rms_ref = ref.run(20);
   const auto q_ref = ref.solution();
 
@@ -157,9 +157,9 @@ TEST_P(AirfoilBackends, MatchesSeq) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, AirfoilBackends,
-                         ::testing::Values(op2::Backend::kSimd,
-                                           op2::Backend::kThreads,
-                                           op2::Backend::kCudaSim),
+                         ::testing::Values(apl::exec::Backend::kSimd,
+                                           apl::exec::Backend::kThreads,
+                                           apl::exec::Backend::kCudaSim),
                          [](const auto& info) {
                            return op2::to_string(info.param);
                          });
@@ -169,7 +169,7 @@ TEST(AirfoilBackends, SoALayoutMatches) {
   const double rms_ref = ref.run(10);
   Airfoil app(small_opts());
   app.ctx().convert_layout(op2::Layout::kSoA);
-  app.ctx().set_backend(op2::Backend::kCudaSim);
+  app.ctx().set_backend(apl::exec::Backend::kCudaSim);
   const double rms = app.run(10);
   EXPECT_NEAR(rms, rms_ref, 1e-10 * (1 + rms_ref));
 }
@@ -200,7 +200,7 @@ TEST(AirfoilDistributed, HybridThreadsMatches) {
   const double rms_ref = ref.run(10);
   Airfoil app(small_opts());
   app.enable_distributed(3, apl::graph::PartitionMethod::kKway,
-                         op2::Backend::kThreads);
+                         apl::exec::Backend::kThreads);
   EXPECT_NEAR(app.run(10), rms_ref, 1e-9 * (1 + rms_ref));
 }
 

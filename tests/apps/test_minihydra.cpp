@@ -49,7 +49,7 @@ TEST(MiniHydra, RenumberingPreservesPhysics) {
   EXPECT_NEAR(rms, rms_ref, 1e-10 * (1 + rms_ref));
 }
 
-class MiniHydraBackends : public ::testing::TestWithParam<op2::Backend> {};
+class MiniHydraBackends : public ::testing::TestWithParam<apl::exec::Backend> {};
 
 TEST_P(MiniHydraBackends, MatchesSeq) {
   MiniHydra ref(small_opts());
@@ -61,9 +61,9 @@ TEST_P(MiniHydraBackends, MatchesSeq) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, MiniHydraBackends,
-                         ::testing::Values(op2::Backend::kSimd,
-                                           op2::Backend::kThreads,
-                                           op2::Backend::kCudaSim),
+                         ::testing::Values(apl::exec::Backend::kSimd,
+                                           apl::exec::Backend::kThreads,
+                                           apl::exec::Backend::kCudaSim),
                          [](const auto& info) {
                            return op2::to_string(info.param);
                          });

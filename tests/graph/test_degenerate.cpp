@@ -1,0 +1,109 @@
+// Degenerate-input handling across the graph library: empty graphs,
+// single-element sets, self-referencing map rows, and malformed CSR
+// structures must either produce valid results or fail with an
+// actionable apl::Error — never read out of bounds or loop forever.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/graph/coloring.hpp"
+#include "apl/graph/csr.hpp"
+#include "apl/graph/partition.hpp"
+#include "apl/graph/rcm.hpp"
+
+#include "../support/expect_error.hpp"
+
+namespace {
+
+using apl::graph::Csr;
+using apl::graph::index_t;
+
+Csr empty_graph() { return Csr{{0}, {}}; }
+
+TEST(GraphDegenerate, EmptyGraphColorsRenumbersPartitions) {
+  const Csr g = empty_graph();
+  const auto coloring = apl::graph::greedy_color(g);
+  EXPECT_TRUE(coloring.color.empty());
+  EXPECT_EQ(coloring.num_colors, 0);
+  EXPECT_TRUE(apl::graph::rcm_permutation(g).empty());
+  const auto part = apl::graph::partition_kway(g, 4);
+  EXPECT_EQ(part.num_parts, 4);
+  EXPECT_TRUE(part.part.empty());
+}
+
+TEST(GraphDegenerate, SingleVertexWithSelfEdge) {
+  const Csr g{{0, 1}, {0}};
+  const auto coloring = apl::graph::greedy_color(g);
+  ASSERT_EQ(coloring.color.size(), 1u);
+  EXPECT_EQ(coloring.num_colors, 1);
+  const auto perm = apl::graph::rcm_permutation(g);
+  ASSERT_EQ(perm.size(), 1u);
+  EXPECT_EQ(perm[0], 0);
+  const auto part = apl::graph::partition_kway(g, 3);
+  ASSERT_EQ(part.part.size(), 1u);
+  EXPECT_GE(part.part[0], 0);
+}
+
+TEST(GraphDegenerate, SelfReferencingMapRowAdjacency) {
+  // Row {2, 2} references the same target twice — node_adjacency must not
+  // report 2 as its own neighbour, and coloring stays valid.
+  const std::vector<index_t> map = {0, 1, 2, 2, 1, 2};
+  const Csr adj = apl::graph::node_adjacency(map, 2, 3, 3);
+  for (index_t v = 0; v < adj.num_vertices(); ++v) {
+    for (index_t u : adj.neighbours(v)) EXPECT_NE(u, v);
+  }
+  const auto coloring = apl::graph::color_by_shared_resources(map, 2, 3, 3);
+  EXPECT_EQ(apl::graph::count_conflicts(coloring, map, 2, 3), 0);
+}
+
+TEST(GraphDegenerate, MorePartsThanVertices) {
+  const Csr g{{0, 1, 2}, {1, 0}};
+  const auto part = apl::graph::partition_kway(g, 8);
+  ASSERT_EQ(part.part.size(), 2u);
+  for (index_t p : part.part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 8);
+  }
+  const auto block = apl::graph::partition_block(1, 5);
+  ASSERT_EQ(block.part.size(), 1u);
+  EXPECT_GE(block.part[0], 0);
+}
+
+TEST(GraphDegenerate, EmptyRcbPartition) {
+  const auto part =
+      apl::graph::partition_rcb(std::vector<double>{}, 2, 0, 4);
+  EXPECT_EQ(part.num_parts, 4);
+  EXPECT_TRUE(part.part.empty());
+}
+
+TEST(GraphDegenerate, MalformedCsrIsRejectedWithDiagnostic) {
+  // Adjacency entry names a non-existent vertex.
+  EXPECT_APL_ERROR("is not a vertex",
+                   apl::graph::greedy_color(Csr{{0, 1}, {7}}));
+  // Offsets that do not cover adj.
+  EXPECT_APL_ERROR("adj has",
+                   apl::graph::rcm_permutation(Csr{{0, 1}, {0, 0}}));
+  // Decreasing offsets.
+  EXPECT_APL_ERROR("offsets decrease",
+                   apl::graph::partition_kway(Csr{{0, 2, 1}, {0, 1}}, 2));
+  // Missing the mandatory leading 0.
+  EXPECT_APL_ERROR("must start at 0",
+                   apl::graph::greedy_color(Csr{{1, 1}, {}}));
+  // A default-constructed Csr is the valid empty graph, but dangling
+  // adjacency entries without offsets are not.
+  EXPECT_TRUE(apl::graph::greedy_color(Csr{}).color.empty());
+  EXPECT_APL_ERROR("offsets are empty but adj has",
+                   apl::graph::rcm_permutation(Csr{{}, {0}}));
+}
+
+TEST(GraphDegenerate, OutOfRangeInputsNameTheOffender) {
+  const std::vector<index_t> bad = {0, 5};
+  EXPECT_APL_ERROR("out of range",
+                   apl::graph::invert_map(bad, 2, 1, 3));
+  EXPECT_APL_ERROR("only 3 resources exist",
+                   apl::graph::color_by_shared_resources(bad, 2, 1, 3));
+  EXPECT_APL_ERROR("negative set size",
+                   apl::graph::invert_map(std::vector<index_t>{}, 2, 0, -1));
+}
+
+}  // namespace

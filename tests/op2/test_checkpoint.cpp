@@ -14,7 +14,7 @@
 
 namespace {
 
-using op2::Access;
+using apl::exec::Access;
 using op2::index_t;
 
 std::string temp_path(const std::string& name) {

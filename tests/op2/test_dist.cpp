@@ -15,7 +15,7 @@
 namespace {
 
 using apl::graph::PartitionMethod;
-using op2::Access;
+using apl::exec::Access;
 using op2::index_t;
 
 struct DistHarness {
@@ -77,7 +77,7 @@ std::vector<double> reference_sweep(int sweeps) {
 
 std::vector<double> distributed_sweep(int sweeps, int nranks,
                                       PartitionMethod method,
-                                      op2::Backend node_backend,
+                                      apl::exec::Backend node_backend,
                                       std::uint64_t* halo_messages = nullptr) {
   DistHarness h;
   op2::Distributed dist(h.ctx, nranks, method, *h.nodes, h.x);
@@ -122,7 +122,7 @@ class DistEquivalence
 TEST_P(DistEquivalence, MatchesSequential) {
   const auto [nranks, method] = GetParam();
   const auto ref = reference_sweep(3);
-  const auto got = distributed_sweep(3, nranks, method, op2::Backend::kSeq);
+  const auto got = distributed_sweep(3, nranks, method, apl::exec::Backend::kSeq);
   ASSERT_EQ(ref.size(), got.size());
   for (std::size_t i = 0; i < ref.size(); ++i) {
     EXPECT_NEAR(got[i], ref[i], 1e-12 * (1 + std::abs(ref[i]))) << i;
@@ -141,7 +141,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(Distributed, HybridMpiThreadsMatchesSequential) {
   const auto ref = reference_sweep(2);
   const auto got =
-      distributed_sweep(2, 3, PartitionMethod::kKway, op2::Backend::kThreads);
+      distributed_sweep(2, 3, PartitionMethod::kKway, apl::exec::Backend::kThreads);
   for (std::size_t i = 0; i < ref.size(); ++i) {
     EXPECT_NEAR(got[i], ref[i], 1e-12 * (1 + std::abs(ref[i]))) << i;
   }
@@ -150,7 +150,7 @@ TEST(Distributed, HybridMpiThreadsMatchesSequential) {
 TEST(Distributed, HybridMpiCudaSimMatchesSequential) {
   const auto ref = reference_sweep(2);
   const auto got =
-      distributed_sweep(2, 2, PartitionMethod::kRcb, op2::Backend::kCudaSim);
+      distributed_sweep(2, 2, PartitionMethod::kRcb, apl::exec::Backend::kCudaSim);
   for (std::size_t i = 0; i < ref.size(); ++i) {
     EXPECT_NEAR(got[i], ref[i], 1e-12 * (1 + std::abs(ref[i]))) << i;
   }
@@ -158,7 +158,7 @@ TEST(Distributed, HybridMpiCudaSimMatchesSequential) {
 
 TEST(Distributed, SingleRankNeedsNoMessages) {
   std::uint64_t messages = ~0ull;
-  distributed_sweep(2, 1, PartitionMethod::kBlock, op2::Backend::kSeq,
+  distributed_sweep(2, 1, PartitionMethod::kBlock, apl::exec::Backend::kSeq,
                     &messages);
   EXPECT_EQ(messages, 0u);
 }
@@ -191,7 +191,7 @@ TEST(Distributed, OnDemandExchangeOnlyWhenDirty) {
   auto read_loop = [&] {
     dist.par_loop("gatheronly", *h.edges,
                   [](op2::Acc<double> qa, op2::Acc<double> len) {
-                    len[0] = qa[0];
+                    len[0] += qa[0];
                   },
                   op2::arg(*h.q, *h.e2n, 0, Access::kRead),
                   op2::arg(*h.res, *h.e2n, 0, Access::kInc));

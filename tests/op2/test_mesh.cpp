@@ -125,18 +125,18 @@ TEST(Mesh, ArgValidation) {
   op2::Dat<double>& on_cells =
       ctx.decl_dat<double>(cells, 1, std::span<const double>{}, "c");
   // Map targets nodes but dat lives on cells.
-  EXPECT_THROW(op2::arg(on_cells, e2n, 0, op2::Access::kRead), apl::Error);
+  EXPECT_THROW(op2::arg(on_cells, e2n, 0, apl::exec::Access::kRead), apl::Error);
   op2::Dat<double>& on_nodes =
       ctx.decl_dat<double>(nodes, 1, std::span<const double>{}, "n");
-  EXPECT_THROW(op2::arg(on_nodes, e2n, 2, op2::Access::kRead), apl::Error);
-  EXPECT_NO_THROW(op2::arg(on_nodes, e2n, 1, op2::Access::kRead));
+  EXPECT_THROW(op2::arg(on_nodes, e2n, 2, apl::exec::Access::kRead), apl::Error);
+  EXPECT_NO_THROW(op2::arg(on_nodes, e2n, 1, apl::exec::Access::kRead));
 }
 
 TEST(Mesh, ArgGblValidation) {
   double v = 0;
-  EXPECT_THROW(op2::arg_gbl(&v, 1, op2::Access::kWrite), apl::Error);
-  EXPECT_THROW(op2::arg_gbl(&v, 1, op2::Access::kRW), apl::Error);
-  EXPECT_NO_THROW(op2::arg_gbl(&v, 1, op2::Access::kInc));
+  EXPECT_THROW(op2::arg_gbl(&v, 1, apl::exec::Access::kWrite), apl::Error);
+  EXPECT_THROW(op2::arg_gbl(&v, 1, apl::exec::Access::kRW), apl::Error);
+  EXPECT_NO_THROW(op2::arg_gbl(&v, 1, apl::exec::Access::kInc));
 }
 
 TEST(Mesh, UniqueTargetsCounts) {

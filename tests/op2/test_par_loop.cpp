@@ -13,8 +13,8 @@
 
 namespace {
 
-using op2::Access;
-using op2::Backend;
+using apl::exec::Access;
+using apl::exec::Backend;
 using op2::index_t;
 
 constexpr Backend kAllBackends[] = {Backend::kSeq, Backend::kSimd,

@@ -29,13 +29,13 @@ struct PlanFixture : ::testing::Test {
 };
 
 std::vector<op2::ArgInfo> inc_args(op2::Dat<double>& d, const op2::Map& m) {
-  return {op2::arg(d, m, 0, op2::Access::kInc).info(),
-          op2::arg(d, m, 1, op2::Access::kInc).info()};
+  return {op2::arg(d, m, 0, apl::exec::Access::kInc).info(),
+          op2::arg(d, m, 1, apl::exec::Access::kInc).info()};
 }
 
 TEST_F(PlanFixture, DirectLoopHasSingleColor) {
   const std::vector<op2::ArgInfo> args = {
-      op2::arg(*q, op2::Access::kWrite).info()};
+      op2::arg(*q, apl::exec::Access::kWrite).info()};
   // Direct loop over nodes: no conflicts, everything one color.
   const op2::Plan p = op2::build_plan(ctx, *nodes, args, 16);
   EXPECT_FALSE(p.has_conflicts);
@@ -45,7 +45,7 @@ TEST_F(PlanFixture, DirectLoopHasSingleColor) {
 
 TEST_F(PlanFixture, IndirectReadHasNoConflicts) {
   const std::vector<op2::ArgInfo> args = {
-      op2::arg(*q, *e2n, 0, op2::Access::kRead).info()};
+      op2::arg(*q, *e2n, 0, apl::exec::Access::kRead).info()};
   const op2::Plan p = op2::build_plan(ctx, *edges, args, 16);
   EXPECT_FALSE(p.has_conflicts);
 }
@@ -109,8 +109,8 @@ TEST_F(PlanFixture, IncrementsToDifferentDatsDoNotConflict) {
   // never the same array element, so the resources are disjoint and only
   // same-dat sharing forces colors.
   const std::vector<op2::ArgInfo> args = {
-      op2::arg(*q, *e2n, 0, op2::Access::kInc).info(),
-      op2::arg(r, *e2n, 1, op2::Access::kInc).info()};
+      op2::arg(*q, *e2n, 0, apl::exec::Access::kInc).info(),
+      op2::arg(r, *e2n, 1, apl::exec::Access::kInc).info()};
   const op2::Plan p = op2::build_plan(ctx, *edges, args, 16);
   EXPECT_TRUE(p.has_conflicts);
   // With only single-endpoint increments per dat, fewer colors are needed
@@ -126,7 +126,7 @@ TEST_F(PlanFixture, PlansAreCachedBySignature) {
   EXPECT_EQ(&p1, &p2);
   // A different argument signature must get its own plan.
   const std::vector<op2::ArgInfo> read_args = {
-      op2::arg(*q, *e2n, 0, op2::Access::kRead).info()};
+      op2::arg(*q, *e2n, 0, apl::exec::Access::kRead).info()};
   op2::Plan& p3 = ctx.plan_for("loop", *edges, read_args);
   EXPECT_NE(&p3, &p1);
   EXPECT_FALSE(p3.has_conflicts);
@@ -147,6 +147,46 @@ TEST_F(PlanFixture, EmptySetPlan) {
   const std::vector<op2::ArgInfo> args;
   const op2::Plan p = op2::build_plan(ctx, empty, args, 16);
   EXPECT_EQ(p.num_blocks, 0);
+}
+
+TEST_F(PlanFixture, EmptySetIndirectPlanAuditsClean) {
+  op2::Set& empty = ctx.decl_set(0, "none");
+  op2::Map& none2n =
+      ctx.decl_map(empty, *nodes, 2, std::vector<index_t>{}, "none2n");
+  const auto args = inc_args(*q, none2n);
+  const op2::Plan p = op2::build_plan(ctx, empty, args, 16);
+  EXPECT_EQ(p.num_blocks, 0);
+  EXPECT_TRUE(op2::audit_plan(ctx, empty, args, p).empty());
+}
+
+TEST_F(PlanFixture, SingleElementSetPlanIsValid) {
+  op2::Set& one = ctx.decl_set(1, "one");
+  op2::Map& o2n =
+      ctx.decl_map(one, *nodes, 2, std::vector<index_t>{0, 1}, "o2n");
+  const auto args = inc_args(*q, o2n);
+  const op2::Plan p = op2::build_plan(ctx, one, args, 16);
+  EXPECT_EQ(p.num_blocks, 1);
+  EXPECT_EQ(p.block_offset.back(), 1);
+  EXPECT_TRUE(op2::audit_plan(ctx, one, args, p).empty());
+}
+
+TEST_F(PlanFixture, SelfReferencingMapPlanIsRaceFree) {
+  // cells -> cells map (each cell increments itself and its successor):
+  // the from- and to-set coincide, and one row even references the element
+  // itself. The colored plan must still prove race-free under the audit.
+  op2::Set& cells = ctx.decl_set(6, "cells");
+  std::vector<index_t> tbl;
+  for (index_t c = 0; c < 6; ++c) {
+    tbl.push_back(c);
+    tbl.push_back((c + 1) % 6);
+  }
+  op2::Map& c2c = ctx.decl_map(cells, cells, 2, tbl, "c2c");
+  op2::Dat<double>& acc = ctx.decl_dat<double>(
+      cells, 1, std::vector<double>(6, 0.0), "acc");
+  const auto args = inc_args(acc, c2c);
+  const op2::Plan p = op2::build_plan(ctx, cells, args, 2);
+  EXPECT_TRUE(p.has_conflicts);
+  EXPECT_TRUE(op2::audit_plan(ctx, cells, args, p).empty());
 }
 
 }  // namespace

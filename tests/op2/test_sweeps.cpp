@@ -12,7 +12,7 @@
 
 namespace {
 
-using op2::Backend;
+using apl::exec::Backend;
 using op2::Layout;
 
 double reference_rms() {

@@ -13,7 +13,7 @@
 
 namespace {
 
-using op2::Access;
+using apl::exec::Access;
 using op2::index_t;
 
 struct TransformFixture : ::testing::Test {

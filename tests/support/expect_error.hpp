@@ -1,0 +1,29 @@
+// Shared assertion for negative-path tests: the statement must throw
+// apl::Error and the message must name the problem. Used across the op2,
+// ops, graph and verify suites so diagnostics are asserted by content,
+// not just by "something threw".
+#pragma once
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apl/error.hpp"
+
+// EXPECT_APL_ERROR(substr, stmt...): `stmt` (commas allowed) must throw
+// apl::Error whose what() contains `substr`.
+#define EXPECT_APL_ERROR(substr, ...)                                       \
+  do {                                                                      \
+    bool apl_thrown_ = false;                                               \
+    try {                                                                   \
+      __VA_ARGS__;                                                          \
+    } catch (const apl::Error& apl_err_) {                                  \
+      apl_thrown_ = true;                                                   \
+      EXPECT_NE(std::string(apl_err_.what()).find(substr),                  \
+                std::string::npos)                                          \
+          << "apl::Error message\n  \"" << apl_err_.what()                  \
+          << "\"\ndoes not contain\n  \"" << substr << '"';                 \
+    }                                                                       \
+    EXPECT_TRUE(apl_thrown_) << "expected apl::Error containing \""         \
+                             << substr << "\", nothing was thrown";         \
+  } while (0)

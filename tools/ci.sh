@@ -17,6 +17,16 @@ cmake -S "$repo" -B "$build" -DAPL_WERROR=ON
 cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" -L tier1 --output-on-failure -j "$(nproc)"
 
+# Guarded execution stage: the full tier must stay green with every runtime
+# contract check enabled, and the proxy apps must run clean end to end.
+# cloverleaf_sim doubles as the bit-identity proof — it compares the
+# (guarded) OPS run against the hand-coded reference bit-for-bit.
+OPAL_VERIFY=all ctest --test-dir "$build" -L tier1 --output-on-failure \
+  -j "$(nproc)"
+OPAL_VERIFY=all "$build/examples/airfoil_sim" 10 > /dev/null
+OPAL_VERIFY=all "$build/examples/cloverleaf_sim" 10 \
+  | grep -q "identical: yes (bitwise)"
+
 if [[ -n "${CI_SANITIZE:-}" ]]; then
   san_build="$build-$CI_SANITIZE"
   cmake -S "$repo" -B "$san_build" -DAPL_WERROR=ON \
