@@ -78,6 +78,10 @@ void Distributed::partition_sets(apl::graph::PartitionMethod method,
     progress = false;
     for (index_t m = 0; m < global_->num_maps(); ++m) {
       const Map& map = global_->map(m);
+      // Empty sets have nothing to derive: resizing their owner vector to
+      // zero would leave it "unassigned" and spin this fixpoint forever
+      // (found by the testkit fuzzer, seed 6: a map out of an empty set).
+      if (map.from().size() == 0 || map.to().size() == 0) continue;
       auto& from_owner = set_dist_[map.from().id()].owner;
       auto& to_owner = set_dist_[map.to().id()].owner;
       if (from_owner.empty() && !to_owner.empty()) {
@@ -120,38 +124,46 @@ void Distributed::partition_sets(apl::graph::PartitionMethod method,
                        std::vector<index_t>(global_->set(s).size(), -1));
     for (index_t e = 0; e < global_->set(s).size(); ++e) {
       sd.owned[sd.owner[e]].push_back(e);
+      sd.local_of[sd.owner[e]][e] = 0;  // presence marker, renumbered below
     }
   }
 
-  // ---- ghost discovery: targets of owned source elements owned elsewhere.
-  // Collected as (rank, target) pairs and deduplicated by one sort, so the
-  // pass is O(E log E) rather than quadratic in boundary size.
-  std::vector<std::vector<std::uint64_t>> pairs(global_->num_sets());
-  for (index_t m = 0; m < global_->num_maps(); ++m) {
-    const Map& map = global_->map(m);
-    const SetDist& from = set_dist_[map.from().id()];
-    const SetDist& to = set_dist_[map.to().id()];
-    auto& out = pairs[map.to().id()];
-    for (index_t e = 0; e < map.from().size(); ++e) {
-      const index_t r = from.owner[e];
-      for (index_t k = 0; k < map.arity(); ++k) {
-        const index_t t = map.at(e, k);
-        if (to.owner[t] != r) {
-          out.push_back((static_cast<std::uint64_t>(r) << 32) |
-                        static_cast<std::uint32_t>(t));
+  // ---- ghost discovery to a fixpoint: every locally held source element
+  // (owned or ghost) must resolve all its map targets locally. Owned rows
+  // need this so loop bodies can read through the map; ghost rows need it
+  // so the localized map tables carry valid indices even when a rank owns
+  // nothing of the target set (found by the testkit fuzzer, seed 480: a
+  // two-map chain left a rank with only ghost sources and an empty local
+  // target set, so the dummy row index 0 failed map validation).
+  bool grew = true;
+  while (grew) {
+    grew = false;
+    for (index_t m = 0; m < global_->num_maps(); ++m) {
+      const Map& map = global_->map(m);
+      const SetDist& from = set_dist_[map.from().id()];
+      SetDist& to = set_dist_[map.to().id()];
+      for (int r = 0; r < nranks; ++r) {
+        const auto resolve = [&](index_t ge) {
+          for (index_t k = 0; k < map.arity(); ++k) {
+            const index_t t = map.at(ge, k);
+            if (to.local_of[r][t] >= 0) continue;
+            to.local_of[r][t] = 0;
+            to.ghosts[r].push_back(t);
+            grew = true;
+          }
+        };
+        for (std::size_t i = 0; i < from.owned[r].size(); ++i) {
+          resolve(from.owned[r][i]);
+        }
+        // Index loop: for self-maps the ghost list grows while scanning.
+        for (std::size_t i = 0; i < from.ghosts[r].size(); ++i) {
+          resolve(from.ghosts[r][i]);
         }
       }
     }
   }
   for (index_t s = 0; s < global_->num_sets(); ++s) {
-    auto& out = pairs[s];
-    std::sort(out.begin(), out.end());
-    out.erase(std::unique(out.begin(), out.end()), out.end());
     SetDist& sd = set_dist_[s];
-    for (std::uint64_t p : out) {
-      sd.ghosts[static_cast<int>(p >> 32)].push_back(
-          static_cast<index_t>(p & 0xffffffffu));
-    }
     for (int r = 0; r < nranks; ++r) {
       index_t local = 0;
       for (index_t g : sd.owned[r]) sd.local_of[r][g] = local++;
@@ -170,8 +182,9 @@ void Distributed::build_rank_contexts() {
       const index_t n_all = n_own + static_cast<index_t>(sd.ghosts[r].size());
       rc->decl_set(n_all, n_own, global_->set(s).name());
     }
-    // Maps: localized tables over owned source elements (ghost source slots
-    // keep a valid dummy row — they are never executed).
+    // Maps: localized tables. Ghost source rows are never executed, but the
+    // fixpoint ghost discovery imports their targets too, so every row gets
+    // real localized indices and passes map validation.
     for (index_t m = 0; m < global_->num_maps(); ++m) {
       const Map& map = global_->map(m);
       const SetDist& from = set_dist_[map.from().id()];
@@ -179,8 +192,11 @@ void Distributed::build_rank_contexts() {
       const Set& rfrom = rc->set(map.from().id());
       std::vector<index_t> table(
           static_cast<std::size_t>(rfrom.size()) * map.arity(), 0);
-      for (std::size_t le = 0; le < from.owned[r].size(); ++le) {
-        const index_t ge = from.owned[r][le];
+      const std::size_t n_own = from.owned[r].size();
+      for (std::size_t le = 0; le < static_cast<std::size_t>(rfrom.size());
+           ++le) {
+        const index_t ge = le < n_own ? from.owned[r][le]
+                                      : from.ghosts[r][le - n_own];
         for (index_t k = 0; k < map.arity(); ++k) {
           const index_t lt = to.local_of[r][map.at(ge, k)];
           APL_ASSERT(lt >= 0, "ghost discovery missed a map target");

@@ -214,7 +214,14 @@ void run_threads(Context& ctx, const std::string& name, const Set& /*set*/,
   apl::ThreadPool& pool = apl::ThreadPool::global();
   const std::size_t team = pool.size();
   (prepare_gbl(args, team), ...);
-  for (index_t c = 0; c < plan.num_block_colors; ++c) {
+  index_t ncolors = plan.num_block_colors;
+#ifdef APL_MUTATE_OP2_SKIP_LAST_COLOR
+  // Mutation hook for the testkit smoke tests: drop the last plan color,
+  // simulating an off-by-one in the plan executor. Never defined in
+  // production builds; the differential oracle must detect this.
+  if (ncolors > 1) --ncolors;
+#endif
+  for (index_t c = 0; c < ncolors; ++c) {
     const auto& blocks = plan.blocks_by_color[c];
     pool.parallel_for(
         blocks.size(),
@@ -276,23 +283,27 @@ void stage_gather(SimdStage<T>& st, index_t e0, index_t lanes) {
 template <class T>
 void stage_gather(SimdGblStage<T>&, index_t, index_t) {}
 
+// Scatters one lane of one argument. The pack commits element-major (lane
+// outer, argument inner, see run_simd): committing argument-major instead
+// reorders increments when two lanes hit the same indirect target through
+// different argument slots, silently breaking bitwise agreement with
+// run_seq (found by the testkit oracle, minimal repro: one arity-2
+// scatter over a 4-element set, APL_TESTKIT_SEED=1).
 template <class T>
-void stage_scatter(SimdStage<T>& st, index_t e0, index_t lanes) {
+void stage_scatter_lane(SimdStage<T>& st, index_t e0, index_t l) {
   const ArgDat<T>& a = *st.a;
   if (!writes(a.acc)) return;
   const index_t dim = a.dat->dim();
-  for (index_t l = 0; l < lanes; ++l) {
-    const T* in = st.buf.data() + static_cast<std::size_t>(l) * dim;
-    const Acc<T> out = element_acc(a, e0 + l);
-    if (a.acc == apl::exec::Access::kInc) {
-      for (index_t d = 0; d < dim; ++d) out[d] += in[d];
-    } else {
-      for (index_t d = 0; d < dim; ++d) out[d] = in[d];
-    }
+  const T* in = st.buf.data() + static_cast<std::size_t>(l) * dim;
+  const Acc<T> out = element_acc(a, e0 + l);
+  if (a.acc == apl::exec::Access::kInc) {
+    for (index_t d = 0; d < dim; ++d) out[d] += in[d];
+  } else {
+    for (index_t d = 0; d < dim; ++d) out[d] = in[d];
   }
 }
 template <class T>
-void stage_scatter(SimdGblStage<T>&, index_t, index_t) {}
+void stage_scatter_lane(SimdGblStage<T>&, index_t, index_t) {}
 
 template <class T>
 Acc<T> lane_acc(SimdStage<T>& st, index_t l) {
@@ -309,14 +320,21 @@ void run_simd(const Set& set, Kernel&& k, Args&... args) {
   const index_t n = set.core_size();
   auto stages = std::make_tuple(make_stage(args)...);
   for (index_t e0 = 0; e0 < n; e0 += kSimdWidth) {
-    const index_t lanes = std::min<index_t>(kSimdWidth, n - e0);
+    index_t lanes = std::min<index_t>(kSimdWidth, n - e0);
+#ifdef APL_MUTATE_OP2_SIMD_TAIL
+    // Mutation hook for the testkit smoke tests: drop the last lane of the
+    // final pack, simulating a remainder-loop bug in the vectorizer.
+    if (e0 + lanes >= n) --lanes;
+#endif
     std::apply(
         [&](auto&... st) {
           (stage_gather(st, e0, lanes), ...);
           for (index_t l = 0; l < lanes; ++l) {
             k(lane_acc(st, l)...);
           }
-          (stage_scatter(st, e0, lanes), ...);
+          for (index_t l = 0; l < lanes; ++l) {
+            (stage_scatter_lane(st, e0, l), ...);
+          }
         },
         stages);
   }

@@ -1,5 +1,7 @@
 #include "ops/checkpoint.hpp"
 
+#include <algorithm>
+
 #include "ops/context.hpp"
 
 namespace ops {
@@ -135,6 +137,36 @@ void Checkpointer::finalize_checkpoint() {
   saved_dats_.clear();
   saved_payloads_.clear();
   checkpoint_complete_ = true;
+}
+
+Access Checkpointer::classify_write(index_t dat_id, Access acc,
+                                    const Range& range, int ndim) {
+  if (dat_id >= static_cast<index_t>(dirty_.size())) {
+    dirty_.resize(static_cast<std::size_t>(dat_id) + 1);
+  }
+  DirtyBox& box = dirty_[dat_id];
+  Access out = acc;
+  if (acc == Access::kWrite && box.valid) {
+    for (int k = 0; k < ndim; ++k) {
+      if (range.lo[k] > box.lo[k] || range.hi[k] < box.hi[k]) {
+        out = Access::kRW;
+        break;
+      }
+    }
+  }
+  if (writes(acc) && !range.empty()) {
+    if (!box.valid) {
+      box.valid = true;
+      box.lo = range.lo;
+      box.hi = range.hi;
+    } else {
+      for (int k = 0; k < ndim; ++k) {
+        box.lo[k] = std::min(box.lo[k], range.lo[k]);
+        box.hi[k] = std::max(box.hi[k], range.hi[k]);
+      }
+    }
+  }
+  return out;
 }
 
 Checkpointer::LoopAction Checkpointer::on_loop(

@@ -179,36 +179,64 @@ void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
     }
   };
 
-  for (int r = 0; r < comm_.size(); ++r) {
+  // Each phase runs one sweep per direction, ordered along the data flow.
+  // When a rank owns fewer points than the halo is deep, a strip dips into
+  // the source rank's own halo, so deep halos propagate through chained
+  // neighbour copies — which is only coherent if the sweep visits ranks in
+  // flow order (found by the testkit fuzzer, seed 324: a 4-rank 1D
+  // decomposition of 4 points under a depth-2 halo).
+  //
+  // ---- x phase: full local height including y halos, so values the
+  // boundary-condition loops wrote into physical y-halo rows propagate
+  // to x neighbours (the y phase then settles inter-rank corners).
+  for (int r = 0; r < comm_.size(); ++r) {  // low-x halos flow rightward
     const auto rcoord = rank_coords(dec, r);
     const DatBase& rdat = rank_ctx_[r]->dat(dat_id);
-    const index_t lx = rdat.size()[0];
-    const index_t ly = rdat.size()[1];
-    // ---- x phase: full local height including y halos, so values the
-    // boundary-condition loops wrote into physical y-halo rows propagate
-    // to x neighbours (the y phase then settles inter-rank corners).
+    if (rcoord[0] + 1 < dec.pgrid[0]) {
+      const index_t lx = rdat.size()[0];
+      const index_t ly = rdat.size()[1];
+      index_t dm0 = gdat.d_m()[0];
+#ifdef APL_MUTATE_OPS_HALO_WIDTH
+      // Mutation hook for the testkit smoke tests: exchange one column less
+      // than the declared halo depth, leaving the outermost low-x halo layer
+      // stale. Only live when this file is recompiled with the define.
+      if (dm0 > 0) --dm0;
+#endif
+      // My rightmost d_m columns fill the right neighbour's low-x halo.
+      copy_strip(r, r + 1, lx - dm0, lx, -gdat.d_m()[1],
+                 ly + gdat.d_p()[1], -dm0, -gdat.d_m()[1], 1);
+    }
+  }
+  for (int r = comm_.size() - 1; r >= 0; --r) {  // high-x flow leftward
+    const auto rcoord = rank_coords(dec, r);
+    const DatBase& rdat = rank_ctx_[r]->dat(dat_id);
     if (rcoord[0] + 1 < dec.pgrid[0]) {
       const int right = r + 1;
       const DatBase& ndat = rank_ctx_[right]->dat(dat_id);
-      // My rightmost d_m columns fill the right neighbour's low-x halo.
-      copy_strip(r, right, lx - gdat.d_m()[0], lx, -gdat.d_m()[1],
-                 ly + gdat.d_p()[1], -gdat.d_m()[0], -gdat.d_m()[1], 1);
+      const index_t lx = rdat.size()[0];
       // Neighbour's leftmost d_p columns fill my high-x halo.
       copy_strip(right, r, 0, gdat.d_p()[0], -gdat.d_m()[1],
                  ndat.size()[1] + gdat.d_p()[1], lx, -gdat.d_m()[1], 2);
     }
   }
-  for (int r = 0; r < comm_.size(); ++r) {
+  // ---- y phase: full width including x halos (settles corners).
+  for (int r = 0; r < comm_.size(); ++r) {  // low-y halos flow upward
     const auto rcoord = rank_coords(dec, r);
     const DatBase& rdat = rank_ctx_[r]->dat(dat_id);
-    const index_t lx = rdat.size()[0];
-    const index_t ly = rdat.size()[1];
-    // ---- y phase: full width including x halos (settles corners).
+    if (rcoord[1] + 1 < dec.pgrid[1]) {
+      const index_t lx = rdat.size()[0];
+      const index_t ly = rdat.size()[1];
+      copy_strip(r, r + dec.pgrid[0], -gdat.d_m()[0], lx + gdat.d_p()[0],
+                 ly - gdat.d_m()[1], ly, -gdat.d_m()[0], -gdat.d_m()[1], 3);
+    }
+  }
+  for (int r = comm_.size() - 1; r >= 0; --r) {  // high-y flow downward
+    const auto rcoord = rank_coords(dec, r);
+    const DatBase& rdat = rank_ctx_[r]->dat(dat_id);
     if (rcoord[1] + 1 < dec.pgrid[1]) {
       const int up = r + dec.pgrid[0];
       const DatBase& ndat = rank_ctx_[up]->dat(dat_id);
-      copy_strip(r, up, -gdat.d_m()[0], lx + gdat.d_p()[0],
-                 ly - gdat.d_m()[1], ly, -gdat.d_m()[0], -gdat.d_m()[1], 3);
+      const index_t ly = rdat.size()[1];
       copy_strip(up, r, -gdat.d_m()[0], ndat.size()[0] + gdat.d_p()[0], 0,
                  gdat.d_p()[1], -gdat.d_m()[0], ly, 4);
     }

@@ -80,6 +80,20 @@ public:
   const apl::io::CheckpointStore& store() const { return store_; }
 
   // ---- par_loop hooks
+  /// Classifier view of one write access. A kWrite only means "replay
+  /// rebuilds this dat" when its range covers every point written since
+  /// this checkpointer attached: replay re-executes exactly those writes,
+  /// and state established *before* attach (mesh loading, initial
+  /// conditions) is the application's responsibility to re-create on
+  /// restart. A kWrite whose range misses part of the post-attach dirty
+  /// region is a read-modify-write — the uncovered points would be lost
+  /// (found by the testkit fuzzer, seed 13: an init loop over a sub-range
+  /// classified a dat dirtied outside that sub-range as recompute). The
+  /// dirty region is tracked as a per-dat bounding box, a safe
+  /// over-approximation. Call once per written dat arg, in program order,
+  /// before on_loop.
+  Access classify_write(index_t dat_id, Access acc, const Range& range,
+                        int ndim);
   LoopAction on_loop(const std::string& name,
                      const std::vector<ArgInfo>& args);
   void after_loop(std::span<const std::uint8_t> gbl_payload);
@@ -114,6 +128,15 @@ private:
   apl::io::CheckpointStore store_;
   Options opts_;
   apl::ckpt::ChainAnalysis analysis_;
+
+  /// Per-dat bounding box of every range written since attach (see
+  /// classify_write). Indexed by dat id; `valid` false until first write.
+  struct DirtyBox {
+    bool valid = false;
+    std::array<index_t, kMaxDim> lo{};
+    std::array<index_t, kMaxDim> hi{};
+  };
+  std::vector<DirtyBox> dirty_;
 
   std::vector<std::vector<std::uint8_t>> gbl_log_;  ///< per executed loop
 

@@ -268,7 +268,13 @@ void execute_loop(Context& ctx, const Range& range, int out_dim,
     case Backend::kThreads: {
       apl::ThreadPool& pool = apl::ThreadPool::global();
       (prepare_gbl(args, pool.size()), ...);
-      const index_t extent = range.hi[out_dim] - range.lo[out_dim];
+      index_t extent = range.hi[out_dim] - range.lo[out_dim];
+#ifdef APL_MUTATE_OPS_RANGE_TAIL
+      // Mutation hook for the testkit smoke tests: drop the last row of the
+      // partitioned dimension in the threads backend only (kSeq keeps the
+      // full range, so the differential oracle sees the divergence).
+      if (extent > 0) --extent;
+#endif
       pool.parallel_for(
           static_cast<std::size_t>(std::max<index_t>(0, extent)),
           [&](std::size_t b, std::size_t e, std::size_t tid) {
@@ -321,6 +327,25 @@ ArgGbl<T>& thaw(GblSnapshot<T>& s) {
 }
 inline ArgIdx& thaw(ArgIdx& a) { return a; }
 
+// The checkpoint classifier treats a kWrite dat as "reconstructed by
+// re-running the chain from the entry loop". Whether a given iteration
+// range actually qualifies depends on what has been written to the dat
+// since the checkpointer attached, so the decision — and the per-dat
+// dirty-region bookkeeping behind it — lives in
+// Checkpointer::classify_write; this shim just routes each dat argument
+// through it (globals and index args carry no dat state).
+template <class T>
+void classify_ckpt_write(Checkpointer& ck, const Range& range,
+                         const ArgDat<T>& a, ArgInfo& info) {
+  info.acc =
+      ck.classify_write(info.dat_id, info.acc, range, a.dat->block().ndim());
+}
+template <class T>
+void classify_ckpt_write(Checkpointer&, const Range&, const ArgGbl<T>&,
+                         ArgInfo&) {}
+inline void classify_ckpt_write(Checkpointer&, const Range&, const ArgIdx&,
+                                ArgInfo&) {}
+
 }  // namespace detail
 
 /// Executes `kernel` on every point of `range` of `block` under the
@@ -348,7 +373,13 @@ void par_loop(Context& ctx, const std::string& name, const Block& block,
   // are restored from the log.
   if (Checkpointer* ck = ctx.checkpointer()) {
     if (ck->wants_eager()) ctx.flush();
-    if (ck->on_loop(name, infos) == Checkpointer::LoopAction::kSkipReplay) {
+    // A kWrite that does not re-establish the dat's whole post-attach
+    // dirty region reads-modifies it from the classifier's point of view
+    // (see Checkpointer::classify_write).
+    std::vector<ArgInfo> ck_infos = infos;
+    std::size_t ck_i = 0;
+    (detail::classify_ckpt_write(*ck, range, args, ck_infos[ck_i++]), ...);
+    if (ck->on_loop(name, ck_infos) == Checkpointer::LoopAction::kSkipReplay) {
       std::size_t gbl_index = 0;
       (detail::replay_gbl(*ck, args, gbl_index), ...);
       ck->finish_replayed_loop();

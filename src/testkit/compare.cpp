@@ -1,0 +1,48 @@
+#include "apl/testkit/compare.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+namespace apl::testkit {
+
+std::int64_t ulp_distance(double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  auto canonical = [](double x) {
+    std::int64_t bits;
+    std::memcpy(&bits, &x, sizeof bits);
+    // Map the sign-magnitude double ordering onto a monotone integer line
+    // so distances across zero are meaningful.
+    return bits < 0 ? std::numeric_limits<std::int64_t>::min() + 1 - bits
+                    : bits;
+  };
+  const std::int64_t ca = canonical(a);
+  const std::int64_t cb = canonical(b);
+  const std::int64_t hi = ca > cb ? ca : cb;
+  const std::int64_t lo = ca > cb ? cb : ca;
+  // Guard against overflow for wildly different magnitudes.
+  if (lo < 0 && hi > std::numeric_limits<std::int64_t>::max() + lo) {
+    return std::numeric_limits<std::int64_t>::max();
+  }
+  return hi - lo;
+}
+
+std::string format_divergence(const Divergence& d) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "combo '" << d.combo << "' diverges";
+  if (d.loop >= 0) {
+    os << " at loop " << d.loop << " (" << d.loop_name << ")";
+  } else {
+    os << " in the final state";
+  }
+  os << ": " << d.dat;
+  if (d.element >= 0) os << "[" << d.element << "." << d.component << "]";
+  os << " want " << d.want << " got " << d.got << " (" << d.ulps << " ulps)";
+  return os.str();
+}
+
+}  // namespace apl::testkit

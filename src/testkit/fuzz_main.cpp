@@ -1,0 +1,99 @@
+// opal_fuzz — command-line driver for the differential fuzzer.
+//
+//   opal_fuzz --iterations N --seed S     sweep seeds S..S+N-1
+//   opal_fuzz --op2-only | --ops-only     restrict to one library
+//   opal_fuzz --no-shrink                 report the unshrunk case
+//   opal_fuzz --max-ulps U                reduction tolerance override
+//   APL_TESTKIT_SEED=S opal_fuzz          replay exactly one seed
+//
+// Exit status 0 when every case agrees across the oracle matrix, 1 on the
+// first divergence (after shrinking), 2 on usage errors.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apl/testkit/testkit.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--iterations N] [--seed S] [--op2-only] "
+               "[--ops-only] [--no-shrink] [--max-ulps U] [--quiet]\n"
+               "       APL_TESTKIT_SEED=S %s   (replay one seed)\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using apl::testkit::FuzzOptions;
+  using apl::testkit::fuzz_case;
+
+  std::uint64_t seed = 1;
+  std::uint64_t iterations = 100;
+  bool quiet = false;
+  FuzzOptions opt;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    if (a == "--iterations" || a == "-n") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      iterations = std::strtoull(v, nullptr, 0);
+    } else if (a == "--seed" || a == "-s") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      seed = std::strtoull(v, nullptr, 0);
+    } else if (a == "--max-ulps") {
+      const char* v = value();
+      if (!v) return usage(argv[0]);
+      opt.oracle.max_ulps = static_cast<std::int64_t>(
+          std::strtoll(v, nullptr, 0));
+    } else if (a == "--op2-only") {
+      opt.run_ops = false;
+    } else if (a == "--ops-only") {
+      opt.run_op2 = false;
+    } else if (a == "--no-shrink") {
+      opt.shrink = false;
+    } else if (a == "--quiet" || a == "-q") {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (const auto env_seed = apl::testkit::seed_from_env()) {
+    seed = *env_seed;
+    iterations = 1;
+    std::printf("replaying APL_TESTKIT_SEED=%llu\n",
+                static_cast<unsigned long long>(seed));
+  }
+
+  for (std::uint64_t i = 0; i < iterations; ++i) {
+    const std::uint64_t s = seed + i;
+    const auto rep = fuzz_case(s, opt);
+    if (!rep.ok) {
+      std::printf("%s\n", rep.message.c_str());
+      return 1;
+    }
+    if (!quiet && (i + 1) % 25 == 0) {
+      std::printf("  %llu/%llu seeds ok (last %llu)\n",
+                  static_cast<unsigned long long>(i + 1),
+                  static_cast<unsigned long long>(iterations),
+                  static_cast<unsigned long long>(s));
+    }
+  }
+  if (!quiet) {
+    std::printf("opal_fuzz: %llu seed(s) ok starting at %llu\n",
+                static_cast<unsigned long long>(iterations),
+                static_cast<unsigned long long>(seed));
+  }
+  return 0;
+}

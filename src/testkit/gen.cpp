@@ -1,0 +1,464 @@
+#include "apl/testkit/gen.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "apl/rng.hpp"
+
+namespace apl::testkit {
+
+namespace {
+
+/// Mixes an entity tag into a master seed so every declared entity gets an
+/// independent, stable random stream.
+std::uint64_t sub_seed(SplitMix64& rng) { return rng.next() | 1ull; }
+
+int pick_weighted(SplitMix64& rng, const std::vector<double>& w) {
+  double total = 0;
+  for (double x : w) total += x;
+  double r = rng.uniform() * total;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (r < w[i]) return static_cast<int>(i);
+    r -= w[i];
+  }
+  return static_cast<int>(w.size()) - 1;
+}
+
+RedOp pick_red(SplitMix64& rng) {
+  const double r = rng.uniform();
+  return r < 0.6 ? RedOp::kSum : r < 0.8 ? RedOp::kMin : RedOp::kMax;
+}
+
+const char* red_name(RedOp r) {
+  switch (r) {
+    case RedOp::kSum: return "sum";
+    case RedOp::kMin: return "min";
+    default: return "max";
+  }
+}
+
+const char* kind_name(Op2LoopKind k) {
+  switch (k) {
+    case Op2LoopKind::kDirect: return "direct";
+    case Op2LoopKind::kGather: return "gather";
+    case Op2LoopKind::kScatter: return "scatter";
+    default: return "red";
+  }
+}
+
+const char* kind_name(OpsLoopKind k) {
+  switch (k) {
+    case OpsLoopKind::kInit: return "init";
+    case OpsLoopKind::kStencilAvg: return "stencil";
+    case OpsLoopKind::kCopy: return "copy";
+    case OpsLoopKind::kReduction: return "red";
+    default: return "halo";
+  }
+}
+
+/// Dats of `spec` living on set `s` (by index).
+std::vector<int> dats_on_set(const Op2CaseSpec& spec, int s) {
+  std::vector<int> out;
+  for (std::size_t d = 0; d < spec.dats.size(); ++d) {
+    if (spec.dats[d].set == s) out.push_back(static_cast<int>(d));
+  }
+  return out;
+}
+
+}  // namespace
+
+Op2CaseSpec gen_op2_case(std::uint64_t seed, const GenOptions& opt) {
+  SplitMix64 rng(seed ^ 0x0709214f7d4c2a53ull);
+  Op2CaseSpec spec;
+  spec.seed = seed;
+
+  // Sets: set 0 is the primary iteration set and always nonempty (and big
+  // enough that small-block plans get several blocks and colors).
+  const int nsets = 1 + static_cast<int>(rng.below(opt.max_sets));
+  spec.set_sizes.push_back(
+      8 + static_cast<index_t>(rng.below(opt.max_set_size - 7)));
+  for (int s = 1; s < nsets; ++s) {
+    if (rng.uniform() < opt.empty_set_prob) {
+      spec.set_sizes.push_back(0);
+    } else {
+      spec.set_sizes.push_back(
+          4 + static_cast<index_t>(rng.below(opt.max_set_size - 3)));
+    }
+  }
+  std::vector<int> nonempty;
+  for (int s = 0; s < nsets; ++s) {
+    if (spec.set_sizes[s] > 0) nonempty.push_back(s);
+  }
+
+  // Maps: any source set, nonempty target set, arity 1..3, occasional
+  // hub-biased fan-in.
+  const int nmaps = static_cast<int>(rng.below(opt.max_maps + 1));
+  for (int m = 0; m < nmaps; ++m) {
+    Op2MapSpec ms;
+    ms.from = static_cast<int>(rng.below(nsets));
+    ms.to = nonempty[rng.below(nonempty.size())];
+    ms.arity = 1 + static_cast<int>(rng.below(3));
+    ms.hub_bias = rng.uniform() < 0.33 ? rng.uniform(0.3, 0.9) : 0.0;
+    ms.seed = sub_seed(rng);
+    spec.maps.push_back(ms);
+  }
+
+  // Dats: guarantee at least two on set 0 so direct loops always have
+  // operands; the rest land on random sets.
+  const int ndats =
+      2 + static_cast<int>(rng.below(std::max(1, opt.max_dats - 1)));
+  for (int d = 0; d < ndats; ++d) {
+    Op2DatSpec ds;
+    ds.set = d < 2 ? 0 : static_cast<int>(rng.below(nsets));
+    ds.dim = 1 + static_cast<int>(rng.below(3));
+    ds.seed = sub_seed(rng);
+    spec.dats.push_back(ds);
+  }
+
+  // Loops: retry kind selection until the operand constraints are
+  // satisfiable (direct always is, thanks to the two set-0 dats).
+  const int nloops = 1 + static_cast<int>(rng.below(opt.max_loops));
+  for (int l = 0; l < nloops; ++l) {
+    Op2LoopSpec ls;
+    ls.c0 = rng.uniform(0.3, 0.8);
+    ls.write = rng.uniform() < 0.25;
+    ls.red = pick_red(rng);
+    bool placed = false;
+    for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+      const int kind = pick_weighted(rng, {0.3, 0.25, 0.25, 0.2});
+      if (kind == 1 || kind == 2) {  // gather / scatter need a map
+        if (spec.maps.empty()) continue;
+        const int m = static_cast<int>(rng.below(spec.maps.size()));
+        const auto from_dats = dats_on_set(spec, spec.maps[m].from);
+        const auto to_dats = dats_on_set(spec, spec.maps[m].to);
+        if (from_dats.empty() || to_dats.empty()) continue;
+        if (kind == 1) {  // gather: read to-set dat, write from-set dat
+          ls.kind = Op2LoopKind::kGather;
+          ls.map = m;
+          ls.src = to_dats[rng.below(to_dats.size())];
+          ls.dst = from_dats[rng.below(from_dats.size())];
+        } else {  // scatter: read from-set dat, increment to-set dat
+          ls.kind = Op2LoopKind::kScatter;
+          ls.map = m;
+          ls.src = from_dats[rng.below(from_dats.size())];
+          ls.dst = to_dats[rng.below(to_dats.size())];
+        }
+        // A dat accessed both directly and indirectly in one loop would
+        // race across elements — not an access-legal program.
+        if (ls.src == ls.dst) continue;
+        placed = true;
+      } else if (kind == 3) {  // reduction over any dat's set
+        ls.kind = Op2LoopKind::kReduction;
+        ls.src = static_cast<int>(rng.below(spec.dats.size()));
+        placed = true;
+      } else {  // direct: two (plus optional third) dats on one set
+        const int s = static_cast<int>(rng.below(nsets));
+        const auto cands = dats_on_set(spec, s);
+        if (cands.size() < 2) continue;
+        ls.kind = Op2LoopKind::kDirect;
+        ls.dst = cands[rng.below(cands.size())];
+        do {
+          ls.src = cands[rng.below(cands.size())];
+        } while (ls.src == ls.dst);
+        ls.src2 = -1;
+        if (cands.size() > 2 && rng.uniform() < 0.4) {
+          do {
+            ls.src2 = cands[rng.below(cands.size())];
+          } while (ls.src2 == ls.dst);
+        }
+        // kWrite must not read the destination, which the two-source form
+        // never does; the one-source form falls back to a constant blend.
+        placed = true;
+      }
+    }
+    if (!placed) {  // fall back to a reduction, which is always legal
+      ls.kind = Op2LoopKind::kReduction;
+      ls.src = static_cast<int>(rng.below(spec.dats.size()));
+    }
+    spec.loops.push_back(ls);
+  }
+  return spec;
+}
+
+OpsCaseSpec gen_ops_case(std::uint64_t seed, const GenOptions& opt) {
+  SplitMix64 rng(seed ^ 0x9d3c1b20e5f6a784ull);
+  OpsCaseSpec spec;
+  spec.seed = seed;
+
+  const double dr = rng.uniform();
+  spec.ndim = dr < 0.25 ? 1 : dr < 0.75 ? 2 : 3;
+  spec.nblocks = rng.uniform() < opt.multiblock_prob ? 2 : 1;
+  for (int d = 0; d < 3; ++d) {
+    if (d < spec.ndim) {
+      spec.size[d] = 4 + static_cast<index_t>(rng.below(opt.max_extent - 3));
+      spec.halo[d] = 1 + static_cast<index_t>(rng.below(2));
+    } else {
+      spec.size[d] = 1;
+      spec.halo[d] = 0;
+    }
+  }
+
+  // Dats: at least two on block 0; block 1 (when present) mirrors the dim
+  // of a block-0 dat so halo strips copy compatible payloads.
+  const int ndats = 2 + static_cast<int>(rng.below(3));
+  for (int d = 0; d < ndats; ++d) {
+    OpsDatSpec ds;
+    ds.block = 0;
+    ds.dim = 1 + static_cast<int>(rng.below(2));
+    ds.seed = sub_seed(rng);
+    spec.dats.push_back(ds);
+  }
+  if (spec.nblocks == 2) {
+    for (int d = 0; d < 2; ++d) {
+      OpsDatSpec ds;
+      ds.block = 1;
+      ds.dim = spec.dats[d].dim;
+      ds.seed = sub_seed(rng);
+      spec.dats.push_back(ds);
+    }
+    OpsHaloSpec hs;
+    hs.src = static_cast<int>(rng.below(2));
+    hs.dst = ndats + hs.src;  // same dim by construction
+    hs.axis = static_cast<int>(rng.below(spec.ndim));
+    spec.halos.push_back(hs);
+  }
+
+  // Stencils: random offsets within the halo radius, centre always first.
+  const int nstencils = 1 + static_cast<int>(rng.below(3));
+  for (int s = 0; s < nstencils; ++s) {
+    OpsStencilSpec st;
+    st.points[0] = {0, 0, 0};
+    st.npoints =
+        1 + static_cast<int>(rng.below(kMaxStencilPoints - 1));
+    for (int p = 1; p < st.npoints; ++p) {
+      for (int d = 0; d < 3; ++d) {
+        const int r = static_cast<int>(spec.halo[d]);
+        st.points[p][d] =
+            d < spec.ndim ? static_cast<int>(rng.below(2 * r + 1)) - r : 0;
+      }
+    }
+    spec.stencils.push_back(st);
+  }
+
+  auto block_dats = [&](int b) {
+    std::vector<int> out;
+    for (std::size_t d = 0; d < spec.dats.size(); ++d) {
+      if (spec.dats[d].block == b) out.push_back(static_cast<int>(d));
+    }
+    return out;
+  };
+  auto pick_range = [&](OpsLoopSpec& ls, bool with_halo) {
+    for (int d = 0; d < 3; ++d) {
+      if (d >= spec.ndim) {
+        ls.lo[d] = 0;
+        ls.hi[d] = 1;
+        continue;
+      }
+      const index_t h = with_halo ? spec.halo[d] : 0;
+      if (rng.uniform() < 0.6) {  // full extent
+        ls.lo[d] = -h;
+        ls.hi[d] = spec.size[d] + h;
+      } else {  // random (possibly empty) subrange
+        ls.lo[d] = -h + static_cast<index_t>(
+                            rng.below(spec.size[d] + 2 * h));
+        ls.hi[d] =
+            ls.lo[d] + static_cast<index_t>(
+                           rng.below(spec.size[d] + h - ls.lo[d] + 1));
+      }
+    }
+  };
+
+  const int nloops = 2 + static_cast<int>(rng.below(opt.max_loops - 1));
+  for (int l = 0; l < nloops; ++l) {
+    OpsLoopSpec ls;
+    ls.c0 = rng.uniform(0.3, 0.8);
+    ls.red = pick_red(rng);
+    bool placed = false;
+    for (int attempt = 0; attempt < 8 && !placed; ++attempt) {
+      const int kind = pick_weighted(rng, {0.3, 0.3, 0.15, 0.15, 0.1});
+      if (kind == 4) {  // explicit inter-block halo transfer
+        if (spec.halos.empty()) continue;
+        ls.kind = OpsLoopKind::kHaloTransfer;
+        ls.halo = static_cast<int>(rng.below(spec.halos.size()));
+        placed = true;
+      } else if (kind == 0) {  // index-based (re)initialization
+        ls.kind = OpsLoopKind::kInit;
+        ls.dst = static_cast<int>(rng.below(spec.dats.size()));
+        pick_range(ls, /*with_halo=*/true);
+        placed = true;
+      } else if (kind == 1) {  // weighted stencil average
+        const int b = static_cast<int>(rng.below(spec.nblocks));
+        const auto cands = block_dats(b);
+        if (cands.size() < 2) continue;
+        ls.kind = OpsLoopKind::kStencilAvg;
+        ls.dst = cands[rng.below(cands.size())];
+        do {
+          ls.src = cands[rng.below(cands.size())];
+        } while (ls.src == ls.dst);
+        ls.stencil = static_cast<int>(rng.below(spec.stencils.size()));
+        pick_range(ls, /*with_halo=*/false);
+        placed = true;
+      } else if (kind == 2) {  // centre-point copy
+        const int b = static_cast<int>(rng.below(spec.nblocks));
+        const auto cands = block_dats(b);
+        if (cands.size() < 2) continue;
+        ls.kind = OpsLoopKind::kCopy;
+        ls.dst = cands[rng.below(cands.size())];
+        do {
+          ls.src = cands[rng.below(cands.size())];
+        } while (ls.src == ls.dst);
+        pick_range(ls, /*with_halo=*/false);
+        placed = true;
+      } else {  // reduction
+        ls.kind = OpsLoopKind::kReduction;
+        ls.src = static_cast<int>(rng.below(spec.dats.size()));
+        pick_range(ls, /*with_halo=*/false);
+        placed = true;
+      }
+    }
+    if (!placed) {
+      ls.kind = OpsLoopKind::kReduction;
+      ls.src = static_cast<int>(rng.below(spec.dats.size()));
+      pick_range(ls, false);
+    }
+    spec.loops.push_back(ls);
+  }
+  return spec;
+}
+
+std::vector<index_t> op2_map_table(const Op2MapSpec& map,
+                                   const std::vector<index_t>& set_sizes) {
+  SplitMix64 rng(map.seed);
+  const index_t from_size = set_sizes[map.from];
+  const index_t to_size = set_sizes[map.to];
+  const index_t hubs = std::min<index_t>(4, to_size);
+  std::vector<index_t> table(
+      static_cast<std::size_t>(from_size) * map.arity);
+  for (auto& e : table) {
+    if (map.hub_bias > 0.0 && rng.uniform() < map.hub_bias) {
+      e = static_cast<index_t>(rng.below(hubs));
+    } else {
+      e = static_cast<index_t>(rng.below(to_size));
+    }
+  }
+  return table;
+}
+
+std::vector<double> op2_dat_init(const Op2DatSpec& dat, index_t set_size) {
+  SplitMix64 rng(dat.seed);
+  std::vector<double> out(static_cast<std::size_t>(set_size) * dat.dim);
+  for (auto& v : out) v = rng.uniform(0.5, 1.5);
+  return out;
+}
+
+std::vector<double> ops_dat_init(const OpsDatSpec& dat,
+                                 std::size_t alloc_values) {
+  SplitMix64 rng(dat.seed);
+  std::vector<double> out(alloc_values);
+  for (auto& v : out) v = rng.uniform(0.5, 1.5);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// describe() — one-line repro dumps
+// ---------------------------------------------------------------------------
+
+std::string Op2CaseSpec::describe() const {
+  std::ostringstream os;
+  os << "op2 seed=" << seed << " sets=[";
+  for (std::size_t s = 0; s < set_sizes.size(); ++s) {
+    os << (s ? "," : "") << set_sizes[s];
+  }
+  os << "] maps=[";
+  for (std::size_t m = 0; m < maps.size(); ++m) {
+    os << (m ? " " : "") << "m" << m << ":" << maps[m].from << "->"
+       << maps[m].to << "*" << maps[m].arity;
+    if (maps[m].hub_bias > 0) os << "~hub";
+  }
+  os << "] dats=[";
+  for (std::size_t d = 0; d < dats.size(); ++d) {
+    os << (d ? " " : "") << "d" << d << ":s" << dats[d].set << "x"
+       << dats[d].dim;
+  }
+  os << "] loops=[";
+  for (std::size_t l = 0; l < loops.size(); ++l) {
+    const auto& L = loops[l];
+    os << (l ? " " : "") << kind_name(L.kind);
+    switch (L.kind) {
+      case Op2LoopKind::kDirect:
+        os << "(d" << L.dst << "<-d" << L.src;
+        if (L.src2 >= 0) os << ",d" << L.src2;
+        os << (L.write ? ",W" : ",RW") << ")";
+        break;
+      case Op2LoopKind::kGather:
+        os << "(d" << L.dst << "<-m" << L.map << "[d" << L.src << "]"
+           << (L.write ? ",W" : ",RW") << ")";
+        break;
+      case Op2LoopKind::kScatter:
+        os << "(m" << L.map << "[d" << L.dst << "]+=d" << L.src << ")";
+        break;
+      case Op2LoopKind::kReduction:
+        os << "(" << red_name(L.red) << " d" << L.src << ")";
+        break;
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string OpsCaseSpec::describe() const {
+  std::ostringstream os;
+  os << "ops seed=" << seed << " " << ndim << "D blocks=" << nblocks
+     << " size=[";
+  for (int d = 0; d < ndim; ++d) os << (d ? "," : "") << size[d];
+  os << "] halo=[";
+  for (int d = 0; d < ndim; ++d) os << (d ? "," : "") << halo[d];
+  os << "] dats=[";
+  for (std::size_t d = 0; d < dats.size(); ++d) {
+    os << (d ? " " : "") << "d" << d << ":b" << dats[d].block << "x"
+       << dats[d].dim;
+  }
+  os << "] stencils=[";
+  for (std::size_t s = 0; s < stencils.size(); ++s) {
+    os << (s ? " " : "") << "st" << s << ":" << stencils[s].npoints << "pt";
+  }
+  os << "] loops=[";
+  for (std::size_t l = 0; l < loops.size(); ++l) {
+    const auto& L = loops[l];
+    os << (l ? " " : "") << kind_name(L.kind);
+    switch (L.kind) {
+      case OpsLoopKind::kInit: os << "(d" << L.dst << ")"; break;
+      case OpsLoopKind::kStencilAvg:
+        os << "(d" << L.dst << "<-st" << L.stencil << "[d" << L.src << "])";
+        break;
+      case OpsLoopKind::kCopy:
+        os << "(d" << L.dst << "<-d" << L.src << ")";
+        break;
+      case OpsLoopKind::kReduction:
+        os << "(" << red_name(L.red) << " d" << L.src << ")";
+        break;
+      case OpsLoopKind::kHaloTransfer: os << "(h" << L.halo << ")"; break;
+    }
+    if (L.kind != OpsLoopKind::kHaloTransfer) {
+      os << "@[";
+      for (int d = 0; d < ndim; ++d) {
+        os << (d ? "," : "") << L.lo[d] << ":" << L.hi[d];
+      }
+      os << "]";
+    }
+  }
+  os << "]";
+  return os.str();
+}
+
+std::string loop_name(const Op2CaseSpec& spec, int loop_index) {
+  return "L" + std::to_string(loop_index) + "_" +
+         kind_name(spec.loops[loop_index].kind);
+}
+
+std::string loop_name(const OpsCaseSpec& spec, int loop_index) {
+  return "L" + std::to_string(loop_index) + "_" +
+         kind_name(spec.loops[loop_index].kind);
+}
+
+}  // namespace apl::testkit

@@ -1,0 +1,44 @@
+// Value comparison for the differential oracle: bitwise by default,
+// ULP-bounded where a combination legitimately reassociates floating-point
+// accumulation (parallel reductions, indirect-increment commit order).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace apl::testkit {
+
+/// Units-in-last-place distance between two doubles (0 == bitwise equal);
+/// returns INT64_MAX for NaN or differing signs of infinity.
+std::int64_t ulp_distance(double a, double b);
+
+/// First point where a variant run disagreed with the baseline. Element is
+/// an element id (OP2) or a linearized grid point (OPS); loop < 0 means
+/// the divergence was found in the final state of a final-only combo.
+struct Divergence {
+  std::string combo;      ///< oracle combination name ("threads/bs16", ...)
+  int loop = -1;          ///< loop index at which the divergence was seen
+  std::string loop_name;  ///< display name of that loop
+  std::string dat;        ///< diverging dat ("<reduction>" for globals)
+  std::int64_t element = -1;
+  int component = 0;
+  double want = 0;
+  double got = 0;
+  std::int64_t ulps = 0;
+  std::string message;  ///< fully formatted one-line report
+};
+
+/// Formats the standard one-line divergence message (also stored in
+/// `message` by the oracles).
+std::string format_divergence(const Divergence& d);
+
+/// Compares one value under the oracle's tolerance policy: exact unless
+/// `reassociates`, then within `max_ulps`.
+inline bool values_agree(double want, double got, bool reassociates,
+                         std::int64_t max_ulps) {
+  const std::int64_t u = ulp_distance(want, got);
+  return reassociates ? u <= max_ulps : u == 0;
+}
+
+}  // namespace apl::testkit

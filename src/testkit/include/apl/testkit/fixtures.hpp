@@ -1,0 +1,86 @@
+// Deterministic (non-random) fixtures shared by the repo's test suites:
+// the structured quad grid exposed through the unstructured OP2 API, and
+// the 2D heat-equation block every OPS suite iterates on. Tests build
+// their app-specific loops on top of these declarations instead of
+// re-declaring the same mesh in each file.
+#pragma once
+
+#include <vector>
+
+#include "op2/op2.hpp"
+#include "ops/ops.hpp"
+
+namespace apl::testkit {
+
+/// A 2D structured quad grid exposed through the unstructured API (cells,
+/// edges, vertices + maps), which gives indirect loops with real
+/// conflicts while keeping expected values easy to compute.
+struct GridMesh {
+  op2::index_t nx = 0, ny = 0;
+  // Raw tables (owned here; Context copies them on declaration).
+  std::vector<op2::index_t> edge2node;
+  std::vector<double> node_coords;
+
+  op2::index_t num_nodes() const { return (nx + 1) * (ny + 1); }
+  op2::index_t num_edges() const { return nx * (ny + 1) + (nx + 1) * ny; }
+  op2::index_t node_id(op2::index_t x, op2::index_t y) const {
+    return y * (nx + 1) + x;
+  }
+};
+
+/// Builds the edge->node connectivity and coordinates of an nx x ny grid.
+inline GridMesh make_grid(op2::index_t nx, op2::index_t ny) {
+  GridMesh m;
+  m.nx = nx;
+  m.ny = ny;
+  for (op2::index_t y = 0; y <= ny; ++y) {
+    for (op2::index_t x = 0; x <= nx; ++x) {
+      m.node_coords.push_back(static_cast<double>(x));
+      m.node_coords.push_back(static_cast<double>(y));
+    }
+  }
+  for (op2::index_t y = 0; y <= ny; ++y) {
+    for (op2::index_t x = 0; x < nx; ++x) {
+      m.edge2node.push_back(m.node_id(x, y));
+      m.edge2node.push_back(m.node_id(x + 1, y));
+    }
+  }
+  for (op2::index_t y = 0; y < ny; ++y) {
+    for (op2::index_t x = 0; x <= nx; ++x) {
+      m.edge2node.push_back(m.node_id(x, y));
+      m.edge2node.push_back(m.node_id(x, y + 1));
+    }
+  }
+  return m;
+}
+
+/// The standard OPS test block: one 2D grid with a field pair (u, t) of
+/// halo depth 1 and the five-point stencil — the declaration set shared
+/// by the heat/diffusion fixtures across tests/ops.
+struct HeatGrid {
+  ops::Context ctx;
+  ops::Block* grid = nullptr;
+  const ops::Stencil* five = nullptr;
+  ops::Dat<double>* u = nullptr;
+  ops::Dat<double>* t = nullptr;
+  ops::index_t nx = 0, ny = 0;
+
+  explicit HeatGrid(ops::index_t nx_, ops::index_t ny_) : nx(nx_), ny(ny_) {
+    grid = &ctx.decl_block(2, "grid");
+    five = &ctx.decl_stencil(
+        2,
+        {{{0, 0, 0}}, {{1, 0, 0}}, {{-1, 0, 0}}, {{0, 1, 0}}, {{0, -1, 0}}},
+        "5pt");
+    u = &ctx.decl_dat<double>(*grid, 1, {nx, ny, 1}, {1, 1, 0}, {1, 1, 0},
+                              "u");
+    t = &ctx.decl_dat<double>(*grid, 1, {nx, ny, 1}, {1, 1, 0}, {1, 1, 0},
+                              "t");
+  }
+
+  ops::Range interior() const { return ops::Range::dim2(0, nx, 0, ny); }
+  ops::Range with_halo() const {
+    return ops::Range::dim2(-1, nx + 1, -1, ny + 1);
+  }
+};
+
+}  // namespace apl::testkit

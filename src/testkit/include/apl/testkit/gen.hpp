@@ -1,0 +1,50 @@
+// Seeded random generators for testkit case specs, plus the deterministic
+// derivation of mesh tables and initial dat values from the per-entity
+// seeds a spec carries. All randomness flows through apl::SplitMix64 so a
+// case replays bit-identically on any platform.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apl/testkit/spec.hpp"
+
+namespace apl::testkit {
+
+struct GenOptions {
+  // OP2 knobs.
+  int max_sets = 3;
+  index_t max_set_size = 48;
+  int max_maps = 3;
+  int max_dats = 6;
+  int max_loops = 8;
+  /// Probability that a non-primary set is declared empty (degenerate).
+  double empty_set_prob = 0.1;
+  // OPS knobs.
+  index_t max_extent = 12;
+  double multiblock_prob = 0.35;
+};
+
+/// Generates a random but access-legal OP2 program. Guarantees: set 0 is
+/// nonempty; every map targets a nonempty set; loop operands live on
+/// consistent sets; at least one loop is generated.
+Op2CaseSpec gen_op2_case(std::uint64_t seed, const GenOptions& opt = {});
+
+/// Generates a random OPS multi-block program (1–3 dims, 1–2 blocks,
+/// random stencils within the declared halo radius, random in-bounds
+/// ranges including empty and halo-covering ones).
+OpsCaseSpec gen_ops_case(std::uint64_t seed, const GenOptions& opt = {});
+
+/// The map table a spec describes (row-major, from.size() * arity
+/// entries), derived from the map's own seed.
+std::vector<index_t> op2_map_table(const Op2MapSpec& map,
+                                   const std::vector<index_t>& set_sizes);
+
+/// Initial values of a dat (AoS, set_size * dim entries) in [0.5, 1.5).
+std::vector<double> op2_dat_init(const Op2DatSpec& dat, index_t set_size);
+
+/// Initial values for a full OPS allocation (halos included).
+std::vector<double> ops_dat_init(const OpsDatSpec& dat,
+                                 std::size_t alloc_values);
+
+}  // namespace apl::testkit

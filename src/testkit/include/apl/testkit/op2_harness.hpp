@@ -1,0 +1,343 @@
+// Builds and runs generated OP2 programs. Header-only on purpose: the
+// kernels instantiate op2::par_loop's backend templates, and the mutation
+// smoke tests compile those templates with deliberate bugs — every test
+// binary must therefore own its instantiations instead of sharing merged
+// ones from a library archive.
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "apl/testkit/gen.hpp"
+#include "apl/testkit/spec.hpp"
+#include "apl/testkit/trace.hpp"
+#include "op2/op2.hpp"
+
+namespace apl::testkit {
+
+struct Op2System {
+  op2::Context ctx;
+  std::vector<op2::Set*> sets;
+  std::vector<op2::Map*> maps;
+  std::vector<op2::Dat<double>*> dats;
+};
+
+inline std::unique_ptr<Op2System> build_op2_system(const Op2CaseSpec& spec) {
+  auto sys = std::make_unique<Op2System>();
+  // The kAccess guard deliberately serializes execution to probe access
+  // contracts, which would mask exactly the backend-schedule differences
+  // this oracle exists to observe; every other guard stays as configured.
+  sys->ctx.set_verify(sys->ctx.verify_checks() & ~apl::verify::kAccess);
+  for (std::size_t s = 0; s < spec.set_sizes.size(); ++s) {
+    sys->sets.push_back(
+        &sys->ctx.decl_set(spec.set_sizes[s], "set" + std::to_string(s)));
+  }
+  for (std::size_t m = 0; m < spec.maps.size(); ++m) {
+    const auto table = op2_map_table(spec.maps[m], spec.set_sizes);
+    sys->maps.push_back(&sys->ctx.decl_map(
+        *sys->sets[spec.maps[m].from], *sys->sets[spec.maps[m].to],
+        spec.maps[m].arity, table, "map" + std::to_string(m)));
+  }
+  for (std::size_t d = 0; d < spec.dats.size(); ++d) {
+    const auto init =
+        op2_dat_init(spec.dats[d], spec.set_sizes[spec.dats[d].set]);
+    sys->dats.push_back(&sys->ctx.decl_dat<double>(
+        *sys->sets[spec.dats[d].set], spec.dats[d].dim, init,
+        "d" + std::to_string(d)));
+  }
+  return sys;
+}
+
+/// Replicated execution: loops run through the context directly.
+struct Op2PlainExec {
+  op2::Context* ctx;
+  template <class K, class... A>
+  void loop(const std::string& name, const op2::Set& set, K&& k, A... a) {
+    op2::par_loop(*ctx, name, set, std::forward<K>(k), a...);
+  }
+  void sync(Op2System&) {}
+};
+
+/// Distributed execution: loops run through the wrapper; sync() pulls
+/// authoritative owner values back before a snapshot.
+struct Op2DistExec {
+  op2::Distributed* dist;
+  template <class K, class... A>
+  void loop(const std::string& name, const op2::Set& set, K&& k, A... a) {
+    dist->par_loop(name, set, std::forward<K>(k), a...);
+  }
+  void sync(Op2System& sys) {
+    for (auto* d : sys.dats) dist->fetch(*d);
+  }
+};
+
+/// Runs one generated loop; returns the reduction outputs (empty for
+/// non-reductions). `bias` perturbs the kernel coefficient — the sabotage
+/// hook the forced-failure shrink tests use.
+template <class Exec>
+std::vector<double> run_op2_loop(Exec& ex, Op2System& sys,
+                                 const Op2CaseSpec& spec, int li,
+                                 double bias = 0.0) {
+  using apl::exec::Access;
+  const Op2LoopSpec& L = spec.loops[li];
+  const std::string name = loop_name(spec, li);
+  const double c0 = L.c0 + bias;
+  switch (L.kind) {
+    case Op2LoopKind::kDirect: {
+      auto& dst = *sys.dats[L.dst];
+      auto& src = *sys.dats[L.src];
+      const int dd = dst.dim();
+      const int sd = src.dim();
+      const Access dacc = L.write ? Access::kWrite : Access::kRW;
+      if (L.src2 >= 0) {
+        auto& s2 = *sys.dats[L.src2];
+        const int s2d = s2.dim();
+        auto k = [=](op2::Acc<double> d, op2::Acc<double> a,
+                     op2::Acc<double> b) {
+          for (int c = 0; c < dd; ++c) {
+            d[c] = c0 * a[c % sd] + (1.0 - c0) * b[c % s2d];
+          }
+        };
+        ex.loop(name, dst.set(), k, op2::arg(dst, dacc),
+                op2::arg(src, Access::kRead), op2::arg(s2, Access::kRead));
+      } else if (L.write) {
+        auto k = [=](op2::Acc<double> d, op2::Acc<double> a) {
+          for (int c = 0; c < dd; ++c) d[c] = c0 * a[c % sd] + 0.25;
+        };
+        ex.loop(name, dst.set(), k, op2::arg(dst, Access::kWrite),
+                op2::arg(src, Access::kRead));
+      } else {
+        auto k = [=](op2::Acc<double> d, op2::Acc<double> a) {
+          for (int c = 0; c < dd; ++c) {
+            d[c] = c0 * a[c % sd] + (1.0 - c0) * d[c];
+          }
+        };
+        ex.loop(name, dst.set(), k, op2::arg(dst, Access::kRW),
+                op2::arg(src, Access::kRead));
+      }
+      return {};
+    }
+    case Op2LoopKind::kGather: {
+      auto& dst = *sys.dats[L.dst];
+      auto& src = *sys.dats[L.src];
+      const op2::Map& m = *sys.maps[L.map];
+      const int dd = dst.dim();
+      const int sd = src.dim();
+      const bool wr = L.write;
+      const double w = 1.0 / static_cast<double>(m.arity());
+      const Access dacc = wr ? Access::kWrite : Access::kRW;
+      switch (m.arity()) {
+        case 1: {
+          auto k = [=](op2::Acc<double> d, op2::Acc<double> s0) {
+            for (int c = 0; c < dd; ++c) {
+              const double g = w * s0[c % sd];
+              d[c] = wr ? c0 * g + 0.5 : c0 * g + (1.0 - c0) * d[c];
+            }
+          };
+          ex.loop(name, m.from(), k, op2::arg(dst, dacc),
+                  op2::arg(src, m, 0, Access::kRead));
+          break;
+        }
+        case 2: {
+          auto k = [=](op2::Acc<double> d, op2::Acc<double> s0,
+                       op2::Acc<double> s1) {
+            for (int c = 0; c < dd; ++c) {
+              const double g = w * (s0[c % sd] + s1[c % sd]);
+              d[c] = wr ? c0 * g + 0.5 : c0 * g + (1.0 - c0) * d[c];
+            }
+          };
+          ex.loop(name, m.from(), k, op2::arg(dst, dacc),
+                  op2::arg(src, m, 0, Access::kRead),
+                  op2::arg(src, m, 1, Access::kRead));
+          break;
+        }
+        default: {
+          auto k = [=](op2::Acc<double> d, op2::Acc<double> s0,
+                       op2::Acc<double> s1, op2::Acc<double> s2) {
+            for (int c = 0; c < dd; ++c) {
+              const double g = w * (s0[c % sd] + s1[c % sd] + s2[c % sd]);
+              d[c] = wr ? c0 * g + 0.5 : c0 * g + (1.0 - c0) * d[c];
+            }
+          };
+          ex.loop(name, m.from(), k, op2::arg(dst, dacc),
+                  op2::arg(src, m, 0, Access::kRead),
+                  op2::arg(src, m, 1, Access::kRead),
+                  op2::arg(src, m, 2, Access::kRead));
+          break;
+        }
+      }
+      return {};
+    }
+    case Op2LoopKind::kScatter: {
+      auto& src = *sys.dats[L.src];
+      auto& dst = *sys.dats[L.dst];
+      const op2::Map& m = *sys.maps[L.map];
+      const int dd = dst.dim();
+      const int sd = src.dim();
+      const double w = c0 / static_cast<double>(m.arity());
+      switch (m.arity()) {
+        case 1: {
+          auto k = [=](op2::Acc<double> s, op2::Acc<double> d0) {
+            for (int c = 0; c < dd; ++c) d0[c] += w * s[c % sd];
+          };
+          ex.loop(name, m.from(), k, op2::arg(src, Access::kRead),
+                  op2::arg(dst, m, 0, Access::kInc));
+          break;
+        }
+        case 2: {
+          auto k = [=](op2::Acc<double> s, op2::Acc<double> d0,
+                       op2::Acc<double> d1) {
+            for (int c = 0; c < dd; ++c) {
+              d0[c] += w * s[c % sd];
+              d1[c] += w * s[c % sd];
+            }
+          };
+          ex.loop(name, m.from(), k, op2::arg(src, Access::kRead),
+                  op2::arg(dst, m, 0, Access::kInc),
+                  op2::arg(dst, m, 1, Access::kInc));
+          break;
+        }
+        default: {
+          auto k = [=](op2::Acc<double> s, op2::Acc<double> d0,
+                       op2::Acc<double> d1, op2::Acc<double> d2) {
+            for (int c = 0; c < dd; ++c) {
+              d0[c] += w * s[c % sd];
+              d1[c] += w * s[c % sd];
+              d2[c] += w * s[c % sd];
+            }
+          };
+          ex.loop(name, m.from(), k, op2::arg(src, Access::kRead),
+                  op2::arg(dst, m, 0, Access::kInc),
+                  op2::arg(dst, m, 1, Access::kInc),
+                  op2::arg(dst, m, 2, Access::kInc));
+          break;
+        }
+      }
+      return {};
+    }
+    case Op2LoopKind::kReduction: {
+      auto& src = *sys.dats[L.src];
+      const int sd = src.dim();
+      std::vector<double> g;
+      switch (L.red) {
+        case RedOp::kSum: {
+          g.assign(sd, 0.0);
+          auto k = [=](op2::Acc<double> s, op2::Acc<double> gg) {
+            for (int c = 0; c < sd; ++c) gg[c] += s[c];
+          };
+          ex.loop(name, src.set(), k, op2::arg(src, Access::kRead),
+                  op2::arg_gbl(g.data(), sd, Access::kInc));
+          break;
+        }
+        case RedOp::kMin: {
+          g.assign(sd, std::numeric_limits<double>::max());
+          auto k = [=](op2::Acc<double> s, op2::Acc<double> gg) {
+            for (int c = 0; c < sd; ++c) gg[c] = std::min(gg[c], s[c]);
+          };
+          ex.loop(name, src.set(), k, op2::arg(src, Access::kRead),
+                  op2::arg_gbl(g.data(), sd, Access::kMin));
+          break;
+        }
+        case RedOp::kMax: {
+          g.assign(sd, std::numeric_limits<double>::lowest());
+          auto k = [=](op2::Acc<double> s, op2::Acc<double> gg) {
+            for (int c = 0; c < sd; ++c) gg[c] = std::max(gg[c], s[c]);
+          };
+          ex.loop(name, src.set(), k, op2::arg(src, Access::kRead),
+                  op2::arg_gbl(g.data(), sd, Access::kMax));
+          break;
+        }
+      }
+      return g;
+    }
+  }
+  return {};
+}
+
+inline std::vector<std::vector<double>> snapshot_op2(Op2System& sys) {
+  std::vector<std::vector<double>> out;
+  out.reserve(sys.dats.size());
+  for (auto* d : sys.dats) out.push_back(d->to_vector());
+  return out;
+}
+
+struct RunOptions {
+  bool per_loop = true;
+  double bias = 0.0;
+  /// Stop (simulated crash) after this many loops; -1 runs to the end.
+  int stop_after = -1;
+};
+
+template <class Exec>
+Trace run_op2_program(Exec& ex, Op2System& sys, const Op2CaseSpec& spec,
+                      const RunOptions& ro = {}) {
+  Trace t;
+  t.per_loop = ro.per_loop;
+  for (int li = 0; li < static_cast<int>(spec.loops.size()); ++li) {
+    if (ro.stop_after >= 0 && li >= ro.stop_after) break;
+    t.reds.push_back(run_op2_loop(ex, sys, spec, li, ro.bias));
+    if (ro.per_loop) {
+      ex.sync(sys);
+      t.snaps.push_back(snapshot_op2(sys));
+    }
+  }
+  if (!ro.per_loop) {
+    ex.sync(sys);
+    t.snaps.push_back(snapshot_op2(sys));
+  }
+  return t;
+}
+
+/// Forward dataflow in program order: scatter targets accumulate in
+/// backend-dependent order, and any dat computed from a tainted input
+/// inherits the tolerance.
+inline std::vector<char> op2_taint(const Op2CaseSpec& spec) {
+  std::vector<char> t(spec.dats.size(), 0);
+  for (const auto& L : spec.loops) {
+    switch (L.kind) {
+      case Op2LoopKind::kScatter:
+        t[L.dst] = 1;
+        break;
+      case Op2LoopKind::kDirect:
+        if (t[L.src] || (L.src2 >= 0 && t[L.src2]) ||
+            (!L.write && t[L.dst])) {
+          t[L.dst] = 1;
+        }
+        break;
+      case Op2LoopKind::kGather:
+        if (t[L.src] || (!L.write && t[L.dst])) t[L.dst] = 1;
+        break;
+      case Op2LoopKind::kReduction:
+        break;
+    }
+  }
+  return t;
+}
+
+/// Mirrors op2::renumber_mesh(ctx, map) while tracking where every element
+/// of every set ends up: returns pos with pos[set][old] == new position.
+/// (The metamorphic renumbering combo compares baseline element e against
+/// variant element pos[set][e].)
+inline std::vector<std::vector<op2::index_t>> renumber_and_track(
+    Op2System& sys, int map_idx) {
+  std::vector<std::vector<op2::index_t>> pos(sys.sets.size());
+  for (std::size_t s = 0; s < sys.sets.size(); ++s) {
+    pos[s].resize(sys.sets[s]->size());
+    std::iota(pos[s].begin(), pos[s].end(), 0);
+  }
+  const op2::Map& m = *sys.maps[map_idx];
+  auto apply = [&](const op2::Set& set,
+                   const std::vector<op2::index_t>& perm) {
+    sys.ctx.apply_permutation(set, perm);
+    auto& p = pos[set.id()];
+    for (auto& e : p) e = perm[e];
+  };
+  apply(m.to(), op2::rcm_permutation_for(sys.ctx, m));
+  apply(m.from(), op2::sort_by_map_permutation(sys.ctx, m));
+  return pos;
+}
+
+}  // namespace apl::testkit

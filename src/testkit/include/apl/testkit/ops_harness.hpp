@@ -1,0 +1,235 @@
+// Builds and runs generated OPS programs (header-only for the same
+// ODR/mutation reason as op2_harness.hpp).
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apl/testkit/gen.hpp"
+#include "apl/testkit/spec.hpp"
+#include "apl/testkit/trace.hpp"
+#include "ops/checkpoint.hpp"
+#include "ops/ops.hpp"
+
+namespace apl::testkit {
+
+struct OpsSystem {
+  ops::Context ctx;
+  std::vector<ops::Block*> blocks;
+  std::vector<const ops::Stencil*> stencils;
+  std::vector<ops::Dat<double>*> dats;
+  std::vector<ops::Halo> halos;
+};
+
+inline std::unique_ptr<OpsSystem> build_ops_system(const OpsCaseSpec& spec) {
+  auto sys = std::make_unique<OpsSystem>();
+  // See build_op2_system: kAccess forces eager, serialized execution and
+  // would mask the scheduling differences under test.
+  sys->ctx.set_verify(sys->ctx.verify_checks() & ~apl::verify::kAccess);
+  for (int b = 0; b < spec.nblocks; ++b) {
+    sys->blocks.push_back(
+        &sys->ctx.decl_block(spec.ndim, "b" + std::to_string(b)));
+  }
+  for (std::size_t s = 0; s < spec.stencils.size(); ++s) {
+    std::vector<std::array<int, ops::kMaxDim>> pts(
+        spec.stencils[s].points.begin(),
+        spec.stencils[s].points.begin() + spec.stencils[s].npoints);
+    sys->stencils.push_back(&sys->ctx.decl_stencil(
+        spec.ndim, pts, "st" + std::to_string(s)));
+  }
+  for (std::size_t d = 0; d < spec.dats.size(); ++d) {
+    auto& dat = sys->ctx.decl_dat<double>(
+        *sys->blocks[spec.dats[d].block], spec.dats[d].dim, spec.size,
+        spec.halo, spec.halo, "d" + std::to_string(d));
+    const auto init = ops_dat_init(spec.dats[d], dat.storage().size());
+    std::copy(init.begin(), init.end(), dat.storage().begin());
+    sys->dats.push_back(&dat);
+  }
+  for (const auto& hs : spec.halos) {
+    std::array<ops::index_t, ops::kMaxDim> iter{1, 1, 1};
+    std::array<ops::index_t, ops::kMaxDim> from_base{};
+    std::array<ops::index_t, ops::kMaxDim> to_base{};
+    for (int d = 0; d < spec.ndim; ++d) iter[d] = spec.size[d];
+    iter[hs.axis] = spec.halo[hs.axis];
+    from_base[hs.axis] = spec.size[hs.axis] - spec.halo[hs.axis];
+    to_base[hs.axis] = -spec.halo[hs.axis];
+    sys->halos.emplace_back(*sys->dats[hs.src], *sys->dats[hs.dst], iter,
+                            from_base, to_base,
+                            std::array<int, ops::kMaxDim>{1, 2, 3},
+                            std::array<int, ops::kMaxDim>{1, 2, 3});
+  }
+  return sys;
+}
+
+struct OpsPlainExec {
+  OpsSystem* sys;
+  template <class K, class... A>
+  void loop(const std::string& name, int block, const ops::Range& r, K&& k,
+            A... a) {
+    ops::par_loop(sys->ctx, name, *sys->blocks[block], r, std::forward<K>(k),
+                  a...);
+  }
+  void halo_transfer(int h) { sys->halos[h].transfer(); }
+  void sync(OpsSystem&) {}
+};
+
+struct OpsDistExec {
+  OpsSystem* sys;
+  ops::Distributed* dist;
+  template <class K, class... A>
+  void loop(const std::string& name, int block, const ops::Range& r, K&& k,
+            A... a) {
+    dist->par_loop(name, *sys->blocks[block], r, std::forward<K>(k), a...);
+  }
+  void halo_transfer(int) {
+    apl::require(false, "testkit: halo transfers not generated under dist");
+  }
+  void sync(OpsSystem& sys_) {
+    for (auto* d : sys_.dats) dist->fetch(*d);
+  }
+};
+
+template <class Exec>
+std::vector<double> run_ops_loop(Exec& ex, OpsSystem& sys,
+                                 const OpsCaseSpec& spec, int li,
+                                 double bias = 0.0) {
+  using ops::Access;
+  const OpsLoopSpec& L = spec.loops[li];
+  const std::string name = loop_name(spec, li);
+  const double c0 = L.c0 + bias;
+  ops::Range r;
+  for (int d = 0; d < 3; ++d) {
+    r.lo[d] = L.lo[d];
+    r.hi[d] = L.hi[d];
+  }
+  switch (L.kind) {
+    case OpsLoopKind::kHaloTransfer:
+      ex.halo_transfer(L.halo);
+      return {};
+    case OpsLoopKind::kInit: {
+      auto& dst = *sys.dats[L.dst];
+      const int dd = dst.dim();
+      auto k = [=](ops::Acc<double> d, const int* idx) {
+        for (int c = 0; c < dd; ++c) {
+          const int h = idx[0] * 3 + idx[1] * 5 + idx[2] * 7 + c * 11;
+          d.at(c, 0, 0, 0) = c0 + 0.03125 * static_cast<double>(
+                                                ((h % 17) + 17) % 17);
+        }
+      };
+      ex.loop(name, spec.dats[L.dst].block, r, k,
+              ops::arg(dst, Access::kWrite), ops::arg_idx());
+      return {};
+    }
+    case OpsLoopKind::kStencilAvg: {
+      auto& dst = *sys.dats[L.dst];
+      auto& src = *sys.dats[L.src];
+      const ops::Stencil& st = *sys.stencils[L.stencil];
+      const int dd = dst.dim();
+      const int sd = src.dim();
+      const int np = spec.stencils[L.stencil].npoints;
+      const auto pts = spec.stencils[L.stencil].points;
+      const double w = 1.0 / static_cast<double>(np);
+      auto k = [=](ops::Acc<double> d, ops::Acc<double> s) {
+        for (int c = 0; c < dd; ++c) {
+          double acc = 0.0;
+          for (int p = 0; p < np; ++p) {
+            acc += s.at(c % sd, pts[p][0], pts[p][1], pts[p][2]);
+          }
+          d.at(c, 0, 0, 0) = c0 * (w * acc) + (1.0 - c0) * 0.5;
+        }
+      };
+      ex.loop(name, spec.dats[L.dst].block, r, k,
+              ops::arg(dst, Access::kWrite), ops::arg(src, st, Access::kRead));
+      return {};
+    }
+    case OpsLoopKind::kCopy: {
+      auto& dst = *sys.dats[L.dst];
+      auto& src = *sys.dats[L.src];
+      const int dd = dst.dim();
+      const int sd = src.dim();
+      auto k = [=](ops::Acc<double> d, ops::Acc<double> s) {
+        for (int c = 0; c < dd; ++c) {
+          d.at(c, 0, 0, 0) = c0 * s.at(c % sd, 0, 0, 0) + (1.0 - c0) * 0.25;
+        }
+      };
+      ex.loop(name, spec.dats[L.dst].block, r, k,
+              ops::arg(dst, Access::kWrite), ops::arg(src, Access::kRead));
+      return {};
+    }
+    case OpsLoopKind::kReduction: {
+      auto& src = *sys.dats[L.src];
+      const int sd = src.dim();
+      std::vector<double> g;
+      switch (L.red) {
+        case RedOp::kSum: {
+          g.assign(sd, 0.0);
+          auto k = [=](ops::Acc<double> s, double* gg) {
+            for (int c = 0; c < sd; ++c) gg[c] += s.at(c, 0, 0, 0);
+          };
+          ex.loop(name, spec.dats[L.src].block, r, k,
+                  ops::arg(src, Access::kRead),
+                  ops::arg_gbl(g.data(), sd, Access::kInc));
+          break;
+        }
+        case RedOp::kMin: {
+          g.assign(sd, std::numeric_limits<double>::max());
+          auto k = [=](ops::Acc<double> s, double* gg) {
+            for (int c = 0; c < sd; ++c) {
+              gg[c] = std::min(gg[c], s.at(c, 0, 0, 0));
+            }
+          };
+          ex.loop(name, spec.dats[L.src].block, r, k,
+                  ops::arg(src, Access::kRead),
+                  ops::arg_gbl(g.data(), sd, Access::kMin));
+          break;
+        }
+        case RedOp::kMax: {
+          g.assign(sd, std::numeric_limits<double>::lowest());
+          auto k = [=](ops::Acc<double> s, double* gg) {
+            for (int c = 0; c < sd; ++c) {
+              gg[c] = std::max(gg[c], s.at(c, 0, 0, 0));
+            }
+          };
+          ex.loop(name, spec.dats[L.src].block, r, k,
+                  ops::arg(src, Access::kRead),
+                  ops::arg_gbl(g.data(), sd, Access::kMax));
+          break;
+        }
+      }
+      return g;
+    }
+  }
+  return {};
+}
+
+inline std::vector<std::vector<double>> snapshot_ops(OpsSystem& sys) {
+  std::vector<std::vector<double>> out;
+  out.reserve(sys.dats.size());
+  for (auto* d : sys.dats) out.push_back(d->to_vector());
+  return out;
+}
+
+template <class Exec>
+Trace run_ops_program(Exec& ex, OpsSystem& sys, const OpsCaseSpec& spec,
+                      const RunOptions& ro = {}) {
+  Trace t;
+  t.per_loop = ro.per_loop;
+  for (int li = 0; li < static_cast<int>(spec.loops.size()); ++li) {
+    if (ro.stop_after >= 0 && li >= ro.stop_after) break;
+    t.reds.push_back(run_ops_loop(ex, sys, spec, li, ro.bias));
+    if (ro.per_loop) {
+      ex.sync(sys);
+      t.snaps.push_back(snapshot_ops(sys));
+    }
+  }
+  if (!ro.per_loop) {
+    sys.ctx.flush();
+    ex.sync(sys);
+    t.snaps.push_back(snapshot_ops(sys));
+  }
+  return t;
+}
+
+}  // namespace apl::testkit

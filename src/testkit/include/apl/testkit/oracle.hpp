@@ -1,0 +1,389 @@
+// The cross-backend differential oracle. One generated case runs through
+// every execution combination the library claims is equivalent — backends,
+// eager/lazy chains, replicated/distributed, checkpoint-restart-midway,
+// and the metamorphic variants (renumbering, partition counts, plan block
+// sizes, data layout) — and every run is compared against the sequential
+// replicated baseline.
+//
+// Tolerance policy: bitwise equality is the default. Only combinations
+// that genuinely reassociate floating-point accumulation (ComboMeta::
+// reorders) get a ULP bound, and then only for global reductions and for
+// dats whose values are data-dependent on indirect-increment commit order
+// (op2_taint). OPS has no scatters, so OPS dats are always bitwise.
+//
+// Header-only: runners instantiate the par_loop backend templates (see
+// op2_harness.hpp for why that must happen per-binary).
+#pragma once
+
+#include <unistd.h>
+
+#include <exception>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apl/graph/partition.hpp"
+#include "apl/io/ckpt.hpp"
+#include "apl/testkit/op2_harness.hpp"
+#include "apl/testkit/ops_harness.hpp"
+#include "op2/checkpoint.hpp"
+#include "ops/checkpoint.hpp"
+
+namespace apl::testkit {
+
+struct OracleOptions {
+  std::int64_t max_ulps = 4096;
+  /// Sabotage hook for the shrinking tests: adds `bias` to every kernel
+  /// coefficient in the combo named `bias_combo`, forcing a divergence
+  /// that flows through the normal detection/shrinking machinery.
+  double bias = 0.0;
+  std::string bias_combo;
+};
+
+/// Scratch base name for checkpoint slot files; pid+seed keeps parallel
+/// ctest invocations from colliding.
+inline std::string scratch_base(const char* tag, std::uint64_t seed) {
+  return (std::filesystem::temp_directory_path() /
+          ("apl_testkit_" + std::string(tag) + "_" +
+           std::to_string(static_cast<long>(::getpid())) + "_" +
+           std::to_string(seed) + ".ckpt"))
+      .string();
+}
+
+inline Divergence combo_threw(const std::string& combo,
+                              const std::string& what) {
+  Divergence d;
+  d.combo = combo;
+  d.loop = -1;
+  d.dat = "<exception>";
+  d.element = -1;
+  d.component = -1;
+  d.message = "combo '" + combo + "' threw: " + what;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// OP2
+// ---------------------------------------------------------------------------
+
+inline std::optional<Divergence> run_op2_oracle(const Op2CaseSpec& spec,
+                                                const OracleOptions& opt = {}) {
+  using apl::exec::Backend;
+  using apl::graph::PartitionMethod;
+
+  const auto taint = op2_taint(spec);
+  std::vector<std::string> dat_names, loop_names;
+  std::vector<int> dat_dims;
+  for (std::size_t d = 0; d < spec.dats.size(); ++d) {
+    dat_names.push_back("d" + std::to_string(d));
+    dat_dims.push_back(spec.dats[d].dim);
+  }
+  for (std::size_t l = 0; l < spec.loops.size(); ++l) {
+    loop_names.push_back(loop_name(spec, static_cast<int>(l)));
+  }
+  auto bias_for = [&](const std::string& combo) {
+    return combo == opt.bias_combo ? opt.bias : 0.0;
+  };
+
+  // Baseline: sequential, replicated, eager, AoS.
+  auto base_sys = build_op2_system(spec);
+  Op2PlainExec base_ex{&base_sys->ctx};
+  const Trace base = run_op2_program(base_ex, *base_sys, spec,
+                                     RunOptions{true, bias_for("seq"), -1});
+
+  auto compare = [&](const Trace& var, const ComboMeta& combo) {
+    return compare_traces(base, var, combo, dat_names, dat_dims, taint,
+                          loop_names, opt.max_ulps, identity_index);
+  };
+  auto check = [&](const ComboMeta& combo,
+                   auto&& run) -> std::optional<Divergence> {
+    try {
+      return compare(run(), combo);
+    } catch (const std::exception& e) {
+      return combo_threw(combo.name, e.what());
+    }
+  };
+
+  // Backend / layout / plan-granularity matrix on the replicated context.
+  struct Plain {
+    ComboMeta meta;
+    Backend backend;
+    bool soa;
+    op2::index_t block_size;
+  };
+  const Plain plains[] = {
+      {{"simd", false, false}, Backend::kSimd, false, 0},
+      {{"threads", true, false}, Backend::kThreads, false, 0},
+      {{"threads-bs4", true, false}, Backend::kThreads, false, 4},
+      {{"cudasim", true, false}, Backend::kCudaSim, false, 0},
+      {{"soa", false, false}, Backend::kSeq, true, 0},
+  };
+  for (const auto& p : plains) {
+    auto d = check(p.meta, [&]() {
+      auto sys = build_op2_system(spec);
+      sys->ctx.set_backend(p.backend);
+      if (p.block_size > 0) sys->ctx.set_block_size(p.block_size);
+      if (p.soa) sys->ctx.convert_layout(op2::Layout::kSoA);
+      Op2PlainExec ex{&sys->ctx};
+      return run_op2_program(ex, *sys, spec,
+                             RunOptions{true, bias_for(p.meta.name), -1});
+    });
+    if (d) return d;
+  }
+
+  // Distributed matrix: 1/2/4 ranks (partition-count invariance). One rank
+  // is order-preserving, so it must match bitwise; more ranks reassociate
+  // reductions and indirect-increment commits.
+  struct Dist {
+    ComboMeta meta;
+    int nranks;
+    PartitionMethod method;
+  };
+  std::vector<Dist> dists = {
+      {{"dist1", false, false}, 1, PartitionMethod::kBlock},
+      {{"dist2", true, false}, 2, PartitionMethod::kBlock},
+      {{"dist4", true, false}, 4, PartitionMethod::kBlock},
+  };
+  for (const auto& m : spec.maps) {
+    // k-way partitioning derives the adjacency from a map onto the base
+    // set; only meaningful when the generated mesh has one.
+    if (m.to == 0 && spec.set_sizes[m.from] > 0) {
+      dists.push_back({{"dist2-kway", true, false}, 2, PartitionMethod::kKway});
+      break;
+    }
+  }
+  for (const auto& c : dists) {
+    auto d = check(c.meta, [&]() {
+      auto sys = build_op2_system(spec);
+      op2::Distributed dist(sys->ctx, c.nranks, c.method, *sys->sets[0]);
+      Op2DistExec ex{&dist};
+      return run_op2_program(ex, *sys, spec,
+                             RunOptions{true, bias_for(c.meta.name), -1});
+    });
+    if (d) return d;
+  }
+
+  // Metamorphic renumbering: RCM-permute the mesh, rerun, and compare
+  // element-for-element through the tracked permutation. Gathers stay
+  // bitwise; scatter commit order and reduction order change.
+  if (!spec.maps.empty()) {
+    const ComboMeta meta{"renumber", true, false};
+    try {
+      auto sys = build_op2_system(spec);
+      const auto pos = renumber_and_track(*sys, 0);
+      Op2PlainExec ex{&sys->ctx};
+      const Trace var = run_op2_program(
+          ex, *sys, spec, RunOptions{true, bias_for(meta.name), -1});
+      auto map_index = [&](int d, std::size_t flat) {
+        const int dim = spec.dats[d].dim;
+        const std::size_t e = flat / static_cast<std::size_t>(dim);
+        return static_cast<std::size_t>(pos[spec.dats[d].set][e]) * dim +
+               flat % static_cast<std::size_t>(dim);
+      };
+      if (auto d = compare_traces(base, var, meta, dat_names, dat_dims,
+                                  taint, loop_names, opt.max_ulps,
+                                  map_index)) {
+        return d;
+      }
+    } catch (const std::exception& e) {
+      return combo_threw(meta.name, e.what());
+    }
+  }
+
+  // Checkpoint-restart midway: run to a completed checkpoint past the
+  // midpoint, crash, restore into a fresh system and run the whole
+  // program again. The replayed prefix restores logged reduction outputs
+  // bitwise; the final state must match the uninterrupted baseline.
+  if (spec.loops.size() >= 2) {
+    const ComboMeta meta{"ckpt", false, true};
+    const std::string path = scratch_base("op2", spec.seed);
+    const apl::io::CheckpointStore cleanup(path);
+    try {
+      op2::Checkpointer::Options copts;
+      copts.speculative = false;
+      copts.horizon = 1;
+      const int mid = static_cast<int>(spec.loops.size()) / 2;
+      bool completed = false;
+      {
+        auto sys = build_op2_system(spec);
+        op2::Checkpointer ck(sys->ctx, path, copts);
+        Op2PlainExec ex{&sys->ctx};
+        for (int li = 0; li < static_cast<int>(spec.loops.size()); ++li) {
+          if (li == mid) ck.request_checkpoint();
+          run_op2_loop(ex, *sys, spec, li, bias_for(meta.name));
+          if (li >= mid && ck.checkpoint_complete()) {
+            completed = true;
+            break;  // simulated crash
+          }
+        }
+      }
+      if (completed) {
+        auto sys = build_op2_system(spec);
+        op2::Checkpointer ck =
+            op2::Checkpointer::restore(sys->ctx, path, copts);
+        Op2PlainExec ex{&sys->ctx};
+        const Trace var = run_op2_program(
+            ex, *sys, spec, RunOptions{false, bias_for(meta.name), -1});
+        cleanup.remove_files();
+        if (auto d = compare(var, meta)) return d;
+      } else {
+        cleanup.remove_files();  // short chains may never classify: skip
+      }
+    } catch (const std::exception& e) {
+      cleanup.remove_files();
+      return combo_threw(meta.name, e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// OPS
+// ---------------------------------------------------------------------------
+
+inline bool ops_has_halo_transfer(const OpsCaseSpec& spec) {
+  for (const auto& L : spec.loops) {
+    if (L.kind == OpsLoopKind::kHaloTransfer) return true;
+  }
+  return false;
+}
+
+inline std::optional<Divergence> run_ops_oracle(const OpsCaseSpec& spec,
+                                                const OracleOptions& opt = {}) {
+  using apl::exec::Backend;
+
+  const std::vector<char> taint(spec.dats.size(), 0);  // no scatters in OPS
+  std::vector<std::string> dat_names, loop_names;
+  std::vector<int> dat_dims;
+  for (std::size_t d = 0; d < spec.dats.size(); ++d) {
+    dat_names.push_back("d" + std::to_string(d));
+    dat_dims.push_back(spec.dats[d].dim);
+  }
+  for (std::size_t l = 0; l < spec.loops.size(); ++l) {
+    loop_names.push_back(loop_name(spec, static_cast<int>(l)));
+  }
+  auto bias_for = [&](const std::string& combo) {
+    return combo == opt.bias_combo ? opt.bias : 0.0;
+  };
+
+  auto base_sys = build_ops_system(spec);
+  OpsPlainExec base_ex{base_sys.get()};
+  const Trace base = run_ops_program(base_ex, *base_sys, spec,
+                                     RunOptions{true, bias_for("seq"), -1});
+
+  auto compare = [&](const Trace& var, const ComboMeta& combo) {
+    return compare_traces(base, var, combo, dat_names, dat_dims, taint,
+                          loop_names, opt.max_ulps, identity_index);
+  };
+  auto check = [&](const ComboMeta& combo,
+                   auto&& run) -> std::optional<Divergence> {
+    try {
+      return compare(run(), combo);
+    } catch (const std::exception& e) {
+      return combo_threw(combo.name, e.what());
+    }
+  };
+
+  // Backend x eager/lazy(tiled, untiled) matrix. Lazy chains only flush at
+  // the end, so those combos compare final state only; the tiled schedule
+  // must still be bit-identical to the eager one.
+  struct Plain {
+    ComboMeta meta;
+    Backend backend;
+    bool lazy;
+    bool tiling;
+  };
+  const Plain plains[] = {
+      {{"simd", false, false}, Backend::kSimd, false, true},
+      {{"threads", true, false}, Backend::kThreads, false, true},
+      {{"cudasim", true, false}, Backend::kCudaSim, false, true},
+      {{"lazy-untiled", false, true}, Backend::kSeq, true, false},
+      {{"lazy-tiled", false, true}, Backend::kSeq, true, true},
+      {{"lazy-tiled-threads", true, true}, Backend::kThreads, true, true},
+  };
+  for (const auto& p : plains) {
+    auto d = check(p.meta, [&]() {
+      auto sys = build_ops_system(spec);
+      sys->ctx.set_backend(p.backend);
+      sys->ctx.set_tiling(p.tiling);
+      if (p.lazy) sys->ctx.set_lazy(true);
+      OpsPlainExec ex{sys.get()};
+      return run_ops_program(
+          ex, *sys, spec,
+          RunOptions{!p.meta.final_only, bias_for(p.meta.name), -1});
+    });
+    if (d) return d;
+  }
+
+  // Distributed decomposition (1/2/4 ranks). The mpisim exchange layer is
+  // 2D; inter-block Halo::transfer operates on the global context, so
+  // programs using it stay replicated.
+  if (spec.ndim <= 2 && !ops_has_halo_transfer(spec)) {
+    struct Dist {
+      ComboMeta meta;
+      int nranks;
+    };
+    const Dist dists[] = {
+        {{"dist1", false, false}, 1},
+        {{"dist2", true, false}, 2},
+        {{"dist4", true, false}, 4},
+    };
+    for (const auto& c : dists) {
+      auto d = check(c.meta, [&]() {
+        auto sys = build_ops_system(spec);
+        ops::Distributed dist(sys->ctx, c.nranks);
+        OpsDistExec ex{sys.get(), &dist};
+        return run_ops_program(ex, *sys, spec,
+                               RunOptions{true, bias_for(c.meta.name), -1});
+      });
+      if (d) return d;
+    }
+  }
+
+  // Checkpoint-restart midway (loop-only programs: the checkpointer's
+  // chain analysis hooks par_loop and cannot see raw halo transfers).
+  if (spec.loops.size() >= 2 && !ops_has_halo_transfer(spec)) {
+    const ComboMeta meta{"ckpt", false, true};
+    const std::string path = scratch_base("ops", spec.seed);
+    const apl::io::CheckpointStore cleanup(path);
+    try {
+      ops::Checkpointer::Options copts;
+      copts.speculative = false;
+      copts.horizon = 1;
+      const int mid = static_cast<int>(spec.loops.size()) / 2;
+      bool completed = false;
+      {
+        auto sys = build_ops_system(spec);
+        ops::Checkpointer ck(sys->ctx, path, copts);
+        OpsPlainExec ex{sys.get()};
+        for (int li = 0; li < static_cast<int>(spec.loops.size()); ++li) {
+          if (li == mid) ck.request_checkpoint();
+          run_ops_loop(ex, *sys, spec, li, bias_for(meta.name));
+          if (li >= mid && ck.checkpoint_complete()) {
+            completed = true;
+            break;  // simulated crash
+          }
+        }
+      }
+      if (completed) {
+        auto sys = build_ops_system(spec);
+        ops::Checkpointer ck =
+            ops::Checkpointer::restore(sys->ctx, path, copts);
+        OpsPlainExec ex{sys.get()};
+        const Trace var = run_ops_program(
+            ex, *sys, spec, RunOptions{false, bias_for(meta.name), -1});
+        cleanup.remove_files();
+        if (auto d = compare(var, meta)) return d;
+      } else {
+        cleanup.remove_files();
+      }
+    } catch (const std::exception& e) {
+      cleanup.remove_files();
+      return combo_threw(meta.name, e.what());
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace apl::testkit

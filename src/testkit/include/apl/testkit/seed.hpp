@@ -1,0 +1,21 @@
+// APL_TESTKIT_SEED: the one-command replay channel. A failure report
+// prints the seed; re-running any testkit binary (or the replay test in
+// tests/testkit) with the environment variable set reproduces the exact
+// case, shrink included.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace apl::testkit {
+
+/// Parses APL_TESTKIT_SEED (decimal or 0x-hex); nullopt when unset/empty.
+/// Throws apl::Error on malformed values — a silently ignored typo would
+/// "replay" the wrong case.
+std::optional<std::uint64_t> seed_from_env();
+
+/// The replay command line printed with every failure report.
+std::string replay_hint(std::uint64_t seed);
+
+}  // namespace apl::testkit

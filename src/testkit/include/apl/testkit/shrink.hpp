@@ -1,0 +1,342 @@
+// Deterministic failure shrinking. Given a failing case and a test
+// function (typically the oracle), repeatedly tries simpler variants of
+// the case — dropping loops last-first, shrinking sets/blocks, collapsing
+// arities/dims/stencils, compacting away unused entities — and accepts a
+// variant only when it still fails in the *same combo* as the original
+// (an exception or a different combo would mean we shrank onto a
+// different bug). Candidates are enumerated in a fixed order and the
+// first accepted one restarts the round, so the result is a function of
+// (case, test) alone: replaying the seed replays the shrink.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "apl/testkit/compare.hpp"
+#include "apl/testkit/spec.hpp"
+
+namespace apl::testkit {
+
+template <class Spec>
+struct ShrinkOutcome {
+  Spec spec;              ///< the minimized case
+  Divergence divergence;  ///< its (still-matching) divergence
+  int steps = 0;          ///< accepted shrink steps
+};
+
+namespace detail {
+
+/// Runs rounds of candidate generation until none is accepted. `test`
+/// returns the divergence a candidate produces (nullopt = passes);
+/// `candidates` appends simpler variants of the current spec.
+template <class Spec, class TestFn, class CandidatesFn>
+ShrinkOutcome<Spec> shrink_loop(Spec spec, Divergence first, TestFn&& test,
+                                CandidatesFn&& candidates,
+                                int max_steps = 200) {
+  ShrinkOutcome<Spec> out{spec, first, 0};
+  bool progress = true;
+  while (progress && out.steps < max_steps) {
+    progress = false;
+    std::vector<Spec> cands;
+    candidates(out.spec, cands);
+    for (const auto& c : cands) {
+      const auto d = test(c);
+      if (d && d->combo == first.combo) {
+        out.spec = c;
+        out.divergence = *d;
+        ++out.steps;
+        progress = true;
+        break;  // restart the round from the simpler case
+      }
+    }
+  }
+  return out;
+}
+
+/// Drops unused dats/maps/sets from an OP2 case and remaps indices.
+/// Set 0 always stays: it is the primary iteration set and the
+/// distributed combos' partitioning base.
+inline Op2CaseSpec op2_compact(const Op2CaseSpec& in) {
+  Op2CaseSpec out = in;
+
+  std::vector<char> dat_used(in.dats.size(), 0);
+  std::vector<char> map_used(in.maps.size(), 0);
+  for (const auto& L : in.loops) {
+    if (L.src >= 0) dat_used[L.src] = 1;
+    if (L.src2 >= 0) dat_used[L.src2] = 1;
+    if (L.dst >= 0) dat_used[L.dst] = 1;
+    if (L.map >= 0) map_used[L.map] = 1;
+  }
+  std::vector<int> dat_remap(in.dats.size(), -1);
+  std::vector<int> map_remap(in.maps.size(), -1);
+  out.dats.clear();
+  for (std::size_t d = 0; d < in.dats.size(); ++d) {
+    if (dat_used[d]) {
+      dat_remap[d] = static_cast<int>(out.dats.size());
+      out.dats.push_back(in.dats[d]);
+    }
+  }
+  out.maps.clear();
+  for (std::size_t m = 0; m < in.maps.size(); ++m) {
+    if (map_used[m]) {
+      map_remap[m] = static_cast<int>(out.maps.size());
+      out.maps.push_back(in.maps[m]);
+    }
+  }
+
+  std::vector<char> set_used(in.set_sizes.size(), 0);
+  set_used[0] = 1;
+  for (const auto& d : out.dats) set_used[d.set] = 1;
+  for (const auto& m : out.maps) {
+    set_used[m.from] = 1;
+    set_used[m.to] = 1;
+  }
+  std::vector<int> set_remap(in.set_sizes.size(), -1);
+  out.set_sizes.clear();
+  for (std::size_t s = 0; s < in.set_sizes.size(); ++s) {
+    if (set_used[s]) {
+      set_remap[s] = static_cast<int>(out.set_sizes.size());
+      out.set_sizes.push_back(in.set_sizes[s]);
+    }
+  }
+
+  for (auto& d : out.dats) d.set = set_remap[d.set];
+  for (auto& m : out.maps) {
+    m.from = set_remap[m.from];
+    m.to = set_remap[m.to];
+  }
+  for (auto& L : out.loops) {
+    if (L.src >= 0) L.src = dat_remap[L.src];
+    if (L.src2 >= 0) L.src2 = dat_remap[L.src2];
+    if (L.dst >= 0) L.dst = dat_remap[L.dst];
+    if (L.map >= 0) L.map = map_remap[L.map];
+  }
+  return out;
+}
+
+inline void op2_candidates(const Op2CaseSpec& spec,
+                           std::vector<Op2CaseSpec>& out) {
+  // 1. Drop one loop, last-first (later loops depend on earlier ones, so
+  //    dropping from the tail preserves upstream dataflow).
+  for (int l = static_cast<int>(spec.loops.size()) - 1;
+       l >= 0 && spec.loops.size() > 1; --l) {
+    Op2CaseSpec c = spec;
+    c.loops.erase(c.loops.begin() + l);
+    out.push_back(op2_compact(c));
+  }
+  // 2. Halve one set's size (nonempty sets keep at least 4 elements so
+  //    4-rank distribution stays meaningful).
+  for (std::size_t s = 0; s < spec.set_sizes.size(); ++s) {
+    if (spec.set_sizes[s] > 4) {
+      Op2CaseSpec c = spec;
+      c.set_sizes[s] = std::max<index_t>(4, spec.set_sizes[s] / 2);
+      out.push_back(c);
+    }
+  }
+  // 3. Collapse one map to arity 1.
+  for (std::size_t m = 0; m < spec.maps.size(); ++m) {
+    if (spec.maps[m].arity > 1) {
+      Op2CaseSpec c = spec;
+      c.maps[m].arity = 1;
+      out.push_back(c);
+    }
+  }
+  // 4. Collapse one dat to a single component.
+  for (std::size_t d = 0; d < spec.dats.size(); ++d) {
+    if (spec.dats[d].dim > 1) {
+      Op2CaseSpec c = spec;
+      c.dats[d].dim = 1;
+      out.push_back(c);
+    }
+  }
+  // 5. Drop a map's hub bias (uniform maps are easier to reason about).
+  for (std::size_t m = 0; m < spec.maps.size(); ++m) {
+    if (spec.maps[m].hub_bias > 0.0) {
+      Op2CaseSpec c = spec;
+      c.maps[m].hub_bias = 0.0;
+      out.push_back(c);
+    }
+  }
+}
+
+/// Drops unused dats (and, with them, dangling halos and empty blocks)
+/// from an OPS case and remaps indices.
+inline OpsCaseSpec ops_compact(const OpsCaseSpec& in) {
+  OpsCaseSpec out = in;
+
+  std::vector<char> dat_used(in.dats.size(), 0);
+  std::vector<char> halo_used(in.halos.size(), 0);
+  for (const auto& L : in.loops) {
+    if (L.kind == OpsLoopKind::kHaloTransfer) {
+      halo_used[L.halo] = 1;
+    } else {
+      if (L.src >= 0) dat_used[L.src] = 1;
+      if (L.dst >= 0) dat_used[L.dst] = 1;
+    }
+  }
+  for (std::size_t h = 0; h < in.halos.size(); ++h) {
+    if (halo_used[h]) {
+      dat_used[in.halos[h].src] = 1;
+      dat_used[in.halos[h].dst] = 1;
+    }
+  }
+  std::vector<int> dat_remap(in.dats.size(), -1);
+  out.dats.clear();
+  for (std::size_t d = 0; d < in.dats.size(); ++d) {
+    if (dat_used[d]) {
+      dat_remap[d] = static_cast<int>(out.dats.size());
+      out.dats.push_back(in.dats[d]);
+    }
+  }
+  std::vector<int> halo_remap(in.halos.size(), -1);
+  out.halos.clear();
+  for (std::size_t h = 0; h < in.halos.size(); ++h) {
+    if (halo_used[h]) {
+      halo_remap[h] = static_cast<int>(out.halos.size());
+      auto hs = in.halos[h];
+      hs.src = dat_remap[hs.src];
+      hs.dst = dat_remap[hs.dst];
+      out.halos.push_back(hs);
+    }
+  }
+  for (auto& L : out.loops) {
+    if (L.kind == OpsLoopKind::kHaloTransfer) {
+      L.halo = halo_remap[L.halo];
+    } else {
+      if (L.src >= 0) L.src = dat_remap[L.src];
+      if (L.dst >= 0) L.dst = dat_remap[L.dst];
+    }
+  }
+  // Block 1 disappears when nothing lives on it any more.
+  bool block1 = false;
+  for (const auto& d : out.dats) block1 = block1 || d.block == 1;
+  if (!block1) out.nblocks = 1;
+
+  // Stencils referenced by no loop are harmless but noisy: keep only the
+  // used ones.
+  std::vector<char> st_used(in.stencils.size(), 0);
+  for (const auto& L : out.loops) {
+    if (L.kind == OpsLoopKind::kStencilAvg) st_used[L.stencil] = 1;
+  }
+  std::vector<int> st_remap(in.stencils.size(), -1);
+  out.stencils.clear();
+  for (std::size_t s = 0; s < in.stencils.size(); ++s) {
+    if (st_used[s]) {
+      st_remap[s] = static_cast<int>(out.stencils.size());
+      out.stencils.push_back(in.stencils[s]);
+    }
+  }
+  if (out.stencils.empty()) {  // decl order stability: keep one stencil
+    OpsStencilSpec st;
+    st.npoints = 1;
+    st.points[0] = {0, 0, 0};
+    out.stencils.push_back(st);
+  }
+  for (auto& L : out.loops) {
+    if (L.kind == OpsLoopKind::kStencilAvg) {
+      L.stencil = st_remap[L.stencil] >= 0 ? st_remap[L.stencil] : 0;
+    }
+  }
+  return out;
+}
+
+/// Clamps a loop's iteration range to the (possibly shrunk) block shape.
+inline void ops_clamp_ranges(OpsCaseSpec& spec) {
+  for (auto& L : spec.loops) {
+    if (L.kind == OpsLoopKind::kHaloTransfer) continue;
+    const bool with_halo = L.kind == OpsLoopKind::kInit;
+    for (int d = 0; d < spec.ndim; ++d) {
+      const index_t h = with_halo ? spec.halo[d] : 0;
+      L.lo[d] = std::clamp<index_t>(L.lo[d], -h, spec.size[d] + h);
+      L.hi[d] = std::clamp<index_t>(L.hi[d], L.lo[d], spec.size[d] + h);
+    }
+    for (int d = spec.ndim; d < 3; ++d) {
+      L.lo[d] = 0;
+      L.hi[d] = 1;
+    }
+  }
+}
+
+inline void ops_candidates(const OpsCaseSpec& spec,
+                           std::vector<OpsCaseSpec>& out) {
+  // 1. Drop one loop, last-first.
+  for (int l = static_cast<int>(spec.loops.size()) - 1;
+       l >= 0 && spec.loops.size() > 1; --l) {
+    OpsCaseSpec c = spec;
+    c.loops.erase(c.loops.begin() + l);
+    out.push_back(ops_compact(c));
+  }
+  // 2. Halve one dimension's extent (floor 4: a 4-rank 1D decomposition
+  //    needs a point per rank).
+  for (int d = 0; d < spec.ndim; ++d) {
+    if (spec.size[d] > 4) {
+      OpsCaseSpec c = spec;
+      c.size[d] = std::max<index_t>(4, spec.size[d] / 2);
+      ops_clamp_ranges(c);
+      out.push_back(c);
+    }
+  }
+  // 3. Collapse one stencil to its centre point.
+  for (std::size_t s = 0; s < spec.stencils.size(); ++s) {
+    if (spec.stencils[s].npoints > 1) {
+      OpsCaseSpec c = spec;
+      c.stencils[s].npoints = 1;
+      out.push_back(c);
+    }
+  }
+  // 4. Collapse all dat dims to 1 (halo pairs must keep matching dims, so
+  //    this is one joint candidate rather than per-dat).
+  {
+    bool any = false;
+    for (const auto& d : spec.dats) any = any || d.dim > 1;
+    if (any) {
+      OpsCaseSpec c = spec;
+      for (auto& d : c.dats) d.dim = 1;
+      out.push_back(c);
+    }
+  }
+  // 5. Shrink halo width to 1, clamping stencil offsets to the new
+  //    radius and re-clamping ranges.
+  {
+    bool wide = false;
+    for (int d = 0; d < spec.ndim; ++d) wide = wide || spec.halo[d] > 1;
+    if (wide) {
+      OpsCaseSpec c = spec;
+      for (int d = 0; d < c.ndim; ++d) c.halo[d] = 1;
+      for (auto& st : c.stencils) {
+        for (int p = 0; p < st.npoints; ++p) {
+          for (int d = 0; d < 3; ++d) {
+            st.points[p][d] = std::clamp(st.points[p][d], -1, 1);
+          }
+        }
+      }
+      ops_clamp_ranges(c);
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace detail
+
+/// Minimizes a failing OP2 case. `test` runs a candidate (normally the
+/// oracle with the original options) and returns its divergence.
+template <class TestFn>
+ShrinkOutcome<Op2CaseSpec> shrink_op2(const Op2CaseSpec& spec,
+                                      const Divergence& first,
+                                      TestFn&& test) {
+  return detail::shrink_loop(spec, first, std::forward<TestFn>(test),
+                             detail::op2_candidates);
+}
+
+/// Minimizes a failing OPS case.
+template <class TestFn>
+ShrinkOutcome<OpsCaseSpec> shrink_ops(const OpsCaseSpec& spec,
+                                      const Divergence& first,
+                                      TestFn&& test) {
+  return detail::shrink_loop(spec, first, std::forward<TestFn>(test),
+                             detail::ops_candidates);
+}
+
+}  // namespace apl::testkit

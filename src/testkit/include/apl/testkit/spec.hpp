@@ -1,0 +1,137 @@
+// apl::testkit — property-based differential testing for the OP2/OPS
+// layers (the "active libraries must carry their own correctness
+// machinery" layer; see DESIGN.md §10).
+//
+// A *case spec* is a small, plain-data description of a randomly generated
+// program: the mesh/grid declarations plus a sequence of access-legal
+// par_loops. Everything downstream — mesh tables, initial dat values,
+// kernels — derives deterministically from the spec, so a spec (and hence
+// a single 64-bit seed) is a complete repro. Every entity carries its own
+// data seed, which makes shrinking stable: dropping a loop or an unused
+// dat never perturbs the random data of the entities that remain.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apl::testkit {
+
+using index_t = std::int32_t;
+
+// ---------------------------------------------------------------------------
+// OP2 (unstructured) case specs
+// ---------------------------------------------------------------------------
+
+/// A random map: `arity` targets per source element, drawn uniformly from
+/// the target set except that with probability `hub_bias` an entry is
+/// redirected to a small pool of hub elements — the degenerate high fan-in
+/// shapes that stress plan coloring and increment flushing.
+struct Op2MapSpec {
+  int from = 0;
+  int to = 0;
+  int arity = 2;
+  double hub_bias = 0.0;
+  std::uint64_t seed = 0;  ///< table entropy (stable under shrinking)
+};
+
+struct Op2DatSpec {
+  int set = 0;
+  int dim = 1;
+  std::uint64_t seed = 0;  ///< initial-value entropy
+};
+
+enum class Op2LoopKind { kDirect, kGather, kScatter, kReduction };
+enum class RedOp { kSum, kMin, kMax };
+
+/// One generated par_loop. The kernel family per kind (convex
+/// combinations, arity-averaged gathers, 1/arity-scaled scatters,
+/// terminal reductions) is fixed; the spec picks operands and the
+/// coefficient. Values stay bounded by construction so comparisons are
+/// well conditioned.
+struct Op2LoopSpec {
+  Op2LoopKind kind = Op2LoopKind::kDirect;
+  int map = -1;   ///< gather/scatter: index into maps
+  int src = -1;   ///< source dat
+  int src2 = -1;  ///< optional second source (direct kind only)
+  int dst = -1;   ///< destination dat (unused for reductions)
+  bool write = false;  ///< direct/gather: kWrite instead of kRW destination
+  RedOp red = RedOp::kSum;
+  double c0 = 0.5;
+};
+
+struct Op2CaseSpec {
+  std::uint64_t seed = 0;  ///< generator seed this case came from
+  std::vector<index_t> set_sizes;
+  std::vector<Op2MapSpec> maps;
+  std::vector<Op2DatSpec> dats;
+  std::vector<Op2LoopSpec> loops;
+
+  /// One-line, self-contained dump (the repro config printed next to the
+  /// APL_TESTKIT_SEED replay command).
+  std::string describe() const;
+};
+
+// ---------------------------------------------------------------------------
+// OPS (structured multi-block) case specs
+// ---------------------------------------------------------------------------
+
+inline constexpr int kMaxStencilPoints = 9;
+
+/// A random stencil: up to kMaxStencilPoints offsets, each within the
+/// declared halo radius per dimension. Point 0 is always the centre.
+struct OpsStencilSpec {
+  int npoints = 1;
+  std::array<std::array<int, 3>, kMaxStencilPoints> points{};
+};
+
+struct OpsDatSpec {
+  int block = 0;  ///< 0 or 1 (all blocks share extent and halo depth)
+  int dim = 1;
+  std::uint64_t seed = 0;
+};
+
+enum class OpsLoopKind { kInit, kStencilAvg, kCopy, kReduction, kHaloTransfer };
+
+/// One generated ops loop (or, for kHaloTransfer, an explicit inter-block
+/// halo group transfer — the OPS synchronization point between blocks).
+struct OpsLoopSpec {
+  OpsLoopKind kind = OpsLoopKind::kInit;
+  int src = -1;
+  int dst = -1;
+  int stencil = -1;  ///< kStencilAvg: read stencil index
+  std::array<index_t, 3> lo{};  ///< iteration range (interior coordinates)
+  std::array<index_t, 3> hi{1, 1, 1};
+  RedOp red = RedOp::kSum;
+  double c0 = 0.5;
+  int halo = -1;  ///< kHaloTransfer: index into halos
+};
+
+/// An inter-block strip copy: the high-`axis` edge of `src` (block 0) into
+/// the low-`axis` physical halo of `dst` (block 1).
+struct OpsHaloSpec {
+  int src = 0;
+  int dst = 0;
+  int axis = 0;
+};
+
+struct OpsCaseSpec {
+  std::uint64_t seed = 0;
+  int ndim = 2;
+  int nblocks = 1;
+  std::array<index_t, 3> size{8, 8, 1};  ///< interior extent (unused dims 1)
+  std::array<index_t, 3> halo{1, 1, 0};  ///< d_m == d_p depth per dimension
+  std::vector<OpsDatSpec> dats;
+  std::vector<OpsStencilSpec> stencils;
+  std::vector<OpsHaloSpec> halos;
+  std::vector<OpsLoopSpec> loops;
+
+  std::string describe() const;
+};
+
+/// Stable loop display names ("L3_scatter") used in divergence reports.
+std::string loop_name(const Op2CaseSpec& spec, int loop_index);
+std::string loop_name(const OpsCaseSpec& spec, int loop_index);
+
+}  // namespace apl::testkit

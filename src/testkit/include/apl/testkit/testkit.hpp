@@ -1,0 +1,87 @@
+// apl::testkit — property-based differential testing for the OPAL
+// libraries. One seed drives the whole pipeline:
+//
+//   seed -> gen_*_case -> run_*_oracle -> (on failure) shrink_* -> report
+//
+// fuzz_case() is that pipeline for one seed: it generates an OP2 case and
+// an OPS case, pushes each through every execution combination, and on
+// divergence shrinks to a minimal still-failing case whose report can be
+// replayed from APL_TESTKIT_SEED alone. See DESIGN.md §10.
+#pragma once
+
+#include <string>
+
+#include "apl/testkit/compare.hpp"
+#include "apl/testkit/fixtures.hpp"
+#include "apl/testkit/gen.hpp"
+#include "apl/testkit/op2_harness.hpp"
+#include "apl/testkit/ops_harness.hpp"
+#include "apl/testkit/oracle.hpp"
+#include "apl/testkit/seed.hpp"
+#include "apl/testkit/shrink.hpp"
+#include "apl/testkit/spec.hpp"
+#include "apl/testkit/trace.hpp"
+
+namespace apl::testkit {
+
+struct FuzzOptions {
+  GenOptions gen;
+  OracleOptions oracle;
+  bool run_op2 = true;
+  bool run_ops = true;
+  bool shrink = true;
+};
+
+struct FuzzReport {
+  bool ok = true;
+  std::uint64_t seed = 0;
+  /// Self-contained failure report: minimized case dump, divergence, and
+  /// the replay command. Empty when ok.
+  std::string message;
+};
+
+/// Runs the full differential pipeline for one seed.
+inline FuzzReport fuzz_case(std::uint64_t seed, const FuzzOptions& opt = {}) {
+  FuzzReport rep;
+  rep.seed = seed;
+
+  if (opt.run_op2) {
+    const Op2CaseSpec spec = gen_op2_case(seed, opt.gen);
+    if (auto first = run_op2_oracle(spec, opt.oracle)) {
+      auto test = [&](const Op2CaseSpec& c) {
+        return run_op2_oracle(c, opt.oracle);
+      };
+      const auto min =
+          opt.shrink ? shrink_op2(spec, *first, test)
+                     : ShrinkOutcome<Op2CaseSpec>{spec, *first, 0};
+      rep.ok = false;
+      rep.message = "testkit: OP2 divergence (seed " + std::to_string(seed) +
+                    ", shrunk in " + std::to_string(min.steps) +
+                    " steps)\n  case: " + min.spec.describe() +
+                    "\n  " + min.divergence.message + "\n  " +
+                    replay_hint(seed);
+      return rep;
+    }
+  }
+  if (opt.run_ops) {
+    const OpsCaseSpec spec = gen_ops_case(seed, opt.gen);
+    if (auto first = run_ops_oracle(spec, opt.oracle)) {
+      auto test = [&](const OpsCaseSpec& c) {
+        return run_ops_oracle(c, opt.oracle);
+      };
+      const auto min =
+          opt.shrink ? shrink_ops(spec, *first, test)
+                     : ShrinkOutcome<OpsCaseSpec>{spec, *first, 0};
+      rep.ok = false;
+      rep.message = "testkit: OPS divergence (seed " + std::to_string(seed) +
+                    ", shrunk in " + std::to_string(min.steps) +
+                    " steps)\n  case: " + min.spec.describe() +
+                    "\n  " + min.divergence.message + "\n  " +
+                    replay_hint(seed);
+      return rep;
+    }
+  }
+  return rep;
+}
+
+}  // namespace apl::testkit

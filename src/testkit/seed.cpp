@@ -1,0 +1,31 @@
+#include "apl/testkit/seed.hpp"
+
+#include <cstdlib>
+
+#include "apl/error.hpp"
+
+namespace apl::testkit {
+
+std::optional<std::uint64_t> seed_from_env() {
+  const char* env = std::getenv("APL_TESTKIT_SEED");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  const std::string s(env);
+  std::size_t pos = 0;
+  std::uint64_t seed = 0;
+  try {
+    seed = std::stoull(s, &pos, 0);  // base 0: decimal or 0x-hex
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  apl::require(pos == s.size() && pos > 0,
+               "APL_TESTKIT_SEED: malformed seed '", s,
+               "' (expected a decimal or 0x-hex 64-bit integer)");
+  return seed;
+}
+
+std::string replay_hint(std::uint64_t seed) {
+  return "replay: APL_TESTKIT_SEED=" + std::to_string(seed) +
+         " (tools/fuzz.sh, opal_fuzz, or ctest -R Testkit.Replay)";
+}
+
+}  // namespace apl::testkit

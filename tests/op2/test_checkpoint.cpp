@@ -10,7 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "op2/op2.hpp"
-#include "op2_test_utils.hpp"
+#include "apl/testkit/fixtures.hpp"
 
 namespace {
 
@@ -28,7 +28,7 @@ std::string temp_path(const std::string& name) {
 // q(4), q_old(4), adt(1), res(4); rms is a global.
 struct MiniAirfoil {
   explicit MiniAirfoil(index_t nx = 4, index_t ny = 4)
-      : mesh(op2_test::make_grid(nx, ny)) {
+      : mesh(apl::testkit::make_grid(nx, ny)) {
     cells = &ctx.decl_set(mesh.num_edges(), "cells");  // any indirect set
     nodes = &ctx.decl_set(mesh.num_nodes(), "nodes");
     c2n = &ctx.decl_map(*cells, *nodes, 2, mesh.edge2node, "c2n");
@@ -112,7 +112,7 @@ struct MiniAirfoil {
     }
   }
 
-  op2_test::GridMesh mesh;
+  apl::testkit::GridMesh mesh;
   op2::Context ctx;
   op2::Set* cells;
   op2::Set* nodes;

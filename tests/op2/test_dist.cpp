@@ -10,7 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "op2/op2.hpp"
-#include "op2_test_utils.hpp"
+#include "apl/testkit/fixtures.hpp"
 
 namespace {
 
@@ -20,7 +20,7 @@ using op2::index_t;
 
 struct DistHarness {
   explicit DistHarness(index_t nx = 8, index_t ny = 6)
-      : mesh(op2_test::make_grid(nx, ny)) {
+      : mesh(apl::testkit::make_grid(nx, ny)) {
     edges = &ctx.decl_set(mesh.num_edges(), "edges");
     nodes = &ctx.decl_set(mesh.num_nodes(), "nodes");
     e2n = &ctx.decl_map(*edges, *nodes, 2, mesh.edge2node, "e2n");
@@ -30,7 +30,7 @@ struct DistHarness {
     q = &ctx.decl_dat<double>(*nodes, 1, qi, "q");
     res = &ctx.decl_dat<double>(*nodes, 1, std::span<const double>{}, "res");
   }
-  op2_test::GridMesh mesh;
+  apl::testkit::GridMesh mesh;
   op2::Context ctx;
   op2::Set* edges;
   op2::Set* nodes;

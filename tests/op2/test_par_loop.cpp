@@ -9,7 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "op2/op2.hpp"
-#include "op2_test_utils.hpp"
+#include "apl/testkit/fixtures.hpp"
 
 namespace {
 
@@ -22,7 +22,7 @@ constexpr Backend kAllBackends[] = {Backend::kSeq, Backend::kSimd,
 
 struct Harness {
   explicit Harness(index_t nx = 6, index_t ny = 5)
-      : mesh(op2_test::make_grid(nx, ny)) {
+      : mesh(apl::testkit::make_grid(nx, ny)) {
     edges = &ctx.decl_set(mesh.num_edges(), "edges");
     nodes = &ctx.decl_set(mesh.num_nodes(), "nodes");
     e2n = &ctx.decl_map(*edges, *nodes, 2, mesh.edge2node, "e2n");
@@ -35,7 +35,7 @@ struct Harness {
     res = &ctx.decl_dat<double>(*nodes, 1, std::span<const double>{}, "res");
     ctx.set_block_size(16);  // force multiple blocks and colors
   }
-  op2_test::GridMesh mesh;
+  apl::testkit::GridMesh mesh;
   op2::Context ctx;
   op2::Set* edges;
   op2::Set* nodes;

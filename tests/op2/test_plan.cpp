@@ -6,7 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "op2/op2.hpp"
-#include "op2_test_utils.hpp"
+#include "apl/testkit/fixtures.hpp"
 
 namespace {
 
@@ -14,13 +14,13 @@ using op2::index_t;
 
 struct PlanFixture : ::testing::Test {
   void SetUp() override {
-    mesh = op2_test::make_grid(8, 8);
+    mesh = apl::testkit::make_grid(8, 8);
     edges = &ctx.decl_set(mesh.num_edges(), "edges");
     nodes = &ctx.decl_set(mesh.num_nodes(), "nodes");
     e2n = &ctx.decl_map(*edges, *nodes, 2, mesh.edge2node, "e2n");
     q = &ctx.decl_dat<double>(*nodes, 1, std::span<const double>{}, "q");
   }
-  op2_test::GridMesh mesh;
+  apl::testkit::GridMesh mesh;
   op2::Context ctx;
   op2::Set* edges = nullptr;
   op2::Set* nodes = nullptr;

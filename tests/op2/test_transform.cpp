@@ -9,7 +9,7 @@
 #include "apl/graph/csr.hpp"
 #include "apl/rng.hpp"
 #include "op2/op2.hpp"
-#include "op2_test_utils.hpp"
+#include "apl/testkit/fixtures.hpp"
 
 namespace {
 
@@ -18,7 +18,7 @@ using op2::index_t;
 
 struct TransformFixture : ::testing::Test {
   void SetUp() override {
-    mesh = op2_test::make_grid(7, 6);
+    mesh = apl::testkit::make_grid(7, 6);
     // Shuffle node numbering so RCM has something to improve.
     apl::SplitMix64 rng(17);
     std::vector<index_t> shuffle(mesh.num_nodes());
@@ -75,7 +75,7 @@ struct TransformFixture : ::testing::Test {
     return out;
   }
 
-  op2_test::GridMesh mesh;
+  apl::testkit::GridMesh mesh;
   op2::Context ctx;
   op2::Set* edges;
   op2::Set* nodes;

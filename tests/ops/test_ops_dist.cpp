@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "apl/testkit/fixtures.hpp"
 #include "ops/ops.hpp"
 
 namespace {
@@ -14,17 +15,10 @@ namespace {
 using ops::Access;
 using ops::index_t;
 
-struct Diffusion {
-  explicit Diffusion(index_t nx = 20, index_t ny = 14) : nx(nx), ny(ny) {
-    grid = &ctx.decl_block(2, "grid");
-    five = &ctx.decl_stencil(
-        2,
-        {{{0, 0, 0}}, {{1, 0, 0}}, {{-1, 0, 0}}, {{0, 1, 0}}, {{0, -1, 0}}},
-        "5pt");
-    u = &ctx.decl_dat<double>(*grid, 1, {nx, ny, 1}, {1, 1, 0}, {1, 1, 0},
-                              "u");
-    t = &ctx.decl_dat<double>(*grid, 1, {nx, ny, 1}, {1, 1, 0}, {1, 1, 0},
-                              "t");
+// Block/stencil/field declarations come from the shared testkit fixture;
+// this adds the one-sided boundary stencils the BC kernels need.
+struct Diffusion : apl::testkit::HeatGrid {
+  explicit Diffusion(index_t nx = 20, index_t ny = 14) : HeatGrid(nx, ny) {
     // One-sided stencils for the boundary kernels (real OPS applications
     // declare these so range validation can stay conservative).
     xp = &ctx.decl_stencil(2, {{{1, 0, 0}}}, "xp");
@@ -97,16 +91,10 @@ struct Diffusion {
     return out;
   }
 
-  index_t nx, ny;
-  ops::Context ctx;
-  ops::Block* grid;
-  ops::Stencil* five;
   ops::Stencil* xp;
   ops::Stencil* xm;
   ops::Stencil* yp;
   ops::Stencil* ym;
-  ops::Dat<double>* u;
-  ops::Dat<double>* t;
 };
 
 std::pair<std::vector<double>, double> run_seq(int steps) {

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "apl/testkit/fixtures.hpp"
 #include "ops/ops.hpp"
 
 namespace {
@@ -13,18 +14,13 @@ namespace {
 using ops::Access;
 using ops::index_t;
 
-struct HeatFixture {
-  explicit HeatFixture(index_t nx = 16, index_t ny = 12)
-      : nx(nx), ny(ny) {
-    grid = &ctx.decl_block(2, "grid");
-    five = &ctx.decl_stencil(
-        2,
-        {{{0, 0, 0}}, {{1, 0, 0}}, {{-1, 0, 0}}, {{0, 1, 0}}, {{0, -1, 0}}},
-        "5pt");
-    u = &ctx.decl_dat<double>(*grid, 1, {nx, ny, 1}, {1, 1, 0}, {1, 1, 0},
-                              "u");
-    unew = &ctx.decl_dat<double>(*grid, 1, {nx, ny, 1}, {1, 1, 0}, {1, 1, 0},
-                                 "unew");
+// Declarations (block, 5pt stencil, u/t field pair) come from the shared
+// testkit fixture; `unew` keeps this file's historical name for t.
+struct HeatFixture : apl::testkit::HeatGrid {
+  ops::Dat<double>* unew = nullptr;
+
+  explicit HeatFixture(index_t nx = 16, index_t ny = 12) : HeatGrid(nx, ny) {
+    unew = t;
     // Initialize interior + halos with a smooth field via arg_idx.
     ops::par_loop(ctx, "init", *grid,
                   ops::Range::dim2(-1, nx + 1, -1, ny + 1),
@@ -58,13 +54,6 @@ struct HeatFixture {
     }
     return out;
   }
-
-  index_t nx, ny;
-  ops::Context ctx;
-  ops::Block* grid;
-  ops::Stencil* five;
-  ops::Dat<double>* u;
-  ops::Dat<double>* unew;
 };
 
 TEST(OpsParLoop, StencilReadsNeighbours) {

@@ -1,0 +1,52 @@
+// Shared scan loop for the mutation smoke tests. Each mutation executable
+// is compiled with exactly one APL_MUTATE_* definition switched on, which
+// plants a known bug in one backend; the differential oracle run over a
+// window of fixed seeds must detect it, naming the diverging loop and dat.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apl/testkit/gen.hpp"
+#include "apl/testkit/oracle.hpp"
+
+namespace apl::testkit {
+
+struct MutationScan {
+  int detections = 0;
+  std::vector<Divergence> divergences;
+};
+
+/// Runs `oracle(seed)` for seeds in [first, last], collecting divergences.
+template <class Oracle>
+MutationScan scan_seeds(std::uint64_t first, std::uint64_t last,
+                        Oracle&& oracle) {
+  MutationScan out;
+  for (std::uint64_t s = first; s <= last; ++s) {
+    if (auto d = oracle(s)) {
+      ++out.detections;
+      out.divergences.push_back(*d);
+    }
+  }
+  return out;
+}
+
+/// Every detection must be attributable: a combo name, a loop or final
+/// state, and a dat (or "<reduction>") — the report a developer debugs
+/// from. `combo_substr` pins the sabotaged backend as the one blamed.
+inline void expect_attributed(const MutationScan& scan,
+                              const std::string& combo_substr) {
+  for (const Divergence& d : scan.divergences) {
+    EXPECT_NE(d.combo.find(combo_substr), std::string::npos) << d.message;
+    EXPECT_FALSE(d.dat.empty()) << d.message;
+    EXPECT_FALSE(d.message.empty());
+    if (d.loop >= 0) {
+      EXPECT_FALSE(d.loop_name.empty()) << d.message;
+    }
+  }
+}
+
+}  // namespace apl::testkit

@@ -1,0 +1,124 @@
+// Accounting edge cases the fuzzer's degenerate shapes exposed as worth
+// pinning: empty sets, zero-iteration ranges and pure-reduction loops must
+// leave the per-loop profile, the perf model, and the mpisim traffic
+// ledger in sane (zero, finite, never-NaN) states.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <span>
+
+#include "apl/mpisim/comm.hpp"
+#include "apl/perf/machines.hpp"
+#include "apl/perf/model.hpp"
+#include "apl/testkit/fixtures.hpp"
+
+using apl::exec::Access;
+
+TEST(EdgeCases, Op2EmptySetLoopIsANoop) {
+  op2::Context ctx;
+  const op2::Set& empty = ctx.decl_set(0, "empty");
+  auto& d = ctx.decl_dat<double>(empty, 1, std::span<const double>{}, "d");
+  double sum = 1.25;
+  op2::par_loop(ctx, "empty_direct", empty,
+                [](op2::Acc<double> v, op2::Acc<double> s) {
+                  v[0] = 2.0;
+                  s[0] += v[0];
+                },
+                op2::arg(d, Access::kRW),
+                op2::arg_gbl(&sum, 1, Access::kInc));
+  // The reduction must come back untouched (no garbage contribution from
+  // a zero-trip loop) and the stats must record the call with zero work.
+  EXPECT_EQ(sum, 1.25);
+  const apl::LoopStats& st = ctx.profile().stats("empty_direct");
+  EXPECT_EQ(st.calls, 1u);
+  EXPECT_EQ(st.elements, 0u);
+  EXPECT_EQ(st.bytes(), 0u);
+  EXPECT_FALSE(std::isnan(st.gb_per_s()));
+}
+
+TEST(EdgeCases, Op2PureReductionCountsNoScatterBytes) {
+  op2::Context ctx;
+  apl::testkit::GridMesh mesh = apl::testkit::make_grid(4, 3);
+  const op2::Set& nodes = ctx.decl_set(mesh.num_nodes(), "nodes");
+  auto& q = ctx.decl_dat<double>(nodes, 1, std::span<const double>{}, "q");
+  double sum = 0;
+  op2::par_loop(ctx, "pure_red", nodes,
+                [](op2::Acc<double> v, op2::Acc<double> s) { s[0] += v[0]; },
+                op2::arg(q, Access::kRead),
+                op2::arg_gbl(&sum, 1, Access::kInc));
+  const apl::LoopStats& st = ctx.profile().stats("pure_red");
+  EXPECT_EQ(st.elements, static_cast<std::uint64_t>(nodes.size()));
+  // Reading q is direct streaming; a reduction scatters nothing.
+  EXPECT_GT(st.bytes_direct, 0u);
+  EXPECT_EQ(st.bytes_gather, 0u);
+  EXPECT_EQ(st.bytes_scatter, 0u);
+}
+
+TEST(EdgeCases, OpsZeroIterationRangeLeavesDataAndStatsAlone) {
+  apl::testkit::HeatGrid h(4, 3);
+  ops::par_loop(h.ctx, "fill", *h.grid, h.with_halo(),
+                [](ops::Acc<double> u) { u(0, 0) = 3.0; },
+                ops::arg(*h.u, Access::kWrite));
+  // lo == hi along x: zero trips even though y spans the block.
+  ops::par_loop(h.ctx, "empty_range", *h.grid, ops::Range::dim2(2, 2, 0, 3),
+                [](ops::Acc<double> u) { u(0, 0) = -1.0; },
+                ops::arg(*h.u, Access::kWrite));
+  for (double v : h.u->to_vector()) EXPECT_EQ(v, 3.0);
+  const apl::LoopStats& st = h.ctx.profile().stats("empty_range");
+  EXPECT_EQ(st.calls, 1u);
+  EXPECT_EQ(st.elements, 0u);
+  EXPECT_EQ(st.bytes(), 0u);
+}
+
+TEST(EdgeCases, PerfModelIsFiniteOnZeroProfile) {
+  const apl::perf::Machine& m = apl::perf::machine("e5-2697v2");
+  apl::perf::LoopProfile p;  // all-zero: a loop that never iterated
+  const double t = apl::perf::projected_time(m, p);
+  EXPECT_TRUE(std::isfinite(t));
+  EXPECT_GE(t, 0.0);  // launch overhead only
+  const double gbs = apl::perf::projected_gbs(m, p);
+  EXPECT_TRUE(std::isfinite(gbs));
+  EXPECT_EQ(gbs, 0.0);
+}
+
+TEST(EdgeCases, PerfModelScalingByZeroZeroesExtensiveQuantities) {
+  apl::perf::LoopProfile p;
+  p.bytes_direct = 64;
+  p.bytes_gather = 32;
+  p.bytes_scatter = 16;
+  p.flops = 100;
+  p.elements = 8;
+  const apl::perf::LoopProfile z = p.scaled(0.0);
+  EXPECT_EQ(z.total_bytes(), 0.0);
+  EXPECT_EQ(z.flops, 0.0);
+  EXPECT_EQ(z.elements, 0.0);
+}
+
+TEST(EdgeCases, TrafficLedgerHandlesEmptyAndZeroByteTraffic) {
+  apl::mpisim::Traffic t;
+  EXPECT_EQ(t.total_bytes(), 0u);
+  EXPECT_EQ(t.max_rank_bytes(), 0u);
+  EXPECT_EQ(t.max_rank_peers(), 0);
+  t.record(0, 1, 0);  // zero-byte message still counts as a message
+  EXPECT_EQ(t.messages(), 1u);
+  EXPECT_EQ(t.total_bytes(), 0u);
+  EXPECT_EQ(t.max_rank_peers(), 1);
+}
+
+TEST(EdgeCases, DistributedPureReductionMovesNoHaloBytes) {
+  op2::Context ctx;
+  apl::testkit::GridMesh mesh = apl::testkit::make_grid(4, 4);
+  const op2::Set& nodes = ctx.decl_set(mesh.num_nodes(), "nodes");
+  std::vector<double> qi(static_cast<std::size_t>(nodes.size()), 1.0);
+  auto& q = ctx.decl_dat<double>(nodes, 1, qi, "q");
+  op2::Distributed dist(ctx, 2, apl::graph::PartitionMethod::kBlock, nodes);
+  double sum = 0;
+  dist.par_loop("dist_red", nodes,
+                [](op2::Acc<double> v, op2::Acc<double> s) { s[0] += v[0]; },
+                op2::arg(q, Access::kRead),
+                op2::arg_gbl(&sum, 1, Access::kInc));
+  EXPECT_EQ(sum, static_cast<double>(nodes.size()));
+  // A pure reduction exchanges no halos; it costs exactly one allreduce.
+  EXPECT_EQ(ctx.profile().stats("dist_red").halo_bytes, 0u);
+  EXPECT_EQ(dist.comm().traffic().allreduces(), 1u);
+}

@@ -1,0 +1,191 @@
+// Generator contracts: a seed is a complete repro (bit-identical replay)
+// and every generated case is access-legal by construction — the oracle
+// relies on both, so they are pinned here independently of it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+
+#include "apl/testkit/gen.hpp"
+
+namespace tk = apl::testkit;
+
+TEST(TestkitGen, Op2CasesReplayBitIdentically) {
+  for (std::uint64_t s : {1ull, 7ull, 99ull, 0xdeadbeefull}) {
+    const tk::Op2CaseSpec a = tk::gen_op2_case(s);
+    const tk::Op2CaseSpec b = tk::gen_op2_case(s);
+    EXPECT_EQ(a.describe(), b.describe());
+    ASSERT_EQ(a.maps.size(), b.maps.size());
+    for (std::size_t m = 0; m < a.maps.size(); ++m) {
+      EXPECT_EQ(tk::op2_map_table(a.maps[m], a.set_sizes),
+                tk::op2_map_table(b.maps[m], b.set_sizes));
+    }
+    ASSERT_EQ(a.dats.size(), b.dats.size());
+    for (std::size_t d = 0; d < a.dats.size(); ++d) {
+      EXPECT_EQ(tk::op2_dat_init(a.dats[d], a.set_sizes[a.dats[d].set]),
+                tk::op2_dat_init(b.dats[d], b.set_sizes[b.dats[d].set]));
+    }
+  }
+}
+
+TEST(TestkitGen, OpsCasesReplayBitIdentically) {
+  for (std::uint64_t s : {1ull, 13ull, 324ull, 0xabcdefull}) {
+    const tk::OpsCaseSpec a = tk::gen_ops_case(s);
+    const tk::OpsCaseSpec b = tk::gen_ops_case(s);
+    EXPECT_EQ(a.describe(), b.describe());
+    ASSERT_EQ(a.dats.size(), b.dats.size());
+  }
+}
+
+TEST(TestkitGen, DistinctSeedsGiveDistinctCases) {
+  // Not a hard guarantee for any single pair, but across a small window
+  // the generator must not collapse to one shape.
+  std::set<std::string> shapes;
+  for (std::uint64_t s = 1; s <= 20; ++s) {
+    shapes.insert(tk::gen_op2_case(s).describe());
+  }
+  EXPECT_GT(shapes.size(), 15u);
+}
+
+TEST(TestkitGen, Op2CasesAreAccessLegal) {
+  for (std::uint64_t s = 1; s <= 200; ++s) {
+    const tk::Op2CaseSpec c = tk::gen_op2_case(s);
+    ASSERT_FALSE(c.set_sizes.empty()) << "seed " << s;
+    EXPECT_GT(c.set_sizes[0], 0) << "seed " << s;
+    ASSERT_FALSE(c.loops.empty()) << "seed " << s;
+    const int nsets = static_cast<int>(c.set_sizes.size());
+    const int ndats = static_cast<int>(c.dats.size());
+    for (const tk::Op2MapSpec& m : c.maps) {
+      ASSERT_GE(m.from, 0);
+      ASSERT_LT(m.from, nsets);
+      ASSERT_GE(m.to, 0);
+      ASSERT_LT(m.to, nsets);
+      ASSERT_GE(m.arity, 1);
+      EXPECT_GT(c.set_sizes[m.to], 0)
+          << "seed " << s << ": map into an empty set is undeclarable";
+      const auto table = tk::op2_map_table(m, c.set_sizes);
+      ASSERT_EQ(table.size(),
+                static_cast<std::size_t>(c.set_sizes[m.from]) * m.arity);
+      for (tk::index_t t : table) {
+        ASSERT_GE(t, 0) << "seed " << s;
+        ASSERT_LT(t, c.set_sizes[m.to]) << "seed " << s;
+      }
+    }
+    for (const tk::Op2DatSpec& d : c.dats) {
+      ASSERT_GE(d.set, 0);
+      ASSERT_LT(d.set, nsets);
+      ASSERT_GE(d.dim, 1);
+      for (double v : tk::op2_dat_init(d, c.set_sizes[d.set])) {
+        ASSERT_GE(v, 0.5);
+        ASSERT_LT(v, 1.5);
+      }
+    }
+    for (const tk::Op2LoopSpec& L : c.loops) {
+      switch (L.kind) {
+        case tk::Op2LoopKind::kDirect:
+          ASSERT_GE(L.src, 0);
+          ASSERT_LT(L.src, ndats);
+          ASSERT_GE(L.dst, 0);
+          ASSERT_LT(L.dst, ndats);
+          EXPECT_EQ(c.dats[L.src].set, c.dats[L.dst].set) << "seed " << s;
+          if (L.src2 >= 0) {
+            ASSERT_LT(L.src2, ndats);
+            EXPECT_EQ(c.dats[L.src2].set, c.dats[L.dst].set) << "seed " << s;
+          }
+          break;
+        case tk::Op2LoopKind::kGather:
+          ASSERT_GE(L.map, 0);
+          ASSERT_LT(L.map, static_cast<int>(c.maps.size()));
+          ASSERT_GE(L.src, 0);
+          ASSERT_LT(L.src, ndats);
+          ASSERT_GE(L.dst, 0);
+          ASSERT_LT(L.dst, ndats);
+          EXPECT_EQ(c.dats[L.dst].set, c.maps[L.map].from) << "seed " << s;
+          EXPECT_EQ(c.dats[L.src].set, c.maps[L.map].to) << "seed " << s;
+          break;
+        case tk::Op2LoopKind::kScatter:
+          ASSERT_GE(L.map, 0);
+          ASSERT_LT(L.map, static_cast<int>(c.maps.size()));
+          ASSERT_GE(L.src, 0);
+          ASSERT_LT(L.src, ndats);
+          ASSERT_GE(L.dst, 0);
+          ASSERT_LT(L.dst, ndats);
+          EXPECT_EQ(c.dats[L.src].set, c.maps[L.map].from) << "seed " << s;
+          EXPECT_EQ(c.dats[L.dst].set, c.maps[L.map].to) << "seed " << s;
+          break;
+        case tk::Op2LoopKind::kReduction:
+          ASSERT_GE(L.src, 0);
+          ASSERT_LT(L.src, ndats);
+          break;
+      }
+    }
+  }
+}
+
+TEST(TestkitGen, OpsCasesAreAccessLegal) {
+  for (std::uint64_t s = 1; s <= 200; ++s) {
+    const tk::OpsCaseSpec c = tk::gen_ops_case(s);
+    ASSERT_GE(c.ndim, 1) << "seed " << s;
+    ASSERT_LE(c.ndim, 3) << "seed " << s;
+    ASSERT_GE(c.nblocks, 1);
+    ASSERT_LE(c.nblocks, 2);
+    ASSERT_FALSE(c.loops.empty()) << "seed " << s;
+    for (int d = 0; d < 3; ++d) {
+      ASSERT_GE(c.size[d], 1) << "seed " << s;
+      ASSERT_GE(c.halo[d], 0) << "seed " << s;
+      if (d >= c.ndim) {
+        EXPECT_EQ(c.size[d], 1) << "seed " << s;
+        EXPECT_EQ(c.halo[d], 0) << "seed " << s;
+      }
+    }
+    for (const tk::OpsStencilSpec& st : c.stencils) {
+      ASSERT_GE(st.npoints, 1);
+      ASSERT_LE(st.npoints, tk::kMaxStencilPoints);
+      for (int p = 0; p < st.npoints; ++p) {
+        for (int d = 0; d < 3; ++d) {
+          EXPECT_LE(std::abs(st.points[p][d]), c.halo[d])
+              << "seed " << s << ": stencil offset outside the halo";
+        }
+      }
+    }
+    for (const tk::OpsDatSpec& d : c.dats) {
+      ASSERT_GE(d.block, 0);
+      ASSERT_LT(d.block, c.nblocks);
+      ASSERT_GE(d.dim, 1);
+    }
+    for (const tk::OpsLoopSpec& L : c.loops) {
+      if (L.kind == tk::OpsLoopKind::kHaloTransfer) {
+        ASSERT_GE(L.halo, 0);
+        ASSERT_LT(L.halo, static_cast<int>(c.halos.size()));
+        continue;
+      }
+      for (int d = 0; d < 3; ++d) {
+        EXPECT_GE(L.lo[d], -c.halo[d]) << "seed " << s;
+        EXPECT_LE(L.hi[d], c.size[d] + c.halo[d]) << "seed " << s;
+        EXPECT_LE(L.lo[d], L.hi[d]) << "seed " << s;
+      }
+      if (L.dst >= 0) {
+        ASSERT_LT(L.dst, static_cast<int>(c.dats.size()));
+      }
+      if (L.src >= 0) {
+        ASSERT_LT(L.src, static_cast<int>(c.dats.size()));
+      }
+      if (L.kind == tk::OpsLoopKind::kStencilAvg) {
+        ASSERT_GE(L.stencil, 0);
+        ASSERT_LT(L.stencil, static_cast<int>(c.stencils.size()));
+        // Stencil reads from the interior range stay inside the halo; the
+        // generator must not emit a range whose stencil reach escapes the
+        // source allocation.
+        const tk::OpsStencilSpec& st = c.stencils[L.stencil];
+        for (int p = 0; p < st.npoints; ++p) {
+          for (int d = 0; d < 3; ++d) {
+            EXPECT_GE(L.lo[d] + st.points[p][d], -c.halo[d]) << "seed " << s;
+            EXPECT_LE(L.hi[d] + st.points[p][d], c.size[d] + c.halo[d])
+                << "seed " << s;
+          }
+        }
+      }
+    }
+  }
+}

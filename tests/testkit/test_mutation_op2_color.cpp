@@ -1,0 +1,21 @@
+// Mutation smoke test: the threads plan executor silently skips the last
+// color (APL_MUTATE_OP2_SKIP_LAST_COLOR). Multi-color plans only arise on
+// indirect-increment loops, so the oracle must blame a threads combo and
+// name the loop whose scatters went missing.
+#include "mutation_scan.hpp"
+
+#ifndef APL_MUTATE_OP2_SKIP_LAST_COLOR
+#error "build this test with -DAPL_MUTATE_OP2_SKIP_LAST_COLOR"
+#endif
+
+namespace tk = apl::testkit;
+
+TEST(MutationOp2SkipLastColor, OracleDetectsIt) {
+  const tk::MutationScan scan = tk::scan_seeds(1, 40, [](std::uint64_t s) {
+    return tk::run_op2_oracle(tk::gen_op2_case(s));
+  });
+  // Not every seed generates a multi-color plan; across the window the
+  // bug must surface repeatedly.
+  EXPECT_GE(scan.detections, 3) << "mutation escaped the oracle";
+  tk::expect_attributed(scan, "threads");
+}

@@ -1,0 +1,19 @@
+// Mutation smoke test: the simd backend drops the last lane of the final
+// pack (APL_MUTATE_OP2_SIMD_TAIL) — the classic remainder-loop bug. Every
+// loop leaves its last element unprocessed, so nearly every seed must
+// diverge, blamed on the simd combo.
+#include "mutation_scan.hpp"
+
+#ifndef APL_MUTATE_OP2_SIMD_TAIL
+#error "build this test with -DAPL_MUTATE_OP2_SIMD_TAIL"
+#endif
+
+namespace tk = apl::testkit;
+
+TEST(MutationOp2SimdTail, OracleDetectsIt) {
+  const tk::MutationScan scan = tk::scan_seeds(1, 40, [](std::uint64_t s) {
+    return tk::run_op2_oracle(tk::gen_op2_case(s));
+  });
+  EXPECT_GE(scan.detections, 20) << "mutation escaped the oracle";
+  tk::expect_attributed(scan, "simd");
+}

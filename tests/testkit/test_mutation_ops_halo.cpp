@@ -1,0 +1,22 @@
+// Mutation smoke test: the OPS distributed halo exchange ships one column
+// less than the declared depth (APL_MUTATE_OPS_HALO_WIDTH), leaving the
+// outermost low-x halo layer stale. The hook lives in src/ops/dist.cpp, so
+// this executable recompiles that file with the define; the resulting
+// object preempts the clean copy in the opal_ops archive at link time.
+// Only stencil loops that read across a rank boundary see the stale layer,
+// so detections are sparser than the in-header mutations.
+#include "mutation_scan.hpp"
+
+#ifndef APL_MUTATE_OPS_HALO_WIDTH
+#error "build this test with -DAPL_MUTATE_OPS_HALO_WIDTH"
+#endif
+
+namespace tk = apl::testkit;
+
+TEST(MutationOpsHaloWidth, OracleDetectsIt) {
+  const tk::MutationScan scan = tk::scan_seeds(1, 80, [](std::uint64_t s) {
+    return tk::run_ops_oracle(tk::gen_ops_case(s));
+  });
+  EXPECT_GE(scan.detections, 3) << "mutation escaped the oracle";
+  tk::expect_attributed(scan, "dist");
+}

@@ -1,0 +1,19 @@
+// Mutation smoke test: the OPS threads backend drops the last row of the
+// partitioned dimension (APL_MUTATE_OPS_RANGE_TAIL). The sequential
+// baseline keeps the full range, so the oracle must blame a threads combo
+// and name the loop whose top row went stale.
+#include "mutation_scan.hpp"
+
+#ifndef APL_MUTATE_OPS_RANGE_TAIL
+#error "build this test with -DAPL_MUTATE_OPS_RANGE_TAIL"
+#endif
+
+namespace tk = apl::testkit;
+
+TEST(MutationOpsRangeTail, OracleDetectsIt) {
+  const tk::MutationScan scan = tk::scan_seeds(1, 40, [](std::uint64_t s) {
+    return tk::run_ops_oracle(tk::gen_ops_case(s));
+  });
+  EXPECT_GE(scan.detections, 10) << "mutation escaped the oracle";
+  tk::expect_attributed(scan, "threads");
+}

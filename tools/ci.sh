@@ -27,6 +27,12 @@ OPAL_VERIFY=all "$build/examples/airfoil_sim" 10 > /dev/null
 OPAL_VERIFY=all "$build/examples/cloverleaf_sim" 10 \
   | grep -q "identical: yes (bitwise)"
 
+# Testkit stage: a bounded fixed-seed differential sweep across the whole
+# execution matrix (backends x lazy x distributed x checkpoint-restart).
+# Fixed seeds keep it deterministic and well under a minute; the long
+# randomized sweeps run via tools/fuzz.sh / ctest -L tier2.
+"$build/src/testkit/opal_fuzz" --iterations 100 --seed 20260806 --quiet
+
 if [[ -n "${CI_SANITIZE:-}" ]]; then
   san_build="$build-$CI_SANITIZE"
   cmake -S "$repo" -B "$san_build" -DAPL_WERROR=ON \

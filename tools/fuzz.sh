@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Randomized differential sweep over the OP2/OPS execution matrix (the
+# apl::testkit fuzzer — see DESIGN.md §10 and the README quickstart).
+#
+#   tools/fuzz.sh                          # 200 seeds starting at 1
+#   tools/fuzz.sh --iterations 2000        # longer sweep
+#   tools/fuzz.sh --seed 480               # different starting seed
+#   APL_TESTKIT_SEED=480 tools/fuzz.sh     # replay one reported failure
+#
+# Extra arguments are passed through to opal_fuzz (--op2-only, --ops-only,
+# --max-ulps N, --no-shrink, --quiet). Builds the fuzzer if needed.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${BUILD_DIR:-$repo/build}"
+
+if [[ ! -d "$build" ]]; then
+  cmake -S "$repo" -B "$build"
+fi
+cmake --build "$build" -j "$(nproc)" --target opal_fuzz
+
+exec "$build/src/testkit/opal_fuzz" "$@"
