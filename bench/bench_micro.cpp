@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "airfoil/airfoil.hpp"
+#include "apl/trace.hpp"
 #include "apl/verify.hpp"
 #include "apl/graph/coloring.hpp"
 #include "apl/graph/csr.hpp"
@@ -94,6 +95,25 @@ BENCHMARK(BM_AirfoilVerify)
     ->Arg(apl::verify::kNone)
     ->Arg(apl::verify::kBounds | apl::verify::kPlan)
     ->Arg(apl::verify::kAll);
+
+// Tracing overhead (apl::trace): the same airfoil iteration with the
+// recorder off (arg 0 — one relaxed load per span site; the ≤2% budget in
+// DESIGN.md §11 is the gap between this and BM_AirfoilIteration/40) and on
+// (arg 1 — every loop and color round buffered; cleared per iteration so
+// the buffer does not grow across benchmark iterations).
+void BM_AirfoilTrace(benchmark::State& state) {
+  airfoil::Airfoil app(sized(40));
+  auto& rec = apl::trace::Recorder::global();
+  rec.set_enabled(state.range(0) != 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app.iteration());
+    if (state.range(0) != 0) rec.clear();
+  }
+  rec.set_enabled(false);
+  rec.clear();
+  state.SetItemsProcessed(state.iterations() * app.mesh().ncell);
+}
+BENCHMARK(BM_AirfoilTrace)->Arg(0)->Arg(1);
 
 }  // namespace
 

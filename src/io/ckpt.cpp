@@ -10,6 +10,7 @@
 
 #include "apl/error.hpp"
 #include "apl/fault.hpp"
+#include "apl/trace.hpp"
 
 namespace apl::io {
 
@@ -124,6 +125,7 @@ std::string CheckpointStore::slot_path(int slot) const {
 }
 
 void CheckpointStore::save(const File& file) {
+  apl::trace::Span span(apl::trace::kCkpt, "ckpt_save:" + base_);
   auto& inj = fault::Injector::global();
   std::vector<std::uint8_t> payload = file.serialize();
 
@@ -168,6 +170,7 @@ void CheckpointStore::save(const File& file) {
 
   write_atomic(manifest_path(), mf, slot_bytes.size());
   last_write_bytes_ = slot_bytes.size() + mf.size();
+  span.set_bytes(last_write_bytes_);
 }
 
 CheckpointStore::Probe CheckpointStore::probe_slot(int slot, File* out) const {
@@ -218,6 +221,7 @@ CheckpointStore::Probe CheckpointStore::read_manifest() const {
 }
 
 File CheckpointStore::load() const {
+  apl::trace::Span span(apl::trace::kRecover, "ckpt_load:" + base_);
   // Manifest first (fast path), then probe both slots: a save killed
   // between the slot rename and the manifest rename leaves a stale
   // manifest but a newer valid slot.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "apl/trace.hpp"
+
 namespace apl::mpisim {
 
 std::uint64_t Traffic::max_rank_bytes() const {
@@ -121,9 +123,13 @@ std::vector<double> Comm::allreduce_end() {
   apl::require(reduce_contributions_ == size_,
                "mpisim: allreduce finished with ", reduce_contributions_,
                " of ", size_, " contributions");
+  apl::trace::Span span(apl::trace::kComm, "allreduce");
+  span.set_elements(reduce_accum_.size());
   if (size_ > 1) {
-    traffic_.record_allreduce(reduce_accum_.size() * sizeof(double) *
-                              static_cast<std::uint64_t>(size_));
+    const std::uint64_t bytes = reduce_accum_.size() * sizeof(double) *
+                                static_cast<std::uint64_t>(size_);
+    traffic_.record_allreduce(bytes);
+    span.set_bytes(bytes);
   }
   std::vector<double> out = std::move(reduce_accum_);
   reduce_accum_.clear();

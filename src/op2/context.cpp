@@ -4,6 +4,7 @@
 
 #include "apl/error.hpp"
 #include "apl/fault.hpp"
+#include "apl/trace.hpp"
 
 namespace op2 {
 
@@ -110,9 +111,13 @@ Plan& Context::plan_for(const std::string& loop_name, const Set& set,
   for (auto& [k, plan] : plans_) {
     if (k == key) return *plan;
   }
+  // Plan construction is a cache miss: span it so first-call cost is
+  // distinguishable from steady-state color rounds in the trace.
+  apl::trace::Span span(apl::trace::kLoop, "plan:" + loop_name);
   plans_.emplace_back(std::move(key), std::make_unique<Plan>(build_plan(
                                           *this, set, args, block_size_)));
   Plan& plan = *plans_.back().second;
+  span.set_elements(static_cast<std::uint64_t>(set.size()));
   if (verifying(apl::verify::kPlan)) {
     const std::string diag = audit_plan(*this, set, args, plan);
     if (!diag.empty()) {

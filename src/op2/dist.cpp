@@ -257,6 +257,7 @@ void Distributed::validate_args(const std::string& name,
 void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
   comm_.begin_exchange();
   const DatBase& gdat = global_->dat(dat_id);
+  apl::trace::Span span(apl::trace::kHalo, "exchange:" + gdat.name());
   const SetDist& sd = set_dist_[gdat.set().id()];
   const std::size_t entry = gdat.entry_bytes();
   const int tag = dat_id;
@@ -291,6 +292,7 @@ void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
       }
     }
   }
+  span.set_bytes(bytes);
   if (stats) stats->halo_bytes += bytes;
 }
 
@@ -335,6 +337,7 @@ void Distributed::zero_ghosts(index_t dat_id) {
 void Distributed::flush_increments(index_t dat_id, apl::LoopStats* stats) {
   comm_.begin_exchange();
   const DatBase& gdat = global_->dat(dat_id);
+  apl::trace::Span span(apl::trace::kHalo, "flush:" + gdat.name());
   const SetDist& sd = set_dist_[gdat.set().id()];
   const std::size_t entry = gdat.entry_bytes();
   const int tag = 0x10000 + dat_id;
@@ -367,6 +370,7 @@ void Distributed::flush_increments(index_t dat_id, apl::LoopStats* stats) {
       }
     }
   }
+  span.set_bytes(bytes);
   if (stats) stats->halo_bytes += bytes;
 }
 
@@ -402,6 +406,7 @@ void Distributed::scatter(DatBase& global_dat) {
 
 void Distributed::checkpoint(apl::io::CheckpointStore& store,
                              std::int64_t step) {
+  apl::trace::Span span(apl::trace::kCkpt, "dist_checkpoint");
   apl::io::File file;
   dump_dats(*this, file);  // fetch owner values, then dump the global dats
   const std::vector<std::int64_t> stepv{step};
@@ -410,6 +415,7 @@ void Distributed::checkpoint(apl::io::CheckpointStore& store,
 }
 
 std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
+  apl::trace::Span span(apl::trace::kRecover, "dist_recover");
   const apl::io::File file = store.load();
   comm_.revive_all();
   load_dats(*global_, file);
@@ -427,6 +433,13 @@ std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
     scatter(dat);
   }
   comm_.traffic().record_recovery(bytes);
+  // Surface rollback traffic into the profile (and its JSON export) as a
+  // pseudo-loop, alongside the per-loop halo_bytes: the recovery cost was
+  // previously only visible in the comm Traffic ledger.
+  apl::LoopStats& rec = global_->profile().stats("<recover>");
+  ++rec.calls;
+  rec.halo_bytes += bytes;
+  span.set_bytes(bytes);
   const auto step = file.get<std::int64_t>("meta/step");
   return step.empty() ? 0 : step[0];
 }

@@ -257,8 +257,11 @@ void Distributed::par_loop(const std::string& name, const Set& global_set,
 
   auto states = std::make_tuple(make_dist_state(args)...);
   {
-    apl::ScopedLoopTimer timer(stats);
+    apl::ScopedLoopTimer timer(global_->profile(), name);
     for (int r = 0; r < num_ranks(); ++r) {
+      // Attribute the rank's sub-invocation spans (its par_loop, color
+      // rounds) to rank r in the trace.
+      apl::trace::RankScope rank_scope(r);
       Context& rc = *rank_ctx_[r];
       const Set& rset = rc.set(global_set.id());
       std::apply(
@@ -270,7 +273,10 @@ void Distributed::par_loop(const std::string& name, const Set& global_set,
     }
   }
   // Logical per-loop traffic (useful bytes) against the global mesh.
-  detail::account_traffic(*global_, name, global_set, infos, stats);
+  // Re-resolved: the user kernel ran above and may have cleared profiles
+  // (ScopedLoopTimer lifetime rule, apl/profile.hpp).
+  apl::LoopStats& stats_after = global_->profile().stats(name);
+  detail::account_traffic(*global_, name, global_set, infos, stats_after);
 
   // Reductions and increment flushes. A dat may appear in several Inc args
   // (e.g. both endpoints of an edge); its ghost slots are flushed once.
@@ -281,7 +287,7 @@ void Distributed::par_loop(const std::string& name, const Set& global_set,
     if (a.indirect() && a.acc == apl::exec::Access::kInc) {
       if (std::find(flushed.begin(), flushed.end(), a.dat_id) ==
           flushed.end()) {
-        flush_increments(a.dat_id, &stats);
+        flush_increments(a.dat_id, &stats_after);
         flushed.push_back(a.dat_id);
       }
       halo_dirty_[a.dat_id] = 1;

@@ -36,6 +36,7 @@
 #include "apl/profile.hpp"
 #include "apl/simdev/device.hpp"
 #include "apl/thread_pool.hpp"
+#include "apl/trace.hpp"
 #include "op2/arg.hpp"
 #include "op2/checkpoint.hpp"
 #include "op2/context.hpp"
@@ -223,6 +224,16 @@ void run_threads(Context& ctx, const std::string& name, const Set& /*set*/,
 #endif
   for (index_t c = 0; c < ncolors; ++c) {
     const auto& blocks = plan.blocks_by_color[c];
+    apl::trace::Span color_span(apl::trace::kColor, name);
+    if (color_span.active()) [[unlikely]] {
+      color_span.set_index(c);
+      std::uint64_t in_color = 0;
+      for (index_t b : blocks) {
+        in_color += static_cast<std::uint64_t>(plan.block_offset[b + 1] -
+                                               plan.block_offset[b]);
+      }
+      color_span.set_elements(in_color);
+    }
     pool.parallel_for(
         blocks.size(),
         [&](std::size_t b0, std::size_t b1, std::size_t tid) {
@@ -445,6 +456,11 @@ void run_cudasim(Context& ctx, const std::string& name, const Set& /*set*/,
   // Grid execution: one "kernel launch" per block color; blocks of a color
   // are independent, elements inside a block commit in elem-color order.
   for (index_t c = 0; c < plan.num_block_colors; ++c) {
+    apl::trace::Span color_span(apl::trace::kColor, name);
+    if (color_span.active()) [[unlikely]] {
+      color_span.set_index(c);
+      color_span.set_elements(plan.blocks_by_color[c].size());
+    }
     for (index_t b : plan.blocks_by_color[c]) {
       std::apply(
           [&](auto&... st) {
@@ -504,14 +520,18 @@ void par_loop(Context& ctx, const std::string& name, const Set& set,
                        ? std::make_tuple(detail::debug_snapshot(args)...)
                        : std::tuple<decltype(detail::debug_snapshot(args))...>{};
 
-  apl::LoopStats& stats = ctx.profile().stats(name);
+  // The loop span covers execution only (not accounting), so nested color
+  // spans sit strictly inside it. Counters attach after accounting below.
+  apl::trace::Span loop_span(apl::trace::kLoop, name);
+  const std::uint64_t bytes_before =
+      loop_span.active() ? ctx.profile().stats(name).bytes() : 0;
   if (ctx.verifying(apl::verify::kAccess)) [[unlikely]] {
     // Guarded access enforcement always executes the sequential schedule
     // (results stay bit-identical to unguarded runs; see op2/guard.hpp).
-    apl::ScopedLoopTimer timer(stats);
+    apl::ScopedLoopTimer timer(ctx.profile(), name);
     detail::run_guarded_access(ctx, name, set, kernel, args...);
   } else {
-    apl::ScopedLoopTimer timer(stats);
+    apl::ScopedLoopTimer timer(ctx.profile(), name);
     switch (ctx.backend()) {
       case apl::exec::Backend::kSeq:
         detail::run_seq(set, kernel, args...);
@@ -529,9 +549,17 @@ void par_loop(Context& ctx, const std::string& name, const Set& set,
         break;
     }
   }
+  // Resolve the stats entry only now: the kernel ran inside the timer
+  // scope above and may have cleared the profile (see the ScopedLoopTimer
+  // lifetime rule in apl/profile.hpp).
+  apl::LoopStats& stats = ctx.profile().stats(name);
   detail::account_traffic(ctx, name, set, infos, stats);
   if (ctx.backend() == apl::exec::Backend::kCudaSim) {
     detail::account_device(ctx, name, set, infos, stats);
+  }
+  loop_span.set_elements(static_cast<std::uint64_t>(set.core_size()));
+  if (stats.bytes() >= bytes_before) {
+    loop_span.set_bytes(stats.bytes() - bytes_before);
   }
 
   if (ctx.debug_checks()) {

@@ -151,6 +151,7 @@ std::size_t Distributed::halo_points(const DatBase& dat) const {
 void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
   comm_.begin_exchange();
   const DatBase& gdat = global_->dat(dat_id);
+  apl::trace::Span span(apl::trace::kHalo, "exchange:" + gdat.name());
   const Decomp& dec = decomp_[gdat.block().id()];
   const std::size_t entry = gdat.dim() * gdat.elem_bytes();
   std::vector<std::uint8_t> buf(entry);
@@ -241,6 +242,7 @@ void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
                  gdat.d_p()[1], -gdat.d_m()[0], ly, 4);
     }
   }
+  span.set_bytes(bytes);
   if (stats) stats->halo_bytes += bytes;
 }
 
@@ -359,6 +361,7 @@ void Distributed::scatter(DatBase& global_dat) {
 
 void Distributed::checkpoint(apl::io::CheckpointStore& store,
                              std::int64_t step) {
+  apl::trace::Span span(apl::trace::kCkpt, "dist_checkpoint");
   apl::io::File file;
   for (index_t d = 0; d < global_->num_dats(); ++d) {
     DatBase& dat = global_->dat(d);
@@ -377,6 +380,7 @@ void Distributed::checkpoint(apl::io::CheckpointStore& store,
 }
 
 std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
+  apl::trace::Span span(apl::trace::kRecover, "dist_recover");
   const apl::io::File file = store.load();
   comm_.revive_all();
   std::uint64_t moved = 0;
@@ -400,6 +404,13 @@ std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
     }
   }
   comm_.traffic().record_recovery(moved);
+  // Surface rollback traffic into the profile (and its JSON export) as a
+  // pseudo-loop; it was previously only visible in the comm Traffic
+  // ledger. Same convention as op2::Distributed::recover.
+  apl::LoopStats& rec = global_->profile().stats("<recover>");
+  ++rec.calls;
+  rec.halo_bytes += moved;
+  span.set_bytes(moved);
   const auto step = file.get<std::int64_t>("meta/step");
   return step.empty() ? 0 : step[0];
 }

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <vector>
 
+#include "apl/trace.hpp"
+
 namespace ops {
 
 Halo::Halo(DatBase& from, DatBase& to,
@@ -46,8 +48,15 @@ std::array<index_t, kMaxDim> Halo::map_point(
 
 void Halo::transfer() {
   // Flush point: queued lazy loops must run before halo data is copied.
+  // The flush happens inside touch(), before the span opens, so chain
+  // spans triggered by this transfer are siblings of the halo span rather
+  // than children — the copy itself is what the span times.
   from_->touch();
   to_->touch();
+  apl::trace::Span span(apl::trace::kHalo,
+                        from_->name() + "->" + to_->name());
+  span.set_bytes(bytes());
+  span.set_elements(points());
   std::vector<std::uint8_t> buf(from_->dim() * from_->elem_bytes());
   std::array<index_t, kMaxDim> it{};
   for (it[2] = 0; it[2] < iter_size_[2]; ++it[2]) {

@@ -226,8 +226,10 @@ void Distributed::par_loop(const std::string& name, const Block& block,
   auto states = std::make_tuple(make_state(args)...);
   const Decomp& dec = decomp_[block.id()];
   {
-    apl::ScopedLoopTimer timer(stats);
+    apl::ScopedLoopTimer timer(global_->profile(), name);
     for (int r = 0; r < num_ranks(); ++r) {
+      // Attribute the rank's sub-invocation spans to rank r in the trace.
+      apl::trace::RankScope rank_scope(r);
       const auto rc = rank_coords(dec, r);
       // Owned interval per dimension in *range* coordinates: use the
       // reference size with edge extension (clamping happens via the
@@ -262,6 +264,13 @@ void Distributed::par_loop(const std::string& name, const Block& block,
     }
   }
   std::apply([&](auto&... st) { (finish_state(st), ...); }, states);
+  // Logical per-loop traffic against the global grid. Without this the
+  // global profile carried only seconds and halo_bytes on the dist path
+  // (bytes/elements stayed zero, so report() showed 0 GB/s for every
+  // distributed loop). Mirrors op2::Distributed's account_traffic call.
+  // Re-resolved: the user kernel ran above (lifetime rule, profile.hpp).
+  detail::account(*global_, name, range, infos,
+                  global_->profile().stats(name));
   for (const ArgInfo& a : infos) {
     if (!a.is_gbl && !a.is_idx && writes(a.acc)) halo_dirty_[a.dat_id] = 1;
   }

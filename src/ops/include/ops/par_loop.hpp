@@ -19,6 +19,7 @@
 #include "apl/fault.hpp"
 #include "apl/profile.hpp"
 #include "apl/thread_pool.hpp"
+#include "apl/trace.hpp"
 #include "ops/acc.hpp"
 #include "ops/arg.hpp"
 #include "ops/checkpoint.hpp"
@@ -416,7 +417,8 @@ void par_loop(Context& ctx, const std::string& name, const Block& block,
               while (out_dim > 0 && sub.hi[out_dim] - sub.lo[out_dim] <= 1) {
                 --out_dim;
               }
-              apl::LoopStats& stats = ctx.profile().stats(name);
+              apl::trace::Span tile_span(apl::trace::kTile, name);
+              tile_span.set_elements(sub.points());
               const double t0 = apl::now_seconds();
               if (checked) {
                 detail::execute_loop<true>(ctx, sub, out_dim, kernel, as...);
@@ -425,7 +427,9 @@ void par_loop(Context& ctx, const std::string& name, const Block& block,
               }
               // Only wall time per tile slice; calls and bytes are
               // accounted once per recorded loop by the chain executor.
-              stats.seconds += apl::now_seconds() - t0;
+              // The stats entry is resolved after the kernel ran: user code
+              // may clear the profile mid-loop (lifetime rule, profile.hpp).
+              ctx.profile().stats(name).seconds += apl::now_seconds() - t0;
             };
             invoke(detail::thaw(fr)...);
           },
@@ -453,14 +457,15 @@ void par_loop(Context& ctx, const std::string& name, const Block& block,
                      guard_stencil ? &ctx.verify_report() : nullptr),
    ...);
 
-  apl::LoopStats& stats = ctx.profile().stats(name);
   // The outermost dimension with extent > 1 is the parallel one.
   int out_dim = block.ndim() - 1;
   while (out_dim > 0 && range.hi[out_dim] - range.lo[out_dim] <= 1) {
     --out_dim;
   }
+  apl::trace::Span loop_span(apl::trace::kLoop, name);
+  loop_span.set_elements(range.points());
   {
-    apl::ScopedLoopTimer timer(stats);
+    apl::ScopedLoopTimer timer(ctx.profile(), name);
     if (guard_access) [[unlikely]] {
       // Snapshot every kRead argument, run, then bitwise-diff: any change
       // is a write through a read-only declaration. Dats some other
@@ -489,7 +494,12 @@ void par_loop(Context& ctx, const std::string& name, const Block& block,
       detail::execute_loop<false>(ctx, range, out_dim, kernel, args...);
     }
   }
+  // Resolved only now: the kernel may have cleared the profile (see the
+  // ScopedLoopTimer lifetime rule in apl/profile.hpp).
+  apl::LoopStats& stats = ctx.profile().stats(name);
+  const std::uint64_t bytes_before = stats.bytes();
   detail::account(ctx, name, range, infos, stats);
+  loop_span.set_bytes(stats.bytes() - bytes_before);
 
   if (Checkpointer* ck = ctx.checkpointer()) {
     std::vector<std::uint8_t> gbl_log;

@@ -6,6 +6,7 @@
 #include <map>
 #include <vector>
 
+#include "apl/trace.hpp"
 #include "ops/context.hpp"
 #include "ops/par_loop.hpp"
 
@@ -323,6 +324,11 @@ void flush_pending(Context& ctx) { ctx.flush(); }
 
 void execute_chain(Context& ctx, std::vector<LoopRecord> chain,
                    ChainStats& stats) {
+  // One span per flush; the per-slice kTile spans the record executors
+  // open (ops/par_loop.hpp) nest inside it.
+  apl::trace::Span chain_span(apl::trace::kChain, "chain_flush");
+  chain_span.set_elements(chain.size());
+  const std::uint64_t tiles_before = stats.tiles;
   ++stats.flushes;
   stats.loops += chain.size();
   stats.max_chain = std::max<std::uint64_t>(stats.max_chain, chain.size());
@@ -354,6 +360,7 @@ void execute_chain(Context& ctx, std::vector<LoopRecord> chain,
       account(ctx, rec.name, rec.range, rec.infos, st);
     }
   }
+  chain_span.set_index(static_cast<std::int64_t>(stats.tiles - tiles_before));
 }
 
 }  // namespace detail

@@ -1,0 +1,46 @@
+// Roofline-style summary: joins measured apl::Profile records with the
+// apl::perf machine models, reporting achieved vs. projected GB/s per loop
+// — the shape of the paper's Table I ("percentage of peak achieved").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apl/perf/model.hpp"
+#include "apl/profile.hpp"
+
+namespace apl::perf {
+
+/// One joined row: measured stats for a loop next to the machine model's
+/// projection for the same per-call workload.
+struct RooflineRow {
+  std::string name;
+  std::uint64_t calls = 0;
+  double seconds = 0;         ///< measured, LoopStats::effective_seconds()
+  double gb = 0;              ///< useful GB moved (all calls)
+  double achieved_gbs = 0;    ///< measured bandwidth
+  double projected_gbs = 0;   ///< model bandwidth on `machine`
+  double projected_seconds = 0;  ///< model time for all calls
+  double fraction_of_model = 0;  ///< achieved_gbs / projected_gbs
+};
+
+/// Converts one loop's accumulated stats into the model's per-call
+/// workload description (averages over calls; zero-call stats give a
+/// zero workload).
+LoopProfile to_loop_profile(const std::string& name, const apl::LoopStats& s);
+
+/// Joins every loop of `prof` against `machine`. Rows are ordered by name
+/// (the profile's iteration order); zero-byte loops project zero and are
+/// kept so the table covers the whole program.
+std::vector<RooflineRow> roofline(const apl::Profile& prof,
+                                  const Machine& machine);
+
+/// Text table, Table-I style: loop, calls, time, GB, achieved GB/s,
+/// projected GB/s, achieved/projected.
+std::string roofline_table(const apl::Profile& prof, const Machine& machine);
+
+/// The same join as JSON (one object per loop), for bench_report /
+/// BENCH_*.json trajectories.
+std::string roofline_json(const apl::Profile& prof, const Machine& machine);
+
+}  // namespace apl::perf

@@ -1,0 +1,89 @@
+#include "apl/perf/report.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace apl::perf {
+
+LoopProfile to_loop_profile(const std::string& name,
+                            const apl::LoopStats& s) {
+  LoopProfile p;
+  p.name = name;
+  if (s.calls == 0) return p;
+  const double calls = static_cast<double>(s.calls);
+  p.bytes_direct = static_cast<double>(s.bytes_direct) / calls;
+  p.bytes_gather = static_cast<double>(s.bytes_gather) / calls;
+  p.bytes_scatter = static_cast<double>(s.bytes_scatter) / calls;
+  p.flops = s.flops / calls;
+  p.elements = static_cast<double>(s.elements) / calls;
+  return p;
+}
+
+std::vector<RooflineRow> roofline(const apl::Profile& prof,
+                                  const Machine& machine) {
+  std::vector<RooflineRow> rows;
+  for (const auto& [name, s] : prof.all()) {
+    RooflineRow r;
+    r.name = name;
+    r.calls = s.calls;
+    r.seconds = s.effective_seconds();
+    r.gb = static_cast<double>(s.bytes()) * 1e-9;
+    r.achieved_gbs = s.gb_per_s();
+    const LoopProfile p = to_loop_profile(name, s);
+    r.projected_gbs = projected_gbs(machine, p);
+    r.projected_seconds =
+        projected_time(machine, p) * static_cast<double>(s.calls);
+    r.fraction_of_model =
+        r.projected_gbs > 0 ? r.achieved_gbs / r.projected_gbs : 0.0;
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::string roofline_table(const apl::Profile& prof, const Machine& machine) {
+  const std::vector<RooflineRow> rows = roofline(prof, machine);
+  if (rows.empty()) return "(no loops recorded)\n";
+  std::size_t name_w = 4;
+  for (const RooflineRow& r : rows) name_w = std::max(name_w, r.name.size());
+  name_w += 2;
+  std::ostringstream os;
+  os << "roofline vs " << machine.name << " ("
+     << std::fixed << std::setprecision(0) << machine.bw_direct_gbs
+     << " GB/s streaming)\n";
+  os << std::left << std::setw(static_cast<int>(name_w)) << "loop"
+     << std::right << std::setw(8) << "calls" << std::setw(11) << "time(s)"
+     << std::setw(10) << "GB" << std::setw(10) << "GB/s" << std::setw(10)
+     << "model" << std::setw(9) << "frac" << "\n";
+  for (const RooflineRow& r : rows) {
+    os << std::left << std::setw(static_cast<int>(name_w)) << r.name
+       << std::right << std::setw(8) << r.calls << std::setw(11)
+       << std::setprecision(4) << r.seconds << std::setw(10)
+       << std::setprecision(3) << r.gb << std::setw(10)
+       << std::setprecision(1) << r.achieved_gbs << std::setw(10)
+       << r.projected_gbs << std::setw(9) << std::setprecision(2)
+       << r.fraction_of_model << "\n";
+  }
+  return os.str();
+}
+
+std::string roofline_json(const apl::Profile& prof, const Machine& machine) {
+  const std::vector<RooflineRow> rows = roofline(prof, machine);
+  std::ostringstream os;
+  os << "{\"machine\": \"" << machine.name << "\", \"loops\": [";
+  bool first = true;
+  for (const RooflineRow& r : rows) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"name\": \"" << r.name << "\", \"calls\": " << r.calls
+       << ", \"seconds\": " << std::setprecision(9) << r.seconds
+       << ", \"gb\": " << r.gb << ", \"achieved_gbs\": " << r.achieved_gbs
+       << ", \"projected_gbs\": " << r.projected_gbs
+       << ", \"projected_seconds\": " << r.projected_seconds
+       << ", \"fraction_of_model\": " << r.fraction_of_model << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+}  // namespace apl::perf

@@ -38,21 +38,47 @@ struct LoopStats {
   std::uint64_t bytes() const {
     return bytes_direct + bytes_gather + bytes_scatter;
   }
+
+  /// The loop's authoritative timebase. Backends that execute on a modelled
+  /// device (cudasim) accumulate model_seconds; the host wall time of the
+  /// SIMT simulation is meaningless for bandwidth, so whenever a device
+  /// model contributed, model time wins. Pure host backends leave
+  /// model_seconds at zero and report wall time. One rule everywhere —
+  /// report(), to_json() and the bench tables all divide by this, so a
+  /// table can never silently mix timebases across its rows.
+  double effective_seconds() const {
+    return model_seconds > 0 ? model_seconds : seconds;
+  }
   double gb_per_s() const {
-    return seconds > 0 ? static_cast<double>(bytes()) / seconds * 1e-9 : 0.0;
+    const double t = effective_seconds();
+    return t > 0 ? static_cast<double>(bytes()) / t * 1e-9 : 0.0;
   }
 };
 
 /// Registry of LoopStats keyed by loop name. One instance per backend
 /// context; a process-global instance serves the default contexts.
+///
+/// Lifetime rule: a LoopStats& obtained from stats() stays valid until
+/// clear() — node insertion never moves map values, but clear() destroys
+/// them all. Code that must survive a clear() while timing (anything
+/// holding a timer across user callbacks) uses the (Profile&, name)
+/// ScopedLoopTimer form, which re-resolves the entry when it closes.
 class Profile {
 public:
   LoopStats& stats(const std::string& loop_name) { return stats_[loop_name]; }
   const std::map<std::string, LoopStats>& all() const { return stats_; }
   void clear() { stats_.clear(); }
 
-  /// Human-readable table, one row per loop (name, count, time, GB/s).
+  /// Human-readable table, one row per loop (calls, time, GB moved, GB/s,
+  /// halo traffic, plan colors). Time is effective_seconds(); rows whose
+  /// time came from a device model are flagged with '*'. Safe on an empty
+  /// profile and on zero-call / zero-time rows.
   std::string report() const;
+
+  /// Machine-readable export: every LoopStats field per loop, including
+  /// the distributed-path counters (halo_bytes) and model_seconds that the
+  /// text table abbreviates. Consumed by tools/bench_report.
+  std::string to_json() const;
 
   static Profile& global();
 
@@ -60,16 +86,27 @@ private:
   std::map<std::string, LoopStats> stats_;
 };
 
-/// RAII accumulator: adds elapsed time to a LoopStats on destruction.
+/// RAII accumulator: adds elapsed time (and one call) to a loop's stats on
+/// destruction. Two forms:
+///  - ScopedLoopTimer(stats): caller guarantees the LoopStats outlives the
+///    timer (i.e. no Profile::clear() while open).
+///  - ScopedLoopTimer(profile, name): clear()-safe — the entry is looked
+///    up again at destruction, so a clear() during the timed section just
+///    means the elapsed time lands in a fresh entry instead of a dangling
+///    one. The runtime's par_loop paths use this form because user kernels
+///    (which run inside the timed section) may legitimately reset profiles.
 class ScopedLoopTimer {
 public:
   explicit ScopedLoopTimer(LoopStats& s);
+  ScopedLoopTimer(Profile& p, std::string loop_name);
   ~ScopedLoopTimer();
   ScopedLoopTimer(const ScopedLoopTimer&) = delete;
   ScopedLoopTimer& operator=(const ScopedLoopTimer&) = delete;
 
 private:
-  LoopStats& stats_;
+  LoopStats* stats_ = nullptr;    ///< direct form (lifetime on the caller)
+  Profile* profile_ = nullptr;    ///< re-resolving form
+  std::string name_;
   double start_;
 };
 

@@ -175,6 +175,44 @@ TEST(CloverleafLazy, LazyTiledBitIdenticalToEager) {
   EXPECT_GE(app.ctx().chain_stats().max_chain, 5u);
 }
 
+// A chain flushed as skewed tiles must attribute its work per constituent
+// loop exactly as eager execution does: same call counts, same elements,
+// same bytes in every access class — nothing double-counted on repeated
+// flushes, nothing lumped onto the flush-triggering loop.
+TEST(CloverleafLazy, ProfileAttributionMatchesEager) {
+  CloverOps eager(small_opts());
+  eager.run(12);
+  Options o = small_opts();
+  o.lazy = true;
+  CloverOps lazy(o);
+  lazy.ctx().set_verify(lazy.ctx().verify_checks() & ~apl::verify::kAccess);
+  lazy.run(12);
+  lazy.ctx().flush();  // drain any still-queued tail of the last step
+  ASSERT_GT(lazy.ctx().chain_stats().flushes, 1u)
+      << "the run must have crossed several flush points";
+
+  const auto& e = eager.ctx().profile().all();
+  const auto& l = lazy.ctx().profile().all();
+  ASSERT_EQ(e.size(), l.size());
+  for (const auto& [name, es] : e) {
+    const auto it = l.find(name);
+    ASSERT_NE(it, l.end()) << "loop '" << name << "' missing from lazy run";
+    const apl::LoopStats& ls = it->second;
+    EXPECT_EQ(ls.calls, es.calls) << name;
+    EXPECT_EQ(ls.elements, es.elements) << name;
+    EXPECT_EQ(ls.bytes_direct, es.bytes_direct) << name;
+    EXPECT_EQ(ls.bytes_gather, es.bytes_gather) << name;
+    EXPECT_EQ(ls.bytes_scatter, es.bytes_scatter) << name;
+    EXPECT_EQ(ls.flops, es.flops) << name;
+    // Wall time differs between the two runs, but every loop that executed
+    // must have been timed (tile slices attribute seconds to their loop,
+    // never to the loop whose reduction triggered the flush).
+    if (es.calls > 0) {
+      EXPECT_GT(ls.seconds, 0.0) << name;
+    }
+  }
+}
+
 TEST(CloverleafLazy, TinyTilesBitIdenticalToEager) {
   CloverOps ref(small_opts(16));
   ref.run(10);

@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include "apl/io/ckpt.hpp"
+#include "apl/profile.hpp"
 #include "apl/testkit/fixtures.hpp"
 #include "ops/ops.hpp"
 
@@ -200,6 +202,50 @@ TEST(OpsDist, OnDemandExchangeSkipsCleanDats) {
                 ops::arg(*d.u, Access::kRead),
                 ops::arg_gbl(&sum, 1, Access::kInc));
   EXPECT_EQ(dist.comm().traffic().messages(), before);
+}
+
+// ---- profile surfacing ------------------------------------------------------
+
+// Distributed traffic must land in the global Profile, not just the Comm
+// ledger: halo bytes per loop, full byte/element accounting (so GB/s is
+// nonzero on the dist path), and rollback-recovery traffic under the
+// "<recover>" pseudo-loop — all visible in report() and to_json().
+TEST(OpsDist, HaloAndRecoveryTrafficReachProfile) {
+  Diffusion d;
+  ops::Distributed dist(d.ctx, 4);
+  auto loop = [&](const char* name, const ops::Range& r, auto&& k,
+                  auto... args) {
+    dist.par_loop(name, *d.grid, r, k, args...);
+  };
+  d.init(loop);
+  for (int s = 0; s < 3; ++s) d.step(loop);
+
+  apl::Profile& prof = d.ctx.profile();
+  const apl::LoopStats& diff = prof.stats("diff");
+  EXPECT_EQ(diff.calls, 3u);
+  EXPECT_GT(diff.elements, 0u);
+  EXPECT_GT(diff.bytes(), 0u) << "dist path must account loop traffic";
+  EXPECT_GT(diff.seconds, 0.0);
+  EXPECT_GT(diff.halo_bytes, 0u)
+      << "the 5-point stencil on 4 ranks must exchange halos";
+
+  const std::string base = ::testing::TempDir() + "ops_dist_recover.ckpt";
+  apl::io::CheckpointStore store(base);
+  store.remove_files();  // stale slots from an earlier run
+  dist.checkpoint(store, 1);
+  dist.recover(store);
+  const apl::LoopStats& rec = prof.stats("<recover>");
+  EXPECT_EQ(rec.calls, 1u);
+  EXPECT_GT(rec.halo_bytes, 0u) << "recovery must record restored bytes";
+
+  const std::string rep = prof.report();
+  EXPECT_NE(rep.find("halo(MB)"), std::string::npos) << rep;
+  EXPECT_NE(rep.find("<recover>"), std::string::npos) << rep;
+  const std::string js = prof.to_json();
+  EXPECT_NE(js.find("\"halo_bytes\": " + std::to_string(diff.halo_bytes)),
+            std::string::npos);
+  EXPECT_NE(js.find("<recover>"), std::string::npos);
+  store.remove_files();
 }
 
 }  // namespace

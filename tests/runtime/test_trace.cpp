@@ -1,0 +1,312 @@
+// apl::trace: span nesting across op2 color rounds and ops tile segments,
+// thread-safety of the recorder, Chrome trace_event schema validation, and
+// the differential guarantee that tracing never perturbs results.
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/testkit/fixtures.hpp"
+#include "apl/trace.hpp"
+#include "op2/op2.hpp"
+#include "ops/ops.hpp"
+
+namespace {
+
+using apl::trace::Event;
+using apl::trace::Recorder;
+using apl::trace::Span;
+
+/// Enables tracing for one test on a clean buffer; restores the default
+/// (disabled, empty) on exit so tests stay order-independent.
+struct TraceOn {
+  TraceOn() {
+    Recorder::global().clear();
+    Recorder::global().set_enabled(true);
+  }
+  ~TraceOn() {
+    Recorder::global().set_enabled(false);
+    Recorder::global().clear();
+  }
+};
+
+std::vector<Event> by_cat(const std::vector<Event>& evs, const char* cat) {
+  std::vector<Event> out;
+  for (const Event& e : evs) {
+    if (std::string_view(e.cat) == cat) out.push_back(e);
+  }
+  return out;
+}
+
+/// True if `inner` lies within `outer`'s [ts, ts+dur] window. The two ends
+/// come from the same now_seconds() clock, so strict containment holds for
+/// genuinely nested spans.
+bool nested_in(const Event& inner, const Event& outer) {
+  return inner.ts >= outer.ts &&
+         inner.ts + inner.dur <= outer.ts + outer.dur;
+}
+
+// ---- recorder basics --------------------------------------------------------
+
+TEST(Trace, DisabledSpansAreNoOps) {
+  // Not asserted at startup because OPAL_TRACE (the ci.sh trace stage)
+  // legitimately arms the recorder before main().
+  Recorder& r = Recorder::global();
+  const bool was = r.enabled();
+  r.set_enabled(false);
+  r.clear();
+  {
+    Span s(apl::trace::kLoop, "noop");
+    EXPECT_FALSE(s.active());
+    s.set_bytes(123);  // must not crash or record
+  }
+  EXPECT_EQ(r.size(), 0u);
+  r.set_enabled(was);
+}
+
+TEST(Trace, RecordsNestedSpansWithCounters) {
+  TraceOn guard;
+  {
+    Span outer(apl::trace::kChain, "outer");
+    outer.set_elements(3);
+    {
+      Span inner(apl::trace::kTile, "inner");
+      inner.set_bytes(64);
+      inner.set_index(2);
+    }
+  }
+  const auto evs = Recorder::global().snapshot();
+  ASSERT_EQ(evs.size(), 2u);  // inner closes (and records) first
+  EXPECT_EQ(evs[0].name, "inner");
+  EXPECT_EQ(evs[0].bytes, 64u);
+  EXPECT_EQ(evs[0].index, 2);
+  EXPECT_EQ(evs[1].name, "outer");
+  EXPECT_EQ(evs[1].elements, 3u);
+  EXPECT_TRUE(nested_in(evs[0], evs[1]));
+  EXPECT_GE(evs[0].dur, 0.0);
+}
+
+TEST(Trace, RankScopeAttributesAndRestores) {
+  TraceOn guard;
+  EXPECT_EQ(Recorder::current_rank(), -1);
+  {
+    apl::trace::RankScope rs(2);
+    Span s(apl::trace::kHalo, "ranked");
+  }
+  Span s2(apl::trace::kLoop, "unranked");
+  EXPECT_EQ(Recorder::current_rank(), -1);
+  (void)s2;
+}
+
+// ---- op2: color rounds nest inside the par_loop span ------------------------
+
+TEST(Trace, Op2ColorRoundsNestInsideLoopSpan) {
+  apl::testkit::GridMesh mesh = apl::testkit::make_grid(8, 6);
+  op2::Context ctx;
+  op2::Set& edges = ctx.decl_set(mesh.num_edges(), "edges");
+  op2::Set& nodes = ctx.decl_set(mesh.num_nodes(), "nodes");
+  op2::Map& e2n = ctx.decl_map(edges, nodes, 2, mesh.edge2node, "e2n");
+  std::vector<double> zero(mesh.num_nodes(), 0.0);
+  op2::Dat<double>& deg = ctx.decl_dat<double>(nodes, 1, zero, "deg");
+  ctx.set_block_size(16);  // multiple blocks -> a real multi-color plan
+  ctx.set_backend(apl::exec::Backend::kThreads);
+
+  TraceOn guard;
+  op2::par_loop(ctx, "degree", edges,
+                [](op2::Acc<double> a, op2::Acc<double> b) {
+                  a[0] += 1.0;
+                  b[0] += 1.0;
+                },
+                op2::arg(deg, e2n, 0, apl::exec::Access::kInc),
+                op2::arg(deg, e2n, 1, apl::exec::Access::kInc));
+
+  const auto evs = Recorder::global().snapshot();
+  const auto loops = by_cat(evs, apl::trace::kLoop);
+  const auto colors = by_cat(evs, apl::trace::kColor);
+  // Exactly one "degree" loop span (the plan-build span is named
+  // "plan:degree" and shares the category).
+  const auto it = std::find_if(loops.begin(), loops.end(), [](const Event& e) {
+    return e.name == "degree";
+  });
+  ASSERT_NE(it, loops.end());
+  ASSERT_GE(colors.size(), 2u)
+      << "an indirect increment over a connected grid needs >= 2 colors";
+  std::set<std::int64_t> ordinals;
+  for (const Event& c : colors) {
+    EXPECT_EQ(c.name, "degree");
+    EXPECT_TRUE(nested_in(c, *it)) << "color round outside its loop span";
+    ordinals.insert(c.index);
+  }
+  EXPECT_EQ(ordinals.size(), colors.size()) << "color ordinals must be unique";
+  // The plan's color count reached the profile too (satellite: colors
+  // column), and matches the spans one-to-one.
+  EXPECT_EQ(ctx.profile().stats("degree").colors, colors.size());
+}
+
+// ---- ops: tile segments nest inside the chain-flush span --------------------
+
+TEST(Trace, OpsTileSegmentsNestInsideChainSpan) {
+  apl::testkit::HeatGrid h(32, 32);
+  h.ctx.set_verify(h.ctx.verify_checks() & ~apl::verify::kAccess);
+  h.ctx.set_lazy(true);
+  h.ctx.set_tile_rows(8);  // force several tiles per flush
+
+  TraceOn guard;
+  ops::par_loop(h.ctx, "jacobi", *h.grid, h.interior(),
+                [](ops::Acc<double> u, ops::Acc<double> t) {
+                  t(0, 0) = 0.25 * (u(1, 0) + u(-1, 0) + u(0, 1) + u(0, -1));
+                },
+                ops::arg(*h.u, *h.five, ops::Access::kRead),
+                ops::arg(*h.t, ops::Access::kWrite));
+  ops::par_loop(h.ctx, "copy", *h.grid, h.interior(),
+                [](ops::Acc<double> t, ops::Acc<double> u) {
+                  u(0, 0) = t(0, 0);
+                },
+                ops::arg(*h.t, ops::Access::kRead),
+                ops::arg(*h.u, ops::Access::kWrite));
+  h.ctx.flush();
+
+  const auto evs = Recorder::global().snapshot();
+  const auto chains = by_cat(evs, apl::trace::kChain);
+  const auto tiles = by_cat(evs, apl::trace::kTile);
+  ASSERT_EQ(chains.size(), 1u);
+  ASSERT_GE(tiles.size(), 2u);
+  for (const Event& t : tiles) {
+    EXPECT_TRUE(t.name == "jacobi" || t.name == "copy") << t.name;
+    EXPECT_TRUE(nested_in(t, chains[0])) << "tile outside its chain flush";
+    EXPECT_GT(t.elements, 0u);
+  }
+  // The chain span reports how many loops it flushed and how many tiles
+  // ran; each tile yields one slice span per loop it intersects, so the
+  // slice count is at least the tile count.
+  EXPECT_EQ(chains[0].elements, 2u);
+  EXPECT_GT(chains[0].index, 1);
+  EXPECT_GE(static_cast<std::int64_t>(tiles.size()), chains[0].index);
+}
+
+// ---- thread safety ----------------------------------------------------------
+
+TEST(Trace, ConcurrentSpansFromManyThreads) {
+  TraceOn guard;
+  constexpr int kThreads = 8, kSpansPerThread = 200;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span s(apl::trace::kLoop, "worker");
+        s.set_index(t);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto evs = Recorder::global().snapshot();
+  ASSERT_EQ(evs.size(),
+            static_cast<std::size_t>(kThreads) * kSpansPerThread);
+  std::set<std::uint32_t> tids;
+  for (const Event& e : evs) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kThreads))
+      << "each thread must get its own stable tid";
+}
+
+// ---- Chrome trace_event export ----------------------------------------------
+
+TEST(Trace, ChromeJsonValidatesAgainstSchema) {
+  TraceOn guard;
+  {
+    apl::trace::RankScope rs(1);
+    Span s(apl::trace::kHalo, R"(needs "escaping"\ and control)");
+    s.set_bytes(4096);
+  }
+  { Span s(apl::trace::kLoop, "plain"); }
+  const std::string json = Recorder::global().chrome_json();
+  EXPECT_EQ(apl::trace::validate_chrome_json(json), "") << json;
+  // Ranked spans land on pid = rank + 1, rank-less ones on pid 0.
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":0"), std::string::npos);
+}
+
+TEST(Trace, ValidatorRejectsMalformedDocuments) {
+  EXPECT_NE(apl::trace::validate_chrome_json("not json"), "");
+  EXPECT_NE(apl::trace::validate_chrome_json("{}"), "");
+  EXPECT_NE(apl::trace::validate_chrome_json(R"({"traceEvents": 3})"), "");
+  EXPECT_NE(apl::trace::validate_chrome_json(
+                R"({"traceEvents": [{"name": "x"}]})"),
+            "");
+  EXPECT_NE(apl::trace::validate_chrome_json(
+                R"({"traceEvents": [{"name": "x", "cat": "loop",
+                    "ph": "B", "ts": 0, "dur": 0, "pid": 0, "tid": 0}]})"),
+            "")
+      << "only complete events (ph == X) are in the schema";
+  EXPECT_EQ(apl::trace::validate_chrome_json(
+                R"({"traceEvents": [{"name": "x", "cat": "loop",
+                    "ph": "X", "ts": 1.5, "dur": 0, "pid": 0, "tid": 3,
+                    "args": {"bytes": 0}}]})"),
+            "");
+}
+
+TEST(Trace, WriteChromeJsonRoundTrips) {
+  TraceOn guard;
+  { Span s(apl::trace::kCkpt, "save"); }
+  const std::string path = ::testing::TempDir() + "apl_roundtrip.trace.json";
+  Recorder::global().write_chrome_json(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, f)) > 0;) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(apl::trace::validate_chrome_json(contents), "");
+}
+
+// ---- differential: tracing must not perturb results -------------------------
+
+std::vector<double> run_sweeps(bool traced) {
+  Recorder::global().clear();
+  Recorder::global().set_enabled(traced);
+  apl::testkit::HeatGrid h(24, 24);
+  ops::par_loop(h.ctx, "init", *h.grid, h.with_halo(),
+                [](ops::Acc<double> u, const int* idx) {
+                  u(0, 0) = 0.01 * idx[0] + 0.3 * idx[1];
+                },
+                ops::arg(*h.u, ops::Access::kWrite), ops::arg_idx());
+  for (int s = 0; s < 5; ++s) {
+    ops::par_loop(h.ctx, "jacobi", *h.grid, h.interior(),
+                  [](ops::Acc<double> u, ops::Acc<double> t) {
+                    t(0, 0) =
+                        0.25 * (u(1, 0) + u(-1, 0) + u(0, 1) + u(0, -1));
+                  },
+                  ops::arg(*h.u, *h.five, ops::Access::kRead),
+                  ops::arg(*h.t, ops::Access::kWrite));
+    ops::par_loop(h.ctx, "copy", *h.grid, h.interior(),
+                  [](ops::Acc<double> t, ops::Acc<double> u) {
+                    u(0, 0) = t(0, 0);
+                  },
+                  ops::arg(*h.t, ops::Access::kRead),
+                  ops::arg(*h.u, ops::Access::kWrite));
+  }
+  Recorder::global().set_enabled(false);
+  Recorder::global().clear();
+  std::vector<double> out;
+  for (ops::index_t j = 0; j < h.ny; ++j) {
+    for (ops::index_t i = 0; i < h.nx; ++i) out.push_back(*h.u->at(i, j));
+  }
+  return out;
+}
+
+TEST(Trace, TracingOnOffBitwiseIdenticalResults) {
+  const std::vector<double> off = run_sweeps(false);
+  const std::vector<double> on = run_sweeps(true);
+  ASSERT_EQ(off.size(), on.size());
+  for (std::size_t i = 0; i < off.size(); ++i) {
+    EXPECT_EQ(off[i], on[i]) << "tracing changed element " << i;
+  }
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+// bench_report: the perf-trajectory emitter behind BENCH_*.json.
+//
+// Runs the two tier-1 proxy apps (Airfoil on op2, CloverLeaf on ops — the
+// latter both eager and lazy-tiled), collects every loop's Profile record
+// (seconds, GB/s, bytes by access class, halo bytes, color/tile counts)
+// and the roofline join against a machine model, and writes one JSON
+// document per run plus the combined report.
+//
+//   bench_report [--out FILE] [--airfoil-iters N] [--clover-steps N]
+//                [--machine NAME]
+//   bench_report --check-trace FILE     # validate a Chrome trace dump
+//
+// --check-trace reuses apl::trace::validate_chrome_json, so the ci.sh
+// trace stage exercises exactly the schema the tests assert.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "airfoil/airfoil.hpp"
+#include "apl/perf/machines.hpp"
+#include "apl/perf/report.hpp"
+#include "apl/profile.hpp"
+#include "apl/trace.hpp"
+#include "cloverleaf/cloverleaf_ops.hpp"
+#include "ops/ops.hpp"
+
+namespace {
+
+struct Args {
+  std::string out = "BENCH_pr5.json";
+  std::string check_trace;
+  std::string machine = "e5-2697v2";
+  int airfoil_iters = 40;
+  int clover_steps = 20;
+};
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out FILE] [--airfoil-iters N] "
+               "[--clover-steps N] [--machine NAME]\n"
+               "       %s --check-trace FILE\n",
+               argv0, argv0);
+  return 2;
+}
+
+/// One run's record: the full Profile dump, the roofline join, and any
+/// chain/tile statistics. `extra` is preformatted JSON members ("" or
+/// ", \"k\": v...").
+std::string run_json(const std::string& name, const apl::Profile& prof,
+                     const apl::perf::Machine& machine,
+                     const std::string& extra) {
+  std::ostringstream os;
+  os << "  {\"run\": \"" << name << "\",\n   \"profile\": " << prof.to_json()
+     << ",\n   \"roofline\": " << apl::perf::roofline_json(prof, machine)
+     << extra << "}";
+  return os.str();
+}
+
+std::string chain_extra(const ops::ChainStats& cs) {
+  std::ostringstream os;
+  os << ",\n   \"chain\": {\"flushes\": " << cs.flushes
+     << ", \"loops\": " << cs.loops << ", \"tiles\": " << cs.tiles
+     << ", \"max_chain\": " << cs.max_chain
+     << ", \"eager_bytes\": " << cs.eager_bytes
+     << ", \"tiled_bytes\": " << cs.tiled_bytes
+     << ", \"traffic_saved_fraction\": " << cs.traffic_saved_fraction()
+     << "}";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&](std::string& dst) {
+      if (i + 1 >= argc) std::exit(usage(argv[0]));
+      dst = argv[++i];
+    };
+    std::string v;
+    if (a == "--out") {
+      next(args.out);
+    } else if (a == "--check-trace") {
+      next(args.check_trace);
+    } else if (a == "--machine") {
+      next(args.machine);
+    } else if (a == "--airfoil-iters") {
+      next(v);
+      args.airfoil_iters = std::atoi(v.c_str());
+    } else if (a == "--clover-steps") {
+      next(v);
+      args.clover_steps = std::atoi(v.c_str());
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!args.check_trace.empty()) {
+    std::ifstream is(args.check_trace);
+    if (!is) {
+      std::fprintf(stderr, "bench_report: cannot open '%s'\n",
+                   args.check_trace.c_str());
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    const std::string err = apl::trace::validate_chrome_json(buf.str());
+    if (!err.empty()) {
+      std::fprintf(stderr, "bench_report: %s: %s\n", args.check_trace.c_str(),
+                   err.c_str());
+      return 1;
+    }
+    std::printf("%s: valid Chrome trace\n", args.check_trace.c_str());
+    return 0;
+  }
+
+  const apl::perf::Machine machine = apl::perf::machine(args.machine);
+  std::vector<std::string> runs;
+
+  {  // Airfoil, op2 path: per-loop colors come from the threads plan.
+    airfoil::Airfoil app;
+    app.ctx().set_backend(apl::exec::Backend::kThreads);
+    app.run(args.airfoil_iters);
+    runs.push_back(run_json("airfoil", app.ctx().profile(), machine, ""));
+    std::fputs(app.ctx().profile().report().c_str(), stdout);
+    std::fputs(apl::perf::roofline_table(app.ctx().profile(), machine).c_str(),
+               stdout);
+  }
+
+  {  // CloverLeaf eager: the attribution baseline for the lazy run.
+    cloverleaf::CloverOps app;
+    app.run(args.clover_steps);
+    runs.push_back(
+        run_json("cloverleaf_eager", app.ctx().profile(), machine, ""));
+  }
+
+  {  // CloverLeaf lazy + tiled: same loops, chain/tile stats alongside.
+    cloverleaf::Options opts;
+    opts.lazy = true;
+    cloverleaf::CloverOps app(opts);
+    app.run(args.clover_steps);
+    app.ctx().flush();
+    runs.push_back(run_json("cloverleaf_lazy", app.ctx().profile(), machine,
+                            chain_extra(app.ctx().chain_stats())));
+    std::fputs(app.ctx().profile().report().c_str(), stdout);
+  }
+
+  std::ostringstream os;
+  os << "{\"bench\": \"pr5\", \"machine\": \"" << machine.name
+     << "\",\n \"airfoil_iters\": " << args.airfoil_iters
+     << ", \"clover_steps\": " << args.clover_steps << ",\n \"runs\": [\n";
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    os << runs[i] << (i + 1 < runs.size() ? ",\n" : "\n");
+  }
+  os << "]}\n";
+
+  std::ofstream out(args.out);
+  if (!out) {
+    std::fprintf(stderr, "bench_report: cannot write '%s'\n",
+                 args.out.c_str());
+    return 1;
+  }
+  out << os.str();
+  std::printf("wrote %s\n", args.out.c_str());
+  return 0;
+}

@@ -33,6 +33,20 @@ OPAL_VERIFY=all "$build/examples/cloverleaf_sim" 10 \
 # randomized sweeps run via tools/fuzz.sh / ctest -L tier2.
 "$build/src/testkit/opal_fuzz" --iterations 100 --seed 20260806 --quiet
 
+# Tracing stage: a tier-1 app under OPAL_TRACE must emit schema-valid
+# Chrome trace_event JSON — bench_report --check-trace runs the same
+# validator the tests assert against — and the tier itself must stay green
+# with the recorder buffering every span.
+trace_out="$build/airfoil.trace.json"
+OPAL_TRACE="$trace_out" "$build/examples/airfoil_sim" 5 > /dev/null
+"$build/tools/bench_report" --check-trace "$trace_out"
+OPAL_TRACE="$build/tier1.trace.json" ctest --test-dir "$build" -L tier1 \
+  --output-on-failure -j "$(nproc)"
+
+# Perf-trajectory stage: regenerate the checked-in per-loop benchmark
+# record (Airfoil + CloverLeaf eager/lazy, roofline join included).
+(cd "$repo" && "$build/tools/bench_report" --out BENCH_pr5.json > /dev/null)
+
 if [[ -n "${CI_SANITIZE:-}" ]]; then
   san_build="$build-$CI_SANITIZE"
   cmake -S "$repo" -B "$san_build" -DAPL_WERROR=ON \
