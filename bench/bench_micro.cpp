@@ -29,7 +29,7 @@ void BM_PlanBuild(benchmark::State& state) {
       op2::arg(*res, app.edge2cell_map(), 1, apl::exec::Access::kInc).info()};
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        op2::build_plan(app.ctx(), app.edges(), args, 256));
+        op2::detail::build_plan(app.ctx(), app.edges(), args, 256));
   }
   state.SetItemsProcessed(state.iterations() * app.edges().size());
 }

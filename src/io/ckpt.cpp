@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "apl/config.hpp"
 #include "apl/error.hpp"
 #include "apl/fault.hpp"
 #include "apl/trace.hpp"
@@ -293,9 +294,6 @@ void check_finite(const File& file, const std::string& origin) {
   }
 }
 
-bool check_finite_enabled() {
-  const char* env = std::getenv("OPAL_CHECK_FINITE");
-  return env != nullptr && *env != '\0' && std::string_view(env) != "0";
-}
+bool check_finite_enabled() { return apl::config::flag("OPAL_CHECK_FINITE"); }
 
 }  // namespace apl::io

@@ -4,6 +4,8 @@
 
 #include "apl/error.hpp"
 #include "apl/fault.hpp"
+#include "apl/io/plan_cache.hpp"
+#include "apl/signature.hpp"
 #include "apl/trace.hpp"
 
 namespace op2 {
@@ -38,6 +40,7 @@ Set& Context::decl_set(index_t size, index_t core_size,
                "': core_size must be in [0, size]");
   sets_.push_back(std::make_unique<Set>(
       static_cast<index_t>(sets_.size()), size, name, core_size));
+  topology_hash_.reset();
   return *sets_.back();
 }
 
@@ -48,6 +51,7 @@ Map& Context::decl_map(const Set& from, const Set& to, index_t arity,
       static_cast<index_t>(maps_.size()), from, to, arity,
       std::vector<index_t>(table.begin(), table.end()), name));
   verify_map_bounds(*maps_.back(), "decl_map");
+  topology_hash_.reset();
   return *maps_.back();
 }
 
@@ -96,6 +100,7 @@ void Context::apply_injected_faults() {
   // An out-of-range index is the canonical corruption: guarded bounds
   // checking reports it naming the map, entry and target set.
   m->table_[idx] = m->to().size() + 1;
+  topology_hash_.reset();
   inj.consume_corrupt_map();
 }
 
@@ -105,26 +110,128 @@ void Context::set_block_size(index_t b) {
   invalidate_plans();
 }
 
-Plan& Context::plan_for(const std::string& loop_name, const Set& set,
-                        const std::vector<ArgInfo>& args) {
-  PlanKey key{loop_name, set.id(), args, block_size_};
+std::uint64_t Context::topology_hash() const {
+  if (topology_hash_) return *topology_hash_;
+  apl::signature::Hasher h;
+  h.pod(static_cast<std::uint64_t>(sets_.size()));
+  for (const auto& s : sets_) {
+    h.str(s->name());
+    h.pod(s->size());
+    h.pod(s->core_size());
+  }
+  h.pod(static_cast<std::uint64_t>(maps_.size()));
+  for (const auto& m : maps_) {
+    h.str(m->name());
+    h.pod(m->from().id());
+    h.pod(m->to().id());
+    h.pod(m->arity());
+    // Map tables are the bulk of the mesh (O(edges)); the word-wide hash
+    // keeps warm-start key derivation out of the plan-analysis budget.
+    h.bulk<index_t>(m->table());
+  }
+  h.pod(static_cast<std::uint64_t>(dats_.size()));
+  for (const auto& d : dats_) {
+    h.str(d->name());
+    h.pod(d->set().id());
+    h.pod(d->dim());
+    h.pod(static_cast<std::uint64_t>(d->elem_bytes()));
+    h.pod(static_cast<std::uint32_t>(d->layout()));
+  }
+  topology_hash_ = h.value();
+  return *topology_hash_;
+}
+
+namespace {
+
+/// Loop-program signature: the analysis inputs beyond topology — which
+/// set is iterated (and how it is split), each argument's shape, and the
+/// blocking parameter. The loop *name* stays out: structurally identical
+/// loops share one cache entry, the name is a label.
+std::uint64_t program_hash(const Set& set, const std::vector<ArgInfo>& args,
+                           index_t block_size) {
+  apl::signature::Hasher h;
+  h.pod(set.id());
+  h.pod(set.size());
+  h.pod(set.core_size());
+  h.pod(block_size);
+  h.pod(static_cast<std::uint64_t>(args.size()));
+  for (const ArgInfo& a : args) {
+    h.pod(a.dat_id);
+    h.pod(a.map_id);
+    h.pod(a.idx);
+    h.pod(static_cast<std::uint32_t>(a.acc));
+    h.pod(a.dim);
+    h.pod(static_cast<std::uint64_t>(a.elem_bytes));
+    h.pod(static_cast<std::uint8_t>(a.is_gbl ? 1 : 0));
+  }
+  return h.value();
+}
+
+}  // namespace
+
+const Plan& Context::plan_for(const PlanRequest& req) {
+  apl::require(req.set != nullptr, "plan_for: request names no set");
+  const Set& set = *req.set;
+  const index_t block_size = req.block_size > 0 ? req.block_size : block_size_;
+  PlanKey key{req.loop, set.id(), req.args, block_size};
   for (auto& [k, plan] : plans_) {
     if (k == key) return *plan;
   }
-  // Plan construction is a cache miss: span it so first-call cost is
-  // distinguishable from steady-state color rounds in the trace.
-  apl::trace::Span span(apl::trace::kLoop, "plan:" + loop_name);
-  plans_.emplace_back(std::move(key), std::make_unique<Plan>(build_plan(
-                                          *this, set, args, block_size_)));
-  Plan& plan = *plans_.back().second;
-  span.set_elements(static_cast<std::uint64_t>(set.size()));
-  if (verifying(apl::verify::kPlan)) {
-    const std::string diag = audit_plan(*this, set, args, plan);
-    if (!diag.empty()) {
-      verify_report().fail(loop_name, apl::verify::kPlan, diag);
+
+  const double t0 = apl::now_seconds();
+  auto& store = apl::plan_cache::Store::global();
+  apl::plan_cache::Key ck;
+  std::unique_ptr<Plan> plan;
+  if (store.enabled()) {
+    ck.kind = "op2";
+    ck.topology = topology_hash();
+    ck.program = program_hash(set, req.args, block_size);
+    // The plan's structure does not depend on the backend, but the
+    // execution strategy a process runs decides which plans it touches;
+    // keying on it keeps a warm run's hit count exactly its plan count.
+    apl::signature::Hasher cfg;
+    cfg.pod(static_cast<std::uint32_t>(backend()));
+    ck.config = cfg.value();
+    ck.version = kPlanIrVersion;
+    ck.label = req.loop;
+    if (auto payload = store.load(ck)) {
+      apl::trace::Span span(apl::trace::kPlan, "plan_hit:" + req.loop);
+      std::string diag;
+      if (auto decoded = decode_plan(*payload, set.core_size(), &diag)) {
+        plan = std::make_unique<Plan>(std::move(*decoded));
+        span.set_elements(static_cast<std::uint64_t>(set.size()));
+        span.set_bytes(payload->size());
+      } else {
+        // Container-valid but IR-invalid (e.g. a hash collision or a
+        // builder bug): surface it like corruption and rebuild fresh.
+        store.note_corrupt(diag);
+      }
     }
   }
-  return plan;
+  const bool built = plan == nullptr;
+  if (built) {
+    // Plan construction is a cache miss: span it so first-call cost is
+    // distinguishable from steady-state color rounds in the trace.
+    apl::trace::Span span(apl::trace::kLoop, "plan:" + req.loop);
+    plan = std::make_unique<Plan>(
+        detail::build_plan(*this, set, req.args, block_size));
+    span.set_elements(static_cast<std::uint64_t>(set.size()));
+  }
+  if (built && store.enabled()) {
+    store.save(ck, encode_plan(*plan));
+  }
+  add_plan_seconds(apl::now_seconds() - t0);
+
+  // Audit both paths in guarded mode: a deserialized plan is input from
+  // disk, and kPlan is exactly the proof that it is still race-free.
+  if (verifying(apl::verify::kPlan)) {
+    const std::string diag = audit_plan(*this, set, req.args, *plan);
+    if (!diag.empty()) {
+      verify_report().fail(req.loop, apl::verify::kPlan, diag);
+    }
+  }
+  plans_.emplace_back(std::move(key), std::move(plan));
+  return *plans_.back().second;
 }
 
 index_t Context::unique_targets(const Map& m) const {
@@ -142,6 +249,11 @@ index_t Context::unique_targets(const Map& m) const {
   return count;
 }
 
-void Context::invalidate_plans() { plans_.clear(); }
+void Context::invalidate_plans() {
+  plans_.clear();
+  // Every caller of this (renumbering, layout conversion, fault
+  // injection into map tables) changed what the topology hash covers.
+  topology_hash_.reset();
+}
 
 }  // namespace op2

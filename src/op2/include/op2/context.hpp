@@ -8,8 +8,10 @@
 // checkpoint placement — is the library's business.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,6 +56,7 @@ public:
         static_cast<index_t>(dats_.size()), set, dim, init, name);
     Dat<T>& ref = *dat;
     dats_.push_back(std::move(dat));
+    topology_hash_.reset();
     return ref;
   }
 
@@ -77,8 +80,21 @@ public:
   void set_staging(bool on) { staging_ = on; }
 
   // ---- run-time services used by par_loop
-  Plan& plan_for(const std::string& loop_name, const Set& set,
-                 const std::vector<ArgInfo>& args);
+  /// The one public plan entry point: returns the (memoized) execution
+  /// plan for the request, building it on demand. With the persistent
+  /// plan cache enabled (OPAL_PLAN_CACHE), a first touch per process
+  /// tries the on-disk Plan IR before running the inspector, and a fresh
+  /// build is persisted for the next process. In guarded mode
+  /// (apl::verify::kPlan) every returned plan — built or deserialized —
+  /// passes the race audit first.
+  const Plan& plan_for(const PlanRequest& req);
+
+  /// Signature of everything plans depend on structurally: sets (size,
+  /// core split), map tables, dat layouts. Cached; any declaration,
+  /// permutation or layout change invalidates it. Per-rank contexts hash
+  /// their own partition, which is what makes plan-cache keys
+  /// partition-aware in the distributed layer.
+  std::uint64_t topology_hash() const;
   DeviceReport& device_report(const std::string& loop_name) {
     return device_reports_[loop_name];
   }
@@ -136,10 +152,8 @@ private:
   std::vector<std::pair<PlanKey, std::unique_ptr<Plan>>> plans_;
   std::map<std::string, DeviceReport> device_reports_;
   mutable std::map<index_t, index_t> unique_targets_cache_;
+  mutable std::optional<std::uint64_t> topology_hash_;
   Checkpointer* checkpointer_ = nullptr;
-
-  friend Plan build_plan(const Context&, const Set&,
-                         const std::vector<ArgInfo>&, index_t);
 };
 
 /// Out-of-line: needs the complete Context type.

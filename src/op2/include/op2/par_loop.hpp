@@ -540,12 +540,14 @@ void par_loop(Context& ctx, const std::string& name, const Set& set,
         detail::run_simd(set, kernel, args...);
         break;
       case apl::exec::Backend::kThreads:
-        detail::run_threads(ctx, name, set, ctx.plan_for(name, set, infos),
-                            kernel, args...);
+        detail::run_threads(ctx, name, set,
+                            ctx.plan_for({name, &set, infos}), kernel,
+                            args...);
         break;
       case apl::exec::Backend::kCudaSim:
-        detail::run_cudasim(ctx, name, set, ctx.plan_for(name, set, infos),
-                            kernel, args...);
+        detail::run_cudasim(ctx, name, set,
+                            ctx.plan_for({name, &set, infos}), kernel,
+                            args...);
         break;
     }
   }

@@ -11,6 +11,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "op2/arg.hpp"
@@ -19,6 +22,18 @@
 namespace op2 {
 
 class Context;
+
+/// What a caller wants a plan *for*: the loop's identity plus the
+/// analysis parameters. This is the one public spelling for plan
+/// acquisition — par_loop, the distributed layer, tools and tests all go
+/// through `Context::plan_for(PlanRequest)`; the coloring pipeline itself
+/// (`detail::build_plan`) is an internal detail.
+struct PlanRequest {
+  std::string loop;            ///< label for traces/diagnostics/profile
+  const Set* set = nullptr;    ///< iteration set
+  std::vector<ArgInfo> args;   ///< the loop's argument signature
+  index_t block_size = 0;      ///< 0: use the context's block size
+};
 
 struct Plan {
   index_t block_size = 0;
@@ -36,11 +51,36 @@ struct Plan {
   bool has_conflicts = false;  ///< false => loop is embarrassingly parallel
 };
 
-/// Builds (or rebuilds) a plan for a loop over `set` with the given
-/// argument signature. Exposed for tests and the coloring ablation bench;
-/// par_loop goes through the Context's plan cache.
+/// Version of the serialized Plan IR below. Bump on any layout change:
+/// the plan cache keys entries by it, so stale blobs invalidate
+/// themselves instead of being misread.
+inline constexpr std::uint32_t kPlanIrVersion = 1;
+
+/// Serializes `plan` as a tagged-section Plan IR payload (the
+/// apl::plan_cache framing): a shape section plus one section per array.
+/// `blocks_by_color` is derived state and is not stored — the decoder
+/// rebuilds it from block_color.
+std::vector<std::uint8_t> encode_plan(const Plan& plan);
+
+/// Decodes a Plan IR payload through the section dispatch table and
+/// validates it against the iteration size `n` it claims to cover
+/// (offsets monotone and spanning [0, n], colors in range, array sizes
+/// consistent). Returns std::nullopt with `*diag` naming the defect on
+/// any mismatch — the caller falls back to a fresh inspector run.
+std::optional<Plan> decode_plan(std::span<const std::uint8_t> payload,
+                                index_t n, std::string* diag);
+
+namespace detail {
+
+/// The inspector: builds a plan for a loop over `set` with the given
+/// argument signature. Internal — runtime call sites go through
+/// `Context::plan_for(PlanRequest)`, which adds memoization, the
+/// persistent IR cache and the guarded race audit; only tests and the
+/// coloring ablation bench call the builder directly.
 Plan build_plan(const Context& ctx, const Set& set,
                 const std::vector<ArgInfo>& args, index_t block_size);
+
+}  // namespace detail
 
 /// Race audit (apl::verify::kPlan): proves the two-level coloring of
 /// `plan` — no two same-colored blocks, and no two same-colored elements

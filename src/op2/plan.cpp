@@ -5,6 +5,7 @@
 #include "apl/error.hpp"
 #include "apl/graph/coloring.hpp"
 #include "apl/graph/csr.hpp"
+#include "apl/io/plan_cache.hpp"
 #include "op2/context.hpp"
 
 namespace op2 {
@@ -62,6 +63,8 @@ ConflictTable build_conflicts(const Context& ctx, const Set& set,
 }
 
 }  // namespace
+
+namespace detail {
 
 Plan build_plan(const Context& ctx, const Set& set,
                 const std::vector<ArgInfo>& args, index_t block_size) {
@@ -154,6 +157,154 @@ Plan build_plan(const Context& ctx, const Set& set,
     plan.block_elem_colors[b] = ec.num_colors;
     plan.max_elem_colors = std::max(plan.max_elem_colors, ec.num_colors);
   }
+  return plan;
+}
+
+}  // namespace detail
+
+namespace {
+
+// Plan IR section tags. The shape section carries every scalar; the array
+// sections carry raw index_t payloads. blocks_by_color is intentionally
+// absent: it is a permutation of block ids derivable from block_color, so
+// storing it would only add a redundancy to validate.
+constexpr std::uint32_t kSecShape = 1;
+constexpr std::uint32_t kSecBlockOffset = 2;
+constexpr std::uint32_t kSecBlockColor = 3;
+constexpr std::uint32_t kSecElemColor = 4;
+constexpr std::uint32_t kSecBlockElemColors = 5;
+
+struct PlanShape {
+  index_t block_size = 0;
+  index_t num_blocks = 0;
+  index_t num_block_colors = 0;
+  index_t max_elem_colors = 0;
+  index_t n = 0;  ///< iteration size the plan covers (set core size)
+  std::uint8_t has_conflicts = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_plan(const Plan& plan) {
+  apl::plan_cache::BlobWriter w;
+  PlanShape shape;
+  shape.block_size = plan.block_size;
+  shape.num_blocks = plan.num_blocks;
+  shape.num_block_colors = plan.num_block_colors;
+  shape.max_elem_colors = plan.max_elem_colors;
+  shape.n = plan.block_offset.empty() ? 0 : plan.block_offset.back();
+  shape.has_conflicts = plan.has_conflicts ? 1 : 0;
+  w.section(kSecShape, {reinterpret_cast<const std::uint8_t*>(&shape),
+                        sizeof(shape)});
+  w.section_of<index_t>(kSecBlockOffset, plan.block_offset);
+  w.section_of<index_t>(kSecBlockColor, plan.block_color);
+  w.section_of<index_t>(kSecElemColor, plan.elem_color);
+  w.section_of<index_t>(kSecBlockElemColors, plan.block_elem_colors);
+  return w.take();
+}
+
+std::optional<Plan> decode_plan(std::span<const std::uint8_t> payload,
+                                index_t n, std::string* diag) {
+  Plan plan;
+  PlanShape shape;
+  bool have_shape = false;
+  const apl::plan_cache::SectionHandler table[] = {
+      {kSecShape,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         if (!r.pod(&shape) || !r.done()) return false;
+         have_shape = true;
+         return true;
+       }},
+      {kSecBlockOffset,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         return r.rest(&plan.block_offset);
+       }},
+      {kSecBlockColor,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         return r.rest(&plan.block_color);
+       }},
+      {kSecElemColor,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         return r.rest(&plan.elem_color);
+       }},
+      {kSecBlockElemColors,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         return r.rest(&plan.block_elem_colors);
+       }},
+  };
+  auto reject = [&](const std::string& why) {
+    if (diag != nullptr) *diag = "plan-ir: " + why;
+    return std::nullopt;
+  };
+
+  const std::string err = apl::plan_cache::decode_sections(payload, table);
+  if (!err.empty()) {
+    if (diag != nullptr) *diag = err;
+    return std::nullopt;
+  }
+  if (!have_shape) return reject("shape section missing");
+
+  // Executing a decoded plan trusts its invariants, so prove them here:
+  // the container CRC only guards against bitrot, not a stale or foreign
+  // blob that survived key hashing by accident.
+  plan.block_size = shape.block_size;
+  plan.num_blocks = shape.num_blocks;
+  plan.num_block_colors = shape.num_block_colors;
+  plan.max_elem_colors = shape.max_elem_colors;
+  plan.has_conflicts = shape.has_conflicts != 0;
+  if (shape.n != n) {
+    return reject("covers n=" + std::to_string(shape.n) +
+                  ", expected n=" + std::to_string(n));
+  }
+  if (plan.num_blocks < 0 || plan.block_size <= 0 ||
+      plan.num_block_colors < 0) {
+    return reject("negative or zero shape fields");
+  }
+  if (plan.block_offset.size() !=
+      static_cast<std::size_t>(plan.num_blocks) + 1) {
+    return reject("block_offset has " +
+                  std::to_string(plan.block_offset.size()) +
+                  " entries, expected num_blocks+1");
+  }
+  if (plan.block_offset.front() != 0 || plan.block_offset.back() != n) {
+    return reject("block offsets do not span [0, n)");
+  }
+  for (index_t b = 0; b < plan.num_blocks; ++b) {
+    if (plan.block_offset[b] > plan.block_offset[b + 1]) {
+      return reject("block offsets not monotone at block " +
+                    std::to_string(b));
+    }
+  }
+  if (plan.block_color.size() != static_cast<std::size_t>(plan.num_blocks) ||
+      plan.block_elem_colors.size() !=
+          static_cast<std::size_t>(plan.num_blocks)) {
+    return reject("per-block arrays do not match num_blocks");
+  }
+  for (index_t c : plan.block_color) {
+    if (c < 0 || c >= plan.num_block_colors) {
+      return reject("block color " + std::to_string(c) + " out of range");
+    }
+  }
+  if (plan.elem_color.size() != static_cast<std::size_t>(n)) {
+    return reject("elem_color does not cover the iteration set");
+  }
+  for (index_t c : plan.elem_color) {
+    if (c < 0 || c >= std::max<index_t>(plan.max_elem_colors, 1)) {
+      return reject("element color " + std::to_string(c) + " out of range");
+    }
+  }
+
+  plan.blocks_by_color.assign(
+      static_cast<std::size_t>(plan.num_block_colors), {});
+  for (index_t b = 0; b < plan.num_blocks; ++b) {
+    plan.blocks_by_color[plan.block_color[b]].push_back(b);
+  }
+  if (diag != nullptr) diag->clear();
   return plan;
 }
 

@@ -91,7 +91,7 @@ void account_traffic(Context& ctx, const std::string& name, const Set& set,
 void account_device(Context& ctx, const std::string& name, const Set& set,
                     const std::vector<ArgInfo>& args,
                     apl::LoopStats& stats) {
-  const Plan& plan = ctx.plan_for(name, set, args);
+  const Plan& plan = ctx.plan_for({name, &set, args});
   apl::simdev::DeviceConfig cfg;
   apl::simdev::TransactionCounter tc(cfg);
   std::vector<std::uintptr_t> lanes;

@@ -98,6 +98,7 @@ bool Range::empty() const { return points() == 0; }
 Block& Context::decl_block(int ndim, const std::string& name) {
   blocks_.push_back(std::make_unique<Block>(
       static_cast<index_t>(blocks_.size()), ndim, name));
+  topology_hash_.reset();
   return *blocks_.back();
 }
 
@@ -106,6 +107,7 @@ Stencil& Context::decl_stencil(int ndim,
                                const std::string& name) {
   stencils_.push_back(std::make_unique<Stencil>(
       static_cast<index_t>(stencils_.size()), ndim, std::move(points), name));
+  topology_hash_.reset();
   return *stencils_.back();
 }
 

@@ -8,8 +8,10 @@
 // cross-loop cache-blocked tiling — at the next flush point.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,6 +49,7 @@ public:
     Dat<T>& ref = *dat;
     ref.attach_context(this, &pending_flush_);
     dats_.push_back(std::move(dat));
+    topology_hash_.reset();
     return ref;
   }
 
@@ -81,6 +84,20 @@ public:
   /// eager-vs-tiled DRAM traffic).
   const ChainStats& chain_stats() const { return chain_stats_; }
 
+  /// Returns the compiled execution schedule for a queued chain — the one
+  /// public entry point for chain planning. Consults, in order: the
+  /// in-memory memo (keyed by the combined cache signature, so the
+  /// steady-state flush of an unchanged chain costs one hash), the
+  /// persistent plan cache (when OPAL_PLAN_CACHE names a directory), and
+  /// only then the chain analysis (detail::analyze_chain). The reference
+  /// stays valid for the lifetime of the context.
+  const ChainSchedule& plan_for(const PlanRequest& req);
+
+  /// Signature of the declared topology (blocks, stencils, dataset
+  /// shapes) — one input of the plan-cache key. Memoized; any later
+  /// declaration invalidates it.
+  std::uint64_t topology_hash() const;
+
   void set_lazy(bool on) override {
     ExecContext::set_lazy(on);
     update_pending();
@@ -101,6 +118,8 @@ private:
   std::vector<std::unique_ptr<DatBase>> dats_;
   std::map<int, index_t> point_stencils_;  ///< ndim -> stencil id
   std::vector<LoopRecord> chain_;
+  std::map<std::uint64_t, std::unique_ptr<ChainSchedule>> schedules_;
+  mutable std::optional<std::uint64_t> topology_hash_;
   ChainStats chain_stats_;
   bool chain_executing_ = false;
   bool pending_flush_ = false;  ///< dats' touch() watches this flag

@@ -35,6 +35,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -85,12 +87,92 @@ std::vector<index_t> compute_skews(const Context& ctx,
                                    const std::vector<LoopRecord>& chain,
                                    int dim);
 
+/// Version of the serialized chain-schedule IR. Bump whenever the wire
+/// layout of ChainSchedule sections changes; old cache entries are then
+/// misses, never misreads.
+inline constexpr std::uint32_t kChainIrVersion = 1;
+
+/// Compiled execution schedule of one flushed chain: the output of the
+/// dependency analysis (grouping, skews, tile segmentation, traffic
+/// projection) with the analysis itself stripped away. Executing a
+/// schedule walks `ops` through a dispatch table and touches only the
+/// live LoopRecords' executors — a deserialized schedule therefore runs
+/// without redoing any analysis.
+struct ChainSchedule {
+  enum class OpKind : std::uint32_t {
+    kVerbatim = 1,      ///< run records over their full recorded ranges
+    kTiledSegment = 2,  ///< skewed cache-blocked tiling of a segment
+  };
+
+  /// One schedule instruction. For kVerbatim, records
+  /// groups[group][first .. first+count) run untiled. For kTiledSegment,
+  /// the same records run tile-by-tile along dimension `dim` with tile
+  /// edges in [lo, hi) of height h and per-record skews `skews`.
+  struct Op {
+    OpKind kind = OpKind::kVerbatim;
+    std::int32_t group = 0;  ///< index into `groups`
+    std::int32_t first = 0;  ///< first record (position within the group)
+    std::int32_t count = 0;  ///< number of records covered
+    std::int32_t dim = 0;    ///< tiled dimension (kTiledSegment)
+    index_t lo = 0;          ///< tile-edge range start (skew-shifted coords)
+    index_t hi = 0;          ///< tile-edge range end
+    index_t h = 0;           ///< tile height (rows per tile)
+    std::uint64_t tiles = 0;       ///< tiles this op contributes to stats
+    std::uint64_t tiled_bytes = 0; ///< projected DRAM traffic contribution
+    std::vector<index_t> skews;    ///< per-record tile-edge offsets
+  };
+
+  /// Record indices of the flushed chain, grouped by block in order of
+  /// first appearance; every op names records through one group.
+  std::vector<std::vector<std::int32_t>> groups;
+  std::vector<Op> ops;
+  /// Combined cache signature (topology x program x config x IR version)
+  /// this schedule was planned under; 0 until planned through plan_for.
+  std::uint64_t signature = 0;
+};
+
+/// Request for a chain schedule — the one public spelling for obtaining
+/// one. `label` names the schedule in traces, diagnostics and cache file
+/// names; `chain` is the queued loop chain to plan.
+struct PlanRequest {
+  std::string label = "chain";
+  const std::vector<LoopRecord>* chain = nullptr;
+};
+
+/// Serializes a schedule into the section-framed Plan IR payload stored
+/// in the on-disk plan cache (signature is carried by the container key,
+/// not the payload).
+std::vector<std::uint8_t> encode_schedule(const ChainSchedule& sched);
+
+/// Decodes and validates an IR payload against the live chain it will
+/// drive. Returns nullopt (with a "chain-ir: ..." diagnostic in *diag)
+/// on any structural violation: group/record coverage, block mixing,
+/// op ranges, skew monotonicity, tile heights.
+std::optional<ChainSchedule> decode_schedule(
+    std::span<const std::uint8_t> payload, const Context& ctx,
+    const std::vector<LoopRecord>& chain, std::string* diag);
+
 namespace detail {
 
-/// Executes a flushed chain: groups records by block (datasets never span
-/// blocks, so loops of different blocks share no data — global reductions
-/// flush immediately and never sit between them), tiles each group, runs
-/// the tiles, and accumulates per-loop profile stats plus chain stats.
+/// Runs the dependency analysis over a flushed chain and compiles the
+/// result into a schedule: grouping by block, skew computation, tile
+/// segmentation, dry-pass traffic projection and the tiled-vs-verbatim
+/// profitability decision. Internal — runtime call sites obtain
+/// schedules through Context::plan_for, which consults the plan cache
+/// first; reach for this only from tests and benches.
+ChainSchedule analyze_chain(const Context& ctx,
+                            const std::vector<LoopRecord>& chain);
+
+/// Executes a compiled schedule against the live chain through the
+/// per-OpKind dispatch table, accumulating tile/traffic stats.
+void execute_schedule(const ChainSchedule& sched,
+                      const std::vector<LoopRecord>& chain,
+                      ChainStats& stats);
+
+/// Executes a flushed chain: obtains the schedule via Context::plan_for
+/// (memoized per signature, then the persistent cache, then
+/// analyze_chain), executes it, and accumulates per-loop profile stats
+/// plus chain stats.
 void execute_chain(Context& ctx, std::vector<LoopRecord> chain,
                    ChainStats& stats);
 

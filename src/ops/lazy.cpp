@@ -4,8 +4,13 @@
 #include <array>
 #include <limits>
 #include <map>
+#include <span>
+#include <type_traits>
 #include <vector>
 
+#include "apl/error.hpp"
+#include "apl/io/plan_cache.hpp"
+#include "apl/signature.hpp"
 #include "apl/trace.hpp"
 #include "ops/context.hpp"
 #include "ops/par_loop.hpp"
@@ -113,11 +118,12 @@ std::uint64_t footprint_bytes(const std::map<index_t, DatFootprint>& fp) {
 }
 
 /// Combined bytes one grid row (along `dim`) of every distinct dataset in
-/// [first, last) occupies — the unit the cache budget is divided by.
-std::uint64_t chain_row_bytes(const Context& ctx, const LoopRecord* first,
-                              const LoopRecord* last, int dim) {
+/// `recs` occupies — the unit the cache budget is divided by.
+std::uint64_t chain_row_bytes(const Context& ctx,
+                              std::span<const LoopRecord* const> recs,
+                              int dim) {
   std::map<index_t, std::uint64_t> by_dat;
-  for (const LoopRecord* rec = first; rec != last; ++rec) {
+  for (const LoopRecord* rec : recs) {
     for (const ArgInfo& a : rec->infos) {
       if (a.is_gbl || a.is_idx) continue;
       const DatBase& dat = ctx.dat(a.dat_id);
@@ -137,158 +143,19 @@ void run_record(const LoopRecord& rec, const Range& sub) {
   if (!sub.empty()) rec.run(sub);
 }
 
-std::vector<index_t> compute_skews_n(const Context& ctx,
-                                     const LoopRecord* chain, int L, int dim);
-
-/// Tiles one chain segment whose skews are already bounded: executes the
-/// segment tile-by-tile with per-loop skewed edges and accumulates the
-/// tiled traffic model.
-void execute_segment(Context& ctx, const LoopRecord* first, int L, int dim,
-                     index_t tile_rows, ChainStats& stats) {
-  const std::vector<index_t> skews = compute_skews_n(ctx, first, L, dim);
-
-  // Tile edges live in the skew-shifted coordinate u = row - skew[l]:
-  // loop l executes rows [B_t + skew[l], B_t+1 + skew[l]) in tile t, so
-  // the union of tiles covers every loop's range exactly once.
-  index_t lo = std::numeric_limits<index_t>::max();
-  index_t hi = std::numeric_limits<index_t>::lowest();
-  for (int l = 0; l < L; ++l) {
-    lo = std::min(lo, first[l].range.lo[dim] - skews[l]);
-    hi = std::max(hi, first[l].range.hi[dim] - skews[l]);
-  }
-  index_t h = tile_rows;
-  if (h <= 0) {
-    // Auto height: what remains of the cache budget once the segment's
-    // skew span (rows alive across loops in one tile) is paid for.
-    const index_t budget_rows = static_cast<index_t>(std::min<std::uint64_t>(
-        std::numeric_limits<index_t>::max(),
-        kTileCacheBudget / chain_row_bytes(ctx, first, first + L, dim)));
-    h = std::max(kMinTileRows, budget_rows - skews[0]);
-  }
-
-  // Dry pass first: the traffic model is pure metadata, so the segment's
-  // tiled cost can be projected before anything runs.
-  std::uint64_t projected = 0, ntiles = 0;
-  std::map<index_t, DatFootprint> fp;
-  for (index_t b0 = lo; b0 < hi; b0 += h) {
-    const index_t b1 = std::min(hi, b0 + h);
-    fp.clear();
-    bool any = false;
-    for (int l = 0; l < L; ++l) {
-      Range sub = first[l].range;
-      sub.lo[dim] = std::max(sub.lo[dim], b0 + skews[l]);
-      sub.hi[dim] = std::min(sub.hi[dim], b1 + skews[l]);
-      if (sub.lo[dim] >= sub.hi[dim]) continue;
-      accumulate_footprint(ctx, first[l], sub, fp);
-      any = true;
-    }
-    if (any) {
-      ++ntiles;
-      projected += footprint_bytes(fp);
-    }
-  }
-
-  std::uint64_t streaming = 0;
-  for (int l = 0; l < L; ++l) streaming += streaming_bytes(first[l]);
-  if (tile_rows <= 0 && projected >= streaming) {
-    // Tiling would not pay — typical for segments of edge-strip halo
-    // loops whose eager traffic is tiny while their per-tile working sets
-    // are not. Verbatim replay is always a valid execution of the
-    // segment, so run it that way and charge the streaming model.
-    for (int l = 0; l < L; ++l) run_record(first[l], first[l].range);
-    stats.tiles += static_cast<std::uint64_t>(L);
-    stats.tiled_bytes += streaming;
-    return;
-  }
-
-  for (index_t b0 = lo; b0 < hi; b0 += h) {
-    const index_t b1 = std::min(hi, b0 + h);
-    for (int l = 0; l < L; ++l) {
-      Range sub = first[l].range;
-      sub.lo[dim] = std::max(sub.lo[dim], b0 + skews[l]);
-      sub.hi[dim] = std::min(sub.hi[dim], b1 + skews[l]);
-      if (sub.lo[dim] >= sub.hi[dim]) continue;
-      run_record(first[l], sub);
-    }
-  }
-  stats.tiles += ntiles;
-  stats.tiled_bytes += projected;
-}
-
-/// Executes one per-block group of the chain, tiled (or verbatim when the
-/// context disables tiling).
-///
-/// Long chains are split into segments before tiling: skews only grow
-/// along a chain, and once a segment's skew span outgrows the cache
-/// budget, rows kept alive across its loops no longer fit — tiling past
-/// that point only inflates the per-tile footprint. Each segment is tiled
-/// independently (segments execute back-to-back, which is the plain chain
-/// order, so the split never affects results).
-void execute_group(Context& ctx, const std::vector<LoopRecord>& group,
-                   ChainStats& stats) {
-  if (!ctx.tiling() || group.size() == 1) {
-    std::map<index_t, DatFootprint> fp;
-    for (const LoopRecord& rec : group) {
-      run_record(rec, rec.range);
-      ++stats.tiles;
-      fp.clear();
-      accumulate_footprint(ctx, rec, rec.range, fp);
-      stats.tiled_bytes += footprint_bytes(fp);
-    }
-    return;
-  }
-
-  const int dim = group.front().block->ndim() - 1;
-  const int L = static_cast<int>(group.size());
-
-  if (ctx.tile_rows() > 0) {
-    // Explicit tile height: tile the whole chain with it (tests use this
-    // to force many tile crossings deterministically).
-    execute_segment(ctx, group.data(), L, dim, ctx.tile_rows(), stats);
-    return;
-  }
-
-  // Whole-chain skews bound every segment's internal skews from above
-  // (dropping later loops only relaxes constraints), so they are a safe
-  // yardstick for cutting: keep a segment while its global-skew span
-  // stays within the skew share of the cache budget.
-  const std::vector<index_t> gskews = compute_skews(ctx, group, dim);
-  const index_t budget_rows = static_cast<index_t>(std::min<std::uint64_t>(
-      std::numeric_limits<index_t>::max(),
-      kTileCacheBudget /
-          chain_row_bytes(ctx, group.data(), group.data() + L, dim)));
-  // Keep the skew span a small fraction of the budget: per-tile footprint
-  // is (h + span) rows, so traffic inflates by span/h — capping span at a
-  // quarter of the budget keeps the inflation factor around 1.3 while the
-  // remaining three quarters go to the tile height.
-  const index_t skew_budget = std::max<index_t>(kMinTileRows, budget_rows / 4);
-
-  int start = 0;
-  for (int l = 1; l <= L; ++l) {
-    if (l == L || gskews[start] - gskews[l] > skew_budget) {
-      execute_segment(ctx, group.data() + start, l - start, dim,
-                      /*tile_rows=*/0, stats);
-      start = l;
-    }
-  }
-}
-
-}  // namespace
-
-namespace {
-
-std::vector<index_t> compute_skews_n(const Context& ctx,
-                                     const LoopRecord* chain, int L,
-                                     int dim) {
+std::vector<index_t> compute_skews_impl(const Context& ctx,
+                                        std::span<const LoopRecord* const> recs,
+                                        int dim) {
+  const int L = static_cast<int>(recs.size());
   std::vector<index_t> skew(static_cast<std::size_t>(L), 0);
   for (int l = L - 2; l >= 0; --l) {
     // Ordering baseline: monotone non-increasing skews keep same-centre
     // write-after-write pairs in chain order across tiles.
     index_t s = skew[l + 1];
-    for (const ArgInfo& a : chain[l].infos) {
+    for (const ArgInfo& a : recs[l]->infos) {
       if (a.is_gbl || a.is_idx) continue;
       for (int l2 = l + 1; l2 < L; ++l2) {
-        for (const ArgInfo& b : chain[l2].infos) {
+        for (const ArgInfo& b : recs[l2]->infos) {
           if (b.is_gbl || b.is_idx || b.dat_id != a.dat_id) continue;
           if (writes(a.acc) && reads(b.acc)) {
             // Flow: the later reader reaches up to +hi rows ahead of its
@@ -309,16 +176,623 @@ std::vector<index_t> compute_skews_n(const Context& ctx,
   return skew;
 }
 
+// --- analysis: chain -> schedule -------------------------------------------
+
+/// Plans one chain segment whose skews are already bounded: computes the
+/// tile geometry, projects the tiled traffic with a dry pass over the
+/// pure-metadata footprint model, and emits either a kTiledSegment op or
+/// — when tiling would not pay — a kVerbatim fallback op.
+void analyze_segment(const Context& ctx,
+                     std::span<const LoopRecord* const> recs, int dim,
+                     index_t tile_rows, std::int32_t group, std::int32_t first,
+                     std::vector<ChainSchedule::Op>& out) {
+  const int L = static_cast<int>(recs.size());
+  std::vector<index_t> skews = compute_skews_impl(ctx, recs, dim);
+
+  // Tile edges live in the skew-shifted coordinate u = row - skew[l]:
+  // loop l executes rows [B_t + skew[l], B_t+1 + skew[l]) in tile t, so
+  // the union of tiles covers every loop's range exactly once.
+  index_t lo = std::numeric_limits<index_t>::max();
+  index_t hi = std::numeric_limits<index_t>::lowest();
+  for (int l = 0; l < L; ++l) {
+    lo = std::min(lo, recs[l]->range.lo[dim] - skews[l]);
+    hi = std::max(hi, recs[l]->range.hi[dim] - skews[l]);
+  }
+  index_t h = tile_rows;
+  if (h <= 0) {
+    // Auto height: what remains of the cache budget once the segment's
+    // skew span (rows alive across loops in one tile) is paid for.
+    const index_t budget_rows = static_cast<index_t>(std::min<std::uint64_t>(
+        std::numeric_limits<index_t>::max(),
+        kTileCacheBudget / chain_row_bytes(ctx, recs, dim)));
+    h = std::max(kMinTileRows, budget_rows - skews[0]);
+  }
+
+  // Dry pass: the traffic model is pure metadata, so the segment's tiled
+  // cost is projected at analysis time — execution never revisits it.
+  std::uint64_t projected = 0, ntiles = 0;
+  std::map<index_t, DatFootprint> fp;
+  for (index_t b0 = lo; b0 < hi; b0 += h) {
+    const index_t b1 = std::min(hi, b0 + h);
+    fp.clear();
+    bool any = false;
+    for (int l = 0; l < L; ++l) {
+      Range sub = recs[l]->range;
+      sub.lo[dim] = std::max(sub.lo[dim], b0 + skews[l]);
+      sub.hi[dim] = std::min(sub.hi[dim], b1 + skews[l]);
+      if (sub.lo[dim] >= sub.hi[dim]) continue;
+      accumulate_footprint(ctx, *recs[l], sub, fp);
+      any = true;
+    }
+    if (any) {
+      ++ntiles;
+      projected += footprint_bytes(fp);
+    }
+  }
+
+  std::uint64_t streaming = 0;
+  for (const LoopRecord* rec : recs) streaming += streaming_bytes(*rec);
+
+  ChainSchedule::Op op;
+  op.group = group;
+  op.first = first;
+  op.count = L;
+  op.dim = dim;
+  if (tile_rows <= 0 && projected >= streaming) {
+    // Tiling would not pay — typical for segments of edge-strip halo
+    // loops whose eager traffic is tiny while their per-tile working sets
+    // are not. Verbatim replay is always a valid execution of the
+    // segment, so schedule it that way and charge the streaming model.
+    op.kind = ChainSchedule::OpKind::kVerbatim;
+    op.tiles = static_cast<std::uint64_t>(L);
+    op.tiled_bytes = streaming;
+  } else {
+    op.kind = ChainSchedule::OpKind::kTiledSegment;
+    op.lo = lo;
+    op.hi = hi;
+    op.h = h;
+    op.tiles = ntiles;
+    op.tiled_bytes = projected;
+    op.skews = std::move(skews);
+  }
+  out.push_back(std::move(op));
+}
+
+/// Plans one per-block group of the chain.
+///
+/// Long chains are split into segments before tiling: skews only grow
+/// along a chain, and once a segment's skew span outgrows the cache
+/// budget, rows kept alive across its loops no longer fit — tiling past
+/// that point only inflates the per-tile footprint. Each segment is tiled
+/// independently (segments execute back-to-back, which is the plain chain
+/// order, so the split never affects results).
+void analyze_group(const Context& ctx,
+                   std::span<const LoopRecord* const> recs, std::int32_t group,
+                   std::vector<ChainSchedule::Op>& out) {
+  const int L = static_cast<int>(recs.size());
+  if (!ctx.tiling() || L == 1) {
+    // Untiled: one verbatim op per record, charged its own full-range
+    // footprint (what a single-loop "tile" streams).
+    std::map<index_t, DatFootprint> fp;
+    for (std::int32_t l = 0; l < L; ++l) {
+      fp.clear();
+      accumulate_footprint(ctx, *recs[l], recs[l]->range, fp);
+      ChainSchedule::Op op;
+      op.kind = ChainSchedule::OpKind::kVerbatim;
+      op.group = group;
+      op.first = l;
+      op.count = 1;
+      op.tiles = 1;
+      op.tiled_bytes = footprint_bytes(fp);
+      out.push_back(std::move(op));
+    }
+    return;
+  }
+
+  const int dim = recs.front()->block->ndim() - 1;
+
+  if (ctx.tile_rows() > 0) {
+    // Explicit tile height: tile the whole chain with it (tests use this
+    // to force many tile crossings deterministically).
+    analyze_segment(ctx, recs, dim, ctx.tile_rows(), group, 0, out);
+    return;
+  }
+
+  // Whole-chain skews bound every segment's internal skews from above
+  // (dropping later loops only relaxes constraints), so they are a safe
+  // yardstick for cutting: keep a segment while its global-skew span
+  // stays within the skew share of the cache budget.
+  const std::vector<index_t> gskews = compute_skews_impl(ctx, recs, dim);
+  const index_t budget_rows = static_cast<index_t>(std::min<std::uint64_t>(
+      std::numeric_limits<index_t>::max(),
+      kTileCacheBudget / chain_row_bytes(ctx, recs, dim)));
+  // Keep the skew span a small fraction of the budget: per-tile footprint
+  // is (h + span) rows, so traffic inflates by span/h — capping span at a
+  // quarter of the budget keeps the inflation factor around 1.3 while the
+  // remaining three quarters go to the tile height.
+  const index_t skew_budget = std::max<index_t>(kMinTileRows, budget_rows / 4);
+
+  int start = 0;
+  for (int l = 1; l <= L; ++l) {
+    if (l == L || gskews[start] - gskews[l] > skew_budget) {
+      analyze_segment(ctx, recs.subspan(start, l - start), dim,
+                      /*tile_rows=*/0, group, start, out);
+      start = l;
+    }
+  }
+}
+
+// --- execution: schedule ops through a dispatch table ----------------------
+
+void exec_verbatim(const ChainSchedule& sched, const ChainSchedule::Op& op,
+                   const std::vector<LoopRecord>& chain, ChainStats& stats) {
+  const std::vector<std::int32_t>& g = sched.groups[op.group];
+  for (std::int32_t l = 0; l < op.count; ++l) {
+    const LoopRecord& rec = chain[g[op.first + l]];
+    run_record(rec, rec.range);
+  }
+  stats.tiles += op.tiles;
+  stats.tiled_bytes += op.tiled_bytes;
+}
+
+void exec_tiled_segment(const ChainSchedule& sched,
+                        const ChainSchedule::Op& op,
+                        const std::vector<LoopRecord>& chain,
+                        ChainStats& stats) {
+  const std::vector<std::int32_t>& g = sched.groups[op.group];
+  for (index_t b0 = op.lo; b0 < op.hi; b0 += op.h) {
+    const index_t b1 = std::min(op.hi, b0 + op.h);
+    for (std::int32_t l = 0; l < op.count; ++l) {
+      const LoopRecord& rec = chain[g[op.first + l]];
+      Range sub = rec.range;
+      sub.lo[op.dim] = std::max(sub.lo[op.dim], b0 + op.skews[l]);
+      sub.hi[op.dim] = std::min(sub.hi[op.dim], b1 + op.skews[l]);
+      if (sub.lo[op.dim] >= sub.hi[op.dim]) continue;
+      run_record(rec, sub);
+    }
+  }
+  stats.tiles += op.tiles;
+  stats.tiled_bytes += op.tiled_bytes;
+}
+
+using OpExecutor = void (*)(const ChainSchedule&, const ChainSchedule::Op&,
+                            const std::vector<LoopRecord>&, ChainStats&);
+
+/// The schedule ISA: one executor per op kind. Executing a schedule is a
+/// walk over this table — no analysis code is reachable from it, which is
+/// what lets a deserialized schedule run as-is.
+struct OpDispatchEntry {
+  ChainSchedule::OpKind kind;
+  const char* name;
+  OpExecutor run;
+};
+
+constexpr OpDispatchEntry kOpDispatch[] = {
+    {ChainSchedule::OpKind::kVerbatim, "verbatim", &exec_verbatim},
+    {ChainSchedule::OpKind::kTiledSegment, "tiled_segment",
+     &exec_tiled_segment},
+};
+
+const OpDispatchEntry* dispatch_for(ChainSchedule::OpKind kind) {
+  for (const OpDispatchEntry& e : kOpDispatch) {
+    if (e.kind == kind) return &e;
+  }
+  return nullptr;
+}
+
+// --- schedule IR (de)serialization -----------------------------------------
+
+// Section tags of the "ops" Plan IR family (kChainIrVersion).
+constexpr std::uint32_t kSecShape = 1;         ///< ChainShape
+constexpr std::uint32_t kSecGroupSizes = 2;    ///< u32 per group
+constexpr std::uint32_t kSecGroupRecords = 3;  ///< flattened record indices
+constexpr std::uint32_t kSecOps = 4;           ///< OpRec array
+constexpr std::uint32_t kSecSkews = 5;         ///< flattened skew values
+
+struct ChainShape {
+  std::uint64_t num_records = 0;
+  std::uint64_t num_groups = 0;
+  std::uint64_t num_ops = 0;
+  std::uint64_t num_skews = 0;
+};
+static_assert(std::is_trivially_copyable_v<ChainShape>);
+
+/// Fixed-size wire form of ChainSchedule::Op; skews live flattened in
+/// their own section, addressed by (skew_offset, skew_count).
+struct OpRec {
+  std::uint32_t kind = 0;
+  std::int32_t group = 0;
+  std::int32_t first = 0;
+  std::int32_t count = 0;
+  std::int32_t dim = 0;
+  index_t lo = 0;
+  index_t hi = 0;
+  index_t h = 0;
+  std::uint64_t tiles = 0;
+  std::uint64_t tiled_bytes = 0;
+  std::uint64_t skew_offset = 0;
+  std::uint64_t skew_count = 0;
+};
+static_assert(std::is_trivially_copyable_v<OpRec> && sizeof(OpRec) == 64);
+
 }  // namespace
+
+std::vector<std::uint8_t> encode_schedule(const ChainSchedule& sched) {
+  std::vector<std::uint32_t> group_sizes;
+  std::vector<std::int32_t> group_records;
+  for (const auto& g : sched.groups) {
+    group_sizes.push_back(static_cast<std::uint32_t>(g.size()));
+    group_records.insert(group_records.end(), g.begin(), g.end());
+  }
+  std::vector<OpRec> ops;
+  std::vector<index_t> skews;
+  for (const ChainSchedule::Op& op : sched.ops) {
+    OpRec r;
+    r.kind = static_cast<std::uint32_t>(op.kind);
+    r.group = op.group;
+    r.first = op.first;
+    r.count = op.count;
+    r.dim = op.dim;
+    r.lo = op.lo;
+    r.hi = op.hi;
+    r.h = op.h;
+    r.tiles = op.tiles;
+    r.tiled_bytes = op.tiled_bytes;
+    r.skew_offset = skews.size();
+    r.skew_count = op.skews.size();
+    skews.insert(skews.end(), op.skews.begin(), op.skews.end());
+    ops.push_back(r);
+  }
+  const ChainShape shape{group_records.size(), sched.groups.size(),
+                         ops.size(), skews.size()};
+  apl::plan_cache::BlobWriter w;
+  w.section_of<ChainShape>(kSecShape, {&shape, 1});
+  w.section_of<std::uint32_t>(kSecGroupSizes, group_sizes);
+  w.section_of<std::int32_t>(kSecGroupRecords, group_records);
+  w.section_of<OpRec>(kSecOps, ops);
+  w.section_of<index_t>(kSecSkews, skews);
+  return w.take();
+}
+
+std::optional<ChainSchedule> decode_schedule(
+    std::span<const std::uint8_t> payload, const Context& ctx,
+    const std::vector<LoopRecord>& chain, std::string* diag) {
+  auto reject = [&](const std::string& why) {
+    if (diag != nullptr) *diag = "chain-ir: " + why;
+  };
+
+  ChainShape shape;
+  std::vector<std::uint32_t> group_sizes;
+  std::vector<std::int32_t> group_records;
+  std::vector<OpRec> ops;
+  std::vector<index_t> skews;
+  const apl::plan_cache::SectionHandler table[] = {
+      {kSecShape,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         return r.pod(&shape) && r.done();
+       }},
+      {kSecGroupSizes,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         return r.rest(&group_sizes);
+       }},
+      {kSecGroupRecords,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         return r.rest(&group_records);
+       }},
+      {kSecOps,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         return r.rest(&ops);
+       }},
+      {kSecSkews,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         return r.rest(&skews);
+       }},
+  };
+  const std::string d = apl::plan_cache::decode_sections(payload, table);
+  if (!d.empty()) {
+    reject(d);
+    return std::nullopt;
+  }
+
+  const std::size_t n = chain.size();
+  if (shape.num_records != n) {
+    reject("planned for " + std::to_string(shape.num_records) +
+           " records, live chain has " + std::to_string(n));
+    return std::nullopt;
+  }
+  if (group_sizes.size() != shape.num_groups ||
+      group_records.size() != shape.num_records ||
+      ops.size() != shape.num_ops || skews.size() != shape.num_skews) {
+    reject("section sizes disagree with shape");
+    return std::nullopt;
+  }
+
+  // Groups must partition the chain: every record exactly once, chain
+  // order preserved within a group, one block per group.
+  ChainSchedule sched;
+  std::vector<char> seen(n, 0);
+  std::size_t next = 0;
+  for (std::uint32_t sz : group_sizes) {
+    if (sz == 0 || next + sz > group_records.size()) {
+      reject("empty or overflowing group");
+      return std::nullopt;
+    }
+    std::vector<std::int32_t> g(group_records.begin() + next,
+                                group_records.begin() + next + sz);
+    next += sz;
+    for (std::size_t l = 0; l < g.size(); ++l) {
+      const std::int32_t idx = g[l];
+      if (idx < 0 || static_cast<std::size_t>(idx) >= n || seen[idx]) {
+        reject("group record index " + std::to_string(idx) +
+               " out of range or repeated");
+        return std::nullopt;
+      }
+      seen[idx] = 1;
+      if (l > 0 && (idx <= g[l - 1] ||
+                    chain[idx].block->id() != chain[g[0]].block->id())) {
+        reject("group violates chain order or mixes blocks");
+        return std::nullopt;
+      }
+    }
+    sched.groups.push_back(std::move(g));
+  }
+
+  // Ops must cover each group contiguously, in order, with executable
+  // geometry: a known kind, positive tile height, and per-record skews
+  // that are monotone non-increasing (the correctness invariant of the
+  // skewed tiling — see the file header of ops/lazy.hpp).
+  std::vector<std::int32_t> covered(sched.groups.size(), 0);
+  for (const OpRec& r : ops) {
+    ChainSchedule::Op op;
+    op.kind = static_cast<ChainSchedule::OpKind>(r.kind);
+    if (dispatch_for(op.kind) == nullptr) {
+      reject("unknown op kind " + std::to_string(r.kind));
+      return std::nullopt;
+    }
+    if (r.group < 0 ||
+        static_cast<std::size_t>(r.group) >= sched.groups.size() ||
+        r.count <= 0 || r.first != covered[r.group] ||
+        r.first + r.count >
+            static_cast<std::int32_t>(sched.groups[r.group].size())) {
+      reject("ops do not cover group " + std::to_string(r.group) +
+             " contiguously");
+      return std::nullopt;
+    }
+    covered[r.group] += r.count;
+    op.group = r.group;
+    op.first = r.first;
+    op.count = r.count;
+    op.dim = r.dim;
+    op.lo = r.lo;
+    op.hi = r.hi;
+    op.h = r.h;
+    op.tiles = r.tiles;
+    op.tiled_bytes = r.tiled_bytes;
+    if (op.kind == ChainSchedule::OpKind::kTiledSegment) {
+      const Block& blk = ctx.block(chain[sched.groups[r.group][0]].block->id());
+      if (r.dim < 0 || r.dim >= blk.ndim() || r.h <= 0 || r.lo > r.hi) {
+        reject("tiled segment has invalid geometry");
+        return std::nullopt;
+      }
+      if (r.skew_count != static_cast<std::uint64_t>(r.count) ||
+          r.skew_offset + r.skew_count > skews.size()) {
+        reject("tiled segment skew table out of range");
+        return std::nullopt;
+      }
+      const auto s0 = static_cast<std::ptrdiff_t>(r.skew_offset);
+      op.skews.assign(skews.begin() + s0,
+                      skews.begin() + s0 +
+                          static_cast<std::ptrdiff_t>(r.skew_count));
+      for (std::size_t l = 1; l < op.skews.size(); ++l) {
+        if (op.skews[l] > op.skews[l - 1]) {
+          reject("tiled segment skews increase along the chain");
+          return std::nullopt;
+        }
+      }
+    }
+    sched.ops.push_back(std::move(op));
+  }
+  for (std::size_t g = 0; g < sched.groups.size(); ++g) {
+    if (covered[g] != static_cast<std::int32_t>(sched.groups[g].size())) {
+      reject("group " + std::to_string(g) + " left partially scheduled");
+      return std::nullopt;
+    }
+  }
+  return sched;
+}
 
 std::vector<index_t> compute_skews(const Context& ctx,
                                    const std::vector<LoopRecord>& chain,
                                    int dim) {
-  return compute_skews_n(ctx, chain.data(), static_cast<int>(chain.size()),
-                         dim);
+  std::vector<const LoopRecord*> recs;
+  recs.reserve(chain.size());
+  for (const LoopRecord& rec : chain) recs.push_back(&rec);
+  return compute_skews_impl(ctx, recs, dim);
+}
+
+// --- signatures + plan_for -------------------------------------------------
+
+namespace {
+
+/// Loop-program signature of a queued chain: which block each record
+/// iterates, its range, and each argument's shape (stencil, access,
+/// payload). Record *names* stay out: structurally identical chains share
+/// one cache entry, the name is a label.
+std::uint64_t chain_program_hash(const std::vector<LoopRecord>& chain) {
+  apl::signature::Hasher h;
+  h.pod(static_cast<std::uint64_t>(chain.size()));
+  for (const LoopRecord& rec : chain) {
+    h.pod(rec.block->id());
+    for (int d = 0; d < kMaxDim; ++d) {
+      h.pod(rec.range.lo[d]);
+      h.pod(rec.range.hi[d]);
+    }
+    h.pod(static_cast<std::uint64_t>(rec.infos.size()));
+    for (const ArgInfo& a : rec.infos) {
+      h.pod(a.dat_id);
+      h.pod(a.stencil_id);
+      h.pod(static_cast<std::uint32_t>(a.acc));
+      h.pod(a.dim);
+      h.pod(static_cast<std::uint64_t>(a.elem_bytes));
+      h.pod(static_cast<std::uint8_t>(a.is_gbl ? 1 : 0));
+      h.pod(static_cast<std::uint8_t>(a.is_idx ? 1 : 0));
+    }
+  }
+  return h.value();
+}
+
+/// Everything else the analysis reads: the tiling switches and the
+/// analysis constants (baked into the hash so retuning the budget
+/// invalidates cached schedules without an IR version bump).
+std::uint64_t chain_config_hash(const Context& ctx) {
+  apl::signature::Hasher h;
+  h.pod(static_cast<std::uint8_t>(ctx.tiling() ? 1 : 0));
+  h.pod(ctx.tile_rows());
+  h.pod(static_cast<std::uint64_t>(kTileCacheBudget));
+  h.pod(kMinTileRows);
+  return h.value();
+}
+
+}  // namespace
+
+std::uint64_t Context::topology_hash() const {
+  if (topology_hash_) return *topology_hash_;
+  apl::signature::Hasher h;
+  h.pod(static_cast<std::uint64_t>(blocks_.size()));
+  for (const auto& b : blocks_) {
+    h.str(b->name());
+    h.pod(static_cast<std::int32_t>(b->ndim()));
+  }
+  h.pod(static_cast<std::uint64_t>(stencils_.size()));
+  for (const auto& st : stencils_) {
+    h.pod(static_cast<std::int32_t>(st->ndim()));
+    h.pod(static_cast<std::uint64_t>(st->points().size()));
+    for (const auto& p : st->points()) {
+      for (int d = 0; d < kMaxDim; ++d) h.pod(static_cast<std::int32_t>(p[d]));
+    }
+  }
+  h.pod(static_cast<std::uint64_t>(dats_.size()));
+  for (const auto& dat : dats_) {
+    h.str(dat->name());
+    h.pod(dat->block().id());
+    h.pod(dat->dim());
+    h.pod(static_cast<std::uint64_t>(dat->elem_bytes()));
+    for (int d = 0; d < kMaxDim; ++d) {
+      h.pod(dat->size()[d]);
+      h.pod(dat->d_m()[d]);
+      h.pod(dat->d_p()[d]);
+    }
+  }
+  topology_hash_ = h.value();
+  return *topology_hash_;
+}
+
+const ChainSchedule& Context::plan_for(const PlanRequest& req) {
+  apl::require(req.chain != nullptr, "plan_for: request names no chain");
+  const std::vector<LoopRecord>& chain = *req.chain;
+  const double t0 = apl::now_seconds();
+  const std::uint64_t topo = topology_hash();
+  const std::uint64_t prog = chain_program_hash(chain);
+  const std::uint64_t conf = chain_config_hash(*this);
+  apl::signature::Hasher sig;
+  sig.mix(topo);
+  sig.mix(prog);
+  sig.mix(conf);
+  sig.pod(kChainIrVersion);
+  const std::uint64_t key = sig.value();
+  if (const auto it = schedules_.find(key); it != schedules_.end()) {
+    // Memo hit — the steady state: every flush of an unchanged chain
+    // (one per timestep) reuses the schedule at the cost of the hashes.
+    add_plan_seconds(apl::now_seconds() - t0);
+    return *it->second;
+  }
+
+  auto& store = apl::plan_cache::Store::global();
+  apl::plan_cache::Key ck;
+  ck.kind = "ops";
+  ck.topology = topo;
+  ck.program = prog;
+  ck.config = conf;
+  ck.version = kChainIrVersion;
+  ck.label = req.label;
+  std::unique_ptr<ChainSchedule> sched;
+  if (store.enabled()) {
+    if (auto payload = store.load(ck)) {
+      apl::trace::Span span(apl::trace::kPlan, "chain_hit:" + req.label);
+      std::string diag;
+      if (auto decoded = decode_schedule(*payload, *this, chain, &diag)) {
+        sched = std::make_unique<ChainSchedule>(std::move(*decoded));
+        span.set_elements(chain.size());
+        span.set_bytes(payload->size());
+      } else {
+        // Container-valid but IR-invalid (e.g. a hash collision or a
+        // builder bug): surface it like corruption and re-analyze.
+        store.note_corrupt(diag);
+      }
+    }
+  }
+  const bool built = sched == nullptr;
+  if (built) {
+    // Chain analysis is a cache miss: span it so a warm run's "no
+    // analysis at all" claim is checkable from the trace.
+    apl::trace::Span span(apl::trace::kPlan, "chain_analyze:" + req.label);
+    sched = std::make_unique<ChainSchedule>(detail::analyze_chain(*this, chain));
+    span.set_elements(chain.size());
+  }
+  sched->signature = key;
+  if (built && store.enabled()) {
+    store.save(ck, encode_schedule(*sched));
+  }
+  add_plan_seconds(apl::now_seconds() - t0);
+  const auto [it, inserted] = schedules_.emplace(key, std::move(sched));
+  return *it->second;
 }
 
 namespace detail {
+
+ChainSchedule analyze_chain(const Context& ctx,
+                            const std::vector<LoopRecord>& chain) {
+  ChainSchedule sched;
+  // Group by block, preserving chain order within each group. Datasets
+  // never span blocks and global reductions flush immediately, so loops
+  // of different blocks in one chain are independent.
+  std::vector<index_t> block_order;
+  std::map<index_t, std::vector<std::int32_t>> groups;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const index_t b = chain[i].block->id();
+    if (!groups.count(b)) block_order.push_back(b);
+    groups[b].push_back(static_cast<std::int32_t>(i));
+  }
+  for (const index_t b : block_order) {
+    sched.groups.push_back(std::move(groups[b]));
+  }
+
+  for (std::size_t g = 0; g < sched.groups.size(); ++g) {
+    std::vector<const LoopRecord*> recs;
+    recs.reserve(sched.groups[g].size());
+    for (const std::int32_t idx : sched.groups[g]) {
+      recs.push_back(&chain[idx]);
+    }
+    analyze_group(ctx, recs, static_cast<std::int32_t>(g), sched.ops);
+  }
+  return sched;
+}
+
+void execute_schedule(const ChainSchedule& sched,
+                      const std::vector<LoopRecord>& chain,
+                      ChainStats& stats) {
+  for (const ChainSchedule::Op& op : sched.ops) {
+    const OpDispatchEntry* entry = dispatch_for(op.kind);
+    apl::require(entry != nullptr, "chain schedule: unknown op kind ",
+                 static_cast<std::uint32_t>(op.kind));
+    entry->run(sched, op, chain, stats);
+  }
+}
 
 void flush_pending(Context& ctx) { ctx.flush(); }
 
@@ -336,25 +810,16 @@ void execute_chain(Context& ctx, std::vector<LoopRecord> chain,
     stats.eager_bytes += streaming_bytes(rec);
   }
 
-  // Group by block, preserving chain order within each group. Datasets
-  // never span blocks and global reductions flush immediately, so loops
-  // of different blocks in one chain are independent.
-  std::vector<index_t> block_order;
-  std::map<index_t, std::vector<LoopRecord>> groups;
-  for (LoopRecord& rec : chain) {
-    const index_t b = rec.block->id();
-    if (!groups.count(b)) block_order.push_back(b);
-    groups[b].push_back(std::move(rec));
-  }
+  const ChainSchedule& sched = ctx.plan_for({"chain", &chain});
+  execute_schedule(sched, chain, stats);
 
-  for (const index_t b : block_order) {
-    const std::vector<LoopRecord>& group = groups[b];
-    execute_group(ctx, group, stats);
-    // Per-loop profile accounting over the full recorded ranges — the
-    // same useful-byte totals and call counts eager execution records, so
-    // the perf-model benches see identical inputs either way (the record
-    // executor accumulates only wall time, one slice per tile).
-    for (const LoopRecord& rec : group) {
+  // Per-loop profile accounting over the full recorded ranges — the same
+  // useful-byte totals and call counts eager execution records, so the
+  // perf-model benches see identical inputs either way (the record
+  // executor accumulates only wall time, one slice per tile).
+  for (const auto& group : sched.groups) {
+    for (const std::int32_t idx : group) {
+      const LoopRecord& rec = chain[idx];
       apl::LoopStats& st = ctx.profile().stats(rec.name);
       ++st.calls;
       account(ctx, rec.name, rec.range, rec.infos, st);

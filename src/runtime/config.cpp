@@ -1,0 +1,94 @@
+#include "apl/config.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "apl/error.hpp"
+
+extern "C" char** environ;
+
+namespace apl::config {
+
+namespace {
+
+// Alphabetical; known_keys() returns it verbatim.
+constexpr KeyInfo kRegistry[] = {
+    {"APL_BACKEND", "default execution backend: seq|simd|threads|cudasim"},
+    {"APL_TESTKIT_SEED", "replay a testkit differential case by seed"},
+    {"OPAL_CHECK_FINITE", "scan checkpoint payloads for NaN/Inf on write"},
+    {"OPAL_FAULTS", "deterministic fault-injection spec (apl::fault)"},
+    {"OPAL_NUM_THREADS", "worker count for the threads backend (>= 1)"},
+    {"OPAL_PLAN_CACHE", "directory for the persistent plan cache"},
+    {"OPAL_TRACE", "emit Chrome trace_event JSON to this path"},
+    {"OPAL_VERIFY", "guarded-execution checks: access,bounds,plan,halo,..."},
+};
+
+bool registered(std::string_view key) {
+  for (const KeyInfo& k : kRegistry) {
+    if (k.name == key) return true;
+  }
+  return false;
+}
+
+std::once_flag g_warn_once;
+
+}  // namespace
+
+std::vector<KeyInfo> known_keys() {
+  return {std::begin(kRegistry), std::end(kRegistry)};
+}
+
+std::vector<std::string> warn_unknown_keys() {
+  std::vector<std::string> unknown;
+  for (char** e = environ; e != nullptr && *e != nullptr; ++e) {
+    const std::string_view entry(*e);
+    if (entry.rfind("OPAL_", 0) != 0) continue;
+    const std::size_t eq = entry.find('=');
+    const std::string_view name =
+        entry.substr(0, eq == std::string_view::npos ? entry.size() : eq);
+    if (!registered(name)) unknown.emplace_back(name);
+  }
+  std::call_once(g_warn_once, [&unknown] {
+    for (const std::string& name : unknown) {
+      std::fprintf(stderr,
+                   "opal: warning: environment variable '%s' is not a known "
+                   "OPAL knob and is ignored (see apl::config::known_keys)\n",
+                   name.c_str());
+    }
+  });
+  return unknown;
+}
+
+std::optional<std::string> string_value(std::string_view key) {
+  apl::require(registered(key), "apl::config: key '", std::string(key),
+               "' is not in the registry; add it to config.cpp");
+  warn_unknown_keys();
+  const char* env = std::getenv(std::string(key).c_str());
+  if (env == nullptr) return std::nullopt;
+  return std::string(env);
+}
+
+bool flag(std::string_view key) {
+  const std::optional<std::string> v = string_value(key);
+  return v.has_value() && !v->empty() && *v != "0";
+}
+
+std::optional<std::int64_t> int_value(std::string_view key) {
+  const std::optional<std::string> v = string_value(key);
+  if (!v.has_value() || v->empty()) return std::nullopt;
+  std::size_t pos = 0;
+  long long n = 0;
+  try {
+    n = std::stoll(*v, &pos, 0);  // base 0: decimal or 0x-hex
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  apl::require(pos == v->size() && pos > 0, std::string(key),
+               ": malformed integer '", *v,
+               "' (expected decimal or 0x-hex)");
+  return static_cast<std::int64_t>(n);
+}
+
+}  // namespace apl::config

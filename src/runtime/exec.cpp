@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "apl/config.hpp"
+
 namespace apl::exec {
 
 const char* to_string(Access a) {
@@ -35,9 +37,9 @@ std::optional<Backend> backend_from_string(std::string_view name) {
 }
 
 Backend backend_from_env(Backend fallback) {
-  const char* env = std::getenv("APL_BACKEND");
-  if (!env) return fallback;
-  return backend_from_string(env).value_or(fallback);
+  const auto name = apl::config::string_value("APL_BACKEND");
+  if (!name) return fallback;
+  return backend_from_string(*name).value_or(fallback);
 }
 
 }  // namespace apl::exec

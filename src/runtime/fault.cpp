@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "apl/config.hpp"
+
 namespace apl::fault {
 
 namespace {
@@ -60,6 +62,8 @@ Config parse_config(std::string_view spec) {
               "'");
       cfg.fail_rank = static_cast<int>(parse_int(key, val.substr(0, at)));
       cfg.fail_at_exchange = parse_int(key, val.substr(at + 1));
+    } else if (key == "corrupt_plan_cache") {
+      cfg.corrupt_plan_cache = parse_int(key, val);
     } else if (key == "seed") {
       cfg.seed = static_cast<std::uint64_t>(parse_int(key, val));
     } else {
@@ -73,8 +77,9 @@ Config parse_config(std::string_view spec) {
 Injector& Injector::global() {
   static Injector inj = [] {
     Injector i;
-    if (const char* env = std::getenv("OPAL_FAULTS"); env && *env) {
-      i.arm(parse_config(env));
+    if (const auto spec = apl::config::string_value("OPAL_FAULTS");
+        spec && !spec->empty()) {
+      i.arm(parse_config(*spec));
     }
     return i;
   }();

@@ -1,0 +1,57 @@
+// apl::config — the one place OPAL reads its environment knobs.
+//
+// Every `OPAL_*` (and legacy `APL_*`) variable the library honors is
+// declared in a static registry here; subsystems ask for values through
+// the typed accessors instead of calling std::getenv themselves. That
+// buys two things:
+//   * a single parsing idiom — flags are "set, non-empty, and not '0'",
+//     integers are strictly validated, strings are passed through — so a
+//     new knob (e.g. OPAL_PLAN_CACHE) doesn't invent a fourth dialect;
+//   * typo detection — the first lookup scans the process environment
+//     for OPAL_-prefixed names that are NOT in the registry and warns
+//     once on stderr. `OPAL_TRCE=out.json` silently doing nothing is the
+//     classic way to lose an afternoon.
+//
+// Asking for a key that is not registered is a programmer error and
+// throws: the registry is the documentation of record for what exists.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace apl::config {
+
+/// One registered knob, for documentation/tooling dumps.
+struct KeyInfo {
+  std::string_view name;
+  std::string_view summary;
+};
+
+/// The registry: every environment variable OPAL reads, with a one-line
+/// summary. Stable order (alphabetical by name).
+std::vector<KeyInfo> known_keys();
+
+/// Raw value of a registered key, or nullopt when the variable is unset.
+/// Note an empty string is "set": callers that treat empty as absent
+/// (most do) should use `flag` or check `->empty()`.
+std::optional<std::string> string_value(std::string_view key);
+
+/// Boolean interpretation shared by every OPAL on/off knob: true iff the
+/// variable is set, non-empty, and not exactly "0".
+bool flag(std::string_view key);
+
+/// Strictly parsed integer (decimal or 0x-hex via base 0). Unset or
+/// empty returns nullopt; a malformed or trailing-garbage value throws
+/// apl::Error naming the key.
+std::optional<std::int64_t> int_value(std::string_view key);
+
+/// Scans the environment for OPAL_-prefixed names missing from the
+/// registry and warns once per process on stderr. Runs implicitly on the
+/// first accessor call; exposed for tests. Returns the unknown names it
+/// found on this scan (whether or not the warning had already fired).
+std::vector<std::string> warn_unknown_keys();
+
+}  // namespace apl::config

@@ -113,6 +113,13 @@ public:
   apl::Profile& profile() { return profile_; }
   const apl::Profile& profile() const { return profile_; }
 
+  /// Cumulative seconds spent acquiring execution plans — inspector runs,
+  /// chain analysis, and plan-cache encode/decode alike. The cold-vs-warm
+  /// delta of this counter is the amortization the plan cache buys
+  /// (tools/bench_report reports it per app).
+  double plan_seconds() const { return plan_seconds_; }
+  void add_plan_seconds(double s) { plan_seconds_ += s; }
+
   /// Guarded execution mode: a bitmask of apl::verify::Check values.
   /// Initialized from OPAL_VERIFY at context construction; the off state
   /// costs one integer test per check site and never allocates.
@@ -138,6 +145,7 @@ private:
   verify::Report verify_report_;
   std::map<std::string, double> flop_hints_;
   apl::Profile profile_;
+  double plan_seconds_ = 0.0;
 };
 
 }  // namespace apl::exec

@@ -20,6 +20,9 @@
 //                           out-of-range index at the next par_loop (memory
 //                           corruption that guarded bounds checking catches)
 //   fail_rank=R@M           kill simulated rank R at the Mth halo exchange
+//   corrupt_plan_cache=B    flip a bit of payload byte B in the next plan-IR
+//                           blob the plan cache persists (the warm load must
+//                           catch the CRC mismatch and rebuild fresh)
 //   seed=S                  recorded for reproducibility bookkeeping
 //
 // Each trigger fires exactly once and then disarms itself, so a restarted
@@ -65,6 +68,7 @@ struct Config {
   std::int64_t corrupt_map_index = -1;
   int fail_rank = -1;
   std::int64_t fail_at_exchange = -1;
+  std::int64_t corrupt_plan_cache = -1;
   std::uint64_t seed = 0;
 };
 
@@ -114,6 +118,12 @@ class Injector {
   /// checking is what catches the damage).
   std::optional<std::pair<std::string, std::int64_t>> corrupt_map_target()
       const;
+  /// Payload byte whose bit the plan cache must flip in its next saved
+  /// blob, or -1. The store applies it after computing the CRC, so the
+  /// next load of that entry sees bitrot the checksum catches.
+  std::int64_t plan_cache_corrupt_offset() const {
+    return armed_ ? cfg_.corrupt_plan_cache : -1;
+  }
   void consume_ckpt_kill() { cfg_.kill_at_ckpt_byte = -1; }
   void consume_ckpt_truncate() { cfg_.truncate_checkpoint = -1; }
   void consume_corrupt() { cfg_.corrupt_dataset.clear(); cfg_.corrupt_byte = -1; }
@@ -121,6 +131,7 @@ class Injector {
     cfg_.corrupt_map.clear();
     cfg_.corrupt_map_index = -1;
   }
+  void consume_plan_cache_corrupt() { cfg_.corrupt_plan_cache = -1; }
 
  private:
   [[noreturn]] void kill_loop(std::int64_t ordinal);

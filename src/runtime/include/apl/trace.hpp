@@ -38,6 +38,7 @@ inline constexpr const char* kHalo = "halo";        ///< halo exchange/transfer
 inline constexpr const char* kCkpt = "ckpt";        ///< checkpoint write
 inline constexpr const char* kRecover = "recover";  ///< rollback recovery
 inline constexpr const char* kComm = "comm";        ///< mpisim collective
+inline constexpr const char* kPlan = "plan";        ///< plan-cache hit/store
 
 /// One completed span ("ph":"X" complete event in Chrome terms).
 struct Event {

@@ -1,0 +1,37 @@
+#include "apl/signature.hpp"
+
+#include <cstring>
+
+namespace apl::signature {
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : bytes) {
+    h ^= b;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void Hasher::bytes(const void* p, std::size_t n) {
+  h_ = fnv1a({static_cast<const std::uint8_t*>(p), n}, h_);
+}
+
+void Hasher::bulk_bytes(const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  std::uint64_t h = h_;
+  for (; n >= 8; b += 8, n -= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, b, 8);
+    h = (h ^ w) * kFnvPrime;
+  }
+  h_ = h;
+  if (n > 0) bytes(b, n);  // tail: byte-granular, keeps short inputs exact
+}
+
+void Hasher::str(std::string_view s) {
+  pod(static_cast<std::uint64_t>(s.size()));
+  bytes(s.data(), s.size());
+}
+
+}  // namespace apl::signature

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "apl/config.hpp"
 #include "apl/error.hpp"
 
 namespace apl {
@@ -80,10 +81,9 @@ void ThreadPool::worker_loop(std::size_t id) {
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
-    if (const char* env = std::getenv("OPAL_NUM_THREADS")) {
-      const long n = std::atol(env);
-      require(n >= 1, "OPAL_NUM_THREADS must be >= 1, got ", env);
-      return static_cast<std::size_t>(n);
+    if (const auto n = apl::config::int_value("OPAL_NUM_THREADS")) {
+      require(*n >= 1, "OPAL_NUM_THREADS must be >= 1, got ", *n);
+      return static_cast<std::size_t>(*n);
     }
     return std::size_t{0};
   }());

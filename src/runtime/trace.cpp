@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "apl/config.hpp"
 #include "apl/error.hpp"
 
 namespace apl::trace {
@@ -55,9 +56,10 @@ void escape_json(std::ostream& os, const std::string& s) {
 Recorder& Recorder::global() {
   static Recorder* r = [] {
     auto* rec = new Recorder();
-    if (const char* env = std::getenv("OPAL_TRACE"); env && *env) {
+    if (const auto path = apl::config::string_value("OPAL_TRACE");
+        path && !path->empty()) {
       rec->set_enabled(true);
-      rec->path_ = env;
+      rec->path_ = *path;
       std::atexit(dump_at_exit);
     }
     return rec;
@@ -310,7 +312,7 @@ struct Parser {
 }  // namespace
 
 std::string validate_chrome_json(const std::string& json) {
-  Parser p{json};
+  Parser p{json, 0, {}};
   p.ws();
   if (!p.consume('{')) return "top level must be an object: " + p.err;
   bool saw_events = false;

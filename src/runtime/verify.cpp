@@ -2,6 +2,8 @@
 
 #include <cstdlib>
 
+#include "apl/config.hpp"
+
 namespace apl::verify {
 
 const char* to_string(Check kind) {
@@ -43,9 +45,9 @@ unsigned checks_from_string(std::string_view spec) {
 }
 
 unsigned checks_from_env() {
-  const char* env = std::getenv("OPAL_VERIFY");
-  if (env == nullptr || *env == '\0') return kNone;
-  return checks_from_string(env);
+  const auto spec = apl::config::string_value("OPAL_VERIFY");
+  if (!spec || spec->empty()) return kNone;
+  return checks_from_string(*spec);
 }
 
 std::size_t Report::total() const {

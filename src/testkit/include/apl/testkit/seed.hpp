@@ -10,6 +10,9 @@
 
 namespace apl::testkit {
 
+struct Op2CaseSpec;
+struct OpsCaseSpec;
+
 /// Parses APL_TESTKIT_SEED (decimal or 0x-hex); nullopt when unset/empty.
 /// Throws apl::Error on malformed values — a silently ignored typo would
 /// "replay" the wrong case.
@@ -17,5 +20,16 @@ std::optional<std::uint64_t> seed_from_env();
 
 /// The replay command line printed with every failure report.
 std::string replay_hint(std::uint64_t seed);
+
+/// apl::signature digest of a case's canonical one-line dump (describe()).
+/// Printed in failure reports next to the seed: two reports with equal
+/// signatures hit the same generated case even across binaries whose
+/// generator *parameters* differ, and a replayed seed can be checked
+/// against the original report before trusting the reproduction.
+std::uint64_t case_signature(const Op2CaseSpec& spec);
+std::uint64_t case_signature(const OpsCaseSpec& spec);
+
+/// "0x<16 hex digits>" rendering used wherever signatures are printed.
+std::string signature_string(std::uint64_t signature);
 
 }  // namespace apl::testkit

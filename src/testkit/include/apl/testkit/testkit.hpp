@@ -58,6 +58,8 @@ inline FuzzReport fuzz_case(std::uint64_t seed, const FuzzOptions& opt = {}) {
       rep.message = "testkit: OP2 divergence (seed " + std::to_string(seed) +
                     ", shrunk in " + std::to_string(min.steps) +
                     " steps)\n  case: " + min.spec.describe() +
+                    "\n  signature: " +
+                    signature_string(case_signature(min.spec)) +
                     "\n  " + min.divergence.message + "\n  " +
                     replay_hint(seed);
       return rep;
@@ -76,6 +78,8 @@ inline FuzzReport fuzz_case(std::uint64_t seed, const FuzzOptions& opt = {}) {
       rep.message = "testkit: OPS divergence (seed " + std::to_string(seed) +
                     ", shrunk in " + std::to_string(min.steps) +
                     " steps)\n  case: " + min.spec.describe() +
+                    "\n  signature: " +
+                    signature_string(case_signature(min.spec)) +
                     "\n  " + min.divergence.message + "\n  " +
                     replay_hint(seed);
       return rep;

@@ -1,31 +1,42 @@
 #include "apl/testkit/seed.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
-#include "apl/error.hpp"
+#include "apl/config.hpp"
+#include "apl/signature.hpp"
+#include "apl/testkit/spec.hpp"
 
 namespace apl::testkit {
 
 std::optional<std::uint64_t> seed_from_env() {
-  const char* env = std::getenv("APL_TESTKIT_SEED");
-  if (env == nullptr || *env == '\0') return std::nullopt;
-  const std::string s(env);
-  std::size_t pos = 0;
-  std::uint64_t seed = 0;
-  try {
-    seed = std::stoull(s, &pos, 0);  // base 0: decimal or 0x-hex
-  } catch (const std::exception&) {
-    pos = 0;
-  }
-  apl::require(pos == s.size() && pos > 0,
-               "APL_TESTKIT_SEED: malformed seed '", s,
-               "' (expected a decimal or 0x-hex 64-bit integer)");
-  return seed;
+  const auto seed = apl::config::int_value("APL_TESTKIT_SEED");
+  if (!seed) return std::nullopt;
+  return static_cast<std::uint64_t>(*seed);
 }
 
 std::string replay_hint(std::uint64_t seed) {
   return "replay: APL_TESTKIT_SEED=" + std::to_string(seed) +
          " (tools/fuzz.sh, opal_fuzz, or ctest -R Testkit.Replay)";
+}
+
+std::uint64_t case_signature(const Op2CaseSpec& spec) {
+  apl::signature::Hasher h;
+  h.str(spec.describe());
+  return h.value();
+}
+
+std::uint64_t case_signature(const OpsCaseSpec& spec) {
+  apl::signature::Hasher h;
+  h.str(spec.describe());
+  return h.value();
+}
+
+std::string signature_string(std::uint64_t signature) {
+  char buf[2 + 16 + 1];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(signature));
+  return buf;
 }
 
 }  // namespace apl::testkit

@@ -1,0 +1,240 @@
+// apl::plan_cache store semantics: round trips, every mismatch class as a
+// named miss (cold, truncated, CRC, version bump), the section framing,
+// and the corrupt_plan_cache fault trigger that tests the warm-load CRC
+// path end to end.
+#include "apl/io/plan_cache.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/fault.hpp"
+
+namespace {
+
+namespace pc = apl::plan_cache;
+
+struct PlanCacheFixture : ::testing::Test {
+  void SetUp() override {
+    dir = (std::filesystem::temp_directory_path() /
+           ("plan_cache_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name()))
+              .string();
+    std::filesystem::remove_all(dir);
+    store.set_directory(dir);
+  }
+  void TearDown() override {
+    apl::fault::Injector::global().disarm();
+    std::filesystem::remove_all(dir);
+  }
+
+  pc::Key key(std::uint32_t version = 1) {
+    pc::Key k;
+    k.kind = "op2";
+    k.topology = 0x1111;
+    k.program = 0x2222;
+    k.config = 0x3333;
+    k.version = version;
+    k.label = "res_calc";
+    return k;
+  }
+
+  std::vector<std::uint8_t> payload() {
+    pc::BlobWriter w;
+    const std::vector<std::int32_t> body{1, 2, 3, 4};
+    w.section_of<std::int32_t>(7, body);
+    return w.take();
+  }
+
+  std::string entry_path(const pc::Key& k) {
+    return dir + "/" + pc::Store::entry_name(k);
+  }
+
+  std::string dir;
+  pc::Store store;
+};
+
+TEST_F(PlanCacheFixture, DisabledStoreIsInert) {
+  pc::Store off;
+  EXPECT_FALSE(off.enabled());
+  off.save(key(), payload());
+  EXPECT_FALSE(off.load(key()).has_value());
+  EXPECT_EQ(off.stats().stores, 0u);
+}
+
+TEST_F(PlanCacheFixture, RoundTripHits) {
+  const auto p = payload();
+  store.save(key(), p);
+  EXPECT_EQ(store.stats().stores, 1u);
+  const auto loaded = store.load(key());
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, p);
+  EXPECT_EQ(store.stats().hits, 1u);
+  EXPECT_TRUE(store.last_diagnostic().empty());
+}
+
+TEST_F(PlanCacheFixture, ColdLoadIsANamedMiss) {
+  EXPECT_FALSE(store.load(key()).has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_EQ(store.stats().corrupt, 0u);
+  // The diagnostic names the IR family and the loop.
+  EXPECT_NE(store.last_diagnostic().find("op2"), std::string::npos);
+  EXPECT_NE(store.last_diagnostic().find("res_calc"), std::string::npos);
+}
+
+TEST_F(PlanCacheFixture, VersionBumpInvalidates) {
+  store.save(key(1), payload());
+  // A new IR version gets its own entry name: the stale blob is simply
+  // never consulted, not misread.
+  EXPECT_FALSE(store.load(key(2)).has_value());
+  EXPECT_EQ(store.stats().misses, 1u);
+  EXPECT_NE(pc::Store::entry_name(key(1)), pc::Store::entry_name(key(2)));
+  EXPECT_TRUE(store.load(key(1)).has_value());
+}
+
+TEST_F(PlanCacheFixture, DifferentHashesGetDifferentEntries) {
+  store.save(key(), payload());
+  pc::Key other = key();
+  other.program = 0x9999;
+  EXPECT_FALSE(store.load(other).has_value());
+  EXPECT_TRUE(store.load(key()).has_value());
+}
+
+TEST_F(PlanCacheFixture, TruncatedBlobIsCorruptNotACrash) {
+  store.save(key(), payload());
+  const std::string path = entry_path(key());
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 3);
+  EXPECT_FALSE(store.load(key()).has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  EXPECT_NE(store.last_diagnostic().find("truncated"), std::string::npos);
+}
+
+TEST_F(PlanCacheFixture, HeaderOnlyBlobIsCorrupt) {
+  store.save(key(), payload());
+  std::filesystem::resize_file(entry_path(key()), 10);
+  EXPECT_FALSE(store.load(key()).has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+}
+
+TEST_F(PlanCacheFixture, FlippedPayloadByteFailsCrc) {
+  store.save(key(), payload());
+  const std::string path = entry_path(key());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(-1, std::ios::end);  // last payload byte
+    char c;
+    f.seekg(-1, std::ios::end);
+    f.get(c);
+    f.seekp(-1, std::ios::end);
+    f.put(static_cast<char>(c ^ 0x10));
+  }
+  EXPECT_FALSE(store.load(key()).has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  EXPECT_NE(store.last_diagnostic().find("CRC"), std::string::npos);
+}
+
+TEST_F(PlanCacheFixture, CorruptPlanCacheFaultTriggersCrcPath) {
+  // The injector flips a payload bit after the CRC is computed: the saved
+  // blob must fail the warm load exactly like on-disk bitrot would.
+  apl::fault::Injector::global().arm(
+      apl::fault::parse_config("corrupt_plan_cache=2"));
+  store.save(key(), payload());
+  EXPECT_FALSE(store.load(key()).has_value());
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  EXPECT_NE(store.last_diagnostic().find("CRC"), std::string::npos);
+
+  // The trigger fires once: the next save is clean and hits.
+  store.save(key(), payload());
+  EXPECT_TRUE(store.load(key()).has_value());
+}
+
+TEST_F(PlanCacheFixture, NoteCorruptCountsIrLevelRejections) {
+  store.save(key(), payload());
+  ASSERT_TRUE(store.load(key()).has_value());
+  store.note_corrupt("plan-ir: shape section missing");
+  EXPECT_EQ(store.stats().corrupt, 1u);
+  EXPECT_EQ(store.last_diagnostic(), "plan-ir: shape section missing");
+}
+
+// ---- section framing --------------------------------------------------------
+
+TEST(PlanCacheSections, RoundTrip) {
+  pc::BlobWriter w;
+  const std::vector<std::int32_t> a{5, 6, 7};
+  const std::uint64_t b = 42;
+  w.section_of<std::int32_t>(1, a);
+  w.section_of<std::uint64_t>(2, {&b, 1});
+
+  std::vector<std::int32_t> got_a;
+  std::uint64_t got_b = 0;
+  const pc::SectionHandler table[] = {
+      {1,
+       [&](std::span<const std::uint8_t> bytes) {
+         pc::SectionReader r(bytes);
+         return r.rest(&got_a);
+       }},
+      {2,
+       [&](std::span<const std::uint8_t> bytes) {
+         pc::SectionReader r(bytes);
+         return r.pod(&got_b) && r.done();
+       }},
+  };
+  EXPECT_EQ(pc::decode_sections(w.bytes(), table), "");
+  EXPECT_EQ(got_a, a);
+  EXPECT_EQ(got_b, 42u);
+}
+
+TEST(PlanCacheSections, UnknownTagIsRejected) {
+  pc::BlobWriter w;
+  const std::vector<std::int32_t> a{1};
+  w.section_of<std::int32_t>(99, a);
+  const pc::SectionHandler table[] = {
+      {1, [](std::span<const std::uint8_t>) { return true; }},
+  };
+  const std::string diag = pc::decode_sections(w.bytes(), table);
+  EXPECT_NE(diag.find("99"), std::string::npos);
+}
+
+TEST(PlanCacheSections, MissingMandatorySectionIsRejected) {
+  pc::BlobWriter w;
+  const std::vector<std::int32_t> a{1};
+  w.section_of<std::int32_t>(1, a);
+  const pc::SectionHandler table[] = {
+      {1, [](std::span<const std::uint8_t>) { return true; }},
+      {2, [](std::span<const std::uint8_t>) { return true; }},
+  };
+  EXPECT_NE(pc::decode_sections(w.bytes(), table), "");
+  // ...unless declared optional.
+  const std::uint32_t optional[] = {2};
+  EXPECT_EQ(pc::decode_sections(w.bytes(), table, optional), "");
+}
+
+TEST(PlanCacheSections, TruncatedStreamIsRejected) {
+  pc::BlobWriter w;
+  const std::vector<std::int32_t> a{1, 2, 3, 4};
+  w.section_of<std::int32_t>(1, a);
+  auto bytes = w.take();
+  bytes.resize(bytes.size() - 2);
+  const pc::SectionHandler table[] = {
+      {1, [](std::span<const std::uint8_t>) { return true; }},
+  };
+  EXPECT_NE(pc::decode_sections(bytes, table), "");
+}
+
+TEST(PlanCacheSections, ReaderRejectsPartialElements) {
+  const std::vector<std::uint8_t> six(6, 0);  // not a multiple of 4
+  pc::SectionReader r(six);
+  std::vector<std::int32_t> out;
+  EXPECT_FALSE(r.rest(&out));
+}
+
+}  // namespace

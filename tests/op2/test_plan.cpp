@@ -37,7 +37,7 @@ TEST_F(PlanFixture, DirectLoopHasSingleColor) {
   const std::vector<op2::ArgInfo> args = {
       op2::arg(*q, apl::exec::Access::kWrite).info()};
   // Direct loop over nodes: no conflicts, everything one color.
-  const op2::Plan p = op2::build_plan(ctx, *nodes, args, 16);
+  const op2::Plan p = op2::detail::build_plan(ctx, *nodes, args, 16);
   EXPECT_FALSE(p.has_conflicts);
   EXPECT_EQ(p.num_block_colors, 1);
   EXPECT_EQ(p.max_elem_colors, 1);
@@ -46,12 +46,12 @@ TEST_F(PlanFixture, DirectLoopHasSingleColor) {
 TEST_F(PlanFixture, IndirectReadHasNoConflicts) {
   const std::vector<op2::ArgInfo> args = {
       op2::arg(*q, *e2n, 0, apl::exec::Access::kRead).info()};
-  const op2::Plan p = op2::build_plan(ctx, *edges, args, 16);
+  const op2::Plan p = op2::detail::build_plan(ctx, *edges, args, 16);
   EXPECT_FALSE(p.has_conflicts);
 }
 
 TEST_F(PlanFixture, IndirectIncrementColorsBlocks) {
-  const op2::Plan p = op2::build_plan(ctx, *edges, inc_args(*q, *e2n), 16);
+  const op2::Plan p = op2::detail::build_plan(ctx, *edges, inc_args(*q, *e2n), 16);
   EXPECT_TRUE(p.has_conflicts);
   EXPECT_GT(p.num_block_colors, 1);
   // Property: no two blocks of equal color touch a common node.
@@ -74,7 +74,7 @@ TEST_F(PlanFixture, IndirectIncrementColorsBlocks) {
 }
 
 TEST_F(PlanFixture, ElementColoringValidWithinBlocks) {
-  const op2::Plan p = op2::build_plan(ctx, *edges, inc_args(*q, *e2n), 32);
+  const op2::Plan p = op2::detail::build_plan(ctx, *edges, inc_args(*q, *e2n), 32);
   for (index_t b = 0; b < p.num_blocks; ++b) {
     // No two same-colored edges within a block share a node.
     for (index_t e1 = p.block_offset[b]; e1 < p.block_offset[b + 1]; ++e1) {
@@ -92,7 +92,7 @@ TEST_F(PlanFixture, ElementColoringValidWithinBlocks) {
 }
 
 TEST_F(PlanFixture, BlocksCoverSetExactly) {
-  const op2::Plan p = op2::build_plan(ctx, *edges, inc_args(*q, *e2n), 48);
+  const op2::Plan p = op2::detail::build_plan(ctx, *edges, inc_args(*q, *e2n), 48);
   EXPECT_EQ(p.block_offset.front(), 0);
   EXPECT_EQ(p.block_offset.back(), edges->size());
   index_t blocks_in_colors = 0;
@@ -111,23 +111,23 @@ TEST_F(PlanFixture, IncrementsToDifferentDatsDoNotConflict) {
   const std::vector<op2::ArgInfo> args = {
       op2::arg(*q, *e2n, 0, apl::exec::Access::kInc).info(),
       op2::arg(r, *e2n, 1, apl::exec::Access::kInc).info()};
-  const op2::Plan p = op2::build_plan(ctx, *edges, args, 16);
+  const op2::Plan p = op2::detail::build_plan(ctx, *edges, args, 16);
   EXPECT_TRUE(p.has_conflicts);
   // With only single-endpoint increments per dat, fewer colors are needed
   // than when both endpoints of both dats conflict.
-  const op2::Plan worst = op2::build_plan(ctx, *edges, inc_args(*q, *e2n), 16);
+  const op2::Plan worst = op2::detail::build_plan(ctx, *edges, inc_args(*q, *e2n), 16);
   EXPECT_LE(p.num_block_colors, worst.num_block_colors);
 }
 
 TEST_F(PlanFixture, PlansAreCachedBySignature) {
   const auto args = inc_args(*q, *e2n);
-  op2::Plan& p1 = ctx.plan_for("loop", *edges, args);
-  op2::Plan& p2 = ctx.plan_for("loop", *edges, args);
+  const op2::Plan& p1 = ctx.plan_for({"loop", edges, args});
+  const op2::Plan& p2 = ctx.plan_for({"loop", edges, args});
   EXPECT_EQ(&p1, &p2);
   // A different argument signature must get its own plan.
   const std::vector<op2::ArgInfo> read_args = {
       op2::arg(*q, *e2n, 0, apl::exec::Access::kRead).info()};
-  op2::Plan& p3 = ctx.plan_for("loop", *edges, read_args);
+  const op2::Plan& p3 = ctx.plan_for({"loop", edges, read_args});
   EXPECT_NE(&p3, &p1);
   EXPECT_FALSE(p3.has_conflicts);
   EXPECT_TRUE(p1.has_conflicts);
@@ -135,17 +135,17 @@ TEST_F(PlanFixture, PlansAreCachedBySignature) {
 
 TEST_F(PlanFixture, BlockSizeChangeInvalidatesCache) {
   const auto args = inc_args(*q, *e2n);
-  op2::Plan& p1 = ctx.plan_for("loop", *edges, args);
+  const op2::Plan& p1 = ctx.plan_for({"loop", edges, args});
   EXPECT_EQ(p1.block_size, 256);
   ctx.set_block_size(32);
-  op2::Plan& p2 = ctx.plan_for("loop", *edges, args);
+  const op2::Plan& p2 = ctx.plan_for({"loop", edges, args});
   EXPECT_EQ(p2.block_size, 32);
 }
 
 TEST_F(PlanFixture, EmptySetPlan) {
   op2::Set& empty = ctx.decl_set(0, "empty");
   const std::vector<op2::ArgInfo> args;
-  const op2::Plan p = op2::build_plan(ctx, empty, args, 16);
+  const op2::Plan p = op2::detail::build_plan(ctx, empty, args, 16);
   EXPECT_EQ(p.num_blocks, 0);
 }
 
@@ -154,7 +154,7 @@ TEST_F(PlanFixture, EmptySetIndirectPlanAuditsClean) {
   op2::Map& none2n =
       ctx.decl_map(empty, *nodes, 2, std::vector<index_t>{}, "none2n");
   const auto args = inc_args(*q, none2n);
-  const op2::Plan p = op2::build_plan(ctx, empty, args, 16);
+  const op2::Plan p = op2::detail::build_plan(ctx, empty, args, 16);
   EXPECT_EQ(p.num_blocks, 0);
   EXPECT_TRUE(op2::audit_plan(ctx, empty, args, p).empty());
 }
@@ -164,7 +164,7 @@ TEST_F(PlanFixture, SingleElementSetPlanIsValid) {
   op2::Map& o2n =
       ctx.decl_map(one, *nodes, 2, std::vector<index_t>{0, 1}, "o2n");
   const auto args = inc_args(*q, o2n);
-  const op2::Plan p = op2::build_plan(ctx, one, args, 16);
+  const op2::Plan p = op2::detail::build_plan(ctx, one, args, 16);
   EXPECT_EQ(p.num_blocks, 1);
   EXPECT_EQ(p.block_offset.back(), 1);
   EXPECT_TRUE(op2::audit_plan(ctx, one, args, p).empty());
@@ -184,7 +184,7 @@ TEST_F(PlanFixture, SelfReferencingMapPlanIsRaceFree) {
   op2::Dat<double>& acc = ctx.decl_dat<double>(
       cells, 1, std::vector<double>(6, 0.0), "acc");
   const auto args = inc_args(acc, c2c);
-  const op2::Plan p = op2::build_plan(ctx, cells, args, 2);
+  const op2::Plan p = op2::detail::build_plan(ctx, cells, args, 2);
   EXPECT_TRUE(p.has_conflicts);
   EXPECT_TRUE(op2::audit_plan(ctx, cells, args, p).empty());
 }

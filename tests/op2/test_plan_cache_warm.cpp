@@ -1,0 +1,136 @@
+// OP2 warm-start differential: with a populated plan cache, a fresh
+// process (modeled by a fresh Airfoil instance) must load every colored
+// plan from disk — zero inspector runs, checked through apl::trace — and
+// produce bitwise-identical results. A corrupted entry must degrade to a
+// fresh inspector run with a named diagnostic, never a crash or a silent
+// result change.
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "airfoil/airfoil.hpp"
+#include "apl/fault.hpp"
+#include "apl/io/plan_cache.hpp"
+#include "apl/trace.hpp"
+
+namespace {
+
+using airfoil::Airfoil;
+using apl::plan_cache::Store;
+using apl::trace::Recorder;
+
+bool bitwise_equal(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// Scoped cache directory on the global store; restores the disabled
+/// default on exit so other tests stay cache-free.
+struct CacheDir {
+  explicit CacheDir(const std::string& name)
+      : dir((std::filesystem::temp_directory_path() / name).string()) {
+    std::filesystem::remove_all(dir);
+    Store::global().set_directory(dir);
+  }
+  ~CacheDir() {
+    Store::global().set_directory("");
+    std::filesystem::remove_all(dir);
+  }
+  std::string dir;
+};
+
+Airfoil::Options small_opts() {
+  Airfoil::Options o;
+  o.nx = 12;
+  o.ny = 6;
+  return o;
+}
+
+std::vector<double> run_airfoil(int iters) {
+  Airfoil app(small_opts());
+  app.ctx().set_backend(apl::exec::Backend::kThreads);
+  // Guarded kAccess executes the sequential schedule and never touches
+  // the plan machinery these tests exercise; drop that one check if
+  // OPAL_VERIFY armed it (the kPlan audit of decoded plans stays on).
+  app.ctx().set_verify(app.ctx().verify_checks() & ~apl::verify::kAccess);
+  app.run(iters);
+  return app.solution();
+}
+
+TEST(PlanCacheWarmOp2, WarmRunLoadsEveryPlanAndMatchesCold) {
+  CacheDir cache("op2_warm_cache");
+
+  // Cold: every plan is built once and persisted.
+  const std::vector<double> cold = run_airfoil(3);
+  const auto cold_stats = Store::global().stats();
+  ASSERT_GT(cold_stats.stores, 0u);
+  EXPECT_EQ(cold_stats.hits, 0u);
+
+  // Warm: a fresh context must perform zero plan construction — every
+  // "plan:" span in the trace is an inspector run.
+  Store::global().reset_stats();
+  Recorder::global().clear();
+  Recorder::global().set_enabled(true);
+  const std::vector<double> warm = run_airfoil(3);
+  Recorder::global().set_enabled(false);
+  const auto evs = Recorder::global().snapshot();
+  Recorder::global().clear();
+
+  std::size_t builds = 0, hits = 0;
+  for (const auto& e : evs) {
+    if (e.name.rfind("plan:", 0) == 0) ++builds;
+    if (e.name.rfind("plan_hit:", 0) == 0) ++hits;
+  }
+  EXPECT_EQ(builds, 0u) << "warm start ran the inspector";
+  EXPECT_GT(hits, 0u);
+
+  const auto warm_stats = Store::global().stats();
+  EXPECT_EQ(warm_stats.misses, 0u);
+  EXPECT_EQ(warm_stats.corrupt, 0u);
+  EXPECT_EQ(warm_stats.hits, cold_stats.stores);
+
+  EXPECT_TRUE(bitwise_equal(cold, warm))
+      << "warm start diverged from cold run";
+}
+
+TEST(PlanCacheWarmOp2, PlanSecondsAccumulates) {
+  CacheDir cache("op2_plan_seconds");
+  Airfoil app(small_opts());
+  app.ctx().set_backend(apl::exec::Backend::kThreads);
+  app.ctx().set_verify(app.ctx().verify_checks() & ~apl::verify::kAccess);
+  app.run(1);
+  EXPECT_GT(app.ctx().plan_seconds(), 0.0);
+}
+
+TEST(PlanCacheWarmOp2, CorruptEntryFallsBackToFreshInspectorRun) {
+  CacheDir cache("op2_corrupt_cache");
+
+  // Baseline without any cache interference.
+  Store::global().set_directory("");
+  const std::vector<double> baseline = run_airfoil(2);
+
+  // Cold populate with the corrupt_plan_cache trigger armed: the first
+  // persisted blob carries a flipped payload bit past its CRC.
+  Store::global().set_directory(cache.dir);
+  apl::fault::Injector::global().arm(
+      apl::fault::parse_config("corrupt_plan_cache=4"));
+  const std::vector<double> cold = run_airfoil(2);
+  apl::fault::Injector::global().disarm();
+  EXPECT_TRUE(bitwise_equal(baseline, cold));
+
+  // Warm: the poisoned entry must surface as a named corrupt-miss, the
+  // plan rebuilds fresh, and results never change.
+  Store::global().reset_stats();
+  const std::vector<double> warm = run_airfoil(2);
+  const auto stats = Store::global().stats();
+  EXPECT_EQ(stats.corrupt, 1u) << "CRC mismatch not detected";
+  EXPECT_GT(stats.hits, 0u) << "the other entries should still hit";
+  EXPECT_TRUE(bitwise_equal(baseline, warm))
+      << "corrupt cache entry altered results";
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// apl::signature: the stability contract behind every plan-cache key.
+// Golden values pin the FNV-1a implementation (changing it silently would
+// orphan every cache entry without the IR version noticing); the Hasher
+// tests pin the framing rules (size prefixes, order sensitivity).
+#include "apl/signature.hpp"
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace sig = apl::signature;
+
+std::uint64_t fnv(std::string_view s) {
+  return sig::fnv1a(
+      {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+}
+
+TEST(Signature, Fnv1aGoldenValues) {
+  // Published FNV-1a 64-bit test vectors: these may never change while
+  // kSignatureVersion-less cache keys exist on disk.
+  EXPECT_EQ(fnv(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Signature, HasherIsDeterministic) {
+  auto digest = [] {
+    sig::Hasher h;
+    h.pod(std::int32_t{7});
+    h.str("loop");
+    h.mix(0xdeadbeefULL);
+    return h.value();
+  };
+  EXPECT_EQ(digest(), digest());
+}
+
+TEST(Signature, OrderMatters) {
+  sig::Hasher ab, ba;
+  ab.pod(std::int32_t{1});
+  ab.pod(std::int32_t{2});
+  ba.pod(std::int32_t{2});
+  ba.pod(std::int32_t{1});
+  EXPECT_NE(ab.value(), ba.value());
+}
+
+TEST(Signature, SizePrefixPreventsConcatenationCollisions) {
+  // Without length framing, str("ab")+str("c") and str("a")+str("bc")
+  // would hash the same byte stream.
+  sig::Hasher h1, h2;
+  h1.str("ab");
+  h1.str("c");
+  h2.str("a");
+  h2.str("bc");
+  EXPECT_NE(h1.value(), h2.value());
+}
+
+TEST(Signature, SpanFramesElementCount) {
+  const std::vector<std::int32_t> two{1, 2};
+  const std::vector<std::int32_t> three{1, 2, 3};
+  sig::Hasher h1, h2;
+  h1.span<std::int32_t>(two);
+  h2.span<std::int32_t>(three);
+  EXPECT_NE(h1.value(), h2.value());
+
+  // An empty span is still an event (the count), not a no-op.
+  sig::Hasher empty, nothing;
+  empty.span<std::int32_t>(std::span<const std::int32_t>{});
+  EXPECT_NE(empty.value(), nothing.value());
+}
+
+TEST(Signature, BulkMatchesWordFold) {
+  // bulk() is the documented word-wide variant: size prefix, then one
+  // FNV step per 8-byte word, byte-granular tail. Pin it against a
+  // straightforward reference so the on-disk contract can't drift.
+  std::vector<std::uint8_t> data(19);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7 + 1);
+  }
+  sig::Hasher h;
+  h.bulk<std::uint8_t>(data);
+
+  sig::Hasher ref;
+  ref.pod(static_cast<std::uint64_t>(data.size()));
+  std::uint64_t acc = ref.value();
+  std::size_t i = 0;
+  for (; i + 8 <= data.size(); i += 8) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, data.data() + i, 8);
+    acc = (acc ^ w) * sig::kFnvPrime;
+  }
+  acc = sig::fnv1a({data.data() + i, data.size() - i}, acc);
+  EXPECT_EQ(h.value(), acc);
+
+  // Sensitive to every byte, including the tail.
+  sig::Hasher tweaked;
+  auto copy = data;
+  copy.back() ^= 1;
+  tweaked.bulk<std::uint8_t>(copy);
+  EXPECT_NE(tweaked.value(), h.value());
+}
+
+TEST(Signature, SeedChaining) {
+  // fnv1a(b, fnv1a(a)) == hashing a then b through one Hasher — the
+  // chaining rule Hasher::bytes is built on.
+  const std::array<std::uint8_t, 3> a{1, 2, 3};
+  const std::array<std::uint8_t, 2> b{4, 5};
+  const std::uint64_t chained = sig::fnv1a(b, sig::fnv1a(a));
+  sig::Hasher h;
+  h.bytes(a.data(), a.size());
+  h.bytes(b.data(), b.size());
+  EXPECT_EQ(h.value(), chained);
+}
+
+}  // namespace

@@ -214,7 +214,7 @@ TEST(VerifyOp2Plan, TamperedColoringIsReportedAsRace) {
   const std::vector<op2::ArgInfo> args = {
       op2::arg(*m.res, *m.e2n, 0, Access::kInc).info(),
       op2::arg(*m.res, *m.e2n, 1, Access::kInc).info()};
-  op2::Plan p = op2::build_plan(m.ctx, *m.edges, args, 4);
+  op2::Plan p = op2::detail::build_plan(m.ctx, *m.edges, args, 4);
   ASSERT_TRUE(p.has_conflicts);
   EXPECT_TRUE(op2::audit_plan(m.ctx, *m.edges, args, p).empty());
   // Collapse every color: neighbouring edges now run "concurrently".

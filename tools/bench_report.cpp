@@ -9,17 +9,27 @@
 //   bench_report [--out FILE] [--airfoil-iters N] [--clover-steps N]
 //                [--machine NAME]
 //   bench_report --check-trace FILE     # validate a Chrome trace dump
+//   bench_report --check-plan-cache     # cold->warm plan cache gate
 //
 // --check-trace reuses apl::trace::validate_chrome_json, so the ci.sh
 // trace stage exercises exactly the schema the tests assert.
+// --check-plan-cache runs Airfoil and the CloverLeaf lazy chain cold
+// (populating a scratch plan cache) then warm, and fails unless the warm
+// run loads every plan from the cache, spends less time in plan analysis,
+// and matches the cold output bitwise.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "airfoil/airfoil.hpp"
+#include "apl/io/plan_cache.hpp"
 #include "apl/perf/machines.hpp"
 #include "apl/perf/report.hpp"
 #include "apl/profile.hpp"
@@ -30,19 +40,21 @@
 namespace {
 
 struct Args {
-  std::string out = "BENCH_pr5.json";
+  std::string out = "BENCH_pr6.json";
   std::string check_trace;
   std::string machine = "e5-2697v2";
   int airfoil_iters = 40;
   int clover_steps = 20;
+  bool check_plan_cache = false;
 };
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--out FILE] [--airfoil-iters N] "
                "[--clover-steps N] [--machine NAME]\n"
-               "       %s --check-trace FILE\n",
-               argv0, argv0);
+               "       %s --check-trace FILE\n"
+               "       %s --check-plan-cache\n",
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -71,6 +83,140 @@ std::string chain_extra(const ops::ChainStats& cs) {
   return os.str();
 }
 
+// ---- plan cache: cold vs warm plan-analysis time ---------------------------
+
+/// One cold->warm differential against a scratch plan cache directory.
+struct CacheProbe {
+  double cold_plan_seconds = 0.0;
+  double warm_plan_seconds = 0.0;
+  std::uint64_t cold_stores = 0;
+  std::uint64_t warm_hits = 0;
+  std::uint64_t warm_misses = 0;
+  std::uint64_t warm_corrupt = 0;
+  bool bitwise_identical = false;
+
+  double speedup() const {
+    return warm_plan_seconds > 0.0 ? cold_plan_seconds / warm_plan_seconds
+                                   : 0.0;
+  }
+  /// The acceptance gate: every warm plan came off disk (or the in-memory
+  /// memo), nothing was rebuilt or rejected, and results did not move.
+  bool ok() const {
+    return cold_stores > 0 && warm_hits > 0 && warm_misses == 0 &&
+           warm_corrupt == 0 && bitwise_identical &&
+           warm_plan_seconds < cold_plan_seconds;
+  }
+};
+
+bool bits_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+/// Runs `run` cold (fresh scratch cache, populating) and warm (replaying
+/// from it), best-of-`kReps` on each side — plan analysis is sub-ms, so a
+/// single sample is at the mercy of scheduler noise. `run` returns
+/// {solution bits, plan seconds}.
+template <typename RunFn>
+CacheProbe probe_plan_cache(const std::string& tag, RunFn run) {
+  constexpr int kReps = 3;
+  auto& store = apl::plan_cache::Store::global();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("bench_plan_cache_" + tag))
+          .string();
+
+  CacheProbe p;
+  p.bitwise_identical = true;
+  std::vector<double> cold_bits, bits;
+  double s = 0.0;
+  for (int r = 0; r < kReps; ++r) {
+    std::filesystem::remove_all(dir);
+    store.set_directory(dir);  // resets stats
+    run(bits, s);
+    p.cold_plan_seconds =
+        r == 0 ? s : std::min(p.cold_plan_seconds, s);
+    if (r == 0) cold_bits = bits;
+    p.bitwise_identical = p.bitwise_identical && bits_equal(cold_bits, bits);
+  }
+  p.cold_stores = store.stats().stores;
+
+  store.reset_stats();
+  for (int r = 0; r < kReps; ++r) {
+    run(bits, s);
+    p.warm_plan_seconds =
+        r == 0 ? s : std::min(p.warm_plan_seconds, s);
+    p.bitwise_identical = p.bitwise_identical && bits_equal(cold_bits, bits);
+  }
+  // Stats accumulate over kReps warm runs; normalize to one run's worth.
+  p.warm_hits = store.stats().hits / kReps;
+  p.warm_misses = store.stats().misses;
+  p.warm_corrupt = store.stats().corrupt;
+
+  store.set_directory("");
+  std::filesystem::remove_all(dir);
+  return p;
+}
+
+// The probe meshes are larger than the bench runs': plan analysis scales
+// with topology (coloring is O(edges), the tile dry-pass O(tiles)), while
+// the warm path's hash+load+decode floor is near-constant, so a small
+// mesh under-reports the warm win. Iteration counts stay minimal — plans
+// are built once regardless.
+CacheProbe probe_airfoil() {
+  return probe_plan_cache("airfoil", [&](std::vector<double>& bits,
+                                         double& plan_s) {
+    airfoil::Airfoil::Options opts;
+    opts.nx = 240;
+    opts.ny = 120;
+    airfoil::Airfoil app(opts);
+    app.ctx().set_backend(apl::exec::Backend::kThreads);
+    app.run(2);
+    bits = app.solution();
+    plan_s = app.ctx().plan_seconds();
+  });
+}
+
+CacheProbe probe_clover_lazy() {
+  return probe_plan_cache("clover", [&](std::vector<double>& bits,
+                                        double& plan_s) {
+    cloverleaf::Options opts;
+    opts.nx = 192;
+    opts.ny = 192;
+    opts.lazy = true;
+    cloverleaf::CloverOps app(opts);
+    app.run(2);
+    app.ctx().flush();
+    bits = app.density();
+    plan_s = app.ctx().plan_seconds();
+  });
+}
+
+std::string probe_json(const std::string& name, const CacheProbe& p) {
+  std::ostringstream os;
+  os << "  {\"run\": \"" << name
+     << "\", \"cold_plan_seconds\": " << p.cold_plan_seconds
+     << ", \"warm_plan_seconds\": " << p.warm_plan_seconds
+     << ", \"speedup\": " << p.speedup()
+     << ", \"cold_stores\": " << p.cold_stores
+     << ", \"warm_hits\": " << p.warm_hits
+     << ", \"warm_misses\": " << p.warm_misses
+     << ", \"warm_corrupt\": " << p.warm_corrupt << ", \"bitwise_identical\": "
+     << (p.bitwise_identical ? "true" : "false") << "}";
+  return os.str();
+}
+
+void print_probe(const std::string& name, const CacheProbe& p) {
+  std::printf(
+      "%-16s plan analysis cold %.6fs -> warm %.6fs (%.1fx), "
+      "%llu stored, warm %llu hit / %llu miss / %llu corrupt, bitwise %s\n",
+      name.c_str(), p.cold_plan_seconds, p.warm_plan_seconds, p.speedup(),
+      static_cast<unsigned long long>(p.cold_stores),
+      static_cast<unsigned long long>(p.warm_hits),
+      static_cast<unsigned long long>(p.warm_misses),
+      static_cast<unsigned long long>(p.warm_corrupt),
+      p.bitwise_identical ? "identical" : "DIVERGED");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -94,6 +240,8 @@ int main(int argc, char** argv) {
     } else if (a == "--clover-steps") {
       next(v);
       args.clover_steps = std::atoi(v.c_str());
+    } else if (a == "--check-plan-cache") {
+      args.check_plan_cache = true;
     } else {
       return usage(argv[0]);
     }
@@ -115,6 +263,22 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("%s: valid Chrome trace\n", args.check_trace.c_str());
+    return 0;
+  }
+
+  if (args.check_plan_cache) {
+    // CI gate: short runs, but the same invariants the tests assert —
+    // zero warm misses and bitwise-identical output on both families.
+    const CacheProbe air = probe_airfoil();
+    const CacheProbe clv = probe_clover_lazy();
+    print_probe("airfoil", air);
+    print_probe("cloverleaf_lazy", clv);
+    if (!air.ok() || !clv.ok()) {
+      std::fprintf(stderr,
+                   "bench_report: plan cache cold->warm check FAILED\n");
+      return 1;
+    }
+    std::printf("plan cache cold->warm check passed\n");
     return 0;
   }
 
@@ -149,14 +313,22 @@ int main(int argc, char** argv) {
     std::fputs(app.ctx().profile().report().c_str(), stdout);
   }
 
+  // Plan-cache trajectory: cold vs warm plan-analysis seconds per family.
+  const CacheProbe air_probe = probe_airfoil();
+  const CacheProbe clv_probe = probe_clover_lazy();
+  print_probe("airfoil", air_probe);
+  print_probe("cloverleaf_lazy", clv_probe);
+
   std::ostringstream os;
-  os << "{\"bench\": \"pr5\", \"machine\": \"" << machine.name
+  os << "{\"bench\": \"pr6\", \"machine\": \"" << machine.name
      << "\",\n \"airfoil_iters\": " << args.airfoil_iters
      << ", \"clover_steps\": " << args.clover_steps << ",\n \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
     os << runs[i] << (i + 1 < runs.size() ? ",\n" : "\n");
   }
-  os << "]}\n";
+  os << "],\n \"plan_cache\": [\n"
+     << probe_json("airfoil", air_probe) << ",\n"
+     << probe_json("cloverleaf_lazy", clv_probe) << "\n]}\n";
 
   std::ofstream out(args.out);
   if (!out) {

@@ -43,9 +43,16 @@ OPAL_TRACE="$trace_out" "$build/examples/airfoil_sim" 5 > /dev/null
 OPAL_TRACE="$build/tier1.trace.json" ctest --test-dir "$build" -L tier1 \
   --output-on-failure -j "$(nproc)"
 
+# Plan-cache stage: cold->warm differential on Airfoil and the CloverLeaf
+# lazy chain. The warm run must load every plan from the cache (zero
+# misses, zero corrupt entries), spend less time in plan analysis, and
+# match the cold output bitwise — the whole point of persisting Plan IR.
+"$build/tools/bench_report" --check-plan-cache
+
 # Perf-trajectory stage: regenerate the checked-in per-loop benchmark
-# record (Airfoil + CloverLeaf eager/lazy, roofline join included).
-(cd "$repo" && "$build/tools/bench_report" --out BENCH_pr5.json > /dev/null)
+# record (Airfoil + CloverLeaf eager/lazy, roofline join included, plus
+# the plan-analysis cold/warm columns).
+(cd "$repo" && "$build/tools/bench_report" --out BENCH_pr6.json > /dev/null)
 
 if [[ -n "${CI_SANITIZE:-}" ]]; then
   san_build="$build-$CI_SANITIZE"
