@@ -99,10 +99,15 @@ CloverOps::CloverOps(const Options& opts) : opts_(opts) {
 
 void CloverOps::enable_distributed(int nranks, apl::exec::Backend node_backend) {
   // The distributed layer drives rank-local loops itself; chains are
-  // flushed and lazy mode is dropped before handing the context over.
+  // flushed and global lazy mode is dropped before handing the context
+  // over. When the run was configured lazy, the rank contexts take over
+  // the chaining instead — pack/unpack accessors flush pending per-rank
+  // chains at exchange/fetch/scatter boundaries.
+  const bool lazy = ctx_.lazy();
   ctx_.set_lazy(false);
   dist_ = std::make_unique<ops::Distributed>(ctx_, nranks);
   dist_->set_node_backend(node_backend);
+  if (lazy) dist_->set_node_lazy(true);
 }
 
 void CloverOps::initialise() {

@@ -38,6 +38,11 @@ public:
   ops::Context& ctx() { return ctx_; }
   double dt() const { return dt_; }
   int steps_taken() const { return step_; }
+  /// Rewinds the step counter after a distributed-checkpoint restore: the
+  /// directionally split advection alternates xy/yx by step parity, so a
+  /// rolled-back run must resume with the counter the checkpoint saw (dt
+  /// needs no care — it is recomputed from the fields each step).
+  void set_steps_taken(int s) { step_ = s; }
   /// Interior density field in row-major order (for implementation
   /// equivalence tests).
   std::vector<double> density() ;

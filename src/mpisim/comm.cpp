@@ -1,7 +1,9 @@
 #include "apl/mpisim/comm.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "apl/signature.hpp"
 #include "apl/trace.hpp"
 
 namespace apl::mpisim {
@@ -18,8 +20,31 @@ int Traffic::max_rank_peers() const {
   return static_cast<int>(best);
 }
 
+void Traffic::remap_ranks(const std::vector<int>& old_to_new) {
+  const auto remap = [&old_to_new](int r) {
+    return r >= 0 && r < static_cast<int>(old_to_new.size()) ? old_to_new[r]
+                                                             : -1;
+  };
+  std::map<int, std::uint64_t> sent;
+  for (const auto& [rank, bytes] : per_rank_sent_) {
+    if (const int r = remap(rank); r >= 0) sent[r] += bytes;
+  }
+  per_rank_sent_ = std::move(sent);
+  std::map<int, std::map<int, bool>> peers;
+  for (const auto& [rank, dsts] : peers_) {
+    const int r = remap(rank);
+    if (r < 0) continue;
+    for (const auto& [dst, on] : dsts) {
+      if (const int d = remap(dst); d >= 0) peers[r].insert_or_assign(d, on);
+    }
+  }
+  peers_ = std::move(peers);
+}
+
 void Traffic::reset() {
-  messages_ = allreduces_ = recoveries_ = recovery_bytes_ = total_bytes_ = 0;
+  messages_ = allreduces_ = recoveries_ = recovery_bytes_ = 0;
+  retries_ = shrinks_ = total_bytes_ = 0;
+  retry_backoff_seconds_ = recovery_seconds_ = 0.0;
   per_rank_sent_.clear();
   peers_.clear();
 }
@@ -43,12 +68,77 @@ void Comm::revive_all() {
   for (auto& box : mailboxes_) box.clear();
   reduce_accum_.clear();
   reduce_contributions_ = 0;
+  reset_ledger();
+}
+
+std::vector<int> Comm::shrink() {
+  apl::require(static_cast<int>(failed_.size()) < size_,
+               "mpisim: shrink with no survivors (all ", size_,
+               " ranks failed)");
+  std::vector<int> old_to_new(static_cast<std::size_t>(size_), -1);
+  int next = 0;
+  for (int r = 0; r < size_; ++r) {
+    if (failed_.count(r) == 0) old_to_new[static_cast<std::size_t>(r)] = next++;
+  }
+  // Survivors keep their mailboxes (in new-rank order); whatever is still
+  // queued inside was posted under the old epoch and is rejected lazily on
+  // receipt — the simulated analogue of draining a revoked communicator.
+  std::vector<std::vector<Message>> boxes(static_cast<std::size_t>(next));
+  for (int r = 0; r < size_; ++r) {
+    const int nr = old_to_new[static_cast<std::size_t>(r)];
+    if (nr >= 0) boxes[static_cast<std::size_t>(nr)] = std::move(mailboxes_[r]);
+  }
+  mailboxes_ = std::move(boxes);
+  size_ = next;
+  ++epoch_;
+  failed_.clear();
+  reduce_accum_.clear();
+  reduce_contributions_ = 0;
+  reset_ledger();
+  traffic_.remap_ranks(old_to_new);
+  return old_to_new;
 }
 
 void Comm::begin_exchange() {
   if (const auto r = fault::Injector::global().on_exchange()) {
     if (*r >= 0 && *r < size_) fail_rank(*r);
   }
+  reset_ledger();
+}
+
+void Comm::finish_exchange() {
+  if (!dropped_.empty()) {
+    const DroppedKey& k = *dropped_.begin();
+    throw fault::CommFault("mpisim: exchange lost a message in flight (src=" +
+                           std::to_string(k.src) + " dst=" +
+                           std::to_string(k.dst) + " tag=" +
+                           std::to_string(k.tag) + ")");
+  }
+  if (consumed_ != enqueued_) {
+    throw fault::CommFault(
+        "mpisim: exchange imbalance — " + std::to_string(enqueued_) +
+        " messages posted but " + std::to_string(consumed_) +
+        " consumed (a duplicated or unreceived message)");
+  }
+}
+
+void Comm::abort_exchange() {
+  for (auto& box : mailboxes_) {
+    std::erase_if(box, [this](const Message& m) { return m.epoch == epoch_; });
+  }
+  reset_ledger();
+}
+
+void Comm::reset_ledger() {
+  enqueued_ = 0;
+  consumed_ = 0;
+  consumed_seqs_.clear();
+  dropped_.clear();
+}
+
+void Comm::enqueue(int dst, Message m) {
+  ++enqueued_;
+  mailboxes_[dst].push_back(std::move(m));
 }
 
 void Comm::send(int src, int dst, int tag,
@@ -58,8 +148,39 @@ void Comm::send(int src, int dst, int tag,
   check_alive(src);
   check_alive(dst);
   traffic_.record(src, dst, bytes.size());
-  mailboxes_[dst].push_back(
-      Message{src, tag, std::vector<std::uint8_t>(bytes.begin(), bytes.end())});
+  Message m{src,
+            tag,
+            epoch_,
+            next_seq_++,
+            apl::signature::fnv1a(bytes),
+            std::vector<std::uint8_t>(bytes.begin(), bytes.end())};
+  switch (fault::Injector::global().on_send()) {
+    case fault::Injector::SendFault::kNone:
+      enqueue(dst, std::move(m));
+      break;
+    case fault::Injector::SendFault::kDrop:
+      // The bytes were "sent" (the ledger counted them) but never arrive;
+      // the receive side learns of the loss through dropped_.
+      dropped_.insert(DroppedKey{dst, src, tag});
+      break;
+    case fault::Injector::SendFault::kDuplicate: {
+      Message copy = m;
+      enqueue(dst, std::move(copy));
+      enqueue(dst, std::move(m));
+      break;
+    }
+    case fault::Injector::SendFault::kCorrupt:
+      // Flip a payload bit after the checksum is taken, so the receiver's
+      // validation — not this layer — is what detects the damage. Header-
+      // only messages get their checksum flipped instead.
+      if (!m.bytes.empty()) {
+        m.bytes[m.bytes.size() / 2] ^= 0x10;
+      } else {
+        m.crc ^= 0x1;
+      }
+      enqueue(dst, std::move(m));
+      break;
+  }
 }
 
 std::vector<std::uint8_t> Comm::recv(int dst, int src, int tag) {
@@ -68,6 +189,41 @@ std::vector<std::uint8_t> Comm::recv(int dst, int src, int tag) {
   check_alive(dst);
   check_alive(src);
   auto& box = mailboxes_[dst];
+  for (auto it = box.begin(); it != box.end();) {
+    if (it->src != src || it->tag != tag) {
+      ++it;
+      continue;
+    }
+    if (it->epoch != epoch_) {
+      // Posted under a communicator generation that no longer exists
+      // (pre-shrink): reject, never deliver.
+      ++stale_rejected_;
+      it = box.erase(it);
+      continue;
+    }
+    Message m = std::move(*it);
+    box.erase(it);
+    if (!consumed_seqs_.insert(m.seq).second) {
+      throw fault::CommFault("mpisim: rank " + std::to_string(dst) +
+                             " received message seq " + std::to_string(m.seq) +
+                             " twice (src=" + std::to_string(src) + " tag=" +
+                             std::to_string(tag) + ") — duplicated in flight");
+    }
+    if (apl::signature::fnv1a(m.bytes) != m.crc) {
+      throw fault::CommFault("mpisim: rank " + std::to_string(dst) +
+                             " received a corrupted message (src=" +
+                             std::to_string(src) + " tag=" +
+                             std::to_string(tag) + ", checksum mismatch)");
+    }
+    ++consumed_;
+    return std::move(m.bytes);
+  }
+  if (dropped_.count(DroppedKey{dst, src, tag}) != 0) {
+    throw fault::CommFault("mpisim: rank " + std::to_string(dst) +
+                           " waited for a message lost in flight (src=" +
+                           std::to_string(src) + " tag=" + std::to_string(tag) +
+                           ")");
+  }
   // An entirely empty mailbox is a protocol bug (a receive was issued
   // before any matching send phase ran) — name both ends so the broken
   // exchange is identifiable, instead of the generic no-match error below.
@@ -75,20 +231,13 @@ std::vector<std::uint8_t> Comm::recv(int dst, int src, int tag) {
                " tried to receive from rank ", src, " (tag=", tag,
                ") but its mailbox is empty — no sends were posted to rank ",
                dst, " (protocol bug: receive phase ran before any send)");
-  for (auto it = box.begin(); it != box.end(); ++it) {
-    if (it->src == src && it->tag == tag) {
-      std::vector<std::uint8_t> out = std::move(it->bytes);
-      box.erase(it);
-      return out;
-    }
-  }
   apl::fail("mpisim: rank ", dst, " would deadlock waiting for (src=", src,
             ", tag=", tag, ") — no such message posted");
 }
 
 bool Comm::has_message(int dst, int src, int tag) const {
   for (const auto& m : mailboxes_[dst]) {
-    if (m.src == src && m.tag == tag) return true;
+    if (m.src == src && m.tag == tag && m.epoch == epoch_) return true;
   }
   return false;
 }

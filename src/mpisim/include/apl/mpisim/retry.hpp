@@ -1,0 +1,50 @@
+// The transient rung of the resilience ladder, shared by the op2/ops
+// halo-exchange layers: run one collective exchange attempt, and on a
+// detected message fault (apl::fault::CommFault — lost, duplicated, or
+// corrupted in flight) abort the exchange and re-run it, up to the
+// policy's retry budget, accounting a deterministic simulated backoff in
+// the Traffic ledger. Exhausting the budget escalates to the named
+// LadderExhausted error — the caller (or its caller's recover_auto) takes
+// the next rung.
+#pragma once
+
+#include <string>
+
+#include "apl/fault.hpp"
+#include "apl/mpisim/comm.hpp"
+#include "apl/resilience.hpp"
+#include "apl/trace.hpp"
+
+namespace apl::mpisim {
+
+/// Runs `attempt` (sends + receives + any staged work, ending in
+/// Comm::finish_exchange) under the policy's bounded retry.
+///
+/// The caller must have called Comm::begin_exchange exactly ONCE before
+/// this: retries must not advance the fault injector's exchange ordinal,
+/// or a `fail_rank=R@M` trigger would drift under retry and the kill
+/// sweep would lose its determinism.
+template <class Fn>
+void retry_exchange(Comm& comm, const std::string& what, Fn&& attempt) {
+  const resilience::Policy& p = resilience::policy();
+  for (int tries = 0;; ++tries) {
+    try {
+      attempt();
+      return;
+    } catch (const fault::CommFault& e) {
+      if (tries >= p.max_retries) {
+        throw resilience::LadderExhausted(
+            what + ": transient fault persists after " +
+            std::to_string(p.max_retries) + " retries: " + e.what());
+      }
+      comm.abort_exchange();
+      const double backoff = resilience::backoff_delay(p, tries);
+      comm.traffic().record_retry(backoff);
+      // The backoff is simulated (recorded, not slept): the span marks
+      // the retry event so a trace shows where the ladder engaged.
+      trace::Span span(trace::kRecover, "retry:" + what);
+    }
+  }
+}
+
+}  // namespace apl::mpisim

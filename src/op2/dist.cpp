@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 #include "apl/graph/csr.hpp"
 #include "apl/io/ckpt.hpp"
+#include "apl/io/plan_cache.hpp"
+#include "apl/mpisim/retry.hpp"
+#include "apl/resilience.hpp"
+#include "apl/signature.hpp"
 #include "op2/io.hpp"
 
 namespace op2 {
@@ -12,10 +17,20 @@ namespace op2 {
 using apl::exec::Access;
 using apl::exec::Backend;
 
+namespace {
+
+/// Partition-cache IR: one section holding the base set's owner vector.
+constexpr std::uint32_t kPartVersion = 1;
+constexpr std::uint32_t kTagOwner = 0x4F574E52;  // "OWNR"
+
+}  // namespace
+
 Distributed::Distributed(Context& ctx, int nranks,
                          apl::graph::PartitionMethod method,
                          const Set& base_set, const DatBase* coords)
-    : global_(&ctx), comm_(nranks) {
+    : global_(&ctx), comm_(nranks), method_(method),
+      base_set_id_(base_set.id()),
+      coords_id_(coords != nullptr ? coords->id() : -1) {
   apl::require(nranks >= 1, "Distributed: need at least one rank");
   apl::require(&ctx.set(base_set.id()) == &base_set,
                "Distributed: base set does not belong to this context");
@@ -28,46 +43,110 @@ Distributed::Distributed(Context& ctx, int nranks,
 void Distributed::partition_sets(apl::graph::PartitionMethod method,
                                  const Set& base, const DatBase* coords) {
   const int nranks = comm_.size();
-  // ---- base set
-  apl::graph::Partition p;
-  switch (method) {
-    case apl::graph::PartitionMethod::kBlock:
-      p = apl::graph::partition_block(base.size(), nranks);
-      break;
-    case apl::graph::PartitionMethod::kRcb: {
-      apl::require(coords != nullptr && &coords->set() == &base,
-                   "Distributed: RCB needs a coordinates dat on the base set");
-      apl::require(coords->elem_bytes() == sizeof(double),
-                   "Distributed: RCB coordinates must be double");
-      // Gather coordinates in AoS order regardless of layout.
-      std::vector<double> xy(static_cast<std::size_t>(base.size()) *
-                             coords->dim());
-      for (index_t e = 0; e < base.size(); ++e) {
-        coords->pack_entry(e, xy.data() +
-                                  static_cast<std::size_t>(e) * coords->dim());
-      }
-      p = apl::graph::partition_rcb(xy, coords->dim(), base.size(), nranks);
-      break;
-    }
-    case apl::graph::PartitionMethod::kKway: {
-      // Adjacency of the base set through any map targeting it.
-      const Map* via = nullptr;
-      for (index_t m = 0; m < global_->num_maps(); ++m) {
-        if (&global_->map(m).to() == &base) {
-          via = &global_->map(m);
-          break;
-        }
-      }
-      apl::require(via != nullptr,
-                   "Distributed: k-way partitioning needs a map onto the "
-                   "base set");
-      const apl::graph::Csr adj = apl::graph::node_adjacency(
-          via->table(), via->arity(), via->from().size(), base.size());
-      p = apl::graph::partition_kway(adj, nranks);
-      break;
+  // ---- base set. RCB coordinates are gathered up front (AoS order
+  // regardless of layout): the partitioner needs them, and for RCB the
+  // cache key must cover their *contents* — topology_hash covers layout
+  // and sizes only.
+  std::vector<double> xy;
+  if (method == apl::graph::PartitionMethod::kRcb) {
+    apl::require(coords != nullptr && &coords->set() == &base,
+                 "Distributed: RCB needs a coordinates dat on the base set");
+    apl::require(coords->elem_bytes() == sizeof(double),
+                 "Distributed: RCB coordinates must be double");
+    xy.resize(static_cast<std::size_t>(base.size()) * coords->dim());
+    for (index_t e = 0; e < base.size(); ++e) {
+      coords->pack_entry(e, xy.data() +
+                                static_cast<std::size_t>(e) * coords->dim());
     }
   }
-  set_dist_[base.id()].owner = std::move(p.part);
+
+  // The partition depends only on (mesh topology, method, rank count), so
+  // it persists in the plan cache like any other analysis result — which
+  // makes post-shrink repartitioning of a previously seen (mesh, R-1)
+  // pair a warm hit instead of a fresh partitioner run.
+  auto& pstore = apl::plan_cache::Store::global();
+  apl::plan_cache::Key ck;
+  if (pstore.enabled()) {
+    ck.kind = "part";
+    ck.topology = global_->topology_hash();
+    apl::signature::Hasher prog;
+    prog.pod(static_cast<std::uint32_t>(method));
+    prog.pod(base.id());
+    if (!xy.empty()) prog.bulk<double>(xy);
+    ck.program = prog.value();
+    apl::signature::Hasher cfg;
+    cfg.pod(static_cast<std::int32_t>(nranks));
+    ck.config = cfg.value();
+    ck.version = kPartVersion;
+    ck.label = "part:" + base.name();
+  }
+
+  std::vector<index_t> owner;
+  if (pstore.enabled() && base.size() > 0) {
+    if (auto payload = pstore.load(ck)) {
+      apl::trace::Span span(apl::trace::kPlan, "part_hit:" + base.name());
+      std::vector<index_t> got;
+      const apl::plan_cache::SectionHandler handlers[] = {
+          {kTagOwner, [&got](std::span<const std::uint8_t> b) {
+             apl::plan_cache::SectionReader r(b);
+             return r.rest<index_t>(&got) && r.done();
+           }}};
+      std::string diag = apl::plan_cache::decode_sections(*payload, handlers);
+      bool ok = diag.empty() &&
+                got.size() == static_cast<std::size_t>(base.size());
+      for (index_t o : got) ok = ok && o >= 0 && o < nranks;
+      if (ok) {
+        owner = std::move(got);
+        span.set_elements(static_cast<std::uint64_t>(base.size()));
+        span.set_bytes(payload->size());
+      } else {
+        // Container-valid but not a partition of this (mesh, ranks):
+        // surface it like corruption and repartition fresh.
+        pstore.note_corrupt(diag.empty()
+                                ? "partition blob fails owner validation"
+                                : diag);
+      }
+    }
+  }
+
+  const bool computed = owner.empty() && base.size() > 0;
+  if (computed) {
+    apl::trace::Span span(apl::trace::kPlan, "part:" + base.name());
+    apl::graph::Partition p;
+    switch (method) {
+      case apl::graph::PartitionMethod::kBlock:
+        p = apl::graph::partition_block(base.size(), nranks);
+        break;
+      case apl::graph::PartitionMethod::kRcb:
+        p = apl::graph::partition_rcb(xy, coords->dim(), base.size(), nranks);
+        break;
+      case apl::graph::PartitionMethod::kKway: {
+        // Adjacency of the base set through any map targeting it.
+        const Map* via = nullptr;
+        for (index_t m = 0; m < global_->num_maps(); ++m) {
+          if (&global_->map(m).to() == &base) {
+            via = &global_->map(m);
+            break;
+          }
+        }
+        apl::require(via != nullptr,
+                     "Distributed: k-way partitioning needs a map onto the "
+                     "base set");
+        const apl::graph::Csr adj = apl::graph::node_adjacency(
+            via->table(), via->arity(), via->from().size(), base.size());
+        p = apl::graph::partition_kway(adj, nranks);
+        break;
+      }
+    }
+    owner = std::move(p.part);
+    span.set_elements(static_cast<std::uint64_t>(base.size()));
+  }
+  if (computed && pstore.enabled()) {
+    apl::plan_cache::BlobWriter w;
+    w.section_of<index_t>(kTagOwner, owner);
+    pstore.save(ck, w.bytes());
+  }
+  set_dist_[base.id()].owner = std::move(owner);
 
   // ---- derive the other sets through maps, iterating to a fixpoint;
   // a source set inherits the rank of its first map target, a target set
@@ -218,6 +297,7 @@ void Distributed::build_rank_contexts() {
 }
 
 void Distributed::set_node_backend(Backend b) {
+  node_backend_ = b;  // remembered: shrink_recover rebuilds the contexts
   for (auto& rc : rank_ctx_) rc->set_backend(b);
 }
 
@@ -261,37 +341,45 @@ void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
   const SetDist& sd = set_dist_[gdat.set().id()];
   const std::size_t entry = gdat.entry_bytes();
   const int tag = dat_id;
-  // Owners pack current values for every rank holding ghosts of theirs.
-  for (int dest = 0; dest < comm_.size(); ++dest) {
-    // Group dest's ghost list by owner; each owner sends one message.
-    for (int owner = 0; owner < comm_.size(); ++owner) {
-      std::vector<std::uint8_t> payload;
-      const DatBase& odat = rank_ctx_[owner]->dat(dat_id);
-      for (index_t g : sd.ghosts[dest]) {
-        if (sd.owner[g] != owner) continue;
-        const std::size_t pos = payload.size();
-        payload.resize(pos + entry);
-        odat.pack_entry(sd.local_of[owner][g], payload.data() + pos);
-      }
-      if (!payload.empty()) comm_.send(owner, dest, tag, payload);
-    }
-  }
-  // Receivers unpack into their ghost slots (same grouping order).
+  // The whole exchange runs under the transient-retry rung: ghost unpacks
+  // are overwrite-idempotent, so a retried attempt simply redoes them.
   std::uint64_t bytes = 0;
-  for (int dest = 0; dest < comm_.size(); ++dest) {
-    DatBase& ddat = rank_ctx_[dest]->dat(dat_id);
-    for (int owner = 0; owner < comm_.size(); ++owner) {
-      if (!comm_.has_message(dest, owner, tag)) continue;
-      const auto payload = comm_.recv(dest, owner, tag);
-      bytes += payload.size();
-      std::size_t pos = 0;
-      for (index_t g : sd.ghosts[dest]) {
-        if (sd.owner[g] != owner) continue;
-        ddat.unpack_entry(sd.local_of[dest][g], payload.data() + pos);
-        pos += entry;
+  apl::mpisim::retry_exchange(comm_, "exchange:" + gdat.name(), [&] {
+    bytes = 0;
+    // Owners pack current values for every rank holding ghosts of theirs.
+    for (int dest = 0; dest < comm_.size(); ++dest) {
+      // Group dest's ghost list by owner; each owner sends one message.
+      for (int owner = 0; owner < comm_.size(); ++owner) {
+        std::vector<std::uint8_t> payload;
+        const DatBase& odat = rank_ctx_[owner]->dat(dat_id);
+        for (index_t g : sd.ghosts[dest]) {
+          if (sd.owner[g] != owner) continue;
+          const std::size_t pos = payload.size();
+          payload.resize(pos + entry);
+          odat.pack_entry(sd.local_of[owner][g], payload.data() + pos);
+        }
+        if (!payload.empty()) comm_.send(owner, dest, tag, payload);
       }
     }
-  }
+    // Receivers unpack into their ghost slots (same grouping order).
+    for (int dest = 0; dest < comm_.size(); ++dest) {
+      DatBase& ddat = rank_ctx_[dest]->dat(dat_id);
+      for (int owner = 0; owner < comm_.size(); ++owner) {
+        if (!comm_.has_message(dest, owner, tag)) continue;
+        const auto payload = comm_.recv(dest, owner, tag);
+        bytes += payload.size();
+        std::size_t pos = 0;
+        for (index_t g : sd.ghosts[dest]) {
+          if (sd.owner[g] != owner) continue;
+          ddat.unpack_entry(sd.local_of[dest][g], payload.data() + pos);
+          pos += entry;
+        }
+      }
+    }
+    // A dropped message is invisible to the has_message scan above; the
+    // ledger check is what turns silent loss into a retryable fault.
+    comm_.finish_exchange();
+  });
   span.set_bytes(bytes);
   if (stats) stats->halo_bytes += bytes;
 }
@@ -341,33 +429,45 @@ void Distributed::flush_increments(index_t dat_id, apl::LoopStats* stats) {
   const SetDist& sd = set_dist_[gdat.set().id()];
   const std::size_t entry = gdat.entry_bytes();
   const int tag = 0x10000 + dat_id;
-  // Ghost holders send their accumulated contributions to the owners.
-  for (int holder = 0; holder < comm_.size(); ++holder) {
-    const DatBase& hdat = rank_ctx_[holder]->dat(dat_id);
-    for (int owner = 0; owner < comm_.size(); ++owner) {
-      std::vector<std::uint8_t> payload;
-      for (index_t g : sd.ghosts[holder]) {
-        if (sd.owner[g] != owner) continue;
-        const std::size_t pos = payload.size();
-        payload.resize(pos + entry);
-        hdat.pack_entry(sd.local_of[holder][g], payload.data() + pos);
-      }
-      if (!payload.empty()) comm_.send(holder, owner, tag, payload);
-    }
-  }
+  // Unlike the halo exchange, applying increments is NOT idempotent — an
+  // add re-applied on retry would double-count. Received payloads are
+  // staged and only added once the ledger proves the exchange complete.
   std::uint64_t bytes = 0;
-  for (int owner = 0; owner < comm_.size(); ++owner) {
-    DatBase& odat = rank_ctx_[owner]->dat(dat_id);
+  std::vector<std::tuple<int, int, std::vector<std::uint8_t>>> staged;
+  apl::mpisim::retry_exchange(comm_, "flush:" + gdat.name(), [&] {
+    bytes = 0;
+    staged.clear();
+    // Ghost holders send their accumulated contributions to the owners.
     for (int holder = 0; holder < comm_.size(); ++holder) {
-      if (!comm_.has_message(owner, holder, tag)) continue;
-      const auto payload = comm_.recv(owner, holder, tag);
-      bytes += payload.size();
-      std::size_t pos = 0;
-      for (index_t g : sd.ghosts[holder]) {
-        if (sd.owner[g] != owner) continue;
-        odat.add_entry(sd.local_of[owner][g], payload.data() + pos);
-        pos += entry;
+      const DatBase& hdat = rank_ctx_[holder]->dat(dat_id);
+      for (int owner = 0; owner < comm_.size(); ++owner) {
+        std::vector<std::uint8_t> payload;
+        for (index_t g : sd.ghosts[holder]) {
+          if (sd.owner[g] != owner) continue;
+          const std::size_t pos = payload.size();
+          payload.resize(pos + entry);
+          hdat.pack_entry(sd.local_of[holder][g], payload.data() + pos);
+        }
+        if (!payload.empty()) comm_.send(holder, owner, tag, payload);
       }
+    }
+    for (int owner = 0; owner < comm_.size(); ++owner) {
+      for (int holder = 0; holder < comm_.size(); ++holder) {
+        if (!comm_.has_message(owner, holder, tag)) continue;
+        auto payload = comm_.recv(owner, holder, tag);
+        bytes += payload.size();
+        staged.emplace_back(owner, holder, std::move(payload));
+      }
+    }
+    comm_.finish_exchange();
+  });
+  for (const auto& [owner, holder, payload] : staged) {
+    DatBase& odat = rank_ctx_[owner]->dat(dat_id);
+    std::size_t pos = 0;
+    for (index_t g : sd.ghosts[holder]) {
+      if (sd.owner[g] != owner) continue;
+      odat.add_entry(sd.local_of[owner][g], payload.data() + pos);
+      pos += entry;
     }
   }
   span.set_bytes(bytes);
@@ -411,12 +511,47 @@ void Distributed::checkpoint(apl::io::CheckpointStore& store,
   dump_dats(*this, file);  // fetch owner values, then dump the global dats
   const std::vector<std::int64_t> stepv{step};
   file.put<std::int64_t>("meta/step", stepv, {1});
+  // The writing rank count: restores onto a different count are legal
+  // (that is what shrink recovery does), but a layout mismatch diagnostic
+  // names both counts so cross-app restores are identifiable.
+  const std::vector<std::int64_t> ranksv{comm_.size()};
+  file.put<std::int64_t>("meta/nranks", ranksv, {1});
   store.save(file);
+}
+
+void Distributed::validate_checkpoint_layout(const apl::io::File& file) const {
+  std::int64_t recorded = -1;
+  if (file.contains("meta/nranks")) {
+    const auto v = file.get<std::int64_t>("meta/nranks");
+    if (!v.empty()) recorded = v[0];
+  }
+  for (index_t d = 0; d < global_->num_dats(); ++d) {
+    const DatBase& dat = global_->dat(d);
+    const std::string key = "dat/" + dat.name();
+    if (!file.contains(key)) continue;
+    const auto& ds = file.raw(key);
+    const std::uint64_t expect_n = static_cast<std::uint64_t>(dat.set().size());
+    const std::uint64_t expect_entry = dat.entry_bytes();
+    const std::uint64_t found_n = ds.dims.empty() ? 0 : ds.dims[0];
+    const std::uint64_t found_entry = ds.dims.size() > 1 ? ds.dims[1] : 0;
+    if (found_n != expect_n || found_entry != expect_entry) {
+      std::string origin;
+      if (recorded >= 0) {
+        origin = " (checkpoint written at " + std::to_string(recorded) +
+                 " ranks; restoring at " + std::to_string(comm_.size()) + ")";
+      }
+      apl::fail("checkpoint layout mismatch for dat '", dat.name(),
+                "': expected ", expect_n, " entries x ", expect_entry,
+                " bytes, found ", found_n, " x ", found_entry, origin);
+    }
+  }
 }
 
 std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
   apl::trace::Span span(apl::trace::kRecover, "dist_recover");
+  const double t0 = apl::now_seconds();
   const apl::io::File file = store.load();
+  validate_checkpoint_layout(file);
   comm_.revive_all();
   load_dats(*global_, file);
   // Re-establish every rank replica (owned values and ghost copies) from
@@ -432,7 +567,7 @@ std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
     }
     scatter(dat);
   }
-  comm_.traffic().record_recovery(bytes);
+  comm_.traffic().record_recovery(bytes, apl::now_seconds() - t0);
   // Surface rollback traffic into the profile (and its JSON export) as a
   // pseudo-loop, alongside the per-loop halo_bytes: the recovery cost was
   // previously only visible in the comm Traffic ledger.
@@ -442,6 +577,88 @@ std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
   span.set_bytes(bytes);
   const auto step = file.get<std::int64_t>("meta/step");
   return step.empty() ? 0 : step[0];
+}
+
+std::int64_t Distributed::shrink_recover(apl::io::CheckpointStore& store) {
+  apl::require(!comm_.failed_ranks().empty(),
+               "shrink_recover: no failed ranks to shrink away");
+  apl::trace::Span span(apl::trace::kRecover, "dist_shrink");
+  const double t0 = apl::now_seconds();
+  const apl::io::File file = store.load();
+  comm_.shrink();
+  validate_checkpoint_layout(file);
+  load_dats(*global_, file);
+  // Every piece of distribution state is re-derived at the survivor
+  // count from the global mesh description alone — the active-library
+  // property that makes shrinking recovery possible without application
+  // help. The repartition may be a warm plan-cache hit.
+  set_dist_.assign(global_->num_sets(), SetDist{});
+  rank_ctx_.clear();
+  halo_dirty_.assign(global_->num_dats(), 0);
+  const DatBase* coords =
+      coords_id_ >= 0 ? &global_->dat(coords_id_) : nullptr;
+  partition_sets(method_, global_->set(base_set_id_), coords);
+  build_rank_contexts();  // scatters the restored global dats
+  if (node_backend_) {
+    for (auto& rc : rank_ctx_) rc->set_backend(*node_backend_);
+  }
+  std::uint64_t bytes = 0;
+  for (index_t d = 0; d < global_->num_dats(); ++d) {
+    const DatBase& dat = global_->dat(d);
+    const SetDist& sd = set_dist_[dat.set().id()];
+    for (int r = 0; r < comm_.size(); ++r) {
+      bytes += static_cast<std::uint64_t>(sd.owned[r].size() +
+                                          sd.ghosts[r].size()) *
+               dat.entry_bytes();
+    }
+  }
+  ++shrinks_done_;
+  comm_.traffic().record_shrink();
+  comm_.traffic().record_recovery(bytes, apl::now_seconds() - t0);
+  apl::LoopStats& rec = global_->profile().stats("<recover>");
+  ++rec.calls;
+  rec.halo_bytes += bytes;
+  span.set_bytes(bytes);
+  const auto step = file.get<std::int64_t>("meta/step");
+  return step.empty() ? 0 : step[0];
+}
+
+std::int64_t Distributed::recover_auto(apl::io::CheckpointStore& store) {
+  const apl::resilience::Policy& p = apl::resilience::policy();
+  using apl::resilience::OnRankFailure;
+  if (p.rank_failure == OnRankFailure::kRevive) return recover(store);
+  if (p.rank_failure == OnRankFailure::kFail) {
+    throw apl::resilience::LadderExhausted(
+        "op2: rank failure and the resilience policy forbids recovery "
+        "(rank_failure=fail)");
+  }
+  const int survivors =
+      comm_.size() - static_cast<int>(comm_.failed_ranks().size());
+  if (survivors <= 0) {
+    throw apl::resilience::LadderExhausted(
+        "op2: no surviving ranks to shrink onto");
+  }
+  if (shrinks_done_ < p.max_shrinks) return shrink_recover(store);
+  if (p.single_rank_fallback && comm_.size() > 1) {
+    // Shrink budget spent: the last rung collapses onto one survivor,
+    // where the run degenerates to (slow, safe) replicated execution.
+    apl::trace::Span span(apl::trace::kRecover, "fallback:single_rank");
+    int keep = -1;
+    for (int r = 0; r < comm_.size(); ++r) {
+      if (!comm_.rank_failed(r)) {
+        keep = r;
+        break;
+      }
+    }
+    for (int r = 0; r < comm_.size(); ++r) {
+      if (r != keep && !comm_.rank_failed(r)) comm_.fail_rank(r);
+    }
+    return shrink_recover(store);
+  }
+  throw apl::resilience::LadderExhausted(
+      "op2: degradation ladder exhausted — shrink budget (" +
+      std::to_string(p.max_shrinks) + ") spent and single-rank fallback " +
+      (p.single_rank_fallback ? "already reached" : "disabled"));
 }
 
 }  // namespace op2

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -40,6 +41,7 @@
 
 namespace apl::io {
 class CheckpointStore;
+class File;
 }
 
 namespace op2 {
@@ -94,6 +96,20 @@ public:
   /// and re-scatters it. The redistribution bytes are accounted as recovery
   /// traffic. Returns the step recorded at checkpoint time.
   std::int64_t recover(apl::io::CheckpointStore& store);
+  /// Shrink-and-continue recovery (ULFM-style): removes the failed ranks
+  /// from the communicator, repartitions the mesh over the survivors
+  /// (reusing the plan/partition cache when warm), restores every dat from
+  /// the last good checkpoint re-scattered onto the new rank count, and
+  /// resumes — bitwise-identical to a failure-free run at that rank count.
+  /// Returns the step recorded at checkpoint time.
+  std::int64_t shrink_recover(apl::io::CheckpointStore& store);
+  /// The degradation ladder: consults apl::resilience::policy() and takes
+  /// the configured rung for a permanent rank loss — revive rollback,
+  /// shrink (bounded by the policy's shrink budget), replicated
+  /// single-rank fallback, or a named LadderExhausted error. Never hangs.
+  std::int64_t recover_auto(apl::io::CheckpointStore& store);
+  /// Shrink-and-continue recoveries performed so far (ladder bookkeeping).
+  int shrinks_done() const { return shrinks_done_; }
 
 private:
   struct SetDist {
@@ -106,6 +122,10 @@ private:
   void partition_sets(apl::graph::PartitionMethod method, const Set& base,
                       const DatBase* coords);
   void build_rank_contexts();
+  /// Named expected-vs-found diagnostic for a checkpoint whose dat layout
+  /// does not match this mesh (e.g. restoring another app's snapshot),
+  /// instead of a generic size-mismatch deep inside the scatter.
+  void validate_checkpoint_layout(const apl::io::File& file) const;
   void validate_args(const std::string& name,
                      const std::vector<ArgInfo>& infos) const;
   /// Owners push current values of dat `d` into every ghost copy.
@@ -124,6 +144,13 @@ private:
   std::vector<SetDist> set_dist_;                 ///< by global set id
   std::vector<std::unique_ptr<Context>> rank_ctx_;
   std::vector<char> halo_dirty_;                  ///< by global dat id
+  // Partition inputs, remembered so shrink_recover can re-derive the
+  // distribution at the survivor count from the global mesh alone.
+  apl::graph::PartitionMethod method_;
+  index_t base_set_id_;
+  index_t coords_id_ = -1;
+  std::optional<apl::exec::Backend> node_backend_;
+  int shrinks_done_ = 0;
 
   // ---- typed helpers for the par_loop template ---------------------------
 

@@ -5,6 +5,8 @@
 #include <cstring>
 
 #include "apl/io/ckpt.hpp"
+#include "apl/mpisim/retry.hpp"
+#include "apl/resilience.hpp"
 
 namespace ops {
 
@@ -40,13 +42,18 @@ Distributed::Distributed(Context& ctx, int nranks)
     : global_(&ctx), comm_(nranks) {
   apl::require(nranks >= 1, "ops::Distributed: need at least one rank");
   halo_dirty_.assign(ctx.num_dats(), 0);
-  // ---- decompose every block
-  decomp_.resize(ctx.num_blocks());
-  for (index_t b = 0; b < ctx.num_blocks(); ++b) {
+  init_decomposition();
+  build_rank_contexts();
+}
+
+void Distributed::init_decomposition() {
+  const int nranks = comm_.size();
+  decomp_.assign(global_->num_blocks(), Decomp{});
+  for (index_t b = 0; b < global_->num_blocks(); ++b) {
     Decomp& dec = decomp_[b];
-    dec.pgrid = factorize(nranks, ctx.block(b).ndim());
-    for (index_t d_id = 0; d_id < ctx.num_dats(); ++d_id) {
-      const DatBase& dat = ctx.dat(d_id);
+    dec.pgrid = factorize(nranks, global_->block(b).ndim());
+    for (index_t d_id = 0; d_id < global_->num_dats(); ++d_id) {
+      const DatBase& dat = global_->dat(d_id);
       if (dat.block().id() != b) continue;
       for (int d = 0; d < kMaxDim; ++d) {
         dec.ref_size[d] = std::max(dec.ref_size[d], dat.size()[d]);
@@ -54,7 +61,7 @@ Distributed::Distributed(Context& ctx, int nranks)
     }
     for (int d = 0; d < kMaxDim; ++d) {
       apl::require(dec.ref_size[d] >= dec.pgrid[d] || dec.pgrid[d] == 1,
-                   "ops::Distributed: block '", ctx.block(b).name(),
+                   "ops::Distributed: block '", global_->block(b).name(),
                    "' too small for ", dec.pgrid[d], " ranks in dimension ",
                    d);
       dec.starts[d].resize(dec.pgrid[d] + 1);
@@ -64,8 +71,12 @@ Distributed::Distributed(Context& ctx, int nranks)
       }
     }
   }
-  // ---- per-rank contexts
-  offset_.resize(nranks);
+}
+
+void Distributed::build_rank_contexts() {
+  const int nranks = comm_.size();
+  offset_.assign(nranks, {});
+  rank_ctx_.clear();
   for (int r = 0; r < nranks; ++r) {
     auto rc = std::make_unique<Context>();
     for (index_t b = 0; b < global_->num_blocks(); ++b) {
@@ -93,6 +104,8 @@ Distributed::Distributed(Context& ctx, int nranks)
       }
       dat.declare_like(*rc, rc->block(dat.block().id()), lsize);
     }
+    if (node_backend_) rc->set_backend(*node_backend_);
+    rc->set_lazy(node_lazy_);
     rank_ctx_.push_back(std::move(rc));
   }
   for (index_t d_id = 0; d_id < global_->num_dats(); ++d_id) {
@@ -120,7 +133,13 @@ std::pair<index_t, index_t> Distributed::owned_interval(
 }
 
 void Distributed::set_node_backend(Backend b) {
+  node_backend_ = b;
   for (auto& rc : rank_ctx_) rc->set_backend(b);
+}
+
+void Distributed::set_node_lazy(bool on) {
+  node_lazy_ = on;
+  for (auto& rc : rank_ctx_) rc->set_lazy(on);
 }
 
 std::array<int, kMaxDim> Distributed::process_grid(const Block& block) const {
@@ -187,6 +206,13 @@ void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
   // flow order (found by the testkit fuzzer, seed 324: a 4-rank 1D
   // decomposition of 4 points under a depth-2 halo).
   //
+  // The whole exchange runs under the resilience policy's bounded retry:
+  // strip copies overwrite halo points, so replaying the sweep after a
+  // transient message fault (drop/duplicate/corruption) is idempotent.
+  // begin_exchange stays outside the loop so retries do not advance the
+  // fault injector's exchange ordinal.
+  apl::mpisim::retry_exchange(comm_, "exchange:" + gdat.name(), [&] {
+  bytes = 0;
   // ---- x phase: full local height including y halos, so values the
   // boundary-condition loops wrote into physical y-halo rows propagate
   // to x neighbours (the y phase then settles inter-rank corners).
@@ -242,6 +268,8 @@ void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
                  gdat.d_p()[1], -gdat.d_m()[0], ly, 4);
     }
   }
+  comm_.finish_exchange();
+  });
   span.set_bytes(bytes);
   if (stats) stats->halo_bytes += bytes;
 }
@@ -376,12 +404,42 @@ void Distributed::checkpoint(apl::io::CheckpointStore& store,
   }
   const std::vector<std::int64_t> stepv{step};
   file.put<std::int64_t>("meta/step", stepv, {1});
+  const std::vector<std::int64_t> nranksv{comm_.size()};
+  file.put<std::int64_t>("meta/nranks", nranksv, {1});
   store.save(file);
+}
+
+void Distributed::validate_checkpoint_layout(const apl::io::File& file) const {
+  std::int64_t recorded = -1;
+  if (file.contains("meta/nranks")) {
+    const auto v = file.get<std::int64_t>("meta/nranks");
+    if (!v.empty()) recorded = v[0];
+  }
+  for (index_t d = 0; d < global_->num_dats(); ++d) {
+    const DatBase& dat = global_->dat(d);
+    const std::string key = "dat/" + dat.name();
+    if (!file.contains(key)) continue;
+    const std::size_t expected =
+        dat.alloc_points() * static_cast<std::size_t>(dat.dim()) *
+        dat.elem_bytes();
+    const std::size_t found = file.raw(key).bytes.size();
+    if (found == expected) continue;
+    std::string at = recorded >= 0
+                         ? " (checkpoint written at " +
+                               std::to_string(recorded) +
+                               " ranks; restoring at " +
+                               std::to_string(comm_.size()) + ")"
+                         : "";
+    apl::fail("ops: checkpoint layout mismatch for dat '", dat.name(),
+              "': expected ", expected, " bytes, found ", found, at);
+  }
 }
 
 std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
   apl::trace::Span span(apl::trace::kRecover, "dist_recover");
+  const double t0 = apl::now_seconds();
   const apl::io::File file = store.load();
+  validate_checkpoint_layout(file);
   comm_.revive_all();
   std::uint64_t moved = 0;
   for (index_t d = 0; d < global_->num_dats(); ++d) {
@@ -392,9 +450,6 @@ std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
     const std::size_t bytes =
         dat.alloc_points() * static_cast<std::size_t>(dat.dim()) *
         dat.elem_bytes();
-    apl::require(payload.size() == bytes,
-                 "ops::Distributed::recover: size mismatch for '", dat.name(),
-                 "'");
     std::memcpy(dat.raw(), payload.data(), bytes);
     scatter(dat);
     for (int r = 0; r < comm_.size(); ++r) {
@@ -403,7 +458,7 @@ std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
                rdat.dim() * rdat.elem_bytes();
     }
   }
-  comm_.traffic().record_recovery(moved);
+  comm_.traffic().record_recovery(moved, apl::now_seconds() - t0);
   // Surface rollback traffic into the profile (and its JSON export) as a
   // pseudo-loop; it was previously only visible in the comm Traffic
   // ledger. Same convention as op2::Distributed::recover.
@@ -413,6 +468,90 @@ std::int64_t Distributed::recover(apl::io::CheckpointStore& store) {
   span.set_bytes(moved);
   const auto step = file.get<std::int64_t>("meta/step");
   return step.empty() ? 0 : step[0];
+}
+
+std::int64_t Distributed::shrink_recover(apl::io::CheckpointStore& store) {
+  apl::require(!comm_.failed_ranks().empty(),
+               "ops::Distributed::shrink_recover: no rank has failed");
+  apl::trace::Span span(apl::trace::kRecover, "dist_shrink");
+  const double t0 = apl::now_seconds();
+  // Load before shrinking: a bad/missing checkpoint must surface as an
+  // error while the communicator is still intact, not half-shrunk.
+  const apl::io::File file = store.load();
+  comm_.shrink();
+  validate_checkpoint_layout(file);
+  // Restore the global dats from the checkpoint, then rebuild the
+  // decomposition and per-rank contexts over the survivors; the trailing
+  // scatter in build_rank_contexts redistributes the restored state.
+  for (index_t d = 0; d < global_->num_dats(); ++d) {
+    DatBase& dat = global_->dat(d);
+    const std::string key = "dat/" + dat.name();
+    if (!file.contains(key)) continue;
+    const auto payload = file.get<std::uint8_t>(key);
+    std::memcpy(dat.raw(), payload.data(), payload.size());
+  }
+  decomp_.clear();
+  rank_ctx_.clear();
+  offset_.clear();
+  halo_dirty_.assign(global_->num_dats(), 0);
+  init_decomposition();
+  build_rank_contexts();
+  std::uint64_t moved = 0;
+  for (int r = 0; r < comm_.size(); ++r) {
+    for (index_t d = 0; d < global_->num_dats(); ++d) {
+      const DatBase& rdat = rank_ctx_[r]->dat(d);
+      moved += static_cast<std::uint64_t>(rdat.alloc_points()) *
+               rdat.dim() * rdat.elem_bytes();
+    }
+  }
+  ++shrinks_done_;
+  comm_.traffic().record_shrink();
+  comm_.traffic().record_recovery(moved, apl::now_seconds() - t0);
+  apl::LoopStats& rec = global_->profile().stats("<recover>");
+  ++rec.calls;
+  rec.halo_bytes += moved;
+  span.set_bytes(moved);
+  const auto step = file.get<std::int64_t>("meta/step");
+  return step.empty() ? 0 : step[0];
+}
+
+std::int64_t Distributed::recover_auto(apl::io::CheckpointStore& store) {
+  const apl::resilience::Policy& p = apl::resilience::policy();
+  if (p.rank_failure == apl::resilience::OnRankFailure::kRevive) {
+    return recover(store);
+  }
+  if (p.rank_failure == apl::resilience::OnRankFailure::kFail) {
+    throw apl::resilience::LadderExhausted(
+        "ops: rank failure and the resilience policy forbids recovery "
+        "(rank_failure=fail)");
+  }
+  const int survivors = comm_.size() -
+                        static_cast<int>(comm_.failed_ranks().size());
+  if (survivors <= 0) {
+    throw apl::resilience::LadderExhausted(
+        "ops: no surviving ranks to shrink onto");
+  }
+  if (shrinks_done_ < p.max_shrinks) return shrink_recover(store);
+  if (p.single_rank_fallback && comm_.size() > 1) {
+    // Shrink budget spent: degrade to a single replicated rank (the first
+    // survivor) and keep going rather than dying.
+    apl::trace::Span span(apl::trace::kRecover, "fallback:single_rank");
+    int keep = -1;
+    for (int r = 0; r < comm_.size(); ++r) {
+      if (!comm_.rank_failed(r)) {
+        keep = r;
+        break;
+      }
+    }
+    for (int r = 0; r < comm_.size(); ++r) {
+      if (r != keep && !comm_.rank_failed(r)) comm_.fail_rank(r);
+    }
+    return shrink_recover(store);
+  }
+  throw apl::resilience::LadderExhausted(
+      "ops: degradation ladder exhausted — shrink budget (" +
+      std::to_string(p.max_shrinks) + ") spent and single-rank fallback " +
+      (p.single_rank_fallback ? "already reached" : "disabled"));
 }
 
 }  // namespace ops

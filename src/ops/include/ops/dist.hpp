@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <vector>
@@ -28,6 +29,7 @@
 
 namespace apl::io {
 class CheckpointStore;
+class File;
 }
 
 namespace ops {
@@ -42,6 +44,12 @@ public:
   const apl::mpisim::Comm& comm() const { return comm_; }
   Context& rank_context(int r) { return *rank_ctx_[r]; }
   void set_node_backend(Backend b);
+  /// Lazy loop-chain execution inside every rank context: rank loops queue
+  /// and flush at chain boundaries, composing the PR 1 tiling engine with
+  /// distribution. Works because the exchange/fetch/scatter paths go
+  /// through the dats' pack/unpack accessors, which auto-flush pending
+  /// chains, and per-rank reduction loops are flush points by themselves.
+  void set_node_lazy(bool on);
 
   /// Process-grid extent per dimension of `block`.
   std::array<int, kMaxDim> process_grid(const Block& block) const;
@@ -65,6 +73,17 @@ public:
   /// every dataset from the last good checkpoint and re-scatters. The bytes
   /// moved are accounted as recovery traffic. Returns the recorded step.
   std::int64_t recover(apl::io::CheckpointStore& store);
+  /// Shrink-and-continue recovery: removes the failed ranks, re-decomposes
+  /// every block over the survivors, restores all datasets from the last
+  /// good checkpoint re-scattered onto the new rank count, and resumes —
+  /// bitwise-identical to a failure-free run at that rank count.
+  std::int64_t shrink_recover(apl::io::CheckpointStore& store);
+  /// The degradation ladder (apl::resilience::policy()): revive rollback,
+  /// shrink (bounded), replicated single-rank fallback, or a named
+  /// LadderExhausted error. Never hangs.
+  std::int64_t recover_auto(apl::io::CheckpointStore& store);
+  /// Shrink-and-continue recoveries performed so far (ladder bookkeeping).
+  int shrinks_done() const { return shrinks_done_; }
 
 private:
   struct Decomp {
@@ -74,6 +93,13 @@ private:
     std::array<index_t, kMaxDim> ref_size{1, 1, 1};
   };
 
+  /// Decomposes every block over the current communicator size.
+  void init_decomposition();
+  /// Builds one private context per rank and scatters every dataset.
+  void build_rank_contexts();
+  /// Named expected-vs-found diagnostic for a checkpoint whose dataset
+  /// layout does not match this grid, instead of a generic size mismatch.
+  void validate_checkpoint_layout(const apl::io::File& file) const;
   std::array<int, kMaxDim> rank_coords(const Decomp& dec, int r) const;
   /// Owned interval of rank coordinate c in dimension d, clamped to a
   /// dataset extent `s`; edge ranks extend into the physical halo.
@@ -97,6 +123,11 @@ private:
   std::vector<std::vector<std::array<index_t, kMaxDim>>> offset_;
   std::vector<char> halo_dirty_;
   std::array<index_t, kMaxDim> current_shift_{};
+  // Node-level execution settings, remembered so shrink_recover can
+  // reapply them to freshly rebuilt rank contexts.
+  std::optional<Backend> node_backend_;
+  bool node_lazy_ = false;
+  int shrinks_done_ = 0;
 
   // ---- typed helpers ---------------------------------------------------
 

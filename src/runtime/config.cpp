@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <set>
 
 #include "apl/error.hpp"
 
@@ -21,6 +22,7 @@ constexpr KeyInfo kRegistry[] = {
     {"OPAL_FAULTS", "deterministic fault-injection spec (apl::fault)"},
     {"OPAL_NUM_THREADS", "worker count for the threads backend (>= 1)"},
     {"OPAL_PLAN_CACHE", "directory for the persistent plan cache"},
+    {"OPAL_RESILIENCE", "failure-response policy spec (apl::resilience)"},
     {"OPAL_TRACE", "emit Chrome trace_event JSON to this path"},
     {"OPAL_VERIFY", "guarded-execution checks: access,bounds,plan,halo,..."},
 };
@@ -59,6 +61,52 @@ std::vector<std::string> warn_unknown_keys() {
     }
   });
   return unknown;
+}
+
+std::vector<SpecItem> parse_spec(std::string_view spec, std::string_view what) {
+  std::vector<SpecItem> items;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find(',', pos);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view item = spec.substr(pos, end - pos);
+    pos = end + 1;
+    const auto trim = [](std::string_view s) {
+      while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+        s.remove_prefix(1);
+      }
+      while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+        s.remove_suffix(1);
+      }
+      return s;
+    };
+    item = trim(item);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    apl::require(eq != std::string_view::npos && eq > 0, std::string(what),
+                 ": malformed item '", std::string(item),
+                 "' (expected key=value)");
+    const std::string_view key = trim(item.substr(0, eq));
+    apl::require(!key.empty(), std::string(what), ": malformed item '",
+                 std::string(item), "' (expected key=value)");
+    items.push_back(
+        SpecItem{std::string(key), std::string(trim(item.substr(eq + 1)))});
+  }
+  return items;
+}
+
+void warn_unknown_spec_key(std::string_view what, std::string_view key) {
+  static std::mutex mu;
+  static std::set<std::string> seen;
+  const std::string id = std::string(what) + ":" + std::string(key);
+  {
+    const std::lock_guard<std::mutex> lock(mu);
+    if (!seen.insert(id).second) return;
+  }
+  std::fprintf(stderr,
+               "opal: warning: %.*s: unknown key '%.*s' is ignored\n",
+               static_cast<int>(what.size()), what.data(),
+               static_cast<int>(key.size()), key.data());
 }
 
 std::optional<std::string> string_value(std::string_view key) {

@@ -21,20 +21,12 @@ std::int64_t parse_int(std::string_view key, std::string_view v) {
 
 }  // namespace
 
-Config parse_config(std::string_view spec) {
+Config parse_config(std::string_view spec, std::vector<std::string>* unknown) {
   Config cfg;
-  std::size_t pos = 0;
-  while (pos < spec.size()) {
-    std::size_t end = spec.find(',', pos);
-    if (end == std::string_view::npos) end = spec.size();
-    const std::string_view item = spec.substr(pos, end - pos);
-    pos = end + 1;
-    if (item.empty()) continue;
-    const std::size_t eq = item.find('=');
-    require(eq != std::string_view::npos, "fault: malformed item '",
-            std::string(item), "' (expected key=value)");
-    const std::string_view key = item.substr(0, eq);
-    const std::string_view val = item.substr(eq + 1);
+  for (const apl::config::SpecItem& item :
+       apl::config::parse_spec(spec, "OPAL_FAULTS")) {
+    const std::string_view key = item.key;
+    const std::string_view val = item.value;
     if (key == "kill_at_loop") {
       cfg.kill_at_loop = parse_int(key, val);
     } else if (key == "kill_at_ckpt_byte") {
@@ -64,11 +56,19 @@ Config parse_config(std::string_view spec) {
       cfg.fail_at_exchange = parse_int(key, val.substr(at + 1));
     } else if (key == "corrupt_plan_cache") {
       cfg.corrupt_plan_cache = parse_int(key, val);
+    } else if (key == "drop_msg") {
+      cfg.drop_msg = parse_int(key, val);
+    } else if (key == "dup_msg") {
+      cfg.dup_msg = parse_int(key, val);
+    } else if (key == "corrupt_msg") {
+      cfg.corrupt_msg = parse_int(key, val);
     } else if (key == "seed") {
       cfg.seed = static_cast<std::uint64_t>(parse_int(key, val));
     } else {
-      fail("fault: unknown trigger '", std::string(key), "' in spec '",
-           std::string(spec), "'");
+      // A trigger this build does not know is a typo or a spec from a
+      // newer build; either way it must be loud but survivable.
+      apl::config::warn_unknown_spec_key("OPAL_FAULTS", key);
+      if (unknown != nullptr) unknown->emplace_back(key);
     }
   }
   return cfg;
@@ -91,6 +91,7 @@ void Injector::arm(Config c) {
   armed_ = true;
   loops_ = 0;
   exchanges_ = 0;
+  sends_ = 0;
 }
 
 void Injector::disarm() {
@@ -98,6 +99,25 @@ void Injector::disarm() {
   armed_ = false;
   loops_ = 0;
   exchanges_ = 0;
+  sends_ = 0;
+}
+
+Injector::SendFault Injector::on_send() {
+  const std::int64_t ordinal = sends_++;
+  if (!armed_) return SendFault::kNone;
+  if (cfg_.drop_msg == ordinal) {
+    cfg_.drop_msg = -1;
+    return SendFault::kDrop;
+  }
+  if (cfg_.dup_msg == ordinal) {
+    cfg_.dup_msg = -1;
+    return SendFault::kDuplicate;
+  }
+  if (cfg_.corrupt_msg == ordinal) {
+    cfg_.corrupt_msg = -1;
+    return SendFault::kCorrupt;
+  }
+  return SendFault::kNone;
 }
 
 std::optional<int> Injector::on_exchange() {

@@ -54,4 +54,21 @@ std::optional<std::int64_t> int_value(std::string_view key);
 /// found on this scan (whether or not the warning had already fired).
 std::vector<std::string> warn_unknown_keys();
 
+/// One `key=value` item of a comma-separated spec string.
+struct SpecItem {
+  std::string key;
+  std::string value;
+};
+
+/// Splits the shared `key=value[,key=value...]` spec dialect used by the
+/// structured knobs (OPAL_FAULTS, OPAL_RESILIENCE). Empty items are
+/// skipped; an item without '=' throws apl::Error naming `what` so the
+/// message points at the offending variable, not a parser internal.
+std::vector<SpecItem> parse_spec(std::string_view spec, std::string_view what);
+
+/// Shared "unknown key inside a spec" diagnostic: warns once per
+/// (what, key) pair on stderr, mirroring warn_unknown_keys' tone, so a
+/// typoed trigger degrades loudly instead of silently doing nothing.
+void warn_unknown_spec_key(std::string_view what, std::string_view key);
+
 }  // namespace apl::config

@@ -23,8 +23,16 @@
 //   corrupt_plan_cache=B    flip a bit of payload byte B in the next plan-IR
 //                           blob the plan cache persists (the warm load must
 //                           catch the CRC mismatch and rebuild fresh)
+//   drop_msg=N              silently lose the Nth Comm::send process-wide
+//                           (0-based; the exchange detects and retries)
+//   dup_msg=N               deliver the Nth Comm::send twice
+//   corrupt_msg=N           flip a payload bit of the Nth Comm::send (the
+//                           receiver's checksum catches it)
 //   seed=S                  recorded for reproducibility bookkeeping
 //
+// The spec is parsed through apl::config's shared spec dialect; unknown
+// trigger names warn (once each) instead of aborting, so an OPAL_FAULTS
+// written for a newer build degrades loudly but does not brick the run.
 // Each trigger fires exactly once and then disarms itself, so a restarted
 // run (same process, tests) does not re-crash at the same point.
 #pragma once
@@ -34,6 +42,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "apl/error.hpp"
 
@@ -57,6 +66,15 @@ class RankFailure : public Error {
   int rank_;
 };
 
+/// Thrown by the simulated communicator when a message-level fault is
+/// detected: a send lost, duplicated, or corrupted in flight. This is the
+/// *transient* class of the resilience taxonomy — the failed exchange can
+/// be aborted and retried, unlike a RankFailure, which is permanent.
+class CommFault : public Error {
+ public:
+  explicit CommFault(const std::string& what) : Error(what) {}
+};
+
 /// Parsed fault plan; -1 / empty means "trigger not armed".
 struct Config {
   std::int64_t kill_at_loop = -1;
@@ -69,12 +87,18 @@ struct Config {
   int fail_rank = -1;
   std::int64_t fail_at_exchange = -1;
   std::int64_t corrupt_plan_cache = -1;
+  std::int64_t drop_msg = -1;
+  std::int64_t dup_msg = -1;
+  std::int64_t corrupt_msg = -1;
   std::uint64_t seed = 0;
 };
 
-/// Parses the OPAL_FAULTS spec format; throws apl::Error on unknown keys
-/// or malformed values.
-Config parse_config(std::string_view spec);
+/// Parses the OPAL_FAULTS spec (apl::config's shared key=value dialect).
+/// Malformed values throw apl::Error; unknown trigger names are warned
+/// about (once each) and appended to `unknown` when non-null, so tooling
+/// and tests can observe exactly what was ignored.
+Config parse_config(std::string_view spec,
+                    std::vector<std::string>* unknown = nullptr);
 
 class Injector {
  public:
@@ -101,6 +125,12 @@ class Injector {
   /// to fail at this exchange, if any (the comm layer marks it dead).
   std::optional<int> on_exchange();
   std::int64_t exchanges_seen() const { return exchanges_; }
+
+  /// Message-level fault to apply to this Comm::send, counted process-wide
+  /// in send order. Each trigger is one-shot, like every other trigger.
+  enum class SendFault { kNone, kDrop, kDuplicate, kCorrupt };
+  SendFault on_send();
+  std::int64_t sends_seen() const { return sends_; }
 
   // Checkpoint-write triggers: the store reads them at the start of a save
   // and calls the consume_* methods once the fault has been applied, so
@@ -140,6 +170,7 @@ class Injector {
   bool armed_ = false;
   std::int64_t loops_ = 0;
   std::int64_t exchanges_ = 0;
+  std::int64_t sends_ = 0;
 };
 
 }  // namespace apl::fault

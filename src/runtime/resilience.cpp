@@ -1,0 +1,122 @@
+#include "apl/resilience.hpp"
+
+#include <cmath>
+#include <mutex>
+#include <optional>
+
+#include "apl/config.hpp"
+
+namespace apl::resilience {
+
+namespace {
+
+int parse_int(std::string_view key, const std::string& v) {
+  require(!v.empty(), "OPAL_RESILIENCE: empty value for '", std::string(key),
+          "'");
+  std::size_t pos = 0;
+  long long n = 0;
+  try {
+    n = std::stoll(v, &pos, 10);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  require(pos == v.size() && pos > 0 && n >= 0, "OPAL_RESILIENCE: value of '",
+          std::string(key), "' is not a non-negative integer: '", v, "'");
+  return static_cast<int>(n);
+}
+
+double parse_double(std::string_view key, const std::string& v) {
+  require(!v.empty(), "OPAL_RESILIENCE: empty value for '", std::string(key),
+          "'");
+  std::size_t pos = 0;
+  double d = 0.0;
+  try {
+    d = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  require(pos == v.size() && pos > 0 && std::isfinite(d) && d >= 0.0,
+          "OPAL_RESILIENCE: value of '", std::string(key),
+          "' is not a finite non-negative number: '", v, "'");
+  return d;
+}
+
+std::mutex g_mu;
+std::optional<Policy> g_policy;
+
+}  // namespace
+
+const char* to_string(OnRankFailure m) {
+  switch (m) {
+    case OnRankFailure::kShrink: return "shrink";
+    case OnRankFailure::kRevive: return "revive";
+    case OnRankFailure::kFail: return "fail";
+  }
+  return "?";
+}
+
+double backoff_delay(const Policy& p, int attempt) {
+  double d = p.backoff_seconds;
+  for (int i = 0; i < attempt; ++i) d *= p.backoff_factor;
+  return d;
+}
+
+Policy parse_policy(std::string_view spec, std::vector<std::string>* unknown) {
+  Policy p;
+  for (const apl::config::SpecItem& item :
+       apl::config::parse_spec(spec, "OPAL_RESILIENCE")) {
+    const std::string_view key = item.key;
+    const std::string& val = item.value;
+    if (key == "retries") {
+      p.max_retries = parse_int(key, val);
+    } else if (key == "backoff") {
+      p.backoff_seconds = parse_double(key, val);
+    } else if (key == "backoff_factor") {
+      p.backoff_factor = parse_double(key, val);
+    } else if (key == "rank_failure") {
+      if (val == "shrink") {
+        p.rank_failure = OnRankFailure::kShrink;
+      } else if (val == "revive") {
+        p.rank_failure = OnRankFailure::kRevive;
+      } else if (val == "fail") {
+        p.rank_failure = OnRankFailure::kFail;
+      } else {
+        fail("OPAL_RESILIENCE: rank_failure must be shrink|revive|fail, got '",
+             val, "'");
+      }
+    } else if (key == "max_shrinks") {
+      p.max_shrinks = parse_int(key, val);
+    } else if (key == "fallback") {
+      p.single_rank_fallback = val != "0";
+    } else {
+      apl::config::warn_unknown_spec_key("OPAL_RESILIENCE", key);
+      if (unknown != nullptr) unknown->emplace_back(key);
+    }
+  }
+  return p;
+}
+
+const Policy& policy() {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  if (!g_policy) {
+    Policy p;
+    if (const auto spec = apl::config::string_value("OPAL_RESILIENCE");
+        spec && !spec->empty()) {
+      p = parse_policy(*spec);
+    }
+    g_policy = p;
+  }
+  return *g_policy;
+}
+
+void set_policy(const Policy& p) {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  g_policy = p;
+}
+
+void reset_policy() {
+  const std::lock_guard<std::mutex> lock(g_mu);
+  g_policy.reset();
+}
+
+}  // namespace apl::resilience

@@ -230,7 +230,15 @@ TEST_F(CkptStoreTest, FaultSpecParsing) {
   EXPECT_EQ(c.fail_rank, 2);
   EXPECT_EQ(c.fail_at_exchange, 5);
   EXPECT_EQ(c.seed, 9u);
-  EXPECT_THROW(apl::fault::parse_config("explode=now"), apl::Error);
+  // Unknown triggers warn (collected via the out-param) instead of
+  // throwing, so older specs keep working across library versions.
+  std::vector<std::string> unknown;
+  const Config u = apl::fault::parse_config("explode=now,kill_at_loop=3",
+                                            &unknown);
+  EXPECT_EQ(u.kill_at_loop, 3);
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "explode");
+  // Malformed values of known triggers still throw.
   EXPECT_THROW(apl::fault::parse_config("kill_at_loop=banana"), apl::Error);
 }
 

@@ -189,4 +189,152 @@ TEST(Comm, PhasedHaloExchangePattern) {
   EXPECT_EQ(comm.traffic().messages(), 8u);
 }
 
+// ---- shrink / epoch / exchange-ledger resilience (PR 7) -------------------
+
+TEST(Comm, ShrinkReranksSurvivorsAndAdvancesEpoch) {
+  Comm comm(4);
+  comm.fail_rank(1);
+  EXPECT_EQ(comm.epoch(), 0);
+  const auto map = comm.shrink();
+  ASSERT_EQ(map.size(), 4u);
+  EXPECT_EQ(map[0], 0);
+  EXPECT_EQ(map[1], -1);
+  EXPECT_EQ(map[2], 1);
+  EXPECT_EQ(map[3], 2);
+  EXPECT_EQ(comm.size(), 3);
+  EXPECT_EQ(comm.epoch(), 1);
+  EXPECT_TRUE(comm.failed_ranks().empty());
+  // The shrunk communicator works like a freshly built one.
+  comm.send(0, 2, 5, bytes_of({3.5}));
+  const auto got = comm.recv(2, 0, 5);
+  double v;
+  std::memcpy(&v, got.data(), 8);
+  EXPECT_DOUBLE_EQ(v, 3.5);
+}
+
+TEST(Comm, ShrinkRequiresASurvivor) {
+  Comm comm(2);
+  comm.fail_rank(0);
+  comm.fail_rank(1);
+  EXPECT_THROW(comm.shrink(), apl::Error);
+}
+
+TEST(Comm, StaleEpochMessagesAreRejectedNotDelivered) {
+  Comm comm(3);
+  comm.send(0, 2, 9, bytes_of({1.0}));  // posted under epoch 0
+  comm.fail_rank(1);
+  comm.shrink();  // 0->0, 2->1; the in-flight message is now stale
+  EXPECT_EQ(comm.size(), 2);
+  EXPECT_FALSE(comm.has_message(1, 0, 9));
+  EXPECT_EQ(comm.stale_rejected(), 0u);  // rejection is lazy, on receipt
+  // A fresh message under the new epoch is delivered; the stale one is
+  // purged and counted the moment the receiver scans past it.
+  comm.send(0, 1, 9, bytes_of({2.0}));
+  const auto got = comm.recv(1, 0, 9);
+  double v;
+  std::memcpy(&v, got.data(), 8);
+  EXPECT_DOUBLE_EQ(v, 2.0);
+  EXPECT_EQ(comm.stale_rejected(), 1u);
+}
+
+TEST(Comm, TrafficRemapDropsDeadRanksTallies) {
+  Comm comm(4);
+  comm.send(0, 1, 0, std::vector<std::uint8_t>(100));
+  comm.send(1, 0, 0, std::vector<std::uint8_t>(700));  // rank 1: heaviest
+  comm.send(1, 2, 0, std::vector<std::uint8_t>(1));
+  comm.send(2, 3, 0, std::vector<std::uint8_t>(40));
+  (void)comm.recv(1, 0, 0);
+  (void)comm.recv(0, 1, 0);
+  (void)comm.recv(2, 1, 0);
+  (void)comm.recv(3, 2, 0);
+  EXPECT_EQ(comm.traffic().max_rank_bytes(), 701u);
+  EXPECT_EQ(comm.traffic().max_rank_peers(), 2);
+  comm.fail_rank(1);
+  comm.shrink();
+  // Dead rank 1's tallies are gone; survivors keep theirs under new ids.
+  EXPECT_EQ(comm.traffic().max_rank_bytes(), 100u);
+  EXPECT_EQ(comm.traffic().max_rank_peers(), 1);
+  // Run totals are cumulative history and keep the dead rank's bytes.
+  EXPECT_EQ(comm.traffic().total_bytes(), 841u);
+}
+
+TEST(Comm, TrafficResetClearsRecoveryAndRetryState) {
+  Comm comm(2);
+  comm.traffic().record_recovery(4096, 0.25);
+  comm.traffic().record_retry(1e-3);
+  comm.traffic().record_shrink();
+  EXPECT_EQ(comm.traffic().retries(), 1u);
+  EXPECT_EQ(comm.traffic().shrinks(), 1u);
+  EXPECT_DOUBLE_EQ(comm.traffic().mttr(), 0.25);
+  comm.traffic().reset();
+  EXPECT_EQ(comm.traffic().retries(), 0u);
+  EXPECT_EQ(comm.traffic().shrinks(), 0u);
+  EXPECT_EQ(comm.traffic().recoveries(), 0u);
+  EXPECT_DOUBLE_EQ(comm.traffic().retry_backoff_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(comm.traffic().recovery_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(comm.traffic().mttr(), 0.0);
+}
+
+TEST(Comm, DroppedMessageSurfacesAsCommFaultAtRecvOrFinish) {
+  using apl::fault::Config;
+  using apl::fault::Injector;
+  Comm comm(2);
+  Config cfg;
+  cfg.drop_msg = 0;  // eat the first send
+  Injector::global().arm(cfg);
+  comm.begin_exchange();
+  comm.send(0, 1, 3, bytes_of({1.0}));
+  Injector::global().disarm();
+  EXPECT_FALSE(comm.has_message(1, 0, 3));
+  EXPECT_THROW(comm.recv(1, 0, 3), apl::fault::CommFault);
+  // After aborting and re-posting, the exchange completes.
+  comm.abort_exchange();
+  comm.send(0, 1, 3, bytes_of({1.0}));
+  (void)comm.recv(1, 0, 3);
+  EXPECT_NO_THROW(comm.finish_exchange());
+}
+
+TEST(Comm, DuplicatedMessageIsCaughtByLedgerOrSecondRecv) {
+  using apl::fault::Config;
+  using apl::fault::Injector;
+  Comm comm(2);
+  Config cfg;
+  cfg.dup_msg = 0;
+  Injector::global().arm(cfg);
+  comm.begin_exchange();
+  comm.send(0, 1, 3, bytes_of({1.0}));
+  Injector::global().disarm();
+  (void)comm.recv(1, 0, 3);
+  // The duplicate shares its original's sequence number: either the
+  // receiver consumes it (seq seen twice) or the ledger notices one more
+  // posted message than consumed.
+  EXPECT_THROW(comm.finish_exchange(), apl::fault::CommFault);
+  comm.abort_exchange();
+  comm.send(0, 1, 3, bytes_of({1.0}));
+  (void)comm.recv(1, 0, 3);
+  EXPECT_NO_THROW(comm.finish_exchange());
+}
+
+TEST(Comm, CorruptedPayloadFailsItsChecksum) {
+  using apl::fault::Config;
+  using apl::fault::Injector;
+  Comm comm(2);
+  Config cfg;
+  cfg.corrupt_msg = 0;
+  Injector::global().arm(cfg);
+  comm.begin_exchange();
+  comm.send(0, 1, 3, bytes_of({1.0, 2.0}));
+  Injector::global().disarm();
+  EXPECT_THROW(comm.recv(1, 0, 3), apl::fault::CommFault);
+}
+
+TEST(Comm, FinishExchangeDetectsUnconsumedMessages) {
+  Comm comm(2);
+  comm.begin_exchange();
+  comm.send(0, 1, 3, bytes_of({1.0}));
+  EXPECT_THROW(comm.finish_exchange(), apl::fault::CommFault);
+  comm.abort_exchange();
+  EXPECT_NO_THROW(comm.finish_exchange());
+}
+
 }  // namespace

@@ -1,0 +1,442 @@
+// Shrink-and-continue rank recovery (PR 7 tentpole). The fault matrix:
+// every rank of a distributed run is killed at every exchange ordinal, the
+// survivors shrink the communicator, repartition, restore from the last
+// checkpoint, and the continuation must be BITWISE identical to a
+// failure-free run at the surviving rank count restored from the same
+// checkpoint — for OP2 (Airfoil) and a lazy-chained OPS CloverLeaf.
+// Transient message faults (drop/duplicate/corrupt) must instead be
+// absorbed by bounded retry with zero result change, and an exhausted
+// degradation ladder must surface as the named LadderExhausted error —
+// never a hang, never a raw crash.
+#include <cmath>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "airfoil/airfoil.hpp"
+#include "apl/fault.hpp"
+#include "apl/io/ckpt.hpp"
+#include "apl/resilience.hpp"
+#include "cloverleaf/cloverleaf_ops.hpp"
+#include "op2/dist.hpp"
+#include "ops/dist.hpp"
+
+namespace {
+
+using apl::fault::Config;
+using apl::fault::Injector;
+using apl::io::CheckpointStore;
+using apl::resilience::LadderExhausted;
+
+std::string temp_base(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class ShrinkRecoverTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    Injector::global().disarm();
+    apl::resilience::reset_policy();
+  }
+};
+
+// ---- OP2: Airfoil fault matrix --------------------------------------------
+
+airfoil::Airfoil::Options airfoil_opts() {
+  airfoil::Airfoil::Options o;
+  o.nx = 8;
+  o.ny = 4;
+  return o;
+}
+
+TEST_F(ShrinkRecoverTest, AirfoilKillMatrixShrinksBitIdentical) {
+  const std::string base = temp_base("shrink_airfoil_matrix");
+  const int nranks = 4;
+  const int total = 6;
+
+  // Dry run counts the exchanges of a fault-free run (the injector's
+  // exchange ordinal ticks whenever it is armed, even with no trigger).
+  std::int64_t num_exchanges = 0;
+  {
+    airfoil::Airfoil app(airfoil_opts());
+    app.enable_distributed(nranks, apl::graph::PartitionMethod::kBlock);
+    Injector::global().arm(Config{});
+    for (int it = 0; it < total; ++it) app.iteration();
+    num_exchanges = Injector::global().exchanges_seen();
+    Injector::global().disarm();
+  }
+  ASSERT_GT(num_exchanges, 2);
+
+  // One faulted run per (rank, exchange) cell. The driver checkpoints at
+  // steps 0 and 3 while unfailed, so a kill restores from whichever save
+  // was last — both mid-flight restore paths get exercised.
+  std::map<int, std::vector<double>> q_ref;  // by restored step
+  int cells_failed = 0;
+  for (int victim = 0; victim < nranks; ++victim) {
+    for (std::int64_t m = 0; m < num_exchanges; ++m) {
+      CheckpointStore(base).remove_files();
+      airfoil::Airfoil app(airfoil_opts());
+      app.enable_distributed(nranks, apl::graph::PartitionMethod::kBlock);
+      op2::Distributed& dist = *app.distributed();
+      CheckpointStore store(base);
+
+      Config cfg;
+      cfg.fail_rank = victim;
+      cfg.fail_at_exchange = m;
+      Injector::global().arm(cfg);
+      int it = 0;
+      int restored_step = -1;
+      while (it < total) {
+        if (restored_step < 0 && (it == 0 || it == 3)) {
+          dist.checkpoint(store, it);
+        }
+        try {
+          app.iteration();
+          ++it;
+        } catch (const apl::fault::RankFailure& e) {
+          ASSERT_EQ(e.rank(), victim) << "victim " << victim << " @" << m;
+          ASSERT_LT(restored_step, 0) << "second failure in one cell";
+          restored_step = static_cast<int>(dist.recover_auto(store));
+          it = restored_step;
+        }
+      }
+      Injector::global().disarm();
+      if (restored_step < 0) continue;  // ordinal past this run's exchanges
+      ++cells_failed;
+      ASSERT_EQ(dist.num_ranks(), nranks - 1);
+      ASSERT_EQ(dist.shrinks_done(), 1);
+      EXPECT_EQ(dist.comm().traffic().shrinks(), 1u);
+      EXPECT_GE(dist.comm().traffic().mttr(), 0.0);
+
+      // Reference: a failure-free run at the surviving rank count restored
+      // from the same checkpoint (cached — the checkpoint contents only
+      // depend on the restored step, not on the kill site).
+      if (q_ref.find(restored_step) == q_ref.end()) {
+        airfoil::Airfoil ref(airfoil_opts());
+        ref.enable_distributed(nranks - 1,
+                               apl::graph::PartitionMethod::kBlock);
+        const auto s0 =
+            static_cast<int>(ref.distributed()->recover(store));
+        ASSERT_EQ(s0, restored_step);
+        for (int i = s0; i < total; ++i) ref.iteration();
+        q_ref[restored_step] = ref.solution();
+      }
+      ASSERT_EQ(app.solution(), q_ref[restored_step])
+          << "victim " << victim << " killed at exchange " << m
+          << " (restored from step " << restored_step << ")";
+    }
+  }
+  // Every victim rank must actually have died somewhere in the sweep.
+  EXPECT_GE(cells_failed, nranks);
+  CheckpointStore(base).remove_files();
+}
+
+// ---- OPS: lazy-chained CloverLeaf fault matrix ----------------------------
+
+cloverleaf::Options clover_opts() {
+  cloverleaf::Options o;
+  o.nx = 12;
+  o.ny = 12;
+  o.lazy = true;  // rank contexts run the PR 1 chaining engine
+  return o;
+}
+
+TEST_F(ShrinkRecoverTest, CloverLeafLazyKillMatrixShrinksBitIdentical) {
+  const std::string base = temp_base("shrink_clover_matrix");
+  const int nranks = 4;
+  const int total = 4;
+
+  std::int64_t num_exchanges = 0;
+  {
+    cloverleaf::CloverOps app(clover_opts());
+    app.enable_distributed(nranks);
+    Injector::global().arm(Config{});
+    app.run(total);
+    num_exchanges = Injector::global().exchanges_seen();
+    Injector::global().disarm();
+  }
+  ASSERT_GT(num_exchanges, 2);
+
+  // The full matrix would be slow at CloverLeaf's exchange density; kill
+  // every rank at a stride of ordinals covering begin, middle and end.
+  const std::int64_t stride = std::max<std::int64_t>(1, num_exchanges / 7);
+  std::map<int, std::vector<double>> d_ref;
+  int cells_failed = 0;
+  for (int victim = 0; victim < nranks; ++victim) {
+    for (std::int64_t m = 0; m < num_exchanges; m += stride) {
+      CheckpointStore(base).remove_files();
+      cloverleaf::CloverOps app(clover_opts());
+      app.enable_distributed(nranks);
+      ops::Distributed& dist = *app.distributed();
+      CheckpointStore store(base);
+
+      Config cfg;
+      cfg.fail_rank = victim;
+      cfg.fail_at_exchange = m;
+      Injector::global().arm(cfg);
+      int it = 0;
+      int restored_step = -1;
+      while (it < total) {
+        if (restored_step < 0 && (it == 0 || it == 2)) {
+          dist.checkpoint(store, it);
+        }
+        try {
+          app.step();
+          ++it;
+        } catch (const apl::fault::RankFailure& e) {
+          ASSERT_EQ(e.rank(), victim) << "victim " << victim << " @" << m;
+          ASSERT_LT(restored_step, 0) << "second failure in one cell";
+          restored_step = static_cast<int>(dist.recover_auto(store));
+          it = restored_step;
+          app.set_steps_taken(it);  // xy/yx advection parity
+        }
+      }
+      Injector::global().disarm();
+      if (restored_step < 0) continue;
+      ++cells_failed;
+      ASSERT_EQ(dist.num_ranks(), nranks - 1);
+      ASSERT_EQ(dist.shrinks_done(), 1);
+
+      if (d_ref.find(restored_step) == d_ref.end()) {
+        cloverleaf::CloverOps ref(clover_opts());
+        ref.enable_distributed(nranks - 1);
+        const auto s0 =
+            static_cast<int>(ref.distributed()->recover(store));
+        ASSERT_EQ(s0, restored_step);
+        ref.set_steps_taken(s0);
+        for (int i = s0; i < total; ++i) ref.step();
+        d_ref[restored_step] = ref.density();
+      }
+      ASSERT_EQ(app.density(), d_ref[restored_step])
+          << "victim " << victim << " killed at exchange " << m
+          << " (restored from step " << restored_step << ")";
+    }
+  }
+  EXPECT_GE(cells_failed, nranks);
+  CheckpointStore(base).remove_files();
+}
+
+// ---- transient faults: absorbed by bounded retry --------------------------
+
+TEST_F(ShrinkRecoverTest, TransientFaultsRetryWithZeroResultChange) {
+  const int nranks = 3;
+  const int total = 5;
+
+  airfoil::Airfoil ref(airfoil_opts());
+  ref.enable_distributed(nranks, apl::graph::PartitionMethod::kBlock);
+  for (int i = 0; i < total; ++i) ref.iteration();
+  const auto q_ref = ref.solution();
+
+  for (const char* trigger : {"drop_msg", "dup_msg", "corrupt_msg"}) {
+    airfoil::Airfoil app(airfoil_opts());
+    app.enable_distributed(nranks, apl::graph::PartitionMethod::kBlock);
+    Config cfg = apl::fault::parse_config(std::string(trigger) + "=40");
+    Injector::global().arm(cfg);
+    for (int i = 0; i < total; ++i) app.iteration();
+    Injector::global().disarm();
+    const auto& t = app.distributed()->comm().traffic();
+    EXPECT_GE(t.retries(), 1u) << trigger;
+    EXPECT_GT(t.retry_backoff_seconds(), 0.0) << trigger;
+    EXPECT_EQ(t.shrinks(), 0u) << trigger;
+    EXPECT_EQ(app.solution(), q_ref) << trigger;
+  }
+}
+
+TEST_F(ShrinkRecoverTest, OpsTransientFaultsRetryWithZeroResultChange) {
+  const int nranks = 4;
+  const int total = 3;
+
+  cloverleaf::CloverOps ref(clover_opts());
+  ref.enable_distributed(nranks);
+  ref.run(total);
+  const auto d_ref = ref.density();
+
+  for (const char* trigger : {"drop_msg", "dup_msg", "corrupt_msg"}) {
+    cloverleaf::CloverOps app(clover_opts());
+    app.enable_distributed(nranks);
+    Config cfg = apl::fault::parse_config(std::string(trigger) + "=25");
+    Injector::global().arm(cfg);
+    app.run(total);
+    Injector::global().disarm();
+    const auto& t = app.distributed()->comm().traffic();
+    EXPECT_GE(t.retries(), 1u) << trigger;
+    EXPECT_EQ(app.density(), d_ref) << trigger;
+  }
+}
+
+// ---- the degradation ladder, rung by rung ---------------------------------
+
+TEST_F(ShrinkRecoverTest, RetryBudgetZeroEscalatesToLadderExhausted) {
+  apl::resilience::Policy p;
+  p.max_retries = 0;  // first transient fault exhausts the retry rung
+  apl::resilience::set_policy(p);
+
+  airfoil::Airfoil app(airfoil_opts());
+  app.enable_distributed(3, apl::graph::PartitionMethod::kBlock);
+  Config cfg;
+  cfg.drop_msg = 10;
+  Injector::global().arm(cfg);
+  EXPECT_THROW(
+      {
+        for (int i = 0; i < 4; ++i) app.iteration();
+      },
+      LadderExhausted);
+}
+
+TEST_F(ShrinkRecoverTest, PolicyFailForbidsRecovery) {
+  apl::resilience::Policy p;
+  p.rank_failure = apl::resilience::OnRankFailure::kFail;
+  apl::resilience::set_policy(p);
+
+  const std::string base = temp_base("shrink_policy_fail");
+  CheckpointStore(base).remove_files();
+  airfoil::Airfoil app(airfoil_opts());
+  app.enable_distributed(3, apl::graph::PartitionMethod::kBlock);
+  op2::Distributed& dist = *app.distributed();
+  CheckpointStore store(base);
+  dist.checkpoint(store, 0);
+
+  Config cfg;
+  cfg.fail_rank = 1;
+  cfg.fail_at_exchange = 2;
+  Injector::global().arm(cfg);
+  bool failed = false;
+  try {
+    for (int i = 0; i < 4; ++i) app.iteration();
+  } catch (const apl::fault::RankFailure&) {
+    failed = true;
+    EXPECT_THROW(dist.recover_auto(store), LadderExhausted);
+  }
+  EXPECT_TRUE(failed);
+  store.remove_files();
+}
+
+TEST_F(ShrinkRecoverTest, PolicyReviveTakesTheRollbackPath) {
+  apl::resilience::Policy p;
+  p.rank_failure = apl::resilience::OnRankFailure::kRevive;
+  apl::resilience::set_policy(p);
+
+  const std::string base = temp_base("shrink_policy_revive");
+  CheckpointStore(base).remove_files();
+  airfoil::Airfoil app(airfoil_opts());
+  app.enable_distributed(3, apl::graph::PartitionMethod::kBlock);
+  op2::Distributed& dist = *app.distributed();
+  CheckpointStore store(base);
+  const int total = 5;
+
+  airfoil::Airfoil ref(airfoil_opts());
+  ref.enable_distributed(3, apl::graph::PartitionMethod::kBlock);
+  for (int i = 0; i < total; ++i) ref.iteration();
+
+  Config cfg;
+  cfg.fail_rank = 1;
+  cfg.fail_at_exchange = 3;
+  Injector::global().arm(cfg);
+  int it = 0;
+  while (it < total) {
+    if (it == 0) dist.checkpoint(store, it);
+    try {
+      app.iteration();
+      ++it;
+    } catch (const apl::fault::RankFailure&) {
+      it = static_cast<int>(dist.recover_auto(store));
+    }
+  }
+  EXPECT_EQ(dist.num_ranks(), 3);    // revive keeps the communicator
+  EXPECT_EQ(dist.shrinks_done(), 0);
+  EXPECT_EQ(app.solution(), ref.solution());
+  store.remove_files();
+}
+
+TEST_F(ShrinkRecoverTest, ShrinkBudgetSpentFallsBackToSingleRank) {
+  apl::resilience::Policy p;
+  p.max_shrinks = 0;  // jump straight to the last rung
+  apl::resilience::set_policy(p);
+
+  const std::string base = temp_base("shrink_fallback");
+  CheckpointStore(base).remove_files();
+  const int nranks = 3;
+  const int total = 5;
+
+  airfoil::Airfoil app(airfoil_opts());
+  app.enable_distributed(nranks, apl::graph::PartitionMethod::kBlock);
+  op2::Distributed& dist = *app.distributed();
+  CheckpointStore store(base);
+
+  Config cfg;
+  cfg.fail_rank = 0;
+  cfg.fail_at_exchange = 2;
+  Injector::global().arm(cfg);
+  int it = 0;
+  int restored_step = -1;
+  while (it < total) {
+    if (restored_step < 0 && it == 0) dist.checkpoint(store, it);
+    try {
+      app.iteration();
+      ++it;
+    } catch (const apl::fault::RankFailure&) {
+      restored_step = static_cast<int>(dist.recover_auto(store));
+      it = restored_step;
+    }
+  }
+  Injector::global().disarm();
+  ASSERT_GE(restored_step, 0);
+  EXPECT_EQ(dist.num_ranks(), 1);  // replicated single-rank execution
+
+  // Still bitwise against a single-rank run restored from the checkpoint.
+  airfoil::Airfoil ref(airfoil_opts());
+  ref.enable_distributed(1, apl::graph::PartitionMethod::kBlock);
+  const auto s0 = static_cast<int>(ref.distributed()->recover(store));
+  for (int i = s0; i < total; ++i) ref.iteration();
+  EXPECT_EQ(app.solution(), ref.solution());
+
+  // The ladder is now truly exhausted: another death cannot shrink below
+  // one rank and the fallback has been reached.
+  Config again;
+  again.fail_rank = 0;
+  again.fail_at_exchange = 1;
+  Injector::global().arm(again);
+  bool failed = false;
+  try {
+    for (int i = 0; i < 3; ++i) app.iteration();
+  } catch (const apl::fault::RankFailure&) {
+    failed = true;
+    EXPECT_THROW(dist.recover_auto(store), LadderExhausted);
+  }
+  EXPECT_TRUE(failed);
+  store.remove_files();
+}
+
+// ---- satellite: named checkpoint-layout diagnostic ------------------------
+
+TEST_F(ShrinkRecoverTest, MismatchedCheckpointLayoutNamesTheCulprit) {
+  const std::string base = temp_base("shrink_layout_mismatch");
+  CheckpointStore(base).remove_files();
+
+  // A checkpoint written by a *larger mesh* than the app restoring it.
+  {
+    airfoil::Airfoil big(airfoil::Airfoil::Options{});  // default 60x30
+    big.enable_distributed(2, apl::graph::PartitionMethod::kBlock);
+    CheckpointStore store(base);
+    big.distributed()->checkpoint(store, 0);
+  }
+  airfoil::Airfoil small(airfoil_opts());
+  small.enable_distributed(2, apl::graph::PartitionMethod::kBlock);
+  CheckpointStore store(base);
+  try {
+    small.distributed()->recover(store);
+    FAIL() << "mismatched checkpoint layout was accepted";
+  } catch (const apl::Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("checkpoint layout mismatch"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("expected"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("found"), std::string::npos) << msg;
+  }
+  store.remove_files();
+}
+
+}  // namespace

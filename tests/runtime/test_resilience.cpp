@@ -1,0 +1,82 @@
+// apl::resilience policy parsing and the shared spec dialect
+// (apl::config::parse_spec) that OPAL_RESILIENCE and OPAL_FAULTS ride on.
+#include "apl/resilience.hpp"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/config.hpp"
+#include "apl/error.hpp"
+
+namespace {
+
+using apl::resilience::OnRankFailure;
+using apl::resilience::parse_policy;
+using apl::resilience::Policy;
+
+TEST(Resilience, DefaultsAreTheFullLadder) {
+  const Policy p = parse_policy("");
+  EXPECT_EQ(p.max_retries, 2);
+  EXPECT_DOUBLE_EQ(p.backoff_seconds, 1e-4);
+  EXPECT_DOUBLE_EQ(p.backoff_factor, 2.0);
+  EXPECT_EQ(p.rank_failure, OnRankFailure::kShrink);
+  EXPECT_TRUE(p.single_rank_fallback);
+}
+
+TEST(Resilience, ParsesEveryKnob) {
+  const Policy p = parse_policy(
+      "retries=5,backoff=1e-3,backoff_factor=3,rank_failure=revive,"
+      "max_shrinks=2,fallback=0");
+  EXPECT_EQ(p.max_retries, 5);
+  EXPECT_DOUBLE_EQ(p.backoff_seconds, 1e-3);
+  EXPECT_DOUBLE_EQ(p.backoff_factor, 3.0);
+  EXPECT_EQ(p.rank_failure, OnRankFailure::kRevive);
+  EXPECT_EQ(p.max_shrinks, 2);
+  EXPECT_FALSE(p.single_rank_fallback);
+  EXPECT_EQ(parse_policy("rank_failure=fail").rank_failure,
+            OnRankFailure::kFail);
+}
+
+TEST(Resilience, MalformedValuesThrowUnknownKeysWarn) {
+  EXPECT_THROW(parse_policy("retries=many"), apl::Error);
+  EXPECT_THROW(parse_policy("backoff=-1"), apl::Error);
+  EXPECT_THROW(parse_policy("rank_failure=shrug"), apl::Error);
+  std::vector<std::string> unknown;
+  const Policy p = parse_policy("retries=7,flux_capacitor=on", &unknown);
+  EXPECT_EQ(p.max_retries, 7);
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "flux_capacitor");
+}
+
+TEST(Resilience, BackoffGrowsExponentiallyAndDeterministically) {
+  Policy p;
+  p.backoff_seconds = 0.5;
+  p.backoff_factor = 2.0;
+  EXPECT_DOUBLE_EQ(apl::resilience::backoff_delay(p, 0), 0.5);
+  EXPECT_DOUBLE_EQ(apl::resilience::backoff_delay(p, 1), 1.0);
+  EXPECT_DOUBLE_EQ(apl::resilience::backoff_delay(p, 3), 4.0);
+}
+
+TEST(Resilience, SetPolicyOverridesAndResetRearms) {
+  Policy p;
+  p.max_retries = 9;
+  apl::resilience::set_policy(p);
+  EXPECT_EQ(apl::resilience::policy().max_retries, 9);
+  apl::resilience::reset_policy();
+  EXPECT_EQ(apl::resilience::policy().max_retries, 2);  // env unset: default
+}
+
+TEST(Resilience, SpecDialectSplitsAndValidates) {
+  const auto items = apl::config::parse_spec("a=1, b = two,c=3", "TEST_SPEC");
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].key, "a");
+  EXPECT_EQ(items[0].value, "1");
+  EXPECT_EQ(items[1].key, "b");
+  EXPECT_EQ(items[1].value, "two");
+  EXPECT_THROW(apl::config::parse_spec("novalue", "TEST_SPEC"), apl::Error);
+  EXPECT_THROW(apl::config::parse_spec("=5", "TEST_SPEC"), apl::Error);
+}
+
+}  // namespace

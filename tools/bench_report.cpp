@@ -10,6 +10,7 @@
 //                [--machine NAME]
 //   bench_report --check-trace FILE     # validate a Chrome trace dump
 //   bench_report --check-plan-cache     # cold->warm plan cache gate
+//   bench_report --check-resilience    # kill + transient recovery gate
 //
 // --check-trace reuses apl::trace::validate_chrome_json, so the ci.sh
 // trace stage exercises exactly the schema the tests assert.
@@ -17,6 +18,12 @@
 // (populating a scratch plan cache) then warm, and fails unless the warm
 // run loads every plan from the cache, spends less time in plan analysis,
 // and matches the cold output bitwise.
+// --check-resilience runs a distributed Airfoil through one transient
+// message fault (absorbed by retry) and one rank kill (answered by a
+// communicator shrink), and fails unless the continuation is bitwise
+// identical to a failure-free run at the surviving rank count restored
+// from the same checkpoint. The report carries the recovery-overhead and
+// MTTR columns either way.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -29,7 +36,10 @@
 #include <vector>
 
 #include "airfoil/airfoil.hpp"
+#include "apl/fault.hpp"
+#include "apl/io/ckpt.hpp"
 #include "apl/io/plan_cache.hpp"
+#include "op2/dist.hpp"
 #include "apl/perf/machines.hpp"
 #include "apl/perf/report.hpp"
 #include "apl/profile.hpp"
@@ -40,12 +50,13 @@
 namespace {
 
 struct Args {
-  std::string out = "BENCH_pr6.json";
+  std::string out = "BENCH_pr7.json";
   std::string check_trace;
   std::string machine = "e5-2697v2";
   int airfoil_iters = 40;
   int clover_steps = 20;
   bool check_plan_cache = false;
+  bool check_resilience = false;
 };
 
 int usage(const char* argv0) {
@@ -53,8 +64,9 @@ int usage(const char* argv0) {
                "usage: %s [--out FILE] [--airfoil-iters N] "
                "[--clover-steps N] [--machine NAME]\n"
                "       %s --check-trace FILE\n"
-               "       %s --check-plan-cache\n",
-               argv0, argv0, argv0);
+               "       %s --check-plan-cache\n"
+               "       %s --check-resilience\n",
+               argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -191,6 +203,124 @@ CacheProbe probe_clover_lazy() {
   });
 }
 
+// ---- resilience: recovery overhead and MTTR of a faulted run ---------------
+
+/// One faulted distributed Airfoil run: a transient message fault early on
+/// (absorbed by the policy's bounded retry) and a rank kill mid-run
+/// (answered by a communicator shrink + checkpoint restore). The ledger's
+/// recovery accounting becomes the report's overhead/MTTR columns.
+struct ResilienceProbe {
+  double run_seconds = 0.0;       // faulted run, end to end
+  double recovery_seconds = 0.0;  // time inside recovery (MTTR numerator)
+  double mttr = 0.0;
+  double retry_backoff_seconds = 0.0;
+  double overhead_fraction = 0.0;  // recovery share of the faulted run
+  std::uint64_t retries = 0;
+  std::uint64_t shrinks = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t recovery_bytes = 0;
+  int ranks_before = 0;
+  int ranks_after = 0;
+  bool bitwise_identical = false;
+
+  /// The acceptance gate: the retry rung and the shrink rung both fired,
+  /// and the continuation matched the failure-free reference bitwise.
+  bool ok() const {
+    return retries > 0 && shrinks == 1 && recoveries >= 1 &&
+           ranks_after == ranks_before - 1 && bitwise_identical;
+  }
+};
+
+ResilienceProbe probe_resilience() {
+  constexpr int kRanks = 4;
+  constexpr int kIters = 10;
+  ResilienceProbe p;
+  p.ranks_before = kRanks;
+  const std::string base =
+      (std::filesystem::temp_directory_path() / "bench_resilience_ckpt")
+          .string();
+  apl::io::CheckpointStore(base).remove_files();
+
+  airfoil::Airfoil app{};
+  app.enable_distributed(kRanks, apl::graph::PartitionMethod::kBlock);
+  op2::Distributed& dist = *app.distributed();
+  apl::io::CheckpointStore store(base);
+
+  apl::fault::Config cfg;
+  cfg.drop_msg = 30;  // transient: one dropped message, retried
+  cfg.fail_rank = 2;  // permanent: rank 2 dies at the 12th exchange
+  cfg.fail_at_exchange = 12;
+  apl::fault::Injector::global().arm(cfg);
+  const double t0 = apl::now_seconds();
+  int it = 0;
+  int restored_step = -1;
+  while (it < kIters) {
+    if (restored_step < 0 && it % 4 == 0) dist.checkpoint(store, it);
+    try {
+      app.iteration();
+      ++it;
+    } catch (const apl::fault::RankFailure&) {
+      restored_step = static_cast<int>(dist.recover_auto(store));
+      it = restored_step;
+    }
+  }
+  apl::fault::Injector::global().disarm();
+  p.run_seconds = apl::now_seconds() - t0;
+
+  const auto& t = dist.comm().traffic();
+  p.recovery_seconds = t.recovery_seconds();
+  p.mttr = t.mttr();
+  p.retry_backoff_seconds = t.retry_backoff_seconds();
+  p.retries = t.retries();
+  p.shrinks = t.shrinks();
+  p.recoveries = t.recoveries();
+  p.recovery_bytes = t.recovery_bytes();
+  p.ranks_after = dist.num_ranks();
+  p.overhead_fraction =
+      p.run_seconds > 0.0 ? p.recovery_seconds / p.run_seconds : 0.0;
+
+  if (restored_step >= 0) {
+    // Failure-free reference at the surviving rank count, restored from
+    // the same checkpoint: the shrunk continuation must match it bitwise.
+    airfoil::Airfoil ref{};
+    ref.enable_distributed(kRanks - 1, apl::graph::PartitionMethod::kBlock);
+    const auto s0 = static_cast<int>(ref.distributed()->recover(store));
+    for (int i = s0; i < kIters; ++i) ref.iteration();
+    p.bitwise_identical = bits_equal(app.solution(), ref.solution());
+  }
+  store.remove_files();
+  return p;
+}
+
+std::string resilience_json(const ResilienceProbe& p) {
+  std::ostringstream os;
+  os << "  {\"run\": \"airfoil_dist_faulted\""
+     << ", \"run_seconds\": " << p.run_seconds
+     << ", \"recovery_seconds\": " << p.recovery_seconds
+     << ", \"recovery_overhead\": " << p.overhead_fraction
+     << ", \"mttr_seconds\": " << p.mttr
+     << ", \"retry_backoff_seconds\": " << p.retry_backoff_seconds
+     << ", \"retries\": " << p.retries << ", \"shrinks\": " << p.shrinks
+     << ", \"recoveries\": " << p.recoveries
+     << ", \"recovery_bytes\": " << p.recovery_bytes
+     << ", \"ranks_before\": " << p.ranks_before
+     << ", \"ranks_after\": " << p.ranks_after
+     << ", \"bitwise_identical\": " << (p.bitwise_identical ? "true" : "false")
+     << "}";
+  return os.str();
+}
+
+void print_resilience(const ResilienceProbe& p) {
+  std::printf(
+      "resilience       %d->%d ranks, %llu retries, %llu shrinks, "
+      "recovery %.6fs of %.6fs (%.1f%%), MTTR %.6fs, bitwise %s\n",
+      p.ranks_before, p.ranks_after,
+      static_cast<unsigned long long>(p.retries),
+      static_cast<unsigned long long>(p.shrinks), p.recovery_seconds,
+      p.run_seconds, 100.0 * p.overhead_fraction, p.mttr,
+      p.bitwise_identical ? "identical" : "DIVERGED");
+}
+
 std::string probe_json(const std::string& name, const CacheProbe& p) {
   std::ostringstream os;
   os << "  {\"run\": \"" << name
@@ -242,6 +372,8 @@ int main(int argc, char** argv) {
       args.clover_steps = std::atoi(v.c_str());
     } else if (a == "--check-plan-cache") {
       args.check_plan_cache = true;
+    } else if (a == "--check-resilience") {
+      args.check_resilience = true;
     } else {
       return usage(argv[0]);
     }
@@ -282,6 +414,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (args.check_resilience) {
+    const ResilienceProbe res = probe_resilience();
+    print_resilience(res);
+    if (!res.ok()) {
+      std::fprintf(stderr, "bench_report: resilience check FAILED\n");
+      return 1;
+    }
+    std::printf("resilience retry+shrink check passed\n");
+    return 0;
+  }
+
   const apl::perf::Machine machine = apl::perf::machine(args.machine);
   std::vector<std::string> runs;
 
@@ -319,8 +462,12 @@ int main(int argc, char** argv) {
   print_probe("airfoil", air_probe);
   print_probe("cloverleaf_lazy", clv_probe);
 
+  // Resilience trajectory: recovery overhead and MTTR of a faulted run.
+  const ResilienceProbe res_probe = probe_resilience();
+  print_resilience(res_probe);
+
   std::ostringstream os;
-  os << "{\"bench\": \"pr6\", \"machine\": \"" << machine.name
+  os << "{\"bench\": \"pr7\", \"machine\": \"" << machine.name
      << "\",\n \"airfoil_iters\": " << args.airfoil_iters
      << ", \"clover_steps\": " << args.clover_steps << ",\n \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -328,7 +475,8 @@ int main(int argc, char** argv) {
   }
   os << "],\n \"plan_cache\": [\n"
      << probe_json("airfoil", air_probe) << ",\n"
-     << probe_json("cloverleaf_lazy", clv_probe) << "\n]}\n";
+     << probe_json("cloverleaf_lazy", clv_probe) << "\n],\n \"resilience\": [\n"
+     << resilience_json(res_probe) << "\n]}\n";
 
   std::ofstream out(args.out);
   if (!out) {

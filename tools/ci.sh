@@ -49,10 +49,19 @@ OPAL_TRACE="$build/tier1.trace.json" ctest --test-dir "$build" -L tier1 \
 # match the cold output bitwise — the whole point of persisting Plan IR.
 "$build/tools/bench_report" --check-plan-cache
 
+# Resilience stage: the retry + shrink ladder end to end. The kill-sweep
+# fault matrix (every rank killed across the exchange ordinals of Airfoil
+# and a lazy CloverLeaf chain, bitwise gate against a failure-free run at
+# the surviving rank count) runs as the ShrinkRecover tier-1 tests; the
+# bench_report gate replays one faulted run and checks the ledger columns.
+"$build/tests/test_resilience" --gtest_filter='ShrinkRecoverTest.*' \
+  --gtest_brief=1
+"$build/tools/bench_report" --check-resilience
+
 # Perf-trajectory stage: regenerate the checked-in per-loop benchmark
 # record (Airfoil + CloverLeaf eager/lazy, roofline join included, plus
-# the plan-analysis cold/warm columns).
-(cd "$repo" && "$build/tools/bench_report" --out BENCH_pr6.json > /dev/null)
+# the plan-analysis cold/warm and recovery-overhead/MTTR columns).
+(cd "$repo" && "$build/tools/bench_report" --out BENCH_pr7.json > /dev/null)
 
 if [[ -n "${CI_SANITIZE:-}" ]]; then
   san_build="$build-$CI_SANITIZE"
@@ -60,4 +69,8 @@ if [[ -n "${CI_SANITIZE:-}" ]]; then
         -DAPL_SANITIZE="$CI_SANITIZE"
   cmake --build "$san_build" -j "$(nproc)"
   ctest --test-dir "$san_build" -L tier1 --output-on-failure -j "$(nproc)"
+  # The kill sweep must stay clean under the sanitizer too (the ISSUE's
+  # APL_SANITIZE=thread configuration when CI_SANITIZE=thread).
+  "$san_build/tests/test_resilience" --gtest_filter='ShrinkRecoverTest.*' \
+    --gtest_brief=1
 fi
