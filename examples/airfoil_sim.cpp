@@ -53,12 +53,15 @@ int main(int argc, char** argv) {
     } catch (const apl::fault::RankFailure& e) {
       std::printf("  rank %d failed at iteration %d — recovering...\n",
                   e.rank(), it);
-      try {
-        it = static_cast<int>(dist.recover_auto(store));
-      } catch (const apl::Error& err) {
-        std::fprintf(stderr, "unrecoverable: %s\n", err.what());
+      // The structured path: the recovery verdict arrives as data (rung,
+      // resume step, ledger deltas), not as exception text to parse.
+      const apl::resilience::Outcome out = dist.recover_outcome(store);
+      std::printf("  %s\n", out.summary().c_str());
+      if (!out.ok) {
+        std::fprintf(stderr, "unrecoverable: %s\n", out.error.c_str());
         return 1;
       }
+      it = static_cast<int>(out.resume_step);
     }
   }
   const auto& tr = dist.comm().traffic();

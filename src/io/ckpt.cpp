@@ -71,7 +71,7 @@ std::vector<std::uint8_t> read_all(const std::string& path) {
 void write_atomic(const std::string& final_path,
                   std::span<const std::uint8_t> bytes,
                   std::uint64_t stream_offset) {
-  auto& inj = fault::Injector::global();
+  auto& inj = fault::Injector::current();
   std::size_t n = bytes.size();
   bool kill_after = false;
   const std::int64_t kill = inj.ckpt_kill_offset();
@@ -127,7 +127,7 @@ std::string CheckpointStore::slot_path(int slot) const {
 
 void CheckpointStore::save(const File& file) {
   apl::trace::Span span(apl::trace::kCkpt, "ckpt_save:" + base_);
-  auto& inj = fault::Injector::global();
+  auto& inj = fault::Injector::current();
   std::vector<std::uint8_t> payload = file.serialize();
 
   // Compute the CRC over the *clean* payload, then apply injected bitrot:

@@ -145,6 +145,26 @@ class Store {
   /// cache directory, created on first save.
   static Store& global();
 
+  /// The store plan_for() actually consults: the calling thread's scoped
+  /// override when one is installed (see ScopedStore), else global().
+  /// A multi-tenant scheduler uses this to give each job its own cache
+  /// namespace, so one job's corrupted entry can never poison another's
+  /// warm start.
+  static Store& current();
+
+  /// RAII: installs `store` as the calling thread's current store for
+  /// the scope's lifetime (nullptr re-exposes global()). Scopes nest.
+  class ScopedStore {
+   public:
+    explicit ScopedStore(Store* store);
+    ~ScopedStore();
+    ScopedStore(const ScopedStore&) = delete;
+    ScopedStore& operator=(const ScopedStore&) = delete;
+
+   private:
+    Store* prev_;
+  };
+
   Store() = default;
   explicit Store(std::string dir) { set_directory(std::move(dir)); }
 

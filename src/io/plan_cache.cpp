@@ -118,6 +118,19 @@ Store& Store::global() {
   return store;
 }
 
+namespace {
+thread_local Store* t_store = nullptr;
+}  // namespace
+
+Store& Store::current() {
+  return t_store != nullptr ? *t_store : global();
+}
+
+Store::ScopedStore::ScopedStore(Store* store) : prev_(t_store) {
+  t_store = store;
+}
+Store::ScopedStore::~ScopedStore() { t_store = prev_; }
+
 void Store::set_directory(std::string dir) {
   dir_ = std::move(dir);
   stats_ = Stats{};
@@ -204,7 +217,7 @@ void Store::save(const Key& key, std::span<const std::uint8_t> payload) {
 
   // The CRC above covers the clean payload; injected bitrot lands after,
   // so the next load of this entry must detect the mismatch.
-  auto& inj = fault::Injector::global();
+  auto& inj = fault::Injector::current();
   if (const std::int64_t off = inj.plan_cache_corrupt_offset(); off >= 0) {
     const std::size_t at = kHeaderBytes + static_cast<std::size_t>(off);
     if (at < blob.size()) {

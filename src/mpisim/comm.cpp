@@ -100,7 +100,7 @@ std::vector<int> Comm::shrink() {
 }
 
 void Comm::begin_exchange() {
-  if (const auto r = fault::Injector::global().on_exchange()) {
+  if (const auto r = fault::Injector::current().on_exchange()) {
     if (*r >= 0 && *r < size_) fail_rank(*r);
   }
   reset_ledger();
@@ -154,7 +154,7 @@ void Comm::send(int src, int dst, int tag,
             next_seq_++,
             apl::signature::fnv1a(bytes),
             std::vector<std::uint8_t>(bytes.begin(), bytes.end())};
-  switch (fault::Injector::global().on_send()) {
+  switch (fault::Injector::current().on_send()) {
     case fault::Injector::SendFault::kNone:
       enqueue(dst, std::move(m));
       break;

@@ -88,7 +88,7 @@ Map* Context::find_map(const std::string& name) {
 }
 
 void Context::apply_injected_faults() {
-  auto& inj = apl::fault::Injector::global();
+  auto& inj = apl::fault::Injector::current();
   const auto target = inj.corrupt_map_target();
   if (!target) return;
   Map* m = find_map(target->first);
@@ -179,7 +179,7 @@ const Plan& Context::plan_for(const PlanRequest& req) {
   }
 
   const double t0 = apl::now_seconds();
-  auto& store = apl::plan_cache::Store::global();
+  auto& store = apl::plan_cache::Store::current();
   apl::plan_cache::Key ck;
   std::unique_ptr<Plan> plan;
   if (store.enabled()) {

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <utility>
 
+#include "apl/cancel.hpp"
+#include "apl/fault.hpp"
 #include "apl/graph/csr.hpp"
 #include "apl/io/ckpt.hpp"
 #include "apl/io/plan_cache.hpp"
@@ -64,7 +66,7 @@ void Distributed::partition_sets(apl::graph::PartitionMethod method,
   // it persists in the plan cache like any other analysis result — which
   // makes post-shrink repartitioning of a previously seen (mesh, R-1)
   // pair a warm hit instead of a fresh partitioner run.
-  auto& pstore = apl::plan_cache::Store::global();
+  auto& pstore = apl::plan_cache::Store::current();
   apl::plan_cache::Key ck;
   if (pstore.enabled()) {
     ck.kind = "part";
@@ -335,6 +337,9 @@ void Distributed::validate_args(const std::string& name,
 }
 
 void Distributed::exchange_halo(index_t dat_id, apl::LoopStats* stats) {
+  // Exchange boundaries are cancellation points: every rank's data is
+  // consistent here (the previous loop completed on all ranks).
+  apl::cancel::point("exchange_halo");
   comm_.begin_exchange();
   const DatBase& gdat = global_->dat(dat_id);
   apl::trace::Span span(apl::trace::kHalo, "exchange:" + gdat.name());
@@ -423,6 +428,7 @@ void Distributed::zero_ghosts(index_t dat_id) {
 }
 
 void Distributed::flush_increments(index_t dat_id, apl::LoopStats* stats) {
+  apl::cancel::point("flush_increments");
   comm_.begin_exchange();
   const DatBase& gdat = global_->dat(dat_id);
   apl::trace::Span span(apl::trace::kHalo, "flush:" + gdat.name());
@@ -659,6 +665,46 @@ std::int64_t Distributed::recover_auto(apl::io::CheckpointStore& store) {
       "op2: degradation ladder exhausted — shrink budget (" +
       std::to_string(p.max_shrinks) + ") spent and single-rank fallback " +
       (p.single_rank_fallback ? "already reached" : "disabled"));
+}
+
+apl::resilience::Outcome Distributed::recover_outcome(
+    apl::io::CheckpointStore& store) {
+  using apl::resilience::Rung;
+  const apl::resilience::Policy& p = apl::resilience::policy();
+  const apl::mpisim::Traffic& tr = comm_.traffic();
+  const std::uint64_t retries0 = tr.retries();
+  const std::uint64_t shrinks0 = tr.shrinks();
+  const double backoff0 = tr.retry_backoff_seconds();
+  const double recsec0 = tr.recovery_seconds();
+  // recover_auto takes the fallback rung only once the shrink budget is
+  // spent; snapshot the condition now so the outcome can name its rung.
+  const bool fallback_next = shrinks_done_ >= p.max_shrinks;
+  apl::resilience::Outcome out;
+  try {
+    out.resume_step = recover_auto(store);
+    out.ok = true;
+    if (p.rank_failure == apl::resilience::OnRankFailure::kRevive) {
+      out.rung = Rung::kRevive;
+    } else {
+      out.rung = fallback_next ? Rung::kFallback : Rung::kShrink;
+    }
+  } catch (const apl::resilience::LadderExhausted& e) {
+    out.rung = Rung::kExhausted;
+    out.error = e.what();
+    out.error_kind = "LadderExhausted";
+  } catch (const apl::fault::Kill&) {
+    throw;  // a fresh injected crash is not a recovery verdict
+  } catch (const apl::Error& e) {
+    out.rung = fallback_next ? Rung::kFallback : Rung::kShrink;
+    out.error = e.what();
+    out.error_kind = "Error";
+  }
+  out.retries = static_cast<int>(tr.retries() - retries0);
+  out.shrinks = static_cast<int>(tr.shrinks() - shrinks0);
+  out.backoff_seconds = tr.retry_backoff_seconds() - backoff0;
+  out.recovery_seconds = tr.recovery_seconds() - recsec0;
+  out.mttr = tr.mttr();
+  return out;
 }
 
 }  // namespace op2

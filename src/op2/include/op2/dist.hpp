@@ -36,6 +36,7 @@
 
 #include "apl/graph/partition.hpp"
 #include "apl/mpisim/comm.hpp"
+#include "apl/resilience.hpp"
 #include "op2/context.hpp"
 #include "op2/par_loop.hpp"
 
@@ -108,6 +109,12 @@ public:
   /// shrink (bounded by the policy's shrink budget), replicated
   /// single-rank fallback, or a named LadderExhausted error. Never hangs.
   std::int64_t recover_auto(apl::io::CheckpointStore& store);
+  /// recover_auto with the result *as data*: the rung reached, the resume
+  /// step, the ledger deltas (retries/shrinks/backoff/MTTR) this recovery
+  /// cost, and — on failure — the named error kind instead of a throw.
+  /// LadderExhausted and recovery errors are absorbed into the Outcome;
+  /// anything non-resilience (e.g. a fresh injected Kill) still throws.
+  apl::resilience::Outcome recover_outcome(apl::io::CheckpointStore& store);
   /// Shrink-and-continue recoveries performed so far (ladder bookkeeping).
   int shrinks_done() const { return shrinks_done_; }
 

@@ -31,6 +31,7 @@
 #include <tuple>
 #include <vector>
 
+#include "apl/cancel.hpp"
 #include "apl/error.hpp"
 #include "apl/fault.hpp"
 #include "apl/profile.hpp"
@@ -490,9 +491,14 @@ void run_cudasim(Context& ctx, const std::string& name, const Set& /*set*/,
 template <class Kernel, class... Args>
 void par_loop(Context& ctx, const std::string& name, const Set& set,
               Kernel&& kernel, Args... args) {
+  // Cancellation point: a deadline, stall verdict, or user cancel raises
+  // here, at the loop boundary, where no plan state is half-built. The
+  // same call heartbeats the thread's token for stall detection.
+  apl::cancel::point(name.c_str());
   // Fault injection (kill_at_loop, corrupt_map): the test harness for the
-  // recovery and guarded-validation paths.
-  apl::fault::Injector& injector = apl::fault::Injector::global();
+  // recovery and guarded-validation paths. current() so a scheduler can
+  // scope an injector to one job.
+  apl::fault::Injector& injector = apl::fault::Injector::current();
   injector.on_loop();
   if (injector.armed()) ctx.apply_injected_faults();
 

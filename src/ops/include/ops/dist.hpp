@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "apl/mpisim/comm.hpp"
+#include "apl/resilience.hpp"
 #include "ops/context.hpp"
 #include "ops/par_loop.hpp"
 
@@ -82,6 +83,12 @@ public:
   /// shrink (bounded), replicated single-rank fallback, or a named
   /// LadderExhausted error. Never hangs.
   std::int64_t recover_auto(apl::io::CheckpointStore& store);
+  /// recover_auto with the result *as data*: the rung reached, the resume
+  /// step, the ledger deltas (retries/shrinks/backoff/MTTR) this recovery
+  /// cost, and — on failure — the named error kind instead of a throw.
+  /// LadderExhausted and recovery errors are absorbed into the Outcome;
+  /// anything non-resilience (e.g. a fresh injected Kill) still throws.
+  apl::resilience::Outcome recover_outcome(apl::io::CheckpointStore& store);
   /// Shrink-and-continue recoveries performed so far (ladder bookkeeping).
   int shrinks_done() const { return shrinks_done_; }
 

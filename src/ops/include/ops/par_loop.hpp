@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "apl/cancel.hpp"
 #include "apl/fault.hpp"
 #include "apl/profile.hpp"
 #include "apl/thread_pool.hpp"
@@ -360,8 +361,11 @@ inline void classify_ckpt_write(Checkpointer&, const Range&, const ArgIdx&,
 template <class Kernel, class... Args>
 void par_loop(Context& ctx, const std::string& name, const Block& block,
               const Range& range, Kernel&& kernel, Args... args) {
-  // Fault injection (kill_at_loop): the test harness for recovery paths.
-  apl::fault::Injector::global().on_loop();
+  // Cancellation point first (deadline/stall/user cancel raises at the
+  // loop boundary), then fault injection — current() so a scheduler can
+  // scope an injector to one job.
+  apl::cancel::point(name.c_str());
+  apl::fault::Injector::current().on_loop();
 
   std::vector<ArgInfo> infos{args.info()...};
   detail::validate_range(ctx, name, block, range, infos);

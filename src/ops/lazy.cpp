@@ -8,6 +8,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "apl/cancel.hpp"
 #include "apl/error.hpp"
 #include "apl/io/plan_cache.hpp"
 #include "apl/signature.hpp"
@@ -712,7 +713,7 @@ const ChainSchedule& Context::plan_for(const PlanRequest& req) {
     return *it->second;
   }
 
-  auto& store = apl::plan_cache::Store::global();
+  auto& store = apl::plan_cache::Store::current();
   apl::plan_cache::Key ck;
   ck.kind = "ops";
   ck.topology = topo;
@@ -798,6 +799,10 @@ void flush_pending(Context& ctx) { ctx.flush(); }
 
 void execute_chain(Context& ctx, std::vector<LoopRecord> chain,
                    ChainStats& stats) {
+  // A chain flush is a checkpointable boundary: cancellation (and the
+  // preemption flag a scheduler polls) take effect here, before any tile
+  // of the chain has executed.
+  apl::cancel::point("chain_flush");
   // One span per flush; the per-slice kTile spans the record executors
   // open (ops/par_loop.hpp) nest inside it.
   apl::trace::Span chain_span(apl::trace::kChain, "chain_flush");

@@ -1,0 +1,72 @@
+#include "apl/cancel.hpp"
+
+namespace apl::cancel {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+thread_local Token* t_current = nullptr;
+
+}  // namespace
+
+const char* to_string(Reason r) {
+  switch (r) {
+    case Reason::kNone: return "none";
+    case Reason::kUser: return "cancelled";
+    case Reason::kDeadline: return "deadline";
+    case Reason::kStalled: return "stalled";
+    case Reason::kPreempt: return "preempted";
+    case Reason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+void Token::cancel(Reason r) {
+  if (r == Reason::kNone) return;
+  int expected = static_cast<int>(Reason::kNone);
+  reason_.compare_exchange_strong(expected, static_cast<int>(r),
+                                  std::memory_order_acq_rel);
+}
+
+void Token::set_deadline(double seconds) {
+  if (seconds <= 0.0) {
+    deadline_ns_.store(0, std::memory_order_release);
+    return;
+  }
+  deadline_ns_.store(
+      now_ns() + static_cast<std::int64_t>(seconds * 1e9),
+      std::memory_order_release);
+}
+
+bool Token::deadline_expired() const {
+  const std::int64_t d = deadline_ns_.load(std::memory_order_acquire);
+  return d != 0 && now_ns() >= d;
+}
+
+void Token::check(const char* where) {
+  beat();
+  if (!cancelled() && deadline_expired()) cancel(Reason::kDeadline);
+  if (cancelled()) [[unlikely]] {
+    const Reason r = reason();
+    throw Cancelled(r, std::string("cancelled (") + to_string(r) + ") at " +
+                           where);
+  }
+}
+
+void Token::reset() {
+  reason_.store(static_cast<int>(Reason::kNone), std::memory_order_release);
+  preempt_.store(false, std::memory_order_release);
+  deadline_ns_.store(0, std::memory_order_release);
+}
+
+Token* current() { return t_current; }
+
+Scope::Scope(Token* t) : prev_(t_current) { t_current = t; }
+Scope::~Scope() { t_current = prev_; }
+
+}  // namespace apl::cancel

@@ -23,6 +23,11 @@ constexpr KeyInfo kRegistry[] = {
     {"OPAL_NUM_THREADS", "worker count for the threads backend (>= 1)"},
     {"OPAL_PLAN_CACHE", "directory for the persistent plan cache"},
     {"OPAL_RESILIENCE", "failure-response policy spec (apl::resilience)"},
+    {"OPAL_SERVE_DEADLINE", "default per-job deadline in seconds (0 = none)"},
+    {"OPAL_SERVE_QUEUE", "admission queue depth of the simulation service"},
+    {"OPAL_SERVE_RETRIES", "re-admission budget for transiently failed jobs"},
+    {"OPAL_SERVE_WATCHDOG", "watchdog sweep period in seconds"},
+    {"OPAL_SERVE_WORKERS", "concurrent job slots of the simulation service"},
     {"OPAL_TRACE", "emit Chrome trace_event JSON to this path"},
     {"OPAL_VERIFY", "guarded-execution checks: access,bounds,plan,halo,..."},
 };

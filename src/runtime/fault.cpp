@@ -1,7 +1,10 @@
 #include "apl/fault.hpp"
 
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
+#include "apl/cancel.hpp"
 #include "apl/config.hpp"
 
 namespace apl::fault {
@@ -62,6 +65,8 @@ Config parse_config(std::string_view spec, std::vector<std::string>* unknown) {
       cfg.dup_msg = parse_int(key, val);
     } else if (key == "corrupt_msg") {
       cfg.corrupt_msg = parse_int(key, val);
+    } else if (key == "hang_at_loop") {
+      cfg.hang_at_loop = parse_int(key, val);
     } else if (key == "seed") {
       cfg.seed = static_cast<std::uint64_t>(parse_int(key, val));
     } else {
@@ -85,6 +90,17 @@ Injector& Injector::global() {
   }();
   return inj;
 }
+
+namespace {
+thread_local Injector* t_injector = nullptr;
+}  // namespace
+
+Injector& Injector::current() {
+  return t_injector != nullptr ? *t_injector : global();
+}
+
+Injector::Scope::Scope(Injector* inj) : prev_(t_injector) { t_injector = inj; }
+Injector::Scope::~Scope() { t_injector = prev_; }
 
 void Injector::arm(Config c) {
   cfg_ = std::move(c);
@@ -151,6 +167,29 @@ void Injector::kill_loop(std::int64_t ordinal) {
   cfg_.kill_at_loop = -1;  // one-shot: a restarted run must get past it
   throw Kill("fault injection: killed before par_loop ordinal " +
              std::to_string(ordinal));
+}
+
+void Injector::hang_loop(std::int64_t ordinal) {
+  cfg_.hang_at_loop = -1;  // one-shot, like every other trigger
+  // A wedged loop: no heartbeats, no forward progress. Cooperative
+  // cancellation is the only way out — the watchdog sees the frozen
+  // heartbeat counter (or the blown deadline) and cancels the thread's
+  // token; cancel::point then raises it right here, at the loop boundary
+  // the job hung on. The wall-clock cap turns a hang with no monitor
+  // into a named Kill instead of a wedged test suite.
+  cancel::Token* token = cancel::current();
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    if (token != nullptr && token->cancelled()) {
+      cancel::point("hung par_loop");  // throws Cancelled with the reason
+    }
+    if (std::chrono::steady_clock::now() - start > std::chrono::seconds(60)) {
+      throw Kill("fault injection: hang at par_loop ordinal " +
+                 std::to_string(ordinal) +
+                 " was never cancelled (no watchdog?)");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
 }
 
 }  // namespace apl::fault

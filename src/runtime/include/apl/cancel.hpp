@@ -1,0 +1,164 @@
+// apl::cancel — cooperative cancellation, deadlines and progress
+// heartbeats for long-running library work.
+//
+// The active-library thesis cuts both ways: because the library owns the
+// schedule (every par_loop, every chain flush, every halo exchange passes
+// through it), it can insert *cancellation points* transparently — the
+// application never polls a flag, yet a runaway job stops at the next
+// loop boundary with a named error instead of wedging its worker thread.
+//
+// The machinery is three small pieces:
+//
+//   * Token   — sticky cancellation state (first reason wins), an optional
+//               deadline, a monotonically increasing heartbeat counter
+//               (bumped at every cancellation point, which is how a
+//               watchdog distinguishes "slow" from "stalled"), and a
+//               separate *preemption request* flag that does NOT throw at
+//               cancellation points: preemption only takes effect where
+//               the job can checkpoint (a chain boundary), so the driver
+//               polls should_yield() there instead.
+//   * Scope   — RAII installation of a token as the calling thread's
+//               current token. The instrumented points (op2/ops par_loop
+//               entry, lazy-chain flush, distributed exchanges) consult
+//               the thread-local current token, so a scheduler can thread
+//               cancellation through an entire job by wrapping its body —
+//               no per-loop plumbing in application code.
+//   * point() — the cancellation point: beat, then throw Cancelled if the
+//               token is cancelled or past its deadline. Costs one
+//               thread-local load when no token is installed.
+//
+// Cancellation is *cooperative*: code between two points cannot be
+// interrupted. Every unit of runtime work the library schedules is
+// bracketed by points, so the residual latency is one loop body.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "apl/error.hpp"
+
+namespace apl::cancel {
+
+/// Why a token was cancelled. Ordered roughly by "who asked": an explicit
+/// user cancel, the watchdog's deadline/stall verdicts, a scheduler
+/// preemption, a server shutdown.
+enum class Reason {
+  kNone = 0,
+  kUser,      ///< explicit cancel() by the owner
+  kDeadline,  ///< exceeded its wall-clock deadline
+  kStalled,   ///< made no progress for the stall window
+  kPreempt,   ///< yielded for checkpoint-backed preemption
+  kShutdown,  ///< the owning service is shutting down
+};
+
+const char* to_string(Reason r);
+
+/// Thrown at a cancellation point once the current token is cancelled.
+/// Carries the reason so catch sites can tell a deadline from a user
+/// cancel from a preemption without string matching.
+class Cancelled : public Error {
+ public:
+  Cancelled(Reason reason, const std::string& what)
+      : Error(what), reason_(reason) {}
+  Reason reason() const { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+class Token {
+ public:
+  Token() = default;
+  Token(const Token&) = delete;
+  Token& operator=(const Token&) = delete;
+
+  /// Cancels the token; the first reason sticks (a later deadline cannot
+  /// overwrite an earlier user cancel). Safe from any thread.
+  void cancel(Reason r);
+
+  bool cancelled() const {
+    return reason_.load(std::memory_order_acquire) !=
+           static_cast<int>(Reason::kNone);
+  }
+  Reason reason() const {
+    return static_cast<Reason>(reason_.load(std::memory_order_acquire));
+  }
+
+  /// Arms a wall-clock deadline `seconds` from now (<= 0 disarms). The
+  /// deadline fires lazily: the first check() past it cancels with
+  /// kDeadline. A watchdog may also call expire_deadline() eagerly.
+  void set_deadline(double seconds);
+  bool has_deadline() const {
+    return deadline_ns_.load(std::memory_order_acquire) != 0;
+  }
+  bool deadline_expired() const;
+  /// Watchdog entry point: cancel with kDeadline iff the deadline passed.
+  void expire_deadline() {
+    if (deadline_expired()) cancel(Reason::kDeadline);
+  }
+
+  /// Heartbeats: bumped at every cancellation point. A monitor that sees
+  /// the counter frozen across its stall window knows the job is wedged
+  /// between points (or spinning outside the library).
+  std::uint64_t beats() const { return beats_.load(std::memory_order_acquire); }
+  void beat() { beats_.fetch_add(1, std::memory_order_acq_rel); }
+
+  /// The cancellation point body: beat, fold in an expired deadline, and
+  /// throw Cancelled naming `where` if cancelled. `where` labels the
+  /// boundary ("op2::par_loop", "ops::flush", "op2::exchange") so the
+  /// error says where the job actually stopped.
+  void check(const char* where);
+
+  /// Preemption request: observed by drivers at checkpointable boundaries
+  /// via should_yield(); never thrown by check(). One-way until
+  /// clear_preempt() (the scheduler clears it when re-admitting).
+  void request_preempt() { preempt_.store(true, std::memory_order_release); }
+  bool preempt_requested() const {
+    return preempt_.load(std::memory_order_acquire);
+  }
+  void clear_preempt() { preempt_.store(false, std::memory_order_release); }
+
+  /// Re-arms a token for a fresh attempt of the same job: clears the
+  /// cancelled state, the preemption request and the deadline. Heartbeats
+  /// keep counting (monitors track deltas, not absolutes).
+  void reset();
+
+ private:
+  std::atomic<int> reason_{static_cast<int>(Reason::kNone)};
+  std::atomic<bool> preempt_{false};
+  std::atomic<std::uint64_t> beats_{0};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< steady_clock epoch ns; 0=off
+};
+
+/// The calling thread's current token (nullptr when none installed).
+Token* current();
+
+/// RAII: installs `t` as the current token for the scope's lifetime,
+/// restoring the previous one (scopes nest) on destruction.
+class Scope {
+ public:
+  explicit Scope(Token* t);
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Token* prev_;
+};
+
+/// The instrumented cancellation point: a no-op without a current token,
+/// otherwise beat + deadline fold + throw-if-cancelled.
+inline void point(const char* where) {
+  if (Token* t = current()) t->check(where);
+}
+
+/// Convenience for drivers at checkpointable boundaries: true when the
+/// current token (if any) has a pending preemption request.
+inline bool yield_requested() {
+  Token* t = current();
+  return t != nullptr && t->preempt_requested();
+}
+
+}  // namespace apl::cancel

@@ -28,6 +28,11 @@
 //   dup_msg=N               deliver the Nth Comm::send twice
 //   corrupt_msg=N           flip a payload bit of the Nth Comm::send (the
 //                           receiver's checksum catches it)
+//   hang_at_loop=N          before the Nth par_loop, stop making progress:
+//                           spin (no heartbeats) until the thread's cancel
+//                           token fires — the watchdog's stall/deadline
+//                           verdict is what ends it — then raise the
+//                           cancellation at that point
 //   seed=S                  recorded for reproducibility bookkeeping
 //
 // The spec is parsed through apl::config's shared spec dialect; unknown
@@ -90,6 +95,7 @@ struct Config {
   std::int64_t drop_msg = -1;
   std::int64_t dup_msg = -1;
   std::int64_t corrupt_msg = -1;
+  std::int64_t hang_at_loop = -1;
   std::uint64_t seed = 0;
 };
 
@@ -106,6 +112,27 @@ class Injector {
   /// OPAL_FAULTS environment variable if it is set and non-empty.
   static Injector& global();
 
+  /// The injector the instrumented points consult: the calling thread's
+  /// scoped override when one is installed (see Scope), else global().
+  /// This is what gives a multi-tenant scheduler *per-job* fault
+  /// isolation — each job runs under its own injector with its own
+  /// trigger state and ordinal counters, and a fault armed for one job
+  /// can never fire inside another.
+  static Injector& current();
+
+  /// RAII: installs `inj` as the calling thread's current injector for
+  /// the scope's lifetime (nullptr re-exposes global()). Scopes nest.
+  class Scope {
+   public:
+    explicit Scope(Injector* inj);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Injector* prev_;
+  };
+
   void arm(Config c);
   void disarm();
   bool armed() const { return armed_; }
@@ -114,10 +141,13 @@ class Injector {
   // --- instrumented points -------------------------------------------------
 
   /// Called at the top of every op2/ops par_loop; throws Kill when the
-  /// global loop ordinal reaches kill_at_loop.
+  /// loop ordinal reaches kill_at_loop, and enters the injected hang at
+  /// hang_at_loop (ends only through cooperative cancellation).
   void on_loop() {
     const std::int64_t ordinal = loops_++;
-    if (armed_ && cfg_.kill_at_loop == ordinal) kill_loop(ordinal);
+    if (!armed_) return;
+    if (cfg_.kill_at_loop == ordinal) kill_loop(ordinal);
+    if (cfg_.hang_at_loop == ordinal) hang_loop(ordinal);
   }
   std::int64_t loops_seen() const { return loops_; }
 
@@ -165,6 +195,7 @@ class Injector {
 
  private:
   [[noreturn]] void kill_loop(std::int64_t ordinal);
+  [[noreturn]] void hang_loop(std::int64_t ordinal);
 
   Config cfg_;
   bool armed_ = false;

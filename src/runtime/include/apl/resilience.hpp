@@ -26,6 +26,7 @@
 // recovery cost deterministically.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -63,13 +64,32 @@ double backoff_delay(const Policy& p, int attempt);
 Policy parse_policy(std::string_view spec,
                     std::vector<std::string>* unknown = nullptr);
 
-/// The process-wide policy. First access parses OPAL_RESILIENCE (unset or
-/// empty means all defaults).
+/// The policy in effect for the calling thread: a scoped per-thread
+/// override when one is installed (see ScopedPolicy), else the
+/// process-wide policy. First global access parses OPAL_RESILIENCE
+/// (unset or empty means all defaults).
 const Policy& policy();
 
-/// Test hooks: install a specific policy / re-arm from the environment.
+/// Test hooks: install a specific process-wide policy / re-arm from the
+/// environment.
 void set_policy(const Policy& p);
 void reset_policy();
+
+/// RAII: installs `p` as the calling thread's policy for the scope's
+/// lifetime (nullptr re-exposes the process-wide policy). This is what
+/// gives a multi-tenant scheduler *per-job* resilience policies — one
+/// job may shrink-and-continue while its neighbour fails fast, on the
+/// same process-wide defaults.
+class ScopedPolicy {
+ public:
+  explicit ScopedPolicy(const Policy* p);
+  ~ScopedPolicy();
+  ScopedPolicy(const ScopedPolicy&) = delete;
+  ScopedPolicy& operator=(const ScopedPolicy&) = delete;
+
+ private:
+  const Policy* prev_;
+};
 
 /// Thrown when every rung of the degradation ladder has been consumed:
 /// retries exhausted on a transient fault that keeps recurring, or a rank
@@ -78,6 +98,39 @@ void reset_policy();
 class LadderExhausted : public Error {
  public:
   explicit LadderExhausted(const std::string& what) : Error(what) {}
+};
+
+/// The rung of the degradation ladder a recovery ended on.
+enum class Rung {
+  kNone,       ///< no recovery was needed
+  kRetry,      ///< transient fault absorbed by bounded retry
+  kRevive,     ///< PR 2 semantics: revive + collective rollback
+  kShrink,     ///< ULFM-style communicator shrink + repartition + restore
+  kFallback,   ///< replicated single-rank fallback
+  kExhausted,  ///< every rung consumed: terminal failure
+};
+
+const char* to_string(Rung r);
+
+/// A recovery attempt's result *as data*: what the throwing path
+/// (recover_auto / LadderExhausted) reports, but structured, so a job
+/// scheduler or a driver can ledger terminal resilience failures without
+/// parsing exception text. Produced by the dist layers' recover_outcome;
+/// the throwing API remains for library users who prefer exceptions.
+struct Outcome {
+  bool ok = false;
+  Rung rung = Rung::kNone;     ///< highest rung the recovery reached
+  std::string error;           ///< diagnostic text ("" when ok)
+  std::string error_kind;      ///< "LadderExhausted", "RankFailure", ... ("" when ok)
+  std::int64_t resume_step = -1;  ///< checkpoint step resumed at (ok only)
+  int retries = 0;             ///< transient retries during this recovery
+  int shrinks = 0;             ///< communicator shrinks during this recovery
+  double backoff_seconds = 0;  ///< simulated backoff accumulated
+  double recovery_seconds = 0; ///< wall-clock recovery cost
+  double mttr = 0;             ///< mean time to repair so far (ledger-wide)
+
+  /// One-line human rendering ("recovered at rung shrink, step 40, ...").
+  std::string summary() const;
 };
 
 }  // namespace apl::resilience

@@ -44,6 +44,11 @@ double parse_double(std::string_view key, const std::string& v) {
 std::mutex g_mu;
 std::optional<Policy> g_policy;
 
+// Per-thread override installed by ScopedPolicy; checked before the
+// process-wide policy so a scheduler can run jobs with different ladders
+// concurrently without them racing on set_policy().
+thread_local const Policy* t_policy = nullptr;
+
 }  // namespace
 
 const char* to_string(OnRankFailure m) {
@@ -97,6 +102,7 @@ Policy parse_policy(std::string_view spec, std::vector<std::string>* unknown) {
 }
 
 const Policy& policy() {
+  if (t_policy != nullptr) return *t_policy;
   const std::lock_guard<std::mutex> lock(g_mu);
   if (!g_policy) {
     Policy p;
@@ -117,6 +123,41 @@ void set_policy(const Policy& p) {
 void reset_policy() {
   const std::lock_guard<std::mutex> lock(g_mu);
   g_policy.reset();
+}
+
+ScopedPolicy::ScopedPolicy(const Policy* p) : prev_(t_policy) { t_policy = p; }
+ScopedPolicy::~ScopedPolicy() { t_policy = prev_; }
+
+const char* to_string(Rung r) {
+  switch (r) {
+    case Rung::kNone: return "none";
+    case Rung::kRetry: return "retry";
+    case Rung::kRevive: return "revive";
+    case Rung::kShrink: return "shrink";
+    case Rung::kFallback: return "fallback";
+    case Rung::kExhausted: return "exhausted";
+  }
+  return "?";
+}
+
+std::string Outcome::summary() const {
+  std::string s;
+  if (ok) {
+    s = "recovered at rung ";
+    s += to_string(rung);
+    if (resume_step >= 0) {
+      s += ", resumed at step " + std::to_string(resume_step);
+    }
+  } else {
+    s = "failed (";
+    s += error_kind.empty() ? "unknown" : error_kind;
+    s += ") at rung ";
+    s += to_string(rung);
+    if (!error.empty()) s += ": " + error;
+  }
+  s += " [retries=" + std::to_string(retries) +
+       " shrinks=" + std::to_string(shrinks) + "]";
+  return s;
 }
 
 }  // namespace apl::resilience

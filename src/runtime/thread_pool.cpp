@@ -19,6 +19,8 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Never drop accepted tasks silently: finish them, then stop the team.
+  drain();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     stop_ = true;
@@ -32,6 +34,9 @@ void ThreadPool::run_team(const std::function<void(std::size_t)>& body) {
     body(0);
     return;
   }
+  // One team at a time: a second caller (another job on the threads
+  // backend) waits here instead of clobbering the broadcast state.
+  std::lock_guard<std::mutex> team_lease(team_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &body;
@@ -58,23 +63,71 @@ void ThreadPool::parallel_for(
   });
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (drained_ || stop_) {
+      throw Drained(
+          "ThreadPool: drained — newly submitted work is rejected, not "
+          "silently dropped");
+    }
+    if (workers_.empty()) {
+      throw Drained(
+          "ThreadPool: no background workers to run submitted tasks "
+          "(construct the pool with num_threads >= 2)");
+    }
+    tasks_.push_back(std::move(task));
+  }
+  start_cv_.notify_one();
+}
+
+void ThreadPool::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_ = true;
+  drain_cv_.wait(lock,
+                 [this] { return tasks_.empty() && tasks_running_ == 0; });
+}
+
+bool ThreadPool::drained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return drained_;
+}
+
+std::size_t ThreadPool::tasks_pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size() + tasks_running_;
+}
+
 void ThreadPool::worker_loop(std::size_t id) {
   std::size_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
+    std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       start_cv_.wait(lock, [&] {
-        return stop_ || (job_ != nullptr && generation_ != seen_generation);
+        return stop_ || (job_ != nullptr && generation_ != seen_generation) ||
+               !tasks_.empty();
       });
       if (stop_) return;
-      seen_generation = generation_;
-      job = job_;
+      if (job_ != nullptr && generation_ != seen_generation) {
+        // Team work first: the whole team barriers on it.
+        seen_generation = generation_;
+        job = job_;
+      } else {
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+        ++tasks_running_;
+      }
     }
-    (*job)(id);
-    {
+    if (job != nullptr) {
+      (*job)(id);
       std::lock_guard<std::mutex> lock(mutex_);
       if (--remaining_ == 0) done_cv_.notify_all();
+    } else {
+      task();
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--tasks_running_ == 0 && tasks_.empty()) drain_cv_.notify_all();
     }
   }
 }

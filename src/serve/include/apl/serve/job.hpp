@@ -1,0 +1,175 @@
+// apl::serve job model — what a tenant submits and what it gets back.
+//
+// A *job* is one independent simulation instance (an Airfoil run, a
+// CloverLeaf run, ...) wrapped as a callable. The server owns everything
+// around the callable: admission, scheduling, the cancel token, the
+// per-job fault-injector / resilience-policy / plan-cache scopes, and the
+// per-job checkpoint namespace. The callable only has to (a) pass through
+// the library's instrumented points — which every op2/ops loop does by
+// construction — and (b) optionally checkpoint at step boundaries through
+// the JobContext, which is what makes preemption and crash-retry cheap.
+//
+// Every terminal state is *named*: a job ends kDone, kFailed (with an
+// error kind), kCancelled (with a cancel::Reason) or kPreempted (with a
+// restorable checkpoint). There is no "the server wedged" state by
+// design — that is the watchdog's job to prevent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "apl/cancel.hpp"
+#include "apl/error.hpp"
+#include "apl/io/ckpt.hpp"
+
+namespace apl::serve {
+
+using JobId = std::uint64_t;
+
+// --- typed admission rejections --------------------------------------------
+
+/// The admission queue is at its configured depth: backpressure, not
+/// buffering without bound. The caller decides whether to wait or shed.
+class QueueFull : public Error {
+ public:
+  explicit QueueFull(const std::string& what) : Error(what) {}
+};
+
+/// The perf model projects the job costs more than the service will
+/// accept; the message names both the projection and the limit.
+class JobTooLarge : public Error {
+ public:
+  explicit JobTooLarge(const std::string& what) : Error(what) {}
+};
+
+/// The server is draining or shut down: no new admissions.
+class ShuttingDown : public Error {
+ public:
+  explicit ShuttingDown(const std::string& what) : Error(what) {}
+};
+
+/// An id that never was, or whose record was never created.
+class UnknownJob : public Error {
+ public:
+  explicit UnknownJob(const std::string& what) : Error(what) {}
+};
+
+// --- the job's view of the service -----------------------------------------
+
+/// Handed to the job body on every attempt. The body reads its per-job
+/// checkpoint store (pre-namespaced: no two jobs share files), notes
+/// resume/checkpoint steps for the report, and offers preemption at the
+/// boundaries where its state is safely on disk.
+class JobContext {
+ public:
+  JobContext(std::string name, apl::io::CheckpointStore& store,
+             cancel::Token& token, int attempt)
+      : name_(std::move(name)), store_(store), token_(token),
+        attempt_(attempt) {}
+
+  const std::string& name() const { return name_; }
+  apl::io::CheckpointStore& store() { return store_; }
+  cancel::Token& token() { return token_; }
+  /// 0 on the first attempt, incremented per re-admission.
+  int attempt() const { return attempt_; }
+
+  // Bookkeeping surfaced in the JobReport.
+  void note_resumed(std::int64_t step) { resumed_step_ = step; }
+  void note_checkpoint(std::int64_t step) { last_ckpt_step_ = step; }
+  std::int64_t resumed_step() const { return resumed_step_; }
+  std::int64_t last_checkpoint_step() const { return last_ckpt_step_; }
+
+  /// Checkpoint-backed preemption: call right AFTER persisting step
+  /// `step`. If the scheduler requested a yield, records the step and
+  /// raises Cancelled(kPreempt) — the body unwinds here, where its state
+  /// is restorable, never mid-loop.
+  void yield_if_requested(std::int64_t step) {
+    if (!token_.preempt_requested()) return;
+    note_checkpoint(step);
+    throw cancel::Cancelled(cancel::Reason::kPreempt,
+                            "job '" + name_ + "' preempted at step " +
+                                std::to_string(step) +
+                                " (checkpoint on disk)");
+  }
+
+ private:
+  std::string name_;
+  apl::io::CheckpointStore& store_;
+  cancel::Token& token_;
+  int attempt_;
+  std::int64_t resumed_step_ = -1;
+  std::int64_t last_ckpt_step_ = -1;
+};
+
+// --- submission ------------------------------------------------------------
+
+struct JobSpec {
+  std::string name;  ///< human label; the server appends a unique id
+
+  /// The job body. Runs on a server worker under the job's cancel token,
+  /// injector, policy and plan-cache scopes. Returns a result digest
+  /// (free-form; tests use it for bitwise-identity checks). May be
+  /// invoked several times (retry / resume) — it must derive ALL state
+  /// from its arguments and its checkpoint store, never from captured
+  /// mutable state.
+  std::function<std::string(JobContext&)> work;
+
+  double deadline_seconds = -1;  ///< per-attempt; -1 = server default, 0 = none
+  int retries = -1;              ///< re-admission budget; -1 = server default
+  double projected_seconds = 0;  ///< perf-model cost estimate; 0 = unknown
+
+  /// Per-job fault plan (OPAL_FAULTS dialect, "" = no injected faults).
+  /// Scoped to this job: its triggers and ordinal counters are invisible
+  /// to every other tenant.
+  std::string faults;
+  /// Per-job resilience policy (OPAL_RESILIENCE dialect, "" = inherit
+  /// the process-wide policy).
+  std::string resilience;
+  /// Per-job plan-cache directory ("" = plan cache disabled for this job;
+  /// jobs never share a live cache store, so no cross-tenant poisoning).
+  std::string plan_cache_dir;
+};
+
+// --- the structured result -------------------------------------------------
+
+enum class State {
+  kQueued,     ///< admitted, waiting for a worker slot
+  kRunning,    ///< on a worker now
+  kDone,       ///< work() returned; `result` holds its digest
+  kFailed,     ///< terminal error; `error_kind` + `error` name it
+  kCancelled,  ///< cancel token fired; `cancel_reason` says why
+  kPreempted,  ///< preempted during drain; checkpoint restorable
+};
+
+const char* to_string(State s);
+
+/// Everything the server knows about a job, as data. Failed jobs produce
+/// this instead of tearing down the service; callers ledger it.
+struct JobReport {
+  JobId id = 0;
+  std::string name;
+  State state = State::kQueued;
+  std::string result;      ///< work()'s return value (kDone only)
+  std::string error;       ///< terminal diagnostic ("" unless failed)
+  std::string error_kind;  ///< "Kill", "LadderExhausted", "Error", ...
+  cancel::Reason cancel_reason = cancel::Reason::kNone;
+  int attempts = 0;        ///< body invocations (>= 1 once run)
+  int retries = 0;         ///< re-admissions after transient failures
+  int preemptions = 0;     ///< preempt-and-requeue cycles survived
+  double backoff_seconds = 0;  ///< simulated retry backoff, accumulated
+  std::uint64_t beats = 0;     ///< heartbeats (cancellation points passed)
+  std::int64_t resumed_step = -1;          ///< step restored from checkpoint
+  std::int64_t last_checkpoint_step = -1;  ///< newest persisted step
+  double queued_seconds = 0;  ///< admission -> first run
+  double run_seconds = 0;     ///< total on-worker time across attempts
+
+  bool terminal() const {
+    return state == State::kDone || state == State::kFailed ||
+           state == State::kCancelled || state == State::kPreempted;
+  }
+  /// One-line human rendering for logs and the example driver.
+  std::string summary() const;
+};
+
+}  // namespace apl::serve

@@ -1,0 +1,62 @@
+// Pre-packaged serve jobs for the proxy applications.
+//
+// Each builder wraps one proxy app (Airfoil, CloverLeaf, MiniHydra) as a
+// JobSpec whose body is restartable by construction: it checkpoints into
+// the job's private store every `ckpt_every` steps (offering preemption
+// right after each save), resumes from the newest valid checkpoint on
+// re-admission, and returns a digest of the final solution — the digest
+// is bitwise-reproducible, which is what the isolation tests compare
+// against solo runs. The builders also fill JobSpec::projected_seconds
+// from the perf model (counted bytes/flops per iteration projected onto a
+// reference machine), which is what the admission size gate consumes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "apl/serve/job.hpp"
+
+namespace apl::serve {
+
+/// FNV-1a over the raw bytes of a solution vector, rendered as hex.
+/// Bitwise-identical runs produce identical digests.
+std::string digest(std::span<const double> values);
+
+/// Airfoil (OP2 unstructured). nranks == 0 runs the plain node-level
+/// context; nranks >= 2 runs the distributed layer and recovers injected
+/// rank failures internally through recover_outcome (the structured
+/// resilience path), so a fail_rank fault in JobSpec::faults is survived
+/// inside the job.
+struct AirfoilJob {
+  std::int32_t nx = 30;
+  std::int32_t ny = 15;
+  int iters = 20;
+  int ckpt_every = 5;  ///< 0 disables checkpointing (and preemption)
+  int nranks = 0;
+};
+JobSpec make_airfoil_job(const std::string& name, const AirfoilJob& cfg);
+
+/// CloverLeaf (OPS structured, multi-rank): always distributed,
+/// checkpointing through the collective distributed checkpoint and
+/// recovering rank failures via recover_outcome.
+struct CloverJob {
+  std::int32_t nx = 24;
+  std::int32_t ny = 24;
+  int steps = 12;
+  int ckpt_every = 4;
+  int nranks = 2;
+  bool lazy = false;  ///< lazy loop-chain execution inside each rank
+};
+JobSpec make_clover_job(const std::string& name, const CloverJob& cfg);
+
+/// MiniHydra (OP2, the heavier RANS-flavoured pseudo-solver).
+struct MiniHydraJob {
+  std::int32_t nx = 20;
+  std::int32_t ny = 10;
+  int iters = 10;
+  int ckpt_every = 5;
+};
+JobSpec make_minihydra_job(const std::string& name, const MiniHydraJob& cfg);
+
+}  // namespace apl::serve

@@ -1,0 +1,6 @@
+// Umbrella header for the apl::serve simulation service.
+#pragma once
+
+#include "apl/serve/job.hpp"    // IWYU pragma: export
+#include "apl/serve/jobs.hpp"   // IWYU pragma: export
+#include "apl/serve/server.hpp" // IWYU pragma: export

@@ -1,0 +1,148 @@
+// apl::serve::Server — a hardened, long-lived, multi-tenant simulation
+// service (the robustness capstone over the whole stack).
+//
+// The server admits independent simulation jobs, runs them concurrently
+// over an apl::ThreadPool in task mode, and survives every failure mode
+// the fault injector can produce *inside one tenant* without another
+// tenant noticing:
+//
+//   admission   — a bounded queue (QueueFull) and a perf-model size gate
+//                 (JobTooLarge): overload is answered with typed
+//                 backpressure at the front door, not by queueing without
+//                 bound and degrading everyone.
+//   deadlines   — every attempt runs under a cancel token with an optional
+//                 wall-clock deadline; a watchdog thread sweeps running
+//                 jobs, expiring deadlines eagerly and cancelling jobs
+//                 whose heartbeat counter froze (kStalled) — the injected
+//                 hang_at_loop fault is caught exactly this way.
+//   isolation   — each job runs under its own fault-injector scope,
+//                 resilience policy, plan-cache store and checkpoint
+//                 namespace (thread-local overrides installed around the
+//                 body). A fault armed for job A cannot fire in job B; a
+//                 failed job becomes a JobReport, never a dead server.
+//   retry       — transient failures (injected Kill, unrecovered comm
+//                 faults) are re-admitted under a bounded retry budget
+//                 with simulated, recorded backoff; the job resumes from
+//                 its own checkpoints, so retries are cheap.
+//   drain       — drain() stops admissions and lets running jobs finish;
+//                 preempt_and_drain() instead asks them to yield at their
+//                 next checkpoint boundary, leaving restorable state on
+//                 disk (kPreempted). shutdown() cancels what still runs.
+//
+// One server process, many tenants, no global mutable state shared
+// between them — the thread-local override scopes introduced for this
+// class (fault::Injector::Scope, resilience::ScopedPolicy,
+// plan_cache::Store::ScopedStore, cancel::Scope) are the entire
+// isolation mechanism.
+#pragma once
+
+#include <cstdint>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "apl/serve/job.hpp"
+#include "apl/thread_pool.hpp"
+
+namespace apl::serve {
+
+/// Aggregate service counters (monotonic over the server's lifetime).
+struct ServerStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_queue_full = 0;
+  std::uint64_t rejected_too_large = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t preempted = 0;
+  std::uint64_t retries = 0;        ///< transient re-admissions
+  std::uint64_t watchdog_kills = 0; ///< deadline + stall cancellations
+};
+
+class Server {
+ public:
+  struct Options {
+    int workers = 2;           ///< concurrent job slots
+    int queue_depth = 16;      ///< max jobs admitted but not yet terminal
+    double default_deadline_seconds = 0;  ///< per attempt; 0 = none
+    double watchdog_period_seconds = 0.02;
+    double stall_seconds = 2.0;  ///< frozen-heartbeat window -> kStalled
+    int retry_budget = 2;        ///< default transient re-admissions
+    double max_projected_seconds = 0;  ///< admission size gate; 0 = off
+    std::string checkpoint_root;  ///< "" = under the system temp dir
+
+    /// Defaults overridden by the OPAL_SERVE_* environment knobs
+    /// (WORKERS, QUEUE, DEADLINE, WATCHDOG, RETRIES), all registered in
+    /// the apl::config registry.
+    static Options from_env();
+  };
+
+  Server();  ///< default Options (can't be a default arg: C++ quirk)
+  explicit Server(const Options& opts);
+  /// Drains (running jobs finish, nothing new admitted), then stops the
+  /// watchdog and the pool. Never drops an admitted job silently.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Admits a job or throws a typed rejection: ShuttingDown, QueueFull,
+  /// or JobTooLarge (when the spec carries a perf projection and the
+  /// server a limit). On success the job is queued and will run.
+  JobId submit(JobSpec spec);
+
+  /// Snapshot of the job's current report. Throws UnknownJob.
+  JobReport status(JobId id) const;
+  /// Blocks until the job reaches a terminal state; returns its report.
+  JobReport wait(JobId id);
+  /// Requests cooperative cancellation (default: a user cancel). The job
+  /// stops at its next cancellation point. No-op once terminal.
+  void cancel(JobId id, cancel::Reason reason = cancel::Reason::kUser);
+  /// Requests checkpoint-backed preemption: the job yields at its next
+  /// checkpoint boundary and is re-queued (or parked as kPreempted when
+  /// the server is draining).
+  void preempt(JobId id);
+
+  /// Stops admissions and blocks until every admitted job is terminal.
+  void drain();
+  /// drain(), but running jobs are asked to yield at their next
+  /// checkpoint boundary instead of running to completion; yielded jobs
+  /// end kPreempted with a restorable checkpoint on disk.
+  void preempt_and_drain();
+  /// Hard stop: drain admissions, cancel whatever still runs (kShutdown),
+  /// wait for workers to unwind. Idempotent; the destructor calls it.
+  void shutdown();
+
+  ServerStats stats() const;
+  const Options& options() const { return opts_; }
+  /// Jobs admitted and not yet terminal (queued + running).
+  int active_jobs() const;
+
+ private:
+  struct Record;
+
+  void run_attempt(const std::shared_ptr<Record>& r);
+  void finish(const std::shared_ptr<Record>& r, State s);
+  void requeue(const std::shared_ptr<Record>& r);
+  void watchdog_loop();
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;  ///< signalled on any terminal transition
+  std::map<JobId, std::shared_ptr<Record>> jobs_;
+  JobId next_id_ = 1;
+  bool accepting_ = true;
+  bool preempt_draining_ = false;
+  bool hard_stop_ = false;  ///< shutdown(): no further re-admissions
+  bool stop_watchdog_ = false;
+  ServerStats stats_;
+  std::string ckpt_root_;
+  ThreadPool pool_;  ///< task-mode workers (size = workers + 1)
+  std::thread watchdog_;
+  std::condition_variable watchdog_cv_;  ///< wakes the sweep early on stop
+};
+
+}  // namespace apl::serve

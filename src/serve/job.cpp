@@ -1,0 +1,47 @@
+#include "apl/serve/job.hpp"
+
+namespace apl::serve {
+
+const char* to_string(State s) {
+  switch (s) {
+    case State::kQueued: return "queued";
+    case State::kRunning: return "running";
+    case State::kDone: return "done";
+    case State::kFailed: return "failed";
+    case State::kCancelled: return "cancelled";
+    case State::kPreempted: return "preempted";
+  }
+  return "?";
+}
+
+std::string JobReport::summary() const {
+  std::string s = "job #" + std::to_string(id) + " '" + name + "': ";
+  s += to_string(state);
+  switch (state) {
+    case State::kDone:
+      if (!result.empty()) s += " (" + result + ")";
+      break;
+    case State::kFailed:
+      s += " [" + (error_kind.empty() ? std::string("unknown") : error_kind) +
+           "] " + error;
+      break;
+    case State::kCancelled:
+      s += " (";
+      s += cancel::to_string(cancel_reason);
+      s += ")";
+      break;
+    case State::kPreempted:
+      s += " (checkpoint at step " + std::to_string(last_checkpoint_step) +
+           ")";
+      break;
+    default:
+      break;
+  }
+  s += " — attempts=" + std::to_string(attempts) +
+       " retries=" + std::to_string(retries);
+  if (preemptions > 0) s += " preemptions=" + std::to_string(preemptions);
+  if (resumed_step >= 0) s += " resumed@" + std::to_string(resumed_step);
+  return s;
+}
+
+}  // namespace apl::serve

@@ -1,0 +1,214 @@
+#include "apl/serve/jobs.hpp"
+
+#include <cstdio>
+#include <vector>
+
+#include "airfoil/airfoil.hpp"
+#include "apl/fault.hpp"
+#include "apl/perf/model.hpp"
+#include "apl/resilience.hpp"
+#include "apl/signature.hpp"
+#include "cloverleaf/cloverleaf_ops.hpp"
+#include "minihydra/minihydra.hpp"
+#include "op2/io.hpp"
+
+namespace apl::serve {
+
+namespace {
+
+constexpr const char* kProjectionMachine = "xe6-node";
+
+/// Writes one plain-context checkpoint: every dat plus the step counter.
+void save_op2_step(op2::Context& ctx, apl::io::CheckpointStore& store,
+                   std::int64_t step) {
+  apl::io::File f;
+  op2::dump_dats(ctx, f);
+  const std::vector<std::int64_t> stepv{step};
+  f.put<std::int64_t>("meta/step", stepv, {1});
+  store.save(f);
+}
+
+/// Loads the newest checkpoint into a freshly declared context; returns
+/// the step to resume from (-1: nothing on disk, start cold).
+std::int64_t load_op2_step(op2::Context& ctx,
+                           const apl::io::CheckpointStore& store) {
+  if (!store.any_valid()) return -1;
+  const apl::io::File f = store.load();
+  op2::load_dats(ctx, f);
+  const auto step = f.get<std::int64_t>("meta/step");
+  return step.empty() ? 0 : step[0];
+}
+
+/// Counted per-iteration workload of an Airfoil-family mesh, coarse by
+/// design: the admission gate needs a monotone size signal, not a bench.
+apl::perf::LoopProfile unstructured_iter_profile(const char* name,
+                                                 double cells,
+                                                 double vars_per_cell,
+                                                 double loops_per_iter) {
+  apl::perf::LoopProfile p;
+  p.name = name;
+  p.elements = cells;
+  p.bytes_direct = cells * vars_per_cell * 8.0 * loops_per_iter;
+  p.bytes_gather = cells * vars_per_cell * 8.0 * 0.5 * loops_per_iter;
+  p.bytes_scatter = cells * vars_per_cell * 8.0 * 0.25 * loops_per_iter;
+  p.flops = cells * 40.0 * loops_per_iter;
+  return p;
+}
+
+}  // namespace
+
+std::string digest(std::span<const double> values) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(values.data());
+  const std::uint64_t h =
+      apl::signature::fnv1a({bytes, values.size() * sizeof(double)});
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+JobSpec make_airfoil_job(const std::string& name, const AirfoilJob& cfg) {
+  JobSpec spec;
+  spec.name = name;
+  const double cells = static_cast<double>(cfg.nx) * cfg.ny;
+  spec.projected_seconds =
+      apl::perf::projected_time(
+          apl::perf::machine(kProjectionMachine),
+          unstructured_iter_profile("airfoil_iter", cells, 4.0, 11.0)) *
+      cfg.iters;
+  spec.work = [cfg](JobContext& jc) {
+    airfoil::Airfoil::Options opts;
+    opts.nx = cfg.nx;
+    opts.ny = cfg.ny;
+    airfoil::Airfoil app(opts);
+    if (cfg.nranks >= 2) {
+      app.enable_distributed(cfg.nranks, apl::graph::PartitionMethod::kRcb);
+      op2::Distributed& dist = *app.distributed();
+      std::int64_t it = 0;
+      if (jc.store().any_valid()) {
+        it = dist.recover(jc.store());
+        jc.note_resumed(it);
+      }
+      while (it < cfg.iters) {
+        if (cfg.ckpt_every > 0 && it % cfg.ckpt_every == 0) {
+          dist.checkpoint(jc.store(), it);
+          jc.note_checkpoint(it);
+          jc.yield_if_requested(it);
+        }
+        try {
+          app.iteration();
+          ++it;
+        } catch (const apl::fault::RankFailure&) {
+          // In-job recovery through the structured path: the outcome is
+          // data; only an exhausted ladder escapes, as a named error.
+          const apl::resilience::Outcome out = dist.recover_outcome(jc.store());
+          if (!out.ok) {
+            throw apl::resilience::LadderExhausted(out.summary());
+          }
+          it = out.resume_step;
+        }
+      }
+    } else {
+      const std::int64_t resume = load_op2_step(app.ctx(), jc.store());
+      std::int64_t it = 0;
+      if (resume >= 0) {
+        it = resume;
+        jc.note_resumed(resume);
+      }
+      for (; it < cfg.iters; ++it) {
+        if (cfg.ckpt_every > 0 && it % cfg.ckpt_every == 0) {
+          save_op2_step(app.ctx(), jc.store(), it);
+          jc.note_checkpoint(it);
+          jc.yield_if_requested(it);
+        }
+        app.iteration();
+      }
+    }
+    const std::vector<double> q = app.solution();
+    return digest(q);
+  };
+  return spec;
+}
+
+JobSpec make_clover_job(const std::string& name, const CloverJob& cfg) {
+  JobSpec spec;
+  spec.name = name;
+  const double cells = static_cast<double>(cfg.nx) * cfg.ny;
+  spec.projected_seconds =
+      apl::perf::projected_time(
+          apl::perf::machine(kProjectionMachine),
+          unstructured_iter_profile("clover_step", cells, 15.0, 30.0)) *
+      cfg.steps;
+  spec.work = [cfg](JobContext& jc) {
+    cloverleaf::Options opts;
+    opts.nx = cfg.nx;
+    opts.ny = cfg.ny;
+    opts.lazy = cfg.lazy;
+    cloverleaf::CloverOps app(opts);
+    app.enable_distributed(cfg.nranks < 2 ? 2 : cfg.nranks);
+    ops::Distributed& dist = *app.distributed();
+    std::int64_t s = 0;
+    if (jc.store().any_valid()) {
+      s = dist.recover(jc.store());
+      app.set_steps_taken(static_cast<int>(s));
+      jc.note_resumed(s);
+    }
+    while (s < cfg.steps) {
+      if (cfg.ckpt_every > 0 && s % cfg.ckpt_every == 0) {
+        dist.checkpoint(jc.store(), s);
+        jc.note_checkpoint(s);
+        jc.yield_if_requested(s);
+      }
+      try {
+        app.step();
+        s = app.steps_taken();
+      } catch (const apl::fault::RankFailure&) {
+        const apl::resilience::Outcome out = dist.recover_outcome(jc.store());
+        if (!out.ok) {
+          throw apl::resilience::LadderExhausted(out.summary());
+        }
+        s = out.resume_step;
+        app.set_steps_taken(static_cast<int>(s));
+      }
+    }
+    const std::vector<double> rho = app.density();
+    return digest(rho);
+  };
+  return spec;
+}
+
+JobSpec make_minihydra_job(const std::string& name, const MiniHydraJob& cfg) {
+  JobSpec spec;
+  spec.name = name;
+  const double cells = static_cast<double>(cfg.nx) * cfg.ny;
+  spec.projected_seconds =
+      apl::perf::projected_time(
+          apl::perf::machine(kProjectionMachine),
+          unstructured_iter_profile("minihydra_iter", cells, 15.0, 19.0)) *
+      cfg.iters;
+  spec.work = [cfg](JobContext& jc) {
+    minihydra::MiniHydra::Options opts;
+    opts.nx = cfg.nx;
+    opts.ny = cfg.ny;
+    minihydra::MiniHydra app(opts);
+    const std::int64_t resume = load_op2_step(app.ctx(), jc.store());
+    std::int64_t it = 0;
+    if (resume >= 0) {
+      it = resume;
+      jc.note_resumed(resume);
+    }
+    for (; it < cfg.iters; ++it) {
+      if (cfg.ckpt_every > 0 && it % cfg.ckpt_every == 0) {
+        save_op2_step(app.ctx(), jc.store(), it);
+        jc.note_checkpoint(it);
+        jc.yield_if_requested(it);
+      }
+      app.iteration();
+    }
+    const std::vector<double> q = app.solution();
+    return digest(q);
+  };
+  return spec;
+}
+
+}  // namespace apl::serve

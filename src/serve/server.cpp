@@ -1,0 +1,468 @@
+#include "apl/serve/server.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <optional>
+#include <utility>
+
+#include "apl/config.hpp"
+#include "apl/fault.hpp"
+#include "apl/io/plan_cache.hpp"
+#include "apl/profile.hpp"
+#include "apl/resilience.hpp"
+
+namespace apl::serve {
+
+namespace {
+
+double parse_seconds(const char* key, const std::string& v) {
+  std::size_t pos = 0;
+  double d = 0.0;
+  try {
+    d = std::stod(v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  require(pos == v.size() && pos > 0 && d >= 0.0, key,
+          " must be a non-negative number of seconds, got '", v, "'");
+  return d;
+}
+
+std::string path_safe(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+Server::Options Server::Options::from_env() {
+  Options o;
+  if (const auto n = apl::config::int_value("OPAL_SERVE_WORKERS")) {
+    require(*n >= 1, "OPAL_SERVE_WORKERS must be >= 1, got ", *n);
+    o.workers = static_cast<int>(*n);
+  }
+  if (const auto n = apl::config::int_value("OPAL_SERVE_QUEUE")) {
+    require(*n >= 1, "OPAL_SERVE_QUEUE must be >= 1, got ", *n);
+    o.queue_depth = static_cast<int>(*n);
+  }
+  if (const auto n = apl::config::int_value("OPAL_SERVE_RETRIES")) {
+    require(*n >= 0, "OPAL_SERVE_RETRIES must be >= 0, got ", *n);
+    o.retry_budget = static_cast<int>(*n);
+  }
+  if (const auto s = apl::config::string_value("OPAL_SERVE_DEADLINE");
+      s && !s->empty()) {
+    o.default_deadline_seconds = parse_seconds("OPAL_SERVE_DEADLINE", *s);
+  }
+  if (const auto s = apl::config::string_value("OPAL_SERVE_WATCHDOG");
+      s && !s->empty()) {
+    o.watchdog_period_seconds = parse_seconds("OPAL_SERVE_WATCHDOG", *s);
+    require(o.watchdog_period_seconds > 0,
+            "OPAL_SERVE_WATCHDOG must be > 0 seconds");
+  }
+  return o;
+}
+
+/// Everything the server tracks about one admitted job. The report is
+/// the externally visible projection; the rest is the isolation state
+/// installed around each attempt.
+struct Server::Record {
+  JobSpec spec;
+  JobReport report;
+  cancel::Token token;
+  /// Per-job injector: even when no faults are armed, giving the job its
+  /// own means its loop/exchange/send ordinals count only its own work.
+  fault::Injector injector;
+  std::optional<resilience::Policy> policy;
+  plan_cache::Store plan_store;
+  std::unique_ptr<apl::io::CheckpointStore> store;
+  double deadline_seconds = 0;
+  int retry_budget = 0;
+  double admitted_at = 0;
+  double first_run_at = -1;
+  // Watchdog bookkeeping: last observed heartbeat and when it moved.
+  std::uint64_t last_beats = 0;
+  double last_progress_at = 0;
+};
+
+Server::Server() : Server(Options{}) {}
+
+Server::Server(const Options& opts)
+    : opts_(opts),
+      pool_(static_cast<std::size_t>(std::max(1, opts.workers)) + 1) {
+  require(opts_.queue_depth >= 1, "serve: queue_depth must be >= 1");
+  ckpt_root_ = opts_.checkpoint_root;
+  if (ckpt_root_.empty()) {
+    ckpt_root_ = (std::filesystem::temp_directory_path() /
+                  ("opal_serve_" + std::to_string(::getpid())))
+                     .string();
+  }
+  std::filesystem::create_directories(ckpt_root_);
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+Server::~Server() {
+  // Hard but orderly exit: anything still running is cancelled with
+  // kShutdown and reported; nothing is dropped silently. Callers that
+  // want running jobs to complete call drain() first.
+  shutdown();
+}
+
+JobId Server::submit(JobSpec spec) {
+  require(static_cast<bool>(spec.work), "serve: job '", spec.name,
+          "' has no work body");
+  std::shared_ptr<Record> r;
+  JobId id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) {
+      throw ShuttingDown("serve: draining — job '" + spec.name +
+                         "' not admitted");
+    }
+    int active = 0;
+    for (const auto& [jid, rec] : jobs_) {
+      if (!rec->report.terminal()) ++active;
+    }
+    if (active >= opts_.queue_depth) {
+      ++stats_.rejected_queue_full;
+      throw QueueFull("serve: admission queue full (" +
+                      std::to_string(active) + " active >= depth " +
+                      std::to_string(opts_.queue_depth) + ") — job '" +
+                      spec.name + "' rejected");
+    }
+    if (opts_.max_projected_seconds > 0 && spec.projected_seconds > 0 &&
+        spec.projected_seconds > opts_.max_projected_seconds) {
+      ++stats_.rejected_too_large;
+      throw JobTooLarge("serve: job '" + spec.name + "' projected to cost " +
+                        std::to_string(spec.projected_seconds) +
+                        " s, over the admission limit of " +
+                        std::to_string(opts_.max_projected_seconds) + " s");
+    }
+
+    id = next_id_++;
+    r = std::make_shared<Record>();
+    r->report.id = id;
+    r->report.name = spec.name;
+    r->deadline_seconds = spec.deadline_seconds >= 0
+                              ? spec.deadline_seconds
+                              : opts_.default_deadline_seconds;
+    r->retry_budget = spec.retries >= 0 ? spec.retries : opts_.retry_budget;
+    if (!spec.faults.empty()) {
+      r->injector.arm(fault::parse_config(spec.faults));
+    }
+    if (!spec.resilience.empty()) {
+      r->policy = resilience::parse_policy(spec.resilience);
+    }
+    if (!spec.plan_cache_dir.empty()) {
+      r->plan_store.set_directory(spec.plan_cache_dir);
+    }
+    r->store = std::make_unique<apl::io::CheckpointStore>(
+        ckpt_root_ + "/job" + std::to_string(id) + "_" +
+        path_safe(spec.name));
+    r->spec = std::move(spec);
+    r->admitted_at = apl::now_seconds();
+    // A preempt-drain in progress applies to late arrivals too.
+    if (preempt_draining_) r->token.request_preempt();
+    jobs_.emplace(id, r);
+    ++stats_.admitted;
+  }
+  pool_.submit([this, r] { run_attempt(r); });
+  return id;
+}
+
+void Server::run_attempt(const std::shared_ptr<Record>& r) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (r->report.terminal()) return;
+    // Cancelled while still queued: report it without invoking the body.
+    if (r->token.cancelled() &&
+        r->token.reason() != cancel::Reason::kPreempt) {
+      r->report.cancel_reason = r->token.reason();
+      r->report.error_kind = "Cancelled";
+      r->report.error = std::string("cancelled while queued (") +
+                        cancel::to_string(r->token.reason()) + ")";
+      finish(r, State::kCancelled);
+      return;
+    }
+    const double now = apl::now_seconds();
+    if (r->first_run_at < 0) {
+      r->first_run_at = now;
+      r->report.queued_seconds = now - r->admitted_at;
+    }
+    r->report.state = State::kRunning;
+    ++r->report.attempts;
+    r->last_beats = r->token.beats();
+    r->last_progress_at = now;
+  }
+
+  // The per-job isolation sandwich: cancel token, fault injector,
+  // resilience policy and plan-cache store all become this thread's
+  // "current" for the duration of the attempt. Nothing a job does to
+  // any of them is visible to another tenant.
+  cancel::Scope cancel_scope(&r->token);
+  fault::Injector::Scope fault_scope(&r->injector);
+  plan_cache::Store::ScopedStore plan_scope(&r->plan_store);
+  std::optional<resilience::ScopedPolicy> policy_scope;
+  if (r->policy) policy_scope.emplace(&*r->policy);
+  if (r->deadline_seconds > 0) r->token.set_deadline(r->deadline_seconds);
+
+  JobContext jc(r->spec.name, *r->store, r->token, r->report.attempts - 1);
+  const double t0 = apl::now_seconds();
+
+  // Collects JobContext bookkeeping + attempt wall time into the report.
+  const auto absorb = [&](std::unique_lock<std::mutex>& lock) {
+    (void)lock;  // callers must hold mu_
+    r->report.run_seconds += apl::now_seconds() - t0;
+    if (jc.resumed_step() >= 0) r->report.resumed_step = jc.resumed_step();
+    if (jc.last_checkpoint_step() >= 0) {
+      r->report.last_checkpoint_step = jc.last_checkpoint_step();
+    }
+  };
+
+  // A transient failure (injected crash, unrecovered comm fault): the
+  // job is re-admitted under its bounded retry budget with simulated,
+  // recorded backoff, resuming from its own checkpoints. Over budget it
+  // becomes a named terminal failure.
+  const auto transient = [&](const char* kind, const char* what) {
+    bool resubmit = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      absorb(lock);
+      // Retries stay available during a graceful drain (the job should
+      // still *finish*); only a hard shutdown stops re-admission.
+      if (!hard_stop_ && r->report.retries < r->retry_budget) {
+        ++r->report.retries;
+        ++stats_.retries;
+        const resilience::Policy& p =
+            r->policy ? *r->policy : resilience::policy();
+        r->report.backoff_seconds +=
+            resilience::backoff_delay(p, r->report.retries - 1);
+        r->token.reset();
+        r->report.state = State::kQueued;
+        resubmit = true;
+      } else {
+        r->report.error_kind = kind;
+        r->report.error = std::string(what) + " (retry budget " +
+                          std::to_string(r->retry_budget) + " spent)";
+        finish(r, State::kFailed);
+      }
+    }
+    if (resubmit) pool_.submit([this, r] { run_attempt(r); });
+  };
+
+  const auto fail = [&](const char* kind, const char* what) {
+    std::unique_lock<std::mutex> lock(mu_);
+    absorb(lock);
+    r->report.error_kind = kind;
+    r->report.error = what;
+    finish(r, State::kFailed);
+  };
+
+  try {
+    std::string result = r->spec.work(jc);
+    std::unique_lock<std::mutex> lock(mu_);
+    absorb(lock);
+    r->report.result = std::move(result);
+    finish(r, State::kDone);
+  } catch (const cancel::Cancelled& c) {
+    if (c.reason() == cancel::Reason::kPreempt) {
+      bool resubmit = false;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        absorb(lock);
+        ++r->report.preemptions;
+        if (accepting_ && !preempt_draining_) {
+          // Individual preemption: yield the slot, come back later from
+          // the checkpoint just written.
+          r->token.reset();
+          r->report.state = State::kQueued;
+          resubmit = true;
+        } else {
+          r->report.cancel_reason = cancel::Reason::kPreempt;
+          finish(r, State::kPreempted);
+        }
+      }
+      if (resubmit) pool_.submit([this, r] { run_attempt(r); });
+    } else {
+      std::unique_lock<std::mutex> lock(mu_);
+      absorb(lock);
+      r->report.cancel_reason = c.reason();
+      r->report.error_kind = "Cancelled";
+      r->report.error = c.what();
+      finish(r, State::kCancelled);
+    }
+  } catch (const fault::Kill& e) {
+    transient("Kill", e.what());
+  } catch (const fault::CommFault& e) {
+    transient("CommFault", e.what());
+  } catch (const fault::RankFailure& e) {
+    transient("RankFailure", e.what());
+  } catch (const resilience::LadderExhausted& e) {
+    fail("LadderExhausted", e.what());
+  } catch (const Error& e) {
+    fail("Error", e.what());
+  } catch (const std::exception& e) {
+    fail("std::exception", e.what());
+  }
+}
+
+void Server::finish(const std::shared_ptr<Record>& r, State s) {
+  // Caller holds mu_.
+  r->report.state = s;
+  r->report.beats = r->token.beats();
+  switch (s) {
+    case State::kDone: ++stats_.completed; break;
+    case State::kFailed: ++stats_.failed; break;
+    case State::kCancelled:
+      ++stats_.cancelled;
+      if (r->report.cancel_reason == cancel::Reason::kDeadline ||
+          r->report.cancel_reason == cancel::Reason::kStalled) {
+        ++stats_.watchdog_kills;
+      }
+      break;
+    case State::kPreempted: ++stats_.preempted; break;
+    default: break;
+  }
+  cv_.notify_all();
+}
+
+JobReport Server::status(JobId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw UnknownJob("serve: no job #" + std::to_string(id));
+  }
+  JobReport rep = it->second->report;
+  rep.beats = it->second->token.beats();
+  return rep;
+}
+
+JobReport Server::wait(JobId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw UnknownJob("serve: no job #" + std::to_string(id));
+  }
+  const std::shared_ptr<Record> r = it->second;
+  cv_.wait(lock, [&] { return r->report.terminal(); });
+  return r->report;
+}
+
+void Server::cancel(JobId id, cancel::Reason reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw UnknownJob("serve: no job #" + std::to_string(id));
+  }
+  if (!it->second->report.terminal()) it->second->token.cancel(reason);
+}
+
+void Server::preempt(JobId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    throw UnknownJob("serve: no job #" + std::to_string(id));
+  }
+  if (!it->second->report.terminal()) it->second->token.request_preempt();
+}
+
+void Server::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  accepting_ = false;
+  cv_.wait(lock, [&] {
+    for (const auto& [id, r] : jobs_) {
+      if (!r->report.terminal()) return false;
+    }
+    return true;
+  });
+}
+
+void Server::preempt_and_drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    preempt_draining_ = true;
+    for (const auto& [id, r] : jobs_) {
+      if (!r->report.terminal()) r->token.request_preempt();
+    }
+  }
+  drain();
+}
+
+void Server::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    hard_stop_ = true;
+    for (const auto& [id, r] : jobs_) {
+      if (!r->report.terminal()) r->token.cancel(cancel::Reason::kShutdown);
+    }
+  }
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_watchdog_ = true;
+  }
+  watchdog_cv_.notify_all();
+  if (watchdog_.joinable()) watchdog_.join();
+  pool_.drain();
+}
+
+ServerStats Server::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int Server::active_jobs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int n = 0;
+  for (const auto& [id, r] : jobs_) {
+    if (!r->report.terminal()) ++n;
+  }
+  return n;
+}
+
+void Server::watchdog_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_watchdog_) {
+    watchdog_cv_.wait_for(
+        lock,
+        std::chrono::duration<double>(opts_.watchdog_period_seconds),
+        [this] { return stop_watchdog_; });
+    if (stop_watchdog_) return;
+    const double now = apl::now_seconds();
+    for (const auto& [id, r] : jobs_) {
+      if (r->report.state != State::kRunning || r->token.cancelled()) {
+        continue;
+      }
+      // Deadline: expire eagerly so even a job wedged between two
+      // cancellation points is marked (it raises at its next point —
+      // including the injected-hang spin, which polls the token).
+      r->token.expire_deadline();
+      if (r->token.cancelled()) continue;
+      // Stall: heartbeats frozen across the stall window means the job
+      // is making no progress at all (a hang, not slowness) — cancel
+      // with the dedicated reason so the report can tell them apart.
+      const std::uint64_t beats = r->token.beats();
+      if (beats != r->last_beats) {
+        r->last_beats = beats;
+        r->last_progress_at = now;
+        continue;
+      }
+      if (opts_.stall_seconds > 0 &&
+          now - r->last_progress_at >= opts_.stall_seconds) {
+        r->token.cancel(cancel::Reason::kStalled);
+      }
+    }
+  }
+}
+
+}  // namespace apl::serve

@@ -1,0 +1,142 @@
+// apl::cancel — the cooperative cancellation token: sticky first-reason
+// semantics, lazy + eager deadlines, heartbeat counting at points,
+// the non-throwing preemption flag, and thread-local scope nesting.
+#include "apl/cancel.hpp"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using apl::cancel::Cancelled;
+using apl::cancel::Reason;
+using apl::cancel::Scope;
+using apl::cancel::Token;
+
+TEST(Cancel, FirstReasonSticks) {
+  Token t;
+  EXPECT_FALSE(t.cancelled());
+  t.cancel(Reason::kUser);
+  t.cancel(Reason::kDeadline);  // too late: the user cancel won
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_EQ(t.reason(), Reason::kUser);
+}
+
+TEST(Cancel, CheckThrowsNamedReasonAndWhere) {
+  Token t;
+  t.cancel(Reason::kStalled);
+  try {
+    t.check("op2::par_loop(res_calc)");
+    FAIL() << "expected Cancelled";
+  } catch (const Cancelled& c) {
+    EXPECT_EQ(c.reason(), Reason::kStalled);
+    EXPECT_NE(std::string(c.what()).find("res_calc"), std::string::npos);
+  }
+}
+
+TEST(Cancel, DeadlineFiresLazilyAtNextCheck) {
+  Token t;
+  t.set_deadline(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(t.deadline_expired());
+  EXPECT_FALSE(t.cancelled());  // lazy: nothing fired yet
+  try {
+    t.check("boundary");
+    FAIL() << "expected Cancelled(kDeadline)";
+  } catch (const Cancelled& c) {
+    EXPECT_EQ(c.reason(), Reason::kDeadline);
+  }
+}
+
+TEST(Cancel, ExpireDeadlineIsTheEagerWatchdogPath) {
+  Token t;
+  t.expire_deadline();  // no deadline armed: no-op
+  EXPECT_FALSE(t.cancelled());
+  t.set_deadline(1e-9);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.expire_deadline();
+  EXPECT_EQ(t.reason(), Reason::kDeadline);
+}
+
+TEST(Cancel, DisarmingDeadlineKeepsTokenAlive) {
+  Token t;
+  t.set_deadline(1e-9);
+  t.set_deadline(0);  // <= 0 disarms
+  EXPECT_FALSE(t.has_deadline());
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  t.check("boundary");  // must not throw
+  EXPECT_FALSE(t.cancelled());
+}
+
+TEST(Cancel, PointsBeatAndPreemptNeverThrows) {
+  Token t;
+  Scope scope(&t);
+  for (int i = 0; i < 5; ++i) apl::cancel::point("loop");
+  EXPECT_EQ(t.beats(), 5u);
+
+  // Preemption is a request, not a cancellation: points keep passing.
+  t.request_preempt();
+  EXPECT_TRUE(apl::cancel::yield_requested());
+  apl::cancel::point("loop");
+  EXPECT_EQ(t.beats(), 6u);
+  t.clear_preempt();
+  EXPECT_FALSE(apl::cancel::yield_requested());
+}
+
+TEST(Cancel, PointWithoutTokenIsANoop) {
+  ASSERT_EQ(apl::cancel::current(), nullptr);
+  apl::cancel::point("anywhere");  // must not throw
+  EXPECT_FALSE(apl::cancel::yield_requested());
+}
+
+TEST(Cancel, ScopesNestAndRestore) {
+  Token outer, inner;
+  EXPECT_EQ(apl::cancel::current(), nullptr);
+  {
+    Scope s1(&outer);
+    EXPECT_EQ(apl::cancel::current(), &outer);
+    {
+      Scope s2(&inner);
+      EXPECT_EQ(apl::cancel::current(), &inner);
+    }
+    EXPECT_EQ(apl::cancel::current(), &outer);
+  }
+  EXPECT_EQ(apl::cancel::current(), nullptr);
+}
+
+TEST(Cancel, ScopeIsPerThread) {
+  Token t;
+  Scope scope(&t);
+  apl::cancel::Token* seen = &t;
+  std::thread other([&] { seen = apl::cancel::current(); });
+  other.join();
+  EXPECT_EQ(seen, nullptr);  // the installation never leaks across threads
+}
+
+TEST(Cancel, ResetRearmsForAFreshAttempt) {
+  Token t;
+  Scope scope(&t);
+  apl::cancel::point("loop");
+  t.request_preempt();
+  t.set_deadline(1e-9);
+  t.cancel(Reason::kUser);
+  t.reset();
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_FALSE(t.preempt_requested());
+  EXPECT_FALSE(t.has_deadline());
+  EXPECT_EQ(t.beats(), 1u);  // heartbeats survive: monitors track deltas
+  apl::cancel::point("loop");
+  EXPECT_EQ(t.beats(), 2u);
+}
+
+TEST(Cancel, ReasonNamesAreStable) {
+  EXPECT_STREQ(apl::cancel::to_string(Reason::kNone), "none");
+  EXPECT_STREQ(apl::cancel::to_string(Reason::kUser), "cancelled");
+  EXPECT_STREQ(apl::cancel::to_string(Reason::kDeadline), "deadline");
+  EXPECT_STREQ(apl::cancel::to_string(Reason::kStalled), "stalled");
+  EXPECT_STREQ(apl::cancel::to_string(Reason::kPreempt), "preempted");
+  EXPECT_STREQ(apl::cancel::to_string(Reason::kShutdown), "shutdown");
+}
+
+}  // namespace

@@ -51,6 +51,12 @@ TEST(Config, RegistryCoversEveryKnob) {
   EXPECT_TRUE(has("OPAL_PLAN_CACHE"));
   EXPECT_TRUE(has("OPAL_TRACE"));
   EXPECT_TRUE(has("OPAL_VERIFY"));
+  // The simulation-service knobs ride the same typed registry.
+  EXPECT_TRUE(has("OPAL_SERVE_DEADLINE"));
+  EXPECT_TRUE(has("OPAL_SERVE_QUEUE"));
+  EXPECT_TRUE(has("OPAL_SERVE_RETRIES"));
+  EXPECT_TRUE(has("OPAL_SERVE_WATCHDOG"));
+  EXPECT_TRUE(has("OPAL_SERVE_WORKERS"));
   for (const auto& k : keys) {
     EXPECT_FALSE(std::string_view(k.summary).empty())
         << k.name << " has no summary";

@@ -3,6 +3,7 @@
 #include "apl/resilience.hpp"
 
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -66,6 +67,58 @@ TEST(Resilience, SetPolicyOverridesAndResetRearms) {
   EXPECT_EQ(apl::resilience::policy().max_retries, 9);
   apl::resilience::reset_policy();
   EXPECT_EQ(apl::resilience::policy().max_retries, 2);  // env unset: default
+}
+
+TEST(Resilience, ScopedPolicyOverridesThisThreadOnly) {
+  Policy p;
+  p.max_retries = 11;
+  {
+    apl::resilience::ScopedPolicy scope(&p);
+    EXPECT_EQ(apl::resilience::policy().max_retries, 11);
+    // Scopes nest and restore.
+    Policy inner;
+    inner.max_retries = 4;
+    {
+      apl::resilience::ScopedPolicy nested(&inner);
+      EXPECT_EQ(apl::resilience::policy().max_retries, 4);
+    }
+    EXPECT_EQ(apl::resilience::policy().max_retries, 11);
+
+    // Another thread never sees the override: this is what gives a
+    // multi-tenant scheduler per-job policies without global state.
+    int other_retries = -1;
+    std::thread t([&] {
+      other_retries = apl::resilience::policy().max_retries;
+    });
+    t.join();
+    EXPECT_EQ(other_retries, 2);
+  }
+  EXPECT_EQ(apl::resilience::policy().max_retries, 2);
+}
+
+TEST(Resilience, OutcomeSummariesNameTheRung) {
+  using apl::resilience::Outcome;
+  using apl::resilience::Rung;
+  EXPECT_STREQ(apl::resilience::to_string(Rung::kShrink), "shrink");
+  EXPECT_STREQ(apl::resilience::to_string(Rung::kExhausted), "exhausted");
+
+  Outcome ok;
+  ok.ok = true;
+  ok.rung = Rung::kShrink;
+  ok.resume_step = 42;
+  ok.shrinks = 1;
+  const std::string s = ok.summary();
+  EXPECT_NE(s.find("shrink"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+
+  Outcome bad;
+  bad.ok = false;
+  bad.rung = Rung::kExhausted;
+  bad.error_kind = "LadderExhausted";
+  bad.error = "no ranks left";
+  const std::string f = bad.summary();
+  EXPECT_NE(f.find("LadderExhausted"), std::string::npos);
+  EXPECT_NE(f.find("no ranks left"), std::string::npos);
 }
 
 TEST(Resilience, SpecDialectSplitsAndValidates) {

@@ -73,4 +73,68 @@ TEST(ThreadPool, GlobalPoolExists) {
   EXPECT_EQ(c.load(), static_cast<int>(apl::ThreadPool::global().size()));
 }
 
+// ---- task mode (the apl::serve worker substrate) ----------------------------
+
+TEST(ThreadPoolTasks, SubmittedTasksAllRunAndDrainWaits) {
+  apl::ThreadPool pool(3);  // 2 background task executors
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 40; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1); });
+  }
+  pool.drain();
+  EXPECT_EQ(ran.load(), 40);
+  EXPECT_EQ(pool.tasks_pending(), 0u);
+  EXPECT_TRUE(pool.drained());
+}
+
+TEST(ThreadPoolTasks, SubmitAfterDrainThrowsDrained) {
+  apl::ThreadPool pool(2);
+  pool.drain();
+  pool.drain();  // idempotent
+  EXPECT_THROW(pool.submit([] {}), apl::ThreadPool::Drained);
+}
+
+TEST(ThreadPoolTasks, PoolWithoutBackgroundWorkersRejectsTasks) {
+  // The calling thread is NOT a task executor: a size-1 pool would
+  // accept work nobody ever runs, so it must refuse loudly instead.
+  apl::ThreadPool pool(1);
+  EXPECT_THROW(pool.submit([] {}), apl::ThreadPool::Drained);
+}
+
+TEST(ThreadPoolTasks, TeamModeStillWorksAfterDrain) {
+  apl::ThreadPool pool(3);
+  pool.submit([] {});
+  pool.drain();
+  std::atomic<int> c{0};
+  pool.run_team([&](std::size_t) { c.fetch_add(1); });
+  EXPECT_EQ(c.load(), 3);
+}
+
+TEST(ThreadPoolTasks, DestructionDrainsQueuedTasksInsteadOfDroppingThem) {
+  std::atomic<int> ran{0};
+  {
+    apl::ThreadPool pool(2);
+    for (int i = 0; i < 25; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    // No explicit drain: the destructor must not drop queued tasks.
+  }
+  EXPECT_EQ(ran.load(), 25);
+}
+
+TEST(ThreadPoolTasks, TasksAndTeamWorkInterleave) {
+  // A served job on the threads backend does exactly this: run_team
+  // broadcasts from inside a task while other tasks queue behind it.
+  apl::ThreadPool task_pool(3);
+  apl::ThreadPool team_pool(2);
+  std::atomic<int> team_runs{0};
+  for (int i = 0; i < 8; ++i) {
+    task_pool.submit([&] {
+      team_pool.run_team([&](std::size_t) { team_runs.fetch_add(1); });
+    });
+  }
+  task_pool.drain();
+  EXPECT_EQ(team_runs.load(), 16);  // 8 broadcasts x 2 members
+}
+
 }  // namespace

@@ -1,0 +1,74 @@
+// Shared helpers for the apl::serve test suite: solo reference runs
+// (the job body executed outside any server, against a private store)
+// and unique temp paths so parallel ctest invocations never collide.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "apl/cancel.hpp"
+#include "apl/io/ckpt.hpp"
+#include "apl/serve/serve.hpp"
+
+namespace serve_test {
+
+inline std::string temp_dir(const std::string& name) {
+  static std::atomic<int> counter{0};
+  const std::string unique =
+      name + "_" + std::to_string(::getpid()) + "_" +
+      std::to_string(counter.fetch_add(1));
+  const auto dir = std::filesystem::temp_directory_path() / unique;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+/// Runs a job body to completion outside any server: fresh checkpoint
+/// store, fresh token, attempt 0. The returned digest is the reference
+/// the isolation tests compare served runs against — a healthy tenant
+/// sharing a server with chaos must reproduce it bitwise.
+inline std::string run_solo(const apl::serve::JobSpec& spec) {
+  const std::string root = temp_dir("opal_serve_solo");
+  apl::io::CheckpointStore store(root + "/solo_" + spec.name);
+  apl::cancel::Token token;
+  apl::cancel::Scope scope(&token);  // as the server would install it
+  apl::serve::JobContext jc(spec.name, store, token, 0);
+  return spec.work(jc);
+}
+
+/// Resumes a job body against an existing store (what a restart after a
+/// preemption does); `attempt` > 0 tells the body it is a re-admission.
+inline std::string run_resume(const apl::serve::JobSpec& spec,
+                              const std::string& store_base,
+                              int attempt = 1) {
+  apl::io::CheckpointStore store(store_base);
+  apl::cancel::Token token;
+  apl::cancel::Scope scope(&token);
+  apl::serve::JobContext jc(spec.name, store, token, attempt);
+  return spec.work(jc);
+}
+
+/// The store base the server uses for a job (kept in sync with
+/// Server::submit): `<root>/job<id>_<name>`.
+inline std::string server_store_base(const std::string& ckpt_root,
+                                     apl::serve::JobId id,
+                                     const std::string& name) {
+  return ckpt_root + "/job" + std::to_string(id) + "_" + name;
+}
+
+/// Spin-waits (bounded) until `pred()` holds; returns false on timeout.
+template <typename Pred>
+bool wait_until(Pred pred, double timeout_seconds = 30.0) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_seconds);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+}  // namespace serve_test

@@ -1,0 +1,218 @@
+// Deadlines, cooperative cancellation and checkpoint-backed preemption.
+//
+// The satellite contract under test: a cancelled job stops at the next
+// library boundary (op2 par_loop entry / ops chain flush — never
+// mid-loop, never by wedging the worker), its checkpoint remains
+// restorable, and a preempted-then-resumed job is bitwise identical to
+// an uninterrupted run.
+#include <atomic>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "apl/cancel.hpp"
+#include "apl/io/ckpt.hpp"
+#include "apl/serve/serve.hpp"
+#include "serve_test_util.hpp"
+
+namespace {
+
+using apl::cancel::Reason;
+using apl::serve::JobSpec;
+using apl::serve::Server;
+using apl::serve::State;
+using serve_test::run_solo;
+using serve_test::temp_dir;
+using serve_test::wait_until;
+
+// --- library-boundary cancellation (no server involved) ---------------------
+
+TEST(ServeCancel, Op2JobStopsAtLoopBoundary) {
+  // A pre-cancelled token: the body must unwind at the FIRST op2
+  // cancellation point it reaches, with the sticky reason intact.
+  JobSpec spec = apl::serve::make_airfoil_job("op2-cancel",
+                                              apl::serve::AirfoilJob{});
+  apl::io::CheckpointStore store(temp_dir("op2_cancel") + "/s");
+  apl::cancel::Token token;
+  apl::cancel::Scope scope(&token);  // the instrumented points consult this
+  token.cancel(Reason::kUser);
+  apl::serve::JobContext jc(spec.name, store, token, 0);
+  try {
+    spec.work(jc);
+    FAIL() << "expected Cancelled";
+  } catch (const apl::cancel::Cancelled& c) {
+    EXPECT_EQ(c.reason(), Reason::kUser);
+  }
+}
+
+TEST(ServeCancel, OpsLazyChainStopsAtBoundary) {
+  // The OPS path with lazy chains: cancellation must surface through the
+  // chain-flush boundary too, not just eager loop entry.
+  apl::serve::CloverJob shape;
+  shape.lazy = true;
+  JobSpec spec = apl::serve::make_clover_job("ops-cancel", shape);
+  apl::io::CheckpointStore store(temp_dir("ops_cancel") + "/s");
+  apl::cancel::Token token;
+  apl::cancel::Scope scope(&token);
+  token.cancel(Reason::kUser);
+  apl::serve::JobContext jc(spec.name, store, token, 0);
+  EXPECT_THROW(spec.work(jc), apl::cancel::Cancelled);
+}
+
+TEST(ServeCancel, DeadlineFiresMidRunWithNamedReason) {
+  JobSpec spec = apl::serve::make_airfoil_job("deadline",
+                                              apl::serve::AirfoilJob{});
+  apl::io::CheckpointStore store(temp_dir("deadline") + "/s");
+  apl::cancel::Token token;
+  apl::cancel::Scope scope(&token);
+  token.set_deadline(1e-9);  // already past by the first boundary
+  apl::serve::JobContext jc(spec.name, store, token, 0);
+  try {
+    spec.work(jc);
+    FAIL() << "expected Cancelled(kDeadline)";
+  } catch (const apl::cancel::Cancelled& c) {
+    EXPECT_EQ(c.reason(), Reason::kDeadline);
+  }
+  EXPECT_GT(token.beats(), 0u);  // it reached a boundary, then stopped
+}
+
+// --- server-level cancellation ----------------------------------------------
+
+TEST(ServeCancel, DeadlineBlownJobIsCancelledServerStaysUp) {
+  Server::Options opts;
+  opts.workers = 1;
+  Server server(opts);
+
+  JobSpec doomed = apl::serve::make_airfoil_job("doomed",
+                                                apl::serve::AirfoilJob{});
+  doomed.deadline_seconds = 1e-9;
+  doomed.retries = 0;
+  const auto id = server.submit(std::move(doomed));
+  const auto rep = server.wait(id);
+  EXPECT_EQ(rep.state, State::kCancelled);
+  EXPECT_EQ(rep.cancel_reason, Reason::kDeadline);
+
+  // One tenant blowing its deadline is that tenant's problem only.
+  const auto ok = server.submit(
+      apl::serve::make_minihydra_job("after", apl::serve::MiniHydraJob{}));
+  EXPECT_EQ(server.wait(ok).state, State::kDone);
+}
+
+TEST(ServeCancel, WatchdogCancelsStalledJob) {
+  Server::Options opts;
+  opts.workers = 1;
+  opts.watchdog_period_seconds = 0.02;
+  opts.stall_seconds = 0.25;  // frozen heartbeats for 250ms -> kStalled
+  Server server(opts);
+
+  // hang_at_loop spins without passing cancellation points: heartbeats
+  // freeze, the watchdog notices, and the cancel token (polled by the
+  // hang loop) ends the spin with a named verdict.
+  JobSpec hung = apl::serve::make_airfoil_job("hung",
+                                              apl::serve::AirfoilJob{});
+  hung.faults = "hang_at_loop=10";
+  hung.retries = 0;
+  const auto id = server.submit(std::move(hung));
+  const auto rep = server.wait(id);
+  EXPECT_EQ(rep.state, State::kCancelled);
+  EXPECT_EQ(rep.cancel_reason, Reason::kStalled);
+  EXPECT_GE(server.stats().watchdog_kills, 1u);
+}
+
+TEST(ServeCancel, CancelWhileQueuedNeverRuns) {
+  Server::Options opts;
+  opts.workers = 1;
+  Server server(opts);
+
+  std::atomic<bool> release{false};
+  JobSpec blocker;
+  blocker.name = "holder";
+  blocker.work = [&release](apl::serve::JobContext&) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return std::string("done");
+  };
+  const auto holder = server.submit(std::move(blocker));
+
+  const auto queued = server.submit(
+      apl::serve::make_airfoil_job("queued", apl::serve::AirfoilJob{}));
+  server.cancel(queued);
+  release.store(true);
+
+  const auto rep = server.wait(queued);
+  EXPECT_EQ(rep.state, State::kCancelled);
+  EXPECT_EQ(rep.cancel_reason, Reason::kUser);
+  EXPECT_EQ(rep.attempts, 0);  // cancelled before its body ever ran
+  EXPECT_EQ(server.wait(holder).state, State::kDone);
+}
+
+TEST(ServeCancel, PreemptedJobResumesBitwiseIdentical) {
+  // The checkpoint-backed preemption contract end to end: preempt a job
+  // before it starts (guaranteed by parking the only worker), let the
+  // server requeue and resume it, and demand the final digest match an
+  // uninterrupted solo run exactly.
+  const apl::serve::AirfoilJob shape{};
+  const std::string solo =
+      run_solo(apl::serve::make_airfoil_job("ref", shape));
+
+  Server::Options opts;
+  opts.workers = 1;
+  Server server(opts);
+
+  std::atomic<bool> release{false};
+  JobSpec blocker;
+  blocker.name = "holder";
+  blocker.work = [&release](apl::serve::JobContext&) {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return std::string("done");
+  };
+  const auto holder = server.submit(std::move(blocker));
+
+  const auto id = server.submit(
+      apl::serve::make_airfoil_job("preempted", shape));
+  server.preempt(id);  // lands while queued: first attempt yields at step 0
+  release.store(true);
+
+  const auto rep = server.wait(id);
+  EXPECT_EQ(rep.state, State::kDone);
+  EXPECT_GE(rep.preemptions, 1);
+  EXPECT_GE(rep.attempts, 2);          // yielded once, resumed once
+  EXPECT_GE(rep.resumed_step, 0);      // restarted from a real checkpoint
+  EXPECT_EQ(rep.result, solo);         // bitwise-identical to uninterrupted
+  EXPECT_EQ(server.wait(holder).state, State::kDone);
+}
+
+TEST(ServeCancel, PreemptAndDrainLeavesRestorableCheckpoint) {
+  const apl::serve::AirfoilJob long_shape{30, 15, 200, 5, 0};
+  JobSpec spec = apl::serve::make_airfoil_job("parked", long_shape);
+  const std::string solo = run_solo(spec);
+
+  Server::Options opts;
+  opts.workers = 1;
+  opts.checkpoint_root = temp_dir("preempt_drain");
+  Server server(opts);
+
+  const auto id = server.submit(apl::serve::make_airfoil_job("parked",
+                                                             long_shape));
+  // Let it make some progress, then ask everyone to yield.
+  ASSERT_TRUE(wait_until([&] { return server.status(id).beats > 20; }));
+  server.preempt_and_drain();
+
+  const auto rep = server.wait(id);
+  ASSERT_EQ(rep.state, State::kPreempted);
+  EXPECT_EQ(rep.cancel_reason, Reason::kPreempt);
+  EXPECT_GE(rep.last_checkpoint_step, 0);
+
+  // The parked checkpoint is restorable: resuming the same body against
+  // the job's store must land on the solo digest — the preemption lost
+  // no information.
+  const std::string base =
+      serve_test::server_store_base(opts.checkpoint_root, id, "parked");
+  ASSERT_TRUE(apl::io::CheckpointStore(base).any_valid());
+  EXPECT_EQ(serve_test::run_resume(spec, base), solo);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// The chaos soak, tier-1 sized: one server, a mixed tenant population
+// (all three proxy apps), faults injected into a subset — a crash, a
+// hang, a rank death — while the healthy tenants must reproduce their
+// solo digests bitwise and the service accounting must balance exactly.
+// (ci.sh runs the full-size soak through the opal_serve example, plain
+// and under ThreadSanitizer; this is the fast always-on version.)
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apl/serve/serve.hpp"
+#include "serve_test_util.hpp"
+
+namespace {
+
+using apl::serve::JobId;
+using apl::serve::JobSpec;
+using apl::serve::Server;
+using apl::serve::State;
+using serve_test::run_solo;
+
+TEST(ServeSoak, MixedTenantsWithChaosSubset) {
+  const apl::serve::AirfoilJob airfoil_shape{};
+  const apl::serve::CloverJob clover_shape{};
+  const apl::serve::MiniHydraJob hydra_shape{};
+
+  // Solo references, computed before any server exists.
+  const std::string airfoil_solo =
+      run_solo(apl::serve::make_airfoil_job("ref-a", airfoil_shape));
+  const std::string clover_solo =
+      run_solo(apl::serve::make_clover_job("ref-c", clover_shape));
+  const std::string hydra_solo =
+      run_solo(apl::serve::make_minihydra_job("ref-h", hydra_shape));
+
+  Server::Options opts;
+  opts.workers = 3;
+  opts.watchdog_period_seconds = 0.02;
+  opts.stall_seconds = 0.3;
+  Server server(opts);
+
+  std::map<JobId, std::string> expect_digest;
+  {
+    const auto a = server.submit(
+        apl::serve::make_airfoil_job("airfoil-0", airfoil_shape));
+    expect_digest[a] = airfoil_solo;
+    const auto c = server.submit(
+        apl::serve::make_clover_job("clover-0", clover_shape));
+    expect_digest[c] = clover_solo;
+    const auto h = server.submit(
+        apl::serve::make_minihydra_job("hydra-0", hydra_shape));
+    expect_digest[h] = hydra_solo;
+  }
+
+  // The chaos subset.
+  JobSpec crash = apl::serve::make_airfoil_job("airfoil-crash",
+                                               airfoil_shape);
+  crash.faults = "kill_at_loop=40";
+  const auto crash_id = server.submit(std::move(crash));
+  expect_digest[crash_id] = airfoil_solo;  // retried from checkpoint
+
+  JobSpec hang = apl::serve::make_airfoil_job("airfoil-hang",
+                                              airfoil_shape);
+  hang.faults = "hang_at_loop=40";
+  hang.retries = 0;
+  const auto hang_id = server.submit(std::move(hang));
+
+  JobSpec rankloss = apl::serve::make_clover_job("clover-rankloss",
+                                                 clover_shape);
+  rankloss.faults = "fail_rank=1@6";
+  const auto rankloss_id = server.submit(std::move(rankloss));
+
+  server.drain();
+
+  // Every tenant that was supposed to finish finished with the right
+  // bits; the hung tenant was stopped by the watchdog, nobody else.
+  for (const auto& [id, digest] : expect_digest) {
+    const auto rep = server.status(id);
+    EXPECT_EQ(rep.state, State::kDone) << rep.summary();
+    EXPECT_EQ(rep.result, digest) << rep.summary();
+  }
+  const auto hang_rep = server.status(hang_id);
+  EXPECT_EQ(hang_rep.state, State::kCancelled) << hang_rep.summary();
+  EXPECT_EQ(hang_rep.cancel_reason, apl::cancel::Reason::kStalled);
+  // The rank-death tenant recovered INSIDE the job (shrink ladder).
+  EXPECT_EQ(server.status(rankloss_id).state, State::kDone);
+
+  // Accounting balances: everything admitted reached exactly one
+  // terminal bucket.
+  const auto st = server.stats();
+  EXPECT_EQ(st.admitted, 6u);
+  EXPECT_EQ(st.admitted,
+            st.completed + st.failed + st.cancelled + st.preempted);
+  EXPECT_GE(st.retries, 1u);         // the crash tenant
+  EXPECT_GE(st.watchdog_kills, 1u);  // the hung tenant
+  EXPECT_EQ(st.failed, 0u);
+}
+
+}  // namespace

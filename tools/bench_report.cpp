@@ -11,6 +11,7 @@
 //   bench_report --check-trace FILE     # validate a Chrome trace dump
 //   bench_report --check-plan-cache     # cold->warm plan cache gate
 //   bench_report --check-resilience    # kill + transient recovery gate
+//   bench_report --check-serve         # multi-tenant service soak gate
 //
 // --check-trace reuses apl::trace::validate_chrome_json, so the ci.sh
 // trace stage exercises exactly the schema the tests assert.
@@ -24,6 +25,12 @@
 // identical to a failure-free run at the surviving rank count restored
 // from the same checkpoint. The report carries the recovery-overhead and
 // MTTR columns either way.
+// --check-serve runs a tenant mix (all three proxy apps plus a crash, a
+// hang and a rank-death tenant) through one apl::serve server and fails
+// unless the healthy tenants reproduce their solo digests bitwise, the
+// crash is retried, the hang is stopped by the watchdog, and nothing
+// else fails. The report carries throughput, latency and
+// isolation-overhead columns either way.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -43,6 +50,7 @@
 #include "apl/perf/machines.hpp"
 #include "apl/perf/report.hpp"
 #include "apl/profile.hpp"
+#include "apl/serve/serve.hpp"
 #include "apl/trace.hpp"
 #include "cloverleaf/cloverleaf_ops.hpp"
 #include "ops/ops.hpp"
@@ -50,13 +58,14 @@
 namespace {
 
 struct Args {
-  std::string out = "BENCH_pr7.json";
+  std::string out = "BENCH_pr8.json";
   std::string check_trace;
   std::string machine = "e5-2697v2";
   int airfoil_iters = 40;
   int clover_steps = 20;
   bool check_plan_cache = false;
   bool check_resilience = false;
+  bool check_serve = false;
 };
 
 int usage(const char* argv0) {
@@ -65,8 +74,9 @@ int usage(const char* argv0) {
                "[--clover-steps N] [--machine NAME]\n"
                "       %s --check-trace FILE\n"
                "       %s --check-plan-cache\n"
-               "       %s --check-resilience\n",
-               argv0, argv0, argv0, argv0);
+               "       %s --check-resilience\n"
+               "       %s --check-serve\n",
+               argv0, argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -321,6 +331,187 @@ void print_resilience(const ResilienceProbe& p) {
       p.bitwise_identical ? "identical" : "DIVERGED");
 }
 
+// ---- serve: multi-tenant throughput, latency and isolation overhead --------
+
+/// One server soak: a mixed tenant population (all three proxy apps) plus
+/// a chaos subset (crash / hang / rank death) through one apl::serve
+/// server. The gate demands bitwise isolation for the healthy tenants and
+/// the named verdicts for the chaos ones; the columns record service
+/// throughput, per-job latency, and the overhead of the per-job isolation
+/// scopes relative to an unserved solo run.
+struct ServeProbe {
+  int jobs = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t watchdog_kills = 0;
+  double makespan_seconds = 0.0;
+  double throughput_jobs_per_second = 0.0;
+  double mean_latency_seconds = 0.0;  // admission -> terminal, completed jobs
+  double max_latency_seconds = 0.0;
+  double solo_seconds = 0.0;          // one airfoil run, no server
+  double served_seconds = 0.0;        // the same run as a lone tenant
+  double isolation_overhead = 0.0;    // served/solo - 1 (scope machinery)
+  bool digests_match = false;         // healthy tenants == solo, bitwise
+  bool hang_stopped = false;          // watchdog ended the hung tenant
+
+  bool ok() const {
+    return digests_match && hang_stopped && failed == 0 && retries >= 1 &&
+           watchdog_kills >= 1 && completed > 0;
+  }
+};
+
+/// Runs a job body outside any server (reference digest + wall time).
+std::string serve_solo(const apl::serve::JobSpec& spec, double* seconds) {
+  const std::string base =
+      (std::filesystem::temp_directory_path() /
+       ("bench_serve_solo_" + spec.name))
+          .string();
+  apl::io::CheckpointStore store(base);
+  store.remove_files();
+  apl::cancel::Token token;
+  apl::cancel::Scope scope(&token);  // as the server would install it
+  apl::serve::JobContext jc(spec.name, store, token, 0);
+  const double t0 = apl::now_seconds();
+  std::string digest = spec.work(jc);
+  if (seconds != nullptr) *seconds = apl::now_seconds() - t0;
+  store.remove_files();
+  return digest;
+}
+
+ServeProbe probe_serve() {
+  namespace serve = apl::serve;
+  ServeProbe p;
+
+  const serve::AirfoilJob airfoil_shape{};
+  const serve::CloverJob clover_shape{};
+  const serve::MiniHydraJob hydra_shape{};
+  const std::string airfoil_solo =
+      serve_solo(serve::make_airfoil_job("ref-a", airfoil_shape),
+                 &p.solo_seconds);
+  const std::string clover_solo =
+      serve_solo(serve::make_clover_job("ref-c", clover_shape), nullptr);
+  const std::string hydra_solo =
+      serve_solo(serve::make_minihydra_job("ref-h", hydra_shape), nullptr);
+
+  // Isolation overhead: the same airfoil run as the only tenant of an
+  // otherwise idle single-worker server. Everything the service wraps
+  // around a body (token, injector, policy, plan scopes, checkpoint
+  // namespace) is in the difference.
+  {
+    serve::Server::Options opts;
+    opts.workers = 1;
+    serve::Server server(opts);
+    const auto id = server.submit(
+        serve::make_airfoil_job("overhead", airfoil_shape));
+    const serve::JobReport rep = server.wait(id);
+    p.served_seconds = rep.run_seconds;
+    p.digests_match = rep.state == serve::State::kDone &&
+                      rep.result == airfoil_solo;
+  }
+  p.isolation_overhead =
+      p.solo_seconds > 0.0 ? p.served_seconds / p.solo_seconds - 1.0 : 0.0;
+
+  // The soak proper: healthy tenants of every app family sharing the
+  // server with a crash, a hang and a rank death.
+  serve::Server::Options opts;
+  opts.workers = 3;
+  opts.watchdog_period_seconds = 0.02;
+  opts.stall_seconds = 0.3;
+  serve::Server server(opts);
+
+  std::vector<std::pair<serve::JobId, const std::string*>> expect;
+  const double t0 = apl::now_seconds();
+  for (int i = 0; i < 2; ++i) {
+    const std::string tag = std::to_string(i);
+    expect.emplace_back(server.submit(serve::make_airfoil_job(
+                            "airfoil-" + tag, airfoil_shape)),
+                        &airfoil_solo);
+    expect.emplace_back(server.submit(serve::make_clover_job(
+                            "clover-" + tag, clover_shape)),
+                        &clover_solo);
+    expect.emplace_back(server.submit(serve::make_minihydra_job(
+                            "hydra-" + tag, hydra_shape)),
+                        &hydra_solo);
+  }
+  serve::JobSpec crash = serve::make_airfoil_job("crash", airfoil_shape);
+  crash.faults = "kill_at_loop=40";
+  expect.emplace_back(server.submit(std::move(crash)), &airfoil_solo);
+  serve::JobSpec hang = serve::make_airfoil_job("hang", airfoil_shape);
+  hang.faults = "hang_at_loop=40";
+  hang.retries = 0;
+  const serve::JobId hang_id = server.submit(std::move(hang));
+  serve::JobSpec rankloss = serve::make_clover_job("rankloss", clover_shape);
+  rankloss.faults = "fail_rank=1@6";
+  expect.emplace_back(server.submit(std::move(rankloss)), &clover_solo);
+
+  server.drain();
+  p.makespan_seconds = apl::now_seconds() - t0;
+  p.jobs = static_cast<int>(expect.size()) + 1;
+
+  for (const auto& [id, solo] : expect) {
+    const serve::JobReport rep = server.status(id);
+    p.digests_match = p.digests_match &&
+                      rep.state == serve::State::kDone && rep.result == *solo;
+    const double latency = rep.queued_seconds + rep.run_seconds;
+    p.mean_latency_seconds += latency;
+    p.max_latency_seconds = std::max(p.max_latency_seconds, latency);
+  }
+  const serve::JobReport hang_rep = server.status(hang_id);
+  p.hang_stopped =
+      hang_rep.state == serve::State::kCancelled &&
+      hang_rep.cancel_reason == apl::cancel::Reason::kStalled;
+
+  const serve::ServerStats st = server.stats();
+  p.completed = st.completed;
+  p.failed = st.failed;
+  p.cancelled = st.cancelled;
+  p.retries = st.retries;
+  p.watchdog_kills = st.watchdog_kills;
+  if (!expect.empty()) {
+    p.mean_latency_seconds /= static_cast<double>(expect.size());
+  }
+  if (p.makespan_seconds > 0.0) {
+    p.throughput_jobs_per_second =
+        static_cast<double>(p.completed) / p.makespan_seconds;
+  }
+  return p;
+}
+
+std::string serve_json(const ServeProbe& p) {
+  std::ostringstream os;
+  os << "  {\"run\": \"serve_soak\""
+     << ", \"jobs\": " << p.jobs << ", \"completed\": " << p.completed
+     << ", \"failed\": " << p.failed << ", \"cancelled\": " << p.cancelled
+     << ", \"retries\": " << p.retries
+     << ", \"watchdog_kills\": " << p.watchdog_kills
+     << ", \"makespan_seconds\": " << p.makespan_seconds
+     << ", \"throughput_jobs_per_second\": " << p.throughput_jobs_per_second
+     << ", \"mean_latency_seconds\": " << p.mean_latency_seconds
+     << ", \"max_latency_seconds\": " << p.max_latency_seconds
+     << ", \"isolation_overhead\": " << p.isolation_overhead
+     << ", \"digests_match\": " << (p.digests_match ? "true" : "false")
+     << ", \"hang_stopped\": " << (p.hang_stopped ? "true" : "false") << "}";
+  return os.str();
+}
+
+void print_serve(const ServeProbe& p) {
+  std::printf(
+      "serve            %d tenants: %llu done / %llu failed / %llu "
+      "cancelled, %llu retries, %llu watchdog kills, %.2f jobs/s, "
+      "latency mean %.3fs max %.3fs, isolation overhead %.1f%%, "
+      "digests %s\n",
+      p.jobs, static_cast<unsigned long long>(p.completed),
+      static_cast<unsigned long long>(p.failed),
+      static_cast<unsigned long long>(p.cancelled),
+      static_cast<unsigned long long>(p.retries),
+      static_cast<unsigned long long>(p.watchdog_kills),
+      p.throughput_jobs_per_second, p.mean_latency_seconds,
+      p.max_latency_seconds, 100.0 * p.isolation_overhead,
+      p.digests_match ? "identical" : "DIVERGED");
+}
+
 std::string probe_json(const std::string& name, const CacheProbe& p) {
   std::ostringstream os;
   os << "  {\"run\": \"" << name
@@ -374,6 +565,8 @@ int main(int argc, char** argv) {
       args.check_plan_cache = true;
     } else if (a == "--check-resilience") {
       args.check_resilience = true;
+    } else if (a == "--check-serve") {
+      args.check_serve = true;
     } else {
       return usage(argv[0]);
     }
@@ -425,6 +618,17 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (args.check_serve) {
+    const ServeProbe srv = probe_serve();
+    print_serve(srv);
+    if (!srv.ok()) {
+      std::fprintf(stderr, "bench_report: serve soak check FAILED\n");
+      return 1;
+    }
+    std::printf("serve multi-tenant soak check passed\n");
+    return 0;
+  }
+
   const apl::perf::Machine machine = apl::perf::machine(args.machine);
   std::vector<std::string> runs;
 
@@ -466,8 +670,12 @@ int main(int argc, char** argv) {
   const ResilienceProbe res_probe = probe_resilience();
   print_resilience(res_probe);
 
+  // Service trajectory: multi-tenant throughput/latency + isolation cost.
+  const ServeProbe srv_probe = probe_serve();
+  print_serve(srv_probe);
+
   std::ostringstream os;
-  os << "{\"bench\": \"pr7\", \"machine\": \"" << machine.name
+  os << "{\"bench\": \"pr8\", \"machine\": \"" << machine.name
      << "\",\n \"airfoil_iters\": " << args.airfoil_iters
      << ", \"clover_steps\": " << args.clover_steps << ",\n \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -476,7 +684,8 @@ int main(int argc, char** argv) {
   os << "],\n \"plan_cache\": [\n"
      << probe_json("airfoil", air_probe) << ",\n"
      << probe_json("cloverleaf_lazy", clv_probe) << "\n],\n \"resilience\": [\n"
-     << resilience_json(res_probe) << "\n]}\n";
+     << resilience_json(res_probe) << "\n],\n \"serve\": [\n"
+     << serve_json(srv_probe) << "\n]}\n";
 
   std::ofstream out(args.out);
   if (!out) {

@@ -58,10 +58,19 @@ OPAL_TRACE="$build/tier1.trace.json" ctest --test-dir "$build" -L tier1 \
   --gtest_brief=1
 "$build/tools/bench_report" --check-resilience
 
+# Serve stage: the multi-tenant chaos soak. The opal_serve example runs a
+# tenant mix (all three proxy apps) with a crash, a hang and a rank death
+# injected into SOME tenants while the rest must finish with solo-identical
+# digests; bench_report --check-serve gates the same invariants and prints
+# the throughput / latency / isolation-overhead columns.
+"$build/examples/opal_serve" 2 3 > /dev/null
+"$build/tools/bench_report" --check-serve
+
 # Perf-trajectory stage: regenerate the checked-in per-loop benchmark
 # record (Airfoil + CloverLeaf eager/lazy, roofline join included, plus
-# the plan-analysis cold/warm and recovery-overhead/MTTR columns).
-(cd "$repo" && "$build/tools/bench_report" --out BENCH_pr7.json > /dev/null)
+# the plan-analysis cold/warm, recovery-overhead/MTTR and multi-tenant
+# service columns).
+(cd "$repo" && "$build/tools/bench_report" --out BENCH_pr8.json > /dev/null)
 
 if [[ -n "${CI_SANITIZE:-}" ]]; then
   san_build="$build-$CI_SANITIZE"
@@ -73,4 +82,7 @@ if [[ -n "${CI_SANITIZE:-}" ]]; then
   # APL_SANITIZE=thread configuration when CI_SANITIZE=thread).
   "$san_build/tests/test_resilience" --gtest_filter='ShrinkRecoverTest.*' \
     --gtest_brief=1
+  # And so must the serve soak: watchdog vs worker vs submitter is exactly
+  # the kind of race ThreadSanitizer exists to catch.
+  "$san_build/examples/opal_serve" 2 3 > /dev/null
 fi
