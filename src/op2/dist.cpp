@@ -303,6 +303,25 @@ void Distributed::set_node_backend(Backend b) {
   for (auto& rc : rank_ctx_) rc->set_backend(b);
 }
 
+void Distributed::set_lazy(bool on) {
+  rank_lazy_ = on;
+  for (auto& rc : rank_ctx_) rc->set_lazy(on);
+}
+
+void Distributed::set_tiling(bool on) {
+  rank_tiling_ = on;
+  for (auto& rc : rank_ctx_) rc->set_tiling(on);
+}
+
+void Distributed::set_tile_size(index_t elems) {
+  rank_tile_size_ = elems;
+  for (auto& rc : rank_ctx_) rc->set_tile_size(elems);
+}
+
+void Distributed::flush_all() {
+  for (auto& rc : rank_ctx_) rc->flush();
+}
+
 index_t Distributed::owned_count(const Set& s, int rank) const {
   return static_cast<index_t>(set_dist_[s.id()].owned[rank].size());
 }
@@ -607,6 +626,12 @@ std::int64_t Distributed::shrink_recover(apl::io::CheckpointStore& store) {
   build_rank_contexts();  // scatters the restored global dats
   if (node_backend_) {
     for (auto& rc : rank_ctx_) rc->set_backend(*node_backend_);
+  }
+  // Re-apply the remembered lazy-engine settings to the fresh contexts.
+  for (auto& rc : rank_ctx_) {
+    rc->set_tiling(rank_tiling_);
+    rc->set_tile_size(rank_tile_size_);
+    rc->set_lazy(rank_lazy_);
   }
   std::uint64_t bytes = 0;
   for (index_t d = 0; d < global_->num_dats(); ++d) {

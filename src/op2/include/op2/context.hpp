@@ -18,6 +18,7 @@
 #include "apl/exec.hpp"
 #include "apl/profile.hpp"
 #include "op2/arg.hpp"
+#include "op2/lazy.hpp"
 #include "op2/mesh.hpp"
 #include "op2/plan.hpp"
 
@@ -33,11 +34,11 @@ struct DeviceReport {
 };
 
 /// The unified execution API (backend selection, debug checks, lazy mode,
-/// profile, flop hints) lives on the apl::exec::ExecContext base. OP2
-/// executes loops eagerly regardless of set_lazy(): its run-time loop-chain
-/// analysis drives checkpointing (op2/checkpoint.hpp), not delayed
-/// execution, so flush() is a no-op here. The OPS context implements the
-/// lazy loop-chain engine (ops/lazy.hpp).
+/// profile, flop hints) lives on the apl::exec::ExecContext base. With
+/// set_lazy(true), par_loop enqueues LoopRecords and flush points run the
+/// chain through the sparse-tiling inspector/executor (op2/lazy.hpp) —
+/// the unstructured-mesh counterpart of the OPS lazy engine
+/// (ops/lazy.hpp); set_tiling()/set_tile_size() control the fusion.
 class Context : public apl::exec::ExecContext {
 public:
   Context() = default;
@@ -55,6 +56,7 @@ public:
     auto dat = std::make_unique<Dat<T>>(
         static_cast<index_t>(dats_.size()), set, dim, init, name);
     Dat<T>& ref = *dat;
+    ref.attach_context(this, &pending_flush_);
     dats_.push_back(std::move(dat));
     topology_hash_.reset();
     return ref;
@@ -78,6 +80,46 @@ public:
   /// STAGE_NOSOA) instead of accessing global memory directly.
   bool staging() const { return staging_; }
   void set_staging(bool on) { staging_ = on; }
+
+  // ---- lazy loop-chain execution (op2/lazy.hpp)
+  /// Turning lazy off flushes (base behavior), and turning it on/off
+  /// keeps the dats' pending-flush flag coherent.
+  void set_lazy(bool on) override {
+    apl::exec::ExecContext::set_lazy(on);
+    update_pending();
+  }
+  /// Allow/forbid cross-loop sparse tiling; with tiling off (or when the
+  /// traffic model vetoes fusion) lazy chains replay verbatim.
+  bool tiling() const { return tiling_; }
+  void set_tiling(bool on) {
+    tiling_ = on;
+    invalidate_plans();
+  }
+  /// Elements per tile; <= 0 sizes tiles automatically from the chain's
+  /// cache footprint. An explicit size also overrides the profitability
+  /// fallback (tests force tiny tiles on tiny meshes).
+  index_t tile_size() const { return tile_size_; }
+  void set_tile_size(index_t elems) {
+    tile_size_ = elems;
+    invalidate_plans();
+  }
+  /// par_loop calls this instead of executing when a record is queued.
+  void enqueue(LoopRecord rec);
+  /// True while the executor is draining the chain (par_loop then runs
+  /// eagerly as a chain member instead of re-enqueueing itself).
+  bool chain_executing() const { return chain_executing_; }
+  std::size_t chain_length() const { return chain_.size(); }
+  /// True when an interrupted chain is parked awaiting the next flush.
+  bool chain_resumable() const { return resume_ != nullptr; }
+  /// Parks the remainder of an interrupted chain (tile executor only).
+  void store_resume(ChainResume resume);
+  const ChainStats& chain_stats() const { return chain_stats_; }
+
+  /// Tile-schedule entry point, mirroring plan_for(PlanRequest): memoized
+  /// per (topology, program, config, IR-version) signature, then the
+  /// persistent plan cache (kind "op2chain"), then the inspector. Guarded
+  /// mode (apl::verify::kPlan) race-audits every returned schedule.
+  const TileSchedule& plan_for(const ChainPlanRequest& req);
 
   // ---- run-time services used by par_loop
   /// The one public plan entry point: returns the (memoized) execution
@@ -135,7 +177,15 @@ public:
   /// Invalidates all cached plans (called after renumbering/layout change).
   void invalidate_plans();
 
+protected:
+  /// Flush point: completes any parked resume, then runs the queued chain
+  /// through the inspector/executor. Reentrant calls (a chain member
+  /// touching a dat) are no-ops.
+  void do_flush() override;
+
 private:
+  void update_pending();
+
   struct PlanKey {
     std::string loop;
     index_t set_id;
@@ -154,6 +204,18 @@ private:
   mutable std::map<index_t, index_t> unique_targets_cache_;
   mutable std::optional<std::uint64_t> topology_hash_;
   Checkpointer* checkpointer_ = nullptr;
+
+  // Lazy loop-chain state (op2/lazy.hpp). `pending_flush_` is the flag
+  // every declared dat watches from touch(); it is true exactly when a
+  // flush would run work.
+  std::vector<LoopRecord> chain_;
+  std::map<std::uint64_t, std::unique_ptr<TileSchedule>> tile_schedules_;
+  ChainStats chain_stats_;
+  std::unique_ptr<ChainResume> resume_;
+  bool chain_executing_ = false;
+  bool pending_flush_ = false;
+  bool tiling_ = true;
+  index_t tile_size_ = 0;
 };
 
 /// Out-of-line: needs the complete Context type.

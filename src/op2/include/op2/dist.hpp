@@ -65,6 +65,23 @@ public:
   /// Node-level backend the rank loops execute with (hybrid composition).
   void set_node_backend(apl::exec::Backend b);
 
+  /// Lazy loop-chain execution with sparse tiling on every rank context
+  /// (op2/lazy.hpp). No distributed-specific flush plumbing is needed:
+  /// halo exchanges, increment flushes, ghost zeroing, fetch/scatter and
+  /// checkpoints all reach rank data through the DatBase pack/unpack/add
+  /// hooks, each of which drains the owning rank's queued chain first —
+  /// in particular an exchange flushes the *reader* rank's chain before
+  /// overwriting its ghost slots, and an increment flush materializes the
+  /// producing rank's queued kInc loop before shipping the ghost-slot
+  /// sums. Rank-level reductions flush at the rank par_loop itself (the
+  /// result is read back immediately), so program order is preserved
+  /// exactly as in the replicated case.
+  void set_lazy(bool on);
+  void set_tiling(bool on);
+  void set_tile_size(index_t elems);
+  /// Explicit flush point: drains every rank's queued chain.
+  void flush_all();
+
   index_t owned_count(const Set& global_set, int rank) const;
   index_t ghost_count(const Set& global_set, int rank) const;
   /// Total ghost entries across ranks — the per-iteration halo volume.
@@ -157,6 +174,11 @@ private:
   index_t base_set_id_;
   index_t coords_id_ = -1;
   std::optional<apl::exec::Backend> node_backend_;
+  // Lazy-engine settings, remembered because shrink_recover rebuilds the
+  // rank contexts.
+  bool rank_lazy_ = false;
+  bool rank_tiling_ = true;
+  index_t rank_tile_size_ = 0;
   int shrinks_done_ = 0;
 
   // ---- typed helpers for the par_loop template ---------------------------

@@ -1,0 +1,209 @@
+// Lazy loop-chain execution with inspector/executor sparse tiling for
+// unstructured meshes.
+//
+// With Context::set_lazy(true), op2::par_loop no longer executes: it
+// enqueues a LoopRecord (name, target set, access descriptors, and two
+// type-erased executors) into the context's loop chain. The chain runs at
+// a *flush point*:
+//
+//   - an explicit ctx.flush(),
+//   - a loop carrying a global reduction (the caller reads the result
+//     right after par_loop returns, so the chain — including that loop —
+//     runs before control returns),
+//   - raw data access (Dat::raw / storage / to_vector and the pack /
+//     unpack / add entry points distribution and checkpointing use),
+//   - a halo exchange or increment flush in the distributed layer (these
+//     reach data through the pack/unpack hooks above), and
+//   - an attached checkpointer, debug checks or kAccess guarding (the
+//     loop then drains the queue and runs eagerly).
+//
+// At a flush the *inspector* walks the queued loops' maps and access
+// descriptors and grows sparse tiles by wavefront over the shared dats
+// (the unstructured analogue of the OPS skewed tiling, following the
+// loop-chaining / sparse-tiling line of work the paper builds on): each
+// loop l in the chain is split into ntiles contiguous element slices with
+// monotone boundaries B[l][0..ntiles], chosen so that every cross-loop
+// dependence (a later loop touching an entry an earlier loop wrote, or
+// overwriting an entry an earlier loop read) lands in the same or a later
+// tile. The *executor* then runs tiles in ascending order, and within a
+// tile the loops in chain order — so values written by loop k and read by
+// loop k+1 stay cache-resident instead of round-tripping through memory.
+//
+// Correctness (the fusion legality rule): because each loop's slices are
+// contiguous and their boundaries monotone, every loop still visits its
+// elements in ascending order overall, and the wavefront constraint
+//     tile(l, e)  >=  tile(k, e')      for every dependent pair (k<l)
+// guarantees each dependence source executes no later than its sink (same
+// tile ⇒ chain order decides, exactly as in eager execution). The tiled
+// schedule is therefore a *reordering-free* re-schedule: sequential tiled
+// execution is bitwise identical to eager sequential execution, which is
+// what the testkit differential matrix asserts.
+//
+// Tile schedules compile into the Plan IR (section-framed payload, kind
+// "op2chain", versioned by op2::kPlanIrVersion) and persist in
+// apl::plan_cache::Store keyed by topology x program x config — warm
+// starts skip inspection entirely (proved by trace spans: a warm flush
+// emits chain_hit:, never chain_analyze:). Execution emits one kChain
+// span per flush and a kTile span per tile slice, and respects
+// apl::cancel tokens at every tile boundary: a deadline/cancel (or a
+// scheduler preemption request) takes effect between tiles, the
+// remainder of the schedule is parked as a ChainResume on the context,
+// and the next flush completes it exactly — the queue is never left
+// half-flushed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "op2/arg.hpp"
+#include "op2/mesh.hpp"
+
+namespace op2 {
+
+class Context;
+
+/// One queued parallel loop: everything the inspector needs (target set +
+/// argument descriptors), plus two type-erased executors. `run_full`
+/// replays the loop through the context's full eager backend dispatch
+/// (used by unfused schedules); `run_slice` runs elements [lo, hi) in
+/// ascending order (used by tiled schedules). `simd_pack_safe` is false
+/// when some dat is both read and written with an indirect side — packed
+/// execution could then pair conflicting elements a pack never pairs
+/// eagerly, so tiled slices fall back to ordered scalar execution.
+struct LoopRecord {
+  std::string name;
+  const Set* set = nullptr;
+  index_t n = 0;  ///< core_size at enqueue time
+  bool simd_pack_safe = true;
+  std::vector<ArgInfo> infos;
+  std::function<void()> run_full;
+  std::function<void(index_t, index_t)> run_slice;
+};
+
+/// Accumulated lazy-engine statistics, exposed through
+/// Context::chain_stats() and reported by bench_report's op2-tiling
+/// columns.
+struct ChainStats {
+  std::uint64_t flushes = 0;    ///< chains executed
+  std::uint64_t loops = 0;      ///< loops executed through chains
+  std::uint64_t tiles = 0;      ///< tile slices' tiles (1 per loop if unfused)
+  std::uint64_t verbatim = 0;   ///< chains replayed unfused
+  std::uint64_t max_chain = 0;  ///< longest chain seen
+  /// Modeled DRAM traffic: each loop streaming all its arguments (what
+  /// eager execution does) vs. each dat entry entering cache once per
+  /// tile it is touched in.
+  std::uint64_t eager_bytes = 0;
+  std::uint64_t tiled_bytes = 0;
+
+  double traffic_saved_fraction() const {
+    return eager_bytes == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(tiled_bytes) /
+                           static_cast<double>(eager_bytes);
+  }
+};
+
+/// Compiled execution schedule of one flushed chain — the inspector's
+/// output with the inspection itself stripped away. When `fused` is
+/// false the chain replays verbatim (run_full per record, the
+/// profitability fallback). When true, tile t runs, for each loop l in
+/// chain order, the element slice [bounds[l][t], bounds[l][t+1]).
+///
+/// `colors` is a greedy conflict-free coloring of the tiles (same-color
+/// tiles share no written entry). The executor here runs tiles in
+/// ascending order — the order that makes tiling bitwise-exact — so the
+/// coloring is carried for the race audit and as the parallel-executor
+/// seam; same-color tile slices are the units a threaded tile executor
+/// could run concurrently.
+struct TileSchedule {
+  bool fused = false;
+  index_t ntiles = 0;
+  std::int32_t ncolors = 0;
+  std::vector<index_t> loop_n;  ///< per-record core sizes (validation)
+  std::vector<std::vector<index_t>> bounds;  ///< [loop][ntiles+1], monotone
+  std::vector<std::int32_t> colors;          ///< [ntiles]
+  /// Traffic projection the fused-vs-verbatim decision was made on.
+  std::uint64_t eager_bytes = 0;
+  std::uint64_t fused_bytes = 0;
+  /// Combined cache signature (topology x program x config x IR version)
+  /// this schedule was planned under; 0 until planned through plan_for.
+  std::uint64_t signature = 0;
+};
+
+/// Request for a chain tile schedule — the one public spelling for
+/// obtaining one (Context::plan_for overload, mirroring the colored-plan
+/// and OPS chain-schedule requests). `label` names the schedule in
+/// traces, diagnostics and cache file names.
+struct ChainPlanRequest {
+  std::string label = "op2chain";
+  const std::vector<LoopRecord>* chain = nullptr;
+};
+
+/// A chain flush interrupted at a tile boundary (apl::cancel deadline /
+/// user cancel / preemption): the not-yet-executed remainder. Parked on
+/// the context; the next flush point completes exactly the remaining
+/// tiles, so cancellation never leaves a chain half-flushed. The records
+/// still reference the enqueue-time argument storage (frozen kRead
+/// globals excepted), so a resume must happen while that storage lives —
+/// drivers that destroy the job instead (apl::serve retries from a
+/// checkpoint) simply discard the context, resume state and all.
+struct ChainResume {
+  std::vector<LoopRecord> chain;
+  TileSchedule sched;
+  std::size_t next = 0;  ///< next tile (fused) / next record (unfused)
+};
+
+/// Serializes a tile schedule into the section-framed Plan IR payload
+/// stored in the on-disk plan cache (kind "op2chain"; the signature is
+/// carried by the container key, not the payload).
+std::vector<std::uint8_t> encode_tile_schedule(const TileSchedule& sched);
+
+/// Decodes and validates an IR payload against the live chain it will
+/// drive. Returns nullopt (with an "op2chain-ir: ..." diagnostic in
+/// *diag) on any structural violation: record-count or per-loop size
+/// mismatch, non-monotone or non-covering slice boundaries, color range.
+std::optional<TileSchedule> decode_tile_schedule(
+    std::span<const std::uint8_t> payload,
+    const std::vector<LoopRecord>& chain, std::string* diag);
+
+/// Race/dependency audit of a tile schedule against its live chain
+/// (apl::verify::kPlan). Replays the wavefront constraints and returns ""
+/// when the schedule is dependence-preserving, otherwise a diagnostic
+/// naming the exact loop, dat and element of the first violation:
+/// slice coverage, boundary monotonicity, every cross-loop dependence
+/// landing in a same-or-later tile, and same-color tiles sharing no
+/// written entry.
+std::string audit_tile_schedule(const Context& ctx,
+                                const std::vector<LoopRecord>& chain,
+                                const TileSchedule& sched);
+
+namespace detail {
+
+/// The inspector: walks the queued loops' maps and access descriptors
+/// and builds the sparse tile schedule by wavefront growth (see file
+/// header). Internal — runtime call sites obtain schedules through
+/// Context::plan_for, which consults the plan cache first; reach for
+/// this only from tests and benches.
+TileSchedule build_tile_schedule(const Context& ctx,
+                                 const std::vector<LoopRecord>& chain);
+
+/// Executes a flushed chain: obtains the schedule via Context::plan_for
+/// (memoized per signature, then the persistent cache, then the
+/// inspector), runs it tile by tile with cancellation/preemption checks
+/// at every tile boundary, and accumulates per-loop profile stats plus
+/// chain stats. On interruption the remainder is parked on the context
+/// before the apl::cancel::Cancelled propagates.
+void execute_chain(Context& ctx, std::vector<LoopRecord> chain,
+                   ChainStats& stats);
+
+/// Completes a parked ChainResume (throws again, re-parking, if the
+/// token is still cancelled).
+void resume_chain(Context& ctx, ChainResume resume, ChainStats& stats);
+
+}  // namespace detail
+
+}  // namespace op2

@@ -21,6 +21,13 @@ namespace op2 {
 
 class Context;
 
+namespace detail {
+/// Defined in lazy.cpp: flushes the context's queued loop chain. Raw
+/// data access is a flush point (op2/lazy.hpp); DatBase::touch() routes
+/// here so mesh.hpp need not see the Context definition.
+void flush_pending(Context& ctx);
+}  // namespace detail
+
 using index_t = std::int32_t;
 
 /// A set of mesh elements (only a size and a name; elements are anonymous).
@@ -118,6 +125,24 @@ public:
   /// another context (used by the distributed layer to build rank replicas).
   virtual DatBase& declare_like(Context& ctx, const Set& set) const = 0;
 
+  /// Raw data access is a lazy-chain flush point: any path that reads or
+  /// writes dat memory directly (raw/storage/to_vector and the pack /
+  /// unpack / add entry points distribution and checkpointing use) first
+  /// drains the owning context's queued loops, so lazy execution is
+  /// invisible to callers. Cheap when nothing is pending: one flag load.
+  void touch() const {
+    if (pending_flush_ != nullptr && *pending_flush_) {
+      detail::flush_pending(*ctx_);
+    }
+  }
+  /// Wired by Context::decl_dat; `pending` points at the context's
+  /// has-queued-work flag.
+  void attach_context(Context* ctx, const bool* pending) {
+    ctx_ = ctx;
+    pending_flush_ = pending;
+  }
+  Context* context() const { return ctx_; }
+
 protected:
   friend class Context;
   index_t id_;
@@ -126,6 +151,8 @@ protected:
   std::size_t elem_bytes_;
   std::string name_;
   Layout layout_ = Layout::kAoS;
+  Context* ctx_ = nullptr;
+  const bool* pending_flush_ = nullptr;
 };
 
 /// A typed dataset: dim components of T per element of a set.
@@ -156,22 +183,31 @@ public:
     return layout_ == Layout::kAoS ? 1 : set_->capacity();
   }
 
-  void* raw() override { return data_.data(); }
-  const void* raw() const override { return data_.data(); }
+  void* raw() override {
+    touch();
+    return data_.data();
+  }
+  const void* raw() const override {
+    touch();
+    return data_.data();
+  }
 
   void pack_entry(index_t e, void* out) const override {
+    touch();
     T* o = static_cast<T*>(out);
     const T* p = entry(e);
     const std::ptrdiff_t s = stride();
     for (index_t d = 0; d < dim_; ++d) o[d] = p[d * s];
   }
   void unpack_entry(index_t e, const void* in) override {
+    touch();
     const T* i = static_cast<const T*>(in);
     T* p = entry(e);
     const std::ptrdiff_t s = stride();
     for (index_t d = 0; d < dim_; ++d) p[d * s] = i[d];
   }
   void add_entry(index_t e, const void* in) override {
+    touch();
     const T* i = static_cast<const T*>(in);
     T* p = entry(e);
     const std::ptrdiff_t s = stride();
@@ -201,11 +237,18 @@ public:
 
   /// Whole-array view in the *current layout* (size capacity*dim). Prefer
   /// entry()/stride() or span_of() below for element access.
-  std::span<T> storage() { return data_; }
-  std::span<const T> storage() const { return data_; }
+  std::span<T> storage() {
+    touch();
+    return data_;
+  }
+  std::span<const T> storage() const {
+    touch();
+    return data_;
+  }
 
   /// Copies out the logical content as AoS regardless of layout.
   std::vector<T> to_vector() const {
+    touch();
     std::vector<T> out(static_cast<std::size_t>(set_->size()) * dim_);
     for (index_t e = 0; e < set_->size(); ++e) {
       pack_entry(e, out.data() + static_cast<std::size_t>(e) * dim_);

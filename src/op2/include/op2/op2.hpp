@@ -19,6 +19,7 @@
 #include "op2/checkpoint.hpp"
 #include "op2/context.hpp"
 #include "op2/dist.hpp"
+#include "op2/lazy.hpp"
 #include "op2/mesh.hpp"
 #include "op2/par_loop.hpp"
 #include "op2/plan.hpp"

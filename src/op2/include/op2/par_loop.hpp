@@ -148,6 +148,62 @@ void debug_verify(const ArgGbl<T>& g, const std::vector<T>& snap,
                loop, "' modified read-only global");
 }
 
+// ---- lazy-chain enqueue support (op2/lazy.hpp) -----------------------------
+
+// A queued loop must not observe later mutations of kRead globals (the
+// caller may reuse the variable before the flush), so enqueue snapshots
+// them; reduction targets are left live — a reduction forces an immediate
+// flush anyway. Same freeze/thaw pattern as the OPS lazy engine.
+template <class T>
+struct GblSnapshot {
+  ArgGbl<T> g;
+  std::vector<T> snap;  ///< non-empty only for kRead globals
+};
+
+template <class T>
+ArgDat<T> freeze(const ArgDat<T>& a) {
+  return a;
+}
+template <class T>
+GblSnapshot<T> freeze(const ArgGbl<T>& g) {
+  GblSnapshot<T> s{g, {}};
+  if (g.acc == apl::exec::Access::kRead) {
+    s.snap.assign(g.data, g.data + g.dim);
+  }
+  return s;
+}
+
+// thaw re-points the frozen global at its snapshot on *every* call: the
+// frozen tuple is copied around with its lambda, and the data pointer must
+// chase the copy that is actually executing.
+template <class T>
+ArgDat<T>& thaw(ArgDat<T>& a) {
+  return a;
+}
+template <class T>
+ArgGbl<T>& thaw(GblSnapshot<T>& s) {
+  if (!s.snap.empty()) s.g.data = s.snap.data();
+  return s.g;
+}
+
+/// False when packed (SIMD) execution of a slice could pair elements that
+/// conflict through a dat some argument reads live (not the kInc
+/// zero-identity) while another writes it with an indirect side — the
+/// gather would then stage values an earlier packmate still has to write.
+/// Such loops run tile slices through run_seq_range instead.
+inline bool simd_pack_safe(const std::vector<ArgInfo>& infos) {
+  for (const ArgInfo& w : infos) {
+    if (w.is_gbl || !writes(w.acc)) continue;
+    for (const ArgInfo& r : infos) {
+      if (r.is_gbl || r.dat_id != w.dat_id) continue;
+      if (!reads(r.acc) || r.acc == apl::exec::Access::kInc) continue;
+      if (&r == &w && !w.indirect()) continue;  // direct RW touches own entry
+      if (w.indirect() || r.indirect()) return false;
+    }
+  }
+  return true;
+}
+
 // ---- sequential backend --------------------------------------------------
 
 // Per-loop hoisted argument state: base pointer, map row and strides are
@@ -192,20 +248,27 @@ Acc<T> seq_param(std::nullptr_t, ArgGbl<T>& g, index_t /*e*/) {
 
 // `flatten` inlines the kernel and accessors so the generated loop matches
 // a hand-written loop nest (see ops/par_loop.hpp for the same pattern).
+// The range form is the tile executor's slice runner (op2/lazy.hpp):
+// elements [lo, hi) in ascending order, exactly the eager order restricted
+// to the slice.
 template <class Kernel, class... Args>
 #if defined(__GNUC__)
 [[gnu::flatten]]
 #endif
-void run_seq(const Set& set, Kernel&& k, Args&... args) {
-  const index_t n = set.core_size();
+void run_seq_range(index_t lo, index_t hi, Kernel&& k, Args&... args) {
   auto states = std::make_tuple(make_seq_state(args)...);
   std::apply(
       [&](auto&... st) {
-        for (index_t e = 0; e < n; ++e) {
+        for (index_t e = lo; e < hi; ++e) {
           k(seq_param(st, args, e)...);
         }
       },
       states);
+}
+
+template <class Kernel, class... Args>
+void run_seq(const Set& set, Kernel&& k, Args&... args) {
+  run_seq_range(0, set.core_size(), k, args...);
 }
 
 // ---- threads backend -------------------------------------------------------
@@ -327,16 +390,21 @@ Acc<T> lane_acc(SimdGblStage<T>& st, index_t /*l*/) {
   return Acc<T>(st.g->data, 1);
 }
 
+// Range form for tile slices. Pack grouping shifts with `lo`, but results
+// do not depend on it: gathers stage either a live value no packmate
+// writes (LoopRecord::simd_pack_safe gates the conflicting case to
+// run_seq_range) or the kInc zero-identity, and scatters commit
+// element-major — so lane arithmetic happens in ascending element order
+// regardless of where packs begin, bitwise-matching the eager pass.
 template <class Kernel, class... Args>
-void run_simd(const Set& set, Kernel&& k, Args&... args) {
-  const index_t n = set.core_size();
+void run_simd_range(index_t lo, index_t hi, Kernel&& k, Args&... args) {
   auto stages = std::make_tuple(make_stage(args)...);
-  for (index_t e0 = 0; e0 < n; e0 += kSimdWidth) {
-    index_t lanes = std::min<index_t>(kSimdWidth, n - e0);
+  for (index_t e0 = lo; e0 < hi; e0 += kSimdWidth) {
+    index_t lanes = std::min<index_t>(kSimdWidth, hi - e0);
 #ifdef APL_MUTATE_OP2_SIMD_TAIL
     // Mutation hook for the testkit smoke tests: drop the last lane of the
     // final pack, simulating a remainder-loop bug in the vectorizer.
-    if (e0 + lanes >= n) --lanes;
+    if (e0 + lanes >= hi) --lanes;
 #endif
     std::apply(
         [&](auto&... st) {
@@ -350,6 +418,11 @@ void run_simd(const Set& set, Kernel&& k, Args&... args) {
         },
         stages);
   }
+}
+
+template <class Kernel, class... Args>
+void run_simd(const Set& set, Kernel&& k, Args&... args) {
+  run_simd_range(0, set.core_size(), k, args...);
 }
 
 // ---- cudasim backend --------------------------------------------------------
@@ -509,6 +582,107 @@ void par_loop(Context& ctx, const std::string& name, const Set& set,
   // be invalidated by corruption after the fact).
   if (ctx.verifying(apl::verify::kBounds)) [[unlikely]] {
     detail::verify_loop_bounds(ctx, name, set, infos);
+  }
+
+  // Lazy mode: enqueue instead of executing (op2/lazy.hpp). Loops the
+  // chain executor replays re-enter the backends below directly, never
+  // this driver, so chain_executing() only guards the explicit
+  // flush-then-run-eagerly paths. Checkpointing, debug checks and access
+  // guarding want to observe each loop as it runs: they drain the queue
+  // (order preserved) and fall through to eager execution.
+  if (ctx.lazy() && !ctx.chain_executing()) {
+    const bool wants_eager = ctx.checkpointer() != nullptr ||
+                             ctx.debug_checks() ||
+                             ctx.verifying(apl::verify::kAccess);
+    if (wants_eager) {
+      ctx.flush();
+    } else {
+      LoopRecord rec;
+      rec.name = name;
+      rec.set = &set;
+      rec.n = set.core_size();
+      rec.simd_pack_safe = detail::simd_pack_safe(infos);
+      rec.infos = infos;
+      rec.run_full = [&ctx, name, sp = &set, kernel = kernel,
+                      frozen =
+                          std::make_tuple(detail::freeze(args)...)]() mutable {
+        std::apply(
+            [&](auto&... fz) {
+              auto run = [&](auto&... as) {
+                apl::trace::Span loop_span(apl::trace::kLoop, name);
+                loop_span.set_elements(
+                    static_cast<std::uint64_t>(sp->core_size()));
+                const double t0 = apl::now_seconds();
+                switch (ctx.backend()) {
+                  case apl::exec::Backend::kSeq:
+                    detail::run_seq(*sp, kernel, as...);
+                    break;
+                  case apl::exec::Backend::kSimd:
+                    detail::run_simd(*sp, kernel, as...);
+                    break;
+                  case apl::exec::Backend::kThreads: {
+                    std::vector<ArgInfo> infos{as.info()...};
+                    detail::run_threads(ctx, name, *sp,
+                                        ctx.plan_for({name, sp, infos}),
+                                        kernel, as...);
+                    break;
+                  }
+                  case apl::exec::Backend::kCudaSim: {
+                    std::vector<ArgInfo> infos{as.info()...};
+                    detail::run_cudasim(ctx, name, *sp,
+                                        ctx.plan_for({name, sp, infos}),
+                                        kernel, as...);
+                    break;
+                  }
+                }
+                // Seconds only: calls and traffic are accounted once per
+                // loop at chain completion (lazy.cpp), and the stats entry
+                // is resolved after the kernel per the ScopedLoopTimer
+                // lifetime rule.
+                ctx.profile().stats(name).seconds += apl::now_seconds() - t0;
+              };
+              run(detail::thaw(fz)...);
+            },
+            frozen);
+      };
+      rec.run_slice = [&ctx, name, pack_safe = rec.simd_pack_safe,
+                       kernel = kernel,
+                       frozen = std::make_tuple(detail::freeze(args)...)](
+                          index_t lo, index_t hi) mutable {
+        std::apply(
+            [&](auto&... fz) {
+              auto run = [&](auto&... as) {
+                apl::trace::Span tile_span(apl::trace::kTile, name);
+                tile_span.set_elements(static_cast<std::uint64_t>(hi - lo));
+                tile_span.set_index(lo);
+                const double t0 = apl::now_seconds();
+                // Fused tiles run slices in eager element order; only the
+                // pack-safe SIMD case may group lanes (bitwise-neutral,
+                // see run_simd_range). Other backends' tile-level
+                // parallelism is future work seamed by the schedule's
+                // colors.
+                if (ctx.backend() == apl::exec::Backend::kSimd &&
+                    pack_safe) {
+                  detail::run_simd_range(lo, hi, kernel, as...);
+                } else {
+                  detail::run_seq_range(lo, hi, kernel, as...);
+                }
+                ctx.profile().stats(name).seconds += apl::now_seconds() - t0;
+              };
+              run(detail::thaw(fz)...);
+            },
+            frozen);
+      };
+      const bool reduction =
+          std::any_of(infos.begin(), infos.end(), [](const ArgInfo& a) {
+            return a.is_gbl && a.acc != apl::exec::Access::kRead;
+          });
+      ctx.enqueue(std::move(rec));
+      // The caller reads the reduction result as soon as par_loop
+      // returns, so the chain — this loop included — runs now.
+      if (reduction) ctx.flush();
+      return;
+    }
   }
 
   // Checkpointing: the recorder sees every loop; during fast-forward replay

@@ -53,8 +53,10 @@ struct Plan {
 
 /// Version of the serialized Plan IR below. Bump on any layout change:
 /// the plan cache keys entries by it, so stale blobs invalidate
-/// themselves instead of being misread.
-inline constexpr std::uint32_t kPlanIrVersion = 1;
+/// themselves instead of being misread. Shared by both op2 IR kinds
+/// ("op2" colored plans and "op2chain" tile schedules). v2: the
+/// "op2chain" kind and its section tags (16-19) joined the format.
+inline constexpr std::uint32_t kPlanIrVersion = 2;
 
 /// Serializes `plan` as a tagged-section Plan IR payload (the
 /// apl::plan_cache framing): a shape section plus one section per array.

@@ -1,0 +1,849 @@
+// Lazy loop-chain engine for OP2: the sparse-tiling inspector, the Plan IR
+// codec for tile schedules, the race audit, and the tile executor with
+// cancellation/preemption at tile boundaries. See op2/lazy.hpp for the
+// algorithm and the fusion legality rule.
+
+#include "op2/lazy.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "apl/cancel.hpp"
+#include "apl/error.hpp"
+#include "apl/io/plan_cache.hpp"
+#include "apl/signature.hpp"
+#include "apl/trace.hpp"
+#include "op2/context.hpp"
+#include "op2/plan.hpp"
+#include "op2/traffic.hpp"
+
+namespace op2 {
+
+namespace {
+
+/// The fused working set (one tile's slice of every dat the chain
+/// touches) should fit in the outer cache level; auto tile sizing divides
+/// this budget by the chain's per-element footprint.
+constexpr std::uint64_t kTileCacheBudget = 256u * 1024u;
+/// Below this, per-tile overhead dominates any reuse win.
+constexpr index_t kMinTileElems = 64;
+
+index_t resolve_entry(const Context& ctx, const ArgInfo& a, index_t e) {
+  return a.indirect() ? ctx.map(a.map_id).at(e, a.idx) : e;
+}
+
+int traffic_passes(apl::exec::Access acc) {
+  return (reads(acc) ? 1 : 0) + (writes(acc) ? 1 : 0);
+}
+
+/// Eager traffic model for chains that never reach the exact stamp walk
+/// (unfused early-outs): every loop streams each argument once per pass.
+std::uint64_t streaming_bytes(const std::vector<LoopRecord>& chain) {
+  std::uint64_t bytes = 0;
+  for (const LoopRecord& rec : chain) {
+    for (const ArgInfo& a : rec.infos) {
+      if (a.is_gbl) continue;
+      bytes += static_cast<std::uint64_t>(rec.n) * a.dim * a.elem_bytes *
+               traffic_passes(a.acc);
+    }
+  }
+  return bytes;
+}
+
+/// Per-dat inspector state, sized to the dat's set. `last_w`/`last_r`
+/// carry the wavefront constraints (latest tile that wrote / read each
+/// entry under the schedule built so far); the stamp arrays dedup the
+/// traffic projection (one count per (entry, loop) eagerly, one per
+/// (entry, tile) fused); the masks drive the conflict-free coloring.
+struct DatState {
+  std::vector<index_t> last_w, last_r;
+  std::vector<index_t> eager_r, eager_w;  // stamp: last loop that counted
+  std::vector<index_t> fused_r, fused_w;  // stamp: last tile that counted
+  std::vector<std::uint64_t> wmask, rmask;  // colors that wrote/read entry
+};
+
+DatState& state_of(const Context& ctx, std::map<index_t, DatState>& states,
+                   const ArgInfo& a) {
+  DatState& st = states[a.dat_id];
+  if (st.last_w.empty()) {
+    const auto sz = static_cast<std::size_t>(ctx.dat(a.dat_id).set().size());
+    st.last_w.assign(sz, -1);
+    st.last_r.assign(sz, -1);
+    st.eager_r.assign(sz, -1);
+    st.eager_w.assign(sz, -1);
+    st.fused_r.assign(sz, -1);
+    st.fused_w.assign(sz, -1);
+  }
+  return st;
+}
+
+TileSchedule unfused_schedule(const std::vector<LoopRecord>& chain) {
+  TileSchedule s;
+  s.fused = false;
+  s.ntiles = 0;
+  s.ncolors = 0;
+  s.loop_n.reserve(chain.size());
+  for (const LoopRecord& rec : chain) s.loop_n.push_back(rec.n);
+  s.eager_bytes = streaming_bytes(chain);
+  s.fused_bytes = s.eager_bytes;
+  return s;
+}
+
+index_t auto_tile_elems(const Context& ctx,
+                        const std::vector<LoopRecord>& chain) {
+  std::uint64_t per_elem = 0;
+  std::set<index_t> seen;
+  for (const LoopRecord& rec : chain) {
+    for (const ArgInfo& a : rec.infos) {
+      if (a.is_gbl || !seen.insert(a.dat_id).second) continue;
+      per_elem += ctx.dat(a.dat_id).entry_bytes();
+    }
+  }
+  per_elem = std::max<std::uint64_t>(per_elem, 1);
+  const std::uint64_t elems = kTileCacheBudget / per_elem;
+  const auto cap =
+      static_cast<std::uint64_t>(std::numeric_limits<index_t>::max());
+  return std::max(kMinTileElems, static_cast<index_t>(std::min(elems, cap)));
+}
+
+/// Greedy conflict-free coloring over the finished schedule. Two tiles
+/// conflict when they touch a common entry and at least one side writes
+/// it; same-color tiles are then mutually independent — the units a
+/// parallel tile executor could run concurrently, and exactly what the
+/// kPlan audit re-checks. Colors are tracked as 64-bit masks per entry;
+/// the (never observed for wavefront schedules) >64-color case falls
+/// back to all-distinct colors, which is trivially conflict-free.
+void color_tiles(const Context& ctx, const std::vector<LoopRecord>& chain,
+                 std::map<index_t, DatState>& states, TileSchedule& s) {
+  const index_t T = s.ntiles;
+  for (auto& [id, st] : states) {
+    st.wmask.assign(st.last_w.size(), 0);
+    st.rmask.assign(st.last_w.size(), 0);
+  }
+  s.colors.assign(static_cast<std::size_t>(T), 0);
+  std::int32_t ncolors = 1;
+  for (index_t t = 0; t < T; ++t) {
+    std::uint64_t forbidden = 0;
+    for (std::size_t l = 0; l < chain.size(); ++l) {
+      const LoopRecord& rec = chain[l];
+      for (index_t e = s.bounds[l][t]; e < s.bounds[l][t + 1]; ++e) {
+        for (const ArgInfo& a : rec.infos) {
+          if (a.is_gbl) continue;
+          DatState& st = states[a.dat_id];
+          const auto x =
+              static_cast<std::size_t>(resolve_entry(ctx, a, e));
+          forbidden |= st.wmask[x];
+          if (writes(a.acc)) forbidden |= st.rmask[x];
+        }
+      }
+    }
+    const int c = std::countr_one(forbidden);
+    if (c >= 64) {
+      for (index_t u = 0; u < T; ++u) s.colors[u] = static_cast<std::int32_t>(u);
+      s.ncolors = static_cast<std::int32_t>(T);
+      return;
+    }
+    s.colors[t] = c;
+    ncolors = std::max(ncolors, c + 1);
+    const std::uint64_t bit = std::uint64_t{1} << c;
+    for (std::size_t l = 0; l < chain.size(); ++l) {
+      const LoopRecord& rec = chain[l];
+      for (index_t e = s.bounds[l][t]; e < s.bounds[l][t + 1]; ++e) {
+        for (const ArgInfo& a : rec.infos) {
+          if (a.is_gbl) continue;
+          DatState& st = states[a.dat_id];
+          const auto x =
+              static_cast<std::size_t>(resolve_entry(ctx, a, e));
+          if (reads(a.acc)) st.rmask[x] |= bit;
+          if (writes(a.acc)) st.wmask[x] |= bit;
+        }
+      }
+    }
+  }
+  s.ncolors = ncolors;
+}
+
+// --- IR codec --------------------------------------------------------------
+
+// Section tags for the "op2chain" IR kind. The "op2" colored-plan kind
+// owns tags below 16; keep the ranges disjoint so a blob dispatched to
+// the wrong decoder fails loudly on an unknown tag.
+constexpr std::uint32_t kSecChainShape = 16;
+constexpr std::uint32_t kSecLoopSizes = 17;
+constexpr std::uint32_t kSecBounds = 18;
+constexpr std::uint32_t kSecColors = 19;
+
+struct ChainShapeRec {
+  std::uint64_t num_loops = 0;
+  std::int64_t ntiles = 0;
+  std::int32_t ncolors = 0;
+  std::uint32_t fused = 0;
+  std::uint64_t eager_bytes = 0;
+  std::uint64_t fused_bytes = 0;
+};
+static_assert(std::is_trivially_copyable_v<ChainShapeRec> &&
+                  sizeof(ChainShapeRec) == 40,
+              "ChainShapeRec is serialized by memcpy; keep it packed");
+
+std::uint64_t chain_program_hash(const std::vector<LoopRecord>& chain) {
+  apl::signature::Hasher h;
+  h.pod(static_cast<std::uint64_t>(chain.size()));
+  for (const LoopRecord& rec : chain) {
+    // Loop names are deliberately excluded: the schedule depends on the
+    // access structure, not on what the loops are called.
+    h.pod(rec.set->id());
+    h.pod(rec.n);
+    h.pod(static_cast<std::uint64_t>(rec.infos.size()));
+    for (const ArgInfo& a : rec.infos) {
+      h.pod(a.dat_id);
+      h.pod(a.map_id);
+      h.pod(a.idx);
+      h.pod(static_cast<std::uint32_t>(a.acc));
+      h.pod(a.dim);
+      h.pod(static_cast<std::uint64_t>(a.elem_bytes));
+      h.pod(static_cast<std::uint8_t>(a.is_gbl ? 1 : 0));
+    }
+  }
+  return h.value();
+}
+
+std::uint64_t chain_config_hash(const Context& ctx) {
+  apl::signature::Hasher h;
+  h.pod(static_cast<std::uint8_t>(ctx.tiling() ? 1 : 0));
+  h.pod(ctx.tile_size());
+  h.pod(static_cast<std::uint32_t>(ctx.backend()));
+  h.pod(kTileCacheBudget);
+  h.pod(kMinTileElems);
+  return h.value();
+}
+
+// --- executor --------------------------------------------------------------
+
+/// Cancellation / preemption check between tiles. On any interruption the
+/// not-yet-executed remainder (from `next` on) is parked on the context
+/// *before* the exception propagates, so the chain is never half-lost:
+/// the next flush point completes exactly the remaining tiles.
+void tile_boundary(Context& ctx, const TileSchedule& sched,
+                   std::vector<LoopRecord>& chain, std::size_t next) {
+  try {
+    apl::cancel::point("op2::tile");
+    if (apl::cancel::yield_requested()) {
+      throw apl::cancel::Cancelled(
+          apl::cancel::Reason::kPreempt,
+          "op2 chain preempted at tile boundary " + std::to_string(next) +
+              " (remainder parked, next flush resumes)");
+    }
+  } catch (...) {
+    ctx.store_resume(ChainResume{std::move(chain), sched, next});
+    throw;
+  }
+}
+
+void run_one_loop_slice(const LoopRecord& rec, index_t lo, index_t hi) {
+  if (lo < hi) rec.run_slice(lo, hi);
+}
+
+void run_tile(const TileSchedule& sched, const std::vector<LoopRecord>& chain,
+              index_t t) {
+#ifdef APL_MUTATE_OP2_TILE_STALE
+  // Mutation: run the final tile's loops in reverse chain order, so a
+  // consumer reads its producer's fused intermediate before it is
+  // written — the oracle must catch the stale value.
+  if (t == sched.ntiles - 1) {
+    for (std::size_t l = chain.size(); l-- > 0;) {
+      run_one_loop_slice(chain[l], sched.bounds[l][t], sched.bounds[l][t + 1]);
+    }
+    return;
+  }
+#endif
+  for (std::size_t l = 0; l < chain.size(); ++l) {
+    index_t lo = sched.bounds[l][t];
+    index_t hi = sched.bounds[l][t + 1];
+#ifdef APL_MUTATE_OP2_TILE_DROP_EDGE
+    // Mutation: drop the element just before every interior tile
+    // boundary — it then executes in no tile at all.
+    if (t + 1 < sched.ntiles && hi > lo) --hi;
+#endif
+    run_one_loop_slice(chain[l], lo, hi);
+  }
+}
+
+/// Runs a schedule from position `start` (tile index when fused, record
+/// index when unfused), checking the cancel token at every boundary —
+/// including before the first one, so a pre-armed deadline parks the
+/// whole chain without running anything.
+void run_from(Context& ctx, const TileSchedule& sched,
+              std::vector<LoopRecord>& chain, std::size_t start) {
+  if (!sched.fused) {
+    for (std::size_t l = start; l < chain.size(); ++l) {
+      tile_boundary(ctx, sched, chain, l);
+      chain[l].run_full();
+    }
+    return;
+  }
+  for (auto t = static_cast<index_t>(start); t < sched.ntiles; ++t) {
+    tile_boundary(ctx, sched, chain, static_cast<std::size_t>(t));
+    run_tile(sched, chain, t);
+  }
+}
+
+/// Per-loop profile accounting, deferred to chain completion so an
+/// interrupted chain never double-counts: whichever flush finishes the
+/// chain (first run or a resume) accounts each loop exactly once. The
+/// run lambdas themselves only accumulate kernel seconds.
+void account_chain(Context& ctx, const std::vector<LoopRecord>& chain) {
+  for (const LoopRecord& rec : chain) {
+    apl::LoopStats& st = ctx.profile().stats(rec.name);
+    ++st.calls;
+    detail::account_traffic(ctx, rec.name, *rec.set, rec.infos, st);
+  }
+}
+
+}  // namespace
+
+// --- codec (public) --------------------------------------------------------
+
+std::vector<std::uint8_t> encode_tile_schedule(const TileSchedule& s) {
+  ChainShapeRec shape;
+  shape.num_loops = s.loop_n.size();
+  shape.ntiles = s.ntiles;
+  shape.ncolors = s.ncolors;
+  shape.fused = s.fused ? 1 : 0;
+  shape.eager_bytes = s.eager_bytes;
+  shape.fused_bytes = s.fused_bytes;
+
+  std::vector<index_t> flat;
+  if (s.fused) {
+    flat.reserve(s.loop_n.size() * (static_cast<std::size_t>(s.ntiles) + 1));
+    for (const auto& b : s.bounds) flat.insert(flat.end(), b.begin(), b.end());
+  }
+
+  apl::plan_cache::BlobWriter w;
+  w.section_of<ChainShapeRec>(kSecChainShape, std::span{&shape, 1});
+  w.section_of<index_t>(kSecLoopSizes, std::span{s.loop_n});
+  w.section_of<index_t>(kSecBounds, std::span{flat});
+  w.section_of<std::int32_t>(kSecColors, std::span{s.colors});
+  return w.take();
+}
+
+std::optional<TileSchedule> decode_tile_schedule(
+    std::span<const std::uint8_t> payload,
+    const std::vector<LoopRecord>& chain, std::string* diag) {
+  auto reject = [&](const std::string& why) {
+    if (diag != nullptr) *diag = "op2chain-ir: " + why;
+    return std::nullopt;
+  };
+
+  ChainShapeRec shape;
+  bool have_shape = false;
+  std::vector<index_t> loop_n;
+  std::vector<index_t> flat;
+  std::vector<std::int32_t> colors;
+  const apl::plan_cache::SectionHandler table[] = {
+      {kSecChainShape,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         have_shape = r.pod(&shape) && r.done();
+         return have_shape;
+       }},
+      {kSecLoopSizes,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         return r.rest(&loop_n);
+       }},
+      {kSecBounds,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         return r.rest(&flat);
+       }},
+      {kSecColors,
+       [&](std::span<const std::uint8_t> b) {
+         apl::plan_cache::SectionReader r(b);
+         return r.rest(&colors);
+       }},
+  };
+  const std::string err = apl::plan_cache::decode_sections(payload, table);
+  if (!err.empty()) return reject(err);
+  if (!have_shape) return reject("missing chain shape section");
+
+  if (shape.num_loops != chain.size() || loop_n.size() != chain.size()) {
+    return reject("planned for a different chain length");
+  }
+  for (std::size_t l = 0; l < chain.size(); ++l) {
+    if (loop_n[l] != chain[l].n) {
+      return reject("loop " + std::to_string(l) + " planned for " +
+                    std::to_string(loop_n[l]) + " elements, live chain has " +
+                    std::to_string(chain[l].n));
+    }
+  }
+
+  TileSchedule s;
+  s.fused = shape.fused != 0;
+  s.ncolors = shape.ncolors;
+  s.loop_n = std::move(loop_n);
+  s.eager_bytes = shape.eager_bytes;
+  s.fused_bytes = shape.fused_bytes;
+  if (!s.fused) {
+    if (!flat.empty() || !colors.empty()) {
+      return reject("verbatim schedule carries tile sections");
+    }
+    s.ntiles = 0;
+    return s;
+  }
+
+  if (shape.ntiles < 1 ||
+      shape.ntiles > std::numeric_limits<index_t>::max()) {
+    return reject("tile count out of range");
+  }
+  s.ntiles = static_cast<index_t>(shape.ntiles);
+  const std::size_t per_loop = static_cast<std::size_t>(s.ntiles) + 1;
+  if (flat.size() != chain.size() * per_loop) {
+    return reject("slice-boundary table has wrong size");
+  }
+  if (colors.size() != static_cast<std::size_t>(s.ntiles)) {
+    return reject("color table has wrong size");
+  }
+  if (s.ncolors < 1) return reject("color count out of range");
+  for (const std::int32_t c : colors) {
+    if (c < 0 || c >= s.ncolors) return reject("tile color out of range");
+  }
+  s.bounds.resize(chain.size());
+  for (std::size_t l = 0; l < chain.size(); ++l) {
+    auto& b = s.bounds[l];
+    b.assign(flat.begin() + static_cast<std::ptrdiff_t>(l * per_loop),
+             flat.begin() + static_cast<std::ptrdiff_t>((l + 1) * per_loop));
+    if (b.front() != 0 || b.back() != chain[l].n) {
+      return reject("loop " + std::to_string(l) +
+                    " slices do not cover [0, n)");
+    }
+    for (std::size_t t = 1; t < b.size(); ++t) {
+      if (b[t] < b[t - 1]) {
+        return reject("loop " + std::to_string(l) +
+                      " slice boundaries not monotone");
+      }
+    }
+  }
+  s.colors = std::move(colors);
+  return s;
+}
+
+// --- audit (public) --------------------------------------------------------
+
+std::string audit_tile_schedule(const Context& ctx,
+                                const std::vector<LoopRecord>& chain,
+                                const TileSchedule& sched) {
+  if (sched.loop_n.size() != chain.size()) {
+    return "schedule covers " + std::to_string(sched.loop_n.size()) +
+           " loops, chain has " + std::to_string(chain.size());
+  }
+  for (std::size_t l = 0; l < chain.size(); ++l) {
+    if (sched.loop_n[l] != chain[l].n) {
+      return "loop '" + chain[l].name + "' planned for " +
+             std::to_string(sched.loop_n[l]) + " elements, live loop has " +
+             std::to_string(chain[l].n);
+    }
+  }
+  if (!sched.fused) return "";
+
+  // Structure: contiguous monotone slices covering [0, n) exactly.
+  for (std::size_t l = 0; l < chain.size(); ++l) {
+    const auto& b = sched.bounds[l];
+    if (b.size() != static_cast<std::size_t>(sched.ntiles) + 1 ||
+        b.front() != 0 || b.back() != chain[l].n) {
+      return "loop '" + chain[l].name + "' slices do not cover [0, " +
+             std::to_string(chain[l].n) + ")";
+    }
+    for (std::size_t t = 1; t < b.size(); ++t) {
+      if (b[t] < b[t - 1]) {
+        return "loop '" + chain[l].name + "' slice boundary " +
+               std::to_string(t) + " not monotone";
+      }
+    }
+  }
+
+  // Dependence preservation: replay the chain in schedule order and check
+  // every cross-loop dependence lands in a same-or-later tile. This is
+  // exactly the wavefront constraint the inspector enforced, recomputed
+  // from the maps — a decoded-from-disk schedule gets the same proof as a
+  // fresh one.
+  std::map<index_t, std::vector<index_t>> last_w, last_r;
+  auto entry_state = [&](std::map<index_t, std::vector<index_t>>& m,
+                         const ArgInfo& a) -> std::vector<index_t>& {
+    auto& v = m[a.dat_id];
+    if (v.empty()) {
+      v.assign(static_cast<std::size_t>(ctx.dat(a.dat_id).set().size()), -1);
+    }
+    return v;
+  };
+  for (std::size_t l = 0; l < chain.size(); ++l) {
+    const LoopRecord& rec = chain[l];
+    for (index_t t = 0; t < sched.ntiles; ++t) {
+      for (index_t e = sched.bounds[l][t]; e < sched.bounds[l][t + 1]; ++e) {
+        for (const ArgInfo& a : rec.infos) {
+          if (a.is_gbl) continue;
+          const index_t x = resolve_entry(ctx, a, e);
+          auto& lw = entry_state(last_w, a);
+          auto& lr = entry_state(last_r, a);
+          const auto xi = static_cast<std::size_t>(x);
+          if (reads(a.acc) && lw[xi] > t) {
+            return "loop '" + rec.name + "' dat '" +
+                   ctx.dat(a.dat_id).name() + "': element " +
+                   std::to_string(e) + " (entry " + std::to_string(x) +
+                   ") reads in tile " + std::to_string(t) +
+                   " but the entry is written in tile " +
+                   std::to_string(lw[xi]) +
+                   " — dependence crosses a tile boundary backwards";
+          }
+          if (writes(a.acc) && std::max(lw[xi], lr[xi]) > t) {
+            return "loop '" + rec.name + "' dat '" +
+                   ctx.dat(a.dat_id).name() + "': element " +
+                   std::to_string(e) + " (entry " + std::to_string(x) +
+                   ") writes in tile " + std::to_string(t) +
+                   " but the entry is still live in tile " +
+                   std::to_string(std::max(lw[xi], lr[xi]));
+          }
+          if (reads(a.acc)) lr[xi] = std::max(lr[xi], t);
+          if (writes(a.acc)) lw[xi] = std::max(lw[xi], t);
+        }
+      }
+    }
+  }
+
+  // Coloring: same-color tiles must be independent (no shared entry with
+  // a write on either side). Processed in ascending tile order, so the
+  // recorded writer/first-reader per (entry, color) summarize everything
+  // an equal-color tile could race with.
+  if (sched.colors.size() != static_cast<std::size_t>(sched.ntiles)) {
+    return "color table has wrong size";
+  }
+  std::map<index_t, std::unordered_map<std::uint64_t, index_t>> wtile, rtile;
+  auto ckey = [&](index_t x, std::int32_t c) {
+    return (static_cast<std::uint64_t>(x) << 8) |
+           static_cast<std::uint64_t>(c & 0xff);
+  };
+  const bool wide_colors = sched.ncolors > 256;
+  for (index_t t = 0; t < sched.ntiles && !wide_colors; ++t) {
+    const std::int32_t c = sched.colors[t];
+    if (c < 0 || c >= sched.ncolors) {
+      return "tile " + std::to_string(t) + " color out of range";
+    }
+    for (std::size_t l = 0; l < chain.size(); ++l) {
+      const LoopRecord& rec = chain[l];
+      for (index_t e = sched.bounds[l][t]; e < sched.bounds[l][t + 1]; ++e) {
+        for (const ArgInfo& a : rec.infos) {
+          if (a.is_gbl) continue;
+          const index_t x = resolve_entry(ctx, a, e);
+          auto& wm = wtile[a.dat_id];
+          auto& rm = rtile[a.dat_id];
+          const std::uint64_t k = ckey(x, c);
+          const auto w = wm.find(k);
+          if (w != wm.end() && w->second != t) {
+            return "tiles " + std::to_string(w->second) + " and " +
+                   std::to_string(t) + " share color " + std::to_string(c) +
+                   " but conflict on dat '" + ctx.dat(a.dat_id).name() +
+                   "' entry " + std::to_string(x);
+          }
+          if (writes(a.acc)) {
+            const auto r = rm.find(k);
+            if (r != rm.end() && r->second != t) {
+              return "tiles " + std::to_string(r->second) + " and " +
+                     std::to_string(t) + " share color " + std::to_string(c) +
+                     " but conflict on dat '" + ctx.dat(a.dat_id).name() +
+                     "' entry " + std::to_string(x);
+            }
+            wm.emplace(k, t);
+          } else {
+            rm.emplace(k, t);
+          }
+        }
+      }
+    }
+  }
+  return "";
+}
+
+// --- inspector -------------------------------------------------------------
+
+namespace detail {
+
+TileSchedule build_tile_schedule(const Context& ctx,
+                                 const std::vector<LoopRecord>& chain) {
+  index_t max_n = 0;
+  for (const LoopRecord& rec : chain) max_n = std::max(max_n, rec.n);
+
+  const index_t requested = ctx.tile_size();
+  const index_t tile_elems =
+      requested > 0 ? requested : auto_tile_elems(ctx, chain);
+  const index_t T =
+      max_n > 0 ? (max_n + tile_elems - 1) / tile_elems : 1;
+  if (!ctx.tiling() || chain.size() < 2 || T < 2) {
+    return unfused_schedule(chain);
+  }
+
+  TileSchedule s;
+  s.fused = true;
+  s.ntiles = T;
+  s.loop_n.reserve(chain.size());
+  for (const LoopRecord& rec : chain) s.loop_n.push_back(rec.n);
+  s.bounds.assign(chain.size(), {});
+
+  std::map<index_t, DatState> states;
+  for (std::size_t l = 0; l < chain.size(); ++l) {
+    const LoopRecord& rec = chain[l];
+    const index_t n = rec.n;
+    std::vector<index_t> tile(static_cast<std::size_t>(std::max<index_t>(n, 0)));
+
+    // Phase 1: per element, start from the balanced seed tile and raise
+    // it to satisfy every dependence on loops already scheduled (the
+    // wavefront growth: an entry written in tile t pushes its later
+    // readers — and later writers — into tile >= t).
+    for (index_t e = 0; e < n; ++e) {
+      index_t t = static_cast<index_t>(
+          (static_cast<std::int64_t>(e) * T) / std::max<index_t>(n, 1));
+      for (const ArgInfo& a : rec.infos) {
+        if (a.is_gbl) continue;
+        DatState& st = state_of(ctx, states, a);
+        const auto x = static_cast<std::size_t>(resolve_entry(ctx, a, e));
+        if (reads(a.acc)) {
+          index_t w = st.last_w[x];
+#ifdef APL_MUTATE_OP2_TILE_SKEW
+          // Mutation: off-by-one wavefront on gathers — an indirect read
+          // may land one tile before its producer.
+          if (a.indirect()) w -= 1;
+#endif
+          t = std::max(t, w);
+        }
+        if (writes(a.acc)) t = std::max({t, st.last_w[x], st.last_r[x]});
+      }
+      tile[static_cast<std::size_t>(e)] = t;
+    }
+
+    // Phase 2: prefix-max keeps slices contiguous and monotone (an
+    // element can never be scheduled before its left neighbor), which is
+    // what makes tiled execution order-preserving per loop.
+    index_t run = 0;
+    for (index_t e = 0; e < n; ++e) {
+      const auto ei = static_cast<std::size_t>(e);
+      run = std::max(run, tile[ei]);
+      tile[ei] = std::min(run, T - 1);
+    }
+
+    // Slice boundaries from the per-element tile assignment.
+    auto& b = s.bounds[l];
+    b.assign(static_cast<std::size_t>(T) + 1, 0);
+    index_t cur = 0;
+    for (index_t e = 0; e < n; ++e) {
+      while (cur < tile[static_cast<std::size_t>(e)]) {
+        b[static_cast<std::size_t>(++cur)] = e;
+      }
+    }
+    while (cur < T) b[static_cast<std::size_t>(++cur)] = n;
+
+    // Phase 3: commit this loop's accesses — update the wavefront
+    // constraints for later loops and the traffic stamps (each entry
+    // counts once per (loop, pass) eagerly vs once per (tile, pass)
+    // fused; the gap is exactly the cross-loop reuse fusion captures).
+    for (index_t e = 0; e < n; ++e) {
+      const index_t t = tile[static_cast<std::size_t>(e)];
+      for (const ArgInfo& a : rec.infos) {
+        if (a.is_gbl) continue;
+        DatState& st = state_of(ctx, states, a);
+        const auto x = static_cast<std::size_t>(resolve_entry(ctx, a, e));
+        const std::uint64_t eb =
+            static_cast<std::uint64_t>(a.dim) * a.elem_bytes;
+        const auto li = static_cast<index_t>(l);
+        if (reads(a.acc)) {
+          if (st.eager_r[x] != li) {
+            st.eager_r[x] = li;
+            s.eager_bytes += eb;
+          }
+          if (st.fused_r[x] != t) {
+            st.fused_r[x] = t;
+            s.fused_bytes += eb;
+          }
+          st.last_r[x] = std::max(st.last_r[x], t);
+        }
+        if (writes(a.acc)) {
+          if (st.eager_w[x] != li) {
+            st.eager_w[x] = li;
+            s.eager_bytes += eb;
+          }
+          if (st.fused_w[x] != t) {
+            st.fused_w[x] = t;
+            s.fused_bytes += eb;
+          }
+          st.last_w[x] = std::max(st.last_w[x], t);
+        }
+      }
+    }
+  }
+
+  // Profitability: auto-sized tiles must project a traffic win, else the
+  // chain replays verbatim. An explicit set_tile_size() keeps the fused
+  // schedule regardless — tests and benches force tiny tiles on meshes
+  // where the model would veto them.
+  if (requested <= 0 && s.fused_bytes >= s.eager_bytes) {
+    return unfused_schedule(chain);
+  }
+
+  color_tiles(ctx, chain, states, s);
+  return s;
+}
+
+// --- chain execution -------------------------------------------------------
+
+void execute_chain(Context& ctx, std::vector<LoopRecord> chain,
+                   ChainStats& stats) {
+  if (chain.empty()) return;
+  apl::trace::Span chain_span(apl::trace::kChain, "chain_flush:op2chain");
+  chain_span.set_elements(chain.size());
+
+  ++stats.flushes;
+  stats.loops += chain.size();
+  stats.max_chain = std::max<std::uint64_t>(stats.max_chain, chain.size());
+
+  ChainPlanRequest req;
+  req.chain = &chain;
+  const TileSchedule& sched = ctx.plan_for(req);
+  stats.eager_bytes += sched.eager_bytes;
+  stats.tiled_bytes += sched.fused ? sched.fused_bytes : sched.eager_bytes;
+  if (sched.fused) {
+    stats.tiles += static_cast<std::uint64_t>(sched.ntiles);
+    chain_span.set_index(static_cast<std::int64_t>(sched.ntiles));
+  } else {
+    stats.tiles += chain.size();
+    ++stats.verbatim;
+  }
+
+  run_from(ctx, sched, chain, 0);
+  account_chain(ctx, chain);
+}
+
+void resume_chain(Context& ctx, ChainResume resume, ChainStats& stats) {
+  apl::trace::Span chain_span(apl::trace::kChain, "chain_resume:op2chain");
+  chain_span.set_elements(resume.chain.size());
+  chain_span.set_index(static_cast<std::int64_t>(resume.next));
+  (void)stats;  // flush/tile counters were charged when the chain first ran
+  run_from(ctx, resume.sched, resume.chain, resume.next);
+  account_chain(ctx, resume.chain);
+}
+
+void flush_pending(Context& ctx) { ctx.flush(); }
+
+}  // namespace detail
+
+// --- Context lazy surface --------------------------------------------------
+
+void Context::enqueue(LoopRecord rec) {
+  chain_.push_back(std::move(rec));
+  update_pending();
+}
+
+void Context::store_resume(ChainResume resume) {
+  resume_ = std::make_unique<ChainResume>(std::move(resume));
+  update_pending();
+}
+
+void Context::do_flush() {
+  if (chain_executing_) return;
+  if (chain_.empty() && resume_ == nullptr) return;
+  chain_executing_ = true;
+  update_pending();
+  struct Guard {
+    Context* c;
+    ~Guard() {
+      c->chain_executing_ = false;
+      c->update_pending();
+    }
+  } guard{this};
+  if (resume_ != nullptr) {
+    auto r = std::move(resume_);
+    detail::resume_chain(*this, std::move(*r), chain_stats_);
+  }
+  if (!chain_.empty()) {
+    std::vector<LoopRecord> chain = std::move(chain_);
+    chain_.clear();
+    detail::execute_chain(*this, std::move(chain), chain_stats_);
+  }
+}
+
+void Context::update_pending() {
+  pending_flush_ =
+      lazy() && !chain_executing_ && (!chain_.empty() || resume_ != nullptr);
+}
+
+const TileSchedule& Context::plan_for(const ChainPlanRequest& req) {
+  apl::require(req.chain != nullptr && !req.chain->empty(),
+               "op2::Context::plan_for: request names no chain");
+  const std::vector<LoopRecord>& chain = *req.chain;
+  const double t0 = apl::now_seconds();
+
+  apl::plan_cache::Key ck;
+  ck.kind = "op2chain";
+  ck.topology = topology_hash();
+  ck.program = chain_program_hash(chain);
+  ck.config = chain_config_hash(*this);
+  ck.version = kPlanIrVersion;
+  ck.label = req.label;
+
+  apl::signature::Hasher sig;
+  sig.mix(ck.topology);
+  sig.mix(ck.program);
+  sig.mix(ck.config);
+  sig.pod(ck.version);
+  const std::uint64_t key = sig.value();
+  if (const auto it = tile_schedules_.find(key); it != tile_schedules_.end()) {
+    add_plan_seconds(apl::now_seconds() - t0);
+    return *it->second;
+  }
+
+  auto& store = apl::plan_cache::Store::current();
+  std::unique_ptr<TileSchedule> sched;
+  if (store.enabled()) {
+    if (auto payload = store.load(ck)) {
+      apl::trace::Span span(apl::trace::kPlan, "chain_hit:" + req.label);
+      std::string diag;
+      if (auto decoded = decode_tile_schedule(*payload, chain, &diag)) {
+        sched = std::make_unique<TileSchedule>(std::move(*decoded));
+        span.set_elements(chain.size());
+        span.set_bytes(payload->size());
+      } else {
+        // Container-valid but IR-invalid: surface it like corruption and
+        // degrade to a fresh inspection.
+        store.note_corrupt(diag);
+      }
+    }
+  }
+  const bool built = sched == nullptr;
+  if (built) {
+    apl::trace::Span span(apl::trace::kPlan, "chain_analyze:" + req.label);
+    sched = std::make_unique<TileSchedule>(
+        detail::build_tile_schedule(*this, chain));
+    span.set_elements(chain.size());
+    span.set_index(sched->fused ? sched->ntiles : 0);
+  }
+  sched->signature = key;
+  if (built && store.enabled()) {
+    store.save(ck, encode_tile_schedule(*sched));
+  }
+  add_plan_seconds(apl::now_seconds() - t0);
+
+  // Audit both paths under OPAL_VERIFY=plan: a deserialized schedule is
+  // input from disk, and the race audit is exactly the proof it still
+  // preserves the chain's dependences.
+  if (verifying(apl::verify::kPlan)) {
+    const std::string diag = audit_tile_schedule(*this, chain, *sched);
+    if (!diag.empty()) {
+      verify_report().fail(req.label, apl::verify::kPlan, diag);
+    }
+  }
+  const auto [it, inserted] = tile_schedules_.emplace(key, std::move(sched));
+  return *it->second;
+}
+
+}  // namespace op2

@@ -11,6 +11,9 @@ namespace op2 {
 
 void Context::apply_permutation(const Set& set,
                                 std::span<const index_t> perm) {
+  // Mesh transformations are flush points: queued loops were recorded
+  // against the pre-transformation numbering.
+  flush();
   apl::require(static_cast<index_t>(perm.size()) == set.size(),
                "apply_permutation: permutation size ", perm.size(),
                " != set '", set.name(), "' size ", set.size());
@@ -63,6 +66,7 @@ void Context::apply_permutation(const Set& set,
 }
 
 void Context::convert_layout(Layout layout) {
+  flush();
   for (auto& dat : dats_) dat->convert_layout(layout);
   invalidate_plans();
 }

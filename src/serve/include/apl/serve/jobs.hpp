@@ -34,6 +34,12 @@ struct AirfoilJob {
   int iters = 20;
   int ckpt_every = 5;  ///< 0 disables checkpointing (and preemption)
   int nranks = 0;
+  /// Lazy loop-chain execution with sparse tiling (op2::set_lazy). A
+  /// preemption or deadline can then also fire at a tile boundary inside
+  /// an iteration: the Cancelled(kPreempt) unwinds the body, the server
+  /// resubmits, and the fresh attempt resumes from the last checkpoint —
+  /// the parked chain remainder dies with the discarded context.
+  bool lazy = false;
 };
 JobSpec make_airfoil_job(const std::string& name, const AirfoilJob& cfg);
 

@@ -81,9 +81,11 @@ JobSpec make_airfoil_job(const std::string& name, const AirfoilJob& cfg) {
     opts.nx = cfg.nx;
     opts.ny = cfg.ny;
     airfoil::Airfoil app(opts);
+    if (cfg.lazy && cfg.nranks < 2) app.ctx().set_lazy(true);
     if (cfg.nranks >= 2) {
       app.enable_distributed(cfg.nranks, apl::graph::PartitionMethod::kRcb);
       op2::Distributed& dist = *app.distributed();
+      if (cfg.lazy) dist.set_lazy(true);
       std::int64_t it = 0;
       if (jc.store().any_valid()) {
         it = dist.recover(jc.store());

@@ -105,19 +105,36 @@ inline std::optional<Divergence> run_op2_oracle(const Op2CaseSpec& spec,
     }
   };
 
-  // Backend / layout / plan-granularity matrix on the replicated context.
+  // Backend / layout / plan-granularity / eager-vs-lazy matrix on the
+  // replicated context. Lazy combos snapshot final state only (a per-loop
+  // snapshot reads every dat, which is a flush point and would collapse
+  // every chain to length 1); `tile` forces a small tile size so the tiny
+  // generated meshes genuinely fuse instead of degenerating to one tile.
+  // Order-preserving sparse tiling keeps seq/simd lazy-tiled runs bitwise;
+  // only the threads variant reorders (unfused fallback chains run through
+  // the colored plan executor).
   struct Plain {
     ComboMeta meta;
     Backend backend;
     bool soa;
     op2::index_t block_size;
+    bool lazy;
+    bool tiling;
+    op2::index_t tile;
   };
   const Plain plains[] = {
-      {{"simd", false, false}, Backend::kSimd, false, 0},
-      {{"threads", true, false}, Backend::kThreads, false, 0},
-      {{"threads-bs4", true, false}, Backend::kThreads, false, 4},
-      {{"cudasim", true, false}, Backend::kCudaSim, false, 0},
-      {{"soa", false, false}, Backend::kSeq, true, 0},
+      {{"simd", false, false}, Backend::kSimd, false, 0, false, true, 0},
+      {{"threads", true, false}, Backend::kThreads, false, 0, false, true, 0},
+      {{"threads-bs4", true, false}, Backend::kThreads, false, 4, false, true,
+       0},
+      {{"cudasim", true, false}, Backend::kCudaSim, false, 0, false, true, 0},
+      {{"soa", false, false}, Backend::kSeq, true, 0, false, true, 0},
+      {{"lazy-unfused", false, true}, Backend::kSeq, false, 0, true, false, 0},
+      {{"lazy-tiled", false, true}, Backend::kSeq, false, 0, true, true, 5},
+      {{"lazy-tiled-simd", false, true}, Backend::kSimd, false, 0, true, true,
+       5},
+      {{"lazy-tiled-threads", true, true}, Backend::kThreads, false, 0, true,
+       true, 5},
   };
   for (const auto& p : plains) {
     auto d = check(p.meta, [&]() {
@@ -125,31 +142,43 @@ inline std::optional<Divergence> run_op2_oracle(const Op2CaseSpec& spec,
       sys->ctx.set_backend(p.backend);
       if (p.block_size > 0) sys->ctx.set_block_size(p.block_size);
       if (p.soa) sys->ctx.convert_layout(op2::Layout::kSoA);
+      sys->ctx.set_tiling(p.tiling);
+      if (p.tile > 0) sys->ctx.set_tile_size(p.tile);
+      if (p.lazy) sys->ctx.set_lazy(true);
       Op2PlainExec ex{&sys->ctx};
-      return run_op2_program(ex, *sys, spec,
-                             RunOptions{true, bias_for(p.meta.name), -1});
+      return run_op2_program(
+          ex, *sys, spec,
+          RunOptions{!p.meta.final_only, bias_for(p.meta.name), -1});
     });
     if (d) return d;
   }
 
   // Distributed matrix: 1/2/4 ranks (partition-count invariance). One rank
   // is order-preserving, so it must match bitwise; more ranks reassociate
-  // reductions and indirect-increment commits.
+  // reductions and indirect-increment commits. Each rank count also runs
+  // lazily: per-rank chains queue until a halo exchange, reduction, or the
+  // final fetch() forces a flush (fetch reads owner values through
+  // pack_entry, a flush point), so lazy variants compare final state only.
   struct Dist {
     ComboMeta meta;
     int nranks;
     PartitionMethod method;
+    bool lazy;
   };
   std::vector<Dist> dists = {
-      {{"dist1", false, false}, 1, PartitionMethod::kBlock},
-      {{"dist2", true, false}, 2, PartitionMethod::kBlock},
-      {{"dist4", true, false}, 4, PartitionMethod::kBlock},
+      {{"dist1", false, false}, 1, PartitionMethod::kBlock, false},
+      {{"dist2", true, false}, 2, PartitionMethod::kBlock, false},
+      {{"dist4", true, false}, 4, PartitionMethod::kBlock, false},
+      {{"dist1-lazy", false, true}, 1, PartitionMethod::kBlock, true},
+      {{"dist2-lazy", true, true}, 2, PartitionMethod::kBlock, true},
+      {{"dist4-lazy", true, true}, 4, PartitionMethod::kBlock, true},
   };
   for (const auto& m : spec.maps) {
     // k-way partitioning derives the adjacency from a map onto the base
     // set; only meaningful when the generated mesh has one.
     if (m.to == 0 && spec.set_sizes[m.from] > 0) {
-      dists.push_back({{"dist2-kway", true, false}, 2, PartitionMethod::kKway});
+      dists.push_back(
+          {{"dist2-kway", true, false}, 2, PartitionMethod::kKway, false});
       break;
     }
   }
@@ -157,9 +186,14 @@ inline std::optional<Divergence> run_op2_oracle(const Op2CaseSpec& spec,
     auto d = check(c.meta, [&]() {
       auto sys = build_op2_system(spec);
       op2::Distributed dist(sys->ctx, c.nranks, c.method, *sys->sets[0]);
+      if (c.lazy) {
+        dist.set_tile_size(5);
+        dist.set_lazy(true);
+      }
       Op2DistExec ex{&dist};
-      return run_op2_program(ex, *sys, spec,
-                             RunOptions{true, bias_for(c.meta.name), -1});
+      return run_op2_program(
+          ex, *sys, spec,
+          RunOptions{!c.meta.final_only, bias_for(c.meta.name), -1});
     });
     if (d) return d;
   }
@@ -229,6 +263,58 @@ inline std::optional<Divergence> run_op2_oracle(const Op2CaseSpec& spec,
         if (auto d = compare(var, meta)) return d;
       } else {
         cleanup.remove_files();  // short chains may never classify: skip
+      }
+    } catch (const std::exception& e) {
+      cleanup.remove_files();
+      return combo_threw(meta.name, e.what());
+    }
+  }
+
+  // Lazy + checkpoint-restart mid-chain: same crash/restore protocol on a
+  // lazy context. An attached checkpointer is a flush point (par_loop
+  // drains the pending chain and runs eagerly while it needs loop-level
+  // observability), so this proves the chain queued before the checkpointer
+  // attaches — and the one rebuilt after restore — both flush to states
+  // bitwise-identical to the uninterrupted eager baseline.
+  if (spec.loops.size() >= 2) {
+    const ComboMeta meta{"lazy-ckpt", false, true};
+    const std::string path = scratch_base("op2lz", spec.seed);
+    const apl::io::CheckpointStore cleanup(path);
+    try {
+      op2::Checkpointer::Options copts;
+      copts.speculative = false;
+      copts.horizon = 1;
+      const int mid = static_cast<int>(spec.loops.size()) / 2;
+      bool completed = false;
+      {
+        auto sys = build_op2_system(spec);
+        sys->ctx.set_tile_size(5);
+        sys->ctx.set_lazy(true);
+        op2::Checkpointer ck(sys->ctx, path, copts);
+        Op2PlainExec ex{&sys->ctx};
+        for (int li = 0; li < static_cast<int>(spec.loops.size()); ++li) {
+          if (li == mid) ck.request_checkpoint();
+          run_op2_loop(ex, *sys, spec, li, bias_for(meta.name));
+          if (li >= mid && ck.checkpoint_complete()) {
+            completed = true;
+            break;  // simulated crash
+          }
+        }
+        sys->ctx.flush();
+      }
+      if (completed) {
+        auto sys = build_op2_system(spec);
+        sys->ctx.set_tile_size(5);
+        sys->ctx.set_lazy(true);
+        op2::Checkpointer ck =
+            op2::Checkpointer::restore(sys->ctx, path, copts);
+        Op2PlainExec ex{&sys->ctx};
+        const Trace var = run_op2_program(
+            ex, *sys, spec, RunOptions{false, bias_for(meta.name), -1});
+        cleanup.remove_files();
+        if (auto d = compare(var, meta)) return d;
+      } else {
+        cleanup.remove_files();
       }
     } catch (const std::exception& e) {
       cleanup.remove_files();

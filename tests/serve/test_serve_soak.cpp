@@ -51,6 +51,14 @@ TEST(ServeSoak, MixedTenantsWithChaosSubset) {
     const auto h = server.submit(
         apl::serve::make_minihydra_job("hydra-0", hydra_shape));
     expect_digest[h] = hydra_solo;
+    // Lazy-op2 tenant: loop chains queue inside each iteration and flush
+    // through the sparse-tiling engine; the digest must still reproduce
+    // the EAGER solo reference bitwise (tiling is order-preserving).
+    apl::serve::AirfoilJob lazy_shape{};
+    lazy_shape.lazy = true;
+    const auto lz = server.submit(
+        apl::serve::make_airfoil_job("airfoil-lazy", lazy_shape));
+    expect_digest[lz] = airfoil_solo;
   }
 
   // The chaos subset.
@@ -89,7 +97,7 @@ TEST(ServeSoak, MixedTenantsWithChaosSubset) {
   // Accounting balances: everything admitted reached exactly one
   // terminal bucket.
   const auto st = server.stats();
-  EXPECT_EQ(st.admitted, 6u);
+  EXPECT_EQ(st.admitted, 7u);
   EXPECT_EQ(st.admitted,
             st.completed + st.failed + st.cancelled + st.preempted);
   EXPECT_GE(st.retries, 1u);         // the crash tenant

@@ -1,0 +1,26 @@
+// Mutation smoke test: the fused-tile executor drops the last element of
+// every interior tile slice (APL_MUTATE_OP2_TILE_DROP_EDGE) — the classic
+// off-by-one at a tile boundary. Any seed whose chain genuinely fuses
+// (forced tile size 5 in the oracle's lazy-tiled combos) leaves boundary
+// elements unprocessed, so the oracle must blame a lazy-tiled combo and
+// name the exact loop/dat/element that went missing. The replicated
+// lazy-tiled combos run before the dist-lazy ones and replicated chains
+// fuse at least as much (dist adds exchange flush points), so the first
+// divergence lands on "lazy-tiled*".
+#include "mutation_scan.hpp"
+
+#ifndef APL_MUTATE_OP2_TILE_DROP_EDGE
+#error "build this test with -DAPL_MUTATE_OP2_TILE_DROP_EDGE"
+#endif
+
+namespace tk = apl::testkit;
+
+TEST(MutationOp2TileDropEdge, OracleDetectsIt) {
+  const tk::MutationScan scan = tk::scan_seeds(1, 40, [](std::uint64_t s) {
+    return tk::run_op2_oracle(tk::gen_op2_case(s));
+  });
+  // Not every seed builds a fusable chain (reductions are flush points);
+  // across the window the dropped boundary element must surface repeatedly.
+  EXPECT_GE(scan.detections, 3) << "mutation escaped the oracle";
+  tk::expect_attributed(scan, "lazy-tiled");
+}

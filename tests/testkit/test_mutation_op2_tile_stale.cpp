@@ -1,0 +1,20 @@
+// Mutation smoke test: the fused-tile executor runs the final tile's loop
+// slices in reverse chain order (APL_MUTATE_OP2_TILE_STALE) — consumers
+// execute before their producers, so every cross-loop intermediate in the
+// last tile is read stale. Any fusable chain with a dependent pair must
+// diverge, blamed on a lazy-tiled combo with the consuming loop named.
+#include "mutation_scan.hpp"
+
+#ifndef APL_MUTATE_OP2_TILE_STALE
+#error "build this test with -DAPL_MUTATE_OP2_TILE_STALE"
+#endif
+
+namespace tk = apl::testkit;
+
+TEST(MutationOp2TileStale, OracleDetectsIt) {
+  const tk::MutationScan scan = tk::scan_seeds(1, 40, [](std::uint64_t s) {
+    return tk::run_op2_oracle(tk::gen_op2_case(s));
+  });
+  EXPECT_GE(scan.detections, 3) << "mutation escaped the oracle";
+  tk::expect_attributed(scan, "lazy-tiled");
+}

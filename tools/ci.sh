@@ -66,11 +66,20 @@ OPAL_TRACE="$build/tier1.trace.json" ctest --test-dir "$build" -L tier1 \
 "$build/examples/opal_serve" 2 3 > /dev/null
 "$build/tools/bench_report" --check-serve
 
+# op2-tiling stage: the same Airfoil mesh eager and lazy-tiled through
+# the sparse-tiling inspector/executor (DESIGN.md §15). The gate demands
+# every chain fused (zero verbatim fallbacks), a projected traffic
+# saving, and bitwise-identical solutions — order-preserving tiling must
+# be invisible to the bits.
+"$build/tools/bench_report" --check-op2-tiling
+
 # Perf-trajectory stage: regenerate the checked-in per-loop benchmark
-# record (Airfoil + CloverLeaf eager/lazy, roofline join included, plus
-# the plan-analysis cold/warm, recovery-overhead/MTTR and multi-tenant
-# service columns).
-(cd "$repo" && "$build/tools/bench_report" --out BENCH_pr8.json > /dev/null)
+# record (Airfoil lazy-tiled + CloverLeaf eager/lazy, roofline join and
+# fused-chain columns included, plus the plan-analysis cold/warm,
+# recovery-overhead/MTTR, multi-tenant service and eager-vs-tiled
+# columns). BENCH_pr8.json stays checked in as the eager trajectory
+# point the tiled fractions are measured against.
+(cd "$repo" && "$build/tools/bench_report" --out BENCH_pr9.json > /dev/null)
 
 if [[ -n "${CI_SANITIZE:-}" ]]; then
   san_build="$build-$CI_SANITIZE"
@@ -85,4 +94,8 @@ if [[ -n "${CI_SANITIZE:-}" ]]; then
   # And so must the serve soak: watchdog vs worker vs submitter is exactly
   # the kind of race ThreadSanitizer exists to catch.
   "$san_build/examples/opal_serve" 2 3 > /dev/null
+  # The op2 tiling gate reruns under the sanitizer too (the ISSUE's
+  # APL_SANITIZE=thread configuration when CI_SANITIZE=thread): the fused
+  # executor and its cancel checks must be clean, not just bitwise.
+  "$san_build/tools/bench_report" --check-op2-tiling
 fi
