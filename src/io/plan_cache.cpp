@@ -10,6 +10,7 @@
 #include "apl/error.hpp"
 #include "apl/fault.hpp"
 #include "apl/io/h5lite.hpp"
+#include "apl/scope.hpp"
 #include "apl/trace.hpp"
 
 namespace apl::plan_cache {
@@ -120,13 +121,36 @@ Store& Store::global() {
 
 namespace {
 thread_local Store* t_store = nullptr;
+
+// The runtime's scope snapshot (apl/scope.hpp) cannot name Store — io
+// links against the runtime, not the other way round — so the store
+// extends it through the hook registry: capture the calling thread's
+// override (an unowned pointer smuggled through the aliasing
+// constructor), install it on each team member as a ScopedStore. Invoked
+// lazily from every path that touches the thread-local override; a
+// namespace-scope registrar in a static library could be stripped with
+// its object file.
+void ensure_scope_hook() {
+  static const bool registered = [] {
+    apl::scope::register_hook(apl::scope::Hook{
+        [] { return std::shared_ptr<void>(std::shared_ptr<void>{}, t_store); },
+        [](const std::shared_ptr<void>& state) -> std::shared_ptr<void> {
+          return std::make_shared<Store::ScopedStore>(
+              static_cast<Store*>(state.get()));
+        }});
+    return true;
+  }();
+  (void)registered;
+}
 }  // namespace
 
 Store& Store::current() {
+  ensure_scope_hook();
   return t_store != nullptr ? *t_store : global();
 }
 
 Store::ScopedStore::ScopedStore(Store* store) : prev_(t_store) {
+  ensure_scope_hook();
   t_store = store;
 }
 Store::ScopedStore::~ScopedStore() { t_store = prev_; }

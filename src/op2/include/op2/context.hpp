@@ -22,6 +22,10 @@
 #include "op2/mesh.hpp"
 #include "op2/plan.hpp"
 
+namespace apl {
+class ThreadPool;
+}
+
 namespace op2 {
 
 class Checkpointer;
@@ -114,6 +118,23 @@ public:
   /// Parks the remainder of an interrupted chain (tile executor only).
   void store_resume(ChainResume resume);
   const ChainStats& chain_stats() const { return chain_stats_; }
+
+  /// Team for the threaded color-round tile executor. Non-owning; the
+  /// pool must outlive every flush of this context, and must not be a
+  /// pool the calling thread is itself a task worker of (the round
+  /// barrier would wait on itself). nullptr (the default) makes the team
+  /// backend-driven: the process pool when backend() == kThreads, serial
+  /// rounds otherwise. Schedules do not depend on the executor, so
+  /// changing the team never invalidates cached plans.
+  void set_tile_team(apl::ThreadPool* pool) { tile_team_ = pool; }
+  /// True when fused chains run through the color-round team executor.
+  bool tile_team_enabled() const {
+    return tile_team_ != nullptr ||
+           backend() == apl::exec::Backend::kThreads;
+  }
+  /// The team rounds distribute over: the explicit override, else the
+  /// process-wide pool (sized by OPAL_NUM_THREADS).
+  apl::ThreadPool& tile_team() const;
 
   /// Tile-schedule entry point, mirroring plan_for(PlanRequest): memoized
   /// per (topology, program, config, IR-version) signature, then the
@@ -216,6 +237,7 @@ private:
   bool pending_flush_ = false;
   bool tiling_ = true;
   index_t tile_size_ = 0;
+  apl::ThreadPool* tile_team_ = nullptr;  ///< non-owning executor override
 };
 
 /// Out-of-line: needs the complete Context type.

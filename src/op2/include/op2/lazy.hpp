@@ -29,6 +29,17 @@
 // tile the loops in chain order — so values written by loop k and read by
 // loop k+1 stay cache-resident instead of round-tripping through memory.
 //
+// On top of the tile order the inspector lays a *layered coloring*: a
+// tile's color is one more than the highest color among earlier tiles it
+// conflicts with, so colors are simultaneously conflict-free (same-color
+// tiles share no written entry) and order-preserving (colors strictly
+// increase along every dependence). Colors are therefore execution
+// *rounds*: when the context has a tile team (set_tile_team, or the
+// threads backend), the executor runs rounds in ascending color order,
+// distributes each round's tiles over apl::ThreadPool::run_team, and
+// barriers between rounds — still bitwise-identical to the serial walk
+// (see the legality argument in DESIGN.md §15).
+//
 // Correctness (the fusion legality rule): because each loop's slices are
 // contiguous and their boundaries monotone, every loop still visits its
 // elements in ascending order overall, and the wavefront constraint
@@ -91,6 +102,7 @@ struct ChainStats {
   std::uint64_t flushes = 0;    ///< chains executed
   std::uint64_t loops = 0;      ///< loops executed through chains
   std::uint64_t tiles = 0;      ///< tile slices' tiles (1 per loop if unfused)
+  std::uint64_t rounds = 0;     ///< color rounds executed by the team path
   std::uint64_t verbatim = 0;   ///< chains replayed unfused
   std::uint64_t max_chain = 0;  ///< longest chain seen
   /// Modeled DRAM traffic: each loop streaming all its arguments (what
@@ -113,12 +125,13 @@ struct ChainStats {
 /// profitability fallback). When true, tile t runs, for each loop l in
 /// chain order, the element slice [bounds[l][t], bounds[l][t+1]).
 ///
-/// `colors` is a greedy conflict-free coloring of the tiles (same-color
-/// tiles share no written entry). The executor here runs tiles in
-/// ascending order — the order that makes tiling bitwise-exact — so the
-/// coloring is carried for the race audit and as the parallel-executor
-/// seam; same-color tile slices are the units a threaded tile executor
-/// could run concurrently.
+/// `colors` is a layered conflict-free coloring of the tiles: same-color
+/// tiles share no written entry, and colors strictly increase along
+/// every cross-tile dependence (the writer's color is always lower than
+/// its readers' and overwriters'). Colors are therefore execution
+/// rounds — the threaded executor runs color c's tiles concurrently
+/// after all colors < c have finished, which the ordering property makes
+/// bitwise-identical to the serial ascending-tile walk.
 struct TileSchedule {
   bool fused = false;
   index_t ntiles = 0;
@@ -154,7 +167,12 @@ struct ChainPlanRequest {
 struct ChainResume {
   std::vector<LoopRecord> chain;
   TileSchedule sched;
-  std::size_t next = 0;  ///< next tile (fused) / next record (unfused)
+  /// Next tile (fused) / next record (unfused) / next color round (when
+  /// `rounds` — the chain parked at a round boundary of the threaded
+  /// executor and resumes round-wise, degrading to serial-within-rounds
+  /// if the team has been disabled meanwhile).
+  std::size_t next = 0;
+  bool rounds = false;
 };
 
 /// Serializes a tile schedule into the section-framed Plan IR payload
@@ -175,8 +193,10 @@ std::optional<TileSchedule> decode_tile_schedule(
 /// when the schedule is dependence-preserving, otherwise a diagnostic
 /// naming the exact loop, dat and element of the first violation:
 /// slice coverage, boundary monotonicity, every cross-loop dependence
-/// landing in a same-or-later tile, and same-color tiles sharing no
-/// written entry.
+/// landing in a same-or-later tile, and round legality — the color
+/// strictly increases along every cross-tile conflict, which subsumes
+/// same-color independence and is exactly what licenses the threaded
+/// color-round executor.
 std::string audit_tile_schedule(const Context& ctx,
                                 const std::vector<LoopRecord>& chain,
                                 const TileSchedule& sched);

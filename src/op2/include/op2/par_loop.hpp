@@ -648,7 +648,12 @@ void par_loop(Context& ctx, const std::string& name, const Set& set,
       rec.run_slice = [&ctx, name, pack_safe = rec.simd_pack_safe,
                        kernel = kernel,
                        frozen = std::make_tuple(detail::freeze(args)...)](
-                          index_t lo, index_t hi) mutable {
+                          index_t lo, index_t hi) {
+        // Per-call copy of the frozen tuple: the color-round executor may
+        // run slices of the same loop concurrently on team members, and
+        // thaw() repoints each frozen global at its snapshot — mutation
+        // that must land in per-member state, not the shared closure.
+        auto thawed = frozen;
         std::apply(
             [&](auto&... fz) {
               auto run = [&](auto&... as) {
@@ -658,20 +663,21 @@ void par_loop(Context& ctx, const std::string& name, const Set& set,
                 const double t0 = apl::now_seconds();
                 // Fused tiles run slices in eager element order; only the
                 // pack-safe SIMD case may group lanes (bitwise-neutral,
-                // see run_simd_range). Other backends' tile-level
-                // parallelism is future work seamed by the schedule's
-                // colors.
+                // see run_simd_range). Same-color slices may run on team
+                // members concurrently (op2/lazy.cpp's round executor).
                 if (ctx.backend() == apl::exec::Backend::kSimd &&
                     pack_safe) {
                   detail::run_simd_range(lo, hi, kernel, as...);
                 } else {
                   detail::run_seq_range(lo, hi, kernel, as...);
                 }
-                ctx.profile().stats(name).seconds += apl::now_seconds() - t0;
+                // add_seconds, not stats().seconds +=: concurrent members
+                // would otherwise race on the map and lose increments.
+                ctx.profile().add_seconds(name, apl::now_seconds() - t0);
               };
               run(detail::thaw(fz)...);
             },
-            frozen);
+            thawed);
       };
       const bool reduction =
           std::any_of(infos.begin(), infos.end(), [](const ArgInfo& a) {

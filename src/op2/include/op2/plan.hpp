@@ -51,12 +51,15 @@ struct Plan {
   bool has_conflicts = false;  ///< false => loop is embarrassingly parallel
 };
 
-/// Version of the serialized Plan IR below. Bump on any layout change:
-/// the plan cache keys entries by it, so stale blobs invalidate
-/// themselves instead of being misread. Shared by both op2 IR kinds
-/// ("op2" colored plans and "op2chain" tile schedules). v2: the
+/// Version of the serialized Plan IR below. Bump on any layout or
+/// semantic change: the plan cache keys entries by it, so stale blobs
+/// invalidate themselves instead of being misread. Shared by both op2 IR
+/// kinds ("op2" colored plans and "op2chain" tile schedules). v2: the
 /// "op2chain" kind and its section tags (16-19) joined the format.
-inline constexpr std::uint32_t kPlanIrVersion = 2;
+/// v3: tile colors became execution *rounds* (layered order-preserving
+/// coloring) — schedules colored by the old greedy scheme are not legal
+/// round orders, so they must not be replayed from disk.
+inline constexpr std::uint32_t kPlanIrVersion = 3;
 
 /// Serializes `plan` as a tagged-section Plan IR payload (the
 /// apl::plan_cache framing): a shape section plus one section per array.

@@ -17,6 +17,7 @@
 #include "apl/error.hpp"
 #include "apl/io/plan_cache.hpp"
 #include "apl/signature.hpp"
+#include "apl/thread_pool.hpp"
 #include "apl/trace.hpp"
 #include "op2/context.hpp"
 #include "op2/plan.hpp"
@@ -59,12 +60,12 @@ std::uint64_t streaming_bytes(const std::vector<LoopRecord>& chain) {
 /// carry the wavefront constraints (latest tile that wrote / read each
 /// entry under the schedule built so far); the stamp arrays dedup the
 /// traffic projection (one count per (entry, loop) eagerly, one per
-/// (entry, tile) fused); the masks drive the conflict-free coloring.
+/// (entry, tile) fused); the level arrays drive the layered coloring.
 struct DatState {
   std::vector<index_t> last_w, last_r;
   std::vector<index_t> eager_r, eager_w;  // stamp: last loop that counted
   std::vector<index_t> fused_r, fused_w;  // stamp: last tile that counted
-  std::vector<std::uint64_t> wmask, rmask;  // colors that wrote/read entry
+  std::vector<std::int32_t> wlev, rlev;  // highest color that wrote/read entry
 };
 
 DatState& state_of(const Context& ctx, std::map<index_t, DatState>& states,
@@ -111,24 +112,37 @@ index_t auto_tile_elems(const Context& ctx,
   return std::max(kMinTileElems, static_cast<index_t>(std::min(elems, cap)));
 }
 
-/// Greedy conflict-free coloring over the finished schedule. Two tiles
-/// conflict when they touch a common entry and at least one side writes
-/// it; same-color tiles are then mutually independent — the units a
-/// parallel tile executor could run concurrently, and exactly what the
-/// kPlan audit re-checks. Colors are tracked as 64-bit masks per entry;
-/// the (never observed for wavefront schedules) >64-color case falls
-/// back to all-distinct colors, which is trivially conflict-free.
+/// Layered (wavefront-level) conflict-free coloring over the finished
+/// schedule. Two tiles conflict when they touch a common entry and at
+/// least one side writes it; a tile's color is one more than the highest
+/// color among the earlier tiles it conflicts with. That buys two
+/// properties at once:
+///
+///   * conflict-free — same-color tiles are mutually independent (a
+///     conflicting earlier tile always has a strictly lower color);
+///   * order-preserving — along every dependence the color strictly
+///     increases, so running colors as ascending *rounds* (same-color
+///     tiles concurrently, ascending tile index within a round, barrier
+///     between rounds) executes every dependence source before its sink,
+///     in the same relative order as the serial ascending-tile walk.
+///
+/// The second property is what makes the threaded round executor
+/// bitwise-identical to the serial one; a minimal greedy coloring is
+/// conflict-free but NOT order-preserving (a low color can be reused by
+/// a tile that depends on a higher-colored predecessor), so it could
+/// only ever be raced against, never replayed exactly.
 void color_tiles(const Context& ctx, const std::vector<LoopRecord>& chain,
                  std::map<index_t, DatState>& states, TileSchedule& s) {
   const index_t T = s.ntiles;
   for (auto& [id, st] : states) {
-    st.wmask.assign(st.last_w.size(), 0);
-    st.rmask.assign(st.last_w.size(), 0);
+    st.wlev.assign(st.last_w.size(), -1);
+    st.rlev.assign(st.last_w.size(), -1);
   }
   s.colors.assign(static_cast<std::size_t>(T), 0);
   std::int32_t ncolors = 1;
   for (index_t t = 0; t < T; ++t) {
-    std::uint64_t forbidden = 0;
+    // Check phase: the level every conflict with earlier tiles forces.
+    std::int32_t level = 0;
     for (std::size_t l = 0; l < chain.size(); ++l) {
       const LoopRecord& rec = chain[l];
       for (index_t e = s.bounds[l][t]; e < s.bounds[l][t + 1]; ++e) {
@@ -137,20 +151,14 @@ void color_tiles(const Context& ctx, const std::vector<LoopRecord>& chain,
           DatState& st = states[a.dat_id];
           const auto x =
               static_cast<std::size_t>(resolve_entry(ctx, a, e));
-          forbidden |= st.wmask[x];
-          if (writes(a.acc)) forbidden |= st.rmask[x];
+          level = std::max(level, st.wlev[x] + 1);
+          if (writes(a.acc)) level = std::max(level, st.rlev[x] + 1);
         }
       }
     }
-    const int c = std::countr_one(forbidden);
-    if (c >= 64) {
-      for (index_t u = 0; u < T; ++u) s.colors[u] = static_cast<std::int32_t>(u);
-      s.ncolors = static_cast<std::int32_t>(T);
-      return;
-    }
-    s.colors[t] = c;
-    ncolors = std::max(ncolors, c + 1);
-    const std::uint64_t bit = std::uint64_t{1} << c;
+    // Commit phase: this tile's accesses constrain later tiles. Separate
+    // from the check so a tile's own earlier loops never push its later
+    // loops to a higher level (intra-tile chain order handles those).
     for (std::size_t l = 0; l < chain.size(); ++l) {
       const LoopRecord& rec = chain[l];
       for (index_t e = s.bounds[l][t]; e < s.bounds[l][t + 1]; ++e) {
@@ -159,12 +167,27 @@ void color_tiles(const Context& ctx, const std::vector<LoopRecord>& chain,
           DatState& st = states[a.dat_id];
           const auto x =
               static_cast<std::size_t>(resolve_entry(ctx, a, e));
-          if (reads(a.acc)) st.rmask[x] |= bit;
-          if (writes(a.acc)) st.wmask[x] |= bit;
+          if (reads(a.acc)) st.rlev[x] = std::max(st.rlev[x], level);
+          if (writes(a.acc)) st.wlev[x] = std::max(st.wlev[x], level);
         }
       }
     }
+    s.colors[t] = level;
+    ncolors = std::max(ncolors, level + 1);
   }
+#ifdef APL_MUTATE_OP2_COLOR_MERGE
+  // Mutation: illegally merge the last color into the previous one, so
+  // one round holds conflicting tiles. The kPlan audit must reject the
+  // schedule (the merged pair's colors no longer increase across their
+  // conflict) and TSan must flag the resulting write races when the
+  // merged round is actually raced by a team.
+  if (ncolors >= 2) {
+    for (std::int32_t& c : s.colors) {
+      if (c == ncolors - 1) c = ncolors - 2;
+    }
+    --ncolors;
+  }
+#endif
   s.ncolors = ncolors;
 }
 
@@ -224,22 +247,27 @@ std::uint64_t chain_config_hash(const Context& ctx) {
 
 // --- executor --------------------------------------------------------------
 
-/// Cancellation / preemption check between tiles. On any interruption the
+/// Cancellation / preemption check between tiles (or, for the threaded
+/// executor, between color rounds — always on the submitting thread, so
+/// no round is ever half-started). On any interruption the
 /// not-yet-executed remainder (from `next` on) is parked on the context
 /// *before* the exception propagates, so the chain is never half-lost:
 /// the next flush point completes exactly the remaining tiles.
 void tile_boundary(Context& ctx, const TileSchedule& sched,
-                   std::vector<LoopRecord>& chain, std::size_t next) {
+                   std::vector<LoopRecord>& chain, std::size_t next,
+                   bool rounds = false) {
   try {
-    apl::cancel::point("op2::tile");
+    apl::cancel::point(rounds ? "op2::round" : "op2::tile");
     if (apl::cancel::yield_requested()) {
       throw apl::cancel::Cancelled(
           apl::cancel::Reason::kPreempt,
-          "op2 chain preempted at tile boundary " + std::to_string(next) +
+          std::string("op2 chain preempted at ") +
+              (rounds ? "round" : "tile") + " boundary " +
+              std::to_string(next) +
               " (remainder parked, next flush resumes)");
     }
   } catch (...) {
-    ctx.store_resume(ChainResume{std::move(chain), sched, next});
+    ctx.store_resume(ChainResume{std::move(chain), sched, next, rounds});
     throw;
   }
 }
@@ -289,6 +317,70 @@ void run_from(Context& ctx, const TileSchedule& sched,
   for (auto t = static_cast<index_t>(start); t < sched.ntiles; ++t) {
     tile_boundary(ctx, sched, chain, static_cast<std::size_t>(t));
     run_tile(sched, chain, t);
+  }
+}
+
+/// True when a fused chain may run through the color-round team
+/// executor. Chains that write a live global (a reduction — by
+/// construction at most the chain's last loop, since par_loop flushes
+/// right after enqueueing one) stay on the serial tile walk: concurrent
+/// slices would race on the reduction target and reorder its
+/// floating-point combine.
+bool rounds_eligible(const std::vector<LoopRecord>& chain) {
+  for (const LoopRecord& rec : chain) {
+    for (const ArgInfo& a : rec.infos) {
+      if (a.is_gbl && writes(a.acc)) return false;
+    }
+  }
+  return true;
+}
+
+/// Partitions tiles by color, ascending tile index within each round —
+/// the intra-round order every member chunk preserves, so a team of one
+/// replays the serial walk exactly.
+std::vector<std::vector<index_t>> round_tiles(const TileSchedule& sched) {
+  std::vector<std::vector<index_t>> rounds(
+      static_cast<std::size_t>(sched.ncolors));
+  for (index_t t = 0; t < sched.ntiles; ++t) {
+    rounds[static_cast<std::size_t>(sched.colors[t])].push_back(t);
+  }
+  return rounds;
+}
+
+/// The threaded executor: ascending color rounds from round `start`,
+/// each round's tiles distributed over the context's tile team
+/// (contiguous chunks in ascending tile order) with the run_team barrier
+/// closing the round. Legality rests on the layered coloring (see
+/// color_tiles): every conflict crosses a round boundary, so rounds are
+/// data-race-free internally, and the barrier orders them — bitwise
+/// identity with the serial walk follows. Cancellation and preemption
+/// are checked at round boundaries only (on the submitting thread);
+/// interruption parks a round-wise ChainResume. Should the team be
+/// disabled by the time a parked chain resumes, rounds degrade to serial
+/// execution in the same order — still exact.
+void run_rounds_from(Context& ctx, const TileSchedule& sched,
+                     std::vector<LoopRecord>& chain, std::size_t start,
+                     ChainStats& stats) {
+  const std::vector<std::vector<index_t>> rounds = round_tiles(sched);
+  for (std::size_t c = start; c < rounds.size(); ++c) {
+    tile_boundary(ctx, sched, chain, c, /*rounds=*/true);
+    const std::vector<index_t>& tiles = rounds[c];
+    if (tiles.empty()) continue;  // decoded schedules may have color gaps
+    apl::trace::Span round_span(apl::trace::kColor, "chain_round:op2chain");
+    round_span.set_index(static_cast<std::int64_t>(c));
+    round_span.set_elements(tiles.size());
+    ++stats.rounds;
+    if (ctx.tile_team_enabled()) {
+      ctx.tile_team().parallel_for(
+          tiles.size(),
+          [&](std::size_t lo, std::size_t hi, std::size_t /*tid*/) {
+            for (std::size_t i = lo; i < hi; ++i) {
+              run_tile(sched, chain, tiles[i]);
+            }
+          });
+    } else {
+      for (const index_t t : tiles) run_tile(sched, chain, t);
+    }
   }
 }
 
@@ -514,20 +606,26 @@ std::string audit_tile_schedule(const Context& ctx,
     }
   }
 
-  // Coloring: same-color tiles must be independent (no shared entry with
-  // a write on either side). Processed in ascending tile order, so the
-  // recorded writer/first-reader per (entry, color) summarize everything
-  // an equal-color tile could race with.
+  // Round legality: the color must strictly increase along every
+  // cross-tile conflict (shared entry, a write on at least one side).
+  // This is the exact property the threaded color-round executor rests
+  // on, and it subsumes same-color independence — a conflicting
+  // same-color pair fails the strict inequality too. Walked tile-major
+  // in ascending tile order, check-all-then-commit per tile so a tile's
+  // own intra-tile accesses never accuse each other.
   if (sched.colors.size() != static_cast<std::size_t>(sched.ntiles)) {
     return "color table has wrong size";
   }
-  std::map<index_t, std::unordered_map<std::uint64_t, index_t>> wtile, rtile;
-  auto ckey = [&](index_t x, std::int32_t c) {
-    return (static_cast<std::uint64_t>(x) << 8) |
-           static_cast<std::uint64_t>(c & 0xff);
+  std::map<index_t, std::vector<std::int32_t>> wcol, rcol;
+  auto color_state = [&](std::map<index_t, std::vector<std::int32_t>>& m,
+                         const ArgInfo& a) -> std::vector<std::int32_t>& {
+    auto& v = m[a.dat_id];
+    if (v.empty()) {
+      v.assign(static_cast<std::size_t>(ctx.dat(a.dat_id).set().size()), -1);
+    }
+    return v;
   };
-  const bool wide_colors = sched.ncolors > 256;
-  for (index_t t = 0; t < sched.ntiles && !wide_colors; ++t) {
+  for (index_t t = 0; t < sched.ntiles; ++t) {
     const std::int32_t c = sched.colors[t];
     if (c < 0 || c >= sched.ncolors) {
       return "tile " + std::to_string(t) + " color out of range";
@@ -538,27 +636,42 @@ std::string audit_tile_schedule(const Context& ctx,
         for (const ArgInfo& a : rec.infos) {
           if (a.is_gbl) continue;
           const index_t x = resolve_entry(ctx, a, e);
-          auto& wm = wtile[a.dat_id];
-          auto& rm = rtile[a.dat_id];
-          const std::uint64_t k = ckey(x, c);
-          const auto w = wm.find(k);
-          if (w != wm.end() && w->second != t) {
-            return "tiles " + std::to_string(w->second) + " and " +
-                   std::to_string(t) + " share color " + std::to_string(c) +
-                   " but conflict on dat '" + ctx.dat(a.dat_id).name() +
-                   "' entry " + std::to_string(x);
+          const auto xi = static_cast<std::size_t>(x);
+          const std::int32_t w = color_state(wcol, a)[xi];
+          const std::int32_t r = color_state(rcol, a)[xi];
+          if (reads(a.acc) && w >= c) {
+            return "tile " + std::to_string(t) + " (color " +
+                   std::to_string(c) + ") reads dat '" +
+                   ctx.dat(a.dat_id).name() + "' entry " + std::to_string(x) +
+                   " written by an earlier tile of color " +
+                   std::to_string(w) +
+                   " — round execution would not order the producer first";
+          }
+          if (writes(a.acc) && std::max(w, r) >= c) {
+            return "tile " + std::to_string(t) + " (color " +
+                   std::to_string(c) + ") writes dat '" +
+                   ctx.dat(a.dat_id).name() + "' entry " + std::to_string(x) +
+                   " still live in an earlier tile of color " +
+                   std::to_string(std::max(w, r)) +
+                   " — round execution would race or reorder the conflict";
+          }
+        }
+      }
+    }
+    for (std::size_t l = 0; l < chain.size(); ++l) {
+      const LoopRecord& rec = chain[l];
+      for (index_t e = sched.bounds[l][t]; e < sched.bounds[l][t + 1]; ++e) {
+        for (const ArgInfo& a : rec.infos) {
+          if (a.is_gbl) continue;
+          const auto xi =
+              static_cast<std::size_t>(resolve_entry(ctx, a, e));
+          if (reads(a.acc)) {
+            auto& v = color_state(rcol, a);
+            v[xi] = std::max(v[xi], c);
           }
           if (writes(a.acc)) {
-            const auto r = rm.find(k);
-            if (r != rm.end() && r->second != t) {
-              return "tiles " + std::to_string(r->second) + " and " +
-                     std::to_string(t) + " share color " + std::to_string(c) +
-                     " but conflict on dat '" + ctx.dat(a.dat_id).name() +
-                     "' entry " + std::to_string(x);
-            }
-            wm.emplace(k, t);
-          } else {
-            rm.emplace(k, t);
+            auto& v = color_state(wcol, a);
+            v[xi] = std::max(v[xi], c);
           }
         }
       }
@@ -720,7 +833,11 @@ void execute_chain(Context& ctx, std::vector<LoopRecord> chain,
     ++stats.verbatim;
   }
 
-  run_from(ctx, sched, chain, 0);
+  if (sched.fused && ctx.tile_team_enabled() && rounds_eligible(chain)) {
+    run_rounds_from(ctx, sched, chain, 0, stats);
+  } else {
+    run_from(ctx, sched, chain, 0);
+  }
   account_chain(ctx, chain);
 }
 
@@ -728,8 +845,14 @@ void resume_chain(Context& ctx, ChainResume resume, ChainStats& stats) {
   apl::trace::Span chain_span(apl::trace::kChain, "chain_resume:op2chain");
   chain_span.set_elements(resume.chain.size());
   chain_span.set_index(static_cast<std::int64_t>(resume.next));
-  (void)stats;  // flush/tile counters were charged when the chain first ran
-  run_from(ctx, resume.sched, resume.chain, resume.next);
+  // `next` indexes rounds or tiles depending on how the chain parked, so
+  // a parked chain always resumes through the executor that parked it
+  // (flush/tile counters were charged when the chain first ran).
+  if (resume.rounds) {
+    run_rounds_from(ctx, resume.sched, resume.chain, resume.next, stats);
+  } else {
+    run_from(ctx, resume.sched, resume.chain, resume.next);
+  }
   account_chain(ctx, resume.chain);
 }
 
@@ -742,6 +865,10 @@ void flush_pending(Context& ctx) { ctx.flush(); }
 void Context::enqueue(LoopRecord rec) {
   chain_.push_back(std::move(rec));
   update_pending();
+}
+
+apl::ThreadPool& Context::tile_team() const {
+  return tile_team_ != nullptr ? *tile_team_ : apl::ThreadPool::global();
 }
 
 void Context::store_resume(ChainResume resume) {

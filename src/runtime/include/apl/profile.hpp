@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -65,9 +66,30 @@ struct LoopStats {
 /// ScopedLoopTimer form, which re-resolves the entry when it closes.
 class Profile {
 public:
+  Profile() = default;
+  /// Copies snapshot the stats only (each instance owns a fresh mutex).
+  /// Copy while no team is mid-flush — the same single-threaded window
+  /// every other non-add_seconds() member requires.
+  Profile(const Profile& other) : stats_(other.stats_) {}
+  Profile& operator=(const Profile& other) {
+    stats_ = other.stats_;
+    return *this;
+  }
+
   LoopStats& stats(const std::string& loop_name) { return stats_[loop_name]; }
   const std::map<std::string, LoopStats>& all() const { return stats_; }
   void clear() { stats_.clear(); }
+
+  /// Thread-safe seconds accumulation — the one entry point team workers
+  /// may call concurrently (the tile executor's run_slice path times each
+  /// slice from whichever member ran it). Everything else on Profile
+  /// stays single-threaded by the executor contract: the submitting
+  /// thread is blocked in the team barrier while workers run, so reads
+  /// and the per-loop call/traffic accounting never overlap with this.
+  void add_seconds(const std::string& loop_name, double dt) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_[loop_name].seconds += dt;
+  }
 
   /// Human-readable table, one row per loop (calls, time, GB moved, GB/s,
   /// halo traffic, plan colors). Time is effective_seconds(); rows whose
@@ -84,6 +106,7 @@ public:
 
 private:
   std::map<std::string, LoopStats> stats_;
+  std::mutex mutex_;  ///< guards add_seconds() against concurrent members
 };
 
 /// RAII accumulator: adds elapsed time (and one call) to a loop's stats on

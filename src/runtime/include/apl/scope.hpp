@@ -1,0 +1,102 @@
+// apl::scope — propagation of per-thread execution scopes across
+// ThreadPool team boundaries.
+//
+// Several runtime services resolve through *thread-local* state installed
+// RAII-style by whoever owns the work: the cancel token (apl::cancel::Scope),
+// the fault injector (fault::Injector::Scope), the resilience policy
+// (resilience::ScopedPolicy), trace rank attribution (trace::RankScope) and
+// the plan-cache store (plan_cache::Store::ScopedStore). That design gives a
+// job scheduler per-job isolation without any per-loop plumbing — but it has
+// a sharp edge: the moment library code fans out over ThreadPool workers,
+// the workers' thread-locals are empty. A cancel point inside a team body
+// was a silent no-op off the submitting thread, a fault armed for one job
+// could never fire in its own team members, and a team-executed chain read
+// the process-global plan cache instead of its job's private store.
+//
+// Snapshot is the fix: capture() resolves the submitting thread's current
+// scopes (cheap — a handful of thread-local loads), the pool broadcasts the
+// snapshot alongside the team job, and every worker installs it RAII-style
+// (Snapshot::Install) around the body. Workers then observe exactly what
+// the submitting thread observes, and uninstall on the way out, so task-mode
+// work later scheduled on the same worker starts from a clean slate.
+//
+// Layering: the runtime cannot name higher-layer scope types (the plan-cache
+// store lives in apl::io, which links *against* the runtime), so those
+// subsystems extend the snapshot through register_hook() — a capture
+// function run on the submitting thread plus an install function run on
+// each member, both type-erased. Hooks register lazily from the subsystem's
+// own scope machinery (a static-library global registrar could be stripped
+// with its object file).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace apl::cancel {
+class Token;
+}
+namespace apl::fault {
+class Injector;
+}
+namespace apl::resilience {
+struct Policy;
+}
+
+namespace apl::scope {
+
+/// Extension slot for scope types the runtime layer cannot name.
+/// `capture` runs on the submitting thread and returns the state to carry
+/// (may be null); `install` runs on each team member and returns an RAII
+/// holder whose destruction uninstalls the state again.
+struct Hook {
+  std::function<std::shared_ptr<void>()> capture;
+  std::function<std::shared_ptr<void>(const std::shared_ptr<void>&)> install;
+};
+
+/// Registers a snapshot extension for the rest of the process. Thread-safe;
+/// hooks are never removed (they are per-subsystem, not per-use).
+void register_hook(Hook hook);
+
+/// A resolved picture of the calling thread's execution scopes, safe to
+/// hand to other threads for the duration of a team barrier (the captured
+/// objects are owned by the submitting thread's enclosing scopes, which
+/// outlive the barrier by construction).
+class Snapshot {
+ public:
+  static Snapshot capture();
+
+  /// RAII: makes the snapshot the calling thread's current scopes until
+  /// destruction (scopes nest; the previous state is restored).
+  class Install {
+   public:
+    explicit Install(const Snapshot& snap);
+    ~Install();
+    Install(const Install&) = delete;
+    Install& operator=(const Install&) = delete;
+
+   private:
+    struct State;
+    std::unique_ptr<State> state_;
+  };
+
+ private:
+  Snapshot() = default;
+
+  /// A captured hook: the install function is copied next to its state so
+  /// a hook registered between capture() and Install can never misalign
+  /// the two.
+  struct Extra {
+    std::function<std::shared_ptr<void>(const std::shared_ptr<void>&)>
+        install;
+    std::shared_ptr<void> state;
+  };
+
+  cancel::Token* token_ = nullptr;          ///< may be null (no token scope)
+  fault::Injector* injector_ = nullptr;     ///< resolved: override or global
+  const resilience::Policy* policy_ = nullptr;  ///< resolved likewise
+  int trace_rank_ = -1;
+  std::vector<Extra> extras_;
+};
+
+}  // namespace apl::scope

@@ -1,0 +1,72 @@
+#include "apl/scope.hpp"
+
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "apl/cancel.hpp"
+#include "apl/fault.hpp"
+#include "apl/resilience.hpp"
+#include "apl/trace.hpp"
+
+namespace apl::scope {
+
+namespace {
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<Hook>& registry() {
+  static std::vector<Hook> hooks;
+  return hooks;
+}
+
+}  // namespace
+
+void register_hook(Hook hook) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().push_back(std::move(hook));
+}
+
+Snapshot Snapshot::capture() {
+  Snapshot s;
+  s.token_ = cancel::current();
+  s.injector_ = &fault::Injector::current();
+  s.policy_ = &resilience::policy();
+  s.trace_rank_ = trace::Recorder::current_rank();
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  s.extras_.reserve(registry().size());
+  for (const Hook& h : registry()) {
+    s.extras_.push_back(Extra{h.install, h.capture()});
+  }
+  return s;
+}
+
+struct Snapshot::Install::State {
+  // Installing the *resolved* values is semantically identical to the
+  // submitting thread's scope stack: current() chains bottom out in the
+  // same object either way.
+  std::optional<cancel::Scope> cancel_scope;
+  std::optional<fault::Injector::Scope> fault_scope;
+  std::optional<resilience::ScopedPolicy> policy_scope;
+  std::optional<trace::RankScope> rank_scope;
+  std::vector<std::shared_ptr<void>> holders;
+};
+
+Snapshot::Install::Install(const Snapshot& snap)
+    : state_(std::make_unique<State>()) {
+  state_->cancel_scope.emplace(snap.token_);
+  state_->fault_scope.emplace(snap.injector_);
+  state_->policy_scope.emplace(snap.policy_);
+  state_->rank_scope.emplace(snap.trace_rank_);
+  state_->holders.reserve(snap.extras_.size());
+  for (const Extra& e : snap.extras_) {
+    state_->holders.push_back(e.install(e.state));
+  }
+}
+
+Snapshot::Install::~Install() = default;
+
+}  // namespace apl::scope

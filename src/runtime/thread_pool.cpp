@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <utility>
 
 #include "apl/config.hpp"
 #include "apl/error.hpp"
+#include "apl/scope.hpp"
 
 namespace apl {
 
@@ -34,20 +36,41 @@ void ThreadPool::run_team(const std::function<void(std::size_t)>& body) {
     body(0);
     return;
   }
+  // Captured on the submitting thread, installed on every worker: the
+  // team must observe the caller's cancel/fault/policy/plan-cache/trace
+  // scopes, not the workers' (empty) thread-locals. The snapshot lives on
+  // this stack frame, which outlives the barrier by construction.
+  const scope::Snapshot snapshot = scope::Snapshot::capture();
   // One team at a time: a second caller (another job on the threads
   // backend) waits here instead of clobbering the broadcast state.
   std::lock_guard<std::mutex> team_lease(team_mutex_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &body;
+    team_snapshot_ = &snapshot;
+    team_error_ = nullptr;
     remaining_ = workers_.size();
     ++generation_;
   }
   start_cv_.notify_all();
-  body(0);
+  try {
+    body(0);  // member 0 already runs under the caller's scopes
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (team_error_ == nullptr) team_error_ = std::current_exception();
+  }
   std::unique_lock<std::mutex> lock(mutex_);
   done_cv_.wait(lock, [this] { return remaining_ == 0; });
   job_ = nullptr;
+  team_snapshot_ = nullptr;
+  // Propagate the first failure (any member, including member 0) on the
+  // calling thread — only after the barrier, so no member is still
+  // running the body when the caller unwinds.
+  if (team_error_ != nullptr) {
+    std::exception_ptr err = std::exchange(team_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::parallel_for(
@@ -71,14 +94,27 @@ void ThreadPool::submit(std::function<void()> task) {
           "ThreadPool: drained — newly submitted work is rejected, not "
           "silently dropped");
     }
-    if (workers_.empty()) {
-      throw Drained(
-          "ThreadPool: no background workers to run submitted tasks "
-          "(construct the pool with num_threads >= 2)");
+    if (!workers_.empty()) {
+      tasks_.push_back(std::move(task));
+      start_cv_.notify_one();
+      return;
     }
-    tasks_.push_back(std::move(task));
+    // No background workers (a 1-thread pool on a 1-core host): degrade
+    // to inline execution on the calling thread instead of rejecting the
+    // work. Accounted as a running task so tasks_pending() and drain()
+    // keep their meaning for concurrent observers.
+    ++tasks_running_;
   }
-  start_cv_.notify_one();
+  struct Finish {
+    ThreadPool* pool;
+    ~Finish() {
+      std::lock_guard<std::mutex> lock(pool->mutex_);
+      if (--pool->tasks_running_ == 0 && pool->tasks_.empty()) {
+        pool->drain_cv_.notify_all();
+      }
+    }
+  } finish{this};  // decrements even if the task throws
+  task();
 }
 
 void ThreadPool::drain() {
@@ -102,6 +138,7 @@ void ThreadPool::worker_loop(std::size_t id) {
   std::size_t seen_generation = 0;
   for (;;) {
     const std::function<void(std::size_t)>* job = nullptr;
+    const scope::Snapshot* snapshot = nullptr;
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -114,6 +151,7 @@ void ThreadPool::worker_loop(std::size_t id) {
         // Team work first: the whole team barriers on it.
         seen_generation = generation_;
         job = job_;
+        snapshot = team_snapshot_;
       } else {
         task = std::move(tasks_.front());
         tasks_.pop_front();
@@ -121,7 +159,18 @@ void ThreadPool::worker_loop(std::size_t id) {
       }
     }
     if (job != nullptr) {
-      (*job)(id);
+      try {
+        // The submitting thread's scopes, for exactly the body's duration
+        // (uninstalled before the barrier count drops, so the caller can
+        // never observe remaining_ == 0 with a scope still installed).
+        scope::Snapshot::Install install(*snapshot);
+        (*job)(id);
+      } catch (...) {
+        // A throwing body must not unwind into std::thread (that would
+        // std::terminate); park the first exception for the caller.
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (team_error_ == nullptr) team_error_ = std::current_exception();
+      }
       std::lock_guard<std::mutex> lock(mutex_);
       if (--remaining_ == 0) done_cv_.notify_all();
     } else {

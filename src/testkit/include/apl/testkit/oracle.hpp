@@ -26,6 +26,8 @@
 #include "apl/graph/partition.hpp"
 #include "apl/io/ckpt.hpp"
 #include "apl/testkit/op2_harness.hpp"
+#include "apl/thread_pool.hpp"
+#include "apl/verify.hpp"
 #include "apl/testkit/ops_harness.hpp"
 #include "op2/checkpoint.hpp"
 #include "ops/checkpoint.hpp"
@@ -111,8 +113,18 @@ inline std::optional<Divergence> run_op2_oracle(const Op2CaseSpec& spec,
   // every chain to length 1); `tile` forces a small tile size so the tiny
   // generated meshes genuinely fuse instead of degenerating to one tile.
   // Order-preserving sparse tiling keeps seq/simd lazy-tiled runs bitwise;
-  // only the threads variant reorders (unfused fallback chains run through
-  // the colored plan executor).
+  // only the threads-backend variant reorders (unfused fallback chains run
+  // through the colored plan executor).
+  //
+  // The `team` axis drives fused chains through the threaded color-round
+  // executor with an explicit tile team of that size, on the seq backend
+  // so everything else (unfused fallbacks included) stays bitwise. The
+  // layered coloring makes round execution order-preserving, so these
+  // combos assert bitwise agreement at every team size — and they enable
+  // the kPlan audit, which proves every schedule they ran was a legal
+  // round order (this is what catches APL_MUTATE_OP2_COLOR_MERGE
+  // deterministically on a 1-core host, where the merged round's race
+  // may never lose a timing coin flip).
   struct Plain {
     ComboMeta meta;
     Backend backend;
@@ -121,23 +133,40 @@ inline std::optional<Divergence> run_op2_oracle(const Op2CaseSpec& spec,
     bool lazy;
     bool tiling;
     op2::index_t tile;
+    int team;
   };
   const Plain plains[] = {
-      {{"simd", false, false}, Backend::kSimd, false, 0, false, true, 0},
-      {{"threads", true, false}, Backend::kThreads, false, 0, false, true, 0},
-      {{"threads-bs4", true, false}, Backend::kThreads, false, 4, false, true,
+      {{"simd", false, false}, Backend::kSimd, false, 0, false, true, 0, 0},
+      {{"threads", true, false}, Backend::kThreads, false, 0, false, true, 0,
        0},
-      {{"cudasim", true, false}, Backend::kCudaSim, false, 0, false, true, 0},
-      {{"soa", false, false}, Backend::kSeq, true, 0, false, true, 0},
-      {{"lazy-unfused", false, true}, Backend::kSeq, false, 0, true, false, 0},
-      {{"lazy-tiled", false, true}, Backend::kSeq, false, 0, true, true, 5},
+      {{"threads-bs4", true, false}, Backend::kThreads, false, 4, false, true,
+       0, 0},
+      {{"cudasim", true, false}, Backend::kCudaSim, false, 0, false, true, 0,
+       0},
+      {{"soa", false, false}, Backend::kSeq, true, 0, false, true, 0, 0},
+      {{"lazy-unfused", false, true}, Backend::kSeq, false, 0, true, false, 0,
+       0},
+      {{"lazy-tiled", false, true}, Backend::kSeq, false, 0, true, true, 5, 0},
       {{"lazy-tiled-simd", false, true}, Backend::kSimd, false, 0, true, true,
-       5},
+       5, 0},
       {{"lazy-tiled-threads", true, true}, Backend::kThreads, false, 0, true,
-       true, 5},
+       true, 5, 0},
+      {{"lazy-tiled-threads-exec-t1", false, true}, Backend::kSeq, false, 0,
+       true, true, 5, 1},
+      {{"lazy-tiled-threads-exec-t2", false, true}, Backend::kSeq, false, 0,
+       true, true, 5, 2},
+      {{"lazy-tiled-threads-exec-t4", false, true}, Backend::kSeq, false, 0,
+       true, true, 5, 4},
   };
   for (const auto& p : plains) {
     auto d = check(p.meta, [&]() {
+      // Declared before the system: the context keeps a non-owning
+      // pointer to the team, so the pool must be destroyed after it.
+      std::unique_ptr<apl::ThreadPool> team;
+      if (p.team > 0) {
+        team = std::make_unique<apl::ThreadPool>(
+            static_cast<std::size_t>(p.team));
+      }
       auto sys = build_op2_system(spec);
       sys->ctx.set_backend(p.backend);
       if (p.block_size > 0) sys->ctx.set_block_size(p.block_size);
@@ -145,6 +174,10 @@ inline std::optional<Divergence> run_op2_oracle(const Op2CaseSpec& spec,
       sys->ctx.set_tiling(p.tiling);
       if (p.tile > 0) sys->ctx.set_tile_size(p.tile);
       if (p.lazy) sys->ctx.set_lazy(true);
+      if (team != nullptr) {
+        sys->ctx.set_tile_team(team.get());
+        sys->ctx.set_verify(sys->ctx.verify_checks() | apl::verify::kPlan);
+      }
       Op2PlainExec ex{&sys->ctx};
       return run_op2_program(
           ex, *sys, spec,

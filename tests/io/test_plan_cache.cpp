@@ -7,12 +7,14 @@
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "apl/fault.hpp"
+#include "apl/thread_pool.hpp"
 
 namespace {
 
@@ -163,6 +165,27 @@ TEST_F(PlanCacheFixture, NoteCorruptCountsIrLevelRejections) {
   store.note_corrupt("plan-ir: shape section missing");
   EXPECT_EQ(store.stats().corrupt, 1u);
   EXPECT_EQ(store.last_diagnostic(), "plan-ir: shape section missing");
+}
+
+TEST_F(PlanCacheFixture, ScopedStorePropagatesIntoTeamWorkers) {
+  // The thread-local store override must follow the submitting thread
+  // into ThreadPool teams (via the apl::scope hook plan_cache registers),
+  // or a served job's tile schedules would silently persist to the global
+  // store instead of the tenant's.
+  pc::Store::ScopedStore scoped(&store);
+  ASSERT_EQ(&pc::Store::current(), &store);
+  apl::ThreadPool pool(3);
+  std::mutex mu;
+  int hits = 0;
+  pool.run_team([&](std::size_t) {
+    const bool ok = &pc::Store::current() == &store;
+    std::lock_guard<std::mutex> lock(mu);
+    hits += ok;
+  });
+  EXPECT_EQ(hits, 3);
+  // And the override stays thread-scoped: after the team, a fresh task
+  // thread without the hook state sees the global store again.
+  EXPECT_EQ(&pc::Store::current(), &store);
 }
 
 // ---- section framing --------------------------------------------------------

@@ -4,6 +4,7 @@
 // request takes effect at the next tile boundary, the remainder of the
 // schedule is parked resumable, and the next flush completes it exactly
 // (never a half-flushed or double-executed chain).
+#include <atomic>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -12,6 +13,7 @@
 #include <gtest/gtest.h>
 
 #include "apl/cancel.hpp"
+#include "apl/thread_pool.hpp"
 #include "op2/op2.hpp"
 
 namespace {
@@ -290,6 +292,185 @@ TEST(LazyCancel, RawAccessCompletesParkedRemainder) {
   const std::vector<double> got = state_of(*s);
   EXPECT_FALSE(s->ctx.chain_resumable());
   EXPECT_TRUE(bitwise_equal(ref, got));
+}
+
+// ---- threaded color-round execution (DESIGN.md §15) -------------------------
+
+TEST(LazyThreads, TeamRoundsMatchSerialBitwise) {
+  const std::vector<double> ref = eager_reference();
+  for (std::size_t team : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    apl::ThreadPool pool(team);  // declared first: outlives the context
+    auto s = build_sys();
+    s->ctx.set_tile_team(&pool);
+    s->ctx.set_tile_size(5);
+    s->ctx.set_lazy(true);
+    enqueue_program(*s);
+    s->ctx.flush();
+    EXPECT_TRUE(bitwise_equal(ref, state_of(*s)))
+        << "team of " << team << " diverged from serial";
+    const op2::ChainStats& st = s->ctx.chain_stats();
+    EXPECT_EQ(st.verbatim, 0u) << "chain fell back to verbatim replay";
+    EXPECT_GT(st.rounds, 0u) << "fused chain did not go through rounds";
+    EXPECT_LE(st.rounds, st.tiles) << "more rounds than tiles";
+  }
+}
+
+TEST(LazyThreads, RoundsCountedOnlyOnTeamPath) {
+  auto s = build_sys();
+  s->ctx.set_tile_size(5);
+  s->ctx.set_lazy(true);
+  enqueue_program(*s);
+  s->ctx.flush();
+  EXPECT_GT(s->ctx.chain_stats().tiles, 0u);
+  EXPECT_EQ(s->ctx.chain_stats().rounds, 0u)
+      << "serial tile walk should not report color rounds";
+}
+
+TEST(LazyThreads, ProfileAndTrafficMatchSerialExactly) {
+  // Accounting contract: per-loop calls, traffic-class bytes and element
+  // counts are credited once per loop at chain completion, on the
+  // submitting thread — so a team-executed flush must report *exactly*
+  // the serial totals, however the tiles were distributed.
+  auto serial = build_sys();
+  serial->ctx.set_tile_size(5);
+  serial->ctx.set_lazy(true);
+  enqueue_program(*serial);
+  serial->ctx.flush();
+
+  apl::ThreadPool pool(4);
+  auto teamed = build_sys();
+  teamed->ctx.set_tile_team(&pool);
+  teamed->ctx.set_tile_size(5);
+  teamed->ctx.set_lazy(true);
+  enqueue_program(*teamed);
+  teamed->ctx.flush();
+
+  const auto& sp = serial->ctx.profile().all();
+  const auto& tp = teamed->ctx.profile().all();
+  ASSERT_EQ(sp.size(), tp.size());
+  for (const auto& [name, sstats] : sp) {
+    ASSERT_TRUE(tp.contains(name)) << name;
+    const apl::LoopStats& tstats = tp.at(name);
+    EXPECT_EQ(sstats.calls, tstats.calls) << name;
+    EXPECT_EQ(sstats.elements, tstats.elements) << name;
+    EXPECT_EQ(sstats.bytes_direct, tstats.bytes_direct) << name;
+    EXPECT_EQ(sstats.bytes_gather, tstats.bytes_gather) << name;
+    EXPECT_EQ(sstats.bytes_scatter, tstats.bytes_scatter) << name;
+  }
+  EXPECT_EQ(serial->ctx.chain_stats().eager_bytes,
+            teamed->ctx.chain_stats().eager_bytes);
+  EXPECT_EQ(serial->ctx.chain_stats().tiled_bytes,
+            teamed->ctx.chain_stats().tiled_bytes);
+}
+
+TEST(LazyThreads, CancelParksAtRoundBoundaryAndResumeCompletes) {
+  const std::vector<double> ref = eager_reference();
+
+  apl::cancel::Token tok;
+  apl::cancel::Scope scope(&tok);
+  apl::ThreadPool pool(2);
+  auto s = build_sys();
+  s->ctx.set_tile_team(&pool);
+  s->ctx.set_tile_size(5);
+  s->ctx.set_lazy(true);
+  enqueue_program(*s);
+
+  // Already-expired deadline: the round-boundary check on the submitting
+  // thread fires before any round starts, parking the whole schedule.
+  tok.cancel(apl::cancel::Reason::kDeadline);
+  EXPECT_THROW(s->ctx.flush(), apl::cancel::Cancelled);
+  ASSERT_TRUE(s->ctx.chain_resumable());
+
+  tok.reset();
+  s->ctx.flush();
+  EXPECT_FALSE(s->ctx.chain_resumable());
+  EXPECT_TRUE(bitwise_equal(ref, state_of(*s)))
+      << "round-wise resumed chain diverged from eager";
+}
+
+std::atomic<int>* g_round_ticks = nullptr;
+apl::cancel::Token* g_round_preempt_token = nullptr;
+
+TEST(LazyThreads, WorkerPreemptParksMidChainAtRoundBoundaryThenResumes) {
+  const std::vector<double> ref = eager_reference();
+
+  apl::cancel::Token tok;
+  apl::cancel::Scope scope(&tok);
+  apl::ThreadPool pool(2);
+  auto s = build_sys();
+  s->ctx.set_tile_team(&pool);
+  s->ctx.set_tile_size(5);
+  s->ctx.set_lazy(true);
+
+  // Same program as enqueue_program, but the relax kernel ticks an atomic
+  // (it may run on any team member — scope propagation is what lets it
+  // see the token at all) and requests preemption mid-chain. The running
+  // round finishes; the remainder parks at the *round* boundary.
+  std::atomic<int> ticks{0};
+  g_round_ticks = &ticks;
+  g_round_preempt_token = &tok;
+  for (int step = 0; step < 3; ++step) {
+    op2::par_loop(
+        s->ctx, "relax", *s->nodes,
+        [](op2::Acc<double> v) {
+          v[0] = 0.5 * v[0] + 0.25;
+          if (g_round_ticks->fetch_add(1) + 1 == 45) {
+            g_round_preempt_token->request_preempt();
+          }
+        },
+        op2::arg(*s->x, Access::kRW));
+    op2::par_loop(
+        s->ctx, "gather", *s->edges,
+        [](op2::Acc<double> w, op2::Acc<double> a, op2::Acc<double> b) {
+          w[0] = a[0] + b[0];
+        },
+        op2::arg(*s->y, Access::kWrite),
+        op2::arg(*s->x, *s->e2n, 0, Access::kRead),
+        op2::arg(*s->x, *s->e2n, 1, Access::kRead));
+    op2::par_loop(
+        s->ctx, "scatter", *s->edges,
+        [](op2::Acc<double> w, op2::Acc<double> a, op2::Acc<double> b) {
+          a[0] += 0.125 * w[0];
+          b[0] += 0.125 * w[0];
+        },
+        op2::arg(*s->y, Access::kRead),
+        op2::arg(*s->x, *s->e2n, 0, Access::kInc),
+        op2::arg(*s->x, *s->e2n, 1, Access::kInc));
+  }
+  try {
+    s->ctx.flush();
+    FAIL() << "flush ignored the preemption request";
+  } catch (const apl::cancel::Cancelled& c) {
+    EXPECT_EQ(c.reason(), apl::cancel::Reason::kPreempt);
+    EXPECT_NE(std::string(c.what()).find("round boundary"),
+              std::string::npos)
+        << c.what();
+  }
+  ASSERT_TRUE(s->ctx.chain_resumable());
+  const int at_park = ticks.load();
+  EXPECT_GE(at_park, 45) << "preempt fired before the trigger";
+  EXPECT_LT(at_park, 120) << "chain ran to completion despite preemption";
+
+  tok.clear_preempt();
+  s->ctx.flush();
+  EXPECT_FALSE(s->ctx.chain_resumable());
+  EXPECT_EQ(ticks.load(), 120);
+  EXPECT_TRUE(bitwise_equal(ref, state_of(*s)))
+      << "preempted+resumed round execution diverged from eager";
+}
+
+TEST(LazyThreads, ThreadsBackendUsesRoundsWithoutExplicitTeam) {
+  // backend kThreads alone enables the team path (the process pool).
+  const std::vector<double> ref = eager_reference();
+  auto s = build_sys();
+  s->ctx.set_backend(apl::exec::Backend::kThreads);
+  ASSERT_TRUE(s->ctx.tile_team_enabled());
+  s->ctx.set_tile_size(5);
+  s->ctx.set_lazy(true);
+  enqueue_program(*s);
+  s->ctx.flush();
+  EXPECT_GT(s->ctx.chain_stats().rounds, 0u);
+  EXPECT_TRUE(bitwise_equal(ref, state_of(*s)));
 }
 
 }  // namespace

@@ -305,10 +305,11 @@ TEST(TileCacheWarm, WarmRunSkipsInspectionAndMatchesCold) {
 // ---- IR versioning ----------------------------------------------------------
 
 TEST(TileCacheWarm, IrVersionPartitionsEntries) {
-  // v2 is the bump that shipped the op2chain kind (section tags 16-19);
-  // both op2 IR kinds share the constant, so bumping it invalidates every
-  // persisted schedule at once.
-  EXPECT_EQ(op2::kPlanIrVersion, 2u);
+  // v3 is the bump that made tile colors layered execution rounds (v2
+  // shipped the op2chain kind, section tags 16-19); both op2 IR kinds
+  // share the constant, so bumping it invalidates every persisted
+  // schedule at once.
+  EXPECT_EQ(op2::kPlanIrVersion, 3u);
 
   CacheDir cache("op2_tile_version_cache");
   apl::plan_cache::Key key;

@@ -4,13 +4,17 @@
 // other tenant and to the process-wide defaults.
 #include <cstdlib>
 #include <filesystem>
+#include <mutex>
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "apl/cancel.hpp"
 #include "apl/fault.hpp"
+#include "apl/io/plan_cache.hpp"
 #include "apl/resilience.hpp"
 #include "apl/serve/serve.hpp"
+#include "apl/thread_pool.hpp"
 #include "serve_test_util.hpp"
 
 namespace {
@@ -160,6 +164,50 @@ TEST(ServeIsolation, PerJobPlanCacheDirectoryIsPrivate) {
     break;
   }
   EXPECT_TRUE(wrote_any);
+}
+
+TEST(ServeIsolation, JobScopesReachTileTeamWorkers) {
+  // A job that spreads work over its own thread-pool team (what the op2
+  // color-round executor does on its behalf) must see its OWN scopes on
+  // every member: the job's cancel token, its armed injector and its
+  // private plan-cache store — not the worker threads' defaults. This is
+  // the serve-side face of the apl::scope snapshot run_team installs.
+  const std::string cache_dir = temp_dir("serve_team_scope_cache");
+  Server::Options opts;
+  opts.workers = 1;
+  Server server(opts);
+
+  JobSpec teamed;
+  teamed.name = "teamed";
+  // A trigger with an ordinal far beyond this job's loops: armed but
+  // inert, so the check is on scope visibility, not on a fired fault.
+  teamed.faults = "kill_at_loop=100000";
+  teamed.plan_cache_dir = cache_dir;
+  teamed.work = [](apl::serve::JobContext& jc) {
+    apl::cancel::Token* job_token = &jc.token();
+    apl::plan_cache::Store* job_store = &apl::plan_cache::Store::current();
+    apl::ThreadPool team(3);
+    std::mutex mu;
+    int token_hits = 0, injector_hits = 0, store_hits = 0;
+    team.run_team([&](std::size_t) {
+      const bool token_ok = apl::cancel::current() == job_token;
+      const bool injector_ok = apl::fault::Injector::current().armed() &&
+                               !apl::fault::Injector::global().armed();
+      const bool store_ok =
+          &apl::plan_cache::Store::current() == job_store &&
+          apl::plan_cache::Store::current().enabled();
+      std::lock_guard<std::mutex> lock(mu);
+      token_hits += token_ok;
+      injector_hits += injector_ok;
+      store_hits += store_ok;
+    });
+    return std::to_string(token_hits) + "/" + std::to_string(injector_hits) +
+           "/" + std::to_string(store_hits);
+  };
+
+  const auto report = server.wait(server.submit(std::move(teamed)));
+  ASSERT_EQ(report.state, State::kDone) << report.error;
+  EXPECT_EQ(report.result, "3/3/3");
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+// Mutation smoke test: the inspector relabels the last tile color into the
+// previous one (APL_MUTATE_OP2_COLOR_MERGE), so two conflicting tiles share
+// a round. The serial tile walk is color-blind and cannot diverge, which is
+// exactly why the oracle's threaded-exec combos audit schedules with
+// apl::verify::kPlan: the round-legality walk must flag the merged color on
+// any chain whose last two tiles conflict, and the combo's throw is blamed
+// on a lazy-tiled backend. The second test proves the *other* net catches
+// it too — under ThreadSanitizer the merged round really does race.
+#include "mutation_scan.hpp"
+
+#ifndef APL_MUTATE_OP2_COLOR_MERGE
+#error "build this test with -DAPL_MUTATE_OP2_COLOR_MERGE"
+#endif
+
+#include <cstdlib>
+#include <vector>
+
+#include "apl/thread_pool.hpp"
+#include "apl/verify.hpp"
+#include "op2/op2.hpp"
+
+namespace tk = apl::testkit;
+
+TEST(MutationOp2ColorMerge, OracleDetectsIt) {
+  const tk::MutationScan scan = tk::scan_seeds(1, 40, [](std::uint64_t s) {
+    return tk::run_op2_oracle(tk::gen_op2_case(s));
+  });
+  EXPECT_GE(scan.detections, 3) << "mutation escaped the oracle";
+  tk::expect_attributed(scan, "lazy-tiled");
+}
+
+// Runs the merged schedule for real on a 4-member team over a chain mesh
+// where every tile conflicts with its neighbour: the two tiles sharing the
+// merged color increment the same boundary node concurrently, a write-write
+// race ThreadSanitizer flags from its happens-before history even on one
+// core. Opt-in (APL_EXPECT_TSAN=1): the racing run is only meaningful —
+// and only expected to fail — under -fsanitize=thread, where ci.sh runs it
+// expecting a nonzero exit. Everywhere else it must stay skipped or the
+// race would silently corrupt a checksum nobody asserts on.
+TEST(MutationOp2ColorMerge, TsanCatchesMergedRounds) {
+  const char* expect = std::getenv("APL_EXPECT_TSAN");
+  if (expect == nullptr || std::string_view(expect) != "1") {
+    GTEST_SKIP() << "set APL_EXPECT_TSAN=1 under -fsanitize=thread";
+  }
+
+  using apl::exec::Access;
+  constexpr op2::index_t kNodes = 400;
+  constexpr op2::index_t kEdges = kNodes - 1;
+
+  op2::Context ctx;
+  ctx.set_verify(0);  // audit off: we want the merged round to *execute*
+  op2::Set& nodes = ctx.decl_set(kNodes, "nodes");
+  op2::Set& edges = ctx.decl_set(kEdges, "edges");
+  std::vector<op2::index_t> table(2 * kEdges);
+  for (op2::index_t e = 0; e < kEdges; ++e) {
+    table[2 * e] = e;
+    table[2 * e + 1] = e + 1;
+  }
+  op2::Map& e2n = ctx.decl_map(edges, nodes, 2, table, "e2n");
+  std::vector<double> xi(kNodes, 1.0);
+  op2::Dat<double>& x = ctx.decl_dat<double>(nodes, 1, xi, "x");
+
+  apl::ThreadPool pool(4);
+  ctx.set_tile_team(&pool);
+  ctx.set_tile_size(5);
+  ctx.set_lazy(true);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (int step = 0; step < 2; ++step) {
+      op2::par_loop(
+          ctx, "smooth", edges,
+          [](op2::Acc<double> a, op2::Acc<double> b) {
+            a[0] += 0.125;
+            b[0] += 0.125;
+          },
+          op2::arg(x, e2n, 0, Access::kInc),
+          op2::arg(x, e2n, 1, Access::kInc));
+    }
+    ctx.flush();
+  }
+  // Reaching here without a TSan report means the merged rounds executed
+  // cleanly — the harness (ci.sh) fails the stage when the exit code is 0.
+  SUCCEED();
+}

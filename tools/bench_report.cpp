@@ -36,8 +36,12 @@
 // --check-op2-tiling runs the same Airfoil mesh eager and lazy-tiled
 // (op2 sparse tiling, DESIGN.md §15) and fails unless every chain fused
 // (zero verbatim replays), the inspector projected a traffic saving, and
-// the tiled solution matches the eager one bitwise. The report's
-// "airfoil" run executes lazy-tiled and carries the fused-chain columns.
+// the tiled solution matches the eager one bitwise. It then reruns the
+// schedule through the threaded color-round executor on a 2-member team
+// (plus a reduction-free smoother chain, since airfoil's reduction
+// chains take the serial fallback) and fails unless real rounds ran and
+// both stayed bitwise-identical. The report's "airfoil" run executes
+// lazy-tiled and carries the fused-chain columns.
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
@@ -60,6 +64,7 @@
 #include "apl/perf/report.hpp"
 #include "apl/profile.hpp"
 #include "apl/serve/serve.hpp"
+#include "apl/thread_pool.hpp"
 #include "apl/trace.hpp"
 #include "cloverleaf/cloverleaf_ops.hpp"
 #include "ops/ops.hpp"
@@ -67,7 +72,7 @@
 namespace {
 
 struct Args {
-  std::string out = "BENCH_pr9.json";
+  std::string out = "BENCH_pr10.json";
   std::string check_trace;
   std::string machine = "e5-2697v2";
   int airfoil_iters = 40;
@@ -547,20 +552,76 @@ void print_serve(const ServeProbe& p) {
 struct Op2TilingProbe {
   double eager_seconds = 0.0;
   double tiled_seconds = 0.0;
+  double threaded_seconds = 0.0;
   op2::ChainStats chain;
+  std::uint64_t rounds = 0;  ///< color rounds of the threaded smoother run
   bool bitwise_identical = false;
+  bool threaded_bitwise = false;  ///< airfoil AND smoother teams matched
 
   double speedup() const {
     return tiled_seconds > 0.0 ? eager_seconds / tiled_seconds : 0.0;
   }
   /// The acceptance gate: chains formed and every one fused (no verbatim
-  /// fallback), the inspector projected a real traffic saving, and the
-  /// tiled bits match the eager bits exactly.
+  /// fallback), the inspector projected a real traffic saving, the tiled
+  /// bits match the eager bits exactly, and the threaded color-round
+  /// executor ran real rounds and stayed bitwise-identical too.
   bool ok() const {
     return chain.flushes > 0 && chain.verbatim == 0 && chain.max_chain >= 2 &&
-           chain.tiled_bytes < chain.eager_bytes && bitwise_identical;
+           chain.tiled_bytes < chain.eager_bytes && bitwise_identical &&
+           rounds > 0 && threaded_bitwise;
   }
 };
+
+/// Reduction-free gather/scatter smoother over a chain mesh: the shape the
+/// color-round executor actually parallelizes (airfoil's chains all carry
+/// the rms gbl reduction, so they take the documented serial fallback).
+/// Value-dependent FP increments make the bitwise gate meaningful — any
+/// round reordering would change summation order, not just timing.
+std::vector<double> run_round_smoother(apl::ThreadPool* team,
+                                       op2::ChainStats* stats) {
+  using apl::exec::Access;
+  constexpr op2::index_t kNodes = 4000;
+  constexpr op2::index_t kEdges = kNodes - 1;
+  op2::Context ctx;
+  op2::Set& nodes = ctx.decl_set(kNodes, "nodes");
+  op2::Set& edges = ctx.decl_set(kEdges, "edges");
+  std::vector<op2::index_t> table(2 * kEdges);
+  for (op2::index_t e = 0; e < kEdges; ++e) {
+    table[2 * e] = e;
+    table[2 * e + 1] = e + 1;
+  }
+  op2::Map& e2n = ctx.decl_map(edges, nodes, 2, table, "e2n");
+  std::vector<double> xi(kNodes), wi(kEdges, 0.0);
+  for (op2::index_t i = 0; i < kNodes; ++i) {
+    xi[static_cast<std::size_t>(i)] = 0.5 + 1e-4 * static_cast<double>(i);
+  }
+  op2::Dat<double>& x = ctx.decl_dat<double>(nodes, 1, xi, "x");
+  op2::Dat<double>& w = ctx.decl_dat<double>(edges, 1, wi, "w");
+
+  if (team != nullptr) ctx.set_tile_team(team);
+  ctx.set_tile_size(64);
+  ctx.set_lazy(true);
+  for (int step = 0; step < 4; ++step) {
+    op2::par_loop(
+        ctx, "gather", edges,
+        [](op2::Acc<double> we, op2::Acc<double> a, op2::Acc<double> b) {
+          we[0] = a[0] + b[0];
+        },
+        op2::arg(w, Access::kWrite), op2::arg(x, e2n, 0, Access::kRead),
+        op2::arg(x, e2n, 1, Access::kRead));
+    op2::par_loop(
+        ctx, "scatter", edges,
+        [](op2::Acc<double> we, op2::Acc<double> a, op2::Acc<double> b) {
+          a[0] += 0.125 * we[0];
+          b[0] += 0.125 * we[0];
+        },
+        op2::arg(w, Access::kRead), op2::arg(x, e2n, 0, Access::kInc),
+        op2::arg(x, e2n, 1, Access::kInc));
+  }
+  ctx.flush();
+  if (stats != nullptr) *stats = ctx.chain_stats();
+  return x.to_vector();
+}
 
 Op2TilingProbe probe_op2_tiling() {
   constexpr int kIters = 5;
@@ -583,6 +644,29 @@ Op2TilingProbe probe_op2_tiling() {
   p.tiled_seconds = apl::now_seconds() - t0;
   p.chain = tiled.ctx().chain_stats();
   p.bitwise_identical = bits_equal(ref, tiled.solution());
+
+  // Threaded gates, on a 2-member team (meaningful round structure even
+  // on a 1-core host). Airfoil's reduction chains must take the serial
+  // fallback and still match bitwise; the reduction-free smoother must go
+  // through real color rounds and match its own serial run bitwise.
+  apl::ThreadPool team(2);
+  airfoil::Airfoil threaded(opts);
+  threaded.ctx().set_tile_team(&team);
+  threaded.ctx().set_lazy(true);
+  t0 = apl::now_seconds();
+  threaded.run(kIters);
+  threaded.ctx().flush();
+  p.threaded_seconds = apl::now_seconds() - t0;
+  const bool airfoil_bitwise = bits_equal(ref, threaded.solution());
+
+  op2::ChainStats smoother_team_stats;
+  const std::vector<double> smoother_serial = run_round_smoother(nullptr,
+                                                                 nullptr);
+  const std::vector<double> smoother_teamed =
+      run_round_smoother(&team, &smoother_team_stats);
+  p.rounds = smoother_team_stats.rounds;
+  p.threaded_bitwise =
+      airfoil_bitwise && bits_equal(smoother_serial, smoother_teamed);
   return p;
 }
 
@@ -600,7 +684,9 @@ std::string op2_tiling_json(const Op2TilingProbe& p) {
      << ", \"tiled_bytes\": " << p.chain.tiled_bytes
      << ", \"traffic_saved_fraction\": " << p.chain.traffic_saved_fraction()
      << ", \"bitwise_identical\": " << (p.bitwise_identical ? "true" : "false")
-     << "}";
+     << ", \"threaded_seconds\": " << p.threaded_seconds
+     << ", \"color_rounds\": " << p.rounds << ", \"threaded_bitwise\": "
+     << (p.threaded_bitwise ? "true" : "false") << "}";
   return os.str();
 }
 
@@ -616,6 +702,11 @@ void print_op2_tiling(const Op2TilingProbe& p) {
       static_cast<unsigned long long>(p.chain.verbatim),
       100.0 * p.chain.traffic_saved_fraction(),
       p.bitwise_identical ? "identical" : "DIVERGED");
+  std::printf(
+      "op2 tiling       team-of-2 %.6fs, %llu color rounds, threaded "
+      "bitwise %s\n",
+      p.threaded_seconds, static_cast<unsigned long long>(p.rounds),
+      p.threaded_bitwise ? "identical" : "DIVERGED");
 }
 
 std::string probe_json(const std::string& name, const CacheProbe& p) {
@@ -825,7 +916,7 @@ int main(int argc, char** argv) {
   print_op2_tiling(tile_probe);
 
   std::ostringstream os;
-  os << "{\"bench\": \"pr9\", \"machine\": \"" << machine.name
+  os << "{\"bench\": \"pr10\", \"machine\": \"" << machine.name
      << "\",\n \"airfoil_iters\": " << args.airfoil_iters
      << ", \"clover_steps\": " << args.clover_steps << ",\n \"runs\": [\n";
   for (std::size_t i = 0; i < runs.size(); ++i) {

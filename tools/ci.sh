@@ -70,7 +70,9 @@ OPAL_TRACE="$build/tier1.trace.json" ctest --test-dir "$build" -L tier1 \
 # the sparse-tiling inspector/executor (DESIGN.md §15). The gate demands
 # every chain fused (zero verbatim fallbacks), a projected traffic
 # saving, and bitwise-identical solutions — order-preserving tiling must
-# be invisible to the bits.
+# be invisible to the bits. The probe also reruns the schedules through
+# the threaded color-round executor on a 2-member team and demands real
+# rounds plus bitwise agreement there too.
 "$build/tools/bench_report" --check-op2-tiling
 
 # Perf-trajectory stage: regenerate the checked-in per-loop benchmark
@@ -79,7 +81,7 @@ OPAL_TRACE="$build/tier1.trace.json" ctest --test-dir "$build" -L tier1 \
 # recovery-overhead/MTTR, multi-tenant service and eager-vs-tiled
 # columns). BENCH_pr8.json stays checked in as the eager trajectory
 # point the tiled fractions are measured against.
-(cd "$repo" && "$build/tools/bench_report" --out BENCH_pr9.json > /dev/null)
+(cd "$repo" && "$build/tools/bench_report" --out BENCH_pr10.json > /dev/null)
 
 if [[ -n "${CI_SANITIZE:-}" ]]; then
   san_build="$build-$CI_SANITIZE"
@@ -96,6 +98,20 @@ if [[ -n "${CI_SANITIZE:-}" ]]; then
   "$san_build/examples/opal_serve" 2 3 > /dev/null
   # The op2 tiling gate reruns under the sanitizer too (the ISSUE's
   # APL_SANITIZE=thread configuration when CI_SANITIZE=thread): the fused
-  # executor and its cancel checks must be clean, not just bitwise.
+  # executor — now including the threaded color-round path — and its
+  # cancel checks must be clean, not just bitwise.
   "$san_build/tools/bench_report" --check-op2-tiling
+  # Negative control, thread sanitizer only: the planted color-merge
+  # mutation puts two conflicting tiles in one round. Run the merged
+  # rounds for real on a 4-member team — TSan MUST report the race (the
+  # binary exits nonzero), or the sanitizer net has a hole in it.
+  if [[ "$CI_SANITIZE" == "thread" ]]; then
+    if APL_EXPECT_TSAN=1 TSAN_OPTIONS="${TSAN_OPTIONS:-} exitcode=66" \
+        "$san_build/tests/test_mutation_op2_color_merge" \
+        --gtest_filter='MutationOp2ColorMerge.TsanCatchesMergedRounds' \
+        > /dev/null 2>&1; then
+      echo "ci: TSan failed to catch the merged-round race" >&2
+      exit 1
+    fi
+  fi
 fi
